@@ -1,0 +1,135 @@
+// Ablation C (§3.11): long-term intersection attacks and the buddy system.
+//
+// Dissent's traffic-analysis resistance does not hide *when* a pseudonym
+// posts. An adversary who records the online set at every round a linkable
+// pseudonym posts can intersect those sets; with natural churn the
+// intersection shrinks toward the blogger alone. The paper proposes the
+// buddy discipline: post only when a fixed buddy set is online, so the
+// intersection never shrinks below the buddies.
+//
+// This bench simulates a 500-client group with exponential ON/OFF churn, a
+// pseudonymous blogger posting whenever its policy allows, and an adversary
+// intersecting participant sets across posts.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "src/app/send_policy.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/stats.h"
+
+namespace dissent {
+namespace {
+
+struct ClientChurnState {
+  bool online = true;
+  SimTime toggle_at = 0;
+};
+
+struct TrialResult {
+  std::vector<size_t> intersection_after_post;  // candidate-set size trajectory
+  size_t posts = 0;
+};
+
+TrialResult RunTrial(bool use_buddies, uint64_t seed) {
+  constexpr size_t kClients = 500;
+  constexpr size_t kBlogger = 17;
+  constexpr int kRounds = 2000;
+  constexpr SimTime kRoundPeriod = 10 * kSecond;
+
+  Rng rng(seed);
+  ChurnModel churn;
+  churn.mean_online = 40 * 60 * kSecond;
+  churn.mean_offline = 10 * 60 * kSecond;
+
+  std::vector<ClientChurnState> clients(kClients);
+  for (auto& c : clients) {
+    c.online = rng.Bernoulli(0.8);
+    c.toggle_at = c.online ? churn.DrawOnline(rng) : churn.DrawOffline(rng);
+  }
+  clients[kBlogger].online = true;
+
+  std::set<uint32_t> buddies;
+  if (use_buddies) {
+    buddies = {3, 44, 101};  // fixed, chosen at pseudonym creation
+  }
+  SendPolicy policy(/*min_participation=*/kClients / 2, /*streak=*/1, buddies);
+
+  TrialResult result;
+  std::set<uint32_t> candidates;  // adversary's intersection; empty = "all"
+  bool first_post = true;
+
+  for (int r = 0; r < kRounds; ++r) {
+    SimTime now = static_cast<SimTime>(r) * kRoundPeriod;
+    std::vector<uint32_t> online_now;
+    for (size_t i = 0; i < kClients; ++i) {
+      while (clients[i].toggle_at <= now) {
+        clients[i].online = !clients[i].online;
+        clients[i].toggle_at += clients[i].online ? churn.DrawOnline(rng)
+                                                  : churn.DrawOffline(rng);
+      }
+      if (clients[i].online) {
+        online_now.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    policy.ObserveRound(online_now);
+    bool blogger_online = clients[kBlogger].online;
+    if (!blogger_online || !policy.SafeToTransmit()) {
+      continue;
+    }
+    // The pseudonym posts this round; the adversary intersects.
+    ++result.posts;
+    std::set<uint32_t> online_set(online_now.begin(), online_now.end());
+    if (first_post) {
+      candidates = online_set;
+      first_post = false;
+    } else {
+      std::set<uint32_t> next;
+      for (uint32_t c : candidates) {
+        if (online_set.count(c)) {
+          next.insert(c);
+        }
+      }
+      candidates = std::move(next);
+    }
+    result.intersection_after_post.push_back(candidates.size());
+  }
+  return result;
+}
+
+void Run() {
+  std::printf("=== Ablation: intersection attack vs the buddy system (§3.11) ===\n");
+  std::printf("500 clients, ON/OFF churn (40 min up / 10 min down), pseudonymous\n");
+  std::printf("blogger; adversary intersects the online set over linkable posts.\n\n");
+
+  std::printf("%8s | %22s | %22s\n", "post #", "no discipline", "buddy system (3 buddies)");
+  TrialResult plain = RunTrial(false, 42);
+  TrialResult buddy = RunTrial(true, 42);
+  for (size_t idx : {0u, 1u, 3u, 7u, 15u, 31u, 63u}) {
+    auto at = [&](const TrialResult& t) -> long {
+      return idx < t.intersection_after_post.size()
+                 ? static_cast<long>(t.intersection_after_post[idx])
+                 : -1;
+    };
+    std::printf("%8zu | %22ld | %22ld\n", idx + 1, at(plain), at(buddy));
+  }
+  size_t plain_final =
+      plain.intersection_after_post.empty() ? 0 : plain.intersection_after_post.back();
+  size_t buddy_final =
+      buddy.intersection_after_post.empty() ? 0 : buddy.intersection_after_post.back();
+  std::printf("\nafter %zu / %zu posts: candidate set %zu (plain) vs %zu (buddies)\n",
+              plain.posts, buddy.posts, plain_final, buddy_final);
+  std::printf("\nshape checks (§3.11):\n");
+  std::printf("  * without discipline the intersection collapses toward the blogger\n");
+  std::printf("  * with buddies it never shrinks below blogger + buddy set (>= 4)\n");
+  std::printf("  * the availability cost: the buddy blogger posted %zu vs %zu rounds\n",
+              buddy.posts, plain.posts);
+}
+
+}  // namespace
+}  // namespace dissent
+
+int main() {
+  dissent::Run();
+  return 0;
+}

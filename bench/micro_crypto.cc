@@ -1,0 +1,131 @@
+// google-benchmark microbenchmarks of the crypto substrate — these numbers
+// feed the calibration story behind the Fig 6-8 performance model.
+#include <benchmark/benchmark.h>
+
+#include "src/core/dcnet.h"
+#include "src/crypto/group.h"
+#include "src/crypto/schnorr.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/shuffle.h"
+#include "src/crypto/dh.h"
+
+namespace dissent {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_DcnetPad(benchmark::State& state) {
+  Bytes key(32, 0x42);
+  Bytes buf(static_cast<size_t>(state.range(0)), 0);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    XorDcnetPad(key, ++round, buf);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DcnetPad)->Arg(1024)->Arg(128 * 1024)->Arg(1 << 20);
+
+void BM_XorCombine(benchmark::State& state) {
+  Bytes a(static_cast<size_t>(state.range(0)), 1);
+  Bytes b(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    XorInto(a, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XorCombine)->Arg(1024)->Arg(128 * 1024)->Arg(1 << 20);
+
+GroupId GroupForBits(int64_t bits) {
+  switch (bits) {
+    case 256:
+      return GroupId::kTesting256;
+    case 512:
+      return GroupId::kMedium512;
+    case 1024:
+      return GroupId::kProduction1024;
+    default:
+      return GroupId::kProduction2048;
+  }
+}
+
+void BM_ModExp(benchmark::State& state) {
+  auto g = Group::Named(GroupForBits(state.range(0)));
+  SecureRng rng = SecureRng::FromLabel(1);
+  BigInt base = g->GExp(g->RandomScalar(rng));
+  BigInt e = g->RandomScalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->Exp(base, e));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(2);
+  SchnorrKeyPair kp = SchnorrKeyPair::Generate(*g, rng);
+  Bytes msg(64, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchnorrSign(*g, kp.priv, msg, rng));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(3);
+  SchnorrKeyPair kp = SchnorrKeyPair::Generate(*g, rng);
+  Bytes msg(64, 7);
+  SchnorrSignature sig = SchnorrSign(*g, kp.priv, msg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchnorrVerify(*g, kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ShuffleProve(benchmark::State& state) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(4);
+  DhKeyPair key = DhKeyPair::Generate(*g, rng);
+  const size_t k = static_cast<size_t>(state.range(0));
+  CiphertextMatrix inputs(k);
+  for (size_t i = 0; i < k; ++i) {
+    inputs[i] = {ElGamalEncrypt(*g, key.pub, g->GExp(g->RandomScalar(rng)), rng)};
+  }
+  ShuffleResult shuffled = ApplyRandomShuffle(*g, key.pub, inputs, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ShuffleProve(*g, key.pub, inputs, shuffled.outputs, shuffled.witness, rng));
+  }
+}
+BENCHMARK(BM_ShuffleProve)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_ShuffleVerify(benchmark::State& state) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(5);
+  DhKeyPair key = DhKeyPair::Generate(*g, rng);
+  const size_t k = static_cast<size_t>(state.range(0));
+  CiphertextMatrix inputs(k);
+  for (size_t i = 0; i < k; ++i) {
+    inputs[i] = {ElGamalEncrypt(*g, key.pub, g->GExp(g->RandomScalar(rng)), rng)};
+  }
+  ShuffleResult shuffled = ApplyRandomShuffle(*g, key.pub, inputs, rng);
+  ShuffleProof proof =
+      ShuffleProve(*g, key.pub, inputs, shuffled.outputs, shuffled.witness, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShuffleVerify(*g, key.pub, inputs, shuffled.outputs, proof));
+  }
+}
+BENCHMARK(BM_ShuffleVerify)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dissent
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// google-benchmark microbenchmarks of the DC-net round pipeline itself:
+// client ciphertext formation and the server-side combine at various group
+// shapes — the per-round data-plane costs behind Figs 7-8.
+#include <benchmark/benchmark.h>
+
+#include "src/core/coordinator.h"
+#include "src/core/dcnet.h"
+
+namespace dissent {
+namespace {
+
+void BM_ClientCiphertext(benchmark::State& state) {
+  const size_t servers = static_cast<size_t>(state.range(0));
+  const size_t len = static_cast<size_t>(state.range(1));
+  std::vector<Bytes> keys(servers, Bytes(32, 0x11));
+  Bytes cleartext(len, 0);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildClientCiphertext(keys, ++round, cleartext));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(servers * len));
+}
+BENCHMARK(BM_ClientCiphertext)
+    ->Args({4, 1024})
+    ->Args({16, 1024})
+    ->Args({32, 1024})
+    ->Args({16, 128 * 1024});
+
+void BM_ServerPadAggregation(benchmark::State& state) {
+  // One server expanding + XORing pads for N participating clients.
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t len = static_cast<size_t>(state.range(1));
+  std::vector<Bytes> keys(clients);
+  for (size_t i = 0; i < clients; ++i) {
+    keys[i].assign(32, static_cast<uint8_t>(i));
+  }
+  Bytes acc(len, 0);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    ++round;
+    for (const auto& k : keys) {
+      XorDcnetPad(k, round, acc);
+    }
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(clients * len));
+}
+BENCHMARK(BM_ServerPadAggregation)
+    ->Args({100, 1024})
+    ->Args({1000, 1024})
+    ->Args({100, 128 * 1024})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullRoundInProcess(benchmark::State& state) {
+  // A complete real round (Algorithms 1+2, signatures included) through the
+  // in-process coordinator.
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t servers = static_cast<size_t>(state.range(1));
+  SecureRng rng = SecureRng::FromLabel(42);
+  std::vector<BigInt> server_privs, client_privs;
+  GroupDef def = MakeTestGroup(Group::Named(GroupId::kTesting256), servers, clients, rng,
+                               &server_privs, &client_privs);
+  Coordinator coord(def, server_privs, client_privs, 42);
+  if (!coord.RunScheduling()) {
+    state.SkipWithError("scheduling failed");
+    return;
+  }
+  size_t sender = 0;
+  for (auto _ : state) {
+    coord.client(sender % clients).QueueMessage(Bytes(128, 0x33));
+    ++sender;
+    auto outcome = coord.RunRound();
+    benchmark::DoNotOptimize(outcome.completed);
+  }
+}
+BENCHMARK(BM_FullRoundInProcess)
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({64, 16})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dissent
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Quickstart: the smallest complete Dissent session.
+//
+// Three anytrust servers, five clients. The group runs the verifiable key
+// shuffle to assign anonymous transmission slots, then client 2 sends a
+// message nobody can attribute to it.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "src/core/coordinator.h"
+
+using namespace dissent;
+
+int main() {
+  // 1. Group definition (§3.2): long-term keys for every participant, policy
+  //    constants, and a self-certifying group id.
+  SecureRng rng = SecureRng::FromLabel(2012);
+  std::vector<BigInt> server_privs, client_privs;
+  GroupDef def = MakeTestGroup(Group::Named(GroupId::kTesting256),
+                               /*num_servers=*/3, /*num_clients=*/5, rng, &server_privs,
+                               &client_privs);
+  std::printf("group id: %s...\n", ToHex(def.Id()).substr(0, 16).c_str());
+
+  // 2. The coordinator owns the in-process clients and servers and drives
+  //    the protocol exactly as the networked deployment would.
+  Coordinator coord(def, server_privs, client_privs, /*seed=*/1);
+
+  // 3. Scheduling (§3.10): pseudonym keys through the Neff shuffle cascade.
+  if (!coord.RunScheduling()) {
+    std::fprintf(stderr, "key shuffle failed!\n");
+    return 1;
+  }
+  std::printf("scheduling done: %zu anonymous slots assigned\n",
+              coord.pseudonym_keys().size());
+
+  // 4. Client 2 queues an anonymous message.
+  coord.client(2).QueueMessage(BytesOf("whistle, blown."));
+
+  // 5. Rounds: the first carries client 2's request bit, the second the
+  //    message itself.
+  for (int i = 0; i < 2; ++i) {
+    auto round = coord.RunRound();
+    std::printf("round %llu: participation=%zu, %zu message(s)\n",
+                static_cast<unsigned long long>(round.round), round.participation,
+                round.messages.size());
+    for (auto& [slot, payload] : round.messages) {
+      std::printf("  slot %zu: \"%s\"   <- no one knows which client owns this slot\n",
+                  slot, StringOf(payload).c_str());
+    }
+  }
+  return 0;
+}

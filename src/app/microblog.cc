@@ -1,0 +1,35 @@
+#include "src/app/microblog.h"
+
+namespace dissent {
+
+MicroblogWorkload::MicroblogWorkload(Coordinator* coord, double post_fraction,
+                                     size_t post_bytes, uint64_t seed)
+    : coord_(coord), post_fraction_(post_fraction), post_bytes_(post_bytes), rng_(seed) {}
+
+
+MicroblogWorkload::RoundReport MicroblogWorkload::Step() {
+  RoundReport report;
+  const size_t n = coord_->def().num_clients();
+  for (size_t i = 0; i < n; ++i) {
+    if (!coord_->IsClientOnline(i) || coord_->expelled_clients().count(i) != 0) {
+      continue;
+    }
+    if (rng_.Bernoulli(post_fraction_)) {
+      std::string text = "post#" + std::to_string(next_post_id_++) + " ";
+      text.resize(post_bytes_, 'x');
+      coord_->client(i).QueueMessage(BytesOf(text));
+      ++report.queued;
+      ++total_posted_;
+    }
+  }
+  auto outcome = coord_->RunRound();
+  report.round = outcome.round;
+  for (auto& [slot, payload] : outcome.messages) {
+    report.posts.push_back(StringOf(payload));
+    ++report.delivered;
+    ++total_delivered_;
+  }
+  return report;
+}
+
+}  // namespace dissent

@@ -1,0 +1,44 @@
+// Anonymous microblogging workload (§4.2): in each round a random 1% of
+// clients post short messages. Drives a Coordinator and tracks delivery, so
+// examples and tests share one implementation of the paper's workload.
+#ifndef DISSENT_APP_MICROBLOG_H_
+#define DISSENT_APP_MICROBLOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/coordinator.h"
+#include "src/util/rng.h"
+
+namespace dissent {
+
+class MicroblogWorkload {
+ public:
+  MicroblogWorkload(Coordinator* coord, double post_fraction, size_t post_bytes,
+                    uint64_t seed);
+
+  struct RoundReport {
+    uint64_t round = 0;
+    size_t queued = 0;     // posts injected this round
+    size_t delivered = 0;  // posts read back from the round output
+    std::vector<std::string> posts;
+  };
+  // Queues this round's posts, runs the round, and reads back the feed.
+  RoundReport Step();
+
+  size_t total_posted() const { return total_posted_; }
+  size_t total_delivered() const { return total_delivered_; }
+
+ private:
+  Coordinator* coord_;
+  double post_fraction_;
+  size_t post_bytes_;
+  Rng rng_;
+  uint64_t next_post_id_ = 0;
+  size_t total_posted_ = 0;
+  size_t total_delivered_ = 0;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_APP_MICROBLOG_H_

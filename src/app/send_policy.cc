@@ -1,0 +1,24 @@
+#include "src/app/send_policy.h"
+
+#include <algorithm>
+
+namespace dissent {
+
+SendPolicy::SendPolicy(size_t min_participation, size_t required_healthy_streak,
+                       std::set<uint32_t> buddies)
+    : min_participation_(min_participation),
+      required_streak_(std::max<size_t>(required_healthy_streak, 1)),
+      buddies_(std::move(buddies)) {}
+
+void SendPolicy::ObserveRound(const std::vector<uint32_t>& participants) {
+  last_participation_ = participants.size();
+  buddies_present_ = std::all_of(buddies_.begin(), buddies_.end(), [&](uint32_t b) {
+    return std::find(participants.begin(), participants.end(), b) != participants.end();
+  });
+  bool healthy = last_participation_ >= min_participation_ && buddies_present_;
+  streak_ = healthy ? streak_ + 1 : 0;
+}
+
+bool SendPolicy::SafeToTransmit() const { return streak_ >= required_streak_; }
+
+}  // namespace dissent

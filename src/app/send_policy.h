@@ -1,0 +1,52 @@
+// User-side transmission safety policies (§3.7, §3.11).
+//
+// The servers publish a participation count for every completed round; a
+// user who judges it too low keeps sending null ciphertexts ("strength in
+// numbers", §3.7). Because counts are published only for *past* rounds, the
+// policy also insists on a streak of healthy rounds before releasing a
+// sensitive message — the α threshold (enforced server-side) bounds how much
+// participation can silently collapse between the observation and the send.
+//
+// The buddy system (§3.11) mitigates long-term intersection attacks for
+// users who transmit *linkably* (e.g. under a pseudonym): transmit only when
+// every member of a fixed buddy set is among the participants, so the
+// adversary's intersection always contains the whole buddy set.
+#ifndef DISSENT_APP_SEND_POLICY_H_
+#define DISSENT_APP_SEND_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace dissent {
+
+class SendPolicy {
+ public:
+  SendPolicy(size_t min_participation, size_t required_healthy_streak,
+             std::set<uint32_t> buddies);
+
+  // Feed each completed round's participant list (from the signed output /
+  // server-published counts).
+  void ObserveRound(const std::vector<uint32_t>& participants);
+
+  // True when the policy would release a sensitive message next round.
+  bool SafeToTransmit() const;
+
+  // Diagnostics.
+  size_t healthy_streak() const { return streak_; }
+  bool buddies_all_present() const { return buddies_present_; }
+  size_t last_participation() const { return last_participation_; }
+
+ private:
+  size_t min_participation_;
+  size_t required_streak_;
+  std::set<uint32_t> buddies_;
+  size_t streak_ = 0;
+  bool buddies_present_ = false;
+  size_t last_participation_ = 0;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_APP_SEND_POLICY_H_

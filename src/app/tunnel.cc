@@ -1,0 +1,72 @@
+#include "src/app/tunnel.h"
+
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+Bytes EncodeFrames(const std::vector<TunnelFrame>& frames) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(frames.size()));
+  for (const TunnelFrame& f : frames) {
+    w.U8(static_cast<uint8_t>(f.type));
+    w.U32(f.flow_id);
+    w.Str(f.destination);
+    w.Blob(f.data);
+  }
+  return w.Take();
+}
+
+std::optional<std::vector<TunnelFrame>> DecodeFrames(const Bytes& payload) {
+  Reader r(payload);
+  uint32_t count;
+  if (!r.U32(&count)) {
+    return std::nullopt;
+  }
+  std::vector<TunnelFrame> frames;
+  frames.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TunnelFrame f;
+    uint8_t type;
+    if (!r.U8(&type) || type < 1 || type > 3) {
+      return std::nullopt;
+    }
+    f.type = static_cast<TunnelFrame::Type>(type);
+    if (!r.U32(&f.flow_id) || !r.Str(&f.destination) || !r.Blob(&f.data)) {
+      return std::nullopt;
+    }
+    frames.push_back(std::move(f));
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return frames;
+}
+
+std::vector<TunnelFrame> TunnelExit::Process(const std::vector<TunnelFrame>& frames) {
+  std::vector<TunnelFrame> responses;
+  for (const TunnelFrame& f : frames) {
+    switch (f.type) {
+      case TunnelFrame::Type::kOpen:
+        destinations_[f.flow_id] = f.destination;
+        break;
+      case TunnelFrame::Type::kClose:
+        destinations_.erase(f.flow_id);
+        break;
+      case TunnelFrame::Type::kData: {
+        auto it = destinations_.find(f.flow_id);
+        if (it == destinations_.end()) {
+          break;  // data for an unopened flow: drop
+        }
+        TunnelFrame resp;
+        resp.type = TunnelFrame::Type::kData;
+        resp.flow_id = f.flow_id;
+        resp.data = responder_(it->second, f.data);
+        responses.push_back(std::move(resp));
+        break;
+      }
+    }
+  }
+  return responses;
+}
+
+}  // namespace dissent

@@ -1,0 +1,56 @@
+// SOCKS-style flow tunneling over Dissent rounds (§4.1).
+//
+// User applications hand TCP/UDP-like flows to an entry node, which assigns
+// each flow a random identifier, prepends destination headers, and packs
+// frames into the client's anonymous message slot. A (non-anonymous) exit
+// node unpacks frames, talks to the destination, and sends responses back
+// through the session addressed by flow id.
+#ifndef DISSENT_APP_TUNNEL_H_
+#define DISSENT_APP_TUNNEL_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+struct TunnelFrame {
+  enum class Type : uint8_t { kOpen = 1, kData = 2, kClose = 3 };
+  Type type = Type::kData;
+  uint32_t flow_id = 0;
+  std::string destination;  // host:port, only on kOpen
+  Bytes data;
+};
+
+// Frames are concatenated into one slot payload.
+Bytes EncodeFrames(const std::vector<TunnelFrame>& frames);
+std::optional<std::vector<TunnelFrame>> DecodeFrames(const Bytes& payload);
+
+// The exit node: tracks open flows and forwards data to destinations via a
+// pluggable responder (real deployments would open sockets; tests and
+// examples plug in a synthetic web server).
+class TunnelExit {
+ public:
+  // responder(destination, request_bytes) -> response_bytes.
+  using Responder = std::function<Bytes(const std::string&, const Bytes&)>;
+
+  explicit TunnelExit(Responder responder) : responder_(std::move(responder)) {}
+
+  // Processes frames arriving from the anonymity session; returns response
+  // frames to send back through it.
+  std::vector<TunnelFrame> Process(const std::vector<TunnelFrame>& frames);
+
+  size_t open_flows() const { return destinations_.size(); }
+
+ private:
+  Responder responder_;
+  std::map<uint32_t, std::string> destinations_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_APP_TUNNEL_H_

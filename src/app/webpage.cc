@@ -1,0 +1,94 @@
+#include "src/app/webpage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dissent {
+
+size_t WebPage::TotalBytes() const {
+  size_t total = index_bytes;
+  for (size_t a : asset_bytes) {
+    total += a;
+  }
+  return total;
+}
+
+std::vector<WebPage> MakeAlexaCorpus(size_t count, uint64_t seed) {
+  // 2012-era page-weight statistics (HTTP Archive): mean total ~1 MB,
+  // 30-100 requests per page, asset sizes lognormal with a long image tail.
+  Rng rng(seed);
+  std::vector<WebPage> corpus;
+  corpus.reserve(count);
+  for (size_t p = 0; p < count; ++p) {
+    WebPage page;
+    page.index_bytes = static_cast<size_t>(rng.LogNormal(std::log(45e3), 0.7));
+    int assets = static_cast<int>(rng.Uniform(15, 70));
+    for (int a = 0; a < assets; ++a) {
+      double bytes = rng.LogNormal(std::log(12e3), 1.1);
+      page.asset_bytes.push_back(static_cast<size_t>(std::min(bytes, 400e3)));
+    }
+    corpus.push_back(std::move(page));
+  }
+  return corpus;
+}
+
+double DownloadSeconds(const WebPage& page, const ChannelSpec& channel) {
+  // Index fetch gates everything.
+  double t = channel.rtt_sec + channel.per_request_sec +
+             static_cast<double>(page.index_bytes) / channel.bandwidth_bps;
+  // Assets fetched in waves of `concurrency`; the channel bandwidth is
+  // shared, so payload time is total bytes / bandwidth, while request
+  // round-trips amortize across each wave.
+  size_t assets = page.asset_bytes.size();
+  if (assets > 0) {
+    size_t waves = (assets + channel.concurrency - 1) / channel.concurrency;
+    double payload_bytes = 0;
+    for (size_t a : page.asset_bytes) {
+      payload_bytes += static_cast<double>(a);
+    }
+    t += static_cast<double>(waves) * (channel.rtt_sec + channel.per_request_sec);
+    t += payload_bytes / channel.bandwidth_bps;
+  }
+  return t;
+}
+
+ChannelSpec DirectChannel() {
+  // 24 Mbps WLAN to the public internet: sustained per-site throughput and
+  // server response times of the era dominate, not the local link.
+  return ChannelSpec{.rtt_sec = 0.30, .bandwidth_bps = 160e3, .concurrency = 6,
+                     .per_request_sec = 0.05};
+}
+
+ChannelSpec TorChannel() {
+  // Public Tor circa 2012: ~50-90 KB/s sustained circuit throughput and
+  // ~1 s request round trips through three volunteer relays.
+  return ChannelSpec{.rtt_sec = 1.2, .bandwidth_bps = 42e3, .concurrency = 6,
+                     .per_request_sec = 0.2};
+}
+
+ChannelSpec DissentLanChannel(double round_sec, size_t slot_payload_bytes) {
+  ChannelSpec c;
+  // A request needs a round to go out and a round for the first response
+  // bytes to come back.
+  c.rtt_sec = 2.0 * round_sec;
+  // Goodput: tunnel frames, SOCKS headers, TCP-in-tunnel control traffic and
+  // upstream requests share the same slot as the downstream payload, so the
+  // web-visible throughput is well under raw slot capacity.
+  constexpr double kGoodput = 0.6;
+  c.bandwidth_bps = kGoodput * static_cast<double>(slot_payload_bytes) / round_sec;
+  // The tunnel multiplexes flows into one slot: waves are wide.
+  c.concurrency = 8;
+  c.per_request_sec = 0.0;
+  return c;
+}
+
+ChannelSpec ComposeChannels(const ChannelSpec& inner, const ChannelSpec& outer) {
+  ChannelSpec c;
+  c.rtt_sec = inner.rtt_sec + outer.rtt_sec;
+  c.bandwidth_bps = std::min(inner.bandwidth_bps, outer.bandwidth_bps);
+  c.concurrency = std::min(inner.concurrency, outer.concurrency);
+  c.per_request_sec = inner.per_request_sec + outer.per_request_sec;
+  return c;
+}
+
+}  // namespace dissent

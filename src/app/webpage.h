@@ -1,0 +1,51 @@
+// Synthetic "Alexa Top 100" web corpus and the page-fetch model (§5.4).
+//
+// The paper downloaded the index pages (plus dependent assets) of the Alexa
+// Top 100 through four network configurations. We replace the 2012 web with
+// a seeded synthetic corpus whose page weight and asset-count distributions
+// match that era (~1 MB mean page, tens of assets), and a fetch model
+// (HTML first, then `concurrency` parallel asset fetches) over a Channel
+// abstraction that each configuration instantiates.
+#ifndef DISSENT_APP_WEBPAGE_H_
+#define DISSENT_APP_WEBPAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dissent {
+
+struct WebPage {
+  size_t index_bytes = 0;
+  std::vector<size_t> asset_bytes;
+
+  size_t TotalBytes() const;
+};
+
+std::vector<WebPage> MakeAlexaCorpus(size_t count, uint64_t seed);
+
+// A channel is what a page fetch sees end to end.
+struct ChannelSpec {
+  double rtt_sec = 0.1;          // request/response round trip
+  double bandwidth_bps = 1e6;    // sustained payload bytes/sec
+  size_t concurrency = 6;        // parallel asset fetches
+  double per_request_sec = 0.0;  // fixed extra cost per request (handshakes)
+};
+
+// Time to fetch one page: index first (its parse gates the assets), then
+// assets in concurrency-sized waves sharing the channel bandwidth.
+double DownloadSeconds(const WebPage& page, const ChannelSpec& channel);
+
+// The four §5.4 configurations. Dissent channels derive their throughput
+// and round-trip from the DC-net round model on the WLAN topology; `tor`
+// reflects 2012-era public-Tor performance.
+ChannelSpec DirectChannel();
+ChannelSpec TorChannel();
+// round_sec: DC-net round time; slot_payload_bytes: usable bytes per round.
+ChannelSpec DissentLanChannel(double round_sec, size_t slot_payload_bytes);
+ChannelSpec ComposeChannels(const ChannelSpec& inner, const ChannelSpec& outer);
+
+}  // namespace dissent
+
+#endif  // DISSENT_APP_WEBPAGE_H_

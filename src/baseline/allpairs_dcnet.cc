@@ -1,0 +1,80 @@
+#include "src/baseline/allpairs_dcnet.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/core/dcnet.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+AllPairsDcnet::AllPairsDcnet(size_t num_members, uint64_t seed) : n_(num_members) {
+  keys_.resize(n_ * n_);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      Writer w;
+      w.Str("allpairs.key");
+      w.U64(seed);
+      w.U64(i);
+      w.U64(j);
+      keys_[i * n_ + j] = Sha256::Hash(w.data());
+    }
+  }
+}
+
+const Bytes& AllPairsDcnet::PairKey(size_t i, size_t j) const {
+  assert(i != j);
+  if (i > j) {
+    std::swap(i, j);
+  }
+  return keys_[i * n_ + j];
+}
+
+Bytes AllPairsDcnet::MemberCiphertext(size_t i, uint64_t round, const Bytes& cleartext,
+                                      const std::vector<bool>& online) const {
+  assert(online.size() == n_ && online[i]);
+  Bytes ct = cleartext;
+  for (size_t j = 0; j < n_; ++j) {
+    if (j == i || !online[j]) {
+      continue;
+    }
+    XorDcnetPad(PairKey(i, j), round, ct);
+  }
+  return ct;
+}
+
+Bytes AllPairsDcnet::Combine(const std::vector<Bytes>& ciphertexts) const {
+  assert(!ciphertexts.empty());
+  Bytes out(ciphertexts[0].size(), 0);
+  for (const Bytes& ct : ciphertexts) {
+    XorInto(out, ct);
+  }
+  return out;
+}
+
+AllPairsDcnet::Costs AllPairsDcnet::PerRound(size_t n, size_t len) {
+  Costs c;
+  c.client_prng_bytes = static_cast<double>(n - 1) * len;   // O(N) per member
+  c.messages = static_cast<double>(n) * (n - 1);            // all-to-all
+  c.total_bytes = c.messages * len;                         // O(N^2 * len)
+  return c;
+}
+
+AllPairsDcnet::Costs AllPairsDcnet::AnytrustPerRound(size_t n, size_t m, size_t len) {
+  Costs c;
+  c.client_prng_bytes = static_cast<double>(m) * len;  // O(M) per client
+  // N client uploads + N downloads + M(M-1) server exchange + M(M-1) small
+  // control messages (inventory/commit/sigs) counted as messages only.
+  c.messages = 2.0 * n + 2.0 * m * (m - 1);
+  c.total_bytes = (2.0 * n + static_cast<double>(m) * (m - 1)) * len;
+  return c;
+}
+
+double AllPairsDcnet::ExpectedAttempts(size_t n, double p_drop) {
+  // A round survives only if none of the n members drop mid-round.
+  double p_ok = std::pow(1.0 - p_drop, static_cast<double>(n));
+  return p_ok > 0 ? 1.0 / p_ok : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace dissent

@@ -1,0 +1,58 @@
+// Classic peer-to-peer DC-net (Chaum [14]) — the baseline Dissent's
+// client/server redesign is measured against (§2.2, §3.1).
+//
+// Every pair of members shares a coin; every member XORs N-1 pads per bit
+// and broadcasts its ciphertext to everyone. If any member drops mid-round,
+// every ciphertext is useless and the round restarts without the failed
+// member. The ablation bench (bench/ablation_p2p_vs_anytrust) uses both the
+// real data plane (small N) and the closed-form cost functions (large N).
+#ifndef DISSENT_BASELINE_ALLPAIRS_DCNET_H_
+#define DISSENT_BASELINE_ALLPAIRS_DCNET_H_
+
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace dissent {
+
+class AllPairsDcnet {
+ public:
+  AllPairsDcnet(size_t num_members, uint64_t seed);
+
+  size_t size() const { return n_; }
+
+  // Member i's ciphertext over the given online set: cleartext XOR pads with
+  // every *other online* member. Offline members contribute nothing, so all
+  // members must agree on `online` — disagreement garbles the round, which
+  // is exactly the churn fragility the anytrust design removes.
+  Bytes MemberCiphertext(size_t i, uint64_t round, const Bytes& cleartext,
+                         const std::vector<bool>& online) const;
+
+  // XOR of all online members' ciphertexts => XOR of their cleartexts.
+  Bytes Combine(const std::vector<Bytes>& ciphertexts) const;
+
+  // --- closed-form per-round costs (for the scalability ablation) ---
+  struct Costs {
+    double client_prng_bytes;  // pad bytes one member expands
+    double messages;           // network messages in the round
+    double total_bytes;        // bytes on the wire
+  };
+  static Costs PerRound(size_t n, size_t len);          // all-pairs broadcast
+  static Costs AnytrustPerRound(size_t n, size_t m, size_t len);  // Dissent
+
+  // Expected number of attempts to finish one round if each member
+  // independently drops mid-round with probability p (restart-on-churn).
+  static double ExpectedAttempts(size_t n, double p_drop);
+
+ private:
+  const Bytes& PairKey(size_t i, size_t j) const;
+
+  size_t n_;
+  // Upper-triangular pairwise key matrix.
+  std::vector<Bytes> keys_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_BASELINE_ALLPAIRS_DCNET_H_

@@ -1,0 +1,78 @@
+#include "src/baseline/onion.h"
+
+#include "src/crypto/chacha20.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+namespace {
+
+Bytes CellNonce(uint64_t cell_id, bool reply) {
+  Bytes nonce(12, 0);
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<uint8_t>(cell_id >> (8 * i));
+  }
+  nonce[8] = reply ? 'r' : 'f';
+  return nonce;
+}
+
+Bytes ApplyStream(const Bytes& key, uint64_t cell_id, bool reply, const Bytes& cell) {
+  ChaCha20Stream stream(key, CellNonce(cell_id, reply));
+  Bytes out = cell;
+  stream.XorStream(out, 0, out.size());
+  return out;
+}
+
+}  // namespace
+
+Bytes OnionHopKey(const Group& group, const BigInt& shared_element) {
+  return DeriveKeyFromElement(group, shared_element, "onion.hop");
+}
+
+OnionRelay OnionRelay::Create(const Group& group, SecureRng& rng) {
+  OnionRelay r;
+  r.identity = DhKeyPair::Generate(group, rng);
+  return r;
+}
+
+Bytes OnionRelay::PeelForward(const Group& group, const BigInt& circuit_ephemeral,
+                              uint64_t cell_id, const Bytes& cell) const {
+  Bytes key = OnionHopKey(group, DhSharedElement(group, identity.priv, circuit_ephemeral));
+  return ApplyStream(key, cell_id, /*reply=*/false, cell);
+}
+
+Bytes OnionRelay::WrapReply(const Group& group, const BigInt& circuit_ephemeral,
+                            uint64_t cell_id, const Bytes& cell) const {
+  Bytes key = OnionHopKey(group, DhSharedElement(group, identity.priv, circuit_ephemeral));
+  return ApplyStream(key, cell_id, /*reply=*/true, cell);
+}
+
+OnionCircuit::OnionCircuit(const Group& group, const std::vector<BigInt>& relay_pubs,
+                           SecureRng& rng)
+    : group_(group) {
+  ephemeral_ = DhKeyPair::Generate(group, rng);
+  hop_keys_.reserve(relay_pubs.size());
+  for (const BigInt& pub : relay_pubs) {
+    hop_keys_.push_back(OnionHopKey(group, DhSharedElement(group, ephemeral_.priv, pub)));
+  }
+}
+
+Bytes OnionCircuit::WrapForward(uint64_t cell_id, const Bytes& payload) const {
+  // Innermost layer = last relay; relay 0 peels the outermost first.
+  Bytes cell = payload;
+  for (size_t hop = hop_keys_.size(); hop-- > 0;) {
+    cell = ApplyStream(hop_keys_[hop], cell_id, /*reply=*/false, cell);
+  }
+  return cell;
+}
+
+Bytes OnionCircuit::UnwrapReply(uint64_t cell_id, const Bytes& cell) const {
+  // Replies are wrapped relay 0 first (closest to client last to touch it).
+  Bytes out = cell;
+  for (size_t hop = 0; hop < hop_keys_.size(); ++hop) {
+    out = ApplyStream(hop_keys_[hop], cell_id, /*reply=*/true, out);
+  }
+  return out;
+}
+
+}  // namespace dissent

@@ -1,0 +1,55 @@
+// Minimal Tor-like onion-routing substrate (§5.4 comparison baseline).
+//
+// A client builds a 3-hop circuit by DH key agreement with each relay, then
+// wraps cells in nested ChaCha20 layers. Each relay strips one layer. This
+// gives the browsing benchmark a real onion data plane (with tests for
+// layering and confidentiality) plus the latency/bandwidth character the
+// Fig 10/11 channel model needs.
+#ifndef DISSENT_BASELINE_ONION_H_
+#define DISSENT_BASELINE_ONION_H_
+
+#include <vector>
+
+#include "src/crypto/dh.h"
+#include "src/crypto/group.h"
+
+namespace dissent {
+
+struct OnionRelay {
+  DhKeyPair identity;
+
+  static OnionRelay Create(const Group& group, SecureRng& rng);
+  // Strips one layer off a forward cell given the circuit ephemeral key.
+  Bytes PeelForward(const Group& group, const BigInt& circuit_ephemeral, uint64_t cell_id,
+                    const Bytes& cell) const;
+  // Adds its layer onto a reply cell.
+  Bytes WrapReply(const Group& group, const BigInt& circuit_ephemeral, uint64_t cell_id,
+                  const Bytes& cell) const;
+};
+
+class OnionCircuit {
+ public:
+  // Client side: one ephemeral DH key for the circuit, shared with each
+  // relay's long-term key (a simplification of Tor's telescoping ntor).
+  OnionCircuit(const Group& group, const std::vector<BigInt>& relay_pubs, SecureRng& rng);
+
+  const BigInt& ephemeral_pub() const { return ephemeral_.pub; }
+  size_t hops() const { return hop_keys_.size(); }
+
+  // Client encrypts innermost-last so relay 0 peels first.
+  Bytes WrapForward(uint64_t cell_id, const Bytes& payload) const;
+  // Client removes all layers from a reply.
+  Bytes UnwrapReply(uint64_t cell_id, const Bytes& cell) const;
+
+ private:
+  const Group& group_;
+  DhKeyPair ephemeral_;
+  std::vector<Bytes> hop_keys_;
+};
+
+// Per-hop stream key derivation shared by both ends.
+Bytes OnionHopKey(const Group& group, const BigInt& shared_element);
+
+}  // namespace dissent
+
+#endif  // DISSENT_BASELINE_ONION_H_

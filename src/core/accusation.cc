@@ -1,0 +1,108 @@
+#include "src/core/accusation.h"
+
+#include "src/core/dcnet.h"
+#include "src/crypto/dh.h"
+
+namespace dissent {
+
+bool ValidateAccusation(const GroupDef& def, const std::vector<BigInt>& pseudonym_keys,
+                        const SignedAccusation& acc, const Bytes& round_cleartext,
+                        size_t slot_offset_bits, size_t slot_len_bits) {
+  const Accusation& a = acc.accusation;
+  if (a.slot >= pseudonym_keys.size()) {
+    return false;
+  }
+  if (!SchnorrVerify(*def.group, pseudonym_keys[a.slot], a.Canonical(), acc.signature)) {
+    return false;
+  }
+  if (a.bit_index < slot_offset_bits || a.bit_index >= slot_offset_bits + slot_len_bits) {
+    return false;  // accused bit outside the accuser's own slot
+  }
+  if (a.bit_index >= round_cleartext.size() * 8) {
+    return false;
+  }
+  // The witness bit must have come out as 1 (the victim sent 0).
+  return GetBit(round_cleartext, a.bit_index);
+}
+
+TraceVerdict TraceDisruptor(const GroupDef& def, const TraceInputs& in) {
+  TraceVerdict verdict;
+  const size_t num_servers = def.num_servers();
+
+  // Case (a): a server failed to reveal the ciphertext bits of clients it
+  // owned after trimming.
+  for (size_t j = 0; j < num_servers; ++j) {
+    for (uint32_t i : in.own_shares[j]) {
+      if (in.client_ct_bits.find(i) == in.client_ct_bits.end()) {
+        verdict.kind = TraceVerdict::Kind::kServerExposed;
+        verdict.culprit = j;
+        return verdict;
+      }
+    }
+  }
+
+  // Case (b): server ciphertext bit inconsistent with its own claims:
+  // s_j[k] ?= XOR_{i in l} s_ij[k]  XOR  XOR_{i in l'_j} c_i[k].
+  for (size_t j = 0; j < num_servers; ++j) {
+    bool expect = false;
+    for (uint32_t i : in.composite_list) {
+      auto it = in.pad_bits[j].find(i);
+      if (it == in.pad_bits[j].end()) {
+        verdict.kind = TraceVerdict::Kind::kServerExposed;  // withheld pad bit
+        verdict.culprit = j;
+        return verdict;
+      }
+      expect ^= it->second;
+    }
+    for (uint32_t i : in.own_shares[j]) {
+      expect ^= in.client_ct_bits.at(i);
+    }
+    if (expect != in.server_ct_bits[j]) {
+      verdict.kind = TraceVerdict::Kind::kServerExposed;
+      verdict.culprit = j;
+      return verdict;
+    }
+  }
+
+  // Case (c): client ciphertext bit inconsistent with the pads the servers
+  // published: c_i[k] ?= XOR_j s_ij[k]. (The victim's message bit at the
+  // witness position is 0 by definition, so honest clients all balance.)
+  for (uint32_t i : in.composite_list) {
+    bool expect = false;
+    for (size_t j = 0; j < num_servers; ++j) {
+      expect ^= in.pad_bits[j].at(i);
+    }
+    if (expect != in.client_ct_bits.at(i)) {
+      verdict.kind = TraceVerdict::Kind::kClientAccused;
+      verdict.culprit = i;
+      return verdict;
+    }
+  }
+  return verdict;  // inconclusive
+}
+
+RebuttalVerdict EvaluateRebuttal(const GroupDef& def, const Rebuttal& rebuttal, uint64_t round,
+                                 size_t bit_index, bool server_claimed_pad_bit) {
+  RebuttalVerdict verdict;
+  const Group& g = *def.group;
+  if (rebuttal.client_index >= def.num_clients() ||
+      rebuttal.server_index >= def.num_servers()) {
+    return verdict;
+  }
+  // The revealed element must satisfy
+  //   log_g(client_pub) == log_{server_pub}(shared_element),
+  // which pins it to g^{x_client * x_server} — exactly the DH secret both
+  // sides derive K_ij from.
+  if (!DleqVerify(g, g.g(), def.client_pubs[rebuttal.client_index],
+                  def.server_pubs[rebuttal.server_index], rebuttal.shared_element,
+                  rebuttal.proof)) {
+    return verdict;
+  }
+  verdict.valid_proof = true;
+  Bytes true_key = DeriveKeyFromElement(g, rebuttal.shared_element, "dissent.dcnet");
+  bool true_bit = DcnetPadBit(true_key, round, bit_index);
+  verdict.server_lied = (true_bit != server_claimed_pad_bit);
+  return verdict;
+}
+
+}  // namespace dissent

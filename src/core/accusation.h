@@ -1,0 +1,69 @@
+// Accusation validation and disruptor tracing (§3.9).
+//
+// After a victim's signed accusation arrives (via the accusation shuffle),
+// the servers reveal every PRNG bit that contributed to the accused bit
+// position and look for the party whose XOR doesn't balance:
+//   (a) a server that cannot produce the client ciphertext bits it claimed,
+//   (b) a server whose published ciphertext bit s_j[k] mismatches its own
+//       pads + received client bits             -> server exposed,
+//   (c) a client whose ciphertext bit c_i[k] mismatches the XOR of the
+//       server-published pad bits               -> client must rebut:
+//       a valid rebuttal (proving a server lied about s_ij[k]) exposes the
+//       server; otherwise the client is the disruptor.
+#ifndef DISSENT_CORE_ACCUSATION_H_
+#define DISSENT_CORE_ACCUSATION_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/accusation_types.h"
+#include "src/core/group_def.h"
+
+namespace dissent {
+
+// Validates the accusation itself: pseudonym signature, the accused bit lies
+// inside the accuser's slot, and the bit is indeed 1 in the round output.
+// `slot_offset_bits`/`slot_len_bits` describe the slot's region in the
+// accused round's cleartext (from the schedule history).
+bool ValidateAccusation(const GroupDef& def, const std::vector<BigInt>& pseudonym_keys,
+                        const SignedAccusation& acc, const Bytes& round_cleartext,
+                        size_t slot_offset_bits, size_t slot_len_bits);
+
+// Everything the tracing computation consumes, gathered by the driver from
+// the servers' retained evidence.
+struct TraceInputs {
+  uint64_t round = 0;
+  size_t bit_index = 0;
+  std::vector<uint32_t> composite_list;            // l
+  std::vector<std::vector<uint32_t>> own_shares;   // l'_j per server
+  std::map<uint32_t, bool> client_ct_bits;         // c_i[k], i in l
+  std::vector<bool> server_ct_bits;                // s_j[k] as published
+  std::vector<std::map<uint32_t, bool>> pad_bits;  // s_ij[k] per server j
+};
+
+struct TraceVerdict {
+  enum class Kind {
+    kInconclusive,     // accusation checked out but all bits balance (e.g.
+                       // evidence expired) — nothing to expel
+    kServerExposed,    // case (a)/(b): culprit = server index
+    kClientAccused,    // case (c): culprit = client index, rebuttal pending
+  };
+  Kind kind = Kind::kInconclusive;
+  size_t culprit = 0;
+};
+
+TraceVerdict TraceDisruptor(const GroupDef& def, const TraceInputs& inputs);
+
+// Evaluates a client's rebuttal against the pad bit server j published.
+// Returns the party that stands exposed after the rebuttal.
+struct RebuttalVerdict {
+  bool valid_proof = false;
+  bool server_lied = false;  // meaningful when valid_proof
+};
+RebuttalVerdict EvaluateRebuttal(const GroupDef& def, const Rebuttal& rebuttal, uint64_t round,
+                                 size_t bit_index, bool server_claimed_pad_bit);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_ACCUSATION_H_

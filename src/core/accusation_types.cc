@@ -1,0 +1,42 @@
+#include "src/core/accusation_types.h"
+
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+Bytes Accusation::Canonical() const {
+  Writer w;
+  w.Str("dissent.accusation.v1");
+  w.U64(round);
+  w.U32(slot);
+  w.U64(bit_index);
+  return w.Take();
+}
+
+Bytes SignedAccusation::Serialize(const Group& group) const {
+  Writer w;
+  w.U64(accusation.round);
+  w.U32(accusation.slot);
+  w.U64(accusation.bit_index);
+  w.Blob(signature.Serialize(group));
+  return w.Take();
+}
+
+std::optional<SignedAccusation> SignedAccusation::Deserialize(const Group& group,
+                                                              const Bytes& data) {
+  Reader r(data);
+  SignedAccusation out;
+  Bytes sig_bytes;
+  if (!r.U64(&out.accusation.round) || !r.U32(&out.accusation.slot) ||
+      !r.U64(&out.accusation.bit_index) || !r.Blob(&sig_bytes) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  auto sig = SchnorrSignature::Deserialize(group, sig_bytes);
+  if (!sig.has_value()) {
+    return std::nullopt;
+  }
+  out.signature = *sig;
+  return out;
+}
+
+}  // namespace dissent

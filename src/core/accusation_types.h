@@ -1,0 +1,44 @@
+// Shared accusation data types (§3.9): the signed accusation a disruption
+// victim transmits through the accusation shuffle, and the rebuttal a client
+// uses to expose an equivocating server.
+#ifndef DISSENT_CORE_ACCUSATION_TYPES_H_
+#define DISSENT_CORE_ACCUSATION_TYPES_H_
+
+#include <cstdint>
+
+#include "src/crypto/chaum_pedersen.h"
+#include "src/crypto/schnorr.h"
+
+namespace dissent {
+
+struct Accusation {
+  uint64_t round = 0;
+  uint32_t slot = 0;
+  // Global bit index (within the round cleartext) of a bit the victim sent
+  // as 0 that came out 1.
+  uint64_t bit_index = 0;
+
+  Bytes Canonical() const;  // bytes that get signed
+};
+
+struct SignedAccusation {
+  Accusation accusation;
+  SchnorrSignature signature;  // under the slot's pseudonym key
+
+  Bytes Serialize(const Group& group) const;
+  static std::optional<SignedAccusation> Deserialize(const Group& group, const Bytes& data);
+};
+
+// A client's answer when tracing shows its ciphertext bit inconsistent with
+// the server-published pad bits: it names the equivocating server and
+// reveals their shared DH element, proven with Chaum-Pedersen.
+struct Rebuttal {
+  uint32_t client_index = 0;
+  uint32_t server_index = 0;
+  BigInt shared_element;  // g^{x_i * x_j}
+  DleqProof proof;        // log_g(client_pub) == log_{server_pub}(shared_element)
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_ACCUSATION_TYPES_H_

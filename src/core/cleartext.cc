@@ -1,0 +1,96 @@
+#include "src/core/cleartext.h"
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+namespace {
+constexpr size_t kSeedBytes = 16;
+constexpr uint32_t kMagic = 0xd155e27a;
+
+// Expands the 16-byte slot seed into a mask keyed for this purpose only.
+Bytes MaskFor(const Bytes& seed, size_t len) {
+  Writer w;
+  w.Str("dissent.slot.mask");
+  w.Blob(seed);
+  Bytes key = Sha256::Hash(w.data());
+  Bytes nonce(12, 0x5f);
+  ChaCha20Stream stream(key, nonce);
+  return stream.Generate(len);
+}
+}  // namespace
+
+size_t SlotOverheadBytes() {
+  // seed + magic + next_length + shuffle_request + payload_len
+  return kSeedBytes + 4 + 4 + 2 + 4;
+}
+
+size_t SlotPayloadCapacity(size_t slot_length) {
+  size_t overhead = SlotOverheadBytes();
+  return slot_length >= overhead ? slot_length - overhead : 0;
+}
+
+std::optional<Bytes> EncodeSlot(const SlotPayload& p, size_t slot_length, SecureRng& rng) {
+  if (p.payload.size() > SlotPayloadCapacity(slot_length)) {
+    return std::nullopt;
+  }
+  Writer body;
+  body.U32(kMagic);
+  body.U32(p.next_length);
+  body.U16(p.shuffle_request);
+  body.U32(static_cast<uint32_t>(p.payload.size()));
+  body.Raw(p.payload);
+  Bytes body_bytes = body.Take();
+  body_bytes.resize(slot_length - kSeedBytes, 0);  // zero fill
+
+  Bytes seed = rng.RandomBytes(kSeedBytes);
+  Bytes mask = MaskFor(seed, body_bytes.size());
+  XorInto(body_bytes, mask);
+
+  Bytes out;
+  out.reserve(slot_length);
+  out.insert(out.end(), seed.begin(), seed.end());
+  out.insert(out.end(), body_bytes.begin(), body_bytes.end());
+  return out;
+}
+
+std::optional<SlotPayload> DecodeSlot(const Bytes& region) {
+  if (region.size() < SlotOverheadBytes()) {
+    return std::nullopt;
+  }
+  Bytes seed(region.begin(), region.begin() + kSeedBytes);
+  Bytes body(region.begin() + kSeedBytes, region.end());
+  Bytes mask = MaskFor(seed, body.size());
+  XorInto(body, mask);
+
+  Reader r(body);
+  uint32_t magic, next_length, payload_len;
+  uint16_t shuffle_request;
+  if (!r.U32(&magic) || magic != kMagic) {
+    return std::nullopt;
+  }
+  if (!r.U32(&next_length) || !r.U16(&shuffle_request) || !r.U32(&payload_len)) {
+    return std::nullopt;
+  }
+  if (payload_len > r.remaining()) {
+    return std::nullopt;
+  }
+  SlotPayload p;
+  p.next_length = next_length;
+  p.shuffle_request = shuffle_request;
+  if (!r.Raw(payload_len, &p.payload)) {
+    return std::nullopt;
+  }
+  // Remaining bytes must be the zero fill — anything else is corruption.
+  while (r.remaining() > 0) {
+    uint8_t b;
+    if (!r.U8(&b) || b != 0) {
+      return std::nullopt;
+    }
+  }
+  return p;
+}
+
+}  // namespace dissent

@@ -1,0 +1,186 @@
+#include "src/core/client.h"
+
+#include <cassert>
+
+#include "src/core/dcnet.h"
+#include "src/core/output_cert.h"
+#include "src/crypto/dh.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+DissentClient::DissentClient(const GroupDef& def, size_t client_index,
+                             const BigInt& long_term_priv, SecureRng rng)
+    : def_(def),
+      index_(client_index),
+      priv_(long_term_priv),
+      rng_(std::move(rng)),
+      schedule_(def.num_clients(), def.policy.default_slot_length) {
+  const Group& g = *def_.group;
+  server_keys_.reserve(def_.num_servers());
+  dh_elements_.reserve(def_.num_servers());
+  for (const BigInt& server_pub : def_.server_pubs) {
+    server_keys_.push_back(DeriveSharedKey(g, priv_, server_pub, "dissent.dcnet"));
+    dh_elements_.push_back(DhSharedElement(g, priv_, server_pub));
+  }
+  pseudonym_ = SchnorrKeyPair::Generate(g, rng_);
+}
+
+void DissentClient::AssignSlot(size_t slot_index, size_t num_slots) {
+  slot_ = slot_index;
+  schedule_ = SlotSchedule(num_slots, def_.policy.default_slot_length);
+}
+
+void DissentClient::QueueMessage(Bytes payload) {
+  outbox_.push_back(std::move(payload));
+  want_open_ = true;
+}
+
+Bytes DissentClient::BuildOwnSlotRegion(uint64_t round, size_t slot_len) {
+  SlotPayload p;
+  if (!outbox_.empty()) {
+    size_t cap = SlotPayloadCapacity(slot_len);
+    const Bytes& next = outbox_.front();
+    if (next.size() <= cap) {
+      p.payload = next;
+      outbox_.pop_front();
+    } else {
+      // Message larger than the slot: ask for a bigger slot next round and
+      // send nothing yet.
+      p.next_length = static_cast<uint32_t>(next.size() + SlotOverheadBytes());
+    }
+  }
+  if (p.next_length == 0) {
+    if (!outbox_.empty()) {
+      p.next_length =
+          static_cast<uint32_t>(std::max<size_t>(def_.policy.default_slot_length,
+                                                 outbox_.front().size() + SlotOverheadBytes()));
+    } else if (pending_accusation_.has_value()) {
+      p.next_length = def_.policy.default_slot_length;  // keep open for the shuffle request
+    } else {
+      p.next_length = 0;  // close
+    }
+  }
+  if (pending_accusation_.has_value()) {
+    // Nonzero k-bit shuffle request signals the servers (§3.9). Random value
+    // so a disruptor cancels it with probability only 2^-k.
+    uint32_t mask = (1u << def_.policy.shuffle_request_bits) - 1;
+    do {
+      accusation_request_code_ = static_cast<uint16_t>(rng_.RandomU64() & mask);
+    } while (accusation_request_code_ == 0);
+    p.shuffle_request = accusation_request_code_;
+  }
+  auto region = EncodeSlot(p, slot_len, rng_);
+  assert(region.has_value());
+  if (!outbox_.empty() || pending_accusation_.has_value()) {
+    want_open_ = true;
+  } else {
+    want_open_ = false;
+  }
+  return *region;
+}
+
+Bytes DissentClient::BuildCiphertext(uint64_t round) {
+  Bytes cleartext(schedule_.TotalLength(), 0);
+  if (slot_.has_value()) {
+    size_t s = *slot_;
+    if (schedule_.is_open(s)) {
+      Bytes region = BuildOwnSlotRegion(round, schedule_.slot_length(s));
+      std::copy(region.begin(), region.end(), cleartext.begin() + schedule_.SlotOffset(s));
+      requested_last_round_ = false;
+    } else if (want_open_ || !outbox_.empty() || pending_accusation_.has_value()) {
+      // Request-bit protocol (§3.8): set unconditionally the first time, then
+      // randomize so a squatting disruptor cannot cancel us forever.
+      bool set_bit = !requested_last_round_ || rng_.RandomU64() % 2 == 0;
+      if (set_bit) {
+        SetBit(cleartext, *slot_, true);
+      }
+      requested_last_round_ = true;
+    }
+  }
+  last_sent_cleartext_ = cleartext;
+  last_sent_round_ = round;
+  return BuildClientCiphertext(server_keys_, round, cleartext);
+}
+
+DissentClient::OutputResult DissentClient::ProcessOutput(
+    uint64_t round, const Bytes& cleartext, const std::vector<SchnorrSignature>& server_sigs) {
+  OutputResult result;
+  result.signatures_ok =
+      VerifyOutputCertificate(def_, round, cleartext, server_sigs);
+  if (!result.signatures_ok) {
+    return result;
+  }
+
+  // Witness-bit scan (§3.9): any bit we sent as 0 that came out as 1 inside
+  // our own slot region, when the decoded region differs from what we sent.
+  if (slot_.has_value() && round == last_sent_round_ && schedule_.is_open(*slot_)) {
+    size_t off = schedule_.SlotOffset(*slot_) * 8;
+    size_t len_bits = schedule_.slot_length(*slot_) * 8;
+    Bytes sent_region = schedule_.ExtractSlot(last_sent_cleartext_, *slot_);
+    Bytes got_region = schedule_.ExtractSlot(cleartext, *slot_);
+    if (sent_region != got_region) {
+      result.own_slot_disrupted = true;
+      for (size_t b = 0; b < len_bits; ++b) {
+        if (!GetBit(sent_region, b) && GetBit(got_region, b)) {
+          Accusation acc;
+          acc.round = round;
+          acc.slot = static_cast<uint32_t>(*slot_);
+          acc.bit_index = off + b;
+          SignedAccusation signed_acc;
+          signed_acc.accusation = acc;
+          signed_acc.signature =
+              SchnorrSign(*def_.group, pseudonym_.priv, acc.Canonical(), rng_);
+          pending_accusation_ = signed_acc;
+          break;
+        }
+      }
+    }
+  }
+
+  // Extract everyone's messages.
+  for (size_t s = 0; s < schedule_.num_slots(); ++s) {
+    if (!schedule_.is_open(s)) {
+      continue;
+    }
+    auto payload = DecodeSlot(schedule_.ExtractSlot(cleartext, s));
+    if (payload.has_value() && !payload->payload.empty()) {
+      result.messages.emplace_back(s, payload->payload);
+    }
+  }
+
+  schedule_.Advance(cleartext);
+  return result;
+}
+
+void DissentClient::CatchUp(uint64_t round, const Bytes& cleartext) {
+  schedule_.Advance(cleartext);
+}
+
+std::optional<SignedAccusation> DissentClient::TakeAccusation() {
+  auto acc = pending_accusation_;
+  pending_accusation_.reset();
+  return acc;
+}
+
+Rebuttal DissentClient::BuildRebuttal(size_t server_index) const {
+  Rebuttal r;
+  r.client_index = static_cast<uint32_t>(index_);
+  r.server_index = static_cast<uint32_t>(server_index);
+  r.shared_element = dh_elements_[server_index];
+  // Prove log_g(client_pub) == log_{server_pub}(shared_element); witness is
+  // our long-term private key. The prover nonce is derived deterministically
+  // from the key and statement (RFC 6979 style), which keeps this method
+  // const and makes rebuttals reproducible.
+  Writer w;
+  w.Str("dissent.rebuttal.nonce");
+  w.Blob(def_.group->ScalarToBytes(priv_));
+  w.U32(r.server_index);
+  SecureRng prover_rng(Sha256::Hash(w.data()));
+  r.proof = DleqProve(*def_.group, def_.group->g(), def_.client_pubs[index_],
+                      def_.server_pubs[server_index], r.shared_element, priv_, prover_rng);
+  return r;
+}
+
+}  // namespace dissent

@@ -1,0 +1,101 @@
+// Dissent client (Algorithm 1).
+//
+// Pure protocol logic, no I/O: the caller (an in-process coordinator, the
+// networked node wrapper, or a test) drives it round by round. The client:
+//  * derives one shared secret per *server* (anytrust secret-sharing graph,
+//    §3.4) — never per client pair,
+//  * builds one ciphertext per round: XOR of M server pads plus its own slot
+//    content (§3.3, Algorithm 1 step 2),
+//  * verifies the all-server signature set on each round output (step 3),
+//  * detects disruption of its own slot, finds a witness bit, and produces a
+//    pseudonym-signed accusation (§3.9),
+//  * applies the randomized request-bit retry of §3.8.
+#ifndef DISSENT_CORE_CLIENT_H_
+#define DISSENT_CORE_CLIENT_H_
+
+#include <deque>
+#include <optional>
+
+#include "src/core/accusation_types.h"
+#include "src/core/group_def.h"
+#include "src/core/slot_schedule.h"
+#include "src/crypto/schnorr.h"
+
+namespace dissent {
+
+class DissentClient {
+ public:
+  DissentClient(const GroupDef& def, size_t client_index, const BigInt& long_term_priv,
+                SecureRng rng);
+
+  // --- scheduling (§3.10) ---
+  // Fresh pseudonym key submitted to the key shuffle.
+  const SchnorrKeyPair& pseudonym() const { return pseudonym_; }
+  // Called once the shuffle output is known: the position of our pseudonym
+  // public key in the shuffled list is our slot.
+  void AssignSlot(size_t slot_index, size_t num_slots);
+  std::optional<size_t> slot() const { return slot_; }
+
+  // --- application interface ---
+  void QueueMessage(Bytes payload);
+  size_t PendingMessages() const { return outbox_.size(); }
+
+  // --- Algorithm 1 ---
+  // Step 2: ciphertext for round r (remembers the cleartext for witness
+  // detection). Must be called exactly once per round the client is online.
+  Bytes BuildCiphertext(uint64_t round);
+
+  struct OutputResult {
+    bool signatures_ok = false;
+    bool own_slot_disrupted = false;
+    // Decoded payloads of all valid open slots this round (slot -> payload).
+    std::vector<std::pair<size_t, Bytes>> messages;
+  };
+  // Step 3: verify and ingest a round output; advances the slot schedule.
+  OutputResult ProcessOutput(uint64_t round, const Bytes& cleartext,
+                             const std::vector<SchnorrSignature>& server_sigs);
+
+  // Skip a round the client missed entirely (offline): keeps the schedule in
+  // sync using the signed output it fetches on reconnect.
+  void CatchUp(uint64_t round, const Bytes& cleartext);
+
+  // --- accusation (§3.9) ---
+  bool HasPendingAccusation() const { return pending_accusation_.has_value(); }
+  // The signed accusation to submit via the accusation shuffle.
+  std::optional<SignedAccusation> TakeAccusation();
+
+  // Rebuttal (§3.9 final case): reveal the shared-secret element with server
+  // `server_index` plus a DLEQ proof of its correctness.
+  Rebuttal BuildRebuttal(size_t server_index) const;
+
+  const SlotSchedule& schedule() const { return schedule_; }
+  size_t index() const { return index_; }
+  // The per-server DC-net secrets (exposed for tests only).
+  const std::vector<Bytes>& server_keys() const { return server_keys_; }
+
+ private:
+  // What to place in our slot this round, if it is open.
+  Bytes BuildOwnSlotRegion(uint64_t round, size_t slot_len);
+
+  const GroupDef& def_;
+  size_t index_;
+  BigInt priv_;
+  SecureRng rng_;
+  std::vector<Bytes> server_keys_;     // K_ij per server j
+  std::vector<BigInt> dh_elements_;    // g^{x_i x_j} (for rebuttals)
+  SchnorrKeyPair pseudonym_;
+  std::optional<size_t> slot_;
+  SlotSchedule schedule_;
+
+  std::deque<Bytes> outbox_;
+  bool want_open_ = false;
+  bool requested_last_round_ = false;
+  Bytes last_sent_cleartext_;
+  uint64_t last_sent_round_ = ~0ull;
+  std::optional<SignedAccusation> pending_accusation_;
+  uint16_t accusation_request_code_ = 0;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_CLIENT_H_

@@ -1,0 +1,127 @@
+// In-process reference driver for the full Dissent protocol.
+//
+// Runs the real thing — real crypto, real DC-net byte planes — with all
+// clients and servers as in-memory objects and the message exchange replaced
+// by direct calls. This is the configuration behind the integration tests,
+// the examples, and the Fig 9 whole-protocol bench. (The discrete-event
+// performance model in src/simmodel reproduces the latency figures; the
+// networked wrapper in src/core/net_protocol.h runs this logic over the
+// simulated network.)
+//
+// Adversarial hooks let tests inject exactly the misbehaviour §3.9 defends
+// against: a client flipping bits in a victim's slot, a server equivocating
+// on its commitment, and a server lying during trace pad-bit disclosure.
+#ifndef DISSENT_CORE_COORDINATOR_H_
+#define DISSENT_CORE_COORDINATOR_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "src/core/accusation.h"
+#include "src/core/client.h"
+#include "src/core/key_shuffle.h"
+#include "src/core/server.h"
+
+namespace dissent {
+
+class Coordinator {
+ public:
+  Coordinator(GroupDef def, std::vector<BigInt> server_privs, std::vector<BigInt> client_privs,
+              uint64_t seed);
+
+  DissentClient& client(size_t i) { return *clients_[i]; }
+  DissentServer& server(size_t j) { return *servers_[j]; }
+  const GroupDef& def() const { return def_; }
+
+  // --- scheduling (§3.10) ---
+  // Runs the verifiable key shuffle, verifies the cascade everywhere, and
+  // assigns slots. Returns false if any proof fails.
+  bool RunScheduling();
+  const std::vector<BigInt>& pseudonym_keys() const { return pseudonym_keys_; }
+
+  // --- round execution ---
+  void SetClientOnline(size_t i, bool online);
+  bool IsClientOnline(size_t i) const { return online_[i]; }
+
+  struct RoundOutcome {
+    uint64_t round = 0;
+    bool completed = false;
+    bool below_alpha = false;   // §3.7 threshold would have stalled the round
+    size_t participation = 0;
+    Bytes cleartext;
+    // Slot -> payload for every readable message this round.
+    std::vector<std::pair<size_t, Bytes>> messages;
+    bool accusation_requested = false;
+    std::optional<size_t> equivocating_server;
+  };
+  RoundOutcome RunRound();
+  uint64_t rounds_completed() const { return next_round_ - 1; }
+  size_t last_participation() const { return last_participation_; }
+
+  // --- accusation pipeline (§3.9) ---
+  struct AccusationOutcome {
+    bool shuffle_ran = false;
+    bool accusation_found = false;
+    bool accusation_valid = false;
+    TraceVerdict verdict;
+    // Final expulsion after any rebuttal.
+    std::optional<size_t> expelled_client;
+    std::optional<size_t> expelled_server;
+    // Wall-clock phase breakdown (Fig 9 reports these separately).
+    double shuffle_seconds = 0;  // accusation (blame) shuffle + verification
+    double trace_seconds = 0;    // validation, bit tracing, rebuttal
+  };
+  AccusationOutcome RunAccusationPhase();
+
+  const std::set<size_t>& expelled_clients() const { return expelled_clients_; }
+
+  // --- adversarial hooks (tests/benches) ---
+  // Client `disruptor` XORs a 1 into `bit` of its DC-net ciphertext each
+  // round (anonymously corrupting whoever owns that bit position).
+  void InjectDisruptor(size_t disruptor, size_t bit);
+  void ClearDisruptor() { disruptor_.reset(); }
+  // Server flips a bit of its ciphertext after committing (equivocation).
+  void InjectEquivocatingServer(size_t server_index);
+  // Server lies about one client's pad bit during accusation tracing.
+  void InjectTraceLiar(size_t server_index, size_t about_client);
+
+ private:
+  struct RoundRecord {
+    Bytes cleartext;
+  };
+
+  // Bit span (offset, length) of `slot` in the retained round's cleartext,
+  // recovered by replaying the deterministic schedule over the history.
+  std::optional<std::pair<size_t, size_t>> SlotSpanAtRound(uint64_t round, size_t slot);
+
+  GroupDef def_;
+  SecureRng rng_;
+  std::vector<BigInt> server_privs_;
+  std::vector<std::unique_ptr<DissentClient>> clients_;
+  std::vector<std::unique_ptr<DissentServer>> servers_;
+  std::vector<bool> online_;
+  std::vector<uint64_t> last_seen_round_;
+  std::vector<BigInt> pseudonym_keys_;
+  std::vector<size_t> slot_of_client_;
+  uint64_t next_round_ = 1;
+  size_t last_participation_ = 0;
+  std::map<uint64_t, RoundRecord> history_;
+  std::set<size_t> expelled_clients_;
+
+  struct DisruptorHook {
+    size_t client;
+    size_t bit;
+  };
+  std::optional<DisruptorHook> disruptor_;
+  std::optional<size_t> equivocator_;
+  struct TraceLiarHook {
+    size_t server;
+    size_t client;
+  };
+  std::optional<TraceLiarHook> trace_liar_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_COORDINATOR_H_

@@ -1,0 +1,76 @@
+#include "src/core/dcnet.h"
+
+#include <cassert>
+#include <thread>
+
+#include "src/crypto/chacha20.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+namespace {
+Bytes RoundNonce(uint64_t round) {
+  Bytes nonce(12, 0);
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<uint8_t>(round >> (8 * i));
+  }
+  nonce[8] = 'd';  // domain tag: dcnet pads
+  nonce[9] = 'c';
+  return nonce;
+}
+}  // namespace
+
+Bytes DcnetPad(const Bytes& shared_key, uint64_t round, size_t len) {
+  ChaCha20Stream stream(shared_key, RoundNonce(round));
+  return stream.Generate(len);
+}
+
+void XorDcnetPad(const Bytes& shared_key, uint64_t round, Bytes& inout) {
+  ChaCha20Stream stream(shared_key, RoundNonce(round));
+  stream.XorStream(inout, 0, inout.size());
+}
+
+Bytes BuildClientCiphertext(const std::vector<Bytes>& server_keys, uint64_t round,
+                            const Bytes& cleartext) {
+  Bytes ct = cleartext;
+  for (const Bytes& key : server_keys) {
+    XorDcnetPad(key, round, ct);
+  }
+  return ct;
+}
+
+bool DcnetPadBit(const Bytes& shared_key, uint64_t round, size_t bit_index) {
+  ChaCha20Stream stream(shared_key, RoundNonce(round));
+  Bytes prefix = stream.Generate(bit_index / 8 + 1);
+  return GetBit(prefix, bit_index);
+}
+
+void XorDcnetPadsParallel(const std::vector<const Bytes*>& shared_keys, uint64_t round,
+                          Bytes& inout, size_t num_threads) {
+  if (num_threads <= 1 || shared_keys.size() < 2 * num_threads) {
+    for (const Bytes* key : shared_keys) {
+      XorDcnetPad(*key, round, inout);
+    }
+    return;
+  }
+  // Each worker accumulates its share of clients into a private buffer; the
+  // buffers fold together at the end (one XOR pass per worker).
+  std::vector<Bytes> partial(num_threads, Bytes(inout.size(), 0));
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (size_t i = w; i < shared_keys.size(); i += num_threads) {
+        XorDcnetPad(*shared_keys[i], round, partial[w]);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  for (const Bytes& p : partial) {
+    XorInto(inout, p);
+  }
+}
+
+}  // namespace dissent

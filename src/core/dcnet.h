@@ -1,0 +1,48 @@
+// DC-net pad plane (§3.3-3.4): expansion of the pairwise client/server
+// secrets K_ij into per-round pseudo-random strings, and the XOR algebra of
+// ciphertext formation.
+//
+// Invariant (tested exhaustively in tests/core/dcnet_test.cc): for any client
+// subset L,
+//   XOR_{i in L} c_i  XOR  XOR_j s_j  ==  XOR_{i in L} m_i
+// where c_i = m_i ^ PAD(i,0) ^ ... ^ PAD(i,M-1) and server j's ciphertext
+// s_j = XOR_{i in L} PAD(i,j) ^ (client ciphertexts j received directly) —
+// every pad appears exactly twice and cancels.
+#ifndef DISSENT_CORE_DCNET_H_
+#define DISSENT_CORE_DCNET_H_
+
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+// Expands the 32-byte pairwise secret into `len` pad bytes for `round`.
+// Deterministic; both endpoints of the pair produce identical bytes.
+Bytes DcnetPad(const Bytes& shared_key, uint64_t round, size_t len);
+
+// XORs the round pad directly into an existing buffer (server hot path —
+// avoids materializing per-client pads).
+void XorDcnetPad(const Bytes& shared_key, uint64_t round, Bytes& inout);
+
+// Client side (Algorithm 1 step 2): cleartext XOR all M server pads.
+// `cleartext` must be the full round-cleartext length; silent clients pass
+// all zeros.
+Bytes BuildClientCiphertext(const std::vector<Bytes>& server_keys, uint64_t round,
+                            const Bytes& cleartext);
+
+// Extracts one pad bit (for accusation tracing, §3.9) without materializing
+// the whole pad.
+bool DcnetPadBit(const Bytes& shared_key, uint64_t round, size_t bit_index);
+
+// Server side (Algorithm 2 step 3): XORs the pads for many clients into
+// `inout`, fanning the PRNG expansion across `num_threads` workers. §3.4:
+// "these computations are parallelizable, and Dissent assumes that the
+// servers are provisioned with enough computing capacity". XOR commutes, so
+// the result is bit-identical to the serial loop.
+void XorDcnetPadsParallel(const std::vector<const Bytes*>& shared_keys, uint64_t round,
+                          Bytes& inout, size_t num_threads);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_DCNET_H_

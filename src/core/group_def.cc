@@ -1,0 +1,51 @@
+#include "src/core/group_def.h"
+
+#include "src/crypto/dh.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+Bytes GroupDef::Id() const {
+  Writer w;
+  w.Str("dissent.group_def.v1");
+  w.Blob(group->p().ToBytes());
+  w.Blob(group->g().ToBytes());
+  w.U32(static_cast<uint32_t>(server_pubs.size()));
+  for (const BigInt& k : server_pubs) {
+    w.Blob(group->ElementToBytes(k));
+  }
+  w.U32(static_cast<uint32_t>(client_pubs.size()));
+  for (const BigInt& k : client_pubs) {
+    w.Blob(group->ElementToBytes(k));
+  }
+  w.U64(static_cast<uint64_t>(policy.alpha * 1e6));
+  w.U64(static_cast<uint64_t>(policy.hard_deadline));
+  w.U64(static_cast<uint64_t>(policy.window_fraction * 1e6));
+  w.U64(static_cast<uint64_t>(policy.window_multiplier * 1e6));
+  w.U32(policy.shuffle_request_bits);
+  w.U32(policy.default_slot_length);
+  return Sha256::Hash(w.data());
+}
+
+GroupDef MakeTestGroup(std::shared_ptr<const Group> group, size_t num_servers,
+                       size_t num_clients, SecureRng& rng, std::vector<BigInt>* server_privs,
+                       std::vector<BigInt>* client_privs) {
+  GroupDef def;
+  def.group = std::move(group);
+  server_privs->clear();
+  client_privs->clear();
+  for (size_t j = 0; j < num_servers; ++j) {
+    DhKeyPair kp = DhKeyPair::Generate(*def.group, rng);
+    server_privs->push_back(kp.priv);
+    def.server_pubs.push_back(kp.pub);
+  }
+  for (size_t i = 0; i < num_clients; ++i) {
+    DhKeyPair kp = DhKeyPair::Generate(*def.group, rng);
+    client_privs->push_back(kp.priv);
+    def.client_pubs.push_back(kp.pub);
+  }
+  return def;
+}
+
+}  // namespace dissent

@@ -1,0 +1,60 @@
+// Group definition (§3.2): the static roster of server and client public
+// keys plus the policy constants, identified by a self-certifying hash.
+//
+// "An individual creates a file containing a list of public keys — one for
+//  each server (provider) and one for each client (group member) — then
+//  distributes this group definition file ... A cryptographic hash of this
+//  group definition file thereafter serves as a self-certifying identifier."
+#ifndef DISSENT_CORE_GROUP_DEF_H_
+#define DISSENT_CORE_GROUP_DEF_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/crypto/group.h"
+#include "src/sim/simulator.h"
+
+namespace dissent {
+
+struct Policy {
+  // Participation threshold: the next round only completes once at least
+  // alpha * (previous round's participation) clients submit (§3.7).
+  double alpha = 0.95;
+  // Hard submission deadline (the 120 s window of §5.1).
+  SimTime hard_deadline = 120 * kSecond;
+  // Early-close policy: once `window_fraction` of last round's participants
+  // have submitted, close the window at `window_multiplier` times the
+  // elapsed time (the "95% + 1.1x" policy chosen in §5.1).
+  double window_fraction = 0.95;
+  double window_multiplier = 1.1;
+  // Width of the shuffle-request field in each message slot (§3.9); a
+  // disruptor squashes an accusation request with probability 2^-k.
+  uint32_t shuffle_request_bits = 8;
+  // Message-slot size when first opened (§3.8).
+  uint32_t default_slot_length = 256;
+};
+
+struct GroupDef {
+  std::shared_ptr<const Group> group;
+  std::vector<BigInt> server_pubs;  // long-term server keys (signing + DH)
+  std::vector<BigInt> client_pubs;  // long-term client keys
+  Policy policy;
+
+  size_t num_servers() const { return server_pubs.size(); }
+  size_t num_clients() const { return client_pubs.size(); }
+
+  // Self-certifying identifier: SHA-256 over the canonical encoding of the
+  // parameter set, rosters, and policy.
+  Bytes Id() const;
+};
+
+// Convenience used by tests/benches/examples: builds a complete group with
+// freshly generated long-term keys. Returns the private keys through the out
+// parameters (index-aligned with the rosters).
+GroupDef MakeTestGroup(std::shared_ptr<const Group> group, size_t num_servers,
+                       size_t num_clients, SecureRng& rng, std::vector<BigInt>* server_privs,
+                       std::vector<BigInt>* client_privs);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_GROUP_DEF_H_

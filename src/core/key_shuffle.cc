@@ -1,0 +1,170 @@
+#include "src/core/key_shuffle.h"
+
+#include <cassert>
+
+namespace dissent {
+
+BigInt RemainingKey(const GroupDef& def, size_t first_server) {
+  BigInt h = def.group->Identity();
+  for (size_t j = first_server; j < def.num_servers(); ++j) {
+    h = def.group->MulElems(h, def.server_pubs[j]);
+  }
+  return h;
+}
+
+MixStep KeyShuffleMixStep(const GroupDef& def, size_t server_index, const BigInt& server_priv,
+                          const CiphertextMatrix& inputs, SecureRng& rng) {
+  const Group& g = *def.group;
+  BigInt remaining = RemainingKey(def, server_index);
+
+  MixStep step;
+  ShuffleResult shuffled = ApplyRandomShuffle(g, remaining, inputs, rng);
+  step.shuffled = shuffled.outputs;
+  step.shuffle_proof = ShuffleProve(g, remaining, inputs, step.shuffled, shuffled.witness, rng);
+
+  step.decrypted.resize(step.shuffled.size());
+  step.decrypt_proofs.resize(step.shuffled.size());
+  for (size_t i = 0; i < step.shuffled.size(); ++i) {
+    step.decrypted[i].resize(step.shuffled[i].size());
+    step.decrypt_proofs[i].resize(step.shuffled[i].size());
+    for (size_t l = 0; l < step.shuffled[i].size(); ++l) {
+      const ElGamalCiphertext& ct = step.shuffled[i][l];
+      ElGamalCiphertext peeled = ElGamalPartialDecrypt(g, server_priv, ct);
+      // ratio = b / b' = a^{x_j}; prove log_g(h_j) == log_a(ratio).
+      BigInt ratio = g.MulElems(ct.b, g.InvElem(peeled.b));
+      step.decrypt_proofs[i][l] = DleqProve(g, g.g(), def.server_pubs[server_index], ct.a,
+                                            ratio, server_priv, rng);
+      step.decrypted[i][l] = peeled;
+    }
+  }
+  return step;
+}
+
+bool VerifyMixStep(const GroupDef& def, size_t server_index, const CiphertextMatrix& inputs,
+                   const MixStep& step) {
+  const Group& g = *def.group;
+  BigInt remaining = RemainingKey(def, server_index);
+  if (!ShuffleVerify(g, remaining, inputs, step.shuffled, step.shuffle_proof)) {
+    return false;
+  }
+  if (step.decrypted.size() != step.shuffled.size() ||
+      step.decrypt_proofs.size() != step.shuffled.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < step.shuffled.size(); ++i) {
+    if (step.decrypted[i].size() != step.shuffled[i].size() ||
+        step.decrypt_proofs[i].size() != step.shuffled[i].size()) {
+      return false;
+    }
+    for (size_t l = 0; l < step.shuffled[i].size(); ++l) {
+      const ElGamalCiphertext& before = step.shuffled[i][l];
+      const ElGamalCiphertext& after = step.decrypted[i][l];
+      if (after.a != before.a || !g.IsElement(after.b)) {
+        return false;
+      }
+      BigInt ratio = g.MulElems(before.b, g.InvElem(after.b));
+      if (!DleqVerify(g, g.g(), def.server_pubs[server_index], before.a, ratio,
+                      step.decrypt_proofs[i][l])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CiphertextMatrix::value_type EncryptPseudonymKey(const GroupDef& def,
+                                                 const BigInt& pseudonym_pub, SecureRng& rng) {
+  return {ElGamalEncrypt(*def.group, RemainingKey(def, 0), pseudonym_pub, rng)};
+}
+
+size_t MessageBlockWidth(const GroupDef& def, size_t len) {
+  size_t cap = def.group->MessageCapacity();
+  // First block carries a 4-byte length header.
+  size_t total = len + 4;
+  return (total + cap - 1) / cap;
+}
+
+std::optional<std::vector<ElGamalCiphertext>> EncryptMessageBlocks(const GroupDef& def,
+                                                                   const Bytes& message,
+                                                                   size_t width,
+                                                                   SecureRng& rng) {
+  const Group& g = *def.group;
+  size_t cap = g.MessageCapacity();
+  if (MessageBlockWidth(def, message.size()) > width) {
+    return std::nullopt;
+  }
+  Bytes framed;
+  framed.reserve(4 + message.size());
+  for (int b = 0; b < 4; ++b) {
+    framed.push_back(static_cast<uint8_t>(message.size() >> (8 * b)));
+  }
+  framed.insert(framed.end(), message.begin(), message.end());
+  framed.resize(width * cap, 0);
+
+  BigInt combined = RemainingKey(def, 0);
+  std::vector<ElGamalCiphertext> row(width);
+  for (size_t l = 0; l < width; ++l) {
+    Bytes block(framed.begin() + l * cap, framed.begin() + (l + 1) * cap);
+    auto elem = g.EncodeMessage(block);
+    if (!elem.has_value()) {
+      return std::nullopt;
+    }
+    row[l] = ElGamalEncrypt(g, combined, *elem, rng);
+  }
+  return row;
+}
+
+std::optional<Bytes> DecodeMessageBlocks(const GroupDef& def,
+                                         const std::vector<ElGamalCiphertext>& row) {
+  const Group& g = *def.group;
+  Bytes framed;
+  for (const ElGamalCiphertext& ct : row) {
+    auto block = g.DecodeMessage(ct.b);
+    if (!block.has_value()) {
+      return std::nullopt;
+    }
+    framed.insert(framed.end(), block->begin(), block->end());
+  }
+  if (framed.size() < 4) {
+    return std::nullopt;
+  }
+  size_t len = 0;
+  for (int b = 0; b < 4; ++b) {
+    len |= static_cast<size_t>(framed[b]) << (8 * b);
+  }
+  if (len + 4 > framed.size()) {
+    return std::nullopt;
+  }
+  return Bytes(framed.begin() + 4, framed.begin() + 4 + len);
+}
+
+ShuffleCascadeResult RunShuffleCascade(const GroupDef& def,
+                                       const std::vector<BigInt>& server_privs,
+                                       const CiphertextMatrix& submissions, SecureRng& rng) {
+  ShuffleCascadeResult result;
+  CiphertextMatrix current = submissions;
+  for (size_t j = 0; j < def.num_servers(); ++j) {
+    MixStep step = KeyShuffleMixStep(def, j, server_privs[j], current, rng);
+    current = step.decrypted;
+    result.steps.push_back(std::move(step));
+  }
+  result.final_rows = current;
+  return result;
+}
+
+bool VerifyShuffleCascade(const GroupDef& def, const CiphertextMatrix& submissions,
+                          const ShuffleCascadeResult& result) {
+  if (result.steps.size() != def.num_servers()) {
+    return false;
+  }
+  const CiphertextMatrix* current = &submissions;
+  for (size_t j = 0; j < result.steps.size(); ++j) {
+    if (!VerifyMixStep(def, j, *current, result.steps[j])) {
+      return false;
+    }
+    current = &result.steps[j].decrypted;
+  }
+  return *current == result.final_rows;
+}
+
+}  // namespace dissent

@@ -1,0 +1,36 @@
+#include "src/core/output_cert.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+Bytes OutputSigningBytes(const GroupDef& def, uint64_t round, const Bytes& cleartext) {
+  Writer w;
+  w.Str("dissent.round_output.v1");
+  w.Blob(def.Id());
+  w.U64(round);
+  w.Blob(Sha256::Hash(cleartext));
+  return w.Take();
+}
+
+SchnorrSignature SignOutput(const GroupDef& def, uint64_t round, const Bytes& cleartext,
+                            const BigInt& server_priv, SecureRng& rng) {
+  return SchnorrSign(*def.group, server_priv, OutputSigningBytes(def, round, cleartext), rng);
+}
+
+bool VerifyOutputCertificate(const GroupDef& def, uint64_t round, const Bytes& cleartext,
+                             const std::vector<SchnorrSignature>& sigs) {
+  if (sigs.size() != def.num_servers()) {
+    return false;
+  }
+  Bytes msg = OutputSigningBytes(def, round, cleartext);
+  for (size_t j = 0; j < sigs.size(); ++j) {
+    if (!SchnorrVerify(*def.group, def.server_pubs[j], msg, sigs[j])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dissent

@@ -1,0 +1,25 @@
+// Round-output certification (Algorithm 2 steps 5-6): every server signs the
+// combined cleartext; clients accept an output only with all M signatures.
+#ifndef DISSENT_CORE_OUTPUT_CERT_H_
+#define DISSENT_CORE_OUTPUT_CERT_H_
+
+#include <vector>
+
+#include "src/core/group_def.h"
+#include "src/crypto/schnorr.h"
+
+namespace dissent {
+
+// Canonical bytes each server signs: group id, round number, cleartext hash.
+Bytes OutputSigningBytes(const GroupDef& def, uint64_t round, const Bytes& cleartext);
+
+SchnorrSignature SignOutput(const GroupDef& def, uint64_t round, const Bytes& cleartext,
+                            const BigInt& server_priv, SecureRng& rng);
+
+// True iff sigs has one valid signature per server, in roster order.
+bool VerifyOutputCertificate(const GroupDef& def, uint64_t round, const Bytes& cleartext,
+                             const std::vector<SchnorrSignature>& sigs);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_OUTPUT_CERT_H_

@@ -1,0 +1,160 @@
+#include "src/core/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "src/core/dcnet.h"
+#include "src/core/output_cert.h"
+#include "src/crypto/dh.h"
+#include "src/crypto/sha256.h"
+
+namespace dissent {
+
+DissentServer::DissentServer(const GroupDef& def, size_t server_index,
+                             const BigInt& long_term_priv, SecureRng rng)
+    : def_(def),
+      index_(server_index),
+      priv_(long_term_priv),
+      rng_(std::move(rng)),
+      schedule_(def.num_clients(), def.policy.default_slot_length) {
+  client_keys_.reserve(def_.num_clients());
+  for (const BigInt& client_pub : def_.client_pubs) {
+    client_keys_.push_back(DeriveSharedKey(*def_.group, priv_, client_pub, "dissent.dcnet"));
+  }
+}
+
+void DissentServer::BeginSlots(size_t num_slots) {
+  schedule_ = SlotSchedule(num_slots, def_.policy.default_slot_length);
+}
+
+void DissentServer::StartRound(uint64_t round) {
+  current_round_ = round;
+  received_.clear();
+  server_ct_.clear();
+  equivocator_.reset();
+}
+
+bool DissentServer::AcceptClientCiphertext(uint64_t round, size_t client_index,
+                                           Bytes ciphertext) {
+  if (round != current_round_ || client_index >= def_.num_clients()) {
+    return false;
+  }
+  if (ciphertext.size() != schedule_.TotalLength()) {
+    return false;
+  }
+  return received_.emplace(static_cast<uint32_t>(client_index), std::move(ciphertext)).second;
+}
+
+std::vector<uint32_t> DissentServer::Inventory() const {
+  std::vector<uint32_t> out;
+  out.reserve(received_.size());
+  for (const auto& [i, ct] : received_) {
+    out.push_back(i);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::vector<uint32_t>> DissentServer::TrimInventories(
+    const std::vector<std::vector<uint32_t>>& inventories) {
+  std::vector<std::vector<uint32_t>> trimmed(inventories.size());
+  std::map<uint32_t, size_t> first_owner;
+  for (size_t j = 0; j < inventories.size(); ++j) {
+    for (uint32_t i : inventories[j]) {
+      first_owner.try_emplace(i, j);
+    }
+  }
+  for (const auto& [i, j] : first_owner) {
+    trimmed[j].push_back(i);
+  }
+  return trimmed;
+}
+
+const Bytes& DissentServer::BuildServerCiphertext(const std::vector<uint32_t>& composite_list,
+                                                  const std::vector<uint32_t>& own_share) {
+  server_ct_.assign(schedule_.TotalLength(), 0);
+  // XOR the pads shared with every participating client (even those whose
+  // ciphertexts went to other servers). Large client sets fan out across
+  // hardware threads (§3.4: server computations are parallelizable).
+  constexpr size_t kParallelThreshold = 256;
+  if (composite_list.size() >= kParallelThreshold) {
+    std::vector<const Bytes*> keys;
+    keys.reserve(composite_list.size());
+    for (uint32_t i : composite_list) {
+      keys.push_back(&client_keys_[i]);
+    }
+    size_t threads = std::min<size_t>(std::thread::hardware_concurrency(), 8);
+    XorDcnetPadsParallel(keys, current_round_, server_ct_, std::max<size_t>(threads, 1));
+  } else {
+    for (uint32_t i : composite_list) {
+      XorDcnetPad(client_keys_[i], current_round_, server_ct_);
+    }
+  }
+  // XOR in the client ciphertexts this server owns after trimming.
+  for (uint32_t i : own_share) {
+    auto it = received_.find(i);
+    assert(it != received_.end());
+    XorInto(server_ct_, it->second);
+  }
+  // Retain evidence for accusation tracing.
+  RoundEvidence ev;
+  ev.composite_list = composite_list;
+  ev.own_share = own_share;
+  ev.received_cts = received_;
+  ev.server_ct = server_ct_;
+  evidence_[current_round_] = std::move(ev);
+  while (evidence_.size() > kEvidenceRounds) {
+    evidence_.erase(evidence_.begin());
+  }
+  return server_ct_;
+}
+
+Bytes DissentServer::CommitHash() const { return Sha256::Hash(server_ct_); }
+
+std::optional<Bytes> DissentServer::CombineAndVerify(const std::vector<Bytes>& server_cts,
+                                                     const std::vector<Bytes>& commits) {
+  assert(server_cts.size() == def_.num_servers() && commits.size() == def_.num_servers());
+  Bytes cleartext(schedule_.TotalLength(), 0);
+  for (size_t j = 0; j < server_cts.size(); ++j) {
+    if (server_cts[j].size() != cleartext.size() ||
+        Sha256::Hash(server_cts[j]) != commits[j]) {
+      equivocator_ = j;
+      return std::nullopt;
+    }
+    XorInto(cleartext, server_cts[j]);
+  }
+  return cleartext;
+}
+
+SchnorrSignature DissentServer::SignRoundOutput(uint64_t round, const Bytes& cleartext) {
+  return SignOutput(def_, round, cleartext, priv_, rng_);
+}
+
+DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Bytes& cleartext) {
+  RoundFinish result;
+  auto it = evidence_.find(round);
+  result.participation = it != evidence_.end() ? it->second.composite_list.size() : 0;
+  // Scan open slots for nonzero shuffle-request fields (§3.9).
+  for (size_t s = 0; s < schedule_.num_slots(); ++s) {
+    if (!schedule_.is_open(s)) {
+      continue;
+    }
+    auto payload = DecodeSlot(schedule_.ExtractSlot(cleartext, s));
+    if (payload.has_value() && payload->shuffle_request != 0) {
+      result.accusation_requested = true;
+    }
+  }
+  schedule_.Advance(cleartext);
+  return result;
+}
+
+const DissentServer::RoundEvidence* DissentServer::EvidenceFor(uint64_t round) const {
+  auto it = evidence_.find(round);
+  return it == evidence_.end() ? nullptr : &it->second;
+}
+
+bool DissentServer::PadBit(uint64_t round, size_t client_index, size_t bit_index) const {
+  return DcnetPadBit(client_keys_[client_index], round, bit_index);
+}
+
+}  // namespace dissent

@@ -1,0 +1,116 @@
+// Dissent server (Algorithm 2).
+//
+// Pure protocol logic, no I/O. One instance per server j. Per round:
+//   1. Submission: AcceptClientCiphertext collects ciphertexts until the
+//      window-policy deadline (owned by the caller/driver).
+//   2. Inventory: Inventory() lists the clients heard from directly.
+//   3. Commitment: after the composite client list l is fixed (union of
+//      trimmed inventories), BuildServerCiphertext XORs the per-client pads
+//      for every i in l with the ciphertexts this server received for its
+//      own trimmed share l'_j; CommitHash publishes HASH(s_j).
+//   4/5. Combining + certification: CombineAndVerify XORs all server
+//      ciphertexts, checking each against its commitment (equivocation is
+//      detected here), then the caller collects signatures (output_cert.h).
+//
+// Because clients share secrets only with servers, a client that vanishes
+// mid-round simply drops out of l — the server-side pipeline never needs to
+// re-contact clients (§3.6).
+//
+// Servers retain per-round evidence (received ciphertexts, l, s_j) for the
+// last kEvidenceRounds rounds to serve accusation tracing (§3.9).
+#ifndef DISSENT_CORE_SERVER_H_
+#define DISSENT_CORE_SERVER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/group_def.h"
+#include "src/core/slot_schedule.h"
+#include "src/crypto/schnorr.h"
+
+namespace dissent {
+
+class DissentServer {
+ public:
+  static constexpr size_t kEvidenceRounds = 16;
+
+  DissentServer(const GroupDef& def, size_t server_index, const BigInt& long_term_priv,
+                SecureRng rng);
+
+  void BeginSlots(size_t num_slots);  // after the key shuffle
+  size_t index() const { return index_; }
+  const SlotSchedule& schedule() const { return schedule_; }
+  size_t ExpectedCiphertextLength() const { return schedule_.TotalLength(); }
+
+  // --- step 1: submission ---
+  void StartRound(uint64_t round);
+  // Returns false for duplicate/malformed submissions.
+  bool AcceptClientCiphertext(uint64_t round, size_t client_index, Bytes ciphertext);
+  size_t SubmissionCount() const { return received_.size(); }
+
+  // --- step 2: inventory ---
+  std::vector<uint32_t> Inventory() const;
+
+  // Deterministic trim (§ Algorithm 2 step 3): a client submitting to
+  // several servers is kept only by the lowest-indexed one. Static so the
+  // driver and tests share the exact rule.
+  static std::vector<std::vector<uint32_t>> TrimInventories(
+      const std::vector<std::vector<uint32_t>>& inventories);
+
+  // --- step 3: commitment ---
+  // l = composite list; own_share = l'_j for this server.
+  const Bytes& BuildServerCiphertext(const std::vector<uint32_t>& composite_list,
+                                     const std::vector<uint32_t>& own_share);
+  Bytes CommitHash() const;
+  const Bytes& server_ciphertext() const { return server_ct_; }
+
+  // --- steps 4-5: combining + certification ---
+  // Verifies every server ciphertext against its commitment and XORs them.
+  // Returns nullopt (and records the cheater) on a commitment mismatch.
+  std::optional<Bytes> CombineAndVerify(const std::vector<Bytes>& server_cts,
+                                        const std::vector<Bytes>& commits);
+  std::optional<size_t> detected_equivocator() const { return equivocator_; }
+
+  SchnorrSignature SignRoundOutput(uint64_t round, const Bytes& cleartext);
+
+  // --- step 6 aftermath ---
+  // Advance the shared slot schedule; also scans shuffle-request fields so
+  // the server fleet knows an accusation shuffle is being requested (§3.9).
+  struct RoundFinish {
+    bool accusation_requested = false;
+    size_t participation = 0;
+  };
+  RoundFinish FinishRound(uint64_t round, const Bytes& cleartext);
+
+  // --- accusation support (§3.9) ---
+  struct RoundEvidence {
+    std::vector<uint32_t> composite_list;
+    std::vector<uint32_t> own_share;
+    std::map<uint32_t, Bytes> received_cts;  // all received, incl. trimmed
+    Bytes server_ct;
+  };
+  const RoundEvidence* EvidenceFor(uint64_t round) const;
+  // Pad bit s_ij[k] for client i at global bit k of `round`.
+  bool PadBit(uint64_t round, size_t client_index, size_t bit_index) const;
+
+  const Bytes& SharedKeyWith(size_t client_index) const { return client_keys_[client_index]; }
+
+ private:
+  const GroupDef& def_;
+  size_t index_;
+  BigInt priv_;
+  SecureRng rng_;
+  std::vector<Bytes> client_keys_;  // K_ij per client i
+  SlotSchedule schedule_;
+
+  uint64_t current_round_ = 0;
+  std::map<uint32_t, Bytes> received_;
+  Bytes server_ct_;
+  std::optional<size_t> equivocator_;
+  std::map<uint64_t, RoundEvidence> evidence_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_SERVER_H_

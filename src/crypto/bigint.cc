@@ -1,0 +1,495 @@
+#include "src/crypto/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/sha256.h"
+
+namespace dissent {
+
+namespace {
+using u128 = unsigned __int128;
+
+size_t Clz64(uint64_t v) { return v == 0 ? 64 : static_cast<size_t>(__builtin_clzll(v)); }
+}  // namespace
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigInt::BigInt(uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(v);
+  }
+}
+
+BigInt BigInt::FromLimbs(std::vector<uint64_t> limbs) {
+  BigInt r;
+  r.limbs_ = std::move(limbs);
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::FromHex(const std::string& hex) {
+  BigInt r;
+  size_t nibbles = hex.size();
+  r.limbs_.assign((nibbles + 15) / 16, 0);
+  for (size_t i = 0; i < nibbles; ++i) {
+    char c = hex[nibbles - 1 - i];
+    uint64_t v;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      std::abort();
+    }
+    r.limbs_[i / 16] |= v << (4 * (i % 16));
+  }
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::FromBytes(const Bytes& be) {
+  BigInt r;
+  size_t n = be.size();
+  r.limbs_.assign((n + 7) / 8, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = be[n - 1 - i];
+    r.limbs_[i / 8] |= v << (8 * (i % 8));
+  }
+  r.Normalize();
+  return r;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) {
+    return "0";
+  }
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+Bytes BigInt::ToBytes() const {
+  if (IsZero()) {
+    return {};
+  }
+  size_t n = (BitLength() + 7) / 8;
+  return ToBytesPadded(n);
+}
+
+Bytes BigInt::ToBytesPadded(size_t n) const {
+  size_t need = IsZero() ? 0 : (BitLength() + 7) / 8;
+  if (n < need) {
+    std::abort();
+  }
+  Bytes out(n, 0);
+  for (size_t i = 0; i < need; ++i) {
+    out[n - 1 - i] = static_cast<uint8_t>(limbs_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  return limbs_.size() * 64 - Clz64(limbs_.back());
+}
+
+bool BigInt::Bit(size_t i) const {
+  size_t limb = i / 64;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigInt::Cmp(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& a, const BigInt& b) {
+  const auto& x = a.limbs_.size() >= b.limbs_.size() ? a.limbs_ : b.limbs_;
+  const auto& y = a.limbs_.size() >= b.limbs_.size() ? b.limbs_ : a.limbs_;
+  BigInt r;
+  r.limbs_.resize(x.size() + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    u128 s = static_cast<u128>(x[i]) + (i < y.size() ? y[i] : 0) + carry;
+    r.limbs_[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  r.limbs_[x.size()] = carry;
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::Sub(const BigInt& a, const BigInt& b) {
+  if (Cmp(a, b) < 0) {
+    std::abort();
+  }
+  BigInt r;
+  r.limbs_.resize(a.limbs_.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t bi = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    u128 d = static_cast<u128>(a.limbs_[i]) - bi - borrow;
+    r.limbs_[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;  // wrapped => borrow
+  }
+  r.Normalize();
+  return r;
+}
+
+namespace {
+
+// Schoolbook multiply of limb spans into out (out must be zeroed, size
+// an + bn).
+void MulSchoolbook(const uint64_t* a, size_t an, const uint64_t* b, size_t bn, uint64_t* out) {
+  for (size_t i = 0; i < an; ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    if (ai == 0) {
+      continue;
+    }
+    for (size_t j = 0; j < bn; ++j) {
+      u128 s = static_cast<u128>(ai) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+    }
+    size_t k = i + bn;
+    while (carry != 0) {
+      u128 s = static_cast<u128>(out[k]) + carry;
+      out[k] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+      ++k;
+    }
+  }
+}
+
+constexpr size_t kKaratsubaThreshold = 24;
+
+// Helpers operating on normalized limb vectors.
+std::vector<uint64_t> AddVec(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  const auto& x = a.size() >= b.size() ? a : b;
+  const auto& y = a.size() >= b.size() ? b : a;
+  std::vector<uint64_t> r(x.size() + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    u128 s = static_cast<u128>(x[i]) + (i < y.size() ? y[i] : 0) + carry;
+    r[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  r[x.size()] = carry;
+  while (!r.empty() && r.back() == 0) {
+    r.pop_back();
+  }
+  return r;
+}
+
+// a -= b in place; requires a >= b numerically. a keeps its size.
+void SubVecInPlace(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bi = i < b.size() ? b[i] : 0;
+    u128 d = static_cast<u128>(a[i]) - bi - borrow;
+    a[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  assert(borrow == 0);
+}
+
+std::vector<uint64_t> MulRec(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  if (a.empty() || b.empty()) {
+    return {};
+  }
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    std::vector<uint64_t> out(a.size() + b.size(), 0);
+    MulSchoolbook(a.data(), a.size(), b.data(), b.size(), out.data());
+    while (!out.empty() && out.back() == 0) {
+      out.pop_back();
+    }
+    return out;
+  }
+  // Karatsuba: split at half of the larger operand.
+  size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const std::vector<uint64_t>& v) {
+    std::vector<uint64_t> lo(v.begin(), v.begin() + std::min(half, v.size()));
+    std::vector<uint64_t> hi;
+    if (v.size() > half) {
+      hi.assign(v.begin() + half, v.end());
+    }
+    while (!lo.empty() && lo.back() == 0) {
+      lo.pop_back();
+    }
+    return std::make_pair(lo, hi);
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+  auto z0 = MulRec(a0, b0);
+  auto z2 = MulRec(a1, b1);
+  auto z1 = MulRec(AddVec(a0, a1), AddVec(b0, b1));
+  // z1 -= z0 + z2
+  SubVecInPlace(z1, z0);
+  SubVecInPlace(z1, z2);
+  while (!z1.empty() && z1.back() == 0) {
+    z1.pop_back();
+  }
+  // result = z0 + z1 << (64*half) + z2 << (128*half)
+  std::vector<uint64_t> out(std::max({z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1, 0);
+  std::copy(z0.begin(), z0.end(), out.begin());
+  uint64_t carry = 0;
+  for (size_t i = 0; i < z1.size() || carry; ++i) {
+    u128 s = static_cast<u128>(out[half + i]) + (i < z1.size() ? z1[i] : 0) + carry;
+    out[half + i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  carry = 0;
+  for (size_t i = 0; i < z2.size() || carry; ++i) {
+    u128 s = static_cast<u128>(out[2 * half + i]) + (i < z2.size() ? z2[i] : 0) + carry;
+    out[2 * half + i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  while (!out.empty() && out.back() == 0) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+BigInt BigInt::Mul(const BigInt& a, const BigInt& b) {
+  return FromLimbs(MulRec(a.limbs_, b.limbs_));
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt r = *this;
+    return r;
+  }
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      r.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::ShiftRight(size_t bits) const {
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) {
+    return BigInt();
+  }
+  BigInt r;
+  r.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < r.limbs_.size(); ++i) {
+    r.limbs_[i] = bit_shift == 0 ? limbs_[i + limb_shift] : (limbs_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      r.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r) {
+  assert(!b.IsZero());
+  if (Cmp(a, b) < 0) {
+    if (q != nullptr) {
+      *q = BigInt();
+    }
+    if (r != nullptr) {
+      *r = a;
+    }
+    return;
+  }
+  const size_t n = b.limbs_.size();
+  if (n == 1) {
+    // Single-limb divisor fast path.
+    uint64_t d = b.limbs_[0];
+    BigInt quo;
+    quo.limbs_.assign(a.limbs_.size(), 0);
+    u128 rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | a.limbs_[i];
+      quo.limbs_[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    quo.Normalize();
+    if (q != nullptr) {
+      *q = std::move(quo);
+    }
+    if (r != nullptr) {
+      *r = BigInt(static_cast<uint64_t>(rem));
+    }
+    return;
+  }
+
+  // Knuth Algorithm D.
+  const size_t m = a.limbs_.size() - n;
+  const size_t shift = Clz64(b.limbs_.back());
+  BigInt vb = b.ShiftLeft(shift);
+  BigInt ub = a.ShiftLeft(shift);
+  std::vector<uint64_t> v = vb.limbs_;
+  std::vector<uint64_t> u = ub.limbs_;
+  u.resize(a.limbs_.size() + 1, 0);  // u has m + n + 1 limbs
+  assert(v.size() == n);
+
+  BigInt quo;
+  quo.limbs_.assign(m + 1, 0);
+  const uint64_t v1 = v[n - 1];
+  const uint64_t v2 = v[n - 2];
+  for (size_t j = m + 1; j-- > 0;) {
+    u128 num = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    uint64_t qhat, rhat;
+    if (u[j + n] >= v1) {
+      qhat = ~0ull;
+      // rhat = num - qhat*v1; may exceed 64 bits, handled by the loop below
+      // via 128-bit arithmetic.
+      u128 rh = num - static_cast<u128>(qhat) * v1;
+      rhat = static_cast<uint64_t>(rh);
+      if (rh >> 64) {
+        // rhat >= 2^64 => qhat*v2 <= rhat*2^64 trivially; skip adjust.
+        goto mulsub;
+      }
+    } else {
+      qhat = static_cast<uint64_t>(num / v1);
+      rhat = static_cast<uint64_t>(num % v1);
+    }
+    while (static_cast<u128>(qhat) * v2 >
+           ((static_cast<u128>(rhat) << 64) | u[j + n - 2])) {
+      --qhat;
+      u128 nr = static_cast<u128>(rhat) + v1;
+      if (nr >> 64) {
+        break;  // rhat overflowed past 2^64: condition now trivially false
+      }
+      rhat = static_cast<uint64_t>(nr);
+    }
+  mulsub: {
+      // u[j..j+n] -= qhat * v
+      uint64_t mul_carry = 0;
+      uint64_t borrow = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 p = static_cast<u128>(qhat) * v[i] + mul_carry;
+        mul_carry = static_cast<uint64_t>(p >> 64);
+        uint64_t plo = static_cast<uint64_t>(p);
+        u128 d = static_cast<u128>(u[j + i]) - plo - borrow;
+        u[j + i] = static_cast<uint64_t>(d);
+        borrow = (d >> 64) ? 1 : 0;
+      }
+      u128 d = static_cast<u128>(u[j + n]) - mul_carry - borrow;
+      u[j + n] = static_cast<uint64_t>(d);
+      bool negative = (d >> 64) != 0;
+      if (negative) {
+        // Add back one copy of v (happens with probability ~2/2^64).
+        --qhat;
+        uint64_t carry = 0;
+        for (size_t i = 0; i < n; ++i) {
+          u128 s = static_cast<u128>(u[j + i]) + v[i] + carry;
+          u[j + i] = static_cast<uint64_t>(s);
+          carry = static_cast<uint64_t>(s >> 64);
+        }
+        u[j + n] += carry;
+      }
+      quo.limbs_[j] = qhat;
+    }
+  }
+  quo.Normalize();
+  if (r != nullptr) {
+    u.resize(n);
+    *r = FromLimbs(std::move(u)).ShiftRight(shift);
+  }
+  if (q != nullptr) {
+    *q = std::move(quo);
+  }
+}
+
+BigInt BigInt::Mod(const BigInt& a, const BigInt& m) {
+  BigInt r;
+  DivMod(a, m, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::ModAdd(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = Add(Mod(a, m), Mod(b, m));
+  if (Cmp(s, m) >= 0) {
+    s = Sub(s, m);
+  }
+  return s;
+}
+
+BigInt BigInt::ModSub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt ar = Mod(a, m);
+  BigInt br = Mod(b, m);
+  if (Cmp(ar, br) >= 0) {
+    return Sub(ar, br);
+  }
+  return Sub(Add(ar, m), br);
+}
+
+BigInt BigInt::ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(Mul(Mod(a, m), Mod(b, m)), m);
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a, y = b;
+  while (!y.IsZero()) {
+    BigInt r = Mod(x, y);
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Iterative extended Euclid with the Bezout coefficient tracked mod m,
+  // avoiding signed arithmetic.
+  BigInt r0 = m;
+  BigInt r1 = Mod(a, m);
+  BigInt t0;           // 0
+  BigInt t1(1);
+  while (!r1.IsZero()) {
+    BigInt q, rem;
+    DivMod(r0, r1, &q, &rem);
+    r0 = r1;
+    r1 = rem;
+    BigInt t2 = ModSub(t0, ModMul(q, t1, m), m);
+    t0 = t1;
+    t1 = t2;
+  }
+  if (!r0.IsOne()) {
+    return BigInt();  // not invertible
+  }
+  return t0;
+}
+
+}  // namespace dissent

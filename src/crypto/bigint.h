@@ -1,0 +1,87 @@
+// Arbitrary-precision unsigned integers, from scratch.
+//
+// This is the numeric substrate for the Schnorr-group cryptography (ElGamal,
+// Schnorr signatures, Chaum-Pedersen and Neff shuffle proofs). Values are
+// non-negative; protocol code only ever needs modular arithmetic, so the
+// subtraction that could go negative is expressed as ModSub.
+//
+// Representation: little-endian uint64_t limbs, normalized (no high zero
+// limbs; zero is an empty limb vector).
+#ifndef DISSENT_CRYPTO_BIGINT_H_
+#define DISSENT_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(uint64_t v);
+
+  // Hex (big-endian, no 0x prefix) and big-endian byte-string conversions.
+  static BigInt FromHex(const std::string& hex);
+  static BigInt FromBytes(const Bytes& be);
+  std::string ToHex() const;
+  Bytes ToBytes() const;               // minimal big-endian (empty for zero)
+  Bytes ToBytesPadded(size_t n) const;  // fixed-width big-endian, aborts if too small
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  size_t BitLength() const;
+  bool Bit(size_t i) const;
+  uint64_t Low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  // Three-way compare: -1, 0, +1.
+  static int Cmp(const BigInt& a, const BigInt& b);
+  bool operator==(const BigInt& o) const { return Cmp(*this, o) == 0; }
+  bool operator!=(const BigInt& o) const { return Cmp(*this, o) != 0; }
+  bool operator<(const BigInt& o) const { return Cmp(*this, o) < 0; }
+  bool operator<=(const BigInt& o) const { return Cmp(*this, o) <= 0; }
+  bool operator>(const BigInt& o) const { return Cmp(*this, o) > 0; }
+  bool operator>=(const BigInt& o) const { return Cmp(*this, o) >= 0; }
+
+  static BigInt Add(const BigInt& a, const BigInt& b);
+  // Requires a >= b (aborts otherwise): protocol code is all modular.
+  static BigInt Sub(const BigInt& a, const BigInt& b);
+  static BigInt Mul(const BigInt& a, const BigInt& b);
+  // q = a / b, r = a % b with 0 <= r < b. b must be nonzero. Either output
+  // pointer may be null.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r);
+  static BigInt Mod(const BigInt& a, const BigInt& m);
+
+  BigInt ShiftLeft(size_t bits) const;
+  BigInt ShiftRight(size_t bits) const;
+
+  // Modular arithmetic; all inputs need not be pre-reduced.
+  static BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m);
+  static BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m);
+  static BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
+  // base^exp mod m. Uses Montgomery exponentiation for odd m.
+  static BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+  // Multiplicative inverse mod m; returns zero if gcd(a, m) != 1.
+  static BigInt ModInverse(const BigInt& a, const BigInt& m);
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  // Miller-Rabin with `rounds` pseudo-randomly derived bases (deterministic,
+  // seeded from n itself); used to re-verify embedded group parameters.
+  static bool IsProbablePrime(const BigInt& n, int rounds = 40);
+
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+  // Constructs from little-endian limbs (normalizing).
+  static BigInt FromLimbs(std::vector<uint64_t> limbs);
+
+ private:
+  void Normalize();
+
+  std::vector<uint64_t> limbs_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_BIGINT_H_

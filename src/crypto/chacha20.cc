@@ -1,0 +1,139 @@
+#include "src/crypto/chacha20.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dissent {
+
+namespace {
+
+uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
+                   uint8_t out[64]) {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = LoadLE32(key + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = LoadLE32(nonce + 4 * i);
+  }
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+ChaCha20Stream::ChaCha20Stream(const Bytes& key, const Bytes& nonce) {
+  assert(key.size() == 32);
+  assert(nonce.size() == 12);
+  std::memcpy(key_, key.data(), 32);
+  std::memcpy(nonce_, nonce.data(), 12);
+}
+
+void ChaCha20Stream::Refill() {
+  ChaCha20Block(key_, nonce_, counter_, block_);
+  ++counter_;
+  block_pos_ = 0;
+}
+
+void ChaCha20Stream::Generate(size_t n, Bytes* out) {
+  size_t start = out->size();
+  out->resize(start + n);
+  uint8_t* p = out->data() + start;
+  while (n > 0) {
+    if (block_pos_ == 64) {
+      Refill();
+    }
+    size_t take = 64 - block_pos_;
+    if (take > n) {
+      take = n;
+    }
+    std::memcpy(p, block_ + block_pos_, take);
+    block_pos_ += take;
+    p += take;
+    n -= take;
+  }
+}
+
+Bytes ChaCha20Stream::Generate(size_t n) {
+  Bytes out;
+  Generate(n, &out);
+  return out;
+}
+
+void ChaCha20Stream::XorStream(Bytes& dst, size_t offset, size_t n) {
+  assert(offset + n <= dst.size());
+  uint8_t* p = dst.data() + offset;
+  while (n > 0) {
+    if (block_pos_ == 64) {
+      Refill();
+    }
+    size_t take = 64 - block_pos_;
+    if (take > n) {
+      take = n;
+    }
+    for (size_t i = 0; i < take; ++i) {
+      p[i] ^= block_[block_pos_ + i];
+    }
+    block_pos_ += take;
+    p += take;
+    n -= take;
+  }
+}
+
+uint64_t ChaCha20Stream::NextU64() {
+  uint8_t b[8];
+  Bytes tmp;
+  Generate(8, &tmp);
+  std::memcpy(b, tmp.data(), 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace dissent

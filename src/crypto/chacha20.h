@@ -1,0 +1,48 @@
+// RFC 8439 ChaCha20 block function and a keyed deterministic PRNG.
+//
+// This is the PRNG of Dissent's DC-net data plane: every client/server pair
+// (i, j) expands its shared secret K_ij into the per-round pad s_ij (§3.3).
+// It is also the PRG behind the OAEP-style slot padding (§3.9).
+#ifndef DISSENT_CRYPTO_CHACHA20_H_
+#define DISSENT_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+// Raw ChaCha20 block: 32-byte key, 12-byte nonce, 32-bit counter -> 64 bytes.
+void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
+                   uint8_t out[64]);
+
+// Stream generator. Deterministic: (key, nonce) fully determine the stream.
+class ChaCha20Stream {
+ public:
+  // Key must be 32 bytes; nonce 12 bytes.
+  ChaCha20Stream(const Bytes& key, const Bytes& nonce);
+
+  // Appends `n` pseudo-random bytes into out (resizing it).
+  void Generate(size_t n, Bytes* out);
+  Bytes Generate(size_t n);
+
+  // XORs `n` stream bytes into dst starting at dst[offset].
+  void XorStream(Bytes& dst, size_t offset, size_t n);
+
+  // Uniform scalar below `bound_bits` bits (rejection handled by caller).
+  uint64_t NextU64();
+
+ private:
+  void Refill();
+
+  uint8_t key_[32];
+  uint8_t nonce_[12];
+  uint32_t counter_ = 0;
+  uint8_t block_[64];
+  size_t block_pos_ = 64;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_CHACHA20_H_

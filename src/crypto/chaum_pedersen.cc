@@ -1,0 +1,72 @@
+#include "src/crypto/chaum_pedersen.h"
+
+#include "src/crypto/transcript.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+namespace {
+BigInt Challenge(const Group& group, const BigInt& g1, const BigInt& h1, const BigInt& g2,
+                 const BigInt& h2, const BigInt& c1, const BigInt& c2) {
+  Transcript t("dissent.dleq.v1");
+  t.AppendElement(group, "g1", g1);
+  t.AppendElement(group, "h1", h1);
+  t.AppendElement(group, "g2", g2);
+  t.AppendElement(group, "h2", h2);
+  t.AppendElement(group, "t1", c1);
+  t.AppendElement(group, "t2", c2);
+  return t.ChallengeScalar(group, "c");
+}
+}  // namespace
+
+Bytes DleqProof::Serialize(const Group& group) const {
+  Writer w;
+  w.Blob(group.ElementToBytes(commit1));
+  w.Blob(group.ElementToBytes(commit2));
+  w.Blob(group.ScalarToBytes(response));
+  return w.Take();
+}
+
+std::optional<DleqProof> DleqProof::Deserialize(const Group& group, const Bytes& data) {
+  Reader r(data);
+  Bytes c1, c2, resp;
+  if (!r.Blob(&c1) || !r.Blob(&c2) || !r.Blob(&resp) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  auto e1 = group.ElementFromBytes(c1);
+  auto e2 = group.ElementFromBytes(c2);
+  auto s = group.ScalarFromBytes(resp);
+  if (!e1 || !e2 || !s) {
+    return std::nullopt;
+  }
+  return DleqProof{*e1, *e2, *s};
+}
+
+DleqProof DleqProve(const Group& group, const BigInt& g1, const BigInt& h1, const BigInt& g2,
+                    const BigInt& h2, const BigInt& x, SecureRng& rng) {
+  BigInt w = group.RandomScalar(rng);
+  DleqProof proof;
+  proof.commit1 = group.Exp(g1, w);
+  proof.commit2 = group.Exp(g2, w);
+  BigInt c = Challenge(group, g1, h1, g2, h2, proof.commit1, proof.commit2);
+  proof.response = group.AddScalars(w, group.MulScalars(c, x));
+  return proof;
+}
+
+bool DleqVerify(const Group& group, const BigInt& g1, const BigInt& h1, const BigInt& g2,
+                const BigInt& h2, const DleqProof& proof) {
+  for (const BigInt* e : {&g1, &h1, &g2, &h2, &proof.commit1, &proof.commit2}) {
+    if (!group.IsElement(*e)) {
+      return false;
+    }
+  }
+  BigInt c = Challenge(group, g1, h1, g2, h2, proof.commit1, proof.commit2);
+  // g1^r == t1 * h1^c  and  g2^r == t2 * h2^c
+  if (group.Exp(g1, proof.response) !=
+      group.MulElems(proof.commit1, group.Exp(h1, c))) {
+    return false;
+  }
+  return group.Exp(g2, proof.response) == group.MulElems(proof.commit2, group.Exp(h2, c));
+}
+
+}  // namespace dissent

@@ -1,0 +1,35 @@
+// Chaum-Pedersen proofs of discrete-log equality (DLEQ) [15].
+//
+// Dissent uses these for verifiable decryption: when server j strips its
+// ElGamal layer from a shuffled ciphertext (b' = b / a^{x_j}), it proves
+// log_g(h_j) == log_a(b / b') without revealing x_j, so a dishonest server
+// cannot corrupt the key shuffle undetected (§3.10).
+#ifndef DISSENT_CRYPTO_CHAUM_PEDERSEN_H_
+#define DISSENT_CRYPTO_CHAUM_PEDERSEN_H_
+
+#include <optional>
+
+#include "src/crypto/group.h"
+#include "src/crypto/random.h"
+
+namespace dissent {
+
+// Non-interactive proof that log_{g1}(h1) == log_{g2}(h2).
+struct DleqProof {
+  BigInt commit1;   // g1^w
+  BigInt commit2;   // g2^w
+  BigInt response;  // w + c*x
+
+  Bytes Serialize(const Group& group) const;
+  static std::optional<DleqProof> Deserialize(const Group& group, const Bytes& data);
+};
+
+DleqProof DleqProve(const Group& group, const BigInt& g1, const BigInt& h1, const BigInt& g2,
+                    const BigInt& h2, const BigInt& x, SecureRng& rng);
+
+bool DleqVerify(const Group& group, const BigInt& g1, const BigInt& h1, const BigInt& g2,
+                const BigInt& h2, const DleqProof& proof);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_CHAUM_PEDERSEN_H_

@@ -1,0 +1,33 @@
+#include "src/crypto/dh.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+DhKeyPair DhKeyPair::Generate(const Group& group, SecureRng& rng) {
+  DhKeyPair kp;
+  kp.priv = rng.RandomNonZeroBelow(group.q());
+  kp.pub = group.GExp(kp.priv);
+  return kp;
+}
+
+BigInt DhSharedElement(const Group& group, const BigInt& priv, const BigInt& peer_pub) {
+  return group.Exp(peer_pub, priv);
+}
+
+Bytes DeriveSharedKey(const Group& group, const BigInt& priv, const BigInt& peer_pub,
+                      const std::string& context) {
+  return DeriveKeyFromElement(group, DhSharedElement(group, priv, peer_pub), context);
+}
+
+Bytes DeriveKeyFromElement(const Group& group, const BigInt& shared_element,
+                           const std::string& context) {
+  Writer w;
+  w.Str("dissent.dh.kdf");
+  w.Str(context);
+  w.Blob(group.ElementToBytes(shared_element));
+  return Sha256::Hash(w.data());
+}
+
+}  // namespace dissent

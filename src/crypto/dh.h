@@ -1,0 +1,36 @@
+// Diffie-Hellman over the Schnorr group, plus the key-derivation step that
+// turns a DH shared element into the 32-byte pairwise secret K_ij that seeds
+// each client/server DC-net pad (§3.4).
+#ifndef DISSENT_CRYPTO_DH_H_
+#define DISSENT_CRYPTO_DH_H_
+
+#include <string>
+
+#include "src/crypto/group.h"
+#include "src/crypto/random.h"
+
+namespace dissent {
+
+struct DhKeyPair {
+  BigInt priv;  // x in [1, q)
+  BigInt pub;   // g^x
+
+  static DhKeyPair Generate(const Group& group, SecureRng& rng);
+};
+
+// Raw DH shared element: peer_pub^priv.
+BigInt DhSharedElement(const Group& group, const BigInt& priv, const BigInt& peer_pub);
+
+// 32-byte key: SHA-256(context || element-bytes). Both endpoints compute the
+// same value; `context` domain-separates uses (DC-net pads vs anything else).
+Bytes DeriveSharedKey(const Group& group, const BigInt& priv, const BigInt& peer_pub,
+                      const std::string& context);
+
+// Same derivation from an already-computed shared element. Used when a
+// rebuttal (§3.9) reveals the element so third parties can recompute K_ij.
+Bytes DeriveKeyFromElement(const Group& group, const BigInt& shared_element,
+                           const std::string& context);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_DH_H_

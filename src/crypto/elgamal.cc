@@ -1,0 +1,47 @@
+#include "src/crypto/elgamal.h"
+
+namespace dissent {
+
+BigInt CombineKeys(const Group& group, const std::vector<BigInt>& pubs) {
+  BigInt h = group.Identity();
+  for (const BigInt& pub : pubs) {
+    h = group.MulElems(h, pub);
+  }
+  return h;
+}
+
+ElGamalCiphertext ElGamalEncrypt(const Group& group, const BigInt& combined_pub,
+                                 const BigInt& message_elem, const BigInt& r) {
+  ElGamalCiphertext ct;
+  ct.a = group.GExp(r);
+  ct.b = group.MulElems(group.Exp(combined_pub, r), message_elem);
+  return ct;
+}
+
+ElGamalCiphertext ElGamalEncrypt(const Group& group, const BigInt& combined_pub,
+                                 const BigInt& message_elem, SecureRng& rng) {
+  return ElGamalEncrypt(group, combined_pub, message_elem, group.RandomScalar(rng));
+}
+
+ElGamalCiphertext ElGamalReEncrypt(const Group& group, const BigInt& combined_pub,
+                                   const ElGamalCiphertext& ct, const BigInt& r2) {
+  ElGamalCiphertext out;
+  out.a = group.MulElems(ct.a, group.GExp(r2));
+  out.b = group.MulElems(ct.b, group.Exp(combined_pub, r2));
+  return out;
+}
+
+BigInt ElGamalDecrypt(const Group& group, const BigInt& priv, const ElGamalCiphertext& ct) {
+  BigInt shared = group.Exp(ct.a, priv);
+  return group.MulElems(ct.b, group.InvElem(shared));
+}
+
+ElGamalCiphertext ElGamalPartialDecrypt(const Group& group, const BigInt& priv_j,
+                                        const ElGamalCiphertext& ct) {
+  ElGamalCiphertext out;
+  out.a = ct.a;
+  out.b = group.MulElems(ct.b, group.InvElem(group.Exp(ct.a, priv_j)));
+  return out;
+}
+
+}  // namespace dissent

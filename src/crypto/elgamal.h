@@ -1,0 +1,51 @@
+// ElGamal encryption over the Schnorr group, with the operations the key
+// shuffle needs (§3.10):
+//
+//  * encryption under a *combined* key H = prod_j h_j (clients onion-encrypt
+//    pseudonym keys under all servers at once),
+//  * re-encryption (randomization) under the remaining combined key, used by
+//    each shuffling server,
+//  * partial decryption (strip one server's layer), proven correct with a
+//    Chaum-Pedersen DLEQ proof.
+#ifndef DISSENT_CRYPTO_ELGAMAL_H_
+#define DISSENT_CRYPTO_ELGAMAL_H_
+
+#include <vector>
+
+#include "src/crypto/group.h"
+#include "src/crypto/random.h"
+
+namespace dissent {
+
+struct ElGamalCiphertext {
+  BigInt a;  // g^r
+  BigInt b;  // H^r * m
+
+  bool operator==(const ElGamalCiphertext& o) const { return a == o.a && b == o.b; }
+};
+
+// Product of public keys: the combined key for layered encryption.
+BigInt CombineKeys(const Group& group, const std::vector<BigInt>& pubs);
+
+ElGamalCiphertext ElGamalEncrypt(const Group& group, const BigInt& combined_pub,
+                                 const BigInt& message_elem, const BigInt& r);
+
+// Fresh-randomness convenience.
+ElGamalCiphertext ElGamalEncrypt(const Group& group, const BigInt& combined_pub,
+                                 const BigInt& message_elem, SecureRng& rng);
+
+// Re-encryption with factor r2 under combined key H: (a*g^r2, b*H^r2).
+ElGamalCiphertext ElGamalReEncrypt(const Group& group, const BigInt& combined_pub,
+                                   const ElGamalCiphertext& ct, const BigInt& r2);
+
+// Full decryption with combined secret x (b / a^x).
+BigInt ElGamalDecrypt(const Group& group, const BigInt& priv, const ElGamalCiphertext& ct);
+
+// Strip one layer: b' = b / a^x_j; the `a` component is unchanged and the
+// result is an encryption under the combined key without h_j.
+ElGamalCiphertext ElGamalPartialDecrypt(const Group& group, const BigInt& priv_j,
+                                        const ElGamalCiphertext& ct);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_ELGAMAL_H_

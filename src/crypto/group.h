@@ -1,0 +1,93 @@
+// Schnorr groups: the prime-order subgroup of quadratic residues mod a safe
+// prime p = 2q + 1, with generator g = 4.
+//
+// This is the algebraic setting for everything asymmetric in Dissent:
+// ElGamal onion encryption of pseudonym keys, Schnorr signatures,
+// Chaum-Pedersen decryption proofs, and the Neff shuffle (§3.10).
+//
+// Parameter sets: 256/512/1024/2048-bit safe primes generated offline and
+// re-verified by Miller-Rabin in tests. 256-bit is the test/CI default (fast);
+// the paper's deployment would use >= 1024 (see EXPERIMENTS.md for how group
+// size is treated in the reproduction).
+#ifndef DISSENT_CRYPTO_GROUP_H_
+#define DISSENT_CRYPTO_GROUP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/crypto/bigint.h"
+#include "src/crypto/montgomery.h"
+#include "src/crypto/random.h"
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+enum class GroupId {
+  kTesting256,
+  kMedium512,
+  kProduction1024,
+  kProduction2048,
+};
+
+class Group {
+ public:
+  // Shared immutable instances (Montgomery context construction is not free).
+  static std::shared_ptr<const Group> Named(GroupId id);
+  // Custom parameters; p must be a safe prime 2q+1 and g a generator of the
+  // order-q subgroup (verified in debug/tests via IsElement).
+  Group(BigInt p, BigInt q, BigInt g);
+
+  const BigInt& p() const { return p_; }
+  const BigInt& q() const { return q_; }
+  const BigInt& g() const { return g_; }
+
+  size_t ElementBytes() const { return element_bytes_; }
+  size_t ScalarBytes() const { return scalar_bytes_; }
+
+  // --- element operations (mod p) ---
+  BigInt Exp(const BigInt& base, const BigInt& e) const;
+  BigInt GExp(const BigInt& e) const;  // g^e
+  BigInt MulElems(const BigInt& a, const BigInt& b) const;
+  BigInt InvElem(const BigInt& a) const;
+  // Subgroup membership: a in [1, p) and a^q = 1 (mod p).
+  bool IsElement(const BigInt& a) const;
+  BigInt Identity() const { return BigInt(1); }
+
+  // --- scalar operations (mod q) ---
+  BigInt AddScalars(const BigInt& a, const BigInt& b) const;
+  BigInt SubScalars(const BigInt& a, const BigInt& b) const;
+  BigInt MulScalars(const BigInt& a, const BigInt& b) const;
+  BigInt NegScalar(const BigInt& a) const;
+  BigInt InvScalar(const BigInt& a) const;
+  BigInt RandomScalar(SecureRng& rng) const;  // uniform in [0, q)
+
+  // Wide-reduction hash to scalar (Fiat-Shamir challenges).
+  BigInt HashToScalar(const Bytes& data) const;
+
+  // --- canonical encodings ---
+  Bytes ElementToBytes(const BigInt& a) const;  // fixed ElementBytes() width
+  std::optional<BigInt> ElementFromBytes(const Bytes& b) const;  // validates membership
+  Bytes ScalarToBytes(const BigInt& a) const;
+  std::optional<BigInt> ScalarFromBytes(const Bytes& b) const;  // validates < q
+
+  // --- message embedding (for the general message shuffle, §3.10) ---
+  // Encodes up to MessageCapacity() bytes injectively into a subgroup
+  // element; Decode inverts it. Uses the standard safe-prime trick: v+1 or
+  // p-(v+1), whichever is the quadratic residue.
+  size_t MessageCapacity() const;
+  std::optional<BigInt> EncodeMessage(const Bytes& m) const;
+  std::optional<Bytes> DecodeMessage(const BigInt& elem) const;
+
+ private:
+  BigInt p_;
+  BigInt q_;
+  BigInt g_;
+  Montgomery mont_p_;
+  size_t element_bytes_;
+  size_t scalar_bytes_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_GROUP_H_

@@ -1,0 +1,119 @@
+#include "src/crypto/ilmpp.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace dissent {
+
+namespace {
+
+// Folds the statement and commitments into the transcript and draws gamma.
+BigInt DrawGamma(const Group& group, Transcript& transcript, const std::vector<BigInt>& xs,
+                 const std::vector<BigInt>& ys, const std::vector<BigInt>& commits) {
+  transcript.AppendU64("ilmpp.k", xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    transcript.AppendElement(group, "ilmpp.x", xs[i]);
+    transcript.AppendElement(group, "ilmpp.y", ys[i]);
+  }
+  for (const BigInt& a : commits) {
+    transcript.AppendElement(group, "ilmpp.A", a);
+  }
+  return transcript.ChallengeScalar(group, "ilmpp.gamma");
+}
+
+}  // namespace
+
+IlmppProof IlmppProve(const Group& group, Transcript& transcript, const std::vector<BigInt>& xs,
+                      const std::vector<BigInt>& ys, const std::vector<BigInt>& x_logs,
+                      const std::vector<BigInt>& y_logs, SecureRng& rng) {
+  const size_t k = xs.size();
+  assert(k >= 2);
+  assert(ys.size() == k && x_logs.size() == k && y_logs.size() == k);
+
+  // Witness sanity (debug aid; the honest caller always satisfies these).
+  BigInt px(1), py(1);
+  for (size_t i = 0; i < k; ++i) {
+    px = group.MulScalars(px, x_logs[i]);
+    py = group.MulScalars(py, y_logs[i]);
+  }
+  if (px != py) {
+    std::abort();
+  }
+
+  std::vector<BigInt> theta(k - 1);
+  for (auto& t : theta) {
+    t = group.RandomScalar(rng);
+  }
+
+  IlmppProof proof;
+  proof.commits.resize(k);
+  proof.commits[0] = group.Exp(ys[0], theta[0]);
+  for (size_t i = 1; i + 1 < k; ++i) {
+    proof.commits[i] =
+        group.MulElems(group.Exp(xs[i], theta[i - 1]), group.Exp(ys[i], theta[i]));
+  }
+  proof.commits[k - 1] = group.Exp(xs[k - 1], theta[k - 2]);
+
+  BigInt gamma = DrawGamma(group, transcript, xs, ys, proof.commits);
+
+  // r_i = theta_i + (-1)^(i+1 in 1-based) * gamma * P_i, where
+  // P_i = prod_{j<=i} x_j / y_j. In 1-based terms t_i = (-1)^i gamma P_i:
+  // odd index => subtract, even index => add.
+  proof.responses.resize(k - 1);
+  BigInt prefix(1);  // P_i
+  for (size_t i = 0; i < k - 1; ++i) {
+    BigInt y_inv = group.InvScalar(y_logs[i]);
+    if (y_inv.IsZero()) {
+      std::abort();  // y_log not invertible: probability ~ k/q
+    }
+    prefix = group.MulScalars(prefix, group.MulScalars(x_logs[i], y_inv));
+    BigInt term = group.MulScalars(gamma, prefix);
+    bool one_based_odd = (i % 2 == 0);  // i=0 is index 1
+    proof.responses[i] = one_based_odd ? group.SubScalars(theta[i], term)
+                                       : group.AddScalars(theta[i], term);
+  }
+  return proof;
+}
+
+bool IlmppVerify(const Group& group, Transcript& transcript, const std::vector<BigInt>& xs,
+                 const std::vector<BigInt>& ys, const IlmppProof& proof) {
+  const size_t k = xs.size();
+  if (k < 2 || ys.size() != k || proof.commits.size() != k || proof.responses.size() != k - 1) {
+    return false;
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (!group.IsElement(xs[i]) || !group.IsElement(ys[i]) ||
+        !group.IsElement(proof.commits[i])) {
+      return false;
+    }
+  }
+  for (const BigInt& r : proof.responses) {
+    if (BigInt::Cmp(r, group.q()) >= 0) {
+      return false;
+    }
+  }
+
+  BigInt gamma = DrawGamma(group, transcript, xs, ys, proof.commits);
+
+  // A_1 == Y_1^{r_1} * X_1^{gamma}
+  if (proof.commits[0] !=
+      group.MulElems(group.Exp(ys[0], proof.responses[0]), group.Exp(xs[0], gamma))) {
+    return false;
+  }
+  // A_i == X_i^{r_{i-1}} * Y_i^{r_i}
+  for (size_t i = 1; i + 1 < k; ++i) {
+    BigInt expect = group.MulElems(group.Exp(xs[i], proof.responses[i - 1]),
+                                   group.Exp(ys[i], proof.responses[i]));
+    if (proof.commits[i] != expect) {
+      return false;
+    }
+  }
+  // A_k == X_k^{r_{k-1}} * Y_k^{+-gamma}: +gamma when k is even (1-based sign
+  // (-1)^k), -gamma when odd.
+  BigInt last_exp = (k % 2 == 0) ? gamma : group.NegScalar(gamma);
+  BigInt expect_last = group.MulElems(group.Exp(xs[k - 1], proof.responses[k - 2]),
+                                      group.Exp(ys[k - 1], last_exp));
+  return proof.commits[k - 1] == expect_last;
+}
+
+}  // namespace dissent

@@ -1,0 +1,40 @@
+// Neff's Iterated Logarithmic Multiplication Proof Protocol (ILMPP) [44].
+//
+// Given X_i = g^{x_i} and Y_i = g^{y_i} (i = 1..k), the prover demonstrates
+//     x_1 * x_2 * ... * x_k  ==  y_1 * y_2 * ... * y_k   (mod q)
+// in honest-verifier zero knowledge, with k-1 response scalars and k
+// commitments. This is the inner engine of the simple k-shuffle, which in
+// turn anchors the full verifiable shuffle (crypto/shuffle.h).
+//
+// Made non-interactive by Fiat-Shamir over a caller-supplied Transcript; the
+// caller must append the statement (X, Y and any context) before calling.
+#ifndef DISSENT_CRYPTO_ILMPP_H_
+#define DISSENT_CRYPTO_ILMPP_H_
+
+#include <vector>
+
+#include "src/crypto/group.h"
+#include "src/crypto/random.h"
+#include "src/crypto/transcript.h"
+
+namespace dissent {
+
+struct IlmppProof {
+  std::vector<BigInt> commits;    // A_1..A_k
+  std::vector<BigInt> responses;  // r_1..r_{k-1}
+};
+
+// Prover side. `x_logs` and `y_logs` are the discrete logs of the statement
+// elements; requires prod(x) == prod(y) (mod q) and all y_logs invertible.
+// Aborts on witness inconsistency (programming error, not attacker input).
+IlmppProof IlmppProve(const Group& group, Transcript& transcript,
+                      const std::vector<BigInt>& xs, const std::vector<BigInt>& ys,
+                      const std::vector<BigInt>& x_logs, const std::vector<BigInt>& y_logs,
+                      SecureRng& rng);
+
+bool IlmppVerify(const Group& group, Transcript& transcript, const std::vector<BigInt>& xs,
+                 const std::vector<BigInt>& ys, const IlmppProof& proof);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_ILMPP_H_

@@ -1,0 +1,303 @@
+#include "src/crypto/montgomery.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/sha256.h"
+
+namespace dissent {
+
+namespace {
+using u128 = unsigned __int128;
+}
+
+Montgomery::Montgomery(const BigInt& n) : n_(n) {
+  if (!n.IsOdd() || n.BitLength() < 2) {
+    std::abort();
+  }
+  k_ = n.limbs().size();
+  n_limbs_ = n.limbs();
+  n_limbs_.resize(k_, 0);
+
+  // n0inv = -n^{-1} mod 2^64 via Newton iteration (5 steps suffice for 64 bits).
+  uint64_t n0 = n_limbs_[0];
+  uint64_t x = 1;
+  for (int i = 0; i < 6; ++i) {
+    x *= 2 - n0 * x;
+  }
+  n0inv_ = ~x + 1;  // -x mod 2^64
+
+  // rr = (2^(64k))^2 mod n, computed by repeated doubling of R mod n.
+  BigInt r = BigInt(1).ShiftLeft(64 * k_);
+  BigInt r_mod = BigInt::Mod(r, n_);
+  BigInt acc = r_mod;
+  for (size_t i = 0; i < 64 * k_; ++i) {
+    acc = BigInt::ModAdd(acc, acc, n_);
+  }
+  rr_ = acc.limbs();
+  rr_.resize(k_, 0);
+}
+
+void Montgomery::Reduce(Limbs& t) const {
+  // t has k_ + 1 limbs holding a value < 2n (which can exceed 64*k_ bits when
+  // n's top bit is set); subtract n once if t >= n, then drop the top limb.
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = k_; i-- > 0;) {
+      if (t[i] != n_limbs_[i]) {
+        ge = t[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < k_; ++i) {
+      u128 d = static_cast<u128>(t[i]) - n_limbs_[i] - borrow;
+      t[i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) ? 1 : 0;
+    }
+    t[k_] -= borrow;
+  }
+  t.resize(k_);
+}
+
+Montgomery::Limbs Montgomery::MontMul(const Limbs& a, const Limbs& b) const {
+  assert(a.size() == k_ && b.size() == k_);
+  // CIOS (Coarsely Integrated Operand Scanning), Koc & Acar 1996.
+  Limbs t(k_ + 2, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < k_; ++j) {
+      u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<uint64_t>(s);
+    t[k_ + 1] = static_cast<uint64_t>(s >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+    uint64_t m = t[0] * n0inv_;
+    u128 s0 = static_cast<u128>(m) * n_limbs_[0] + t[0];
+    carry = static_cast<uint64_t>(s0 >> 64);
+    for (size_t j = 1; j < k_; ++j) {
+      u128 sj = static_cast<u128>(m) * n_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(sj);
+      carry = static_cast<uint64_t>(sj >> 64);
+    }
+    u128 sk = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<uint64_t>(sk);
+    t[k_] = t[k_ + 1] + static_cast<uint64_t>(sk >> 64);
+    t[k_ + 1] = 0;
+  }
+  t.resize(k_ + 1);
+  Reduce(t);
+  return t;
+}
+
+Montgomery::Limbs Montgomery::ToMont(const BigInt& a) const {
+  BigInt ar = BigInt::Mod(a, n_);
+  Limbs al = ar.limbs();
+  al.resize(k_, 0);
+  return MontMul(al, rr_);
+}
+
+BigInt Montgomery::FromMont(const Limbs& a) const {
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs plain = MontMul(a, one);
+  return BigInt::FromLimbs(std::move(plain));
+}
+
+Montgomery::Limbs Montgomery::One() const {
+  BigInt r = BigInt(1).ShiftLeft(64 * k_);
+  Limbs v = BigInt::Mod(r, n_).limbs();
+  v.resize(k_, 0);
+  return v;
+}
+
+BigInt Montgomery::Mul(const BigInt& a, const BigInt& b) const {
+  return FromMont(MontMul(ToMont(a), ToMont(b)));
+}
+
+void Montgomery::MulRaw(const uint64_t* a, const uint64_t* b, uint64_t* t,
+                        uint64_t* out) const {
+  // CIOS over raw pointers; t is scratch of k_ + 2 limbs, out holds k_.
+  const size_t k = k_;
+  std::fill(t, t + k + 2, 0);
+  for (size_t i = 0; i < k; ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < k; ++j) {
+      u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<uint64_t>(s);
+    t[k + 1] = static_cast<uint64_t>(s >> 64);
+
+    uint64_t m = t[0] * n0inv_;
+    u128 s0 = static_cast<u128>(m) * n_limbs_[0] + t[0];
+    carry = static_cast<uint64_t>(s0 >> 64);
+    for (size_t j = 1; j < k; ++j) {
+      u128 sj = static_cast<u128>(m) * n_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(sj);
+      carry = static_cast<uint64_t>(sj >> 64);
+    }
+    u128 sk = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<uint64_t>(sk);
+    t[k] = t[k + 1] + static_cast<uint64_t>(sk >> 64);
+    t[k + 1] = 0;
+  }
+  // Conditional subtraction on (t[k], t[0..k-1]).
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = k; i-- > 0;) {
+      if (t[i] != n_limbs_[i]) {
+        ge = t[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < k; ++i) {
+      u128 d = static_cast<u128>(t[i]) - n_limbs_[i] - borrow;
+      out[i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + k, out);
+  }
+}
+
+BigInt Montgomery::Exp(const BigInt& a, const BigInt& e) const {
+  if (e.IsZero()) {
+    return BigInt::Mod(BigInt(1), n_);
+  }
+  const size_t k = k_;
+  // 4-bit fixed-window exponentiation in the Montgomery domain, with one
+  // contiguous arena: 16 table entries + accumulator + CIOS scratch.
+  std::vector<uint64_t> arena(16 * k + 2 * k + (k + 2));
+  uint64_t* table = arena.data();        // 16 * k
+  uint64_t* acc = table + 16 * k;        // k
+  uint64_t* tmp = acc + k;               // k
+  uint64_t* scratch = tmp + k;           // k + 2
+
+  Limbs one = One();
+  Limbs base = ToMont(a);
+  std::copy(one.begin(), one.end(), table);
+  std::copy(base.begin(), base.end(), table + k);
+  for (size_t i = 2; i < 16; ++i) {
+    MulRaw(table + (i - 1) * k, table + k, scratch, table + i * k);
+  }
+  size_t bits = e.BitLength();
+  size_t windows = (bits + 3) / 4;
+  std::copy(one.begin(), one.end(), acc);
+  bool started = false;
+  for (size_t w = windows; w-- > 0;) {
+    uint64_t digit = 0;
+    for (size_t b = 0; b < 4; ++b) {
+      size_t bit = w * 4 + (3 - b);
+      digit = (digit << 1) | (bit < bits && e.Bit(bit) ? 1 : 0);
+    }
+    if (started) {
+      for (int sq = 0; sq < 4; ++sq) {
+        MulRaw(acc, acc, scratch, tmp);
+        std::swap(acc, tmp);
+      }
+    }
+    if (digit != 0) {
+      MulRaw(acc, table + digit * k, scratch, tmp);
+      std::swap(acc, tmp);
+      started = true;
+    }
+  }
+  Limbs result(acc, acc + k);
+  return FromMont(result);
+}
+
+// --- BigInt members that depend on modular exponentiation ---
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!m.IsZero());
+  if (m.IsOne()) {
+    return BigInt();
+  }
+  if (m.IsOdd()) {
+    return Montgomery(m).Exp(base, exp);
+  }
+  // Plain square-and-multiply for even moduli (not used on protocol paths).
+  BigInt result(1);
+  BigInt b = Mod(base, m);
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    result = ModMul(result, result, m);
+    if (exp.Bit(i)) {
+      result = ModMul(result, b, m);
+    }
+  }
+  return result;
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, int rounds) {
+  if (n.BitLength() <= 1) {
+    return false;
+  }
+  static const uint64_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37,
+                                          41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97};
+  for (uint64_t sp : kSmallPrimes) {
+    BigInt spb(sp);
+    if (Cmp(n, spb) == 0) {
+      return true;
+    }
+    if (Mod(n, spb).IsZero()) {
+      return false;
+    }
+  }
+  // n - 1 = d * 2^s
+  BigInt n_minus_1 = Sub(n, BigInt(1));
+  size_t s = 0;
+  BigInt d = n_minus_1;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+  // Deterministic pseudo-random bases derived from n via ChaCha20.
+  Bytes seed = Sha256::Hash(n.ToBytes());
+  Bytes nonce(12, 0);
+  ChaCha20Stream prng(seed, nonce);
+  size_t nbytes = (n.BitLength() + 7) / 8;
+  Montgomery mont(n.IsOdd() ? n : Add(n, BigInt(1)));  // n odd past small-prime sieve
+  for (int round = 0; round < rounds; ++round) {
+    BigInt a;
+    do {
+      a = Mod(FromBytes(prng.Generate(nbytes)), n);
+    } while (a.BitLength() < 2);  // a in [2, n-1]
+    BigInt x = mont.Exp(a, d);
+    if (x.IsOne() || Cmp(x, n_minus_1) == 0) {
+      continue;
+    }
+    bool witness = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = ModMul(x, x, n);
+      if (Cmp(x, n_minus_1) == 0) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dissent

@@ -1,0 +1,52 @@
+// Montgomery (REDC/CIOS) modular multiplication for odd moduli.
+//
+// All group exponentiations in the shuffle proofs and signatures go through
+// this context; a Dissent key shuffle for 1,000 clients performs tens of
+// thousands of exponentiations per server, so this path dominates the
+// cryptographic cost model (see bench/micro_crypto).
+#ifndef DISSENT_CRYPTO_MONTGOMERY_H_
+#define DISSENT_CRYPTO_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/bigint.h"
+
+namespace dissent {
+
+class Montgomery {
+ public:
+  // n must be odd and > 1.
+  explicit Montgomery(const BigInt& n);
+
+  const BigInt& modulus() const { return n_; }
+
+  // a^e mod n; a need not be reduced.
+  BigInt Exp(const BigInt& a, const BigInt& e) const;
+
+  // (a * b) mod n via to/from Montgomery form; mostly for tests — bulk work
+  // should stay in Montgomery domain via the Limbs API below.
+  BigInt Mul(const BigInt& a, const BigInt& b) const;
+
+  // Montgomery-domain API for hot loops (fixed width k limbs).
+  using Limbs = std::vector<uint64_t>;
+  Limbs ToMont(const BigInt& a) const;
+  BigInt FromMont(const Limbs& a) const;
+  Limbs MontMul(const Limbs& a, const Limbs& b) const;
+  Limbs One() const;  // R mod n (the Montgomery representation of 1)
+
+ private:
+  void Reduce(Limbs& t) const;  // conditional final subtraction
+  // CIOS over raw pointers (hot path): t = scratch (k+2 limbs), out = k limbs.
+  void MulRaw(const uint64_t* a, const uint64_t* b, uint64_t* t, uint64_t* out) const;
+
+  BigInt n_;
+  Limbs n_limbs_;   // exactly k limbs
+  size_t k_;
+  uint64_t n0inv_;  // -n^{-1} mod 2^64
+  Limbs rr_;        // R^2 mod n in plain form, k limbs
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_MONTGOMERY_H_

@@ -1,0 +1,57 @@
+#include "src/crypto/random.h"
+
+#include <cassert>
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+namespace {
+Bytes ZeroNonce() { return Bytes(12, 0); }
+}  // namespace
+
+SecureRng::SecureRng(const Bytes& seed) : stream_(seed, ZeroNonce()) {
+  assert(seed.size() == 32);
+}
+
+SecureRng SecureRng::FromLabel(uint64_t label) {
+  Writer w;
+  w.Str("dissent.rng.label");
+  w.U64(label);
+  return SecureRng(Sha256::Hash(w.data()));
+}
+
+Bytes SecureRng::RandomBytes(size_t n) { return stream_.Generate(n); }
+
+BigInt SecureRng::RandomBelow(const BigInt& bound) {
+  assert(!bound.IsZero());
+  size_t bits = bound.BitLength();
+  size_t nbytes = (bits + 7) / 8;
+  // Mask the top byte down to the bound's bit length so rejection succeeds
+  // with probability >= 1/2 per draw.
+  uint8_t top_mask = static_cast<uint8_t>(0xff >> (8 * nbytes - bits));
+  while (true) {
+    Bytes draw = stream_.Generate(nbytes);
+    draw[0] &= top_mask;
+    BigInt v = BigInt::FromBytes(draw);
+    if (BigInt::Cmp(v, bound) < 0) {
+      return v;
+    }
+  }
+}
+
+BigInt SecureRng::RandomNonZeroBelow(const BigInt& bound) {
+  while (true) {
+    BigInt v = RandomBelow(bound);
+    if (!v.IsZero()) {
+      return v;
+    }
+  }
+}
+
+uint64_t SecureRng::RandomU64() { return stream_.NextU64(); }
+
+SecureRng SecureRng::Fork() { return SecureRng(RandomBytes(32)); }
+
+}  // namespace dissent

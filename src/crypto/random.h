@@ -1,0 +1,42 @@
+// Protocol-plane randomness: keys, nonces, blinding and re-encryption factors.
+//
+// Built on ChaCha20 keyed by a 32-byte seed. The default process-wide
+// generator is *deterministically* seeded so tests, examples, and benches
+// reproduce bit-for-bit; a deployment would seed from the OS entropy pool
+// (SecureRng::SeedFromSystem). Every protocol node forks its own child stream
+// so node behaviour is independent of scheduling order.
+#ifndef DISSENT_CRYPTO_RANDOM_H_
+#define DISSENT_CRYPTO_RANDOM_H_
+
+#include <memory>
+
+#include "src/crypto/bigint.h"
+#include "src/crypto/chacha20.h"
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+class SecureRng {
+ public:
+  // Seed must be 32 bytes.
+  explicit SecureRng(const Bytes& seed);
+  // Convenience: expand a 64-bit label into a seed (tests, simulations).
+  static SecureRng FromLabel(uint64_t label);
+
+  Bytes RandomBytes(size_t n);
+  // Uniform integer in [0, bound) via rejection sampling; bound > 0.
+  BigInt RandomBelow(const BigInt& bound);
+  // Uniform integer in [1, bound).
+  BigInt RandomNonZeroBelow(const BigInt& bound);
+  uint64_t RandomU64();
+
+  // Derive an independent child generator.
+  SecureRng Fork();
+
+ private:
+  ChaCha20Stream stream_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_RANDOM_H_

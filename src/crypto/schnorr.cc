@@ -1,0 +1,74 @@
+#include "src/crypto/schnorr.h"
+
+#include "src/crypto/transcript.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+namespace {
+BigInt Challenge(const Group& group, const BigInt& pub, const BigInt& commit,
+                 const Bytes& message) {
+  Transcript t("dissent.schnorr.v1");
+  t.AppendElement(group, "pub", pub);
+  t.AppendElement(group, "commit", commit);
+  t.AppendBytes("msg", message);
+  return t.ChallengeScalar(group, "c");
+}
+}  // namespace
+
+SchnorrKeyPair SchnorrKeyPair::Generate(const Group& group, SecureRng& rng) {
+  SchnorrKeyPair kp;
+  kp.priv = rng.RandomNonZeroBelow(group.q());
+  kp.pub = group.GExp(kp.priv);
+  return kp;
+}
+
+Bytes SchnorrSignature::Serialize(const Group& group) const {
+  Writer w;
+  w.Blob(group.ElementToBytes(commit));
+  w.Blob(group.ScalarToBytes(response));
+  return w.Take();
+}
+
+std::optional<SchnorrSignature> SchnorrSignature::Deserialize(const Group& group,
+                                                              const Bytes& data) {
+  Reader r(data);
+  Bytes commit_b, response_b;
+  if (!r.Blob(&commit_b) || !r.Blob(&response_b) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  auto commit = group.ElementFromBytes(commit_b);
+  auto response = group.ScalarFromBytes(response_b);
+  if (!commit || !response) {
+    return std::nullopt;
+  }
+  return SchnorrSignature{*commit, *response};
+}
+
+SchnorrSignature SchnorrSign(const Group& group, const BigInt& priv, const Bytes& message,
+                             SecureRng& rng) {
+  BigInt k = rng.RandomNonZeroBelow(group.q());
+  SchnorrSignature sig;
+  sig.commit = group.GExp(k);
+  BigInt pub = group.GExp(priv);
+  BigInt c = Challenge(group, pub, sig.commit, message);
+  sig.response = group.AddScalars(k, group.MulScalars(c, priv));
+  return sig;
+}
+
+bool SchnorrVerify(const Group& group, const BigInt& pub, const Bytes& message,
+                   const SchnorrSignature& sig) {
+  if (!group.IsElement(pub) || !group.IsElement(sig.commit)) {
+    return false;
+  }
+  if (BigInt::Cmp(sig.response, group.q()) >= 0) {
+    return false;
+  }
+  BigInt c = Challenge(group, pub, sig.commit, message);
+  // g^s == R * y^c
+  BigInt lhs = group.GExp(sig.response);
+  BigInt rhs = group.MulElems(sig.commit, group.Exp(pub, c));
+  return lhs == rhs;
+}
+
+}  // namespace dissent

@@ -1,0 +1,38 @@
+// Schnorr signatures over the Schnorr group (Fiat-Shamir transformed).
+//
+// Dissent signs *every* protocol message (§3.3: "All network messages are
+// signed to ensure integrity and accountability"), and pseudonym keys — the
+// outputs of the scheduling shuffle — are Schnorr keys whose signatures
+// authenticate accusations (§3.9).
+#ifndef DISSENT_CRYPTO_SCHNORR_H_
+#define DISSENT_CRYPTO_SCHNORR_H_
+
+#include "src/crypto/group.h"
+#include "src/crypto/random.h"
+
+namespace dissent {
+
+struct SchnorrKeyPair {
+  BigInt priv;  // x
+  BigInt pub;   // y = g^x
+
+  static SchnorrKeyPair Generate(const Group& group, SecureRng& rng);
+};
+
+struct SchnorrSignature {
+  BigInt commit;    // R = g^k
+  BigInt response;  // s = k + c*x  (c = H(pub, R, msg))
+
+  Bytes Serialize(const Group& group) const;
+  static std::optional<SchnorrSignature> Deserialize(const Group& group, const Bytes& data);
+};
+
+SchnorrSignature SchnorrSign(const Group& group, const BigInt& priv, const Bytes& message,
+                             SecureRng& rng);
+
+bool SchnorrVerify(const Group& group, const BigInt& pub, const Bytes& message,
+                   const SchnorrSignature& sig);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_SCHNORR_H_

@@ -1,0 +1,338 @@
+#include "src/crypto/shuffle.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace dissent {
+
+namespace {
+
+void AppendStatement(const Group& group, Transcript& transcript, const BigInt& h,
+                     const CiphertextMatrix& inputs, const CiphertextMatrix& outputs) {
+  transcript.AppendElement(group, "shuf.h", h);
+  transcript.AppendU64("shuf.k", inputs.size());
+  transcript.AppendU64("shuf.width", inputs.empty() ? 0 : inputs[0].size());
+  for (const auto& row : inputs) {
+    for (const auto& ct : row) {
+      transcript.AppendElement(group, "shuf.in.a", ct.a);
+      transcript.AppendElement(group, "shuf.in.b", ct.b);
+    }
+  }
+  for (const auto& row : outputs) {
+    for (const auto& ct : row) {
+      transcript.AppendElement(group, "shuf.out.a", ct.a);
+      transcript.AppendElement(group, "shuf.out.b", ct.b);
+    }
+  }
+}
+
+std::vector<BigInt> DrawExponents(const Group& group, Transcript& transcript, size_t k) {
+  std::vector<BigInt> e(k);
+  for (size_t i = 0; i < k; ++i) {
+    BigInt v = transcript.ChallengeScalar(group, "shuf.e");
+    if (v.IsZero()) {
+      v = BigInt(1);  // keep exponents invertible; the bias is negligible
+    }
+    e[i] = v;
+  }
+  return e;
+}
+
+bool ValidMatrix(const Group& group, const CiphertextMatrix& m, size_t k, size_t width) {
+  if (m.size() != k) {
+    return false;
+  }
+  for (const auto& row : m) {
+    if (row.size() != width) {
+      return false;
+    }
+    for (const auto& ct : row) {
+      if (!group.IsElement(ct.a) || !group.IsElement(ct.b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ShuffleResult ApplyRandomShuffle(const Group& group, const BigInt& h,
+                                 const CiphertextMatrix& inputs, SecureRng& rng) {
+  const size_t k = inputs.size();
+  ShuffleResult result;
+  result.witness.perm.resize(k);
+  std::iota(result.witness.perm.begin(), result.witness.perm.end(), 0);
+  // Fisher-Yates with crypto randomness.
+  for (size_t i = k; i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.RandomBelow(BigInt(i)).Low64());
+    std::swap(result.witness.perm[i - 1], result.witness.perm[j]);
+  }
+  result.outputs.resize(k);
+  result.witness.factors.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    const auto& src = inputs[result.witness.perm[i]];
+    result.outputs[i].resize(src.size());
+    result.witness.factors[i].resize(src.size());
+    for (size_t l = 0; l < src.size(); ++l) {
+      BigInt beta = group.RandomScalar(rng);
+      result.witness.factors[i][l] = beta;
+      result.outputs[i][l] = ElGamalReEncrypt(group, h, src[l], beta);
+    }
+  }
+  return result;
+}
+
+ShuffleProof ShuffleProve(const Group& group, const BigInt& h, const CiphertextMatrix& inputs,
+                          const CiphertextMatrix& outputs, const ShuffleWitness& witness,
+                          SecureRng& rng) {
+  const size_t k = inputs.size();
+  assert(k >= 2);
+  const size_t width = inputs[0].size();
+  assert(outputs.size() == k && witness.perm.size() == k && witness.factors.size() == k);
+
+  Transcript transcript("dissent.shuffle.v1");
+  AppendStatement(group, transcript, h, inputs, outputs);
+
+  ShuffleProof proof;
+  BigInt gamma = rng.RandomNonZeroBelow(group.q());
+  proof.gamma_commit = group.GExp(gamma);
+  transcript.AppendElement(group, "shuf.Gamma", proof.gamma_commit);
+
+  std::vector<BigInt> e = DrawExponents(group, transcript, k);
+  std::vector<BigInt> e_elems(k);
+  for (size_t i = 0; i < k; ++i) {
+    e_elems[i] = group.GExp(e[i]);
+  }
+
+  // Layer 1: F_i = g^{gamma * e_{perm(i)}} plus the simple-shuffle proof.
+  std::vector<BigInt> f(k);
+  proof.f_elems.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    f[i] = group.MulScalars(gamma, e[witness.perm[i]]);
+    proof.f_elems[i] = group.GExp(f[i]);
+    transcript.AppendElement(group, "shuf.F", proof.f_elems[i]);
+  }
+  proof.perm_proof = SimpleShuffleProve(group, transcript, e_elems, proof.f_elems,
+                                        proof.gamma_commit, e, gamma, witness.perm, rng);
+
+  // Layer 2: products Q and the generalized Schnorr binding.
+  proof.q_a.assign(width, group.Identity());
+  proof.q_b.assign(width, group.Identity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t l = 0; l < width; ++l) {
+      proof.q_a[l] = group.MulElems(proof.q_a[l], group.Exp(outputs[i][l].a, f[i]));
+      proof.q_b[l] = group.MulElems(proof.q_b[l], group.Exp(outputs[i][l].b, f[i]));
+    }
+  }
+  for (size_t l = 0; l < width; ++l) {
+    transcript.AppendElement(group, "shuf.QA", proof.q_a[l]);
+    transcript.AppendElement(group, "shuf.QB", proof.q_b[l]);
+  }
+
+  std::vector<BigInt> w(k);
+  proof.bind_t_f.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    w[i] = group.RandomScalar(rng);
+    proof.bind_t_f[i] = group.GExp(w[i]);
+    transcript.AppendElement(group, "shuf.bind.TF", proof.bind_t_f[i]);
+  }
+  proof.bind_t_qa.assign(width, group.Identity());
+  proof.bind_t_qb.assign(width, group.Identity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t l = 0; l < width; ++l) {
+      proof.bind_t_qa[l] = group.MulElems(proof.bind_t_qa[l], group.Exp(outputs[i][l].a, w[i]));
+      proof.bind_t_qb[l] = group.MulElems(proof.bind_t_qb[l], group.Exp(outputs[i][l].b, w[i]));
+    }
+  }
+  for (size_t l = 0; l < width; ++l) {
+    transcript.AppendElement(group, "shuf.bind.TQA", proof.bind_t_qa[l]);
+    transcript.AppendElement(group, "shuf.bind.TQB", proof.bind_t_qb[l]);
+  }
+  BigInt c1 = transcript.ChallengeScalar(group, "shuf.c1");
+  proof.bind_z.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    proof.bind_z[i] = group.AddScalars(w[i], group.MulScalars(c1, f[i]));
+    transcript.AppendScalar(group, "shuf.bind.z", proof.bind_z[i]);
+  }
+
+  // Layer 3: product argument over verifier-computable PA/PB.
+  std::vector<BigInt> p_a(width, group.Identity()), p_b(width, group.Identity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t l = 0; l < width; ++l) {
+      p_a[l] = group.MulElems(p_a[l], group.Exp(inputs[i][l].a, e[i]));
+      p_b[l] = group.MulElems(p_b[l], group.Exp(inputs[i][l].b, e[i]));
+    }
+  }
+  std::vector<BigInt> bhat(width);
+  for (size_t l = 0; l < width; ++l) {
+    BigInt acc;
+    for (size_t i = 0; i < k; ++i) {
+      acc = group.AddScalars(acc, group.MulScalars(witness.factors[i][l], f[i]));
+    }
+    bhat[l] = acc;
+  }
+
+  BigInt s = group.RandomScalar(rng);
+  std::vector<BigInt> t(width);
+  proof.prod_t_a.resize(width);
+  proof.prod_t_b.resize(width);
+  for (size_t l = 0; l < width; ++l) {
+    t[l] = group.RandomScalar(rng);
+    proof.prod_t_a[l] = group.MulElems(group.GExp(t[l]), group.Exp(p_a[l], s));
+    proof.prod_t_b[l] = group.MulElems(group.Exp(h, t[l]), group.Exp(p_b[l], s));
+    transcript.AppendElement(group, "shuf.prod.TA", proof.prod_t_a[l]);
+    transcript.AppendElement(group, "shuf.prod.TB", proof.prod_t_b[l]);
+  }
+  proof.prod_t_gamma = group.GExp(s);
+  transcript.AppendElement(group, "shuf.prod.Tg", proof.prod_t_gamma);
+
+  BigInt c2 = transcript.ChallengeScalar(group, "shuf.c2");
+  proof.prod_z_s = group.AddScalars(s, group.MulScalars(c2, gamma));
+  proof.prod_z_t.resize(width);
+  for (size_t l = 0; l < width; ++l) {
+    proof.prod_z_t[l] = group.AddScalars(t[l], group.MulScalars(c2, bhat[l]));
+  }
+  return proof;
+}
+
+bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& inputs,
+                   const CiphertextMatrix& outputs, const ShuffleProof& proof) {
+  const size_t k = inputs.size();
+  if (k < 2 || inputs[0].empty()) {
+    return false;
+  }
+  const size_t width = inputs[0].size();
+  if (!group.IsElement(h) || !ValidMatrix(group, inputs, k, width) ||
+      !ValidMatrix(group, outputs, k, width)) {
+    return false;
+  }
+  if (proof.f_elems.size() != k || proof.bind_t_f.size() != k || proof.bind_z.size() != k ||
+      proof.q_a.size() != width || proof.q_b.size() != width ||
+      proof.bind_t_qa.size() != width || proof.bind_t_qb.size() != width ||
+      proof.prod_t_a.size() != width || proof.prod_t_b.size() != width ||
+      proof.prod_z_t.size() != width) {
+    return false;
+  }
+  auto all_elements = [&group](const std::vector<BigInt>& v) {
+    for (const BigInt& x : v) {
+      if (!group.IsElement(x)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!group.IsElement(proof.gamma_commit) || !group.IsElement(proof.prod_t_gamma) ||
+      !all_elements(proof.f_elems) || !all_elements(proof.q_a) || !all_elements(proof.q_b) ||
+      !all_elements(proof.bind_t_f) || !all_elements(proof.bind_t_qa) ||
+      !all_elements(proof.bind_t_qb) || !all_elements(proof.prod_t_a) ||
+      !all_elements(proof.prod_t_b)) {
+    return false;
+  }
+  auto all_scalars = [&group](const std::vector<BigInt>& v) {
+    for (const BigInt& x : v) {
+      if (BigInt::Cmp(x, group.q()) >= 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!all_scalars(proof.bind_z) || !all_scalars(proof.prod_z_t) ||
+      BigInt::Cmp(proof.prod_z_s, group.q()) >= 0) {
+    return false;
+  }
+
+  Transcript transcript("dissent.shuffle.v1");
+  AppendStatement(group, transcript, h, inputs, outputs);
+  transcript.AppendElement(group, "shuf.Gamma", proof.gamma_commit);
+
+  std::vector<BigInt> e = DrawExponents(group, transcript, k);
+  std::vector<BigInt> e_elems(k);
+  for (size_t i = 0; i < k; ++i) {
+    e_elems[i] = group.GExp(e[i]);
+  }
+  for (size_t i = 0; i < k; ++i) {
+    transcript.AppendElement(group, "shuf.F", proof.f_elems[i]);
+  }
+
+  // Layer 1.
+  if (!SimpleShuffleVerify(group, transcript, e_elems, proof.f_elems, proof.gamma_commit,
+                           proof.perm_proof)) {
+    return false;
+  }
+
+  // Layer 2.
+  for (size_t l = 0; l < width; ++l) {
+    transcript.AppendElement(group, "shuf.QA", proof.q_a[l]);
+    transcript.AppendElement(group, "shuf.QB", proof.q_b[l]);
+  }
+  for (size_t i = 0; i < k; ++i) {
+    transcript.AppendElement(group, "shuf.bind.TF", proof.bind_t_f[i]);
+  }
+  for (size_t l = 0; l < width; ++l) {
+    transcript.AppendElement(group, "shuf.bind.TQA", proof.bind_t_qa[l]);
+    transcript.AppendElement(group, "shuf.bind.TQB", proof.bind_t_qb[l]);
+  }
+  BigInt c1 = transcript.ChallengeScalar(group, "shuf.c1");
+  for (size_t i = 0; i < k; ++i) {
+    // g^{z_i} == TF_i * F_i^{c1}
+    if (group.GExp(proof.bind_z[i]) !=
+        group.MulElems(proof.bind_t_f[i], group.Exp(proof.f_elems[i], c1))) {
+      return false;
+    }
+    transcript.AppendScalar(group, "shuf.bind.z", proof.bind_z[i]);
+  }
+  for (size_t l = 0; l < width; ++l) {
+    BigInt lhs_a = group.Identity();
+    BigInt lhs_b = group.Identity();
+    for (size_t i = 0; i < k; ++i) {
+      lhs_a = group.MulElems(lhs_a, group.Exp(outputs[i][l].a, proof.bind_z[i]));
+      lhs_b = group.MulElems(lhs_b, group.Exp(outputs[i][l].b, proof.bind_z[i]));
+    }
+    if (lhs_a != group.MulElems(proof.bind_t_qa[l], group.Exp(proof.q_a[l], c1))) {
+      return false;
+    }
+    if (lhs_b != group.MulElems(proof.bind_t_qb[l], group.Exp(proof.q_b[l], c1))) {
+      return false;
+    }
+  }
+
+  // Layer 3.
+  std::vector<BigInt> p_a(width, group.Identity()), p_b(width, group.Identity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t l = 0; l < width; ++l) {
+      p_a[l] = group.MulElems(p_a[l], group.Exp(inputs[i][l].a, e[i]));
+      p_b[l] = group.MulElems(p_b[l], group.Exp(inputs[i][l].b, e[i]));
+    }
+  }
+  for (size_t l = 0; l < width; ++l) {
+    transcript.AppendElement(group, "shuf.prod.TA", proof.prod_t_a[l]);
+    transcript.AppendElement(group, "shuf.prod.TB", proof.prod_t_b[l]);
+  }
+  transcript.AppendElement(group, "shuf.prod.Tg", proof.prod_t_gamma);
+  BigInt c2 = transcript.ChallengeScalar(group, "shuf.c2");
+
+  // g^{z_s} == Tg * Gamma^{c2}
+  if (group.GExp(proof.prod_z_s) !=
+      group.MulElems(proof.prod_t_gamma, group.Exp(proof.gamma_commit, c2))) {
+    return false;
+  }
+  for (size_t l = 0; l < width; ++l) {
+    // g^{z_t} * PA^{z_s} == TA * QA^{c2}
+    BigInt lhs = group.MulElems(group.GExp(proof.prod_z_t[l]),
+                                group.Exp(p_a[l], proof.prod_z_s));
+    BigInt rhs = group.MulElems(proof.prod_t_a[l], group.Exp(proof.q_a[l], c2));
+    if (lhs != rhs) {
+      return false;
+    }
+    // h^{z_t} * PB^{z_s} == TB * QB^{c2}
+    lhs = group.MulElems(group.Exp(h, proof.prod_z_t[l]), group.Exp(p_b[l], proof.prod_z_s));
+    rhs = group.MulElems(proof.prod_t_b[l], group.Exp(proof.q_b[l], c2));
+    if (lhs != rhs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dissent

@@ -1,0 +1,86 @@
+// Verifiable re-encryption shuffle of ElGamal ciphertexts (Neff-style [44]).
+//
+// Statement: outputs are a permuted re-encryption of inputs under public key
+// h. Each logical message is a tuple of L independently-encrypted ElGamal
+// ciphertexts (L = 1 for the key shuffle of §3.10; L > 1 for general message
+// shuffles whose payloads exceed one group element).
+//
+// Construction (three chained sub-arguments; see DESIGN.md §3.3):
+//  1. Permutation layer. Prover commits Gamma = g^gamma; Fiat-Shamir draws
+//     public exponents e_1..e_k; prover publishes F_i = g^{f_i} with
+//     f_i = gamma * e_{pi(i)} and proves exactly that with Neff's Simple
+//     k-Shuffle (ILMPP core). The f_i themselves stay secret — revealing
+//     them would reveal pi.
+//  2. Binding layer. Prover publishes, per tuple column l, the products
+//       QA_l = prod_i OutA_i^{f_i},   QB_l = prod_i OutB_i^{f_i}
+//     and proves with a generalized Schnorr argument that these products
+//     use the same f_i committed in F_i.
+//  3. Product layer. A sigma protocol with witnesses (gamma, Bhat_l) proves
+//       QA_l = g^{Bhat_l} * PA_l^{gamma},  QB_l = h^{Bhat_l} * PB_l^{gamma},
+//       Gamma = g^{gamma},
+//     where PA_l = prod_i InA_i^{e_i} is verifier-computed and
+//     Bhat_l = sum_i beta_{i,l} f_i.
+//
+// Soundness: layer 1 pins {f_i} = gamma*{e_{pi(i)}}; layer 2 pins Q to those
+// f_i; layer 3 then forces prod Out^{e_pi} = (prod In^{e}) * (g|h)^{B} — for
+// outputs that are NOT a permuted re-encryption this fails with overwhelming
+// probability over the random e (Schwartz-Zippel). Tamper tests in
+// tests/crypto/shuffle_test.cc exercise every mutation point.
+#ifndef DISSENT_CRYPTO_SHUFFLE_H_
+#define DISSENT_CRYPTO_SHUFFLE_H_
+
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/simple_shuffle.h"
+
+namespace dissent {
+
+// tuples[i][l]: ciphertext l of logical message i. All rows must share the
+// same width L >= 1.
+using CiphertextMatrix = std::vector<std::vector<ElGamalCiphertext>>;
+
+struct ShuffleWitness {
+  // outputs[i] = ReEncrypt(inputs[perm[i]], factors[i][l]).
+  std::vector<size_t> perm;
+  std::vector<std::vector<BigInt>> factors;
+};
+
+struct ShuffleProof {
+  // Layer 1: permutation.
+  BigInt gamma_commit;            // Gamma = g^gamma
+  std::vector<BigInt> f_elems;    // F_i = g^{f_i}
+  SimpleShuffleProof perm_proof;
+  // Layer 2: binding (per column l plus per index i).
+  std::vector<BigInt> q_a;        // [L] prover-supplied products
+  std::vector<BigInt> q_b;        // [L]
+  std::vector<BigInt> bind_t_f;   // [k] g^{w_i}
+  std::vector<BigInt> bind_t_qa;  // [L] prod OutA_i^{w_i}
+  std::vector<BigInt> bind_t_qb;  // [L] prod OutB_i^{w_i}
+  std::vector<BigInt> bind_z;     // [k] w_i + c1 * f_i
+  // Layer 3: product argument.
+  std::vector<BigInt> prod_t_a;   // [L] g^{t_l} * PA_l^{s}
+  std::vector<BigInt> prod_t_b;   // [L] h^{t_l} * PB_l^{s}
+  BigInt prod_t_gamma;            // g^{s}
+  BigInt prod_z_s;                // s + c2 * gamma
+  std::vector<BigInt> prod_z_t;   // [L] t_l + c2 * Bhat_l
+};
+
+// Applies a uniformly random permutation + fresh re-encryption factors.
+struct ShuffleResult {
+  CiphertextMatrix outputs;
+  ShuffleWitness witness;
+};
+ShuffleResult ApplyRandomShuffle(const Group& group, const BigInt& h,
+                                 const CiphertextMatrix& inputs, SecureRng& rng);
+
+ShuffleProof ShuffleProve(const Group& group, const BigInt& h, const CiphertextMatrix& inputs,
+                          const CiphertextMatrix& outputs, const ShuffleWitness& witness,
+                          SecureRng& rng);
+
+bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& inputs,
+                   const CiphertextMatrix& outputs, const ShuffleProof& proof);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_SHUFFLE_H_

@@ -1,0 +1,41 @@
+// Neff's Simple k-Shuffle [44].
+//
+// Given X_i = g^{x_i}, Y_i = g^{y_i}, and Gamma = g^{gamma}, the prover
+// demonstrates the existence of a permutation pi with
+//     y_i == gamma * x_{pi(i)}   (mod q)  for all i,
+// i.e. the Y sequence is an exponent-scaled permutation of the X sequence.
+//
+// Reduction (as in [44] section 4): verifier draws random t; both sides form
+//   Xhat_i = X_i * g^{-t},   Yhat_i = Y_i * Gamma^{-t}
+// and the claim becomes the product identity
+//   prod(xhat_i) * gamma^k == prod(yhat_i) * 1^k,
+// proven with a single 2k-element ILMPP over the sequences
+//   (Xhat_1..Xhat_k, Gamma..Gamma)  and  (Yhat_1..Yhat_k, g..g).
+#ifndef DISSENT_CRYPTO_SIMPLE_SHUFFLE_H_
+#define DISSENT_CRYPTO_SIMPLE_SHUFFLE_H_
+
+#include <vector>
+
+#include "src/crypto/ilmpp.h"
+
+namespace dissent {
+
+struct SimpleShuffleProof {
+  IlmppProof ilmpp;
+};
+
+// Prover knows x_logs (logs of xs), gamma, and perm with
+// y_i = gamma * x_logs[perm[i]]; ys must equal g^{y_i} accordingly.
+SimpleShuffleProof SimpleShuffleProve(const Group& group, Transcript& transcript,
+                                      const std::vector<BigInt>& xs,
+                                      const std::vector<BigInt>& ys, const BigInt& gamma_commit,
+                                      const std::vector<BigInt>& x_logs, const BigInt& gamma,
+                                      const std::vector<size_t>& perm, SecureRng& rng);
+
+bool SimpleShuffleVerify(const Group& group, Transcript& transcript,
+                         const std::vector<BigInt>& xs, const std::vector<BigInt>& ys,
+                         const BigInt& gamma_commit, const SimpleShuffleProof& proof);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_SIMPLE_SHUFFLE_H_

@@ -1,0 +1,49 @@
+#include "src/crypto/transcript.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+Transcript::Transcript(const std::string& domain) {
+  state_.assign(32, 0);
+  Absorb("domain", BytesOf(domain));
+}
+
+void Transcript::Absorb(const std::string& label, const Bytes& data) {
+  Writer w;
+  w.Raw(state_);
+  w.Str(label);
+  w.Blob(data);
+  state_ = Sha256::Hash(w.data());
+}
+
+void Transcript::AppendBytes(const std::string& label, const Bytes& data) {
+  Absorb(label, data);
+}
+
+void Transcript::AppendU64(const std::string& label, uint64_t v) {
+  Writer w;
+  w.U64(v);
+  Absorb(label, w.data());
+}
+
+void Transcript::AppendElement(const Group& group, const std::string& label, const BigInt& elem) {
+  Absorb(label, group.ElementToBytes(elem));
+}
+
+void Transcript::AppendScalar(const Group& group, const std::string& label, const BigInt& scalar) {
+  Absorb(label, group.ScalarToBytes(scalar));
+}
+
+BigInt Transcript::ChallengeScalar(const Group& group, const std::string& label) {
+  Bytes raw = ChallengeBytes(label);
+  return group.HashToScalar(raw);
+}
+
+Bytes Transcript::ChallengeBytes(const std::string& label) {
+  Absorb("challenge:" + label, Bytes());
+  return state_;
+}
+
+}  // namespace dissent

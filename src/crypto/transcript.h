@@ -1,0 +1,41 @@
+// Fiat-Shamir transcript: an append-only hash chain with domain separation.
+//
+// Every non-interactive proof in the repo (Schnorr signatures, Chaum-Pedersen,
+// ILMPP, simple shuffle, full shuffle) derives its challenges from one of
+// these. Labels make the encoding unambiguous; the chain binds each challenge
+// to everything appended before it.
+#ifndef DISSENT_CRYPTO_TRANSCRIPT_H_
+#define DISSENT_CRYPTO_TRANSCRIPT_H_
+
+#include <string>
+
+#include "src/crypto/bigint.h"
+#include "src/crypto/group.h"
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+class Transcript {
+ public:
+  explicit Transcript(const std::string& domain);
+
+  void AppendBytes(const std::string& label, const Bytes& data);
+  void AppendU64(const std::string& label, uint64_t v);
+  void AppendElement(const Group& group, const std::string& label, const BigInt& elem);
+  void AppendScalar(const Group& group, const std::string& label, const BigInt& scalar);
+
+  // Derives a challenge scalar in [0, q) and folds it back into the chain
+  // (so successive challenges are independent).
+  BigInt ChallengeScalar(const Group& group, const std::string& label);
+  // Raw 32-byte challenge.
+  Bytes ChallengeBytes(const std::string& label);
+
+ private:
+  void Absorb(const std::string& label, const Bytes& data);
+
+  Bytes state_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CRYPTO_TRANSCRIPT_H_

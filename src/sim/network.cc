@@ -1,0 +1,56 @@
+#include "src/sim/network.h"
+
+#include <cassert>
+
+namespace dissent {
+
+NodeId Network::AddNode(DeliveryFn on_message) {
+  NodeState st;
+  st.on_message = std::move(on_message);
+  nodes_.push_back(std::move(st));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::SetLink(NodeId from, NodeId to, LinkSpec spec) {
+  links_[(static_cast<uint64_t>(from) << 32) | to] = spec;
+}
+
+void Network::SetUplink(NodeId node, LinkSpec spec) { nodes_[node].uplink = spec; }
+
+void Network::SetOnline(NodeId node, bool online) { nodes_[node].online = online; }
+
+const LinkSpec& Network::LinkFor(NodeId from, NodeId to) const {
+  auto it = links_.find((static_cast<uint64_t>(from) << 32) | to);
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void Network::Send(NodeId from, NodeId to, Bytes payload) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  if (!nodes_[from].online) {
+    return;
+  }
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+
+  NodeState& src = nodes_[from];
+  SimTime start = sim_->Now();
+  // Shared-NIC uplink serialization: messages leave one at a time.
+  if (src.uplink.bandwidth_bps > 0) {
+    SimTime ser = src.uplink.SerializationDelay(payload.size());
+    SimTime depart = std::max(start, src.uplink_busy_until) + ser;
+    src.uplink_busy_until = depart;
+    start = depart + src.uplink.latency;
+  }
+  const LinkSpec& link = LinkFor(from, to);
+  SimTime arrive = start + link.latency + link.SerializationDelay(payload.size());
+
+  sim_->ScheduleAt(arrive, [this, from, to, p = std::move(payload)]() {
+    NodeState& dst = nodes_[to];
+    if (!dst.online || !dst.on_message) {
+      return;  // dropped: receiver offline at delivery time
+    }
+    dst.on_message(from, p);
+  });
+}
+
+}  // namespace dissent

@@ -1,0 +1,84 @@
+// Simulated message network: nodes, directional links with latency and
+// bandwidth (FIFO serialization queues), online/offline state.
+//
+// Topologies used by the benches mirror the paper's §5 testbeds:
+//  * DeterLab: servers on a shared 100 Mbps / 10 ms mesh; client machines on
+//    100 Mbps / 50 ms uplinks to their upstream server.
+//  * PlanetLab-like: heavy-tailed client delays + dropouts (latency_model.h).
+//  * Emulab WLAN: every node 24 Mbps / 10 ms to a switch (§5.4).
+#ifndef DISSENT_SIM_NETWORK_H_
+#define DISSENT_SIM_NETWORK_H_
+
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+using NodeId = uint32_t;
+
+struct LinkSpec {
+  SimTime latency = 0;
+  // Bytes per second; 0 means infinite (no serialization delay).
+  double bandwidth_bps = 0;
+
+  SimTime SerializationDelay(size_t bytes) const {
+    if (bandwidth_bps <= 0) {
+      return 0;
+    }
+    return static_cast<SimTime>(static_cast<double>(bytes) / bandwidth_bps * kSecond);
+  }
+};
+
+class Network {
+ public:
+  explicit Network(Simulator* sim) : sim_(sim) {}
+
+  using DeliveryFn = std::function<void(NodeId from, const Bytes& payload)>;
+
+  NodeId AddNode(DeliveryFn on_message);
+  size_t node_count() const { return nodes_.size(); }
+
+  // Directional link override; unset pairs use the default link.
+  void SetLink(NodeId from, NodeId to, LinkSpec spec);
+  void SetDefaultLink(LinkSpec spec) { default_link_ = spec; }
+  // Per-node uplink/downlink shared serialization (models one NIC rather
+  // than per-destination capacity). Disabled when bandwidth is 0.
+  void SetUplink(NodeId node, LinkSpec spec);
+
+  void SetOnline(NodeId node, bool online);
+  bool IsOnline(NodeId node) const { return nodes_[node].online; }
+
+  // Queues the message; delivery happens after uplink serialization + link
+  // latency. Messages to/from offline nodes are dropped silently (the sender
+  // cannot tell — exactly the failure mode §3.6 is designed around).
+  void Send(NodeId from, NodeId to, Bytes payload);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct NodeState {
+    DeliveryFn on_message;
+    bool online = true;
+    LinkSpec uplink;              // bandwidth 0 => unlimited
+    SimTime uplink_busy_until = 0;
+  };
+
+  const LinkSpec& LinkFor(NodeId from, NodeId to) const;
+
+  Simulator* sim_;
+  std::vector<NodeState> nodes_;
+  LinkSpec default_link_;
+  std::unordered_map<uint64_t, LinkSpec> links_;  // key = from << 32 | to
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_SIM_NETWORK_H_

@@ -1,0 +1,45 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+
+namespace dissent {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const ref; move out via const_cast is UB-free
+  // here because we pop immediately after copying the closure.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace dissent

@@ -1,0 +1,67 @@
+// Deterministic discrete-event simulator.
+//
+// This replaces the paper's physical testbeds (DeterLab, PlanetLab, Emulab,
+// EC2 — §5). Time is int64 microseconds; events execute in strict
+// (time, insertion-sequence) order, so identical seeds reproduce identical
+// runs bit-for-bit.
+#ifndef DISSENT_SIM_SIMULATOR_H_
+#define DISSENT_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dissent {
+
+using SimTime = int64_t;  // microseconds
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000000;
+
+inline double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+inline SimTime FromSeconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+class Simulator {
+ public:
+  SimTime Now() const { return now_; }
+
+  // Schedules fn at Now() + delay (delay >= 0).
+  void Schedule(SimTime delay, std::function<void()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs a single event; returns false when the queue is empty.
+  bool Step();
+  // Runs until the queue drains.
+  void RunUntilIdle();
+  // Runs events with time <= deadline (clock ends at deadline).
+  void RunUntil(SimTime deadline);
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_SIM_SIMULATOR_H_

@@ -1,0 +1,63 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+
+namespace dissent {
+
+void Samples::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::Mean() const {
+  assert(!values_.empty());
+  return std::accumulate(values_.begin(), values_.end(), 0.0) / values_.size();
+}
+
+double Samples::Min() const {
+  EnsureSorted();
+  return values_.front();
+}
+
+double Samples::Max() const {
+  EnsureSorted();
+  return values_.back();
+}
+
+double Samples::Percentile(double q) const {
+  assert(!values_.empty());
+  EnsureSorted();
+  if (q <= 0) {
+    return values_.front();
+  }
+  if (q >= 1) {
+    return values_.back();
+  }
+  size_t idx = static_cast<size_t>(q * values_.size());
+  if (idx >= values_.size()) {
+    idx = values_.size() - 1;
+  }
+  return values_[idx];
+}
+
+double Samples::CdfAt(double x) const {
+  if (values_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / values_.size();
+}
+
+void Samples::PrintCdf(const std::string& label, const std::vector<double>& probes) const {
+  for (double p : probes) {
+    std::printf("%s  p=%.2f  %.3f\n", label.c_str(), p, Percentile(p));
+  }
+}
+
+}  // namespace dissent

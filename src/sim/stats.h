@@ -1,0 +1,41 @@
+// Small statistics helpers for the benchmark harnesses: percentiles, CDFs,
+// and formatted series output matching the paper's figures.
+#ifndef DISSENT_SIM_STATS_H_
+#define DISSENT_SIM_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace dissent {
+
+class Samples {
+ public:
+  void Add(double v) { values_.push_back(v); }
+  size_t Count() const { return values_.size(); }
+  bool Empty() const { return values_.empty(); }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // q in [0, 1]; nearest-rank on the sorted data.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+
+  // Fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  // Prints "p  value" rows for a CDF plot (Figs 6 and 11 are CDFs).
+  void PrintCdf(const std::string& label, const std::vector<double>& probes) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_SIM_STATS_H_

@@ -1,0 +1,76 @@
+#include "src/simmodel/calibration.h"
+
+#include <chrono>
+
+#include "src/core/dcnet.h"
+#include "src/core/output_cert.h"
+#include "src/crypto/group.h"
+#include "src/crypto/schnorr.h"
+#include "src/crypto/sha256.h"
+
+namespace dissent {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+Calibration Calibration::Measure() {
+  Calibration c;
+  Bytes key(32, 0x42);
+
+  {  // ChaCha pad expansion.
+    constexpr size_t kBytes = 1 << 22;
+    Bytes buf(kBytes, 0);
+    auto t0 = std::chrono::steady_clock::now();
+    XorDcnetPad(key, 1, buf);
+    c.prng_bytes_per_sec = kBytes / SecondsSince(t0);
+  }
+  {  // XOR combining.
+    constexpr size_t kBytes = 1 << 22;
+    Bytes a(kBytes, 1), b(kBytes, 2);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 8; ++i) {
+      XorInto(a, b);
+    }
+    c.xor_bytes_per_sec = 8.0 * kBytes / SecondsSince(t0);
+  }
+  {  // SHA-256.
+    constexpr size_t kBytes = 1 << 22;
+    Bytes buf(kBytes, 3);
+    auto t0 = std::chrono::steady_clock::now();
+    Bytes digest = Sha256::Hash(buf);
+    c.hash_bytes_per_sec = kBytes / SecondsSince(t0);
+  }
+  {  // Schnorr sign/verify and raw modexp on the test group.
+    auto g = Group::Named(GroupId::kTesting256);
+    SecureRng rng = SecureRng::FromLabel(777);
+    SchnorrKeyPair kp = SchnorrKeyPair::Generate(*g, rng);
+    Bytes msg(64, 9);
+    constexpr int kIters = 20;
+    auto t0 = std::chrono::steady_clock::now();
+    SchnorrSignature sig;
+    for (int i = 0; i < kIters; ++i) {
+      sig = SchnorrSign(*g, kp.priv, msg, rng);
+    }
+    c.sign_sec = SecondsSince(t0) / kIters;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      SchnorrVerify(*g, kp.pub, msg, sig);
+    }
+    c.verify_sec = SecondsSince(t0) / kIters;
+    BigInt e = g->RandomScalar(rng);
+    t0 = std::chrono::steady_clock::now();
+    BigInt acc = g->g();
+    for (int i = 0; i < kIters; ++i) {
+      acc = g->Exp(acc, e);
+    }
+    c.modexp_sec = SecondsSince(t0) / kIters;
+  }
+  return c;
+}
+
+}  // namespace dissent

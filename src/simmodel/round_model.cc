@@ -1,0 +1,168 @@
+#include "src/simmodel/round_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/core/cleartext.h"
+
+namespace dissent {
+
+size_t MicroblogCleartextBytes(size_t num_clients) {
+  size_t request_region = (num_clients + 7) / 8;
+  size_t senders = std::max<size_t>(1, num_clients / 100);  // 1% submit
+  return request_region + senders * (128 + SlotOverheadBytes());
+}
+
+size_t DataSharingCleartextBytes(size_t num_clients) {
+  size_t request_region = (num_clients + 7) / 8;
+  return request_region + (128 * 1024 + SlotOverheadBytes());
+}
+
+WindowOutcome ApplyWindowPolicy(std::vector<double> delays_sec, double fraction,
+                                double multiplier, double hard_deadline_sec,
+                                bool wait_for_all) {
+  WindowOutcome out;
+  const size_t n = delays_sec.size();
+  std::vector<double> submitted;
+  submitted.reserve(n);
+  for (double d : delays_sec) {
+    if (d >= 0) {
+      submitted.push_back(d);
+    }
+  }
+  std::sort(submitted.begin(), submitted.end());
+
+  if (wait_for_all) {
+    // Baseline: wait for every online client or the hard deadline.
+    if (submitted.size() == n && !submitted.empty() &&
+        submitted.back() <= hard_deadline_sec) {
+      out.close_sec = submitted.back();
+    } else {
+      out.close_sec = hard_deadline_sec;
+    }
+  } else {
+    size_t threshold = static_cast<size_t>(std::ceil(fraction * static_cast<double>(n)));
+    threshold = std::max<size_t>(threshold, 1);
+    if (submitted.size() < threshold) {
+      out.close_sec = hard_deadline_sec;  // §3.7 hard timeout path
+    } else {
+      double t_fraction = submitted[threshold - 1];
+      out.close_sec = std::min(multiplier * t_fraction, hard_deadline_sec);
+    }
+  }
+  for (double d : submitted) {
+    if (d <= out.close_sec) {
+      ++out.captured;
+    } else {
+      ++out.missed;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct NetParams {
+  double client_bw = 0;      // client machine uplink bytes/sec
+  double client_lat = 0;     // seconds
+  double server_bw = 0;      // server NIC bytes/sec (switched full duplex)
+  double server_lat = 0;     // seconds
+};
+
+NetParams ParamsFor(const RoundConfig& cfg) {
+  NetParams p;
+  switch (cfg.topology) {
+    case TopologyKind::kDeterlab:
+      p.client_bw = cfg.deterlab.client_bandwidth_bps;
+      p.client_lat = ToSeconds(cfg.deterlab.client_latency);
+      p.server_bw = cfg.deterlab.server_bandwidth_bps;
+      p.server_lat = ToSeconds(cfg.deterlab.server_latency);
+      break;
+    case TopologyKind::kPlanetlab:
+      // EC2-style cluster: fast LAN between servers.
+      p.client_bw = 1.25e6;  // ~10 Mbps effective per PlanetLab node
+      p.client_lat = 0.050;
+      p.server_bw = 125e6;   // 1 Gbps EC2 LAN
+      p.server_lat = 0.014;  // Yale <-> EC2 US East RTT/2 (§5.2)
+      break;
+    case TopologyKind::kWlan:
+      p.client_bw = cfg.wlan.bandwidth_bps;
+      p.client_lat = ToSeconds(cfg.wlan.latency);
+      p.server_bw = cfg.wlan.bandwidth_bps;
+      p.server_lat = ToSeconds(cfg.wlan.latency);
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+RoundTimes SimulateRound(const RoundConfig& cfg, const Calibration& cal, Rng& rng) {
+  RoundTimes out;
+  const NetParams net = ParamsFor(cfg);
+  const size_t len = cfg.cleartext_bytes;
+  const size_t n = cfg.num_clients;
+  const size_t m = cfg.num_servers;
+  assert(m >= 1 && n >= 1);
+
+  // --- Phase 1: client compute + submission delays ---
+  std::vector<double> delays(n);
+  if (cfg.topology == TopologyKind::kPlanetlab) {
+    for (size_t i = 0; i < n; ++i) {
+      SimTime d = cfg.planetlab.Draw(rng);
+      delays[i] = d < 0 ? -1.0 : ToSeconds(d);
+    }
+  } else {
+    // Client compute: M pads + XOR, then upload through the machine-shared
+    // uplink (position within the machine's batch serializes).
+    double compute = cal.PrngSec(m * len) + cal.XorSec((m + 1) * len);
+    for (size_t i = 0; i < n; ++i) {
+      size_t pos = i % std::max<size_t>(1, cfg.clients_per_machine);
+      double upload = static_cast<double>((pos + 1) * len) / net.client_bw;
+      // Small per-client jitter models OS scheduling noise.
+      delays[i] = compute + upload + net.client_lat + rng.Uniform(0, 0.005);
+    }
+  }
+  WindowOutcome window =
+      ApplyWindowPolicy(delays, cfg.window_fraction, cfg.window_multiplier,
+                        cfg.hard_deadline_sec, cfg.wait_for_all);
+  out.client_submission_sec = window.close_sec;
+  out.participants = window.captured;
+  out.missed = window.missed;
+  const size_t participants = std::max<size_t>(window.captured, 1);
+
+  // --- Phase 2: inventory exchange (client-id lists between servers) ---
+  double inventory_bytes = 4.0 * static_cast<double>(participants);
+  double inventory =
+      net.server_lat + (static_cast<double>(m - 1) * inventory_bytes) / net.server_bw;
+
+  // --- Phase 3: pads + own-share XOR + commit ---
+  double pads = cal.PrngSec(participants * len);
+  double own_xor = cal.XorSec((participants / m + 1) * len);
+  double commit = cal.HashSec(len) + net.server_lat;  // 32-byte commit exchange
+
+  // --- Phase 4: server ciphertext exchange (switched full-duplex NICs) ---
+  double exchange =
+      net.server_lat + static_cast<double>((m - 1) * len) / net.server_bw;
+
+  // --- Phase 5: combine + certification ---
+  double combine = cal.XorSec(m * len) + cal.HashSec(m * len);  // verify commits
+  double certify = cal.sign_sec + static_cast<double>(m) * cal.verify_sec + net.server_lat;
+
+  // --- Phase 6: distribution to directly-attached clients ---
+  // Each server pushes the output to its n/m clients; client machines share
+  // downlinks just as they share uplinks.
+  size_t clients_per_server = (n + m - 1) / m;
+  double server_egress = static_cast<double>(clients_per_server * len) / net.server_bw;
+  double machine_ingress =
+      static_cast<double>(std::max<size_t>(1, cfg.clients_per_machine) * len) / net.client_bw;
+  double distribute = std::max(server_egress, machine_ingress) + net.client_lat;
+
+  out.server_processing_sec =
+      inventory + pads + own_xor + commit + exchange + combine + certify + distribute;
+  out.total_sec = out.client_submission_sec + out.server_processing_sec;
+  return out;
+}
+
+}  // namespace dissent

@@ -1,0 +1,77 @@
+// Performance model of one Dissent DC-net round (Algorithm 1 + 2).
+//
+// Mirrors the phase structure of the real implementation in src/core and
+// charges each phase its communication (latency + serialization on the §5.2
+// topologies) and computation (calibrated against the real code):
+//
+//   broadcast prior output -> client compute + submission (window policy)
+//   -> inventory exchange -> server pad compute + commit -> ciphertext
+//   exchange -> combine -> certify (sign + verify) -> distribute output
+//
+// The "client submission" / "server processing" split reported by Figs 7-8
+// falls directly out of these phases.
+#ifndef DISSENT_SIMMODEL_ROUND_MODEL_H_
+#define DISSENT_SIMMODEL_ROUND_MODEL_H_
+
+#include <vector>
+
+#include "src/sim/latency_model.h"
+#include "src/simmodel/calibration.h"
+
+namespace dissent {
+
+enum class TopologyKind {
+  kDeterlab,   // §5.2: 100 Mbps/10 ms server mesh; 100 Mbps/50 ms client links
+  kPlanetlab,  // §5.1: heavy-tailed client delays, EC2-like server cluster
+  kWlan,       // §5.4: 24 Mbps/10 ms shared switch
+};
+
+struct RoundConfig {
+  size_t num_clients = 100;
+  size_t num_servers = 8;
+  // Total cleartext length in bytes for the round (request region + open
+  // slots); helpers below build the paper's two workloads.
+  size_t cleartext_bytes = 1024;
+  TopologyKind topology = TopologyKind::kDeterlab;
+  // Clients per physical machine (DeterLab ran up to 16 client processes per
+  // testbed node, sharing its uplink).
+  size_t clients_per_machine = 16;
+  // Window policy (§5.1).
+  double window_fraction = 0.95;
+  double window_multiplier = 1.1;
+  double hard_deadline_sec = 120.0;
+  bool wait_for_all = false;  // baseline policy: all clients or hard deadline
+  PlanetLabDelayModel planetlab;
+  DeterlabTopology deterlab;
+  WlanTopology wlan;
+};
+
+struct RoundTimes {
+  double client_submission_sec = 0;  // window close (incl. client compute)
+  double server_processing_sec = 0;  // everything after the window closes
+  double total_sec = 0;
+  size_t participants = 0;  // clients that made the window
+  size_t missed = 0;        // online clients that missed it
+};
+
+// The paper's workloads (§5.2).
+size_t MicroblogCleartextBytes(size_t num_clients);   // 1% submit 128 B
+size_t DataSharingCleartextBytes(size_t num_clients); // one 128 KB message
+
+RoundTimes SimulateRound(const RoundConfig& cfg, const Calibration& cal, Rng& rng);
+
+// Applies one of the §5.1 window-closure policies to a set of submission
+// delays (seconds; negative = never submits). Returns the window-close time
+// and how many submissions it captured.
+struct WindowOutcome {
+  double close_sec = 0;
+  size_t captured = 0;
+  size_t missed = 0;  // submitted eventually but after the window
+};
+WindowOutcome ApplyWindowPolicy(std::vector<double> delays_sec, double fraction,
+                                double multiplier, double hard_deadline_sec,
+                                bool wait_for_all);
+
+}  // namespace dissent
+
+#endif  // DISSENT_SIMMODEL_ROUND_MODEL_H_

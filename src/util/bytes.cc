@@ -1,0 +1,98 @@
+#include "src/util/bytes.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace dissent {
+
+void XorInto(Bytes& dst, const Bytes& src) {
+  assert(dst.size() == src.size());
+  uint8_t* d = dst.data();
+  const uint8_t* s = src.data();
+  size_t n = dst.size();
+  size_t i = 0;
+  // Word-at-a-time main loop; the tail handles the final < 8 bytes.
+  for (; i + 8 <= n; i += 8) {
+    uint64_t a, b;
+    __builtin_memcpy(&a, d + i, 8);
+    __builtin_memcpy(&b, s + i, 8);
+    a ^= b;
+    __builtin_memcpy(d + i, &a, 8);
+  }
+  for (; i < n; ++i) {
+    d[i] ^= s[i];
+  }
+}
+
+Bytes XorBytes(const Bytes& a, const Bytes& b) {
+  Bytes out = a;
+  XorInto(out, b);
+  return out;
+}
+
+std::string ToHex(const Bytes& b) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t c : b) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  std::abort();
+}
+}  // namespace
+
+Bytes FromHex(const std::string& hex) {
+  assert(hex.size() % 2 == 0);
+  Bytes out(hex.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>(HexVal(hex[2 * i]) << 4 | HexVal(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+bool ConstantTimeEq(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+Bytes BytesOf(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string StringOf(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+bool GetBit(const Bytes& b, size_t bit_index) {
+  assert(bit_index / 8 < b.size());
+  return (b[bit_index / 8] >> (7 - bit_index % 8)) & 1;
+}
+
+void SetBit(Bytes& b, size_t bit_index, bool value) {
+  assert(bit_index / 8 < b.size());
+  uint8_t mask = static_cast<uint8_t>(1u << (7 - bit_index % 8));
+  if (value) {
+    b[bit_index / 8] |= mask;
+  } else {
+    b[bit_index / 8] &= static_cast<uint8_t>(~mask);
+  }
+}
+
+}  // namespace dissent

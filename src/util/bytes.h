@@ -1,0 +1,43 @@
+// Byte-buffer helpers shared across the project.
+//
+// `Bytes` is the universal octet-string type for keys, ciphertexts, DC-net
+// pads, and wire messages. Helpers here are deliberately small and allocation
+// conscious: the DC-net data plane XORs multi-megabyte buffers per round.
+#ifndef DISSENT_UTIL_BYTES_H_
+#define DISSENT_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dissent {
+
+using Bytes = std::vector<uint8_t>;
+
+// In-place XOR: dst[i] ^= src[i]. Requires dst.size() == src.size().
+void XorInto(Bytes& dst, const Bytes& src);
+
+// XOR of two equal-length buffers.
+Bytes XorBytes(const Bytes& a, const Bytes& b);
+
+// Lowercase hex encoding/decoding. DecodeHex aborts on malformed input
+// (internal use only; never fed attacker-controlled strings).
+std::string ToHex(const Bytes& b);
+Bytes FromHex(const std::string& hex);
+
+// Constant-time equality for secret material.
+bool ConstantTimeEq(const Bytes& a, const Bytes& b);
+
+// Bytes from a string literal / std::string payload.
+Bytes BytesOf(const std::string& s);
+std::string StringOf(const Bytes& b);
+
+// Bit accessors used by the DC-net tracing logic (§3.9): bit `i` is bit
+// (7 - i % 8) of byte i / 8, i.e. most-significant-bit-first, matching the
+// slot layout documented in core/slot_schedule.h.
+bool GetBit(const Bytes& b, size_t bit_index);
+void SetBit(Bytes& b, size_t bit_index, bool value);
+
+}  // namespace dissent
+
+#endif  // DISSENT_UTIL_BYTES_H_

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for the *simulation* plane.
+//
+// Simulation randomness (latency draws, churn, workload arrivals) must be
+// reproducible and cheap; it never needs to be cryptographic. Protocol-plane
+// randomness (keys, nonces, shuffle factors) instead uses crypto/random.h.
+#ifndef DISSENT_UTIL_RNG_H_
+#define DISSENT_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dissent {
+
+// splitmix64-seeded xoshiro256** — fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+  // Uniform in [0, bound).
+  uint64_t Below(uint64_t bound);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Standard normal via Box-Muller.
+  double Normal();
+  // Lognormal with the given log-space mean/stddev.
+  double LogNormal(double mu, double sigma);
+  // Exponential with the given mean (= 1/rate).
+  double Exponential(double mean);
+  // Pareto with scale x_m > 0 and shape alpha > 0.
+  double Pareto(double x_m, double alpha);
+  bool Bernoulli(double p);
+
+  // Derive an independent child stream (for per-node generators).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_UTIL_RNG_H_

@@ -1,0 +1,129 @@
+#include "src/util/serialize.h"
+
+#include <cstring>
+
+namespace dissent {
+
+namespace {
+template <typename T>
+void PutLE(Bytes& buf, T v) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+}  // namespace
+
+void Writer::U8(uint8_t v) { buf_.push_back(v); }
+void Writer::U16(uint16_t v) { PutLE(buf_, v); }
+void Writer::U32(uint32_t v) { PutLE(buf_, v); }
+void Writer::U64(uint64_t v) { PutLE(buf_, v); }
+void Writer::Bool(bool v) { buf_.push_back(v ? 1 : 0); }
+
+void Writer::Blob(const Bytes& b) {
+  U32(static_cast<uint32_t>(b.size()));
+  Raw(b);
+}
+
+void Writer::Raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+void Writer::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool Reader::Take(size_t n, const uint8_t** p) {
+  if (buf_.size() - pos_ < n) {
+    return false;
+  }
+  *p = buf_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+namespace {
+template <typename T>
+T GetLE(const uint8_t* p) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(p[i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+bool Reader::U8(uint8_t* v) {
+  const uint8_t* p;
+  if (!Take(1, &p)) {
+    return false;
+  }
+  *v = *p;
+  return true;
+}
+
+bool Reader::U16(uint16_t* v) {
+  const uint8_t* p;
+  if (!Take(2, &p)) {
+    return false;
+  }
+  *v = GetLE<uint16_t>(p);
+  return true;
+}
+
+bool Reader::U32(uint32_t* v) {
+  const uint8_t* p;
+  if (!Take(4, &p)) {
+    return false;
+  }
+  *v = GetLE<uint32_t>(p);
+  return true;
+}
+
+bool Reader::U64(uint64_t* v) {
+  const uint8_t* p;
+  if (!Take(8, &p)) {
+    return false;
+  }
+  *v = GetLE<uint64_t>(p);
+  return true;
+}
+
+bool Reader::Bool(bool* v) {
+  uint8_t b;
+  if (!U8(&b) || b > 1) {
+    return false;
+  }
+  *v = (b == 1);
+  return true;
+}
+
+bool Reader::Blob(Bytes* b) {
+  uint32_t n;
+  if (!U32(&n)) {
+    return false;
+  }
+  return Raw(n, b);
+}
+
+bool Reader::Raw(size_t n, Bytes* b) {
+  const uint8_t* p;
+  if (!Take(n, &p)) {
+    return false;
+  }
+  b->assign(p, p + n);
+  return true;
+}
+
+bool Reader::Str(std::string* s) {
+  uint32_t n;
+  if (!U32(&n)) {
+    return false;
+  }
+  const uint8_t* p;
+  if (!Take(n, &p)) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(p), n);
+  return true;
+}
+
+}  // namespace dissent

@@ -1,0 +1,68 @@
+// Canonical binary (de)serialization for protocol messages.
+//
+// All multi-byte integers are little-endian and fixed-width; variable-length
+// byte strings are length-prefixed with a u32. The encoding must be canonical
+// (one valid encoding per value) because signatures and the self-certifying
+// group id are computed over these bytes.
+//
+// Reader is defensive: all accessors return false on truncation/overflow so
+// protocol code can reject malformed messages from dishonest nodes instead of
+// crashing.
+#ifndef DISSENT_UTIL_SERIALIZE_H_
+#define DISSENT_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace dissent {
+
+class Writer {
+ public:
+  void U8(uint8_t v);
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void Bool(bool v);
+  // Length-prefixed byte string.
+  void Blob(const Bytes& b);
+  // Raw bytes, no length prefix (caller knows the framing).
+  void Raw(const Bytes& b);
+  void Str(const std::string& s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : buf_(buf) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool Bool(bool* v);
+  bool Blob(Bytes* b);
+  bool Raw(size_t n, Bytes* b);
+  bool Str(std::string* s);
+
+  // True when every byte has been consumed; protocol decoders require this
+  // so trailing garbage cannot be smuggled under a valid signature.
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  bool Take(size_t n, const uint8_t** p);
+
+  const Bytes& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_UTIL_SERIALIZE_H_

@@ -1,0 +1,65 @@
+// §3.7 participation gating and the §3.11 buddy system.
+#include "src/app/send_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace dissent {
+namespace {
+
+std::vector<uint32_t> Participants(std::initializer_list<uint32_t> ids) { return ids; }
+
+TEST(SendPolicyTest, ParticipationThresholdGates) {
+  SendPolicy policy(/*min_participation=*/4, /*streak=*/1, {});
+  EXPECT_FALSE(policy.SafeToTransmit()) << "no rounds observed yet";
+  policy.ObserveRound(Participants({1, 2, 3}));
+  EXPECT_FALSE(policy.SafeToTransmit());
+  policy.ObserveRound(Participants({1, 2, 3, 4, 5}));
+  EXPECT_TRUE(policy.SafeToTransmit());
+  // Participation collapse re-gates immediately.
+  policy.ObserveRound(Participants({1, 2}));
+  EXPECT_FALSE(policy.SafeToTransmit());
+}
+
+TEST(SendPolicyTest, StreakRequiresConsecutiveHealthyRounds) {
+  SendPolicy policy(3, /*streak=*/3, {});
+  auto healthy = Participants({1, 2, 3, 4});
+  policy.ObserveRound(healthy);
+  policy.ObserveRound(healthy);
+  EXPECT_FALSE(policy.SafeToTransmit()) << "only 2 of 3 required healthy rounds";
+  policy.ObserveRound(healthy);
+  EXPECT_TRUE(policy.SafeToTransmit());
+  // One bad round resets the streak entirely.
+  policy.ObserveRound(Participants({1}));
+  EXPECT_FALSE(policy.SafeToTransmit());
+  policy.ObserveRound(healthy);
+  EXPECT_FALSE(policy.SafeToTransmit());
+}
+
+TEST(SendPolicyTest, BuddySystemBlocksWithoutAllBuddies) {
+  // §3.11: with buddies {7, 9}, transmitting is safe only when both appear
+  // in the participant set — the intersection attack then always pins the
+  // whole buddy set, never the user alone.
+  SendPolicy policy(/*min_participation=*/2, /*streak=*/1, {7, 9});
+  policy.ObserveRound(Participants({1, 2, 7}));
+  EXPECT_FALSE(policy.SafeToTransmit()) << "buddy 9 offline";
+  EXPECT_FALSE(policy.buddies_all_present());
+  policy.ObserveRound(Participants({1, 7, 9}));
+  EXPECT_TRUE(policy.SafeToTransmit());
+  EXPECT_TRUE(policy.buddies_all_present());
+  policy.ObserveRound(Participants({1, 2, 9}));
+  EXPECT_FALSE(policy.SafeToTransmit()) << "buddy 7 left: availability cost of the discipline";
+}
+
+TEST(SendPolicyTest, BuddyAndThresholdCompose) {
+  SendPolicy policy(/*min_participation=*/5, /*streak=*/2, {3});
+  policy.ObserveRound(Participants({1, 2, 3}));  // buddy ok, too few
+  EXPECT_FALSE(policy.SafeToTransmit());
+  policy.ObserveRound(Participants({1, 2, 3, 4, 5}));
+  policy.ObserveRound(Participants({1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(policy.SafeToTransmit());
+  EXPECT_EQ(policy.healthy_streak(), 2u);
+  EXPECT_EQ(policy.last_participation(), 6u);
+}
+
+}  // namespace
+}  // namespace dissent

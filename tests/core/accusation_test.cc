@@ -1,0 +1,192 @@
+// The accusation pipeline end-to-end (§3.9): witness bits, the accusation
+// shuffle, PRNG-bit tracing, rebuttals, and expulsion — under a disruptive
+// client, an equivocating tracing server, and forged accusations.
+#include <gtest/gtest.h>
+
+#include "src/core/coordinator.h"
+
+namespace dissent {
+namespace {
+
+struct World {
+  GroupDef def;
+  std::unique_ptr<Coordinator> coord;
+};
+
+World MakeWorld(size_t servers, size_t clients, uint64_t seed) {
+  World w;
+  SecureRng rng = SecureRng::FromLabel(seed);
+  std::vector<BigInt> server_privs, client_privs;
+  w.def = MakeTestGroup(Group::Named(GroupId::kTesting256), servers, clients, rng,
+                        &server_privs, &client_privs);
+  w.coord = std::make_unique<Coordinator>(w.def, server_privs, client_privs, seed);
+  return w;
+}
+
+// Keeps `disruptor` flipping a bit in `victim`'s slot, round after round,
+// until the victim finds a witness bit. Each flip yields a witness with
+// probability 1/2 (§3.9: 0->1 vs 1->0), so a persistent disruptor is caught
+// within a few rounds with overwhelming probability.
+void DisruptUntilWitness(World& w, size_t victim, size_t disruptor) {
+  size_t slot = *w.coord->client(victim).slot();
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    if (w.coord->client(victim).HasPendingAccusation()) {
+      break;
+    }
+    if (w.coord->client(victim).PendingMessages() == 0) {
+      w.coord->client(victim).QueueMessage(BytesOf("sensitive message"));
+    }
+    const SlotSchedule& sched = w.coord->server(0).schedule();
+    if (sched.is_open(slot)) {
+      // Target a bit inside the victim's masked body, varying per attempt.
+      size_t target_bit = (sched.SlotOffset(slot) + 20) * 8 + (attempt % 8);
+      w.coord->InjectDisruptor(disruptor, target_bit);
+    } else {
+      w.coord->ClearDisruptor();  // request-bit round; nothing to corrupt
+    }
+    ASSERT_TRUE(w.coord->RunRound().completed);
+  }
+  w.coord->ClearDisruptor();
+  ASSERT_TRUE(w.coord->client(victim).HasPendingAccusation())
+      << "no witness bit after 24 disruption attempts (p ~ 2^-24)";
+}
+
+TEST(AccusationTest, VictimDetectsDisruptionAndRequestsShuffle) {
+  World w = MakeWorld(3, 6, 2001);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  DisruptUntilWitness(w, /*victim=*/2, /*disruptor=*/5);
+  EXPECT_TRUE(w.coord->client(2).HasPendingAccusation());
+  // Within a couple of rounds the victim raises its shuffle-request field
+  // (it may first need a request-bit round to re-open a garbled slot).
+  bool requested = false;
+  for (int i = 0; i < 3 && !requested; ++i) {
+    auto r = w.coord->RunRound();
+    ASSERT_TRUE(r.completed);
+    requested = r.accusation_requested;
+  }
+  EXPECT_TRUE(requested);
+}
+
+TEST(AccusationTest, DisruptorTracedAndExpelled) {
+  World w = MakeWorld(3, 6, 2002);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  DisruptUntilWitness(w, /*victim=*/1, /*disruptor=*/4);
+  auto outcome = w.coord->RunAccusationPhase();
+  EXPECT_TRUE(outcome.shuffle_ran);
+  EXPECT_TRUE(outcome.accusation_found);
+  EXPECT_TRUE(outcome.accusation_valid);
+  ASSERT_TRUE(outcome.expelled_client.has_value());
+  EXPECT_EQ(*outcome.expelled_client, 4u);
+  EXPECT_FALSE(outcome.expelled_server.has_value());
+  // The group continues without re-forming; the victim can now transmit.
+  w.coord->client(1).QueueMessage(BytesOf("finally through"));
+  w.coord->RunRound();
+  bool delivered = false;
+  for (int i = 0; i < 3 && !delivered; ++i) {
+    auto r = w.coord->RunRound();
+    ASSERT_TRUE(r.completed);
+    for (auto& [slot, payload] : r.messages) {
+      delivered |= payload == BytesOf("finally through");
+    }
+  }
+  EXPECT_TRUE(delivered);
+}
+
+TEST(AccusationTest, WitnessBitIsInsideVictimSlot) {
+  World w = MakeWorld(2, 4, 2003);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  DisruptUntilWitness(w, 0, 3);
+  auto acc = w.coord->client(0).TakeAccusation();
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->accusation.slot, *w.coord->client(0).slot());
+  // Pseudonym signature verifies.
+  EXPECT_TRUE(SchnorrVerify(*w.def.group,
+                            w.coord->pseudonym_keys()[acc->accusation.slot],
+                            acc->accusation.Canonical(), acc->signature));
+}
+
+TEST(AccusationTest, LyingTraceServerExposedByRebuttal) {
+  // The disruptor is a *server* this time: during tracing it lies about one
+  // pad bit to frame an honest client; the client's rebuttal (shared-secret
+  // reveal + DLEQ) exposes the server instead (§3.9 final case).
+  World w = MakeWorld(3, 6, 2004);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  DisruptUntilWitness(w, /*victim=*/2, /*disruptor=*/5);
+  // Server 1 lies about honest client 0's pad bit during the trace.
+  w.coord->InjectTraceLiar(/*server=*/1, /*about_client=*/0);
+  auto outcome = w.coord->RunAccusationPhase();
+  ASSERT_TRUE(outcome.accusation_valid);
+  // Tracing hits client 0 first (the framed client), whose rebuttal shows
+  // server 1 lied.
+  ASSERT_TRUE(outcome.expelled_server.has_value());
+  EXPECT_EQ(*outcome.expelled_server, 1u);
+  EXPECT_FALSE(outcome.expelled_client.has_value());
+}
+
+TEST(AccusationTest, ForgedAccusationRejected) {
+  World w = MakeWorld(2, 4, 2005);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  // Run a round so there's history.
+  w.coord->client(1).QueueMessage(BytesOf("m"));
+  w.coord->RunRound();
+  auto r = w.coord->RunRound();
+  ASSERT_TRUE(r.completed);
+
+  // A forger signs an accusation about someone else's slot with the wrong
+  // pseudonym key.
+  SecureRng rng = SecureRng::FromLabel(999);
+  Accusation acc;
+  acc.round = r.round;
+  acc.slot = static_cast<uint32_t>(*w.coord->client(1).slot());
+  acc.bit_index = 0;
+  SchnorrKeyPair wrong = SchnorrKeyPair::Generate(*w.def.group, rng);
+  SignedAccusation forged;
+  forged.accusation = acc;
+  forged.signature = SchnorrSign(*w.def.group, wrong.priv, acc.Canonical(), rng);
+  EXPECT_FALSE(ValidateAccusation(w.def, w.coord->pseudonym_keys(), forged, r.cleartext, 0,
+                                  r.cleartext.size() * 8));
+}
+
+TEST(AccusationTest, AccusationAboutZeroBitRejected) {
+  // The accused bit must actually be 1 in the output (victim claims it sent
+  // 0 and saw 1); an accusation naming a 0 bit is invalid on its face.
+  World w = MakeWorld(2, 4, 2006);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  auto r = w.coord->RunRound();
+  ASSERT_TRUE(r.completed);
+  // All-silent round: every bit is 0. Sign a syntactically-valid accusation
+  // with the real pseudonym key of client 0.
+  size_t slot = *w.coord->client(0).slot();
+  Accusation acc;
+  acc.round = r.round;
+  acc.slot = static_cast<uint32_t>(slot);
+  acc.bit_index = 0;
+  // (Use the coordinator's key list with the client's own pseudonym priv —
+  // we grab it via the client object.)
+  SecureRng rng = SecureRng::FromLabel(1000);
+  SignedAccusation sa;
+  sa.accusation = acc;
+  sa.signature =
+      SchnorrSign(*w.def.group, w.coord->client(0).pseudonym().priv, acc.Canonical(), rng);
+  EXPECT_FALSE(ValidateAccusation(w.def, w.coord->pseudonym_keys(), sa, r.cleartext, 0,
+                                  r.cleartext.size() * 8));
+}
+
+TEST(AccusationTest, NoFalsePositivesWithoutDisruption) {
+  World w = MakeWorld(3, 6, 2007);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  for (size_t i = 0; i < 6; ++i) {
+    w.coord->client(i).QueueMessage(BytesOf("hello"));
+  }
+  for (int round = 0; round < 6; ++round) {
+    auto r = w.coord->RunRound();
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.accusation_requested);
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_FALSE(w.coord->client(i).HasPendingAccusation());
+  }
+}
+
+}  // namespace
+}  // namespace dissent

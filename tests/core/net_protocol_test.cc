@@ -1,0 +1,90 @@
+// The real protocol over the simulated network: message/timer-driven rounds
+// with latency, submission windows, and mid-round churn.
+#include "src/core/net_protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace dissent {
+namespace {
+
+struct NetWorld {
+  GroupDef def;
+  Simulator sim;
+  std::unique_ptr<NetDissent> net;
+};
+
+std::unique_ptr<NetWorld> MakeNetWorld(size_t servers, size_t clients, uint64_t seed,
+                                       NetDissent::Options options = {}) {
+  auto w = std::make_unique<NetWorld>();
+  SecureRng rng = SecureRng::FromLabel(seed);
+  std::vector<BigInt> server_privs, client_privs;
+  w->def = MakeTestGroup(Group::Named(GroupId::kTesting256), servers, clients, rng,
+                         &server_privs, &client_privs);
+  w->net = std::make_unique<NetDissent>(w->def, server_privs, client_privs, &w->sim, options,
+                                        seed);
+  return w;
+}
+
+TEST(NetProtocolTest, RoundsProgressOverTheNetwork) {
+  auto w = MakeNetWorld(3, 9, 3001);
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(20 * kSecond);
+  // With ~100 ms of one-way latencies a round takes a few hundred ms; in 20
+  // simulated seconds many rounds must have completed.
+  EXPECT_GT(w->net->rounds_completed(), 20u);
+  EXPECT_EQ(w->net->last_participation(), 9u);
+}
+
+TEST(NetProtocolTest, MessageDeliveredAnonymously) {
+  auto w = MakeNetWorld(2, 6, 3002);
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(2 * kSecond);
+  w->net->client(3).QueueMessage(BytesOf("over the wire"));
+  w->sim.RunUntil(10 * kSecond);
+  bool found = false;
+  for (auto& [slot, payload] : w->net->delivered_messages()) {
+    found |= payload == BytesOf("over the wire");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetProtocolTest, RoundLatencyReflectsLinkLatency) {
+  NetDissent::Options slow;
+  slow.client_link = {.latency = 200 * kMillisecond, .bandwidth_bps = 12.5e6};
+  slow.server_link = {.latency = 50 * kMillisecond, .bandwidth_bps = 12.5e6};
+  auto w_slow = MakeNetWorld(2, 6, 3003, slow);
+  ASSERT_TRUE(w_slow->net->Start());
+  w_slow->sim.RunUntil(30 * kSecond);
+
+  auto w_fast = MakeNetWorld(2, 6, 3003);
+  ASSERT_TRUE(w_fast->net->Start());
+  w_fast->sim.RunUntil(30 * kSecond);
+
+  EXPECT_GT(w_fast->net->rounds_completed(), w_slow->net->rounds_completed());
+  EXPECT_GT(w_slow->net->last_round_duration(), w_fast->net->last_round_duration());
+  // Lower bound: a round costs at least client RTT + 3 server exchanges.
+  EXPECT_GE(w_slow->net->last_round_duration(), 2 * 200 * kMillisecond);
+}
+
+TEST(NetProtocolTest, SurvivesMidSessionDisconnects) {
+  // §3.6 over the wire: clients vanish without notice; the servers' window
+  // timers close rounds anyway and participation drops accordingly.
+  auto w = MakeNetWorld(3, 12, 3004);
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(5 * kSecond);
+  uint64_t before = w->net->rounds_completed();
+  ASSERT_GT(before, 0u);
+  w->net->SetClientOnline(2, false);
+  w->net->SetClientOnline(7, false);
+  w->sim.RunUntil(60 * kSecond);
+  EXPECT_GT(w->net->rounds_completed(), before + 3);
+  EXPECT_EQ(w->net->last_participation(), 10u);
+  // And they can come back.
+  w->net->SetClientOnline(2, true);
+  w->net->SetClientOnline(7, true);
+  w->sim.RunUntil(120 * kSecond);
+  EXPECT_EQ(w->net->last_participation(), 12u);
+}
+
+}  // namespace
+}  // namespace dissent

@@ -1,0 +1,199 @@
+// Full-protocol integration over the in-process coordinator: scheduling,
+// anonymous messaging, churn tolerance, and the participation threshold.
+// Real crypto throughout (256-bit test group).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/coordinator.h"
+
+namespace dissent {
+namespace {
+
+struct World {
+  GroupDef def;
+  std::unique_ptr<Coordinator> coord;
+};
+
+World MakeWorld(size_t servers, size_t clients, uint64_t seed) {
+  World w;
+  SecureRng rng = SecureRng::FromLabel(seed);
+  std::vector<BigInt> server_privs, client_privs;
+  w.def = MakeTestGroup(Group::Named(GroupId::kTesting256), servers, clients, rng,
+                        &server_privs, &client_privs);
+  w.coord = std::make_unique<Coordinator>(w.def, server_privs, client_privs, seed);
+  return w;
+}
+
+TEST(SchedulingTest, AssignsDistinctSlotsToAllClients) {
+  World w = MakeWorld(3, 8, 1001);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  EXPECT_EQ(w.coord->pseudonym_keys().size(), 8u);
+  std::set<size_t> slots;
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(w.coord->client(i).slot().has_value());
+    slots.insert(*w.coord->client(i).slot());
+  }
+  EXPECT_EQ(slots.size(), 8u) << "slots must be a permutation";
+  // Every pseudonym key appears exactly once.
+  std::set<std::string> keys;
+  for (const BigInt& k : w.coord->pseudonym_keys()) {
+    keys.insert(k.ToHex());
+  }
+  EXPECT_EQ(keys.size(), 8u);
+}
+
+TEST(ProtocolTest, AnonymousMessageDelivery) {
+  World w = MakeWorld(3, 6, 1002);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  w.coord->client(2).QueueMessage(BytesOf("the pen is mightier"));
+  // Round 1: request bit; round 2: message transmits.
+  auto r1 = w.coord->RunRound();
+  ASSERT_TRUE(r1.completed);
+  EXPECT_TRUE(r1.messages.empty());
+  auto r2 = w.coord->RunRound();
+  ASSERT_TRUE(r2.completed);
+  ASSERT_EQ(r2.messages.size(), 1u);
+  EXPECT_EQ(r2.messages[0].second, BytesOf("the pen is mightier"));
+  // The message appeared in client 2's slot — but nothing in the output
+  // links the slot to client 2 (the mapping exists only inside the client).
+  EXPECT_EQ(r2.messages[0].first, *w.coord->client(2).slot());
+  // Sender's slot closes again afterwards.
+  auto r3 = w.coord->RunRound();
+  ASSERT_TRUE(r3.completed);
+  EXPECT_TRUE(r3.messages.empty());
+}
+
+TEST(ProtocolTest, ConcurrentSendersShareRound) {
+  World w = MakeWorld(2, 10, 1003);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  for (size_t i : {1u, 4u, 7u}) {
+    w.coord->client(i).QueueMessage(BytesOf("msg-" + std::to_string(i)));
+  }
+  w.coord->RunRound();  // requests
+  auto r = w.coord->RunRound();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.messages.size(), 3u);
+  std::multiset<std::string> got;
+  for (auto& [slot, payload] : r.messages) {
+    got.insert(StringOf(payload));
+  }
+  EXPECT_EQ(got, (std::multiset<std::string>{"msg-1", "msg-4", "msg-7"}));
+}
+
+TEST(ProtocolTest, LargeMessageGrowsSlotThenSends) {
+  World w = MakeWorld(2, 4, 1004);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  Bytes big(3000, 0x5a);
+  w.coord->client(0).QueueMessage(big);
+  // Round 1: request. Round 2: slot open at default, too small -> header
+  // asks for a bigger slot. Round 3: message goes out.
+  w.coord->RunRound();
+  auto r2 = w.coord->RunRound();
+  EXPECT_TRUE(r2.messages.empty());
+  auto r3 = w.coord->RunRound();
+  ASSERT_EQ(r3.messages.size(), 1u);
+  EXPECT_EQ(r3.messages[0].second, big);
+}
+
+TEST(ChurnTest, RoundCompletesWithClientsOffline) {
+  // §3.6: client disconnection must not stall or invalidate a round.
+  World w = MakeWorld(3, 9, 1005);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  w.coord->client(4).QueueMessage(BytesOf("still here"));
+  w.coord->RunRound();
+  // Three clients vanish.
+  w.coord->SetClientOnline(1, false);
+  w.coord->SetClientOnline(2, false);
+  w.coord->SetClientOnline(8, false);
+  auto r = w.coord->RunRound();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.participation, 6u);
+  ASSERT_EQ(r.messages.size(), 1u);
+  EXPECT_EQ(r.messages[0].second, BytesOf("still here"));
+}
+
+TEST(ChurnTest, ReconnectingClientCatchesUpAndSends) {
+  World w = MakeWorld(2, 6, 1006);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  w.coord->SetClientOnline(3, false);
+  // Several rounds pass with schedule changes (another client sends).
+  w.coord->client(0).QueueMessage(BytesOf("noise"));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(w.coord->RunRound().completed);
+  }
+  // Client 3 returns, catches up, and can immediately transmit.
+  w.coord->SetClientOnline(3, true);
+  w.coord->client(3).QueueMessage(BytesOf("i am back"));
+  w.coord->RunRound();
+  auto r = w.coord->RunRound();
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.messages.size(), 1u);
+  EXPECT_EQ(r.messages[0].second, BytesOf("i am back"));
+}
+
+TEST(ChurnTest, AlphaThresholdFlagsMassDisconnect) {
+  // §3.7: participation dropping below alpha * p_{r-1} must be flagged.
+  World w = MakeWorld(2, 20, 1007);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  ASSERT_TRUE(w.coord->RunRound().completed);  // p = 20
+  // 40% of clients drop out at once (alpha = 0.95).
+  for (size_t i = 0; i < 8; ++i) {
+    w.coord->SetClientOnline(i, false);
+  }
+  auto r = w.coord->RunRound();
+  EXPECT_TRUE(r.below_alpha);
+  EXPECT_EQ(r.participation, 12u);
+  // Mild churn does not trip the threshold.
+  World w2 = MakeWorld(2, 20, 1008);
+  ASSERT_TRUE(w2.coord->RunScheduling());
+  ASSERT_TRUE(w2.coord->RunRound().completed);
+  w2.coord->SetClientOnline(0, false);
+  EXPECT_FALSE(w2.coord->RunRound().below_alpha);
+}
+
+TEST(ProtocolTest, EquivocatingServerIsDetected) {
+  // Commitment phase (Algorithm 2 steps 3-5): a server that changes its
+  // ciphertext after committing is caught by every honest server.
+  World w = MakeWorld(4, 6, 1009);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  ASSERT_TRUE(w.coord->RunRound().completed);
+  w.coord->InjectEquivocatingServer(2);
+  auto r = w.coord->RunRound();
+  EXPECT_FALSE(r.completed);
+  ASSERT_TRUE(r.equivocating_server.has_value());
+  EXPECT_EQ(*r.equivocating_server, 2u);
+}
+
+TEST(ProtocolTest, ManyRoundsStayConsistent) {
+  // Soak: alternating senders, slot opens/closes, no drift between client
+  // and server schedules.
+  World w = MakeWorld(3, 8, 1010);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  size_t delivered = 0;
+  for (int round = 0; round < 20; ++round) {
+    size_t sender = round % 8;
+    w.coord->client(sender).QueueMessage(BytesOf("m" + std::to_string(round)));
+    auto r = w.coord->RunRound();
+    ASSERT_TRUE(r.completed) << "round " << round;
+    delivered += r.messages.size();
+  }
+  // Drain the tail.
+  for (int i = 0; i < 4; ++i) {
+    delivered += w.coord->RunRound().messages.size();
+  }
+  EXPECT_EQ(delivered, 20u);
+}
+
+TEST(ProtocolTest, SilentGroupHasMinimalOutput) {
+  // All-silent rounds cost only the request-bit region.
+  World w = MakeWorld(2, 16, 1011);
+  ASSERT_TRUE(w.coord->RunScheduling());
+  auto r = w.coord->RunRound();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.cleartext.size(), (16 + 7) / 8u);
+  EXPECT_TRUE(r.messages.empty());
+}
+
+}  // namespace
+}  // namespace dissent

@@ -1,0 +1,192 @@
+// Direct unit tests of core pieces that the integration tests exercise only
+// in passing: inventory trimming, output certification, server evidence
+// retention, accusation serialization, and key-shuffle mix-step tampering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/coordinator.h"
+#include "src/core/output_cert.h"
+#include "src/util/rng.h"
+
+namespace dissent {
+namespace {
+
+std::shared_ptr<const Group> G() { return Group::Named(GroupId::kTesting256); }
+
+TEST(TrimTest, LowestServerKeepsSharedClients) {
+  // Client 5 submitted to servers 0 and 2; only server 0 keeps it.
+  std::vector<std::vector<uint32_t>> inv = {{1, 5}, {2}, {5, 9}};
+  auto trimmed = DissentServer::TrimInventories(inv);
+  EXPECT_EQ(trimmed[0], (std::vector<uint32_t>{1, 5}));
+  EXPECT_EQ(trimmed[1], (std::vector<uint32_t>{2}));
+  EXPECT_EQ(trimmed[2], (std::vector<uint32_t>{9}));
+}
+
+TEST(TrimTest, PropertiesHoldOnRandomInputs) {
+  Rng rng(55);
+  for (int iter = 0; iter < 50; ++iter) {
+    size_t servers = 1 + rng.Below(6);
+    std::vector<std::vector<uint32_t>> inv(servers);
+    std::set<uint32_t> all;
+    for (size_t j = 0; j < servers; ++j) {
+      for (int c = 0; c < 20; ++c) {
+        if (rng.Bernoulli(0.3)) {
+          inv[j].push_back(c);
+          all.insert(c);
+        }
+      }
+    }
+    auto trimmed = DissentServer::TrimInventories(inv);
+    // Union preserved, no duplicates across shares.
+    std::set<uint32_t> seen;
+    for (const auto& share : trimmed) {
+      for (uint32_t i : share) {
+        EXPECT_TRUE(seen.insert(i).second) << "client kept by two servers";
+      }
+    }
+    EXPECT_EQ(seen, all);
+    // Deterministic.
+    EXPECT_EQ(DissentServer::TrimInventories(inv), trimmed);
+  }
+}
+
+TEST(OutputCertTest, RequiresAllServersExactly) {
+  SecureRng rng = SecureRng::FromLabel(61);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 3, 2, rng, &sp, &cp);
+  Bytes cleartext(100, 0x42);
+  std::vector<SchnorrSignature> sigs;
+  for (size_t j = 0; j < 3; ++j) {
+    sigs.push_back(SignOutput(def, 7, cleartext, sp[j], rng));
+  }
+  EXPECT_TRUE(VerifyOutputCertificate(def, 7, cleartext, sigs));
+  // Wrong round / altered cleartext / missing / reordered signatures fail.
+  EXPECT_FALSE(VerifyOutputCertificate(def, 8, cleartext, sigs));
+  Bytes altered = cleartext;
+  altered[0] ^= 1;
+  EXPECT_FALSE(VerifyOutputCertificate(def, 7, altered, sigs));
+  std::vector<SchnorrSignature> missing(sigs.begin(), sigs.end() - 1);
+  EXPECT_FALSE(VerifyOutputCertificate(def, 7, cleartext, missing));
+  std::vector<SchnorrSignature> swapped = sigs;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_FALSE(VerifyOutputCertificate(def, 7, cleartext, swapped))
+      << "signatures must be in roster order (slot j signed by server j)";
+}
+
+TEST(ServerTest, RejectsMalformedSubmissions) {
+  SecureRng rng = SecureRng::FromLabel(62);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 2, 4, rng, &sp, &cp);
+  DissentServer server(def, 0, sp[0], SecureRng::FromLabel(63));
+  server.BeginSlots(4);
+  server.StartRound(1);
+  size_t len = server.ExpectedCiphertextLength();
+  EXPECT_TRUE(server.AcceptClientCiphertext(1, 0, Bytes(len, 1)));
+  EXPECT_FALSE(server.AcceptClientCiphertext(1, 0, Bytes(len, 2))) << "duplicate";
+  EXPECT_FALSE(server.AcceptClientCiphertext(1, 1, Bytes(len + 1, 1))) << "wrong length";
+  EXPECT_FALSE(server.AcceptClientCiphertext(2, 1, Bytes(len, 1))) << "wrong round";
+  EXPECT_FALSE(server.AcceptClientCiphertext(1, 99, Bytes(len, 1))) << "unknown client";
+  EXPECT_EQ(server.SubmissionCount(), 1u);
+}
+
+TEST(ServerTest, EvidenceRetentionWindow) {
+  SecureRng rng = SecureRng::FromLabel(64);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 1, 2, rng, &sp, &cp);
+  DissentServer server(def, 0, sp[0], SecureRng::FromLabel(65));
+  server.BeginSlots(2);
+  for (uint64_t r = 1; r <= DissentServer::kEvidenceRounds + 5; ++r) {
+    server.StartRound(r);
+    server.BuildServerCiphertext({}, {});
+  }
+  EXPECT_EQ(server.EvidenceFor(1), nullptr) << "old evidence expired";
+  EXPECT_EQ(server.EvidenceFor(5), nullptr);
+  EXPECT_NE(server.EvidenceFor(DissentServer::kEvidenceRounds + 5), nullptr);
+  EXPECT_NE(server.EvidenceFor(6), nullptr);
+}
+
+TEST(AccusationTypesTest, SerializeRoundTripAndTamper) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(66);
+  SchnorrKeyPair pseudonym = SchnorrKeyPair::Generate(*g, rng);
+  SignedAccusation acc;
+  acc.accusation.round = 12;
+  acc.accusation.slot = 3;
+  acc.accusation.bit_index = 777;
+  acc.signature = SchnorrSign(*g, pseudonym.priv, acc.accusation.Canonical(), rng);
+  Bytes wire = acc.Serialize(*g);
+  auto back = SignedAccusation::Deserialize(*g, wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->accusation.round, 12u);
+  EXPECT_EQ(back->accusation.bit_index, 777u);
+  EXPECT_TRUE(SchnorrVerify(*g, pseudonym.pub, back->accusation.Canonical(), back->signature));
+  // A tampered field breaks the signature; truncation fails to parse.
+  Bytes bad = wire;
+  bad[0] ^= 1;  // round
+  auto tampered = SignedAccusation::Deserialize(*g, bad);
+  if (tampered.has_value()) {
+    EXPECT_FALSE(
+        SchnorrVerify(*g, pseudonym.pub, tampered->accusation.Canonical(), tampered->signature));
+  }
+  EXPECT_FALSE(
+      SignedAccusation::Deserialize(*g, Bytes(wire.begin(), wire.begin() + 10)).has_value());
+}
+
+TEST(MixStepTest, TamperedStepsRejected) {
+  SecureRng rng = SecureRng::FromLabel(67);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 3, 5, rng, &sp, &cp);
+  CiphertextMatrix submissions;
+  for (int i = 0; i < 5; ++i) {
+    SchnorrKeyPair kp = SchnorrKeyPair::Generate(*def.group, rng);
+    submissions.push_back(EncryptPseudonymKey(def, kp.pub, rng));
+  }
+  MixStep step = KeyShuffleMixStep(def, 0, sp[0], submissions, rng);
+  ASSERT_TRUE(VerifyMixStep(def, 0, submissions, step));
+  // Server substitutes a decryption result (dropping someone's key).
+  MixStep bad = step;
+  bad.decrypted[2][0].b = def.group->MulElems(bad.decrypted[2][0].b, def.group->g());
+  EXPECT_FALSE(VerifyMixStep(def, 0, submissions, bad));
+  // Server reorders decrypted rows relative to its proven shuffle.
+  bad = step;
+  std::swap(bad.decrypted[0], bad.decrypted[1]);
+  EXPECT_FALSE(VerifyMixStep(def, 0, submissions, bad));
+  // Wrong server index (wrong remaining-key statement).
+  EXPECT_FALSE(VerifyMixStep(def, 1, submissions, step));
+  // Cascade-level: swapping two steps breaks the chain.
+  ShuffleCascadeResult cascade = RunShuffleCascade(def, sp, submissions, rng);
+  ASSERT_TRUE(VerifyShuffleCascade(def, submissions, cascade));
+  ShuffleCascadeResult broken = cascade;
+  std::swap(broken.steps[0], broken.steps[1]);
+  EXPECT_FALSE(VerifyShuffleCascade(def, submissions, broken));
+  broken = cascade;
+  broken.final_rows[0][0].b =
+      def.group->MulElems(broken.final_rows[0][0].b, def.group->g());
+  EXPECT_FALSE(VerifyShuffleCascade(def, submissions, broken));
+}
+
+TEST(ClientTest, RequestBitRandomizationEventuallyOpens) {
+  // §3.8: a disruptor can cancel the victim's request bit by XORing a 1 into
+  // the same position; the victim's randomized retry still opens the slot
+  // after ~t rounds with probability 1 - 2^-t.
+  SecureRng rng = SecureRng::FromLabel(68);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 2, 4, rng, &sp, &cp);
+  Coordinator coord(def, sp, cp, 68);
+  ASSERT_TRUE(coord.RunScheduling());
+  size_t victim = 0;
+  size_t slot = *coord.client(victim).slot();
+  coord.client(victim).QueueMessage(BytesOf("get through"));
+  // The disruptor flips the victim's request bit each round.
+  coord.InjectDisruptor(3, slot);
+  bool opened = false;
+  for (int round = 0; round < 30 && !opened; ++round) {
+    coord.RunRound();
+    opened = coord.server(0).schedule().is_open(slot);
+  }
+  EXPECT_TRUE(opened) << "randomized retry failed 30 times (p ~ 2^-29)";
+}
+
+}  // namespace
+}  // namespace dissent

@@ -1,0 +1,261 @@
+// BigInt: known-answer vectors (generated with Python), small-number oracle
+// property tests, and algebraic identities at protocol-relevant sizes.
+#include "src/crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace dissent {
+namespace {
+
+// clang-format off
+struct MulVec { const char* a; const char* b; const char* prod; };
+constexpr MulVec kMulVecs[] = {
+  {"c735df5ef7697fb9", "1de9ea6670d3da1f", "174720bd04e65d56de69fcbb02050167"},
+  {"f149f542e935b87017346b4501eaf615", "b16e2d5cabeb959208f0ebd4950cddd9ce97b5bdf073eed1", "a73bfb1bfeb9b356877d5ebd16f1b760fd4b90e4986e5c6c8b7d42a97dd042e9262964e03d096d25"},
+  {"fc9799a707e36d6004762a223c9f90c95ac96628c438183619322fed157cf9c7", "76ab14759da618fd7bf78a4d9f8f5ffba5f80a0a58994953040e1e30c9ed0249", "7516ae46850c3b7a155f1f80efef31c64376e08724d94d3c286e4233c7c2e501eff01a99d439ce9c1eaca87ef22e6957282dab02810eaef189a1b0e696d1c7bf"},
+  {"eee98d7c358a84c15caad14268108727563ff4bb8cf703c9ffe16682717c9bbfae80ca17b703be0e66d868c2cf1d4a2b12b6a20bb02edf0743175e99412607ad5f", "b62051acd51e6699f9823c118dc10f", "a9f834012f2b39ee8b09aee416d1f8937fff3fc535176e4bbb9c606eea9ccdeae86af844aacbfd2ac5d0bc620d1574c6e3baa710934f68d10bd326327630812656b06785fd8ef358a4bb6d7ed07ac791"},
+  {"6099d795a8486261790b2f7cb5c36ec124ce01e15560eaba017ad051121213ca8212f7c6f1048aa604f0d0f2aa58695187b8a518e065e3eb74113cb033354fc7eefadf23a7cda6c23fc86ee6443658625af0f3e0d9a54a0d7b25331f4d6bfd8fa506bfc51025dbe58e725d57d30aad4b45038e220bc4621b9439852083d9fca7", "f46871014cdead2e2791eef8458c3cdb2d665a7b0a4adb41ce779a93a99226f446db4bc46a8f69260a228ba87442a1244e2e3761aba601ca242780aa879951fff4f991a81c63373ac55ef18658a295d4eff35b6106f1e77124ed49b137106d208ead31c81348486129fc1d9d7f1ff9fe966844aa138411eb0dde6d082ac7e1db", "5c3a0a9e9ef5f4cd3dae0b5c96f8e468761b5683fff5244f08e70449f42a1ee4d65151a343c6b73d0dd1b62a0af3fa5b8641ba95a9baa9cb94e7cd5341f69a37def1b10e048fe080317f565273056ef0861a57cbccdec0f3491067e49a40ff935a09d397860997abb2674ac4465c3419d5dd2b97c21d71d94831b3a587d01555fddab35fcc612d94a17f43b4436749dff230e9849b6e5152b5f1972b0bfff83827c20c5f10f8cb6f41d2049dffb21fa30939f5b7ac5e45f5af40ae8464cce5221436fa735bf76595e7c7d6cde34592a9c2a91977348bd24c586f33cd91a5e028c264e251b9ffd14140eccbae3f4fc817979dd07cdb5941beb053b8d22e5ae9dd"},
+  {"44f2d5a4f1689e5fe87212b0949606b3283c4412f6a11b92cf58440cb33bfa31b3e174eb1bb039fa5868c99b31007342a41b657a4166c3fba8094805d11776a4d15703e0607741867c362491d72f9ecdd454f1e81a644d9287a0eabff0689ae11e956a7dc4e145896fa19d466a94427d2f84ea0fc7154f271fb661b44669165f4bb19d02701861c0d092e07f84eb1e73c7f3c8a0bbc9a6e0708963bb2b833e28e1ae6a00984c6df8d13d74f3dec4ac467888fa7aeed66a5ac86b7f7f0b9ab36679d6dedb77d6a830d103b91f95365d68577a296e7ef077e0597ee18bc3a671c462dcec669027b9ad0a83178876e99afdd579c4c9c777b54b2790ae2cd8fba355", "19516716583d4621dc481b81040382a0c2d09ba039acdabc3ea49400b81e50008d80c38614436d288d4652ea61314180ee8121e3cc4b87ec0d17259023bc9782a58cb26e7a552d037e4b85a4eabfbd67b31d729a460d911b0dc27a40502f8d07ea1", "6d1a3766d5b4d1071181ea1a815271464c33b3bbf56cd828cd3edf8dd95486473eaed8ef5182b893f805a9a5e859c138c215b400ca69e0586008cb59c7ae9c18bcda6ca7b036dee57fcc875d964f5d84030ead1a2dedad6c0161eea5759b2c76db80c127ce7131f812fc1c669fe62482deb54c3640b8de76c5a05b9af0ade0a8552387fe519f61a324d404bf1f9c24162ee2d81d158578a8bef054fc9d826a28a83b80046fe43f7a6b0bfa72340b663e1ff56f2189086d8d6ac735afba111ef6465162214eefa35a60f045273951fb9a2f0283b57dd320c6c0ef4df3cec811e0545ebcd09f9bf4634e261e118bef15eea8872e4b7f4d3f13e40f0a650cf452719a53696a10096168bc7c40ea6613c8d965f1e63164865f6a03d3ee698a66a490cb7e795df5b0e878394dbba717b5a7ab2f0dee2d2d4bd26745ba6ed0160c06def524c3b412aa335c639c25e3b24dae4aaa35dd4f4c6369b0bf3ff79f595db58e75"},
+};
+struct DivVec { const char* a; const char* b; const char* q; const char* r; };
+constexpr DivVec kDivVecs[] = {
+  {"ff977125b30b0b98f0604517eecda947", "ce3d69675125ff0f", "13d4247bd5d87a971", "77107a2613be2ca8"},
+  {"b0575eb712b01ad0db44062d41e6dc0995c13a7910f44ac075f93a5ff1eeddee", "99ee50c433af81d9f312c9346d22469d", "1254533a019f6e74b613e91604af06fda", "86c32debbdebfb759c2a87fd90f0a93c"},
+  {"e3c1bbce83d9479c3480251adbd2db62ee57a9865c7b2ceccc2c6076d18b48943c7ff71f8021ef3275a66c1ae32996b4e2ee229ab471b2e631d17176658aa25d", "8f7087574d4142f83408d67f95a290e3f3d9ff9f2cb87a7a6bd20911b3d18022", "1967ba0ccb642794ac5fc40b7e0c5be60c001aae8ce12642d42e1b67d71018abd", "a1c4c7366c2f7a2f76a589c0523af38ebcbd1d368f646f265264a7b32aab543"},
+  {"cac74fe0c2064f3e166e4be7a36653630f923425acb8f4afab11c60e006fd4242bc835ab5345e427b6bb83ff11db1f308bcae492d7a384ea251a0926ece37d772a42ab569fdf9fe20c4e7af82184d0ea2383bc6655712a5578f190db8c8d4630f36d31e8c5f8a3f2e80dcc197fe4f416272ef8a588ca8e3c5a3c8204d0170778", "bc64357c976eca2ba00a37a0db378f8529ea60312b25f547a0", "1138cde56a75f4188161f25b62ec53b8bea68486eac46baf977bad1fb541bd440d0d653d1d07833d868fa3a826971ff216b24c3278d577d981712b0bc2da7a9fcc1f12a8e14ed305ef8985405315f1a865260ec4780dd9fd15dde63484713a81e2897c6f4fdd7d3", "bf2d58926b7c39dfc018f89e7eb9a4070b1e1ad273ea59e98"},
+  {"7ac6450dd3e0ed84aecbbccfd7846e536dcd11cc4c6552be651e1ca57aeed6af12c5830900a074ef4ed3a8d1616b2db62a5275217d917f7bc6e211a03b84edf770c837ead5a272e5e09f46eb597a86640d70924865f982359667060cd64e5604b75b48a14c256abe36c138a44633acc96016d60eb39fe58d1d1dfe49869adcef46d8992e90a01965db9a6092666ac88a6906ab68472c577042a40dc8c3ac088d17c6405e885b13d2d6b97c4426c340cdd8cf04ae93e7605daf6ddc5951a6efbb6c0a9bba4df5f4a8ebcb1200a1c09da38998cb8047b133eef5c42d3eea4bf216dfd13150efb725cd619664f3acb9cf9fd2a570def8c1c3a53505c031530c999e", "dddbb58906e3acb31a8ccaf8cca2da50a924188577c7c9e9b9bdab68cbada6a0cd24f4ec073e4d07a8eb7bd679740d27ab1665d7cdc4a66675194f64916a0b9aedff0776ff074b2584d44ac42b42611a34c0df1858b3098c99b9f557a7bcee9f5e993811976cb84e4800ae9e283da2c37a5bb776a0df733e6687f2112f821d3c", "8dab12d199f336232e2873dfe3c28e2ed35377c8de282611906ee006f9ecc7a79ff6e20bdb6feec25ddfeea0b7d1c1b3f12d40bca4fc0845f3d0c63bca50fba9325bcb3a23f1c79fe9fe14f79b3465de7b86a3bb2e3c855935586aca8a0a37fb34e8fa7467e88bfdf8caa5a0e393bed7ab356aa984cfc40111f164e375052347", "ce11f79e9e5338372d522505d3e09e35a89e13eb870364af88072c45e1132ec99842bbc59964254200ccea5d5b1f8a655dc61e4d4b1c04f5df63717ea51bacc86567949655181e64f1fca4e8f4b7fb8d3902160f709aa6b5617cdac7f94175822dcd6322eca8cc682ffefb498e295aa487e6352b9c1b5c9224e582d35dcb49fa"},
+  {"968e5357be9e7c5af18e363bad923d83263ea84727e10b0789179cf0607cb478aacf81184f9", "57dae78c1bd4c7253d94a26acd1fee4c01fc0c16b36c0eaa2d15950a263faec571d54ef7f95", "1", "3eb36bcba2c9b535b3f993d0e0724f3724429c307474fc5d5c0207e63a3d05b338fa3220564"},
+  {"9a2a05dcb18ed7e488b66e13128e58f7476ed0d1bfe389a3d074f080825867c731cf194d9001f9094b3540c8f399f3ddf22b18b0901715a354a1552c9543f3e3", "d2fabde31e9f30c58c59c9d79520e2cb96d7c29a86fb3b8dc279e30015bfb225447b210075417bc5523110c4e9f98fdc55906a7f82a1282e56f2451034396994", "0", "9a2a05dcb18ed7e488b66e13128e58f7476ed0d1bfe389a3d074f080825867c731cf194d9001f9094b3540c8f399f3ddf22b18b0901715a354a1552c9543f3e3"},
+};
+struct InvVec { const char* a; const char* m; const char* inv; };
+constexpr InvVec kInvVecs[] = {
+  {"dd75afc509106413999369888b523b231ed75a644418823efc4160f29541e6b8", "527e1ca82f1402908985b34f5e916eb797f3e40b9232decc88b37b8137f386ed", "26bc474efb53c71983d3a049833ee19a412590d766db13c73fce30f20a8bc8b8"},
+  {"a486e9b8b1e360a7b64f021145dcafe6ed361d5fd698a72c5ce4138d4afd1877", "f79711b400d3add5e07853c12b50eea1e935785ffde25b2b74f54bac2d22f101", "ca2e5bc1c0dddadab9cc93fe66651cf91bb955394d77dda6c7242d3cfbbfc807"},
+  {"45fdc1f07198957a3114a8f43d30ee74689aa90ab21766518b26a204f8ff5732", "961b90abbde4c119f22a63bf5a96bc8a2c9b6d3dba187596de21ba89d57ed9bf", "15f14598c3acceb578bdc792a29fb77883e6e0d6199ba7579bb0b2f29d04983f"},
+  {"965338fb9948e492c138035f7c750a7287b6013068cf33aed8d8d5b4d042d524", "cdb29178bafc1f6bb965b05471fdb27083ab69207aee13bbd3fca1ca7b29ce4f", "92a4d9e88c0c185f63e4366190cbbb809adb8d85bfe1f50fb4309431db79053f"},
+};
+// clang-format on
+
+TEST(BigIntTest, HexRoundTrip) {
+  for (const char* s : {"0", "1", "ff", "deadbeef", "123456789abcdef0fedcba9876543210",
+                        "10000000000000000"}) {
+    EXPECT_EQ(BigInt::FromHex(s).ToHex(), s);
+  }
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  BigInt v = BigInt::FromHex("0102030405060708090a0b0c");
+  Bytes b = v.ToBytes();
+  ASSERT_EQ(b.size(), 12u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(BigInt::FromBytes(b), v);
+  Bytes padded = v.ToBytesPadded(16);
+  ASSERT_EQ(padded.size(), 16u);
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(BigInt::FromBytes(padded), v);
+}
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_TRUE(z.ToBytes().empty());
+  EXPECT_EQ(BigInt::Add(z, z), z);
+  EXPECT_EQ(BigInt::Mul(z, BigInt::FromHex("ffffffffffffffffffffffff")), z);
+}
+
+TEST(BigIntTest, MulVectors) {
+  for (const auto& v : kMulVecs) {
+    BigInt a = BigInt::FromHex(v.a);
+    BigInt b = BigInt::FromHex(v.b);
+    EXPECT_EQ(BigInt::Mul(a, b).ToHex(), v.prod);
+    EXPECT_EQ(BigInt::Mul(b, a).ToHex(), v.prod) << "commutativity";
+  }
+}
+
+TEST(BigIntTest, DivVectors) {
+  for (const auto& v : kDivVecs) {
+    BigInt a = BigInt::FromHex(v.a);
+    BigInt b = BigInt::FromHex(v.b);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q.ToHex(), v.q);
+    EXPECT_EQ(r.ToHex(), v.r);
+  }
+}
+
+TEST(BigIntTest, ModExpVectors) {
+  // clang-format off
+  struct ExpVec { const char* b; const char* e; const char* m; const char* out; };
+  constexpr ExpVec kExpVecs[] = {
+    {"41d49f573ec8e662", "2317e4335f331ded", "8743d9d6dedde4e3", "34d38f8e14240daa"},
+    {"aaa64825356dfe5df94beb7a0b487f7cfd9cf50baa25bcff099007476500aee5", "83e9aad5e8a30eca6f3f05be5afd517f8401cd7750215537fd9bebf127a193fc", "b2b5667042ecbec04e1f10c5f51cbd6dc273e2f2d814ac0f11a9c6f8e85412d5", "9e50a70df6e29c538bb7c199e60df5e8dd37287fcc26788c4d98a85fe5e3346b"},
+    {"906e16f2dcd0a52354c2676f95c5cd90aec8cc0404a5f6a0cf9af702e915af29a7344d0915372196811ecdd75905f56a3837a566946eb518e8d52b3f7c4e48f6", "2541942f1177cc299eaf43899f64bf338845b755e0bac50623d3057cfde132a9f33f2c41acff289ef0a6fd90af5898857fd9ba927a5cfc72299bd8fd3ac77737", "d395b630d6bd24ccda69d41c64a5bbcac600b67cb0fc32778147ea99c122da2281a580c8e9fdac722a0c4b7eb04bf9c43e47f944d6dd280df2f1125a88099c39", "1f08008771e5446aaae73c164b980a02316670b1b3cac5c1495b38b3fff75e1cba94e087de08787d159c913ed89e7c0d25b9c3b427b7c47c2659975c7d7e21fe"},
+    {"f08aed09f0954d9a589faaa232bc9ac4cd92bccd9f8da4603a592982506ca75f1226a3389ca935439aa2835f0b6ca0a7e2e548dc688c85adad05c8ebd72d0452c34d5a295e7dad1cee0256b8119583dd5f27f9cf0a7788c272433100d820550099651db19c340baf88fb155490f091988fcd0a49fff4781eb54e626521010857", "5f14d3fb97683f685b4ab518bcd5f9f0dd3fe3e707a11010cb626433fbf7e066b16ce2ef3df59654a69a1a3ac14def10ad4a74957c74761225dc6184571e381eede60c686d2859fe4b0ccc9ed40e8a1114868a28ce55459672b515ca07a387be0d6d342afa2a75557e2737c896fc096b6139b443c4e4fec9b065bb3085714ac2", "df2dc7fcbaa17f979906c8305c8e8dbe77d1f9da999172a8e9fb20f5f04041b20caca470be43bbd9a6b815864135e5c0e901b1b0ac9ca06721eb8c3df867198d80799b6424366747bb0baf4e8c2e01c79ed3f4729aeb5dd8fd76b098d5bca4c6324a83e1c67c2e9a36575fb3048f1b2ca3b152d3131d34312c8e80fd6a3d81d1", "a3d16857e092eff2f9ffc3b5f6393cbc23db5a31a25d9cbdba555ebe085f014d891d2c341ca0868a05743e58a1ffafd2f0944aab383a41934f959a67817345bb892897b025a907510a28183affdf2c39861ccb3329085172a4730201912f8d0f5f8e0cb7eb90c90deef60344e7956bcf8a581f9a6759dacc4073c87f0fecd1b4"},
+    {"c745b6e3687fdb24658b218349d50a0b", "3bf292bf5e2cb05d", "5010579be6350092023d1e894907786e", "33e7283c996dad822d694aeeebc3e675"},
+  };
+  // clang-format on
+  for (const auto& v : kExpVecs) {
+    EXPECT_EQ(BigInt::ModExp(BigInt::FromHex(v.b), BigInt::FromHex(v.e), BigInt::FromHex(v.m))
+                  .ToHex(),
+              v.out);
+  }
+}
+
+TEST(BigIntTest, ModInverseVectors) {
+  for (const auto& v : kInvVecs) {
+    BigInt a = BigInt::FromHex(v.a);
+    BigInt m = BigInt::FromHex(v.m);
+    BigInt inv = BigInt::ModInverse(a, m);
+    EXPECT_EQ(inv.ToHex(), v.inv);
+    EXPECT_TRUE(BigInt::ModMul(a, inv, m).IsOne());
+  }
+}
+
+TEST(BigIntTest, ModInverseOfNonInvertibleIsZero) {
+  BigInt m(100);
+  EXPECT_TRUE(BigInt::ModInverse(BigInt(10), m).IsZero());
+  EXPECT_TRUE(BigInt::ModInverse(BigInt(), m).IsZero());
+}
+
+// --- Property tests against a 64/128-bit oracle ---
+
+class BigIntPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntPropertyTest, SmallNumberOracle) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    uint64_t a = rng.Next() >> (rng.Next() % 40);
+    uint64_t b = rng.Next() >> (rng.Next() % 40);
+    BigInt ba(a), bb(b);
+    uint64_t sum_lo = a + b;
+    uint64_t sum_hi = sum_lo < a ? 1 : 0;
+    EXPECT_EQ(BigInt::Add(ba, bb), BigInt::FromLimbs({sum_lo, sum_hi}));
+    unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+    BigInt bprod = BigInt::Mul(ba, bb);
+    EXPECT_EQ(bprod.Low64(), static_cast<uint64_t>(prod));
+    if (b != 0) {
+      BigInt q, r;
+      BigInt::DivMod(ba, bb, &q, &r);
+      EXPECT_EQ(q.Low64(), a / b);
+      EXPECT_EQ(r.Low64(), a % b);
+    }
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModReconstructionLarge) {
+  Rng rng(GetParam() ^ 0x1111);
+  for (int iter = 0; iter < 60; ++iter) {
+    size_t abytes = 1 + rng.Below(160);
+    size_t bbytes = 1 + rng.Below(abytes);
+    Bytes ab(abytes), bb(bbytes);
+    for (auto& c : ab) {
+      c = static_cast<uint8_t>(rng.Next());
+    }
+    for (auto& c : bb) {
+      c = static_cast<uint8_t>(rng.Next());
+    }
+    BigInt a = BigInt::FromBytes(ab);
+    BigInt b = BigInt::FromBytes(bb);
+    if (b.IsZero()) {
+      continue;
+    }
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_LT(BigInt::Cmp(r, b), 0);
+    // a == q*b + r
+    EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), r), a);
+  }
+}
+
+TEST_P(BigIntPropertyTest, RingIdentitiesLarge) {
+  Rng rng(GetParam() ^ 0x2222);
+  for (int iter = 0; iter < 30; ++iter) {
+    auto random_big = [&rng](size_t maxbytes) {
+      Bytes b(1 + rng.Below(maxbytes));
+      for (auto& c : b) {
+        c = static_cast<uint8_t>(rng.Next());
+      }
+      return BigInt::FromBytes(b);
+    };
+    BigInt a = random_big(100), b = random_big(100), c = random_big(100);
+    // (a+b)+c == a+(b+c)
+    EXPECT_EQ(BigInt::Add(BigInt::Add(a, b), c), BigInt::Add(a, BigInt::Add(b, c)));
+    // a*(b+c) == a*b + a*c
+    EXPECT_EQ(BigInt::Mul(a, BigInt::Add(b, c)),
+              BigInt::Add(BigInt::Mul(a, b), BigInt::Mul(a, c)));
+    // (a+b)-b == a
+    EXPECT_EQ(BigInt::Sub(BigInt::Add(a, b), b), a);
+    // shifts: (a << k) >> k == a
+    size_t k = rng.Below(200);
+    EXPECT_EQ(a.ShiftLeft(k).ShiftRight(k), a);
+    // shift-left is mul by 2^k
+    EXPECT_EQ(a.ShiftLeft(k), BigInt::Mul(a, BigInt(1).ShiftLeft(k)));
+  }
+}
+
+TEST_P(BigIntPropertyTest, FermatLittleTheorem) {
+  // a^(p-1) == 1 mod p for prime p (also exercises Montgomery).
+  BigInt p = BigInt::FromHex("9f9b41d4cd3cc3db42914b1df5f84da30c82ed1e4728e754fda103b8924619f3");
+  Rng rng(GetParam() ^ 0x3333);
+  for (int iter = 0; iter < 10; ++iter) {
+    Bytes b(24);
+    for (auto& c : b) {
+      c = static_cast<uint8_t>(rng.Next());
+    }
+    BigInt a = BigInt::Add(BigInt::FromBytes(b), BigInt(2));
+    EXPECT_TRUE(BigInt::ModExp(a, BigInt::Sub(p, BigInt(1)), p).IsOne());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).Low64(), 6u);
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).Low64(), 1u);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).Low64(), 5u);
+}
+
+TEST(BigIntTest, IsProbablePrimeSmall) {
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(2)));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(3)));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(97)));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(65537)));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(1)));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(561)));   // Carmichael
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(6601)));  // Carmichael
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(1ull << 40)));
+}
+
+TEST(BigIntTest, IsProbablePrimeLarge) {
+  // 256-bit safe prime and its Sophie Germain half.
+  BigInt p = BigInt::FromHex("9f9b41d4cd3cc3db42914b1df5f84da30c82ed1e4728e754fda103b8924619f3");
+  BigInt q = BigInt::Sub(p, BigInt(1)).ShiftRight(1);
+  EXPECT_TRUE(BigInt::IsProbablePrime(p, 20));
+  EXPECT_TRUE(BigInt::IsProbablePrime(q, 20));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::Add(p, BigInt(2)), 20));
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v = BigInt::FromHex("8000000000000001");
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(63));
+  EXPECT_FALSE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(64));
+  EXPECT_EQ(v.BitLength(), 64u);
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a = BigInt::FromHex("ffffffffffffffff");
+  BigInt b = BigInt::FromHex("10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_EQ(BigInt::Cmp(a, a), 0);
+}
+
+}  // namespace
+}  // namespace dissent

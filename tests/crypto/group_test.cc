@@ -1,0 +1,147 @@
+// Schnorr group parameter validation and element/scalar/encoding behaviour.
+#include "src/crypto/group.h"
+
+#include <gtest/gtest.h>
+
+namespace dissent {
+namespace {
+
+class GroupParamTest : public ::testing::TestWithParam<GroupId> {};
+
+TEST_P(GroupParamTest, ParametersAreSafePrimeGroup) {
+  auto g = Group::Named(GetParam());
+  // p = 2q + 1.
+  EXPECT_EQ(BigInt::Add(g->q().ShiftLeft(1), BigInt(1)), g->p());
+  // Generator is a subgroup element of order q: g^q == 1 and g != 1.
+  EXPECT_TRUE(g->IsElement(g->g()));
+  EXPECT_FALSE(g->g().IsOne());
+}
+
+TEST_P(GroupParamTest, PrimalityReVerified) {
+  auto g = Group::Named(GetParam());
+  int rounds = g->p().BitLength() > 1500 ? 8 : 16;  // keep CI time sane
+  EXPECT_TRUE(BigInt::IsProbablePrime(g->p(), rounds));
+  EXPECT_TRUE(BigInt::IsProbablePrime(g->q(), rounds));
+}
+
+TEST_P(GroupParamTest, ExpHomomorphism) {
+  auto g = Group::Named(GetParam());
+  SecureRng rng = SecureRng::FromLabel(11);
+  BigInt a = g->RandomScalar(rng);
+  BigInt b = g->RandomScalar(rng);
+  // g^(a+b) == g^a * g^b
+  EXPECT_EQ(g->GExp(g->AddScalars(a, b)), g->MulElems(g->GExp(a), g->GExp(b)));
+  // (g^a)^b == (g^b)^a
+  EXPECT_EQ(g->Exp(g->GExp(a), b), g->Exp(g->GExp(b), a));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, GroupParamTest,
+                         ::testing::Values(GroupId::kTesting256, GroupId::kMedium512,
+                                           GroupId::kProduction1024, GroupId::kProduction2048));
+
+TEST(GroupTest, ElementMembership) {
+  auto g = Group::Named(GroupId::kTesting256);
+  EXPECT_FALSE(g->IsElement(BigInt())) << "zero is not an element";
+  EXPECT_TRUE(g->IsElement(BigInt(1)));
+  EXPECT_TRUE(g->IsElement(BigInt(4)));
+  EXPECT_FALSE(g->IsElement(g->p()));
+  // 2 is a generator of the full group, not the QR subgroup, for p = 7 mod 8?
+  // For our p we just check: either 2^q == 1 or not, but p-1 (= -1) is never
+  // in the subgroup since p = 3 mod 4.
+  EXPECT_FALSE(g->IsElement(BigInt::Sub(g->p(), BigInt(1))));
+}
+
+TEST(GroupTest, InverseAndIdentity) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(12);
+  BigInt x = g->RandomScalar(rng);
+  BigInt e = g->GExp(x);
+  EXPECT_TRUE(g->MulElems(e, g->InvElem(e)).IsOne());
+  EXPECT_EQ(g->MulElems(e, g->Identity()), e);
+}
+
+TEST(GroupTest, ScalarFieldOps) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(13);
+  BigInt a = g->RandomScalar(rng);
+  BigInt b = g->RandomScalar(rng);
+  EXPECT_EQ(g->SubScalars(g->AddScalars(a, b), b), a);
+  EXPECT_EQ(g->AddScalars(a, g->NegScalar(a)), BigInt());
+  if (!a.IsZero()) {
+    EXPECT_TRUE(g->MulScalars(a, g->InvScalar(a)).IsOne());
+  }
+}
+
+TEST(GroupTest, EncodingRoundTripAndValidation) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(14);
+  BigInt e = g->GExp(g->RandomScalar(rng));
+  Bytes b = g->ElementToBytes(e);
+  EXPECT_EQ(b.size(), g->ElementBytes());
+  auto back = g->ElementFromBytes(b);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, e);
+  // Wrong length rejected.
+  Bytes shorter(b.begin(), b.end() - 1);
+  EXPECT_FALSE(g->ElementFromBytes(shorter).has_value());
+  // Non-member rejected (p-1 is not in the QR subgroup).
+  EXPECT_FALSE(g->ElementFromBytes(g->ElementToBytes(BigInt::Sub(g->p(), BigInt(1)))).has_value());
+  // Scalar encoding.
+  BigInt s = g->RandomScalar(rng);
+  auto s_back = g->ScalarFromBytes(g->ScalarToBytes(s));
+  ASSERT_TRUE(s_back.has_value());
+  EXPECT_EQ(*s_back, s);
+  // q itself is out of range.
+  EXPECT_FALSE(g->ScalarFromBytes(g->q().ToBytesPadded(g->ScalarBytes())).has_value());
+}
+
+TEST(GroupTest, HashToScalarDeterministicAndSpread) {
+  auto g = Group::Named(GroupId::kTesting256);
+  BigInt a = g->HashToScalar(BytesOf("hello"));
+  BigInt b = g->HashToScalar(BytesOf("hello"));
+  BigInt c = g->HashToScalar(BytesOf("hellp"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(BigInt::Cmp(a, g->q()), 0);
+}
+
+class MessageEmbeddingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MessageEmbeddingTest, RoundTrip) {
+  auto g = Group::Named(GroupId::kTesting256);
+  SecureRng rng = SecureRng::FromLabel(15 + GetParam());
+  size_t len = GetParam();
+  ASSERT_LE(len, g->MessageCapacity());
+  Bytes m = rng.RandomBytes(len);
+  auto elem = g->EncodeMessage(m);
+  ASSERT_TRUE(elem.has_value());
+  EXPECT_TRUE(g->IsElement(*elem));
+  auto back = g->DecodeMessage(*elem);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MessageEmbeddingTest, ::testing::Values(0, 1, 2, 7, 16, 29));
+
+TEST(MessageEmbeddingTest, LeadingZerosPreserved) {
+  auto g = Group::Named(GroupId::kTesting256);
+  Bytes m = {0x00, 0x00, 0x01, 0x00};
+  auto elem = g->EncodeMessage(m);
+  ASSERT_TRUE(elem.has_value());
+  EXPECT_EQ(*g->DecodeMessage(*elem), m);
+}
+
+TEST(MessageEmbeddingTest, OversizeRejected) {
+  auto g = Group::Named(GroupId::kTesting256);
+  Bytes m(g->MessageCapacity() + 1, 0xab);
+  EXPECT_FALSE(g->EncodeMessage(m).has_value());
+}
+
+TEST(MessageEmbeddingTest, CapacityScalesWithGroup) {
+  EXPECT_GT(Group::Named(GroupId::kMedium512)->MessageCapacity(),
+            Group::Named(GroupId::kTesting256)->MessageCapacity());
+  EXPECT_GE(Group::Named(GroupId::kTesting256)->MessageCapacity(), 29u);
+}
+
+}  // namespace
+}  // namespace dissent

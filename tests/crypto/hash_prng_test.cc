@@ -1,0 +1,116 @@
+// SHA-256 against FIPS 180-4 / NIST vectors; ChaCha20 against RFC 8439.
+#include <gtest/gtest.h>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace dissent {
+namespace {
+
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(ToHex(Sha256::Hash(BytesOf(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(ToHex(Sha256::Hash(BytesOf("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(ToHex(Sha256::Hash(
+                BytesOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // One million 'a's (streaming path).
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(ToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Padding boundaries: 55, 56, 63, 64, 65 bytes all hash without error and
+  // produce distinct digests.
+  std::vector<Bytes> digests;
+  for (size_t n : {0u, 1u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    digests.push_back(Sha256::Hash(Bytes(n, 0x5a)));
+  }
+  for (size_t i = 0; i < digests.size(); ++i) {
+    for (size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(ToHex(digests[i]), ToHex(digests[j]));
+    }
+  }
+}
+
+TEST(Sha256Test, HashPartsIsFramed) {
+  // Unambiguous framing: ("ab","c") != ("a","bc").
+  Bytes ab = BytesOf("ab"), c = BytesOf("c"), a = BytesOf("a"), bc = BytesOf("bc");
+  EXPECT_NE(ToHex(Sha256::HashParts({&ab, &c})), ToHex(Sha256::HashParts({&a, &bc})));
+}
+
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  // RFC 8439 section 2.3.2 test vector.
+  Bytes key(32), nonce(12);
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  nonce[3] = 0x09;
+  nonce[7] = 0x4a;
+  uint8_t out[64];
+  ChaCha20Block(key.data(), nonce.data(), 1, out);
+  Bytes got(out, out + 64);
+  EXPECT_EQ(ToHex(got),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439EncryptionVector) {
+  // RFC 8439 section 2.4.2: keystream for counter starting at 1.
+  Bytes key(32), nonce(12);
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  nonce[7] = 0x4a;
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If you could offer you only one tip for "
+      "the future, sunscreen would be it.";
+  // Stream with counter 0; RFC uses counter 1, so skip one block.
+  ChaCha20Stream stream(key, nonce);
+  Bytes skip = stream.Generate(64);
+  Bytes ct = BytesOf(plaintext);
+  stream.XorStream(ct, 0, ct.size());
+  EXPECT_EQ(ToHex(Bytes(ct.begin(), ct.begin() + 16)), "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20Test, StreamDeterminismAndChunking) {
+  Bytes key(32, 0x42), nonce(12, 0x17);
+  ChaCha20Stream s1(key, nonce);
+  ChaCha20Stream s2(key, nonce);
+  Bytes a = s1.Generate(1000);
+  // Same stream read in odd-sized chunks must match.
+  Bytes b;
+  while (b.size() < 1000) {
+    size_t take = std::min<size_t>(37, 1000 - b.size());
+    Bytes chunk = s2.Generate(take);
+    b.insert(b.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(a, b);
+  // Different nonce => different stream.
+  Bytes nonce2(12, 0x18);
+  ChaCha20Stream s3(key, nonce2);
+  EXPECT_NE(s3.Generate(1000), a);
+}
+
+TEST(ChaCha20Test, XorStreamMatchesGenerate) {
+  Bytes key(32, 1), nonce(12, 2);
+  ChaCha20Stream s1(key, nonce);
+  ChaCha20Stream s2(key, nonce);
+  Bytes buf(300, 0);
+  s1.XorStream(buf, 0, 300);
+  EXPECT_EQ(buf, s2.Generate(300));
+  // XOR twice with identical streams cancels.
+  ChaCha20Stream s3(key, nonce);
+  s3.XorStream(buf, 0, 300);
+  EXPECT_EQ(buf, Bytes(300, 0));
+}
+
+}  // namespace
+}  // namespace dissent

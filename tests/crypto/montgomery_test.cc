@@ -1,0 +1,90 @@
+// Montgomery context vs the schoolbook modular path, across widths.
+#include "src/crypto/montgomery.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace dissent {
+namespace {
+
+BigInt RandomBig(Rng& rng, size_t bytes) {
+  Bytes b(bytes);
+  for (auto& c : b) {
+    c = static_cast<uint8_t>(rng.Next());
+  }
+  return BigInt::FromBytes(b);
+}
+
+class MontgomeryWidthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MontgomeryWidthTest, MulMatchesSchoolbook) {
+  Rng rng(99 + GetParam());
+  BigInt n = RandomBig(rng, GetParam());
+  if (!n.IsOdd()) {
+    n = BigInt::Add(n, BigInt(1));
+  }
+  if (n.BitLength() < 2) {
+    n = BigInt(0x10001);
+  }
+  Montgomery mont(n);
+  for (int iter = 0; iter < 40; ++iter) {
+    BigInt a = RandomBig(rng, GetParam() + 3);
+    BigInt b = RandomBig(rng, GetParam() + 3);
+    EXPECT_EQ(mont.Mul(a, b), BigInt::ModMul(a, b, n));
+  }
+}
+
+TEST_P(MontgomeryWidthTest, ExpMatchesSquareAndMultiply) {
+  Rng rng(7 + GetParam());
+  BigInt n = RandomBig(rng, GetParam());
+  if (!n.IsOdd()) {
+    n = BigInt::Add(n, BigInt(1));
+  }
+  if (n.BitLength() < 2) {
+    n = BigInt(0x10001);
+  }
+  Montgomery mont(n);
+  for (int iter = 0; iter < 8; ++iter) {
+    BigInt a = RandomBig(rng, GetParam());
+    BigInt e = RandomBig(rng, 8);
+    // Oracle: plain square-and-multiply via ModMul.
+    BigInt expect(1);
+    expect = BigInt::Mod(expect, n);
+    BigInt base = BigInt::Mod(a, n);
+    for (size_t i = e.BitLength(); i-- > 0;) {
+      expect = BigInt::ModMul(expect, expect, n);
+      if (e.Bit(i)) {
+        expect = BigInt::ModMul(expect, base, n);
+      }
+    }
+    EXPECT_EQ(mont.Exp(a, e), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MontgomeryWidthTest,
+                         ::testing::Values(8, 16, 17, 32, 33, 64, 128, 256));
+
+TEST(MontgomeryTest, ExpEdgeCases) {
+  BigInt n = BigInt::FromHex("9f9b41d4cd3cc3db42914b1df5f84da30c82ed1e4728e754fda103b8924619f3");
+  Montgomery mont(n);
+  EXPECT_TRUE(mont.Exp(BigInt(5), BigInt()).IsOne()) << "x^0 == 1";
+  EXPECT_EQ(mont.Exp(BigInt(5), BigInt(1)), BigInt(5));
+  EXPECT_EQ(mont.Exp(BigInt(), BigInt(5)), BigInt()) << "0^x == 0";
+  EXPECT_EQ(mont.Exp(BigInt(2), BigInt(10)).Low64(), 1024u);
+}
+
+TEST(MontgomeryTest, DomainRoundTrip) {
+  BigInt n = BigInt::FromHex("fb8def3a572e8dc20670083d0a2a21dd4499d394148beb09ecd2f93a018018d0"
+                             "af9a57a96a9172dc5baba339cccd0f6fccb7fdc53fb67c330afe160326d4cd17");
+  Montgomery mont(n);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::Mod(RandomBig(rng, 70), n);
+    EXPECT_EQ(mont.FromMont(mont.ToMont(a)), a);
+  }
+  EXPECT_TRUE(mont.FromMont(mont.One()).IsOne());
+}
+
+}  // namespace
+}  // namespace dissent

@@ -1,0 +1,199 @@
+// DH key derivation, ElGamal (incl. layered/onion operation), Schnorr
+// signatures, and Chaum-Pedersen DLEQ proofs — completeness and tampering.
+#include <gtest/gtest.h>
+
+#include "src/crypto/chaum_pedersen.h"
+#include "src/crypto/dh.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/schnorr.h"
+
+namespace dissent {
+namespace {
+
+std::shared_ptr<const Group> G() { return Group::Named(GroupId::kTesting256); }
+
+TEST(DhTest, SharedKeyAgreement) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(21);
+  DhKeyPair alice = DhKeyPair::Generate(*g, rng);
+  DhKeyPair bob = DhKeyPair::Generate(*g, rng);
+  Bytes k1 = DeriveSharedKey(*g, alice.priv, bob.pub, "dcnet");
+  Bytes k2 = DeriveSharedKey(*g, bob.priv, alice.pub, "dcnet");
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+  // Context separation.
+  EXPECT_NE(DeriveSharedKey(*g, alice.priv, bob.pub, "other"), k1);
+  // Third party derives something else.
+  DhKeyPair eve = DhKeyPair::Generate(*g, rng);
+  EXPECT_NE(DeriveSharedKey(*g, eve.priv, bob.pub, "dcnet"), k1);
+}
+
+TEST(ElGamalTest, EncryptDecryptRoundTrip) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(22);
+  DhKeyPair key = DhKeyPair::Generate(*g, rng);
+  BigInt m = *g->EncodeMessage(BytesOf("attack at dawn"));
+  ElGamalCiphertext ct = ElGamalEncrypt(*g, key.pub, m, rng);
+  EXPECT_EQ(ElGamalDecrypt(*g, key.priv, ct), m);
+}
+
+TEST(ElGamalTest, ReEncryptPreservesPlaintextChangesCiphertext) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(23);
+  DhKeyPair key = DhKeyPair::Generate(*g, rng);
+  BigInt m = *g->EncodeMessage(BytesOf("hi"));
+  ElGamalCiphertext ct = ElGamalEncrypt(*g, key.pub, m, rng);
+  ElGamalCiphertext ct2 = ElGamalReEncrypt(*g, key.pub, ct, g->RandomScalar(rng));
+  EXPECT_FALSE(ct == ct2);
+  EXPECT_EQ(ElGamalDecrypt(*g, key.priv, ct2), m);
+}
+
+TEST(ElGamalTest, LayeredOnionPeeling) {
+  // Encrypt under the product of M server keys; peel layers in sequence as
+  // the key shuffle does (§3.10).
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(24);
+  constexpr int kServers = 5;
+  std::vector<DhKeyPair> servers;
+  std::vector<BigInt> pubs;
+  for (int i = 0; i < kServers; ++i) {
+    servers.push_back(DhKeyPair::Generate(*g, rng));
+    pubs.push_back(servers.back().pub);
+  }
+  BigInt combined = CombineKeys(*g, pubs);
+  BigInt m = *g->EncodeMessage(BytesOf("pseudonym-key"));
+  ElGamalCiphertext ct = ElGamalEncrypt(*g, combined, m, rng);
+  // Peel in arbitrary (here reverse) order — layers commute.
+  for (int j = kServers - 1; j >= 0; --j) {
+    ct = ElGamalPartialDecrypt(*g, servers[j].priv, ct);
+  }
+  EXPECT_EQ(g->DecodeMessage(ct.b).value_or(Bytes{}), BytesOf("pseudonym-key"));
+}
+
+TEST(ElGamalTest, LayeredWithReEncryptionBetweenPeels) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(25);
+  std::vector<DhKeyPair> servers;
+  std::vector<BigInt> pubs;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(DhKeyPair::Generate(*g, rng));
+    pubs.push_back(servers.back().pub);
+  }
+  BigInt m = *g->EncodeMessage(BytesOf("x"));
+  ElGamalCiphertext ct = ElGamalEncrypt(*g, CombineKeys(*g, pubs), m, rng);
+  // Server 0 re-randomizes under the full key then peels its own layer;
+  // server 1 re-randomizes under the remaining key; etc.
+  for (int j = 0; j < 3; ++j) {
+    std::vector<BigInt> remaining(pubs.begin() + j, pubs.end());
+    ct = ElGamalReEncrypt(*g, CombineKeys(*g, remaining), ct, g->RandomScalar(rng));
+    ct = ElGamalPartialDecrypt(*g, servers[j].priv, ct);
+  }
+  EXPECT_EQ(g->DecodeMessage(ct.b).value_or(Bytes{}), BytesOf("x"));
+}
+
+TEST(SchnorrTest, SignVerify) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(26);
+  SchnorrKeyPair kp = SchnorrKeyPair::Generate(*g, rng);
+  Bytes msg = BytesOf("round 7 cleartext");
+  SchnorrSignature sig = SchnorrSign(*g, kp.priv, msg, rng);
+  EXPECT_TRUE(SchnorrVerify(*g, kp.pub, msg, sig));
+}
+
+TEST(SchnorrTest, RejectsTampering) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(27);
+  SchnorrKeyPair kp = SchnorrKeyPair::Generate(*g, rng);
+  SchnorrKeyPair other = SchnorrKeyPair::Generate(*g, rng);
+  Bytes msg = BytesOf("message");
+  SchnorrSignature sig = SchnorrSign(*g, kp.priv, msg, rng);
+  EXPECT_FALSE(SchnorrVerify(*g, kp.pub, BytesOf("messagf"), sig)) << "modified message";
+  EXPECT_FALSE(SchnorrVerify(*g, other.pub, msg, sig)) << "wrong key";
+  SchnorrSignature bad = sig;
+  bad.response = g->AddScalars(bad.response, BigInt(1));
+  EXPECT_FALSE(SchnorrVerify(*g, kp.pub, msg, bad)) << "modified response";
+  bad = sig;
+  bad.commit = g->MulElems(bad.commit, g->g());
+  EXPECT_FALSE(SchnorrVerify(*g, kp.pub, msg, bad)) << "modified commit";
+}
+
+TEST(SchnorrTest, SerializationRoundTrip) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(28);
+  SchnorrKeyPair kp = SchnorrKeyPair::Generate(*g, rng);
+  SchnorrSignature sig = SchnorrSign(*g, kp.priv, BytesOf("m"), rng);
+  Bytes ser = sig.Serialize(*g);
+  auto back = SchnorrSignature::Deserialize(*g, ser);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(SchnorrVerify(*g, kp.pub, BytesOf("m"), *back));
+  // Truncated / garbage input rejected, not crash.
+  Bytes truncated(ser.begin(), ser.begin() + ser.size() / 2);
+  EXPECT_FALSE(SchnorrSignature::Deserialize(*g, truncated).has_value());
+  Bytes trailing = ser;
+  trailing.push_back(0);
+  EXPECT_FALSE(SchnorrSignature::Deserialize(*g, trailing).has_value());
+}
+
+TEST(DleqTest, ProveVerify) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(29);
+  BigInt x = g->RandomScalar(rng);
+  // Two bases: g and some independent element.
+  BigInt base2 = g->GExp(g->RandomScalar(rng));
+  BigInt h1 = g->GExp(x);
+  BigInt h2 = g->Exp(base2, x);
+  DleqProof proof = DleqProve(*g, g->g(), h1, base2, h2, x, rng);
+  EXPECT_TRUE(DleqVerify(*g, g->g(), h1, base2, h2, proof));
+}
+
+TEST(DleqTest, RejectsUnequalLogs) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(30);
+  BigInt x = g->RandomScalar(rng);
+  BigInt y = g->AddScalars(x, BigInt(1));
+  BigInt base2 = g->GExp(g->RandomScalar(rng));
+  BigInt h1 = g->GExp(x);
+  BigInt h2 = g->Exp(base2, y);  // different exponent!
+  DleqProof proof = DleqProve(*g, g->g(), h1, base2, h2, x, rng);
+  EXPECT_FALSE(DleqVerify(*g, g->g(), h1, base2, h2, proof));
+}
+
+TEST(DleqTest, RejectsTamperedProof) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(31);
+  BigInt x = g->RandomScalar(rng);
+  BigInt base2 = g->GExp(g->RandomScalar(rng));
+  BigInt h1 = g->GExp(x);
+  BigInt h2 = g->Exp(base2, x);
+  DleqProof proof = DleqProve(*g, g->g(), h1, base2, h2, x, rng);
+  DleqProof bad = proof;
+  bad.response = g->AddScalars(bad.response, BigInt(1));
+  EXPECT_FALSE(DleqVerify(*g, g->g(), h1, base2, h2, bad));
+  bad = proof;
+  bad.commit1 = g->MulElems(bad.commit1, g->g());
+  EXPECT_FALSE(DleqVerify(*g, g->g(), h1, base2, h2, bad));
+  // Statement swap.
+  EXPECT_FALSE(DleqVerify(*g, g->g(), h2, base2, h1, proof));
+}
+
+TEST(DleqTest, VerifiableDecryptionUseCase) {
+  // The exact statement used by the key shuffle: server proves b' is a
+  // correct partial decryption: log_g(pub_j) == log_a(b / b').
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(32);
+  DhKeyPair server = DhKeyPair::Generate(*g, rng);
+  BigInt m = *g->EncodeMessage(BytesOf("k"));
+  ElGamalCiphertext ct = ElGamalEncrypt(*g, server.pub, m, rng);
+  ElGamalCiphertext peeled = ElGamalPartialDecrypt(*g, server.priv, ct);
+  BigInt ratio = g->MulElems(ct.b, g->InvElem(peeled.b));  // a^x
+  DleqProof proof = DleqProve(*g, g->g(), server.pub, ct.a, ratio, server.priv, rng);
+  EXPECT_TRUE(DleqVerify(*g, g->g(), server.pub, ct.a, ratio, proof));
+  // A lying server that outputs a random b' instead:
+  ElGamalCiphertext lie = peeled;
+  lie.b = g->MulElems(lie.b, g->g());
+  BigInt lie_ratio = g->MulElems(ct.b, g->InvElem(lie.b));
+  EXPECT_FALSE(DleqVerify(*g, g->g(), server.pub, ct.a, lie_ratio, proof));
+}
+
+}  // namespace
+}  // namespace dissent

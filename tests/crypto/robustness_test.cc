@@ -1,0 +1,172 @@
+// Cross-cutting robustness: Fiat-Shamir transcript behaviour, SecureRng
+// statistical sanity, and hostile-input handling in the message-block codec
+// used by the accusation shuffle.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/key_shuffle.h"
+#include "src/crypto/transcript.h"
+
+namespace dissent {
+namespace {
+
+std::shared_ptr<const Group> G() { return Group::Named(GroupId::kTesting256); }
+
+TEST(TranscriptTest, DeterministicAndOrderSensitive) {
+  auto g = G();
+  Transcript a("domain");
+  Transcript b("domain");
+  a.AppendU64("x", 1);
+  a.AppendU64("y", 2);
+  b.AppendU64("x", 1);
+  b.AppendU64("y", 2);
+  EXPECT_EQ(a.ChallengeBytes("c"), b.ChallengeBytes("c"));
+  // Order matters.
+  Transcript c("domain");
+  c.AppendU64("y", 2);
+  c.AppendU64("x", 1);
+  EXPECT_NE(Transcript("domain").ChallengeBytes("c"), c.ChallengeBytes("c"));
+  // Domain separation matters.
+  Transcript d("other-domain");
+  d.AppendU64("x", 1);
+  d.AppendU64("y", 2);
+  Transcript e("domain");
+  e.AppendU64("x", 1);
+  e.AppendU64("y", 2);
+  EXPECT_NE(d.ChallengeBytes("c"), e.ChallengeBytes("c"));
+}
+
+TEST(TranscriptTest, ChallengesChainForward) {
+  auto g = G();
+  Transcript t("domain");
+  BigInt c1 = t.ChallengeScalar(*g, "a");
+  BigInt c2 = t.ChallengeScalar(*g, "a");
+  EXPECT_NE(c1, c2) << "successive challenges must differ (state folds forward)";
+  // Labels are part of the derivation.
+  Transcript t2("domain");
+  BigInt d1 = t2.ChallengeScalar(*g, "b");
+  EXPECT_NE(c1, d1);
+}
+
+TEST(TranscriptTest, LabelFramingUnambiguous) {
+  // ("ab","c") vs ("a","bc") across label/data boundary.
+  Transcript a("d");
+  a.AppendBytes("ab", BytesOf("c"));
+  Transcript b("d");
+  b.AppendBytes("a", BytesOf("bc"));
+  EXPECT_NE(a.ChallengeBytes("x"), b.ChallengeBytes("x"));
+}
+
+TEST(SecureRngTest, DeterministicByLabelAndForkIndependent) {
+  SecureRng a = SecureRng::FromLabel(1);
+  SecureRng b = SecureRng::FromLabel(1);
+  EXPECT_EQ(a.RandomBytes(64), b.RandomBytes(64));
+  SecureRng c = SecureRng::FromLabel(2);
+  EXPECT_NE(SecureRng::FromLabel(1).RandomBytes(64), c.RandomBytes(64));
+  SecureRng parent = SecureRng::FromLabel(3);
+  SecureRng child = parent.Fork();
+  EXPECT_NE(parent.RandomBytes(32), child.RandomBytes(32));
+}
+
+TEST(SecureRngTest, RandomBelowIsUniformish) {
+  SecureRng rng = SecureRng::FromLabel(4);
+  BigInt bound(1000);
+  std::map<uint64_t, int> buckets;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    BigInt v = rng.RandomBelow(bound);
+    ASSERT_LT(BigInt::Cmp(v, bound), 0);
+    buckets[v.Low64() / 100]++;
+  }
+  // 10 buckets of ~2000 each; allow generous slack.
+  for (auto& [bucket, count] : buckets) {
+    EXPECT_GT(count, 1600) << "bucket " << bucket;
+    EXPECT_LT(count, 2400) << "bucket " << bucket;
+  }
+}
+
+TEST(SecureRngTest, RandomBelowAwkwardBounds) {
+  SecureRng rng = SecureRng::FromLabel(5);
+  // Bound just above a power of two => high rejection rate path.
+  BigInt bound = BigInt::Add(BigInt(1).ShiftLeft(64), BigInt(1));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(BigInt::Cmp(rng.RandomBelow(bound), bound), 0);
+  }
+  EXPECT_TRUE(rng.RandomBelow(BigInt(1)).IsZero());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.RandomNonZeroBelow(BigInt(2)).IsZero());
+  }
+}
+
+TEST(MessageBlocksTest, RoundTripAcrossSizes) {
+  SecureRng rng = SecureRng::FromLabel(6);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 3, 2, rng, &sp, &cp);
+  BigInt combined_priv;  // sum of server privs decrypts in one shot
+  for (const BigInt& p : sp) {
+    combined_priv = def.group->AddScalars(combined_priv, p);
+  }
+  for (size_t len : {0u, 1u, 28u, 29u, 30u, 100u, 200u}) {
+    Bytes msg = rng.RandomBytes(len);
+    size_t width = MessageBlockWidth(def, len);
+    auto row = EncryptMessageBlocks(def, msg, width, rng);
+    ASSERT_TRUE(row.has_value()) << len;
+    // Decrypt all blocks with the combined key.
+    std::vector<ElGamalCiphertext> plain(width);
+    for (size_t l = 0; l < width; ++l) {
+      plain[l].a = (*row)[l].a;
+      plain[l].b = ElGamalDecrypt(*def.group, combined_priv, (*row)[l]);
+    }
+    auto back = DecodeMessageBlocks(def, plain);
+    ASSERT_TRUE(back.has_value()) << len;
+    EXPECT_EQ(*back, msg) << len;
+  }
+}
+
+TEST(MessageBlocksTest, WidthTooSmallRejected) {
+  SecureRng rng = SecureRng::FromLabel(7);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 2, 2, rng, &sp, &cp);
+  Bytes msg(100, 1);
+  size_t width = MessageBlockWidth(def, 100);
+  EXPECT_FALSE(EncryptMessageBlocks(def, msg, width - 1, rng).has_value());
+}
+
+TEST(MessageBlocksTest, GarbageRowsRejected) {
+  SecureRng rng = SecureRng::FromLabel(8);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 2, 2, rng, &sp, &cp);
+  // A "decrypted" row whose b is not a valid message embedding.
+  std::vector<ElGamalCiphertext> row(1);
+  row[0].a = def.group->g();
+  row[0].b = BigInt::Sub(def.group->p(), BigInt(1));  // non-member
+  EXPECT_FALSE(DecodeMessageBlocks(def, row).has_value());
+  // Length header larger than the available bytes.
+  Bytes tiny = {0xff, 0xff, 0xff, 0x7f};
+  auto elem = def.group->EncodeMessage(tiny);
+  ASSERT_TRUE(elem.has_value());
+  row[0].b = *elem;
+  EXPECT_FALSE(DecodeMessageBlocks(def, row).has_value());
+}
+
+TEST(GroupDefTest, IdIsSelfCertifying) {
+  SecureRng rng = SecureRng::FromLabel(9);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 3, 4, rng, &sp, &cp);
+  Bytes id = def.Id();
+  EXPECT_EQ(def.Id(), id) << "deterministic";
+  // Any roster or policy change changes the id.
+  GroupDef other = def;
+  other.client_pubs[0] = other.client_pubs[1];
+  EXPECT_NE(other.Id(), id);
+  other = def;
+  other.policy.alpha = 0.5;
+  EXPECT_NE(other.Id(), id);
+  other = def;
+  std::swap(other.server_pubs[0], other.server_pubs[1]);
+  EXPECT_NE(other.Id(), id) << "roster order is part of the identity";
+}
+
+}  // namespace
+}  // namespace dissent

@@ -1,0 +1,165 @@
+// Discrete-event simulator: ordering, determinism, link models, stats.
+#include <gtest/gtest.h>
+
+#include "src/sim/latency_model.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace dissent {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(5, [&] { order.push_back(1); });
+  sim.Schedule(5, [&] { order.push_back(2); });
+  sim.Schedule(5, [&] { order.push_back(3); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, NestedSchedulingAndRunUntil) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] {
+    fired++;
+    sim.Schedule(10, [&] { fired++; });  // at t=20
+    sim.Schedule(100, [&] { fired++; }); // at t=110
+  });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), 110);
+}
+
+TEST(NetworkTest, LatencyOnlyDelivery) {
+  Simulator sim;
+  Network net(&sim);
+  SimTime delivered_at = -1;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](NodeId from, const Bytes& p) {
+    delivered_at = sim.Now();
+    EXPECT_EQ(from, a);
+    EXPECT_EQ(p.size(), 100u);
+  });
+  net.SetDefaultLink({.latency = 5 * kMillisecond, .bandwidth_bps = 0});
+  net.Send(a, b, Bytes(100, 1));
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered_at, 5 * kMillisecond);
+}
+
+TEST(NetworkTest, BandwidthSerializationDelay) {
+  Simulator sim;
+  Network net(&sim);
+  SimTime delivered_at = -1;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](NodeId, const Bytes&) { delivered_at = sim.Now(); });
+  // 1 MB/s link, 10 ms latency, 100 KB message => 100 ms + 10 ms.
+  net.SetDefaultLink({.latency = 10 * kMillisecond, .bandwidth_bps = 1e6});
+  net.Send(a, b, Bytes(100000, 1));
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered_at, 110 * kMillisecond);
+}
+
+TEST(NetworkTest, UplinkIsFifoShared) {
+  // Two back-to-back messages on a shared uplink serialize one after the
+  // other even to different destinations.
+  Simulator sim;
+  Network net(&sim);
+  std::vector<SimTime> arrivals;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](NodeId, const Bytes&) { arrivals.push_back(sim.Now()); });
+  NodeId c = net.AddNode([&](NodeId, const Bytes&) { arrivals.push_back(sim.Now()); });
+  net.SetUplink(a, {.latency = 0, .bandwidth_bps = 1e6});  // 1 MB/s NIC
+  net.SetDefaultLink({.latency = 0, .bandwidth_bps = 0});
+  net.Send(a, b, Bytes(50000, 1));  // 50 ms serialization
+  net.Send(a, c, Bytes(50000, 1));  // queues behind: arrives at 100 ms
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 50 * kMillisecond);
+  EXPECT_EQ(arrivals[1], 100 * kMillisecond);
+}
+
+TEST(NetworkTest, OfflineNodesDropSilently) {
+  Simulator sim;
+  Network net(&sim);
+  int received = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](NodeId, const Bytes&) { received++; });
+  net.Send(a, b, Bytes(10, 1));
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+  net.SetOnline(b, false);
+  net.Send(a, b, Bytes(10, 1));  // dropped at delivery
+  net.SetOnline(a, false);
+  net.Send(a, b, Bytes(10, 1));  // dropped at send
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+  // Offline at delivery time drops even if sent while online.
+  net.SetOnline(a, true);
+  net.SetOnline(b, true);
+  net.SetDefaultLink({.latency = kSecond, .bandwidth_bps = 0});
+  net.Send(a, b, Bytes(10, 1));
+  net.SetOnline(b, false);
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(LatencyModelTest, PlanetLabShapeMatchesPaperStatistics) {
+  PlanetLabDelayModel model;
+  Rng rng(17);
+  Samples s;
+  int dropouts = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    SimTime d = model.Draw(rng);
+    if (d < 0) {
+      dropouts++;
+    } else {
+      s.Add(ToSeconds(d));
+    }
+  }
+  // Median a few hundred ms; heavy Pareto tail; rare dropouts.
+  EXPECT_GT(s.Median(), 0.15);
+  EXPECT_LT(s.Median(), 0.8);
+  EXPECT_LT(dropouts / static_cast<double>(kDraws), 0.002);
+  EXPECT_GT(s.Percentile(0.999) / s.Median(), 5.0);
+  // §5.1 window statistics: fraction submitting after c * t95.
+  double t95 = s.Percentile(0.95);
+  double miss11 = 1.0 - s.CdfAt(1.1 * t95);
+  double miss20 = 1.0 - s.CdfAt(2.0 * t95);
+  EXPECT_NEAR(miss11, 0.023, 0.012);  // paper: 2.3%
+  EXPECT_NEAR(miss20, 0.005, 0.004);  // paper: 0.5%
+}
+
+TEST(StatsTest, PercentilesAndCdf) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  EXPECT_DOUBLE_EQ(s.Max(), 100);
+  EXPECT_NEAR(s.Median(), 51, 1);
+  EXPECT_NEAR(s.Percentile(0.9), 91, 1);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  EXPECT_NEAR(s.CdfAt(50), 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(s.CdfAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1000), 1.0);
+}
+
+}  // namespace
+}  // namespace dissent

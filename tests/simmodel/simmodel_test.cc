@@ -1,0 +1,144 @@
+// The performance model behind Figs 6-8/10-11: window-policy semantics and
+// the round model's qualitative behaviour (using fixed calibration so tests
+// are machine independent).
+#include <gtest/gtest.h>
+
+#include "src/simmodel/round_model.h"
+
+namespace dissent {
+namespace {
+
+TEST(WindowPolicyTest, WaitForAllSemantics) {
+  // Everyone submits fast: close at the max.
+  auto w = ApplyWindowPolicy({0.1, 0.5, 0.3}, 0.95, 1.1, 120.0, /*wait_for_all=*/true);
+  EXPECT_DOUBLE_EQ(w.close_sec, 0.5);
+  EXPECT_EQ(w.captured, 3u);
+  EXPECT_EQ(w.missed, 0u);
+  // One never submits: hard deadline.
+  w = ApplyWindowPolicy({0.1, -1.0, 0.3}, 0.95, 1.1, 120.0, true);
+  EXPECT_DOUBLE_EQ(w.close_sec, 120.0);
+  EXPECT_EQ(w.captured, 2u);
+  // One is extremely slow: hard deadline, straggler missed.
+  w = ApplyWindowPolicy({0.1, 500.0, 0.3}, 0.95, 1.1, 120.0, true);
+  EXPECT_DOUBLE_EQ(w.close_sec, 120.0);
+  EXPECT_EQ(w.missed, 1u);
+}
+
+TEST(WindowPolicyTest, FractionMultiplierSemantics) {
+  // 10 clients, fraction 0.9 => close at 1.5 * t(9th submission).
+  std::vector<double> delays;
+  for (int i = 1; i <= 10; ++i) {
+    delays.push_back(i * 0.1);  // 0.1 .. 1.0
+  }
+  auto w = ApplyWindowPolicy(delays, 0.9, 1.5, 120.0, false);
+  // 9th submission at 0.9 s; window = 1.35 s; everyone <= 1.0 makes it.
+  EXPECT_NEAR(w.close_sec, 1.35, 1e-9);
+  EXPECT_EQ(w.captured, 10u);
+  // Straggler beyond the multiplied window misses.
+  delays.back() = 5.0;
+  w = ApplyWindowPolicy(delays, 0.9, 1.5, 120.0, false);
+  EXPECT_NEAR(w.close_sec, 1.35, 1e-9);
+  EXPECT_EQ(w.captured, 9u);
+  EXPECT_EQ(w.missed, 1u);
+}
+
+TEST(WindowPolicyTest, TooFewSubmittersHitsHardDeadline) {
+  // Fewer than the fraction ever submit: §3.7 hard timeout.
+  std::vector<double> delays = {0.1, 0.2, -1, -1, -1, -1, -1, -1, -1, -1};
+  auto w = ApplyWindowPolicy(delays, 0.95, 1.1, 120.0, false);
+  EXPECT_DOUBLE_EQ(w.close_sec, 120.0);
+  EXPECT_EQ(w.captured, 2u);
+}
+
+TEST(RoundModelTest, WorkloadLengths) {
+  // Microblog: 1% of clients x (128 B + overhead) + request bits.
+  EXPECT_GT(MicroblogCleartextBytes(1000), 10u * 128);
+  EXPECT_LT(MicroblogCleartextBytes(1000), 10u * 128 + 1000);
+  // Data sharing dominated by the single 128 KB slot.
+  EXPECT_GT(DataSharingCleartextBytes(100), 128u * 1024);
+  EXPECT_LT(DataSharingCleartextBytes(100), 129u * 1024 + 100);
+}
+
+TEST(RoundModelTest, QualitativeShapes) {
+  Calibration cal = Calibration::Defaults();
+  auto avg = [&cal](RoundConfig cfg, uint64_t seed) {
+    Rng rng(seed);
+    RoundTimes sum{};
+    for (int i = 0; i < 10; ++i) {
+      RoundTimes t = SimulateRound(cfg, cal, rng);
+      sum.total_sec += t.total_sec / 10;
+      sum.client_submission_sec += t.client_submission_sec / 10;
+      sum.server_processing_sec += t.server_processing_sec / 10;
+    }
+    return sum;
+  };
+
+  RoundConfig base;
+  base.num_servers = 16;
+  base.topology = TopologyKind::kDeterlab;
+
+  // More clients => more time (both workloads).
+  base.num_clients = 100;
+  base.cleartext_bytes = MicroblogCleartextBytes(100);
+  double t_small = avg(base, 1).total_sec;
+  base.num_clients = 5000;
+  base.cleartext_bytes = MicroblogCleartextBytes(5000);
+  double t_big = avg(base, 2).total_sec;
+  EXPECT_GT(t_big, t_small);
+
+  // 128 KB workload costs much more than microblog at the same size.
+  base.num_clients = 640;
+  base.cleartext_bytes = MicroblogCleartextBytes(640);
+  double t_micro = avg(base, 3).total_sec;
+  base.cleartext_bytes = DataSharingCleartextBytes(640);
+  double t_data = avg(base, 4).total_sec;
+  EXPECT_GT(t_data, 3 * t_micro);
+
+  // For 128 KB, a handful of servers beats a single overloaded one.
+  RoundConfig one = base;
+  one.num_servers = 1;
+  RoundConfig ten = base;
+  ten.num_servers = 10;
+  EXPECT_GT(avg(one, 5).server_processing_sec, avg(ten, 6).server_processing_sec);
+
+  // PlanetLab client submission is straggler-bound: far larger than
+  // DeterLab's at equal size, and insensitive to N.
+  RoundConfig pl = base;
+  pl.topology = TopologyKind::kPlanetlab;
+  pl.num_clients = 100;
+  pl.cleartext_bytes = MicroblogCleartextBytes(100);
+  double pl_small = avg(pl, 7).client_submission_sec;
+  pl.num_clients = 1000;
+  pl.cleartext_bytes = MicroblogCleartextBytes(1000);
+  double pl_big = avg(pl, 8).client_submission_sec;
+  EXPECT_GT(pl_small, 0.3);
+  EXPECT_LT(pl_big / pl_small, 1.5);
+}
+
+TEST(RoundModelTest, ParticipantsTrackWindow) {
+  Calibration cal = Calibration::Defaults();
+  RoundConfig cfg;
+  cfg.num_clients = 500;
+  cfg.num_servers = 8;
+  cfg.cleartext_bytes = MicroblogCleartextBytes(500);
+  cfg.topology = TopologyKind::kPlanetlab;
+  Rng rng(9);
+  RoundTimes t = SimulateRound(cfg, cal, rng);
+  // Nearly everyone makes a 95%+1.1x window; a few stragglers/dropouts miss.
+  EXPECT_GT(t.participants, 450u);
+  EXPECT_LE(t.participants + t.missed, 500u);
+}
+
+TEST(CalibrationTest, MeasuredValuesAreSane) {
+  Calibration cal = Calibration::Measure();
+  EXPECT_GT(cal.prng_bytes_per_sec, 50e6);
+  EXPECT_GT(cal.xor_bytes_per_sec, cal.prng_bytes_per_sec);
+  EXPECT_GT(cal.hash_bytes_per_sec, 20e6);
+  EXPECT_GT(cal.sign_sec, 1e-6);
+  EXPECT_LT(cal.sign_sec, 0.1);
+  EXPECT_GT(cal.verify_sec, cal.sign_sec * 0.5);
+  EXPECT_GT(cal.modexp_sec, 1e-7);
+}
+
+}  // namespace
+}  // namespace dissent

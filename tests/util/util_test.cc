@@ -1,0 +1,198 @@
+// util: bytes/hex/bit helpers, canonical serialization, simulation RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+namespace {
+
+TEST(BytesTest, XorSemantics) {
+  Bytes a = FromHex("00ff55aa1234");
+  Bytes b = FromHex("ff00aa554321");
+  EXPECT_EQ(ToHex(XorBytes(a, b)), "ffffffff5115");
+  Bytes c = a;
+  XorInto(c, b);
+  XorInto(c, b);
+  EXPECT_EQ(c, a) << "xor is an involution";
+}
+
+TEST(BytesTest, XorLongBuffers) {
+  // Exercise the word-at-a-time path plus tail.
+  Rng rng(3);
+  for (size_t n : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    Bytes a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<uint8_t>(rng.Next());
+      b[i] = static_cast<uint8_t>(rng.Next());
+    }
+    Bytes c = XorBytes(a, b);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(c[i], a[i] ^ b[i]);
+    }
+  }
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(ToHex(b), "0001abff");
+  EXPECT_EQ(FromHex("0001abff"), b);
+  EXPECT_EQ(FromHex(""), Bytes{});
+}
+
+TEST(BytesTest, ConstantTimeEq) {
+  EXPECT_TRUE(ConstantTimeEq(FromHex("abcd"), FromHex("abcd")));
+  EXPECT_FALSE(ConstantTimeEq(FromHex("abcd"), FromHex("abce")));
+  EXPECT_FALSE(ConstantTimeEq(FromHex("abcd"), FromHex("abcdef")));
+  EXPECT_TRUE(ConstantTimeEq(Bytes{}, Bytes{}));
+}
+
+TEST(BytesTest, BitAccessorsMsbFirst) {
+  Bytes b = {0x80, 0x01};
+  EXPECT_TRUE(GetBit(b, 0));
+  EXPECT_FALSE(GetBit(b, 1));
+  EXPECT_FALSE(GetBit(b, 8));
+  EXPECT_TRUE(GetBit(b, 15));
+  SetBit(b, 1, true);
+  EXPECT_EQ(b[0], 0xc0);
+  SetBit(b, 0, false);
+  EXPECT_EQ(b[0], 0x40);
+}
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  Writer w;
+  w.U8(7);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.Bool(true);
+  w.Blob(FromHex("a1b2c3"));
+  w.Str("hello");
+  Bytes data = w.Take();
+
+  Reader r(data);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  bool flag;
+  Bytes blob;
+  std::string s;
+  ASSERT_TRUE(r.U8(&u8));
+  ASSERT_TRUE(r.U16(&u16));
+  ASSERT_TRUE(r.U32(&u32));
+  ASSERT_TRUE(r.U64(&u64));
+  ASSERT_TRUE(r.Bool(&flag));
+  ASSERT_TRUE(r.Blob(&blob));
+  ASSERT_TRUE(r.Str(&s));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(ToHex(blob), "a1b2c3");
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(SerializeTest, TruncationIsRejectedNotCrash) {
+  Writer w;
+  w.U64(42);
+  w.Blob(Bytes(100, 1));
+  Bytes data = w.Take();
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    Bytes truncated(data.begin(), data.begin() + cut);
+    Reader r(truncated);
+    uint64_t v;
+    Bytes blob;
+    bool ok = r.U64(&v) && r.Blob(&blob);
+    EXPECT_FALSE(ok && truncated.size() < data.size());
+  }
+}
+
+TEST(SerializeTest, BlobLengthOverflowRejected) {
+  // A length prefix larger than remaining bytes must fail cleanly.
+  Writer w;
+  w.U32(0xffffffffu);
+  Reader r(w.data());
+  Bytes blob;
+  EXPECT_FALSE(r.Blob(&blob));
+}
+
+TEST(SerializeTest, BoolStrictness) {
+  Writer w;
+  w.U8(2);  // not a canonical bool
+  Reader r(w.data());
+  bool b;
+  EXPECT_FALSE(r.Bool(&b));
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    differs |= a2.Next() != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Below(10);
+    ASSERT_LT(v, 10u);
+    seen[v]++;
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 50) << "grossly non-uniform";
+  }
+}
+
+TEST(RngTest, DistributionsSane) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Exponential(5.0);
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.3);
+  sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Normal();
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  // Pareto minimum respected.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+  // LogNormal median ~ exp(mu).
+  std::vector<double> vals;
+  for (int i = 0; i < kN; ++i) {
+    vals.push_back(rng.LogNormal(1.0, 0.5));
+  }
+  std::nth_element(vals.begin(), vals.begin() + kN / 2, vals.end());
+  EXPECT_NEAR(vals[kN / 2], std::exp(1.0), 0.15);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // Child and parent produce different streams.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    differs |= parent.Next() != child.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace dissent
