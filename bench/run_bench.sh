@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the DC-net data-plane microbenchmarks (micro_dcnet + micro_crypto)
+# with JSON output merged into BENCH_dcnet.json at the repo root, so perf
+# changes are diffable across PRs.
+#
+# Usage: bench/run_bench.sh [build_dir] [output.json]
+#
+# Build first (DISSENT_NATIVE=ON makes the numbers reflect the local ISA):
+#   cmake -B build -S . -DDISSENT_NATIVE=ON && cmake --build build -j
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_dcnet.json}"
+
+for bin in micro_dcnet micro_crypto; do
+  if [[ ! -x "$build_dir/$bin" ]]; then
+    echo "error: $build_dir/$bin not found; build the repo first" >&2
+    exit 1
+  fi
+done
+
+tmp_dcnet="$(mktemp)"
+tmp_crypto="$(mktemp)"
+trap 'rm -f "$tmp_dcnet" "$tmp_crypto"' EXIT
+
+"$build_dir/micro_dcnet" --benchmark_format=json \
+  --benchmark_out="$tmp_dcnet" --benchmark_out_format=json
+"$build_dir/micro_crypto" --benchmark_format=json \
+  --benchmark_out="$tmp_crypto" --benchmark_out_format=json
+
+# One file: micro_dcnet's context plus both benchmark arrays.
+jq -s '{context: .[0].context, benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
+  "$tmp_dcnet" "$tmp_crypto" > "$out"
+
+echo "wrote $out ($(jq '.benchmarks | length' "$out") benchmarks)"

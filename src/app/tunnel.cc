@@ -1,5 +1,7 @@
 #include "src/app/tunnel.h"
 
+#include <algorithm>
+
 #include "src/util/serialize.h"
 
 namespace dissent {
@@ -23,7 +25,9 @@ std::optional<std::vector<TunnelFrame>> DecodeFrames(const Bytes& payload) {
     return std::nullopt;
   }
   std::vector<TunnelFrame> frames;
-  frames.reserve(count);
+  // `count` is attacker-controlled; each frame needs >= 10 wire bytes, so cap
+  // the reservation by what the payload could actually hold.
+  frames.reserve(std::min<size_t>(count, payload.size() / 10 + 1));
   for (uint32_t i = 0; i < count; ++i) {
     TunnelFrame f;
     uint8_t type;

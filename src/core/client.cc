@@ -24,6 +24,7 @@ DissentClient::DissentClient(const GroupDef& def, size_t client_index,
     server_keys_.push_back(DeriveSharedKey(g, priv_, server_pub, "dissent.dcnet"));
     dh_elements_.push_back(DhSharedElement(g, priv_, server_pub));
   }
+  pad_expander_ = PadExpander(server_keys_);
   pseudonym_ = SchnorrKeyPair::Generate(g, rng_);
 }
 
@@ -101,7 +102,10 @@ Bytes DissentClient::BuildCiphertext(uint64_t round) {
   }
   last_sent_cleartext_ = cleartext;
   last_sent_round_ = round;
-  return BuildClientCiphertext(server_keys_, round, cleartext);
+  // XOR the M server pads in place via the cached key schedules (Algorithm 1
+  // step 2); `cleartext` already holds our slot content.
+  pad_expander_.XorAllPads(round, cleartext);
+  return cleartext;
 }
 
 DissentClient::OutputResult DissentClient::ProcessOutput(

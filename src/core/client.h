@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "src/core/accusation_types.h"
+#include "src/core/dcnet.h"
 #include "src/core/group_def.h"
 #include "src/core/slot_schedule.h"
 #include "src/crypto/schnorr.h"
@@ -82,6 +83,9 @@ class DissentClient {
   BigInt priv_;
   SecureRng rng_;
   std::vector<Bytes> server_keys_;     // K_ij per server j
+  // Parsed key schedules for the M server secrets, built once at
+  // construction and reused every round by BuildCiphertext.
+  PadExpander pad_expander_;
   std::vector<BigInt> dh_elements_;    // g^{x_i x_j} (for rebuttals)
   SchnorrKeyPair pseudonym_;
   std::optional<size_t> slot_;

@@ -1,33 +1,50 @@
 #include "src/core/dcnet.h"
 
+#include <algorithm>
 #include <cassert>
 #include <thread>
 
 #include "src/crypto/chacha20.h"
-#include "src/util/serialize.h"
 
 namespace dissent {
 
 namespace {
-Bytes RoundNonce(uint64_t round) {
-  Bytes nonce(12, 0);
+
+struct Nonce12 {
+  uint8_t b[12];
+};
+
+Nonce12 RoundNonce(uint64_t round) {
+  Nonce12 nonce{};
   for (int i = 0; i < 8; ++i) {
-    nonce[i] = static_cast<uint8_t>(round >> (8 * i));
+    nonce.b[i] = static_cast<uint8_t>(round >> (8 * i));
   }
-  nonce[8] = 'd';  // domain tag: dcnet pads
-  nonce[9] = 'c';
+  nonce.b[8] = 'd';  // domain tag: dcnet pads
+  nonce.b[9] = 'c';
+  nonce.b[10] = 0;
+  nonce.b[11] = 0;
   return nonce;
+}
+
+// Below this many bytes per worker, thread spawn overhead beats the win.
+constexpr size_t kMinColumnBytes = 4096;
+
+}  // namespace
+
+namespace {
+ChaCha20Stream RoundStream(const Bytes& shared_key, uint64_t round) {
+  uint32_t key_words[8];
+  ParseChaCha20Key(shared_key, key_words);
+  return ChaCha20Stream(key_words, RoundNonce(round).b);
 }
 }  // namespace
 
 Bytes DcnetPad(const Bytes& shared_key, uint64_t round, size_t len) {
-  ChaCha20Stream stream(shared_key, RoundNonce(round));
-  return stream.Generate(len);
+  return RoundStream(shared_key, round).Generate(len);
 }
 
 void XorDcnetPad(const Bytes& shared_key, uint64_t round, Bytes& inout) {
-  ChaCha20Stream stream(shared_key, RoundNonce(round));
-  stream.XorStream(inout, 0, inout.size());
+  RoundStream(shared_key, round).XorStreamRaw(inout.data(), inout.size());
 }
 
 Bytes BuildClientCiphertext(const std::vector<Bytes>& server_keys, uint64_t round,
@@ -39,38 +56,97 @@ Bytes BuildClientCiphertext(const std::vector<Bytes>& server_keys, uint64_t roun
   return ct;
 }
 
+namespace {
+// Shared by DcnetPadBit and PadExpander::PadBit so the seek logic and the
+// MSB-first bit convention (util/bytes.h GetBit) can never diverge between
+// the two accusation-tracing entry points.
+bool StreamPadBit(ChaCha20Stream& stream, size_t bit_index) {
+  stream.Seek(bit_index / 8);
+  uint8_t byte;
+  stream.GenerateRaw(&byte, 1);
+  return (byte >> (7 - bit_index % 8)) & 1;
+}
+}  // namespace
+
 bool DcnetPadBit(const Bytes& shared_key, uint64_t round, size_t bit_index) {
-  ChaCha20Stream stream(shared_key, RoundNonce(round));
-  Bytes prefix = stream.Generate(bit_index / 8 + 1);
-  return GetBit(prefix, bit_index);
+  ChaCha20Stream stream = RoundStream(shared_key, round);
+  return StreamPadBit(stream, bit_index);
+}
+
+PadExpander::PadExpander(const std::vector<Bytes>& keys) {
+  schedules_.resize(keys.size());
+  all_indices_.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ParseChaCha20Key(keys[i], schedules_[i].words);
+    all_indices_[i] = static_cast<uint32_t>(i);
+  }
+}
+
+PadExpander::PadExpander(const std::vector<const Bytes*>& keys) {
+  schedules_.resize(keys.size());
+  all_indices_.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ParseChaCha20Key(*keys[i], schedules_[i].words);
+    all_indices_[i] = static_cast<uint32_t>(i);
+  }
+}
+
+void PadExpander::XorColumn(const std::vector<uint32_t>& indices, uint64_t round,
+                            size_t begin, size_t end, uint8_t* acc) const {
+  assert(begin % 64 == 0);
+  const Nonce12 nonce = RoundNonce(round);
+  for (uint32_t idx : indices) {
+    ChaCha20Stream stream(schedules_[idx].words, nonce.b);
+    stream.Seek(begin);
+    stream.XorStreamRaw(acc + begin, end - begin);
+  }
+}
+
+void PadExpander::XorPads(const std::vector<uint32_t>& indices, uint64_t round,
+                          Bytes& inout, size_t num_threads) const {
+  const size_t len = inout.size();
+  if (len == 0 || indices.empty()) {
+    return;
+  }
+  // Column width per worker, rounded up to the 64-byte block size so every
+  // worker seeks to a block boundary.
+  size_t columns = std::max<size_t>(num_threads, 1);
+  columns = std::min(columns, (len + kMinColumnBytes - 1) / kMinColumnBytes);
+  if (columns <= 1) {
+    XorColumn(indices, round, 0, len, inout.data());
+    return;
+  }
+  size_t width = ((len + columns - 1) / columns + 63) & ~size_t{63};
+  std::vector<std::thread> workers;
+  workers.reserve(columns - 1);
+  uint8_t* acc = inout.data();
+  // All but the first column on worker threads; the first runs on the
+  // calling thread instead of it idling in join.
+  for (size_t begin = width; begin < len; begin += width) {
+    size_t end = std::min(len, begin + width);
+    workers.emplace_back(
+        [this, &indices, round, begin, end, acc] { XorColumn(indices, round, begin, end, acc); });
+  }
+  XorColumn(indices, round, 0, std::min(len, width), acc);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+}
+
+void PadExpander::XorAllPads(uint64_t round, Bytes& inout, size_t num_threads) const {
+  XorPads(all_indices_, round, inout, num_threads);
+}
+
+bool PadExpander::PadBit(size_t index, uint64_t round, size_t bit_index) const {
+  assert(index < schedules_.size());
+  ChaCha20Stream stream(schedules_[index].words, RoundNonce(round).b);
+  return StreamPadBit(stream, bit_index);
 }
 
 void XorDcnetPadsParallel(const std::vector<const Bytes*>& shared_keys, uint64_t round,
                           Bytes& inout, size_t num_threads) {
-  if (num_threads <= 1 || shared_keys.size() < 2 * num_threads) {
-    for (const Bytes* key : shared_keys) {
-      XorDcnetPad(*key, round, inout);
-    }
-    return;
-  }
-  // Each worker accumulates its share of clients into a private buffer; the
-  // buffers fold together at the end (one XOR pass per worker).
-  std::vector<Bytes> partial(num_threads, Bytes(inout.size(), 0));
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t w = 0; w < num_threads; ++w) {
-    workers.emplace_back([&, w] {
-      for (size_t i = w; i < shared_keys.size(); i += num_threads) {
-        XorDcnetPad(*shared_keys[i], round, partial[w]);
-      }
-    });
-  }
-  for (auto& worker : workers) {
-    worker.join();
-  }
-  for (const Bytes& p : partial) {
-    XorInto(inout, p);
-  }
+  PadExpander expander(shared_keys);
+  expander.XorAllPads(round, inout, num_threads);
 }
 
 }  // namespace dissent

@@ -11,6 +11,7 @@
 #ifndef DISSENT_CORE_DCNET_H_
 #define DISSENT_CORE_DCNET_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/util/bytes.h"
@@ -31,9 +32,58 @@ void XorDcnetPad(const Bytes& shared_key, uint64_t round, Bytes& inout);
 Bytes BuildClientCiphertext(const std::vector<Bytes>& server_keys, uint64_t round,
                             const Bytes& cleartext);
 
-// Extracts one pad bit (for accusation tracing, §3.9) without materializing
-// the whole pad.
+// Extracts one pad bit (for accusation tracing, §3.9) in O(1): seeks the
+// keystream straight to the containing 64-byte block instead of generating
+// the whole prefix.
 bool DcnetPadBit(const Bytes& shared_key, uint64_t round, size_t bit_index);
+
+// Holds precomputed ChaCha20 key schedules for a fixed set of pairwise
+// secrets, so the per-round hot path never re-parses key bytes and never
+// allocates per-client temporaries: pads are expanded directly into the
+// caller's accumulator.
+//
+// This is the server's per-round workhorse (Algorithm 2 step 3): one
+// DissentServer builds a PadExpander over all N client keys once, then each
+// round XORs the pads of the participating subset into its ciphertext
+// accumulator. Clients hold one over their M server keys (Algorithm 1
+// step 2).
+class PadExpander {
+ public:
+  PadExpander() = default;
+  // Copies the 8-word key schedule out of each 32-byte key.
+  explicit PadExpander(const std::vector<Bytes>& keys);
+  explicit PadExpander(const std::vector<const Bytes*>& keys);
+
+  size_t num_keys() const { return schedules_.size(); }
+
+  // XORs PAD(keys[i], round) for every i in `indices` into `inout`
+  // (full-buffer-length pads). Fans the work across up to `num_threads`
+  // workers by *columns*: each worker owns a contiguous byte range of the
+  // accumulator and expands every client's keystream for just that range via
+  // an O(1) counter seek. Workers write disjoint ranges of `inout` directly —
+  // no per-worker full-length buffers, no final fold pass.
+  void XorPads(const std::vector<uint32_t>& indices, uint64_t round, Bytes& inout,
+               size_t num_threads) const;
+
+  // All keys (the common client path: every server pad, single buffer).
+  void XorAllPads(uint64_t round, Bytes& inout, size_t num_threads = 1) const;
+
+  // Pad bit for key `index` (accusation tracing); O(1) via seek.
+  bool PadBit(size_t index, uint64_t round, size_t bit_index) const;
+
+ private:
+  struct KeySchedule {
+    uint32_t words[8];
+  };
+
+  // Expands every indexed key's pad for stream bytes [begin, end) and XORs
+  // into acc + begin. `begin` must be 64-byte aligned (block boundary).
+  void XorColumn(const std::vector<uint32_t>& indices, uint64_t round, size_t begin,
+                 size_t end, uint8_t* acc) const;
+
+  std::vector<KeySchedule> schedules_;
+  std::vector<uint32_t> all_indices_;  // 0..N-1, so XorAllPads never allocates
+};
 
 // Server side (Algorithm 2 step 3): XORs the pads for many clients into
 // `inout`, fanning the PRNG expansion across `num_threads` workers. §3.4:

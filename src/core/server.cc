@@ -22,6 +22,7 @@ DissentServer::DissentServer(const GroupDef& def, size_t server_index,
   for (const BigInt& client_pub : def_.client_pubs) {
     client_keys_.push_back(DeriveSharedKey(*def_.group, priv_, client_pub, "dissent.dcnet"));
   }
+  pad_expander_ = PadExpander(client_keys_);
 }
 
 void DissentServer::BeginSlots(size_t num_slots) {
@@ -74,22 +75,16 @@ const Bytes& DissentServer::BuildServerCiphertext(const std::vector<uint32_t>& c
                                                   const std::vector<uint32_t>& own_share) {
   server_ct_.assign(schedule_.TotalLength(), 0);
   // XOR the pads shared with every participating client (even those whose
-  // ciphertexts went to other servers). Large client sets fan out across
-  // hardware threads (§3.4: server computations are parallelizable).
+  // ciphertexts went to other servers) straight into the accumulator via the
+  // precomputed key schedules. Large client sets fan out across hardware
+  // threads (§3.4: server computations are parallelizable); each worker owns
+  // a column of the buffer, so there are no per-worker copies to fold.
   constexpr size_t kParallelThreshold = 256;
+  size_t threads = 1;
   if (composite_list.size() >= kParallelThreshold) {
-    std::vector<const Bytes*> keys;
-    keys.reserve(composite_list.size());
-    for (uint32_t i : composite_list) {
-      keys.push_back(&client_keys_[i]);
-    }
-    size_t threads = std::min<size_t>(std::thread::hardware_concurrency(), 8);
-    XorDcnetPadsParallel(keys, current_round_, server_ct_, std::max<size_t>(threads, 1));
-  } else {
-    for (uint32_t i : composite_list) {
-      XorDcnetPad(client_keys_[i], current_round_, server_ct_);
-    }
+    threads = std::max<size_t>(std::min<size_t>(std::thread::hardware_concurrency(), 8), 1);
   }
+  pad_expander_.XorPads(composite_list, current_round_, server_ct_, threads);
   // XOR in the client ciphertexts this server owns after trimming.
   for (uint32_t i : own_share) {
     auto it = received_.find(i);
@@ -154,7 +149,7 @@ const DissentServer::RoundEvidence* DissentServer::EvidenceFor(uint64_t round) c
 }
 
 bool DissentServer::PadBit(uint64_t round, size_t client_index, size_t bit_index) const {
-  return DcnetPadBit(client_keys_[client_index], round, bit_index);
+  return pad_expander_.PadBit(client_index, round, bit_index);
 }
 
 }  // namespace dissent

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/dcnet.h"
 #include "src/core/group_def.h"
 #include "src/core/slot_schedule.h"
 #include "src/crypto/schnorr.h"
@@ -102,6 +103,9 @@ class DissentServer {
   BigInt priv_;
   SecureRng rng_;
   std::vector<Bytes> client_keys_;  // K_ij per client i
+  // Precomputed key schedules for all N client secrets; the per-round hot
+  // path expands pads straight into server_ct_ with no per-client buffers.
+  PadExpander pad_expander_;
   SlotSchedule schedule_;
 
   uint64_t current_round_ = 0;

@@ -7,6 +7,11 @@ namespace dissent {
 
 namespace {
 
+constexpr uint32_t kSigma0 = 0x61707865;
+constexpr uint32_t kSigma1 = 0x3320646e;
+constexpr uint32_t kSigma2 = 0x79622d32;
+constexpr uint32_t kSigma3 = 0x6b206574;
+
 uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
 
 void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
@@ -29,24 +34,34 @@ uint32_t LoadLE32(const uint8_t* p) {
          static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
 }
 
-}  // namespace
+void StoreLE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
 
-void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
-                   uint8_t out[64]) {
-  uint32_t state[16];
-  state[0] = 0x61707865;
-  state[1] = 0x3320646e;
-  state[2] = 0x79622d32;
-  state[3] = 0x6b206574;
+// Expands key + nonce into the 16-word initial state. The counter word
+// (state[12]) is left as 0; block cores override it per block.
+void ExpandState(const uint8_t key[32], const uint8_t nonce[12], uint32_t state[16]) {
+  state[0] = kSigma0;
+  state[1] = kSigma1;
+  state[2] = kSigma2;
+  state[3] = kSigma3;
   for (int i = 0; i < 8; ++i) {
     state[4 + i] = LoadLE32(key + 4 * i);
   }
-  state[12] = counter;
+  state[12] = 0;
   for (int i = 0; i < 3; ++i) {
     state[13 + i] = LoadLE32(nonce + 4 * i);
   }
+}
+
+// One block from a pre-expanded state with the counter overridden.
+void BlockFromState(const uint32_t state[16], uint32_t counter, uint8_t out[64]) {
   uint32_t x[16];
   std::memcpy(x, state, sizeof(x));
+  x[12] = counter;
   for (int round = 0; round < 10; ++round) {
     QuarterRound(x[0], x[4], x[8], x[12]);
     QuarterRound(x[1], x[5], x[9], x[13]);
@@ -58,44 +73,266 @@ void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12], uint32_t coun
     QuarterRound(x[3], x[4], x[9], x[14]);
   }
   for (int i = 0; i < 16; ++i) {
-    uint32_t v = x[i] + state[i];
-    out[4 * i] = static_cast<uint8_t>(v);
-    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
-    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
-    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+    uint32_t init = i == 12 ? counter : state[i];
+    StoreLE32(out + 4 * i, x[i] + init);
+  }
+}
+
+// How many blocks a wide batch computes at once. Eight lanes of uint32 is one
+// AVX2 register per state word (16 registers total); narrower targets split
+// each operation into two SSE2 ops.
+constexpr size_t kWide = 8;
+
+#if defined(__GNUC__) || defined(__clang__)
+
+// Lane-parallel core on GCC/Clang vector extensions: row i holds word i of
+// kWide independent blocks, so every quarter-round op is a single (or split)
+// SIMD instruction. The compiler lowers 32-byte vectors to whatever the
+// target has — AVX2 regs natively, pairs of SSE2 ops on baseline x86-64.
+typedef uint32_t VecWide __attribute__((vector_size(kWide * sizeof(uint32_t))));
+
+inline VecWide SplatWide(uint32_t v) {
+  return VecWide{v, v, v, v, v, v, v, v};
+}
+
+inline VecWide RotlWide(VecWide x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRoundWide(VecWide& a, VecWide& b, VecWide& c, VecWide& d) {
+  a += b;
+  d ^= a;
+  d = RotlWide(d, 16);
+  c += d;
+  b ^= c;
+  b = RotlWide(b, 12);
+  a += b;
+  d ^= a;
+  d = RotlWide(d, 8);
+  c += d;
+  b ^= c;
+  b = RotlWide(b, 7);
+}
+
+// kWide consecutive blocks (counters counter .. counter+kWide-1) into out
+// (kWide * 64 bytes). Force-inlined into the (possibly ISA-cloned) bulk
+// loops below so its vector code is generated for each clone's ISA.
+__attribute__((always_inline)) inline void BlocksWide(const uint32_t state[16],
+                                                      uint32_t counter, uint8_t* out) {
+  VecWide x[16], init[16];
+  for (int i = 0; i < 16; ++i) {
+    init[i] = SplatWide(state[i]);
+  }
+  init[12] = SplatWide(counter) + VecWide{0, 1, 2, 3, 4, 5, 6, 7};
+  for (int i = 0; i < 16; ++i) {
+    x[i] = init[i];
+  }
+  for (int round = 0; round < 10; ++round) {
+    QuarterRoundWide(x[0], x[4], x[8], x[12]);
+    QuarterRoundWide(x[1], x[5], x[9], x[13]);
+    QuarterRoundWide(x[2], x[6], x[10], x[14]);
+    QuarterRoundWide(x[3], x[7], x[11], x[15]);
+    QuarterRoundWide(x[0], x[5], x[10], x[15]);
+    QuarterRoundWide(x[1], x[6], x[11], x[12]);
+    QuarterRoundWide(x[2], x[7], x[8], x[13]);
+    QuarterRoundWide(x[3], x[4], x[9], x[14]);
+  }
+  // Feed-forward, then transpose rows (word i of all blocks) into the
+  // per-block output layout.
+  uint32_t rows[16][kWide];
+  for (int i = 0; i < 16; ++i) {
+    x[i] += init[i];
+    std::memcpy(rows[i], &x[i], sizeof(rows[i]));
+  }
+  for (size_t l = 0; l < kWide; ++l) {
+    uint8_t* block = out + 64 * l;
+    for (int i = 0; i < 16; ++i) {
+      StoreLE32(block + 4 * i, rows[i][l]);
+    }
+  }
+}
+
+#else  // portable fallback: same lane layout in plain scalar code
+
+void BlocksWide(const uint32_t state[16], uint32_t counter, uint8_t* out) {
+  uint32_t x[16][kWide];
+  for (int i = 0; i < 16; ++i) {
+    for (size_t l = 0; l < kWide; ++l) {
+      x[i][l] = state[i];
+    }
+  }
+  for (size_t l = 0; l < kWide; ++l) {
+    x[12][l] = counter + static_cast<uint32_t>(l);
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (size_t l = 0; l < kWide; ++l) {
+      QuarterRound(x[0][l], x[4][l], x[8][l], x[12][l]);
+      QuarterRound(x[1][l], x[5][l], x[9][l], x[13][l]);
+      QuarterRound(x[2][l], x[6][l], x[10][l], x[14][l]);
+      QuarterRound(x[3][l], x[7][l], x[11][l], x[15][l]);
+      QuarterRound(x[0][l], x[5][l], x[10][l], x[15][l]);
+      QuarterRound(x[1][l], x[6][l], x[11][l], x[12][l]);
+      QuarterRound(x[2][l], x[7][l], x[8][l], x[13][l]);
+      QuarterRound(x[3][l], x[4][l], x[9][l], x[14][l]);
+    }
+  }
+  for (size_t l = 0; l < kWide; ++l) {
+    uint8_t* block = out + 64 * l;
+    for (int i = 0; i < 16; ++i) {
+      uint32_t init = i == 12 ? counter + static_cast<uint32_t>(l) : state[i];
+      StoreLE32(block + 4 * i, x[i][l] + init);
+    }
+  }
+}
+
+#endif
+
+// Runtime ISA dispatch: portable builds still get an AVX2 clone of the bulk
+// keystream loops, selected once at load time (ifunc), so the rounds, the
+// output transpose, and the XOR combine all run at the local ISA's width.
+// -march=native (DISSENT_NATIVE) builds compile the whole file for the local
+// ISA anyway, and then a single version suffices.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__)
+#define DISSENT_CHACHA_CLONES \
+  __attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
+#else
+#define DISSENT_CHACHA_CLONES
+#endif
+
+// `nblocks` consecutive blocks from a pre-expanded state: wide batches, then
+// a single-block tail.
+DISSENT_CHACHA_CLONES
+void BlocksFromState(const uint32_t state[16], uint32_t counter, size_t nblocks,
+                     uint8_t* out) {
+  while (nblocks >= kWide) {
+    BlocksWide(state, counter, out);
+    counter += static_cast<uint32_t>(kWide);
+    out += 64 * kWide;
+    nblocks -= kWide;
+  }
+  while (nblocks > 0) {
+    BlockFromState(state, counter, out);
+    ++counter;
+    out += 64;
+    --nblocks;
+  }
+}
+
+// XORs `nblocks` of keystream into dst: keystream lands in a stack scratch
+// one wide batch at a time, then combines. No heap traffic. The combine is a
+// plain loop (not XorWords) on purpose: `scratch` is local, so the compiler
+// sees it cannot alias `dst` and turns the loop into full-width vector XORs.
+DISSENT_CHACHA_CLONES
+void XorBlocksFromState(const uint32_t state[16], uint32_t counter, size_t nblocks,
+                        uint8_t* dst) {
+  uint8_t scratch[64 * kWide];
+  while (nblocks > 0) {
+    size_t batch = nblocks < kWide ? nblocks : kWide;
+    size_t bytes = 64 * batch;
+    if (batch == kWide) {
+      BlocksWide(state, counter, scratch);
+    } else {
+      for (size_t b = 0; b < batch; ++b) {
+        BlockFromState(state, counter + static_cast<uint32_t>(b), scratch + 64 * b);
+      }
+    }
+    for (size_t i = 0; i < bytes; ++i) {
+      dst[i] ^= scratch[i];
+    }
+    counter += static_cast<uint32_t>(batch);
+    dst += 64 * batch;
+    nblocks -= batch;
+  }
+}
+
+}  // namespace
+
+void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
+                   uint8_t out[64]) {
+  uint32_t state[16];
+  ExpandState(key, nonce, state);
+  BlockFromState(state, counter, out);
+}
+
+void ChaCha20Blocks(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
+                    size_t nblocks, uint8_t* out) {
+  uint32_t state[16];
+  ExpandState(key, nonce, state);
+  BlocksFromState(state, counter, nblocks, out);
+}
+
+void ParseChaCha20Key(const Bytes& key, uint32_t key_words[8]) {
+  assert(key.size() == 32);
+  for (int i = 0; i < 8; ++i) {
+    key_words[i] = LoadLE32(key.data() + 4 * i);
   }
 }
 
 ChaCha20Stream::ChaCha20Stream(const Bytes& key, const Bytes& nonce) {
   assert(key.size() == 32);
   assert(nonce.size() == 12);
-  std::memcpy(key_, key.data(), 32);
-  std::memcpy(nonce_, nonce.data(), 12);
+  ExpandState(key.data(), nonce.data(), state_);
+}
+
+ChaCha20Stream::ChaCha20Stream(const uint32_t key_words[8], const uint8_t nonce[12]) {
+  state_[0] = kSigma0;
+  state_[1] = kSigma1;
+  state_[2] = kSigma2;
+  state_[3] = kSigma3;
+  std::memcpy(state_ + 4, key_words, 8 * sizeof(uint32_t));
+  state_[12] = 0;
+  for (int i = 0; i < 3; ++i) {
+    state_[13 + i] = LoadLE32(nonce + 4 * i);
+  }
 }
 
 void ChaCha20Stream::Refill() {
-  ChaCha20Block(key_, nonce_, counter_, block_);
+  BlockFromState(state_, counter_, block_);
   ++counter_;
   block_pos_ = 0;
+}
+
+void ChaCha20Stream::Seek(uint64_t byte_offset) {
+  counter_ = static_cast<uint32_t>(byte_offset / 64);
+  size_t rem = static_cast<size_t>(byte_offset % 64);
+  if (rem == 0) {
+    block_pos_ = 64;  // next use generates the block lazily
+  } else {
+    Refill();
+    block_pos_ = rem;
+  }
+}
+
+void ChaCha20Stream::GenerateRaw(uint8_t* out, size_t n) {
+  // Drain the partial block first.
+  if (block_pos_ < 64 && n > 0) {
+    size_t take = 64 - block_pos_;
+    if (take > n) {
+      take = n;
+    }
+    std::memcpy(out, block_ + block_pos_, take);
+    block_pos_ += take;
+    out += take;
+    n -= take;
+  }
+  // Bulk: full blocks straight into the destination, no bounce buffer.
+  size_t blocks = n / 64;
+  if (blocks > 0) {
+    BlocksFromState(state_, counter_, blocks, out);
+    counter_ += static_cast<uint32_t>(blocks);
+    out += 64 * blocks;
+    n -= 64 * blocks;
+  }
+  // Tail: materialize one block and keep the remainder for the next call.
+  if (n > 0) {
+    Refill();
+    std::memcpy(out, block_, n);
+    block_pos_ = n;
+  }
 }
 
 void ChaCha20Stream::Generate(size_t n, Bytes* out) {
   size_t start = out->size();
   out->resize(start + n);
-  uint8_t* p = out->data() + start;
-  while (n > 0) {
-    if (block_pos_ == 64) {
-      Refill();
-    }
-    size_t take = 64 - block_pos_;
-    if (take > n) {
-      take = n;
-    }
-    std::memcpy(p, block_ + block_pos_, take);
-    block_pos_ += take;
-    p += take;
-    n -= take;
-  }
+  GenerateRaw(out->data() + start, n);
 }
 
 Bytes ChaCha20Stream::Generate(size_t n) {
@@ -104,31 +341,50 @@ Bytes ChaCha20Stream::Generate(size_t n) {
   return out;
 }
 
-void ChaCha20Stream::XorStream(Bytes& dst, size_t offset, size_t n) {
-  assert(offset + n <= dst.size());
-  uint8_t* p = dst.data() + offset;
-  while (n > 0) {
-    if (block_pos_ == 64) {
-      Refill();
-    }
+void ChaCha20Stream::XorStreamRaw(uint8_t* dst, size_t n) {
+  if (block_pos_ < 64 && n > 0) {
     size_t take = 64 - block_pos_;
     if (take > n) {
       take = n;
     }
-    for (size_t i = 0; i < take; ++i) {
-      p[i] ^= block_[block_pos_ + i];
-    }
+    XorWords(dst, block_ + block_pos_, take);
     block_pos_ += take;
-    p += take;
+    dst += take;
     n -= take;
+  }
+  size_t blocks = n / 64;
+  if (blocks > 0) {
+    XorBlocksFromState(state_, counter_, blocks, dst);
+    counter_ += static_cast<uint32_t>(blocks);
+    dst += 64 * blocks;
+    n -= 64 * blocks;
+  }
+  if (n > 0) {
+    Refill();
+    XorWords(dst, block_, n);
+    block_pos_ = n;
   }
 }
 
+void ChaCha20Stream::XorStream(Bytes& dst, size_t offset, size_t n) {
+  assert(offset + n <= dst.size());
+  XorStreamRaw(dst.data() + offset, n);
+}
+
 uint64_t ChaCha20Stream::NextU64() {
+  // Fast path: eight contiguous bytes available in the current block.
+  if (block_pos_ + 8 <= 64) {
+    uint64_t v;
+    std::memcpy(&v, block_ + block_pos_, 8);
+    block_pos_ += 8;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    v = __builtin_bswap64(v);
+#endif
+    return v;
+  }
+  // Slow path (block boundary): same byte order as sequential generation.
   uint8_t b[8];
-  Bytes tmp;
-  Generate(8, &tmp);
-  std::memcpy(b, tmp.data(), 8);
+  GenerateRaw(b, 8);
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<uint64_t>(b[i]) << (8 * i);

@@ -5,13 +5,20 @@
 
 namespace dissent {
 
-void XorInto(Bytes& dst, const Bytes& src) {
-  assert(dst.size() == src.size());
-  uint8_t* d = dst.data();
-  const uint8_t* s = src.data();
-  size_t n = dst.size();
+void XorWords(uint8_t* d, const uint8_t* s, size_t n) {
   size_t i = 0;
-  // Word-at-a-time main loop; the tail handles the final < 8 bytes.
+  // Four words per iteration so the compiler can keep the loads/stores wide;
+  // then a word loop, then the final < 8 bytes.
+  for (; i + 32 <= n; i += 32) {
+    uint64_t a[4], b[4];
+    __builtin_memcpy(a, d + i, 32);
+    __builtin_memcpy(b, s + i, 32);
+    a[0] ^= b[0];
+    a[1] ^= b[1];
+    a[2] ^= b[2];
+    a[3] ^= b[3];
+    __builtin_memcpy(d + i, a, 32);
+  }
   for (; i + 8 <= n; i += 8) {
     uint64_t a, b;
     __builtin_memcpy(&a, d + i, 8);
@@ -22,6 +29,11 @@ void XorInto(Bytes& dst, const Bytes& src) {
   for (; i < n; ++i) {
     d[i] ^= s[i];
   }
+}
+
+void XorInto(Bytes& dst, const Bytes& src) {
+  assert(dst.size() == src.size());
+  XorWords(dst.data(), src.data(), dst.size());
 }
 
 Bytes XorBytes(const Bytes& a, const Bytes& b) {

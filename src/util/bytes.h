@@ -14,6 +14,11 @@ namespace dissent {
 
 using Bytes = std::vector<uint8_t>;
 
+// In-place XOR of raw buffers: dst[i] ^= src[i] for i in [0, n). Word-wise
+// (uint64 chunks + byte tail); the workhorse of every keystream/ciphertext
+// combine in the DC-net data plane.
+void XorWords(uint8_t* dst, const uint8_t* src, size_t n);
+
 // In-place XOR: dst[i] ^= src[i]. Requires dst.size() == src.size().
 void XorInto(Bytes& dst, const Bytes& src);
 

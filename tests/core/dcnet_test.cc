@@ -140,6 +140,78 @@ TEST(DcnetTest, ParallelPadAggregationMatchesSerial) {
   EXPECT_EQ(seeded, expect);
 }
 
+TEST(DcnetTest, ColumnChunkedParallelMatchesSerialAcrossOddLengths) {
+  // The column-parallel path splits the accumulator into per-worker byte
+  // ranges (seeking each keystream to its column), so lengths around block
+  // and chunk boundaries are the dangerous cases.
+  constexpr size_t kClients = 17;
+  std::vector<Bytes> keys(kClients);
+  std::vector<const Bytes*> key_ptrs;
+  for (size_t i = 0; i < kClients; ++i) {
+    keys[i] = KeyOf(i, 3);
+    key_ptrs.push_back(&keys[i]);
+  }
+  for (size_t len : {1u, 63u, 64u, 65u, 4097u, 100000u}) {
+    Bytes serial(len, 0);
+    for (const Bytes& k : keys) {
+      XorDcnetPad(k, 77, serial);
+    }
+    for (size_t threads : {1u, 2u, 3u, 5u, 8u, 64u}) {
+      Bytes parallel(len, 0);
+      XorDcnetPadsParallel(key_ptrs, 77, parallel, threads);
+      EXPECT_EQ(parallel, serial) << len << " bytes, " << threads << " threads";
+    }
+  }
+}
+
+TEST(DcnetTest, PadExpanderSubsetMatchesPerKeyXor) {
+  constexpr size_t kClients = 12;
+  constexpr size_t kLen = 5000;
+  std::vector<Bytes> keys(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    keys[i] = KeyOf(i, 8);
+  }
+  PadExpander expander(keys);
+  ASSERT_EQ(expander.num_keys(), kClients);
+  const std::vector<uint32_t> subset = {0, 3, 4, 9, 11};
+  Bytes expect(kLen, 0xd1);
+  for (uint32_t i : subset) {
+    XorDcnetPad(keys[i], 123, expect);
+  }
+  for (size_t threads : {1u, 2u, 4u}) {
+    Bytes got(kLen, 0xd1);
+    expander.XorPads(subset, 123, got, threads);
+    EXPECT_EQ(got, expect) << threads << " threads";
+  }
+  // XorAllPads == every index.
+  Bytes all_expect(kLen, 0);
+  for (const Bytes& k : keys) {
+    XorDcnetPad(k, 124, all_expect);
+  }
+  Bytes all_got(kLen, 0);
+  expander.XorAllPads(124, all_got, 3);
+  EXPECT_EQ(all_got, all_expect);
+}
+
+TEST(DcnetTest, PadExpanderPadBitMatchesDcnetPadBit) {
+  std::vector<Bytes> keys = {KeyOf(1, 1), KeyOf(2, 1)};
+  PadExpander expander(keys);
+  for (size_t bit : {0u, 7u, 8u, 511u, 512u, 513u, 70000u}) {
+    EXPECT_EQ(expander.PadBit(0, 9, bit), DcnetPadBit(keys[0], 9, bit)) << bit;
+    EXPECT_EQ(expander.PadBit(1, 9, bit), DcnetPadBit(keys[1], 9, bit)) << bit;
+  }
+}
+
+TEST(DcnetTest, PadBitMatchesPadBytesDeepOffsets) {
+  // DcnetPadBit seeks straight to the containing block; cross-check against
+  // materialized pads well past the first block.
+  Bytes key = KeyOf(6, 6);
+  Bytes pad = DcnetPad(key, 13, 16384);
+  for (size_t bit = 0; bit < 16384 * 8; bit += 4099) {
+    EXPECT_EQ(DcnetPadBit(key, 13, bit), GetBit(pad, bit)) << "bit " << bit;
+  }
+}
+
 TEST(DcnetTest, ClientComputeScalesWithServersNotClients) {
   // The anytrust design's whole point (§3.4): a client touches M pads per
   // round regardless of N. Structural check: BuildClientCiphertext takes
