@@ -1,0 +1,87 @@
+// Whole-protocol throughput over the simulated network: rounds/sec on the
+// 100-client topology, sequential (pipeline depth 1) vs pipelined rounds
+// (depth 2/3). The `rounds_per_sim_sec` counter is the cross-PR tracking
+// metric (BENCH_protocol.json via bench/run_bench.sh): with depth 2 the
+// client RTT of round r+1 hides behind round r's server gossip phase
+// (Verdict/Riposte-style overlap), so the ideal gain on a gossip-bound
+// topology is ~2x. Wall-clock iteration time additionally measures the real
+// CPU cost of simulating one protocol second.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/net_protocol.h"
+
+namespace dissent {
+namespace {
+
+constexpr size_t kClients = 100;
+constexpr size_t kServers = 5;
+
+struct ProtocolSim {
+  GroupDef def;
+  Simulator sim;
+  std::unique_ptr<NetDissent> net;
+};
+
+// The key-shuffle setup (100 ElGamal rows through a 5-server verified
+// cascade) is expensive relative to rounds, so each depth's simulation is
+// built once and advanced across benchmark iterations/repetitions.
+ProtocolSim* GetSim(size_t depth) {
+  static std::map<size_t, std::unique_ptr<ProtocolSim>> cache;
+  auto it = cache.find(depth);
+  if (it != cache.end()) {
+    return it->second.get();
+  }
+  auto ps = std::make_unique<ProtocolSim>();
+  SecureRng rng = SecureRng::FromLabel(1234);
+  std::vector<BigInt> server_privs, client_privs;
+  ps->def = MakeTestGroup(Group::Named(GroupId::kTesting256), kServers, kClients, rng,
+                          &server_privs, &client_privs);
+  NetDissent::Options options;
+  options.pipeline_depth = depth;
+  ps->net = std::make_unique<NetDissent>(ps->def, server_privs, client_privs, &ps->sim,
+                                         options, 1234);
+  if (!ps->net->Start()) {
+    return nullptr;
+  }
+  ProtocolSim* raw = ps.get();
+  cache[depth] = std::move(ps);
+  return raw;
+}
+
+void BM_ProtocolRounds(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  ProtocolSim* ps = GetSim(depth);
+  if (ps == nullptr) {
+    state.SkipWithError("scheduling shuffle failed");
+    return;
+  }
+  const uint64_t rounds_before = ps->net->rounds_completed();
+  const SimTime sim_before = ps->sim.Now();
+  for (auto _ : state) {
+    // One simulated second of protocol execution per iteration.
+    ps->sim.RunUntil(ps->sim.Now() + kSecond);
+    benchmark::DoNotOptimize(ps->net->rounds_completed());
+  }
+  const double sim_elapsed = ToSeconds(ps->sim.Now() - sim_before);
+  const double rounds = static_cast<double>(ps->net->rounds_completed() - rounds_before);
+  if (sim_elapsed > 0) {
+    state.counters["rounds_per_sim_sec"] = rounds / sim_elapsed;
+  }
+  state.counters["pipelined_submissions"] =
+      static_cast<double>(ps->net->pipelined_submissions());
+  state.counters["participation"] = static_cast<double>(ps->net->last_participation());
+}
+BENCHMARK(BM_ProtocolRounds)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dissent
+
+BENCHMARK_MAIN();

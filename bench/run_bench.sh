@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Runs the DC-net data-plane microbenchmarks (micro_dcnet + micro_crypto)
-# with JSON output merged into BENCH_dcnet.json at the repo root, so perf
-# changes are diffable across PRs.
+# Runs the benchmark suites with JSON output at the repo root, so perf
+# changes are diffable across PRs:
+#  * micro_dcnet + micro_crypto  -> BENCH_dcnet.json    (data-plane)
+#  * micro_protocol              -> BENCH_protocol.json (whole-protocol
+#    rounds/sec, sequential vs pipelined rounds on the 100-client topology)
 #
-# Usage: bench/run_bench.sh [build_dir] [output.json]
+# Usage: bench/run_bench.sh [build_dir] [dcnet_out.json] [protocol_out.json]
 #
 # Build first (DISSENT_NATIVE=ON makes the numbers reflect the local ISA):
 #   cmake -B build -S . -DDISSENT_NATIVE=ON && cmake --build build -j
@@ -12,8 +14,9 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out="${2:-$repo_root/BENCH_dcnet.json}"
+protocol_out="${3:-$repo_root/BENCH_protocol.json}"
 
-for bin in micro_dcnet micro_crypto; do
+for bin in micro_dcnet micro_crypto micro_protocol; do
   if [[ ! -x "$build_dir/$bin" ]]; then
     echo "error: $build_dir/$bin not found; build the repo first" >&2
     exit 1
@@ -34,3 +37,10 @@ jq -s '{context: .[0].context, benchmarks: (.[0].benchmarks + .[1].benchmarks)}'
   "$tmp_dcnet" "$tmp_crypto" > "$out"
 
 echo "wrote $out ($(jq '.benchmarks | length' "$out") benchmarks)"
+
+"$build_dir/micro_protocol" --benchmark_format=json \
+  --benchmark_out="$protocol_out" --benchmark_out_format=json
+
+seq_rps="$(jq '[.benchmarks[] | select(.name | contains("/1/")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+pipe_rps="$(jq '[.benchmarks[] | select(.name | contains("/2/")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+echo "wrote $protocol_out (sequential ${seq_rps} rounds/sim-s, pipelined-x2 ${pipe_rps} rounds/sim-s)"

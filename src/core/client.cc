@@ -1,5 +1,6 @@
 #include "src/core/client.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/core/dcnet.h"
@@ -11,12 +12,12 @@
 namespace dissent {
 
 DissentClient::DissentClient(const GroupDef& def, size_t client_index,
-                             const BigInt& long_term_priv, SecureRng rng)
+                             const BigInt& long_term_priv, SecureRng rng, size_t pipeline_depth)
     : def_(def),
       index_(client_index),
       priv_(long_term_priv),
       rng_(std::move(rng)),
-      schedule_(def.num_clients(), def.policy.default_slot_length) {
+      pipeline_depth_(std::max<size_t>(pipeline_depth, 1)) {
   const Group& g = *def_.group;
   server_keys_.reserve(def_.num_servers());
   dh_elements_.reserve(def_.num_servers());
@@ -26,11 +27,38 @@ DissentClient::DissentClient(const GroupDef& def, size_t client_index,
   }
   pad_expander_ = PadExpander(server_keys_);
   pseudonym_ = SchnorrKeyPair::Generate(g, rng_);
+  ResetScheduleWindow(SlotSchedule(def.num_clients(), def.policy.default_slot_length));
+}
+
+void DissentClient::ResetScheduleWindow(SlotSchedule initial) {
+  scheds_.clear();
+  for (size_t k = 0; k < pipeline_depth_; ++k) {
+    scheds_.push_back(initial);
+  }
+  sched_base_round_ = 1;
 }
 
 void DissentClient::AssignSlot(size_t slot_index, size_t num_slots) {
   slot_ = slot_index;
-  schedule_ = SlotSchedule(num_slots, def_.policy.default_slot_length);
+  ResetScheduleWindow(SlotSchedule(num_slots, def_.policy.default_slot_length));
+}
+
+const SlotSchedule& DissentClient::ScheduleFor(uint64_t round) const {
+  if (round <= sched_base_round_) {
+    return scheds_.front();
+  }
+  size_t offset = static_cast<size_t>(round - sched_base_round_);
+  return offset < scheds_.size() ? scheds_[offset] : scheds_.back();
+}
+
+void DissentClient::AdvanceSchedules(uint64_t round, const Bytes& cleartext) {
+  // This output determines the layout of round + pipeline_depth; rebase the
+  // window even if outputs were skipped while offline.
+  SlotSchedule next = scheds_.back();
+  next.Advance(cleartext);
+  scheds_.push_back(std::move(next));
+  scheds_.pop_front();
+  sched_base_round_ = round + 1;
 }
 
 void DissentClient::QueueMessage(Bytes payload) {
@@ -83,12 +111,13 @@ Bytes DissentClient::BuildOwnSlotRegion(uint64_t round, size_t slot_len) {
 }
 
 Bytes DissentClient::BuildCiphertext(uint64_t round) {
-  Bytes cleartext(schedule_.TotalLength(), 0);
+  const SlotSchedule& layout = ScheduleFor(round);
+  Bytes cleartext(layout.TotalLength(), 0);
   if (slot_.has_value()) {
     size_t s = *slot_;
-    if (schedule_.is_open(s)) {
-      Bytes region = BuildOwnSlotRegion(round, schedule_.slot_length(s));
-      std::copy(region.begin(), region.end(), cleartext.begin() + schedule_.SlotOffset(s));
+    if (layout.is_open(s)) {
+      Bytes region = BuildOwnSlotRegion(round, layout.slot_length(s));
+      std::copy(region.begin(), region.end(), cleartext.begin() + layout.SlotOffset(s));
       requested_last_round_ = false;
     } else if (want_open_ || !outbox_.empty() || pending_accusation_.has_value()) {
       // Request-bit protocol (§3.8): set unconditionally the first time, then
@@ -100,8 +129,11 @@ Bytes DissentClient::BuildCiphertext(uint64_t round) {
       requested_last_round_ = true;
     }
   }
-  last_sent_cleartext_ = cleartext;
-  last_sent_round_ = round;
+  sent_cleartexts_[round] = cleartext;
+  // Bound the in-flight window even if outputs never come back.
+  while (sent_cleartexts_.size() > pipeline_depth_ + 1) {
+    sent_cleartexts_.erase(sent_cleartexts_.begin());
+  }
   // XOR the M server pads in place via the cached key schedules (Algorithm 1
   // step 2); `cleartext` already holds our slot content.
   pad_expander_.XorAllPads(round, cleartext);
@@ -117,13 +149,17 @@ DissentClient::OutputResult DissentClient::ProcessOutput(
     return result;
   }
 
+  const SlotSchedule& layout = ScheduleFor(round);
+
   // Witness-bit scan (§3.9): any bit we sent as 0 that came out as 1 inside
   // our own slot region, when the decoded region differs from what we sent.
-  if (slot_.has_value() && round == last_sent_round_ && schedule_.is_open(*slot_)) {
-    size_t off = schedule_.SlotOffset(*slot_) * 8;
-    size_t len_bits = schedule_.slot_length(*slot_) * 8;
-    Bytes sent_region = schedule_.ExtractSlot(last_sent_cleartext_, *slot_);
-    Bytes got_region = schedule_.ExtractSlot(cleartext, *slot_);
+  auto sent_it = sent_cleartexts_.find(round);
+  if (slot_.has_value() && sent_it != sent_cleartexts_.end() && layout.is_open(*slot_) &&
+      sent_it->second.size() == cleartext.size()) {
+    size_t off = layout.SlotOffset(*slot_) * 8;
+    size_t len_bits = layout.slot_length(*slot_) * 8;
+    Bytes sent_region = layout.ExtractSlot(sent_it->second, *slot_);
+    Bytes got_region = layout.ExtractSlot(cleartext, *slot_);
     if (sent_region != got_region) {
       result.own_slot_disrupted = true;
       for (size_t b = 0; b < len_bits; ++b) {
@@ -142,24 +178,25 @@ DissentClient::OutputResult DissentClient::ProcessOutput(
       }
     }
   }
+  sent_cleartexts_.erase(sent_cleartexts_.begin(), sent_cleartexts_.upper_bound(round));
 
   // Extract everyone's messages.
-  for (size_t s = 0; s < schedule_.num_slots(); ++s) {
-    if (!schedule_.is_open(s)) {
+  for (size_t s = 0; s < layout.num_slots(); ++s) {
+    if (!layout.is_open(s)) {
       continue;
     }
-    auto payload = DecodeSlot(schedule_.ExtractSlot(cleartext, s));
+    auto payload = DecodeSlot(layout.ExtractSlot(cleartext, s));
     if (payload.has_value() && !payload->payload.empty()) {
       result.messages.emplace_back(s, payload->payload);
     }
   }
 
-  schedule_.Advance(cleartext);
+  AdvanceSchedules(round, cleartext);
   return result;
 }
 
 void DissentClient::CatchUp(uint64_t round, const Bytes& cleartext) {
-  schedule_.Advance(cleartext);
+  AdvanceSchedules(round, cleartext);
 }
 
 std::optional<SignedAccusation> DissentClient::TakeAccusation() {

@@ -1,7 +1,7 @@
 // Dissent client (Algorithm 1).
 //
-// Pure protocol logic, no I/O: the caller (an in-process coordinator, the
-// networked node wrapper, or a test) drives it round by round. The client:
+// Pure protocol logic, no I/O and no clocks: the caller (a ClientEngine,
+// see engine.h, or a test) drives it round by round. The client:
 //  * derives one shared secret per *server* (anytrust secret-sharing graph,
 //    §3.4) — never per client pair,
 //  * builds one ciphertext per round: XOR of M server pads plus its own slot
@@ -10,10 +10,18 @@
 //  * detects disruption of its own slot, finds a witness bit, and produces a
 //    pseudonym-signed accusation (§3.9),
 //  * applies the randomized request-bit retry of §3.8.
+//
+// Pipelining: with pipeline_depth d, the slot layout of round r depends only
+// on outputs up to round r-d, so after processing output r the client can
+// immediately build and submit the ciphertext for round r+d while rounds
+// r+1..r+d-1 are still in flight. The client keeps a d-wide window of
+// schedule snapshots and the sent cleartext of every in-flight round (for
+// witness-bit detection). Depth 1 is the strictly sequential protocol.
 #ifndef DISSENT_CORE_CLIENT_H_
 #define DISSENT_CORE_CLIENT_H_
 
 #include <deque>
+#include <map>
 #include <optional>
 
 #include "src/core/accusation_types.h"
@@ -27,7 +35,7 @@ namespace dissent {
 class DissentClient {
  public:
   DissentClient(const GroupDef& def, size_t client_index, const BigInt& long_term_priv,
-                SecureRng rng);
+                SecureRng rng, size_t pipeline_depth = 1);
 
   // --- scheduling (§3.10) ---
   // Fresh pseudonym key submitted to the key shuffle.
@@ -36,6 +44,7 @@ class DissentClient {
   // public key in the shuffled list is our slot.
   void AssignSlot(size_t slot_index, size_t num_slots);
   std::optional<size_t> slot() const { return slot_; }
+  size_t pipeline_depth() const { return pipeline_depth_; }
 
   // --- application interface ---
   void QueueMessage(Bytes payload);
@@ -43,7 +52,9 @@ class DissentClient {
 
   // --- Algorithm 1 ---
   // Step 2: ciphertext for round r (remembers the cleartext for witness
-  // detection). Must be called exactly once per round the client is online.
+  // detection). Must be called exactly once, in round order, for every round
+  // the client participates in; at most pipeline_depth rounds may be in
+  // flight (built but not yet processed).
   Bytes BuildCiphertext(uint64_t round);
 
   struct OutputResult {
@@ -52,7 +63,14 @@ class DissentClient {
     // Decoded payloads of all valid open slots this round (slot -> payload).
     std::vector<std::pair<size_t, Bytes>> messages;
   };
-  // Step 3: verify and ingest a round output; advances the slot schedule.
+  // Step 3: verify and ingest a round output; advances the (lagged) slot
+  // schedule. Outputs must arrive in strictly increasing round order. A
+  // forward gap (rounds missed while offline) applies only the received
+  // output to the schedule, which stays correct only if no slot layout
+  // changed during the gap — the silent-group common case. A client that
+  // may have missed layout changes must replay every missed cleartext via
+  // CatchUp (as Coordinator::SetClientOnline does) before resuming; a real
+  // transport would fetch them from its upstream server on reconnect.
   OutputResult ProcessOutput(uint64_t round, const Bytes& cleartext,
                              const std::vector<SchnorrSignature>& server_sigs);
 
@@ -69,7 +87,8 @@ class DissentClient {
   // `server_index` plus a DLEQ proof of its correctness.
   Rebuttal BuildRebuttal(size_t server_index) const;
 
-  const SlotSchedule& schedule() const { return schedule_; }
+  // Newest known schedule (the layout of the most advanced in-flight round).
+  const SlotSchedule& schedule() const { return scheds_.back(); }
   size_t index() const { return index_; }
   // The per-server DC-net secrets (exposed for tests only).
   const std::vector<Bytes>& server_keys() const { return server_keys_; }
@@ -77,11 +96,16 @@ class DissentClient {
  private:
   // What to place in our slot this round, if it is open.
   Bytes BuildOwnSlotRegion(uint64_t round, size_t slot_len);
+  const SlotSchedule& ScheduleFor(uint64_t round) const;
+  // Applies one round output to the lagged schedule window.
+  void AdvanceSchedules(uint64_t round, const Bytes& cleartext);
+  void ResetScheduleWindow(SlotSchedule initial);
 
   const GroupDef& def_;
   size_t index_;
   BigInt priv_;
   SecureRng rng_;
+  size_t pipeline_depth_;
   std::vector<Bytes> server_keys_;     // K_ij per server j
   // Parsed key schedules for the M server secrets, built once at
   // construction and reused every round by BuildCiphertext.
@@ -89,13 +113,19 @@ class DissentClient {
   std::vector<BigInt> dh_elements_;    // g^{x_i x_j} (for rebuttals)
   SchnorrKeyPair pseudonym_;
   std::optional<size_t> slot_;
-  SlotSchedule schedule_;
+
+  // scheds_[k] is the layout of round sched_base_round_ + k (window width =
+  // pipeline_depth). Processing output r appends the layout of r + depth and
+  // rebases the window to r + 1.
+  std::deque<SlotSchedule> scheds_;
+  uint64_t sched_base_round_ = 1;
 
   std::deque<Bytes> outbox_;
   bool want_open_ = false;
   bool requested_last_round_ = false;
-  Bytes last_sent_cleartext_;
-  uint64_t last_sent_round_ = ~0ull;
+  // Cleartexts of in-flight rounds (built, output not yet processed), for
+  // witness-bit detection (§3.9).
+  std::map<uint64_t, Bytes> sent_cleartexts_;
   std::optional<SignedAccusation> pending_accusation_;
   uint16_t accusation_request_code_ = 0;
 };

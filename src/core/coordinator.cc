@@ -31,6 +31,31 @@ Coordinator::Coordinator(GroupDef def, std::vector<BigInt> server_privs,
   server_privs_ = std::move(server_privs);
   online_.assign(clients_.size(), true);
   last_seen_round_.assign(clients_.size(), 0);
+  // The engines own all round sequencing; this class only delivers their
+  // envelopes (zero latency) and fires their timers (virtual clock).
+  for (size_t j = 0; j < servers_.size(); ++j) {
+    ServerEngine::Config cfg;
+    cfg.window_fraction = def_.policy.window_fraction;
+    cfg.window_multiplier = def_.policy.window_multiplier;
+    cfg.hard_deadline_us = def_.policy.hard_deadline;
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      if (i % servers_.size() == j) {
+        cfg.attached_clients.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    server_engines_.push_back(
+        std::make_unique<ServerEngine>(servers_[j].get(), def_, std::move(cfg)));
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    ClientEngine::Config cfg;
+    cfg.upstream_server = static_cast<uint32_t>(i % servers_.size());
+    // This transport is synchronous: submissions are paced by RunRound (so a
+    // message queued between rounds still makes the next round, as the
+    // step-by-step reference semantics promise).
+    cfg.auto_submit = false;
+    client_engines_.push_back(
+        std::make_unique<ClientEngine>(clients_[i].get(), def_, cfg));
+  }
 }
 
 bool Coordinator::RunScheduling() {
@@ -67,6 +92,11 @@ bool Coordinator::RunScheduling() {
   for (auto& s : servers_) {
     s->BeginSlots(pseudonym_keys_.size());
   }
+  // Open round 1 on every server; clients submit per RunRound call.
+  for (size_t j = 0; j < server_engines_.size(); ++j) {
+    DispatchServerActions(j, server_engines_[j]->StartSession(vnow_));
+  }
+  session_started_ = true;
   return true;
 }
 
@@ -81,126 +111,186 @@ void Coordinator::SetClientOnline(size_t i, bool online) {
         last_seen_round_[i] = r;
       }
     }
+    // Resynchronized; the next RunRound submits for it again.
   }
   online_[i] = online;
 }
 
-Coordinator::RoundOutcome Coordinator::RunRound() {
-  RoundOutcome outcome;
-  const uint64_t round = next_round_++;
-  outcome.round = round;
-
-  for (auto& s : servers_) {
-    s->StartRound(round);
+void Coordinator::DispatchServerActions(size_t j, ServerEngine::Actions actions) {
+  for (Envelope& env : actions.out) {
+    queue_.push_back({ServerPeer(static_cast<uint32_t>(j)), env.to, std::move(env.msg)});
   }
-
-  // Step 1: online, non-expelled clients build and submit ciphertexts to
-  // their upstream server (client i -> server i mod M).
-  for (size_t i = 0; i < clients_.size(); ++i) {
-    if (!online_[i] || expelled_clients_.count(i) != 0) {
-      continue;
-    }
-    Bytes ct = clients_[i]->BuildCiphertext(round);
-    if (disruptor_.has_value() && disruptor_->client == i &&
-        disruptor_->bit < ct.size() * 8) {
-      SetBit(ct, disruptor_->bit, !GetBit(ct, disruptor_->bit));
-    }
-    size_t j = i % servers_.size();
-    bool ok = servers_[j]->AcceptClientCiphertext(round, i, std::move(ct));
-    assert(ok);
+  for (const TimerRequest& t : actions.timers) {
+    timers_.push_back({vnow_ + t.delay_us, timer_seq_++, j, t.token});
+    std::push_heap(timers_.begin(), timers_.end(), TimerLater());
   }
-
-  // Step 2: inventories; step 3 prologue: trim + composite list.
-  std::vector<std::vector<uint32_t>> inventories;
-  inventories.reserve(servers_.size());
-  for (auto& s : servers_) {
-    inventories.push_back(s->Inventory());
-  }
-  auto trimmed = DissentServer::TrimInventories(inventories);
-  std::vector<uint32_t> composite;
-  for (const auto& share : trimmed) {
-    composite.insert(composite.end(), share.begin(), share.end());
-  }
-  std::sort(composite.begin(), composite.end());
-  outcome.participation = composite.size();
-
-  // §3.7: participation threshold alpha * p_{r-1}.
-  if (last_participation_ > 0 &&
-      static_cast<double>(composite.size()) <
-          def_.policy.alpha * static_cast<double>(last_participation_)) {
-    outcome.below_alpha = true;
-    // The synchronous driver reports and proceeds; the networked driver
-    // keeps the window open instead (see net_protocol.cc).
-  }
-  last_participation_ = composite.size();
-
-  // Step 3: server ciphertexts + commitments.
-  std::vector<Bytes> server_cts(servers_.size());
-  std::vector<Bytes> commits(servers_.size());
-  for (size_t j = 0; j < servers_.size(); ++j) {
-    server_cts[j] = servers_[j]->BuildServerCiphertext(composite, trimmed[j]);
-    commits[j] = servers_[j]->CommitHash();
-  }
-  // Equivocation hook: the server alters its ciphertext *after* committing.
-  if (equivocator_.has_value()) {
-    Bytes& ct = server_cts[*equivocator_];
-    if (!ct.empty()) {
-      ct[0] ^= 1;
-    }
-  }
-
-  // Steps 4-5: combine, verifying commitments.
-  std::optional<Bytes> cleartext;
-  for (size_t j = 0; j < servers_.size(); ++j) {
-    auto combined = servers_[j]->CombineAndVerify(server_cts, commits);
-    if (!combined.has_value()) {
-      outcome.equivocating_server = servers_[j]->detected_equivocator();
-      return outcome;  // round aborted; cheater identified
+  for (ServerEngine::RoundDone& done : actions.done) {
+    servers_done_count_[done.round]++;
+    if (done.equivocating_server.has_value()) {
+      equivocator_seen_[done.round] = *done.equivocating_server;
     }
     if (j == 0) {
-      cleartext = combined;
+      if (done.completed) {
+        // History for accusation tracing.
+        RoundRecord rec;
+        rec.cleartext = done.cleartext;
+        history_[done.round] = std::move(rec);
+        if (history_.size() > DissentServer::kEvidenceRounds) {
+          history_.erase(history_.begin());
+        }
+        last_participation_ = done.participation;
+      }
+      server0_done_[done.round] = std::move(done);
     }
   }
+}
 
-  // Step 5: certification.
-  std::vector<SchnorrSignature> sigs;
-  sigs.reserve(servers_.size());
-  for (auto& s : servers_) {
-    sigs.push_back(s->SignRoundOutput(round, *cleartext));
+void Coordinator::DispatchClientActions(size_t i, ClientEngine::Actions actions) {
+  for (Envelope& env : actions.out) {
+    queue_.push_back({ClientPeer(static_cast<uint32_t>(i)), env.to, std::move(env.msg)});
   }
-  if (!VerifyOutputCertificate(def_, round, *cleartext, sigs)) {
+  for (ClientEngine::Delivery& d : actions.delivered) {
+    assert(d.signatures_ok);
+    last_seen_round_[i] = d.round;
+    auto it = first_delivery_.find(d.round);
+    if (it == first_delivery_.end() || it->second.first > i) {
+      first_delivery_[d.round] = {i, std::move(d)};
+    }
+  }
+}
+
+void Coordinator::DeliverNextQueued() {
+  QueuedMsg qm = std::move(queue_.front());
+  queue_.pop_front();
+  // Transport-level drops: offline or expelled clients neither send nor
+  // receive (§3.6 — the other side cannot tell the difference).
+  if (qm.from.kind == Peer::Kind::kClient &&
+      (!online_[qm.from.index] || expelled_clients_.count(qm.from.index) != 0)) {
+    return;
+  }
+  if (qm.to.kind == Peer::Kind::kClient &&
+      (!online_[qm.to.index] || expelled_clients_.count(qm.to.index) != 0)) {
+    return;
+  }
+  // Adversarial in-flight tampering (§3.9 test hooks). The payload may be
+  // shared with sibling broadcast envelopes, so tamper on a private copy.
+  if (disruptor_.has_value() && qm.from.kind == Peer::Kind::kClient &&
+      qm.from.index == disruptor_->client) {
+    if (const auto* submit = std::get_if<wire::ClientSubmit>(qm.msg.get())) {
+      if (disruptor_->bit < submit->ciphertext.size() * 8) {
+        auto mutated = std::make_shared<WireMessage>(*qm.msg);
+        auto& ct = std::get<wire::ClientSubmit>(*mutated).ciphertext;
+        SetBit(ct, disruptor_->bit, !GetBit(ct, disruptor_->bit));
+        qm.msg = std::move(mutated);
+      }
+    }
+  }
+  if (equivocator_.has_value() && qm.from.kind == Peer::Kind::kServer &&
+      qm.from.index == *equivocator_) {
+    if (const auto* sct = std::get_if<wire::ServerCiphertext>(qm.msg.get())) {
+      if (!sct->ciphertext.empty()) {
+        auto mutated = std::make_shared<WireMessage>(*qm.msg);
+        std::get<wire::ServerCiphertext>(*mutated).ciphertext[0] ^= 1;
+        qm.msg = std::move(mutated);
+      }
+    }
+  }
+  if (qm.to.kind == Peer::Kind::kServer) {
+    DispatchServerActions(
+        qm.to.index, server_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg, vnow_));
+  } else {
+    DispatchClientActions(qm.to.index,
+                          client_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg));
+  }
+}
+
+void Coordinator::FireEarliestTimer() {
+  std::pop_heap(timers_.begin(), timers_.end(), TimerLater());
+  PendingTimer t = timers_.back();
+  timers_.pop_back();
+  vnow_ = std::max(vnow_, t.due);
+  DispatchServerActions(t.server, server_engines_[t.server]->HandleTimer(t.token, vnow_));
+}
+
+bool Coordinator::RoundResolved(uint64_t round) const {
+  auto eq = equivocator_seen_.find(round);
+  if (eq != equivocator_seen_.end()) {
+    // The cheater's own engine never reports; all honest engines have.
+    auto cnt = servers_done_count_.find(round);
+    return cnt != servers_done_count_.end() && cnt->second + 1 >= servers_.size();
+  }
+  auto cnt = servers_done_count_.find(round);
+  return cnt != servers_done_count_.end() && cnt->second == servers_.size();
+}
+
+Coordinator::RoundOutcome Coordinator::RunRound() {
+  RoundOutcome outcome;
+  outcome.round = next_round_;
+  if (halted_ || !session_started_) {
+    // Do not consume a round number: the engines never opened (or will never
+    // finish) it, and burning one would desynchronize every later call.
     return outcome;
   }
+  const uint64_t round = next_round_++;
 
-  // Step 6: output distribution.
-  bool first_online_client = true;
-  for (size_t i = 0; i < clients_.size(); ++i) {
+  // Step 1: online, non-expelled clients build and submit ciphertexts for
+  // this round through their engines (client i -> server i mod M).
+  for (size_t i = 0; i < client_engines_.size(); ++i) {
     if (!online_[i] || expelled_clients_.count(i) != 0) {
       continue;
     }
-    auto result = clients_[i]->ProcessOutput(round, *cleartext, sigs);
-    assert(result.signatures_ok);
-    last_seen_round_[i] = round;
-    if (first_online_client) {
-      outcome.messages = result.messages;
-      first_online_client = false;
+    DispatchClientActions(i, client_engines_[i]->SubmitRound(round));
+  }
+
+  // Pump: deliver everything in flight; when the system goes quiet, fire the
+  // earliest pending timer (this is what closes submission windows). Stop
+  // firing timers once the round resolves, then drain the trailing envelopes
+  // (the next round's submissions) so they are queued for the next call.
+  while (!RoundResolved(round)) {
+    if (!queue_.empty()) {
+      DeliverNextQueued();
+      continue;
     }
+    if (timers_.empty()) {
+      break;  // stalled: nothing in flight and nothing scheduled
+    }
+    FireEarliestTimer();
   }
-  for (auto& s : servers_) {
-    auto fin = s->FinishRound(round, *cleartext);
-    outcome.accusation_requested |= fin.accusation_requested;
-  }
-
-  // History for accusation tracing: record each slot's span this round.
-  RoundRecord rec;
-  rec.cleartext = *cleartext;
-  history_[round] = std::move(rec);
-  if (history_.size() > DissentServer::kEvidenceRounds) {
-    history_.erase(history_.begin());
+  while (!queue_.empty()) {
+    DeliverNextQueued();
   }
 
-  outcome.completed = true;
-  outcome.cleartext = history_[round].cleartext;
+  auto eq = equivocator_seen_.find(round);
+  if (eq != equivocator_seen_.end()) {
+    outcome.equivocating_server = eq->second;
+    halted_ = true;  // round aborted; cheater identified; group re-forms
+  }
+  auto done = server0_done_.find(round);
+  if (done != server0_done_.end() && done->second.completed &&
+      !outcome.equivocating_server.has_value()) {
+    outcome.completed = true;
+    outcome.participation = done->second.participation;
+    outcome.below_alpha = done->second.below_alpha;
+    outcome.accusation_requested = done->second.accusation_requested;
+    outcome.cleartext = done->second.cleartext;
+  }
+  auto del = first_delivery_.find(round);
+  if (del != first_delivery_.end()) {
+    outcome.messages = del->second.second.messages;
+  }
+  // Drop per-round bookkeeping that can no longer be queried, and prune the
+  // resolved rounds' never-fired hard-deadline backstops from the heap
+  // (otherwise they accumulate one per server per round for the session).
+  server0_done_.erase(server0_done_.begin(), server0_done_.upper_bound(round));
+  servers_done_count_.erase(servers_done_count_.begin(),
+                            servers_done_count_.upper_bound(round));
+  first_delivery_.erase(first_delivery_.begin(), first_delivery_.upper_bound(round));
+  auto stale = std::remove_if(timers_.begin(), timers_.end(),
+                              [round](const PendingTimer& t) { return (t.token >> 1) <= round; });
+  if (stale != timers_.end()) {
+    timers_.erase(stale, timers_.end());
+    std::make_heap(timers_.begin(), timers_.end(), TimerLater());
+  }
   return outcome;
 }
 

@@ -1,27 +1,37 @@
-// In-process reference driver for the full Dissent protocol.
+// In-process driver for the full Dissent protocol.
 //
 // Runs the real thing — real crypto, real DC-net byte planes — with all
-// clients and servers as in-memory objects and the message exchange replaced
-// by direct calls. This is the configuration behind the integration tests,
-// the examples, and the Fig 9 whole-protocol bench. (The discrete-event
-// performance model in src/simmodel reproduces the latency figures; the
-// networked wrapper in src/core/net_protocol.h runs this logic over the
-// simulated network.)
+// clients and servers as in-memory objects. Since PR 2 the Coordinator is a
+// *transport*, not an orchestrator: the round protocol is driven exclusively
+// by the sans-I/O ServerEngine/ClientEngine state machines (engine.h), and
+// this class merely shuttles their typed WireMessage envelopes between
+// engines with zero latency and fires their timer requests from a virtual
+// clock. The networked driver (net_protocol.h) runs the *same* engines over
+// the simulated network, so the two drivers cannot disagree on protocol
+// order — RunRound() here and a simulated round there produce byte-identical
+// cleartexts for identical seeds.
+//
+// This is the configuration behind the integration tests, the examples, and
+// the Fig 9 whole-protocol bench. (The discrete-event performance model in
+// src/simmodel reproduces the latency figures.)
 //
 // Adversarial hooks let tests inject exactly the misbehaviour §3.9 defends
-// against: a client flipping bits in a victim's slot, a server equivocating
-// on its commitment, and a server lying during trace pad-bit disclosure.
+// against, at the transport layer where a real attacker sits: a client
+// flipping bits in a victim's slot (tampering with its own ClientSubmit), a
+// server equivocating on its commitment (altering its ServerCiphertext in
+// flight), and a server lying during trace pad-bit disclosure.
 #ifndef DISSENT_CORE_COORDINATOR_H_
 #define DISSENT_CORE_COORDINATOR_H_
 
+#include <deque>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <set>
 
 #include "src/core/accusation.h"
-#include "src/core/client.h"
+#include "src/core/engine.h"
 #include "src/core/key_shuffle.h"
-#include "src/core/server.h"
 
 namespace dissent {
 
@@ -35,8 +45,9 @@ class Coordinator {
   const GroupDef& def() const { return def_; }
 
   // --- scheduling (§3.10) ---
-  // Runs the verifiable key shuffle, verifies the cascade everywhere, and
-  // assigns slots. Returns false if any proof fails.
+  // Runs the verifiable key shuffle, verifies the cascade everywhere,
+  // assigns slots, and opens the engines' first round. Returns false if any
+  // proof fails.
   bool RunScheduling();
   const std::vector<BigInt>& pseudonym_keys() const { return pseudonym_keys_; }
 
@@ -55,6 +66,8 @@ class Coordinator {
     bool accusation_requested = false;
     std::optional<size_t> equivocating_server;
   };
+  // Pumps the engine message queues until the next round certifies (or
+  // halts on detected equivocation).
   RoundOutcome RunRound();
   uint64_t rounds_completed() const { return next_round_ - 1; }
   size_t last_participation() const { return last_participation_; }
@@ -81,7 +94,8 @@ class Coordinator {
   // round (anonymously corrupting whoever owns that bit position).
   void InjectDisruptor(size_t disruptor, size_t bit);
   void ClearDisruptor() { disruptor_.reset(); }
-  // Server flips a bit of its ciphertext after committing (equivocation).
+  // Server's ServerCiphertext is altered in flight after it committed
+  // (equivocation).
   void InjectEquivocatingServer(size_t server_index);
   // Server lies about one client's pad bit during accusation tracing.
   void InjectTraceLiar(size_t server_index, size_t about_client);
@@ -90,6 +104,29 @@ class Coordinator {
   struct RoundRecord {
     Bytes cleartext;
   };
+  struct QueuedMsg {
+    Peer from;
+    Peer to;
+    std::shared_ptr<const WireMessage> msg;  // shared with sibling broadcasts
+  };
+  struct PendingTimer {
+    int64_t due;
+    uint64_t seq;
+    size_t server;
+    uint64_t token;
+  };
+  struct TimerLater {
+    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
+      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+    }
+  };
+
+  // Zero-latency transport plumbing.
+  void DispatchServerActions(size_t j, ServerEngine::Actions actions);
+  void DispatchClientActions(size_t i, ClientEngine::Actions actions);
+  void DeliverNextQueued();
+  void FireEarliestTimer();
+  bool RoundResolved(uint64_t round) const;
 
   // Bit span (offset, length) of `slot` in the retained round's cleartext,
   // recovered by replaying the deterministic schedule over the history.
@@ -100,6 +137,8 @@ class Coordinator {
   std::vector<BigInt> server_privs_;
   std::vector<std::unique_ptr<DissentClient>> clients_;
   std::vector<std::unique_ptr<DissentServer>> servers_;
+  std::vector<std::unique_ptr<ClientEngine>> client_engines_;
+  std::vector<std::unique_ptr<ServerEngine>> server_engines_;
   std::vector<bool> online_;
   std::vector<uint64_t> last_seen_round_;
   std::vector<BigInt> pseudonym_keys_;
@@ -108,6 +147,22 @@ class Coordinator {
   size_t last_participation_ = 0;
   std::map<uint64_t, RoundRecord> history_;
   std::set<size_t> expelled_clients_;
+
+  // Transport state. Timers are a manual binary heap so stale entries (the
+  // per-round 120 s hard-deadline backstops that never fire in a
+  // zero-latency transport) can be pruned once their round resolves.
+  std::deque<QueuedMsg> queue_;
+  std::vector<PendingTimer> timers_;
+  int64_t vnow_ = 0;  // virtual clock (µs); advances only on timer fires
+  uint64_t timer_seq_ = 0;
+  bool session_started_ = false;
+  bool halted_ = false;
+
+  // Per-round results gathered while pumping.
+  std::map<uint64_t, ServerEngine::RoundDone> server0_done_;
+  std::map<uint64_t, size_t> servers_done_count_;
+  std::map<uint64_t, size_t> equivocator_seen_;
+  std::map<uint64_t, std::pair<size_t, ClientEngine::Delivery>> first_delivery_;
 
   struct DisruptorHook {
     size_t client;

@@ -1,0 +1,415 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dissent {
+
+// ---------------------------------------------------------------------------
+// ServerEngine
+// ---------------------------------------------------------------------------
+
+ServerEngine::ServerEngine(DissentServer* logic, const GroupDef& def, Config config)
+    : logic_(logic),
+      def_(def),
+      config_(std::move(config)),
+      index_(logic->index()),
+      num_servers_(def.num_servers()) {
+  assert(config_.pipeline_depth == logic_->pipeline_depth());
+}
+
+ServerEngine::Actions ServerEngine::StartSession(int64_t now_us) {
+  Actions a;
+  for (size_t k = 0; k < config_.pipeline_depth; ++k) {
+    StartRound(next_round_to_start_, now_us, a);
+  }
+  return a;
+}
+
+void ServerEngine::StartRound(uint64_t round, int64_t now_us, Actions& a) {
+  assert(round == next_round_to_start_);
+  ++next_round_to_start_;
+  logic_->StartRound(round);
+  RoundState& st = rounds_[round];
+  st.started_us = now_us;
+  st.inventories.assign(num_servers_, std::nullopt);
+  st.commits.assign(num_servers_, std::nullopt);
+  st.server_cts.assign(num_servers_, std::nullopt);
+  st.sigs.assign(num_servers_, std::nullopt);
+  a.timers.push_back({Token(round, kHardDeadline), config_.hard_deadline_us});
+  // Replay server-phase traffic that arrived before we opened this round.
+  auto early = early_.find(round);
+  if (early != early_.end()) {
+    auto msgs = std::move(early->second);
+    early_.erase(early);
+    for (auto& [sender, msg] : msgs) {
+      HandleServerPhase(sender, msg, now_us, a);
+    }
+  }
+}
+
+ServerEngine::Actions ServerEngine::HandleMessage(const Peer& from, const WireMessage& msg,
+                                                  int64_t now_us) {
+  Actions a;
+  if (halted_) {
+    return a;
+  }
+  if (const auto* submit = std::get_if<wire::ClientSubmit>(&msg)) {
+    if (from.kind != Peer::Kind::kClient || from.index != submit->client_id) {
+      return a;
+    }
+    auto it = rounds_.find(submit->round);
+    if (it == rounds_.end() || it->second.window_closed) {
+      return a;
+    }
+    if (logic_->AcceptClientCiphertext(submit->round, submit->client_id, submit->ciphertext)) {
+      if (submit->round > next_round_to_finish_) {
+        ++pipelined_submissions_;  // an earlier round is still in flight
+      }
+      MaybeArmWindowTimer(submit->round, now_us, a);
+    }
+    return a;
+  }
+  // Everything else is server-to-server gossip.
+  if (from.kind != Peer::Kind::kServer) {
+    return a;
+  }
+  HandleServerPhase(from.index, msg, now_us, a);
+  // Any phase message can be the last missing piece (including the one that
+  // lets us certify and add our own signature): always re-check completion.
+  MaybeFinishRounds(now_us, a);
+  return a;
+}
+
+void ServerEngine::HandleServerPhase(uint32_t sender, const WireMessage& msg, int64_t now_us,
+                                     Actions& a) {
+  uint64_t round = 0;
+  uint32_t claimed = 0;
+  if (const auto* m = std::get_if<wire::Inventory>(&msg)) {
+    round = m->round;
+    claimed = m->server_id;
+  } else if (const auto* m = std::get_if<wire::Commit>(&msg)) {
+    round = m->round;
+    claimed = m->server_id;
+  } else if (const auto* m = std::get_if<wire::ServerCiphertext>(&msg)) {
+    round = m->round;
+    claimed = m->server_id;
+  } else if (const auto* m = std::get_if<wire::SignatureShare>(&msg)) {
+    round = m->round;
+    claimed = m->server_id;
+  } else {
+    return;  // Output/accusation messages are not server-engine input
+  }
+  if (claimed != sender || sender >= num_servers_ || sender == index_) {
+    return;
+  }
+  if (round < next_round_to_finish_) {
+    return;  // stale
+  }
+  if (rounds_.find(round) == rounds_.end()) {
+    // A faster peer is ahead of us; hold its message until we open the
+    // round. Bounded in both round range and per-round size so a
+    // misbehaving peer cannot grow the buffer: one slot per (sender, phase).
+    if (round < next_round_to_start_ + 2 * config_.pipeline_depth + 2) {
+      auto& pending = early_[round];
+      for (const auto& [held_sender, held_msg] : pending) {
+        if (held_sender == sender && held_msg.index() == msg.index()) {
+          return;  // duplicate phase message from this peer: first wins
+        }
+      }
+      pending.emplace_back(sender, msg);
+    }
+    return;
+  }
+  // First write wins on every gossip slot: accepting a replacement would let
+  // a server re-commit after honest ciphertexts are revealed (voiding the
+  // commit-then-reveal binding of Algorithm 2 steps 3-5) or swap its
+  // inventory/ciphertext/signature mid-phase.
+  RoundState& st = rounds_[round];
+  if (const auto* m = std::get_if<wire::Inventory>(&msg)) {
+    if (st.inventories[sender].has_value()) {
+      return;
+    }
+    for (uint32_t id : m->clients) {
+      if (id >= def_.num_clients()) {
+        return;
+      }
+    }
+    st.inventories[sender] = m->clients;
+    MaybeBuildCiphertext(round, a);
+  } else if (const auto* m = std::get_if<wire::Commit>(&msg)) {
+    if (st.commits[sender].has_value()) {
+      return;
+    }
+    st.commits[sender] = m->commitment;
+    MaybeShareCiphertext(round, a);
+  } else if (const auto* m = std::get_if<wire::ServerCiphertext>(&msg)) {
+    if (st.server_cts[sender].has_value()) {
+      return;
+    }
+    st.server_cts[sender] = m->ciphertext;
+    MaybeCertify(round, a);
+  } else if (const auto* m = std::get_if<wire::SignatureShare>(&msg)) {
+    if (st.sigs[sender].has_value() ||
+        !SchnorrSignature::Deserialize(*def_.group, m->signature).has_value()) {
+      return;
+    }
+    st.sigs[sender] = m->signature;
+  }
+}
+
+ServerEngine::Actions ServerEngine::HandleTimer(uint64_t token, int64_t now_us) {
+  Actions a;
+  if (halted_) {
+    return a;
+  }
+  uint64_t round = token >> 1;
+  auto it = rounds_.find(round);
+  if (it == rounds_.end() || it->second.window_closed) {
+    return a;  // stale timer: round finished or window already closed
+  }
+  CloseWindow(round, a);
+  MaybeFinishRounds(now_us, a);
+  return a;
+}
+
+void ServerEngine::Broadcast(WireMessage msg, Actions& a) {
+  auto shared = std::make_shared<const WireMessage>(std::move(msg));
+  for (uint32_t j = 0; j < num_servers_; ++j) {
+    if (j != index_) {
+      a.out.push_back({ServerPeer(j), shared});
+    }
+  }
+}
+
+void ServerEngine::MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& a) {
+  RoundState& st = rounds_[round];
+  if (st.window_closed || st.window_timer_armed) {
+    return;
+  }
+  // Close once `fraction` of this server's attached clients answered, after
+  // multiplier * elapsed (§5.1).
+  size_t share = config_.attached_clients.size();
+  size_t threshold = static_cast<size_t>(config_.window_fraction * static_cast<double>(share));
+  if (logic_->SubmissionCount(round) < std::max<size_t>(threshold, 1)) {
+    return;
+  }
+  int64_t elapsed = now_us - st.started_us;
+  int64_t close_at =
+      static_cast<int64_t>(static_cast<double>(elapsed) * config_.window_multiplier);
+  st.window_timer_armed = true;
+  a.timers.push_back({Token(round, kWindowPolicy), std::max<int64_t>(close_at - elapsed, 0)});
+}
+
+void ServerEngine::CloseWindow(uint64_t round, Actions& a) {
+  RoundState& st = rounds_[round];
+  st.window_closed = true;
+  std::vector<uint32_t> inv = logic_->Inventory(round);
+  Broadcast(wire::Inventory{round, static_cast<uint32_t>(index_), inv}, a);
+  st.inventories[index_] = std::move(inv);
+  MaybeBuildCiphertext(round, a);
+}
+
+void ServerEngine::MaybeBuildCiphertext(uint64_t round, Actions& a) {
+  RoundState& st = rounds_[round];
+  if (st.sent_commit || !st.window_closed) {
+    return;
+  }
+  std::vector<std::vector<uint32_t>> inventories;
+  inventories.reserve(num_servers_);
+  for (auto& inv : st.inventories) {
+    if (!inv.has_value()) {
+      return;  // still waiting
+    }
+    inventories.push_back(*inv);
+  }
+  auto trimmed = DissentServer::TrimInventories(inventories);
+  std::vector<uint32_t> composite;
+  for (const auto& share : trimmed) {
+    composite.insert(composite.end(), share.begin(), share.end());
+  }
+  std::sort(composite.begin(), composite.end());
+  st.participation = composite.size();
+  logic_->BuildServerCiphertext(round, composite, trimmed[index_]);
+  Bytes commit = logic_->CommitHash(round);
+  Broadcast(wire::Commit{round, static_cast<uint32_t>(index_), commit}, a);
+  st.commits[index_] = std::move(commit);
+  st.sent_commit = true;
+  MaybeShareCiphertext(round, a);
+}
+
+void ServerEngine::MaybeShareCiphertext(uint64_t round, Actions& a) {
+  RoundState& st = rounds_[round];
+  if (!st.sent_commit || st.sent_ct || !AllPresent(st.commits)) {
+    return;
+  }
+  // Commitment phase done: share the ciphertext (Algorithm 2 step 4).
+  Bytes ct = logic_->server_ciphertext(round);
+  Broadcast(wire::ServerCiphertext{round, static_cast<uint32_t>(index_), ct}, a);
+  st.server_cts[index_] = std::move(ct);
+  st.sent_ct = true;
+  MaybeCertify(round, a);
+}
+
+void ServerEngine::MaybeCertify(uint64_t round, Actions& a) {
+  RoundState& st = rounds_[round];
+  if (!st.sent_ct || st.sent_sig || !AllPresent(st.server_cts)) {
+    return;
+  }
+  std::vector<Bytes> cts, commits;
+  cts.reserve(num_servers_);
+  commits.reserve(num_servers_);
+  for (size_t o = 0; o < num_servers_; ++o) {
+    cts.push_back(*st.server_cts[o]);
+    commits.push_back(*st.commits[o]);
+  }
+  auto cleartext = logic_->CombineAndVerify(round, cts, commits);
+  if (!cleartext.has_value()) {
+    // Equivocation: the round (and session) halts here with the culprit
+    // identified; recovery is a group re-form, outside the engine.
+    halted_ = true;
+    RoundDone done;
+    done.round = round;
+    done.completed = false;
+    done.equivocating_server = logic_->detected_equivocator();
+    done.started_at_us = st.started_us;
+    a.done.push_back(std::move(done));
+    return;
+  }
+  st.cleartext = std::move(*cleartext);
+  SchnorrSignature sig = logic_->SignRoundOutput(round, st.cleartext);
+  Bytes sig_bytes = sig.Serialize(*def_.group);
+  Broadcast(wire::SignatureShare{round, static_cast<uint32_t>(index_), sig_bytes}, a);
+  st.sigs[index_] = std::move(sig_bytes);
+  st.sent_sig = true;
+}
+
+void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
+  // Rounds may certify out of order when gossip for round r+1 outpaces a
+  // straggling signature for round r, but outputs are distributed strictly
+  // in round order so clients advance their schedules consistently.
+  while (!halted_) {
+    auto it = rounds_.find(next_round_to_finish_);
+    if (it == rounds_.end() || !it->second.sent_sig || !AllPresent(it->second.sigs)) {
+      return;
+    }
+    const uint64_t round = it->first;
+    RoundState& st = it->second;
+    wire::Output out;
+    out.round = round;
+    out.cleartext = st.cleartext;
+    out.signatures.reserve(num_servers_);
+    for (auto& sig : st.sigs) {
+      out.signatures.push_back(*sig);
+    }
+    auto shared_out = std::make_shared<const WireMessage>(std::move(out));
+    for (uint32_t c : config_.attached_clients) {
+      a.out.push_back({ClientPeer(c), shared_out});
+    }
+    auto fin = logic_->FinishRound(round, st.cleartext);
+    RoundDone done;
+    done.round = round;
+    done.completed = true;
+    done.cleartext = std::move(st.cleartext);
+    done.participation = st.participation;
+    done.accusation_requested = fin.accusation_requested;
+    done.started_at_us = st.started_us;
+    done.below_alpha =
+        last_participation_ > 0 &&
+        static_cast<double>(st.participation) <
+            def_.policy.alpha * static_cast<double>(last_participation_);
+    last_participation_ = st.participation;
+    a.done.push_back(std::move(done));
+    rounds_.erase(it);
+    ++next_round_to_finish_;
+    ++rounds_completed_;
+    StartRound(next_round_to_start_, now_us, a);
+  }
+}
+
+bool ServerEngine::AllPresent(const std::vector<std::optional<Bytes>>& v) const {
+  for (const auto& e : v) {
+    if (!e.has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ClientEngine
+// ---------------------------------------------------------------------------
+
+ClientEngine::ClientEngine(DissentClient* logic, const GroupDef& def, Config config)
+    : logic_(logic), def_(def), config_(config) {
+  assert(config_.pipeline_depth == logic_->pipeline_depth());
+}
+
+ClientEngine::Actions ClientEngine::StartSession() {
+  Actions a;
+  for (uint64_t r = 1; r <= config_.pipeline_depth; ++r) {
+    Submit(r, a);
+  }
+  return a;
+}
+
+void ClientEngine::Submit(uint64_t round, Actions& a) {
+  wire::ClientSubmit msg;
+  msg.round = round;
+  msg.client_id = static_cast<uint32_t>(logic_->index());
+  msg.ciphertext = logic_->BuildCiphertext(round);
+  a.out.push_back({ServerPeer(config_.upstream_server),
+                   std::make_shared<const WireMessage>(std::move(msg))});
+}
+
+ClientEngine::Actions ClientEngine::SubmitRound(uint64_t round) {
+  Actions a;
+  Submit(round, a);
+  return a;
+}
+
+ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMessage& msg) {
+  Actions a;
+  const auto* output = std::get_if<wire::Output>(&msg);
+  if (output == nullptr || from.kind != Peer::Kind::kServer) {
+    return a;
+  }
+  if (output->round <= last_output_round_) {
+    // Replay of an old (even validly certified) output would rebase the
+    // slot-schedule window backwards and desynchronize us for good; forward
+    // gaps are fine (reconnect catch-up), going back never is.
+    return a;
+  }
+  if (output->signatures.size() != def_.num_servers()) {
+    return a;
+  }
+  std::vector<SchnorrSignature> sigs;
+  sigs.reserve(output->signatures.size());
+  for (const Bytes& sig_bytes : output->signatures) {
+    auto sig = SchnorrSignature::Deserialize(*def_.group, sig_bytes);
+    if (!sig.has_value()) {
+      return a;
+    }
+    sigs.push_back(*sig);
+  }
+  auto result = logic_->ProcessOutput(output->round, output->cleartext, sigs);
+  if (result.signatures_ok) {
+    last_output_round_ = output->round;
+  }
+  Delivery d;
+  d.round = output->round;
+  d.signatures_ok = result.signatures_ok;
+  d.own_slot_disrupted = result.own_slot_disrupted;
+  d.messages = std::move(result.messages);
+  d.cleartext = output->cleartext;
+  a.delivered.push_back(std::move(d));
+  if (!result.signatures_ok) {
+    return a;  // forged output: ignore (the client would switch servers, §3.5)
+  }
+  if (config_.auto_submit) {
+    Submit(output->round + config_.pipeline_depth, a);
+  }
+  return a;
+}
+
+}  // namespace dissent

@@ -1,0 +1,215 @@
+// Sans-I/O protocol engines for the Dissent round protocol.
+//
+// ServerEngine and ClientEngine own the per-round step sequencing of
+// Algorithm 2 / Algorithm 1 — submission windows, the inventory -> commit ->
+// ciphertext -> signature gossip cascade, output distribution, and round
+// pipelining — as pure state machines with no clocks, sockets, or simulator
+// types inside. Every interaction is:
+//
+//     Actions a = engine.HandleMessage(from, msg, now_us);   // or HandleTimer
+//     for (auto& e : a.out)    transport.send(e.to, SerializeWire(e.msg));
+//     for (auto& t : a.timers) transport.schedule(t.delay_us, t.token);
+//
+// The drivers are thin transports over this API: Coordinator (coordinator.h)
+// delivers Envelopes in-process with zero latency, NetDissent
+// (net_protocol.h) maps them onto sim::Network sends and Simulator timers,
+// and a future real-socket (io_uring) transport slots in the same way. The
+// engines are the only place protocol order lives, so the drivers can never
+// disagree on it.
+//
+// Pipelining: a ServerEngine keeps a window of `pipeline_depth` concurrent
+// in-flight rounds, with all gathering state keyed by round number —
+// submissions for round r+1 are accepted and the r+1 gossip cascade runs
+// while round r is still combining or certifying. Rounds *finish* strictly
+// in order (outputs are distributed in round order). Depth 1 reproduces the
+// sequential protocol exactly.
+#ifndef DISSENT_CORE_ENGINE_H_
+#define DISSENT_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/server.h"
+#include "src/core/wire.h"
+
+namespace dissent {
+
+// Protocol-level address: transports map these to nodes/sockets.
+struct Peer {
+  enum class Kind : uint8_t { kServer, kClient };
+  Kind kind = Kind::kServer;
+  uint32_t index = 0;
+};
+inline Peer ServerPeer(uint32_t j) { return Peer{Peer::Kind::kServer, j}; }
+inline Peer ClientPeer(uint32_t i) { return Peer{Peer::Kind::kClient, i}; }
+
+// One outgoing message: the transport serializes and delivers it. The
+// payload is shared so a broadcast to M-1 peers carries one copy of (say) a
+// 128 KiB server ciphertext, and transports can serialize it once by caching
+// on pointer identity (broadcast envelopes are emitted consecutively).
+struct Envelope {
+  Peer to;
+  std::shared_ptr<const WireMessage> msg;
+};
+
+// Request to be called back via HandleTimer(token) after delay_us. Tokens
+// are engine-opaque; stale timers (for finished rounds) are ignored, so the
+// transport never needs to cancel anything.
+struct TimerRequest {
+  uint64_t token = 0;
+  int64_t delay_us = 0;
+};
+
+class ServerEngine {
+ public:
+  struct Config {
+    // Submission window (§5.1): once `window_fraction` of this server's
+    // attached clients have submitted, close at `window_multiplier` times
+    // the elapsed time; `hard_deadline_us` is the backstop.
+    double window_fraction = 0.95;
+    double window_multiplier = 1.1;
+    int64_t hard_deadline_us = 120 * 1000000ll;
+    // Concurrent in-flight rounds (must match the logic's pipeline_depth).
+    size_t pipeline_depth = 1;
+    // Clients attached to this server (they receive Output messages).
+    std::vector<uint32_t> attached_clients;
+  };
+
+  // A round that reached its terminal state this call.
+  struct RoundDone {
+    uint64_t round = 0;
+    bool completed = false;
+    Bytes cleartext;
+    size_t participation = 0;
+    bool below_alpha = false;           // §3.7 threshold would have stalled
+    bool accusation_requested = false;  // §3.9 shuffle-request field seen
+    std::optional<size_t> equivocating_server;
+    int64_t started_at_us = 0;          // when this round's window opened
+  };
+
+  struct Actions {
+    std::vector<Envelope> out;
+    std::vector<TimerRequest> timers;
+    std::vector<RoundDone> done;
+  };
+
+  // `logic` must outlive the engine; `def` is the shared group roster.
+  ServerEngine(DissentServer* logic, const GroupDef& def, Config config);
+
+  // Opens rounds 1..pipeline_depth. Call once, after the key shuffle.
+  Actions StartSession(int64_t now_us);
+  Actions HandleMessage(const Peer& from, const WireMessage& msg, int64_t now_us);
+  Actions HandleTimer(uint64_t token, int64_t now_us);
+
+  DissentServer& logic() { return *logic_; }
+  uint64_t rounds_completed() const { return rounds_completed_; }
+  size_t last_participation() const { return last_participation_; }
+  // Submissions accepted for a round while an earlier round was still in
+  // flight — nonzero iff pipelining actually overlapped rounds.
+  uint64_t pipelined_submissions() const { return pipelined_submissions_; }
+  size_t inflight_rounds() const { return rounds_.size(); }
+  bool halted() const { return halted_; }
+
+ private:
+  struct RoundState {
+    int64_t started_us = 0;
+    bool window_closed = false;
+    bool window_timer_armed = false;
+    std::vector<std::optional<std::vector<uint32_t>>> inventories;
+    std::vector<std::optional<Bytes>> commits;
+    std::vector<std::optional<Bytes>> server_cts;
+    std::vector<std::optional<Bytes>> sigs;  // serialized, parse-checked
+    bool sent_commit = false;
+    bool sent_ct = false;
+    bool sent_sig = false;
+    size_t participation = 0;
+    Bytes cleartext;
+  };
+
+  enum TimerKind : uint64_t { kWindowPolicy = 0, kHardDeadline = 1 };
+  static uint64_t Token(uint64_t round, TimerKind kind) { return (round << 1) | kind; }
+
+  void StartRound(uint64_t round, int64_t now_us, Actions& a);
+  void HandleServerPhase(uint32_t sender, const WireMessage& msg, int64_t now_us, Actions& a);
+  void Broadcast(WireMessage msg, Actions& a);
+  void MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& a);
+  void CloseWindow(uint64_t round, Actions& a);
+  void MaybeBuildCiphertext(uint64_t round, Actions& a);
+  void MaybeShareCiphertext(uint64_t round, Actions& a);
+  void MaybeCertify(uint64_t round, Actions& a);
+  void MaybeFinishRounds(int64_t now_us, Actions& a);
+  bool AllPresent(const std::vector<std::optional<Bytes>>& v) const;
+
+  DissentServer* logic_;
+  const GroupDef& def_;
+  Config config_;
+  size_t index_;
+  size_t num_servers_;
+
+  std::map<uint64_t, RoundState> rounds_;
+  // Server-phase messages for rounds we have not opened yet (a faster peer
+  // can be a full phase ahead); replayed on StartRound. Bounded.
+  std::map<uint64_t, std::vector<std::pair<uint32_t, WireMessage>>> early_;
+  uint64_t next_round_to_start_ = 1;
+  uint64_t next_round_to_finish_ = 1;
+  uint64_t rounds_completed_ = 0;
+  size_t last_participation_ = 0;
+  uint64_t pipelined_submissions_ = 0;
+  bool halted_ = false;
+};
+
+class ClientEngine {
+ public:
+  struct Config {
+    uint32_t upstream_server = 0;
+    size_t pipeline_depth = 1;  // must match the logic's pipeline_depth
+    // Event-driven transports leave this on: processing round r's output
+    // immediately builds and submits round r+depth. A synchronous transport
+    // (the in-process Coordinator) turns it off and paces submissions itself
+    // via SubmitRound, so application sends queued between rounds still make
+    // the next round.
+    bool auto_submit = true;
+  };
+
+  // One verified round output, decoded.
+  struct Delivery {
+    uint64_t round = 0;
+    bool signatures_ok = false;
+    bool own_slot_disrupted = false;
+    std::vector<std::pair<size_t, Bytes>> messages;
+    Bytes cleartext;
+  };
+
+  struct Actions {
+    std::vector<Envelope> out;
+    std::vector<Delivery> delivered;
+  };
+
+  ClientEngine(DissentClient* logic, const GroupDef& def, Config config);
+
+  // Submits ciphertexts for rounds 1..pipeline_depth. Call once, after the
+  // key shuffle assigned slots.
+  Actions StartSession();
+  Actions HandleMessage(const Peer& from, const WireMessage& msg);
+  // Build and submit a specific round's ciphertext (transport-driven
+  // resynchronization, e.g. after a reconnect catch-up).
+  Actions SubmitRound(uint64_t round);
+
+  DissentClient& logic() { return *logic_; }
+
+ private:
+  void Submit(uint64_t round, Actions& a);
+
+  DissentClient* logic_;
+  const GroupDef& def_;
+  Config config_;
+  uint64_t last_output_round_ = 0;  // replay guard: outputs move forward only
+};
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_ENGINE_H_

@@ -1,56 +1,21 @@
 #include "src/core/net_protocol.h"
 
+#include <algorithm>
 #include <cassert>
 
-#include "src/core/output_cert.h"
-#include "src/util/serialize.h"
+#include "src/core/wire.h"
 
 namespace dissent {
 
-namespace {
-
-enum class MsgType : uint8_t {
-  kClientSubmit = 1,
-  kInventory = 2,
-  kCommit = 3,
-  kServerCiphertext = 4,
-  kSignatureShare = 5,
-  kOutput = 6,
-};
-
-Bytes Frame(MsgType type, const Bytes& body) {
-  Writer w;
-  w.U8(static_cast<uint8_t>(type));
-  w.Blob(body);
-  return w.Take();
-}
-
-}  // namespace
-
 struct NetDissent::ServerNode {
   std::unique_ptr<DissentServer> logic;
+  std::unique_ptr<ServerEngine> engine;
   NodeId node = 0;
-  uint64_t round = 0;
-  SimTime round_start = 0;
-  bool window_closed = false;
-  bool window_timer_armed = false;
-  size_t expected_participation = 0;
-  // Gathered per round:
-  std::vector<std::optional<std::vector<uint32_t>>> inventories;
-  std::vector<std::optional<Bytes>> commits;
-  std::vector<std::optional<Bytes>> server_cts;
-  std::vector<std::optional<SchnorrSignature>> sigs;
-  std::vector<uint32_t> composite;
-  std::vector<std::vector<uint32_t>> trimmed;
-  Bytes cleartext;
-  bool sent_inventory = false;
-  bool sent_commit = false;
-  bool sent_ct = false;
-  bool sent_sig = false;
 };
 
 struct NetDissent::ClientNode {
   std::unique_ptr<DissentClient> logic;
+  std::unique_ptr<ClientEngine> engine;
   NodeId node = 0;
   size_t upstream = 0;  // server index
 };
@@ -65,20 +30,63 @@ NetDissent::NetDissent(GroupDef def, std::vector<BigInt> server_privs,
       options_(options),
       rng_(SecureRng::FromLabel(seed)),
       jitter_(seed ^ 0xabcdef) {
-  for (size_t j = 0; j < def_.num_servers(); ++j) {
-    auto node = std::make_unique<ServerNode>();
-    node->logic = std::make_unique<DissentServer>(def_, j, server_privs_[j], rng_.Fork());
-    node->node = net_.AddNode(
-        [this, j](NodeId from, const Bytes& payload) { OnServerMessage(j, from, payload); });
-    servers_.push_back(std::move(node));
-  }
+  const size_t depth = std::max<size_t>(options_.pipeline_depth, 1);
+  // Clients are constructed (and fork the session rng) before servers, in
+  // the same order as the in-process Coordinator, so identical seeds yield
+  // identical protocol bytes across the two transports.
   for (size_t i = 0; i < def_.num_clients(); ++i) {
     auto node = std::make_unique<ClientNode>();
-    node->logic = std::make_unique<DissentClient>(def_, i, client_privs[i], rng_.Fork());
-    node->node = net_.AddNode(
-        [this, i](NodeId from, const Bytes& payload) { OnClientMessage(i, from, payload); });
+    node->logic = std::make_unique<DissentClient>(def_, i, client_privs[i], rng_.Fork(), depth);
     node->upstream = i % def_.num_servers();
     clients_.push_back(std::move(node));
+  }
+  for (size_t j = 0; j < def_.num_servers(); ++j) {
+    auto node = std::make_unique<ServerNode>();
+    node->logic = std::make_unique<DissentServer>(def_, j, server_privs_[j], rng_.Fork(), depth);
+    servers_.push_back(std::move(node));
+  }
+  // Engines: thin typed state machines; this class is only their transport.
+  for (size_t j = 0; j < def_.num_servers(); ++j) {
+    ServerEngine::Config cfg;
+    cfg.window_fraction = options_.window_fraction;
+    cfg.window_multiplier = options_.window_multiplier;
+    cfg.hard_deadline_us = options_.hard_deadline;
+    cfg.pipeline_depth = depth;
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      if (clients_[i]->upstream == j) {
+        cfg.attached_clients.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    servers_[j]->engine =
+        std::make_unique<ServerEngine>(servers_[j]->logic.get(), def_, std::move(cfg));
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    ClientEngine::Config cfg;
+    cfg.upstream_server = static_cast<uint32_t>(clients_[i]->upstream);
+    cfg.pipeline_depth = depth;
+    clients_[i]->engine =
+        std::make_unique<ClientEngine>(clients_[i]->logic.get(), def_, cfg);
+  }
+  // Network nodes. Servers first so their node ids are stable regardless of
+  // client count; deliveries parse the typed wire message and feed the
+  // engine, then dispatch whatever it wants sent/scheduled.
+  for (size_t j = 0; j < def_.num_servers(); ++j) {
+    servers_[j]->node = net_.AddNode([this, j](NodeId from, const Bytes& payload) {
+      auto msg = ParseWire(payload);
+      if (!msg.has_value()) {
+        return;  // malformed: drop
+      }
+      DispatchServer(j, servers_[j]->engine->HandleMessage(PeerForNode(from), *msg, sim_->Now()));
+    });
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->node = net_.AddNode([this, i](NodeId from, const Bytes& payload) {
+      auto msg = ParseWire(payload);
+      if (!msg.has_value()) {
+        return;
+      }
+      DispatchClient(i, clients_[i]->engine->HandleMessage(PeerForNode(from), *msg));
+    });
   }
   // Topology: dedicated links; server mesh faster than client uplinks.
   for (auto& c : clients_) {
@@ -100,6 +108,14 @@ DissentClient& NetDissent::client(size_t i) { return *clients_[i]->logic; }
 
 void NetDissent::SetClientOnline(size_t i, bool online) {
   net_.SetOnline(clients_[i]->node, online);
+}
+
+// Servers occupy node ids [0, M); clients [M, M+N).
+Peer NetDissent::PeerForNode(NodeId node) const {
+  if (node < servers_.size()) {
+    return ServerPeer(static_cast<uint32_t>(node));
+  }
+  return ClientPeer(static_cast<uint32_t>(node - servers_.size()));
 }
 
 bool NetDissent::Start() {
@@ -125,349 +141,86 @@ bool NetDissent::Start() {
   }
   for (auto& s : servers_) {
     s->logic->BeginSlots(keys.size());
-    s->expected_participation = clients_.size();
   }
   for (size_t j = 0; j < servers_.size(); ++j) {
-    ServerStartRound(j, 1);
+    DispatchServer(j, servers_[j]->engine->StartSession(sim_->Now()));
   }
   for (size_t i = 0; i < clients_.size(); ++i) {
-    ClientSubmit(i, 1);
+    DispatchClient(i, clients_[i]->engine->StartSession());
   }
   return true;
 }
 
-void NetDissent::ClientSubmit(size_t i, uint64_t round) {
+void NetDissent::SendEnvelope(NodeId from_node, bool from_client, const Envelope& env,
+                              SerializeCache& cache) {
+  NodeId to = env.to.kind == Peer::Kind::kServer
+                  ? servers_[env.to.index]->node
+                  : clients_[env.to.index]->node;
+  // Broadcast envelopes share one payload object: serialize it once.
+  if (env.msg.get() != cache.msg) {
+    cache.msg = env.msg.get();
+    cache.payload = SerializeWire(*env.msg);
+  }
+  if (from_client && std::holds_alternative<wire::ClientSubmit>(*env.msg)) {
+    // Client think time before submitting each round (models app + OS).
+    SimTime jitter = static_cast<SimTime>(jitter_.Below(
+        static_cast<uint64_t>(std::max<SimTime>(options_.client_jitter_max, 1))));
+    sim_->Schedule(jitter, [this, from_node, to, payload = cache.payload] {
+      net_.Send(from_node, to, payload);
+    });
+    return;
+  }
+  net_.Send(from_node, to, cache.payload);
+}
+
+void NetDissent::DispatchServer(size_t j, ServerEngine::Actions actions) {
+  ServerNode& s = *servers_[j];
+  SerializeCache cache;
+  for (const Envelope& env : actions.out) {
+    SendEnvelope(s.node, /*from_client=*/false, env, cache);
+  }
+  for (const TimerRequest& t : actions.timers) {
+    sim_->Schedule(static_cast<SimTime>(t.delay_us), [this, j, token = t.token] {
+      DispatchServer(j, servers_[j]->engine->HandleTimer(token, sim_->Now()));
+    });
+  }
+  for (ServerEngine::RoundDone& done : actions.done) {
+    if (j != 0) {
+      continue;  // bookkeeping from server 0's perspective, as before
+    }
+    if (done.completed) {
+      ++rounds_completed_;
+      last_participation_ = done.participation;
+      last_round_duration_ = sim_->Now() - static_cast<SimTime>(done.started_at_us);
+      cleartexts_.push_back(std::move(done.cleartext));
+    }
+  }
+}
+
+void NetDissent::DispatchClient(size_t i, ClientEngine::Actions actions) {
   ClientNode& c = *clients_[i];
-  if (!net_.IsOnline(c.node)) {
-    return;
-  }
-  Bytes ct = c.logic->BuildCiphertext(round);
-  Writer w;
-  w.U64(round);
-  w.U32(static_cast<uint32_t>(i));
-  w.Blob(ct);
-  SimTime jitter = static_cast<SimTime>(jitter_.Below(
-      static_cast<uint64_t>(std::max<SimTime>(options_.client_jitter_max, 1))));
-  Bytes framed = Frame(MsgType::kClientSubmit, w.data());
-  sim_->Schedule(jitter, [this, i, framed] {
-    net_.Send(clients_[i]->node, servers_[clients_[i]->upstream]->node, framed);
-  });
-}
-
-void NetDissent::ServerStartRound(size_t j, uint64_t round) {
-  ServerNode& s = *servers_[j];
-  s.round = round;
-  s.round_start = sim_->Now();
-  s.window_closed = false;
-  s.window_timer_armed = false;
-  s.inventories.assign(servers_.size(), std::nullopt);
-  s.commits.assign(servers_.size(), std::nullopt);
-  s.server_cts.assign(servers_.size(), std::nullopt);
-  s.sigs.assign(servers_.size(), std::nullopt);
-  s.sent_inventory = s.sent_commit = s.sent_ct = s.sent_sig = false;
-  s.logic->StartRound(round);
-  // Hard deadline backstop.
-  sim_->Schedule(options_.hard_deadline, [this, j, round] {
-    ServerNode& sn = *servers_[j];
-    if (sn.round == round && !sn.window_closed) {
-      CloseWindow(j);
-    }
-  });
-}
-
-void NetDissent::MaybeCloseWindow(size_t j) {
-  ServerNode& s = *servers_[j];
-  if (s.window_closed || s.window_timer_armed) {
-    return;
-  }
-  // Close once `fraction` of this server's expected share answered, after
-  // multiplier * elapsed (§5.1), where the share is its attached clients.
-  size_t share = 0;
-  for (auto& c : clients_) {
-    share += c->upstream == j ? 1 : 0;
-  }
-  size_t threshold = static_cast<size_t>(options_.window_fraction * static_cast<double>(share));
-  if (s.logic->SubmissionCount() < std::max<size_t>(threshold, 1)) {
-    return;
-  }
-  SimTime elapsed = sim_->Now() - s.round_start;
-  SimTime close_at =
-      static_cast<SimTime>(static_cast<double>(elapsed) * options_.window_multiplier);
-  SimTime delay = close_at > elapsed ? close_at - elapsed : 0;
-  s.window_timer_armed = true;
-  uint64_t round = s.round;
-  sim_->Schedule(delay, [this, j, round] {
-    ServerNode& sn = *servers_[j];
-    if (sn.round == round && !sn.window_closed) {
-      CloseWindow(j);
-    }
-  });
-}
-
-void NetDissent::CloseWindow(size_t j) {
-  ServerNode& s = *servers_[j];
-  s.window_closed = true;
-  std::vector<uint32_t> inv = s.logic->Inventory();
-  Writer w;
-  w.U64(s.round);
-  w.U32(static_cast<uint32_t>(j));
-  w.U32(static_cast<uint32_t>(inv.size()));
-  for (uint32_t id : inv) {
-    w.U32(id);
-  }
-  Bytes framed = Frame(MsgType::kInventory, w.data());
-  for (auto& other : servers_) {
-    if (other->node != s.node) {
-      net_.Send(s.node, other->node, framed);
-    }
-  }
-  s.inventories[j] = std::move(inv);
-  MaybeBuildCiphertext(j);
-}
-
-void NetDissent::MaybeBuildCiphertext(size_t j) {
-  ServerNode& s = *servers_[j];
-  if (s.sent_commit || !s.window_closed) {
-    return;
-  }
-  std::vector<std::vector<uint32_t>> inventories;
-  for (auto& inv : s.inventories) {
-    if (!inv.has_value()) {
-      return;  // still waiting
-    }
-    inventories.push_back(*inv);
-  }
-  s.trimmed = DissentServer::TrimInventories(inventories);
-  s.composite.clear();
-  for (const auto& share : s.trimmed) {
-    s.composite.insert(s.composite.end(), share.begin(), share.end());
-  }
-  std::sort(s.composite.begin(), s.composite.end());
-  s.logic->BuildServerCiphertext(s.composite, s.trimmed[j]);
-  Writer w;
-  w.U64(s.round);
-  w.U32(static_cast<uint32_t>(j));
-  w.Blob(s.logic->CommitHash());
-  Bytes framed = Frame(MsgType::kCommit, w.data());
-  for (auto& other : servers_) {
-    if (other->node != s.node) {
-      net_.Send(s.node, other->node, framed);
-    }
-  }
-  s.commits[j] = s.logic->CommitHash();
-  s.sent_commit = true;
-  MaybeCombine(j);
-}
-
-void NetDissent::MaybeCombine(size_t j) {
-  ServerNode& s = *servers_[j];
-  if (!s.sent_commit) {
-    return;
-  }
-  // Commitment phase done? Then share the ciphertext (Algorithm 2 step 4).
-  if (!s.sent_ct) {
-    for (auto& c : s.commits) {
-      if (!c.has_value()) {
-        return;
-      }
-    }
-    Writer w;
-    w.U64(s.round);
-    w.U32(static_cast<uint32_t>(j));
-    w.Blob(s.logic->server_ciphertext());
-    Bytes framed = Frame(MsgType::kServerCiphertext, w.data());
-    for (auto& other : servers_) {
-      if (other->node != s.node) {
-        net_.Send(s.node, other->node, framed);
-      }
-    }
-    s.server_cts[j] = s.logic->server_ciphertext();
-    s.sent_ct = true;
-  }
-  MaybeCertify(j);
-}
-
-void NetDissent::MaybeCertify(size_t j) {
-  ServerNode& s = *servers_[j];
-  if (!s.sent_ct || s.sent_sig) {
-    return;
-  }
-  std::vector<Bytes> cts, commits;
-  for (size_t o = 0; o < servers_.size(); ++o) {
-    if (!s.server_cts[o].has_value()) {
-      return;
-    }
-    cts.push_back(*s.server_cts[o]);
-    commits.push_back(*s.commits[o]);
-  }
-  auto cleartext = s.logic->CombineAndVerify(cts, commits);
-  if (!cleartext.has_value()) {
-    return;  // equivocation: the round halts here (detected culprit recorded)
-  }
-  s.cleartext = *cleartext;
-  SchnorrSignature sig = s.logic->SignRoundOutput(s.round, s.cleartext);
-  Writer w;
-  w.U64(s.round);
-  w.U32(static_cast<uint32_t>(j));
-  w.Blob(sig.Serialize(*def_.group));
-  Bytes framed = Frame(MsgType::kSignatureShare, w.data());
-  for (auto& other : servers_) {
-    if (other->node != s.node) {
-      net_.Send(s.node, other->node, framed);
-    }
-  }
-  s.sigs[j] = sig;
-  s.sent_sig = true;
-}
-
-void NetDissent::OnServerMessage(size_t j, NodeId from, const Bytes& payload) {
-  ServerNode& s = *servers_[j];
-  Reader outer(payload);
-  uint8_t type_raw;
-  Bytes body;
-  if (!outer.U8(&type_raw) || !outer.Blob(&body) || !outer.AtEnd()) {
-    return;
-  }
-  Reader r(body);
-  switch (static_cast<MsgType>(type_raw)) {
-    case MsgType::kClientSubmit: {
-      uint64_t round;
-      uint32_t client_id;
-      Bytes ct;
-      if (!r.U64(&round) || !r.U32(&client_id) || !r.Blob(&ct)) {
-        return;
-      }
-      if (s.logic->AcceptClientCiphertext(round, client_id, std::move(ct))) {
-        MaybeCloseWindow(j);
-      }
-      return;
-    }
-    case MsgType::kInventory: {
-      uint64_t round;
-      uint32_t sender, count;
-      if (!r.U64(&round) || !r.U32(&sender) || !r.U32(&count) || round != s.round ||
-          sender >= servers_.size()) {
-        return;
-      }
-      std::vector<uint32_t> inv(count);
-      for (auto& id : inv) {
-        if (!r.U32(&id)) {
-          return;
-        }
-      }
-      s.inventories[sender] = std::move(inv);
-      MaybeBuildCiphertext(j);
-      return;
-    }
-    case MsgType::kCommit: {
-      uint64_t round;
-      uint32_t sender;
-      Bytes commit;
-      if (!r.U64(&round) || !r.U32(&sender) || !r.Blob(&commit) || round != s.round ||
-          sender >= servers_.size()) {
-        return;
-      }
-      s.commits[sender] = std::move(commit);
-      MaybeCombine(j);
-      return;
-    }
-    case MsgType::kServerCiphertext: {
-      uint64_t round;
-      uint32_t sender;
-      Bytes ct;
-      if (!r.U64(&round) || !r.U32(&sender) || !r.Blob(&ct) || round != s.round ||
-          sender >= servers_.size()) {
-        return;
-      }
-      s.server_cts[sender] = std::move(ct);
-      MaybeCertify(j);
-      return;
-    }
-    case MsgType::kSignatureShare: {
-      uint64_t round;
-      uint32_t sender;
-      Bytes sig_bytes;
-      if (!r.U64(&round) || !r.U32(&sender) || !r.Blob(&sig_bytes) || round != s.round ||
-          sender >= servers_.size()) {
-        return;
-      }
-      auto sig = SchnorrSignature::Deserialize(*def_.group, sig_bytes);
-      if (!sig.has_value()) {
-        return;
-      }
-      s.sigs[sender] = *sig;
-      // All signatures? Output and advance.
-      for (auto& sg : s.sigs) {
-        if (!sg.has_value()) {
-          return;
-        }
-      }
-      Writer w;
-      w.U64(s.round);
-      w.Blob(s.cleartext);
-      w.U32(static_cast<uint32_t>(servers_.size()));
-      for (auto& sg : s.sigs) {
-        w.Blob(sg->Serialize(*def_.group));
-      }
-      Bytes framed = Frame(MsgType::kOutput, w.data());
-      for (auto& c : clients_) {
-        if (c->upstream == j) {
-          net_.Send(s.node, c->node, framed);
-        }
-      }
-      auto fin = s.logic->FinishRound(s.round, s.cleartext);
-      if (j == 0) {
-        ++rounds_completed_;
-        last_participation_ = fin.participation;
-        last_round_duration_ = sim_->Now() - s.round_start;
-      }
-      ServerStartRound(j, s.round + 1);
-      return;
-    }
-    default:
-      return;
-  }
-}
-
-void NetDissent::OnClientMessage(size_t i, NodeId from, const Bytes& payload) {
-  ClientNode& c = *clients_[i];
-  Reader outer(payload);
-  uint8_t type_raw;
-  Bytes body;
-  if (!outer.U8(&type_raw) || !outer.Blob(&body) || !outer.AtEnd() ||
-      static_cast<MsgType>(type_raw) != MsgType::kOutput) {
-    return;
-  }
-  Reader r(body);
-  uint64_t round;
-  Bytes cleartext;
-  uint32_t sig_count;
-  if (!r.U64(&round) || !r.Blob(&cleartext) || !r.U32(&sig_count) ||
-      sig_count != def_.num_servers()) {
-    return;
-  }
-  std::vector<SchnorrSignature> sigs;
-  for (uint32_t k = 0; k < sig_count; ++k) {
-    Bytes sig_bytes;
-    if (!r.Blob(&sig_bytes)) {
-      return;
-    }
-    auto sig = SchnorrSignature::Deserialize(*def_.group, sig_bytes);
-    if (!sig.has_value()) {
-      return;
-    }
-    sigs.push_back(*sig);
-  }
-  auto result = c.logic->ProcessOutput(round, cleartext, sigs);
-  if (!result.signatures_ok) {
-    return;  // forged output: ignore (the client would switch servers, §3.5)
+  SerializeCache cache;
+  for (const Envelope& env : actions.out) {
+    SendEnvelope(c.node, /*from_client=*/true, env, cache);
   }
   if (i == 0) {
-    for (auto& m : result.messages) {
-      delivered_.push_back(m);
+    for (ClientEngine::Delivery& d : actions.delivered) {
+      if (!d.signatures_ok) {
+        continue;
+      }
+      for (auto& m : d.messages) {
+        delivered_.push_back(std::move(m));
+      }
     }
   }
-  ClientSubmit(i, round + 1);
+}
+
+uint64_t NetDissent::pipelined_submissions() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->engine->pipelined_submissions();
+  }
+  return total;
 }
 
 }  // namespace dissent

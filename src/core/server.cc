@@ -11,46 +11,112 @@
 
 namespace dissent {
 
+namespace {
+
+// Pairwise tree fold of equal-length buffers via word-wise XOR. XOR is
+// associative/commutative, so this is bit-identical to the sequential fold
+// while keeping each level's operands hot in cache.
+Bytes TreeXor(const std::vector<Bytes>& parts) {
+  assert(!parts.empty());
+  if (parts.size() == 1) {
+    return parts[0];
+  }
+  // Level 0 materializes ceil(n/2) pair sums; later levels fold in place.
+  std::vector<Bytes> acc;
+  acc.reserve((parts.size() + 1) / 2);
+  for (size_t i = 0; i + 1 < parts.size(); i += 2) {
+    Bytes pair = parts[i];
+    XorWords(pair.data(), parts[i + 1].data(), pair.size());
+    acc.push_back(std::move(pair));
+  }
+  if (parts.size() % 2 != 0) {
+    acc.push_back(parts.back());
+  }
+  while (acc.size() > 1) {
+    size_t half = acc.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      XorWords(acc[i].data(), acc[acc.size() - 1 - i].data(), acc[i].size());
+    }
+    acc.resize(acc.size() - half);
+  }
+  return std::move(acc[0]);
+}
+
+}  // namespace
+
 DissentServer::DissentServer(const GroupDef& def, size_t server_index,
-                             const BigInt& long_term_priv, SecureRng rng)
+                             const BigInt& long_term_priv, SecureRng rng, size_t pipeline_depth)
     : def_(def),
       index_(server_index),
       priv_(long_term_priv),
       rng_(std::move(rng)),
-      schedule_(def.num_clients(), def.policy.default_slot_length) {
+      pipeline_depth_(std::max<size_t>(pipeline_depth, 1)) {
   client_keys_.reserve(def_.num_clients());
   for (const BigInt& client_pub : def_.client_pubs) {
     client_keys_.push_back(DeriveSharedKey(*def_.group, priv_, client_pub, "dissent.dcnet"));
   }
   pad_expander_ = PadExpander(client_keys_);
+  ResetScheduleWindow(SlotSchedule(def.num_clients(), def.policy.default_slot_length));
+}
+
+void DissentServer::ResetScheduleWindow(SlotSchedule initial) {
+  scheds_.clear();
+  for (size_t k = 0; k < pipeline_depth_; ++k) {
+    scheds_.push_back(initial);
+  }
+  sched_base_round_ = 1;
 }
 
 void DissentServer::BeginSlots(size_t num_slots) {
-  schedule_ = SlotSchedule(num_slots, def_.policy.default_slot_length);
+  ResetScheduleWindow(SlotSchedule(num_slots, def_.policy.default_slot_length));
+}
+
+const SlotSchedule& DissentServer::ScheduleFor(uint64_t round) const {
+  if (round <= sched_base_round_) {
+    return scheds_.front();
+  }
+  size_t offset = static_cast<size_t>(round - sched_base_round_);
+  return offset < scheds_.size() ? scheds_[offset] : scheds_.back();
 }
 
 void DissentServer::StartRound(uint64_t round) {
-  current_round_ = round;
-  received_.clear();
-  server_ct_.clear();
+  rounds_[round];  // default-construct per-round state
+  newest_round_ = std::max(newest_round_, round);
   equivocator_.reset();
+  // Keep at most pipeline_depth rounds in flight.
+  while (!rounds_.empty() && rounds_.begin()->first + pipeline_depth_ <= newest_round_) {
+    rounds_.erase(rounds_.begin());
+  }
 }
 
 bool DissentServer::AcceptClientCiphertext(uint64_t round, size_t client_index,
                                            Bytes ciphertext) {
-  if (round != current_round_ || client_index >= def_.num_clients()) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end() || client_index >= def_.num_clients()) {
     return false;
   }
-  if (ciphertext.size() != schedule_.TotalLength()) {
+  if (ciphertext.size() != ScheduleFor(round).TotalLength()) {
     return false;
   }
-  return received_.emplace(static_cast<uint32_t>(client_index), std::move(ciphertext)).second;
+  return it->second.received.emplace(static_cast<uint32_t>(client_index), std::move(ciphertext))
+      .second;
 }
 
-std::vector<uint32_t> DissentServer::Inventory() const {
+size_t DissentServer::SubmissionCount(uint64_t round) const {
+  auto it = rounds_.find(round);
+  return it == rounds_.end() ? 0 : it->second.received.size();
+}
+
+size_t DissentServer::SubmissionCount() const { return SubmissionCount(newest_round_); }
+
+std::vector<uint32_t> DissentServer::Inventory(uint64_t round) const {
   std::vector<uint32_t> out;
-  out.reserve(received_.size());
-  for (const auto& [i, ct] : received_) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) {
+    return out;
+  }
+  out.reserve(it->second.received.size());
+  for (const auto& [i, ct] : it->second.received) {
     out.push_back(i);
   }
   return out;  // std::map iteration is already sorted
@@ -71,9 +137,11 @@ std::vector<std::vector<uint32_t>> DissentServer::TrimInventories(
   return trimmed;
 }
 
-const Bytes& DissentServer::BuildServerCiphertext(const std::vector<uint32_t>& composite_list,
+const Bytes& DissentServer::BuildServerCiphertext(uint64_t round,
+                                                  const std::vector<uint32_t>& composite_list,
                                                   const std::vector<uint32_t>& own_share) {
-  server_ct_.assign(schedule_.TotalLength(), 0);
+  RoundState& st = rounds_.at(round);
+  st.server_ct.assign(ScheduleFor(round).TotalLength(), 0);
   // XOR the pads shared with every participating client (even those whose
   // ciphertexts went to other servers) straight into the accumulator via the
   // precomputed key schedules. Large client sets fan out across hardware
@@ -84,41 +152,47 @@ const Bytes& DissentServer::BuildServerCiphertext(const std::vector<uint32_t>& c
   if (composite_list.size() >= kParallelThreshold) {
     threads = std::max<size_t>(std::min<size_t>(std::thread::hardware_concurrency(), 8), 1);
   }
-  pad_expander_.XorPads(composite_list, current_round_, server_ct_, threads);
+  pad_expander_.XorPads(composite_list, round, st.server_ct, threads);
   // XOR in the client ciphertexts this server owns after trimming.
   for (uint32_t i : own_share) {
-    auto it = received_.find(i);
-    assert(it != received_.end());
-    XorInto(server_ct_, it->second);
+    auto it = st.received.find(i);
+    assert(it != st.received.end());
+    XorInto(st.server_ct, it->second);
   }
   // Retain evidence for accusation tracing.
   RoundEvidence ev;
   ev.composite_list = composite_list;
   ev.own_share = own_share;
-  ev.received_cts = received_;
-  ev.server_ct = server_ct_;
-  evidence_[current_round_] = std::move(ev);
+  ev.received_cts = st.received;
+  ev.server_ct = st.server_ct;
+  evidence_[round] = std::move(ev);
   while (evidence_.size() > kEvidenceRounds) {
     evidence_.erase(evidence_.begin());
   }
-  return server_ct_;
+  return st.server_ct;
 }
 
-Bytes DissentServer::CommitHash() const { return Sha256::Hash(server_ct_); }
+Bytes DissentServer::CommitHash(uint64_t round) const {
+  return Sha256::Hash(rounds_.at(round).server_ct);
+}
 
-std::optional<Bytes> DissentServer::CombineAndVerify(const std::vector<Bytes>& server_cts,
+const Bytes& DissentServer::server_ciphertext(uint64_t round) const {
+  return rounds_.at(round).server_ct;
+}
+
+std::optional<Bytes> DissentServer::CombineAndVerify(uint64_t round,
+                                                     const std::vector<Bytes>& server_cts,
                                                      const std::vector<Bytes>& commits) {
   assert(server_cts.size() == def_.num_servers() && commits.size() == def_.num_servers());
-  Bytes cleartext(schedule_.TotalLength(), 0);
+  const size_t len = ScheduleFor(round).TotalLength();
+  // One verification pass over all commitments before any combining work.
   for (size_t j = 0; j < server_cts.size(); ++j) {
-    if (server_cts[j].size() != cleartext.size() ||
-        Sha256::Hash(server_cts[j]) != commits[j]) {
+    if (server_cts[j].size() != len || Sha256::Hash(server_cts[j]) != commits[j]) {
       equivocator_ = j;
       return std::nullopt;
     }
-    XorInto(cleartext, server_cts[j]);
   }
-  return cleartext;
+  return TreeXor(server_cts);
 }
 
 SchnorrSignature DissentServer::SignRoundOutput(uint64_t round, const Bytes& cleartext) {
@@ -129,17 +203,26 @@ DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Byte
   RoundFinish result;
   auto it = evidence_.find(round);
   result.participation = it != evidence_.end() ? it->second.composite_list.size() : 0;
-  // Scan open slots for nonzero shuffle-request fields (§3.9).
-  for (size_t s = 0; s < schedule_.num_slots(); ++s) {
-    if (!schedule_.is_open(s)) {
+  // Scan open slots for nonzero shuffle-request fields (§3.9), against the
+  // layout this round was built with.
+  const SlotSchedule& layout = ScheduleFor(round);
+  for (size_t s = 0; s < layout.num_slots(); ++s) {
+    if (!layout.is_open(s)) {
       continue;
     }
-    auto payload = DecodeSlot(schedule_.ExtractSlot(cleartext, s));
+    auto payload = DecodeSlot(layout.ExtractSlot(cleartext, s));
     if (payload.has_value() && payload->shuffle_request != 0) {
       result.accusation_requested = true;
     }
   }
-  schedule_.Advance(cleartext);
+  // Lagged schedule advance: this output determines the layout of round
+  // round + pipeline_depth. Rebase the window even if rounds were skipped.
+  SlotSchedule next = scheds_.back();
+  next.Advance(cleartext);
+  scheds_.push_back(std::move(next));
+  scheds_.pop_front();
+  sched_base_round_ = round + 1;
+  rounds_.erase(round);
   return result;
 }
 

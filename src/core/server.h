@@ -1,16 +1,26 @@
 // Dissent server (Algorithm 2).
 //
-// Pure protocol logic, no I/O. One instance per server j. Per round:
-//   1. Submission: AcceptClientCiphertext collects ciphertexts until the
-//      window-policy deadline (owned by the caller/driver).
-//   2. Inventory: Inventory() lists the clients heard from directly.
+// Pure protocol logic, no I/O and no clocks. One instance per server j. The
+// caller (a ServerEngine, see engine.h) drives it per round:
+//   1. Submission: StartRound opens per-round state; AcceptClientCiphertext
+//      collects ciphertexts until the window-policy deadline (owned by the
+//      engine/driver).
+//   2. Inventory: Inventory(round) lists the clients heard from directly.
 //   3. Commitment: after the composite client list l is fixed (union of
 //      trimmed inventories), BuildServerCiphertext XORs the per-client pads
 //      for every i in l with the ciphertexts this server received for its
 //      own trimmed share l'_j; CommitHash publishes HASH(s_j).
-//   4/5. Combining + certification: CombineAndVerify XORs all server
-//      ciphertexts, checking each against its commitment (equivocation is
-//      detected here), then the caller collects signatures (output_cert.h).
+//   4/5. Combining + certification: CombineAndVerify checks every server
+//      commitment in one pass (equivocation is detected here) and tree-XORs
+//      the ciphertexts, then the caller collects signatures (output_cert.h).
+//
+// Rounds are keyed by round number: up to `pipeline_depth` rounds may be in
+// flight concurrently (submissions for round r+1 accepted while round r is
+// still combining). The slot schedule advances with a lag of
+// `pipeline_depth` rounds — the layout of round r is determined by the
+// outputs of rounds 1..r-depth — which is what lets a client build the
+// ciphertext for round r+depth as soon as it has processed round r's output.
+// Depth 1 reproduces the strictly sequential protocol exactly.
 //
 // Because clients share secrets only with servers, a client that vanishes
 // mid-round simply drops out of l — the server-side pipeline never needs to
@@ -21,6 +31,7 @@
 #ifndef DISSENT_CORE_SERVER_H_
 #define DISSENT_CORE_SERVER_H_
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <vector>
@@ -37,47 +48,61 @@ class DissentServer {
   static constexpr size_t kEvidenceRounds = 16;
 
   DissentServer(const GroupDef& def, size_t server_index, const BigInt& long_term_priv,
-                SecureRng rng);
+                SecureRng rng, size_t pipeline_depth = 1);
 
   void BeginSlots(size_t num_slots);  // after the key shuffle
   size_t index() const { return index_; }
-  const SlotSchedule& schedule() const { return schedule_; }
-  size_t ExpectedCiphertextLength() const { return schedule_.TotalLength(); }
+  size_t pipeline_depth() const { return pipeline_depth_; }
+
+  // Newest known schedule (the layout of the most advanced in-flight round).
+  const SlotSchedule& schedule() const { return scheds_.back(); }
+  // Schedule for a specific round; rounds outside the in-flight window clamp
+  // to the nearest retained layout.
+  const SlotSchedule& ScheduleFor(uint64_t round) const;
+  size_t ExpectedCiphertextLength() const { return schedule().TotalLength(); }
+  size_t ExpectedCiphertextLength(uint64_t round) const {
+    return ScheduleFor(round).TotalLength();
+  }
 
   // --- step 1: submission ---
+  // Opens per-round state; up to pipeline_depth rounds may be open at once
+  // (starting round r drops any state for rounds <= r - depth).
   void StartRound(uint64_t round);
-  // Returns false for duplicate/malformed submissions.
+  // Returns false for duplicate/malformed submissions or inactive rounds.
   bool AcceptClientCiphertext(uint64_t round, size_t client_index, Bytes ciphertext);
-  size_t SubmissionCount() const { return received_.size(); }
+  size_t SubmissionCount(uint64_t round) const;
+  size_t SubmissionCount() const;  // newest started round
 
   // --- step 2: inventory ---
-  std::vector<uint32_t> Inventory() const;
+  std::vector<uint32_t> Inventory(uint64_t round) const;
 
   // Deterministic trim (§ Algorithm 2 step 3): a client submitting to
   // several servers is kept only by the lowest-indexed one. Static so the
-  // driver and tests share the exact rule.
+  // engine and tests share the exact rule.
   static std::vector<std::vector<uint32_t>> TrimInventories(
       const std::vector<std::vector<uint32_t>>& inventories);
 
   // --- step 3: commitment ---
   // l = composite list; own_share = l'_j for this server.
-  const Bytes& BuildServerCiphertext(const std::vector<uint32_t>& composite_list,
+  const Bytes& BuildServerCiphertext(uint64_t round, const std::vector<uint32_t>& composite_list,
                                      const std::vector<uint32_t>& own_share);
-  Bytes CommitHash() const;
-  const Bytes& server_ciphertext() const { return server_ct_; }
+  Bytes CommitHash(uint64_t round) const;
+  const Bytes& server_ciphertext(uint64_t round) const;
 
   // --- steps 4-5: combining + certification ---
-  // Verifies every server ciphertext against its commitment and XORs them.
-  // Returns nullopt (and records the cheater) on a commitment mismatch.
-  std::optional<Bytes> CombineAndVerify(const std::vector<Bytes>& server_cts,
+  // Verifies every server ciphertext against its commitment in one pass,
+  // then tree-XORs them (word-wise, pairwise fold). Returns nullopt (and
+  // records the cheater) on a commitment mismatch.
+  std::optional<Bytes> CombineAndVerify(uint64_t round, const std::vector<Bytes>& server_cts,
                                         const std::vector<Bytes>& commits);
   std::optional<size_t> detected_equivocator() const { return equivocator_; }
 
   SchnorrSignature SignRoundOutput(uint64_t round, const Bytes& cleartext);
 
   // --- step 6 aftermath ---
-  // Advance the shared slot schedule; also scans shuffle-request fields so
-  // the server fleet knows an accusation shuffle is being requested (§3.9).
+  // Advances the (lagged) shared slot schedule and drops round state; also
+  // scans shuffle-request fields so the server fleet knows an accusation
+  // shuffle is being requested (§3.9). Must be called in round order.
   struct RoundFinish {
     bool accusation_requested = false;
     size_t participation = 0;
@@ -98,19 +123,32 @@ class DissentServer {
   const Bytes& SharedKeyWith(size_t client_index) const { return client_keys_[client_index]; }
 
  private:
+  struct RoundState {
+    std::map<uint32_t, Bytes> received;
+    Bytes server_ct;
+  };
+
+  void ResetScheduleWindow(SlotSchedule initial);
+
   const GroupDef& def_;
   size_t index_;
   BigInt priv_;
   SecureRng rng_;
+  size_t pipeline_depth_;
   std::vector<Bytes> client_keys_;  // K_ij per client i
   // Precomputed key schedules for all N client secrets; the per-round hot
-  // path expands pads straight into server_ct_ with no per-client buffers.
+  // path expands pads straight into the accumulator with no per-client
+  // buffers.
   PadExpander pad_expander_;
-  SlotSchedule schedule_;
 
-  uint64_t current_round_ = 0;
-  std::map<uint32_t, Bytes> received_;
-  Bytes server_ct_;
+  // scheds_[k] is the layout of round sched_base_round_ + k; the window is
+  // pipeline_depth entries wide. FinishRound(r) (with r == sched_base_round_)
+  // pops the front and appends the layout of round r + depth.
+  std::deque<SlotSchedule> scheds_;
+  uint64_t sched_base_round_ = 1;
+
+  std::map<uint64_t, RoundState> rounds_;  // in-flight rounds, keyed by number
+  uint64_t newest_round_ = 0;
   std::optional<size_t> equivocator_;
   std::map<uint64_t, RoundEvidence> evidence_;
 };

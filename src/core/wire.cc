@@ -1,0 +1,211 @@
+#include "src/core/wire.h"
+
+#include "src/util/serialize.h"
+
+namespace dissent {
+
+namespace {
+
+enum class Tag : uint8_t {
+  kClientSubmit = 1,
+  kInventory = 2,
+  kCommit = 3,
+  kServerCiphertext = 4,
+  kSignatureShare = 5,
+  kOutput = 6,
+  kAccusationSubmit = 7,
+  kBlameVerdict = 8,
+};
+
+}  // namespace
+
+Bytes SerializeWire(const WireMessage& msg) {
+  Writer w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, wire::ClientSubmit>) {
+          w.U8(static_cast<uint8_t>(Tag::kClientSubmit));
+          w.U64(m.round);
+          w.U32(m.client_id);
+          w.Blob(m.ciphertext);
+        } else if constexpr (std::is_same_v<T, wire::Inventory>) {
+          w.U8(static_cast<uint8_t>(Tag::kInventory));
+          w.U64(m.round);
+          w.U32(m.server_id);
+          w.U32(static_cast<uint32_t>(m.clients.size()));
+          for (uint32_t id : m.clients) {
+            w.U32(id);
+          }
+        } else if constexpr (std::is_same_v<T, wire::Commit>) {
+          w.U8(static_cast<uint8_t>(Tag::kCommit));
+          w.U64(m.round);
+          w.U32(m.server_id);
+          w.Blob(m.commitment);
+        } else if constexpr (std::is_same_v<T, wire::ServerCiphertext>) {
+          w.U8(static_cast<uint8_t>(Tag::kServerCiphertext));
+          w.U64(m.round);
+          w.U32(m.server_id);
+          w.Blob(m.ciphertext);
+        } else if constexpr (std::is_same_v<T, wire::SignatureShare>) {
+          w.U8(static_cast<uint8_t>(Tag::kSignatureShare));
+          w.U64(m.round);
+          w.U32(m.server_id);
+          w.Blob(m.signature);
+        } else if constexpr (std::is_same_v<T, wire::Output>) {
+          w.U8(static_cast<uint8_t>(Tag::kOutput));
+          w.U64(m.round);
+          w.Blob(m.cleartext);
+          w.U32(static_cast<uint32_t>(m.signatures.size()));
+          for (const Bytes& sig : m.signatures) {
+            w.Blob(sig);
+          }
+        } else if constexpr (std::is_same_v<T, wire::AccusationSubmit>) {
+          w.U8(static_cast<uint8_t>(Tag::kAccusationSubmit));
+          w.U32(m.client_id);
+          w.Blob(m.blame_ciphertext);
+        } else if constexpr (std::is_same_v<T, wire::BlameVerdict>) {
+          w.U8(static_cast<uint8_t>(Tag::kBlameVerdict));
+          w.U64(m.round);
+          w.U8(m.kind);
+          w.U32(m.culprit);
+        }
+      },
+      msg);
+  return w.Take();
+}
+
+std::optional<WireMessage> ParseWire(const Bytes& data) {
+  Reader r(data);
+  uint8_t tag;
+  if (!r.U8(&tag)) {
+    return std::nullopt;
+  }
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kClientSubmit: {
+      wire::ClientSubmit m;
+      if (!r.U64(&m.round) || !r.U32(&m.client_id) || !r.Blob(&m.ciphertext) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kInventory: {
+      wire::Inventory m;
+      uint32_t count;
+      if (!r.U64(&m.round) || !r.U32(&m.server_id) || !r.U32(&count)) {
+        return std::nullopt;
+      }
+      // Hostile-count guard: every entry takes 4 bytes, so a count larger
+      // than the remaining input is malformed — reject before allocating.
+      if (static_cast<size_t>(count) > r.remaining() / 4) {
+        return std::nullopt;
+      }
+      m.clients.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t id;
+        if (!r.U32(&id)) {
+          return std::nullopt;
+        }
+        // Canonical: strictly increasing (inventories are sorted sets).
+        if (!m.clients.empty() && id <= m.clients.back()) {
+          return std::nullopt;
+        }
+        m.clients.push_back(id);
+      }
+      if (!r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kCommit: {
+      wire::Commit m;
+      if (!r.U64(&m.round) || !r.U32(&m.server_id) || !r.Blob(&m.commitment) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kServerCiphertext: {
+      wire::ServerCiphertext m;
+      if (!r.U64(&m.round) || !r.U32(&m.server_id) || !r.Blob(&m.ciphertext) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kSignatureShare: {
+      wire::SignatureShare m;
+      if (!r.U64(&m.round) || !r.U32(&m.server_id) || !r.Blob(&m.signature) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kOutput: {
+      wire::Output m;
+      uint32_t count;
+      if (!r.U64(&m.round) || !r.Blob(&m.cleartext) || !r.U32(&count)) {
+        return std::nullopt;
+      }
+      // Each signature blob carries at least its 4-byte length prefix.
+      if (static_cast<size_t>(count) > r.remaining() / 4) {
+        return std::nullopt;
+      }
+      m.signatures.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        Bytes sig;
+        if (!r.Blob(&sig)) {
+          return std::nullopt;
+        }
+        m.signatures.push_back(std::move(sig));
+      }
+      if (!r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kAccusationSubmit: {
+      wire::AccusationSubmit m;
+      if (!r.U32(&m.client_id) || !r.Blob(&m.blame_ciphertext) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kBlameVerdict: {
+      wire::BlameVerdict m;
+      if (!r.U64(&m.round) || !r.U8(&m.kind) || !r.U32(&m.culprit) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      if (m.kind > wire::BlameVerdict::kServerExposed) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+const char* WireTypeName(const WireMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, wire::ClientSubmit>) {
+          return "ClientSubmit";
+        } else if constexpr (std::is_same_v<T, wire::Inventory>) {
+          return "Inventory";
+        } else if constexpr (std::is_same_v<T, wire::Commit>) {
+          return "Commit";
+        } else if constexpr (std::is_same_v<T, wire::ServerCiphertext>) {
+          return "ServerCiphertext";
+        } else if constexpr (std::is_same_v<T, wire::SignatureShare>) {
+          return "SignatureShare";
+        } else if constexpr (std::is_same_v<T, wire::Output>) {
+          return "Output";
+        } else if constexpr (std::is_same_v<T, wire::AccusationSubmit>) {
+          return "AccusationSubmit";
+        } else {
+          return "BlameVerdict";
+        }
+      },
+      msg);
+}
+
+}  // namespace dissent

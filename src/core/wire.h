@@ -1,0 +1,120 @@
+// Typed wire API for the Dissent round protocol (§3.5, Algorithm 2).
+//
+// `WireMessage` is the canonical tagged variant of every message the
+// deployment shape exchanges: clients speak ClientSubmit to one upstream
+// server; servers gossip Inventory -> Commit -> ServerCiphertext ->
+// SignatureShare among themselves and distribute Output down to their
+// attached clients; the accusation phase (§3.9) adds AccusationSubmit (the
+// fixed-width blame-shuffle input) and BlameVerdict (the trace outcome).
+//
+// Serialize/Parse are canonical (exactly one valid encoding per value) and
+// defensive: Parse rejects truncation, trailing bytes, unknown tags, and
+// hostile length/count fields *before* allocating, so a malicious peer can
+// neither crash a node nor smuggle bytes under a valid signature. All
+// cryptographic payloads (commitments, Schnorr signatures) travel as opaque
+// byte strings; this layer knows nothing about groups, clocks, or sockets —
+// it is shared verbatim by the in-process transport (coordinator.h), the
+// simulated network transport (net_protocol.h), and any future real-socket
+// transport.
+#ifndef DISSENT_CORE_WIRE_H_
+#define DISSENT_CORE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace dissent {
+namespace wire {
+
+// --- round protocol (Algorithm 2) ---
+
+// Client i's DC-net ciphertext for `round`, sent to its upstream server.
+struct ClientSubmit {
+  uint64_t round = 0;
+  uint32_t client_id = 0;
+  Bytes ciphertext;
+};
+
+// Server -> all other servers: the clients heard from directly this round
+// (Algorithm 2 step 2). `clients` must be strictly increasing — inventories
+// are sorted sets, and enforcing that here keeps the encoding canonical.
+struct Inventory {
+  uint64_t round = 0;
+  uint32_t server_id = 0;
+  std::vector<uint32_t> clients;
+};
+
+// Server -> all other servers: HASH(s_j) commitment to its ciphertext
+// (Algorithm 2 step 3).
+struct Commit {
+  uint64_t round = 0;
+  uint32_t server_id = 0;
+  Bytes commitment;
+};
+
+// Server -> all other servers: the ciphertext s_j itself (step 4), revealed
+// only after every commitment is in.
+struct ServerCiphertext {
+  uint64_t round = 0;
+  uint32_t server_id = 0;
+  Bytes ciphertext;
+};
+
+// Server -> all other servers: Schnorr signature share over the combined
+// cleartext (step 5). Serialized signature; opaque at this layer.
+struct SignatureShare {
+  uint64_t round = 0;
+  uint32_t server_id = 0;
+  Bytes signature;
+};
+
+// Server -> its attached clients: the certified round output — cleartext
+// plus one signature per server in roster order (step 6).
+struct Output {
+  uint64_t round = 0;
+  Bytes cleartext;
+  std::vector<Bytes> signatures;
+};
+
+// --- accusation phase (§3.9) ---
+
+// A client's fixed-width submission to the blame shuffle. Every online
+// client submits one (victims embed a real SignedAccusation, everyone else
+// an all-zero filler of the same width), so accusers are indistinguishable.
+struct AccusationSubmit {
+  uint32_t client_id = 0;
+  Bytes blame_ciphertext;
+};
+
+// Broadcast outcome of accusation tracing: who (if anyone) was exposed.
+struct BlameVerdict {
+  enum Kind : uint8_t { kInconclusive = 0, kClientExpelled = 1, kServerExposed = 2 };
+  uint64_t round = 0;    // the disrupted round that was traced
+  uint8_t kind = kInconclusive;
+  uint32_t culprit = 0;  // client index or server index, per `kind`
+};
+
+}  // namespace wire
+
+using WireMessage =
+    std::variant<wire::ClientSubmit, wire::Inventory, wire::Commit, wire::ServerCiphertext,
+                 wire::SignatureShare, wire::Output, wire::AccusationSubmit,
+                 wire::BlameVerdict>;
+
+// Canonical encoding: [u8 tag][fixed fields][length-prefixed byte strings].
+Bytes SerializeWire(const WireMessage& msg);
+
+// Strict parse: returns nullopt on truncation, trailing bytes, unknown tag,
+// non-canonical field values, or count fields larger than the remaining
+// input could possibly hold (the hostile-count guard).
+std::optional<WireMessage> ParseWire(const Bytes& data);
+
+// Human-readable tag name, for logs and test diagnostics.
+const char* WireTypeName(const WireMessage& msg);
+
+}  // namespace dissent
+
+#endif  // DISSENT_CORE_WIRE_H_

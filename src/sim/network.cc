@@ -27,10 +27,9 @@ const LinkSpec& Network::LinkFor(NodeId from, NodeId to) const {
 void Network::Send(NodeId from, NodeId to, Bytes payload) {
   assert(from < nodes_.size() && to < nodes_.size());
   if (!nodes_[from].online) {
+    ++messages_dropped_;  // dropped at send: sender offline
     return;
   }
-  ++messages_sent_;
-  bytes_sent_ += payload.size();
 
   NodeState& src = nodes_[from];
   SimTime start = sim_->Now();
@@ -47,8 +46,13 @@ void Network::Send(NodeId from, NodeId to, Bytes payload) {
   sim_->ScheduleAt(arrive, [this, from, to, p = std::move(payload)]() {
     NodeState& dst = nodes_[to];
     if (!dst.online || !dst.on_message) {
-      return;  // dropped: receiver offline at delivery time
+      ++messages_dropped_;  // dropped: receiver offline at delivery time
+      return;
     }
+    // Counted at delivery so silently-dropped traffic never skews the
+    // bandwidth accounting.
+    ++messages_sent_;
+    bytes_sent_ += p.size();
     dst.on_message(from, p);
   });
 }

@@ -58,8 +58,12 @@ class Network {
   // cannot tell — exactly the failure mode §3.6 is designed around).
   void Send(NodeId from, NodeId to, Bytes payload);
 
+  // Delivered traffic only: messages silently dropped because either
+  // endpoint was offline are counted in messages_dropped() instead, so
+  // bandwidth reports (Fig 9) reflect bytes that actually crossed the wire.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
   struct NodeState {
@@ -77,6 +81,7 @@ class Network {
   std::unordered_map<uint64_t, LinkSpec> links_;  // key = from << 32 | to
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace dissent

@@ -1,0 +1,232 @@
+// Sans-I/O engine layer: pipelined rounds over the simulated network, and
+// byte-for-byte equivalence between the two transports (the in-process
+// Coordinator and the sim-network NetDissent) driving the same engines.
+#include "src/core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/coordinator.h"
+#include "src/core/net_protocol.h"
+#include "src/core/output_cert.h"
+#include "src/crypto/sha256.h"
+
+namespace dissent {
+namespace {
+
+struct NetWorld {
+  GroupDef def;
+  Simulator sim;
+  std::unique_ptr<NetDissent> net;
+};
+
+std::unique_ptr<NetWorld> MakeNetWorld(size_t servers, size_t clients, uint64_t seed,
+                                       NetDissent::Options options = {}) {
+  auto w = std::make_unique<NetWorld>();
+  SecureRng rng = SecureRng::FromLabel(seed);
+  std::vector<BigInt> server_privs, client_privs;
+  w->def = MakeTestGroup(Group::Named(GroupId::kTesting256), servers, clients, rng,
+                         &server_privs, &client_privs);
+  w->net = std::make_unique<NetDissent>(w->def, server_privs, client_privs, &w->sim, options,
+                                        seed);
+  return w;
+}
+
+// A gossip-dominated topology: the server mesh is slow relative to client
+// uplinks, so the window in which round r is still combining while round
+// r+1 submissions arrive is wide.
+NetDissent::Options GossipBoundOptions(size_t depth) {
+  NetDissent::Options o;
+  o.client_link = {.latency = 10 * kMillisecond, .bandwidth_bps = 12.5e6};
+  o.server_link = {.latency = 50 * kMillisecond, .bandwidth_bps = 12.5e6};
+  // Short client RTT: widen the close multiplier so the 5 ms submit jitter
+  // never straggles past the window (the default 1.1x assumes ~100 ms RTTs).
+  o.window_multiplier = 1.5;
+  o.pipeline_depth = depth;
+  return o;
+}
+
+TEST(EngineTest, PipelinedSubmissionsAcceptedBeforePriorRoundCertifies) {
+  auto w = MakeNetWorld(3, 9, 5001, GossipBoundOptions(2));
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(30 * kSecond);
+  EXPECT_GT(w->net->rounds_completed(), 10u);
+  EXPECT_EQ(w->net->last_participation(), 9u);
+  // The engine counts a submission as pipelined when it is accepted for a
+  // round while an earlier round is still in flight.
+  EXPECT_GT(w->net->pipelined_submissions(), 0u)
+      << "depth 2 never overlapped rounds";
+  // A sequential run on the identical topology never overlaps.
+  auto seq = MakeNetWorld(3, 9, 5001, GossipBoundOptions(1));
+  ASSERT_TRUE(seq->net->Start());
+  seq->sim.RunUntil(30 * kSecond);
+  EXPECT_EQ(seq->net->pipelined_submissions(), 0u);
+}
+
+TEST(EngineTest, PipeliningImprovesRoundThroughput) {
+  // The acceptance bar: pipelined rounds/sec at least 1.3x sequential on the
+  // same topology and sim horizon. (Depth 2 hides the client RTT behind the
+  // server gossip phase, so the ideal gain is ~2x.)
+  auto seq = MakeNetWorld(3, 12, 5002, GossipBoundOptions(1));
+  ASSERT_TRUE(seq->net->Start());
+  seq->sim.RunUntil(60 * kSecond);
+
+  auto pipe = MakeNetWorld(3, 12, 5002, GossipBoundOptions(2));
+  ASSERT_TRUE(pipe->net->Start());
+  pipe->sim.RunUntil(60 * kSecond);
+
+  EXPECT_EQ(pipe->net->last_participation(), 12u);
+  EXPECT_GE(static_cast<double>(pipe->net->rounds_completed()),
+            1.3 * static_cast<double>(seq->net->rounds_completed()))
+      << "sequential=" << seq->net->rounds_completed()
+      << " pipelined=" << pipe->net->rounds_completed();
+}
+
+TEST(EngineTest, PipelinedMessageDeliveryStaysCorrect) {
+  // Application messages still arrive intact when two rounds are in flight
+  // (the slot schedule lags by the pipeline depth but stays consistent).
+  auto w = MakeNetWorld(2, 6, 5003, GossipBoundOptions(2));
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(2 * kSecond);
+  w->net->client(4).QueueMessage(BytesOf("pipelined payload"));
+  w->sim.RunUntil(30 * kSecond);
+  bool found = false;
+  for (auto& [slot, payload] : w->net->delivered_messages()) {
+    found |= payload == BytesOf("pipelined payload");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineTest, NetworkedEngineMatchesCoordinatorByteForByte) {
+  // Identical seeds => identical pseudonym shuffle, slots, and per-round
+  // cleartexts across the two transports. This is the regression that keeps
+  // the drivers from ever diverging on protocol order again.
+  constexpr uint64_t kSeed = 5004;
+  constexpr size_t kServers = 2, kClients = 6;
+  constexpr int kRounds = 8;
+
+  SecureRng rng = SecureRng::FromLabel(kSeed);
+  std::vector<BigInt> server_privs, client_privs;
+  GroupDef def = MakeTestGroup(Group::Named(GroupId::kTesting256), kServers, kClients, rng,
+                               &server_privs, &client_privs);
+
+  Coordinator coord(def, server_privs, client_privs, kSeed);
+  ASSERT_TRUE(coord.RunScheduling());
+  coord.client(3).QueueMessage(BytesOf("identical in both worlds"));
+  std::vector<Bytes> coord_cleartexts;
+  for (int r = 0; r < kRounds; ++r) {
+    auto outcome = coord.RunRound();
+    ASSERT_TRUE(outcome.completed);
+    coord_cleartexts.push_back(outcome.cleartext);
+  }
+
+  auto w = MakeNetWorld(kServers, kClients, kSeed);
+  w->net->client(3).QueueMessage(BytesOf("identical in both worlds"));
+  ASSERT_TRUE(w->net->Start());
+  while (w->net->rounds_completed() < static_cast<uint64_t>(kRounds)) {
+    ASSERT_GT(w->sim.pending(), 0u) << "network run stalled";
+    w->sim.Step();
+  }
+
+  ASSERT_GE(w->net->round_cleartexts().size(), static_cast<size_t>(kRounds));
+  for (int r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(w->net->round_cleartexts()[r], coord_cleartexts[r])
+        << "round " << (r + 1) << " diverged between transports";
+  }
+  // And the anonymous message surfaced in both.
+  bool found = false;
+  for (auto& [slot, payload] : w->net->delivered_messages()) {
+    found |= payload == BytesOf("identical in both worlds");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineTest, DeepPipelineAlsoProgresses) {
+  // Depth 3: three rounds in flight; still correct and still ordered.
+  auto w = MakeNetWorld(2, 8, 5005, GossipBoundOptions(3));
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(30 * kSecond);
+  EXPECT_GT(w->net->rounds_completed(), 10u);
+  EXPECT_EQ(w->net->last_participation(), 8u);
+  // Cleartext sizes evolve consistently: every completed round recorded.
+  EXPECT_EQ(w->net->round_cleartexts().size(), w->net->rounds_completed());
+}
+
+TEST(EngineTest, CommitmentsAreFirstWriteWins) {
+  // A malicious server that re-sends a *different* commitment after honest
+  // ciphertexts are revealed must not be able to replace its first one —
+  // otherwise the commit-then-reveal binding of Algorithm 2 steps 3-5 is
+  // void. The engine keeps the first commit, so the later ciphertext
+  // (matching only the replacement) is caught as equivocation.
+  SecureRng rng = SecureRng::FromLabel(5006);
+  std::vector<BigInt> server_privs, client_privs;
+  GroupDef def = MakeTestGroup(Group::Named(GroupId::kTesting256), 2, 2, rng, &server_privs,
+                               &client_privs);
+  DissentServer logic(def, 0, server_privs[0], SecureRng::FromLabel(1));
+  logic.BeginSlots(2);
+  ServerEngine::Config cfg;
+  cfg.attached_clients = {0};
+  ServerEngine engine(&logic, def, cfg);
+  auto start = engine.StartSession(0);
+  ASSERT_FALSE(start.timers.empty());
+  // Close the (empty) submission window via the hard-deadline timer.
+  auto closed = engine.HandleTimer(start.timers[0].token, 1000);
+  // Peer inventory arrives: engine builds its ciphertext and commits.
+  auto after_inv =
+      engine.HandleMessage(ServerPeer(1), wire::Inventory{1, 1, {}}, 1000);
+  const size_t len = logic.ExpectedCiphertextLength(1);
+  Bytes honest_ct(len, 0x11), evil_ct(len, 0x42);
+  // First commit binds to honest_ct; the overwrite attempt binds to evil_ct.
+  auto c1 = engine.HandleMessage(
+      ServerPeer(1), wire::Commit{1, 1, Sha256::Hash(honest_ct)}, 1000);
+  auto c2 = engine.HandleMessage(
+      ServerPeer(1), wire::Commit{1, 1, Sha256::Hash(evil_ct)}, 1000);
+  // The revealed ciphertext matches only the replacement commit.
+  auto reveal = engine.HandleMessage(
+      ServerPeer(1), wire::ServerCiphertext{1, 1, evil_ct}, 1000);
+  bool equivocation_caught = false;
+  for (const auto& actions : {closed, after_inv, c1, c2, reveal}) {
+    for (const auto& done : actions.done) {
+      if (done.equivocating_server.has_value()) {
+        equivocation_caught = true;
+        EXPECT_EQ(*done.equivocating_server, 1u);
+        EXPECT_FALSE(done.completed);
+      }
+    }
+  }
+  EXPECT_TRUE(equivocation_caught) << "replacement commitment was accepted";
+  EXPECT_TRUE(engine.halted());
+}
+
+TEST(EngineTest, ClientIgnoresReplayedOutputs) {
+  // A replayed (validly certified) old Output must not rebase the client's
+  // slot schedule backwards or trigger a duplicate submission.
+  SecureRng rng = SecureRng::FromLabel(5007);
+  std::vector<BigInt> server_privs, client_privs;
+  GroupDef def = MakeTestGroup(Group::Named(GroupId::kTesting256), 1, 2, rng, &server_privs,
+                               &client_privs);
+  DissentClient logic(def, 0, client_privs[0], SecureRng::FromLabel(2));
+  ClientEngine engine(&logic, def, ClientEngine::Config{});
+  auto start = engine.StartSession();
+  ASSERT_EQ(start.out.size(), 1u);  // round 1 submission
+
+  auto certified = [&](uint64_t round) {
+    Bytes cleartext(logic.schedule().TotalLength(), 0);
+    SchnorrSignature sig = SignOutput(def, round, cleartext, server_privs[0], rng);
+    return wire::Output{round, cleartext, {sig.Serialize(*def.group)}};
+  };
+  auto first = engine.HandleMessage(ServerPeer(0), certified(1));
+  ASSERT_EQ(first.delivered.size(), 1u);
+  EXPECT_TRUE(first.delivered[0].signatures_ok);
+  ASSERT_EQ(first.out.size(), 1u);  // round 2 submission
+
+  auto replayed = engine.HandleMessage(ServerPeer(0), certified(1));
+  EXPECT_TRUE(replayed.delivered.empty()) << "replayed output was processed";
+  EXPECT_TRUE(replayed.out.empty()) << "replay triggered a duplicate submission";
+
+  auto second = engine.HandleMessage(ServerPeer(0), certified(2));
+  ASSERT_EQ(second.delivered.size(), 1u);  // forward progress still fine
+  EXPECT_EQ(std::get<wire::ClientSubmit>(*second.out[0].msg).round, 3u);
+}
+
+}  // namespace
+}  // namespace dissent

@@ -7,9 +7,11 @@
 #include "src/app/tunnel.h"
 #include "src/core/accusation_types.h"
 #include "src/core/cleartext.h"
+#include "src/core/wire.h"
 #include "src/crypto/chaum_pedersen.h"
 #include "src/crypto/schnorr.h"
 #include "src/util/rng.h"
+#include "src/util/serialize.h"
 
 namespace dissent {
 namespace {
@@ -113,6 +115,60 @@ TEST(FuzzTest, TunnelFrameParser) {
     auto parsed = DecodeFrames(mutated);  // must not crash or hang
     (void)parsed;
   });
+}
+
+TEST(FuzzTest, WireMessageParser) {
+  // Every WireMessage type hammered with mutations/truncations/garbage: the
+  // parser must never crash, hang, or allocate absurdly — and any mutant
+  // that does parse must re-serialize canonically.
+  std::vector<WireMessage> seeds = {
+      wire::ClientSubmit{7, 3, Bytes(64, 0x21)},
+      wire::Inventory{7, 1, {0, 2, 5, 11}},
+      wire::Commit{7, 0, Bytes(32, 0x9c)},
+      wire::ServerCiphertext{7, 2, Bytes(64, 0x6d)},
+      wire::SignatureShare{7, 1, Bytes(72, 0x3f)},
+      wire::Output{7, Bytes(64, 0x01), {Bytes(72, 2), Bytes(72, 3)}},
+      wire::AccusationSubmit{5, Bytes(160, 0x44)},
+      wire::BlameVerdict{7, wire::BlameVerdict::kClientExpelled, 9},
+  };
+  Rng rng(75);
+  for (const WireMessage& seed : seeds) {
+    Bytes wire_bytes = SerializeWire(seed);
+    Hammer(wire_bytes, rng, [&](const Bytes& mutated) {
+      auto parsed = ParseWire(mutated);
+      if (parsed.has_value()) {
+        EXPECT_EQ(SerializeWire(*parsed), mutated)
+            << "accepted a non-canonical encoding of " << WireTypeName(*parsed);
+      }
+    });
+  }
+}
+
+TEST(FuzzTest, WireHostileCountsDoNotAllocate) {
+  // The PR-1 DecodeFrames bad_alloc class: a length/count field promising
+  // far more elements than the message carries. Must reject cheaply.
+  for (uint32_t hostile : {0x10000u, 0x7fffffffu, 0xffffffffu}) {
+    Writer inv;
+    inv.U8(2);  // Inventory
+    inv.U64(1);
+    inv.U32(0);
+    inv.U32(hostile);
+    EXPECT_FALSE(ParseWire(inv.data()).has_value());
+
+    Writer out;
+    out.U8(6);  // Output
+    out.U64(1);
+    out.Blob(Bytes(8, 0xee));
+    out.U32(hostile);
+    EXPECT_FALSE(ParseWire(out.data()).has_value());
+
+    Writer sub;
+    sub.U8(1);  // ClientSubmit with a blob length promising 4 GiB
+    sub.U64(1);
+    sub.U32(0);
+    sub.U32(hostile);  // raw length prefix, no body
+    EXPECT_FALSE(ParseWire(sub.data()).has_value());
+  }
 }
 
 TEST(FuzzTest, SlotRegionDecoder) {

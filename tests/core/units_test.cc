@@ -98,7 +98,7 @@ TEST(ServerTest, EvidenceRetentionWindow) {
   server.BeginSlots(2);
   for (uint64_t r = 1; r <= DissentServer::kEvidenceRounds + 5; ++r) {
     server.StartRound(r);
-    server.BuildServerCiphertext({}, {});
+    server.BuildServerCiphertext(r, {}, {});
   }
   EXPECT_EQ(server.EvidenceFor(1), nullptr) << "old evidence expired";
   EXPECT_EQ(server.EvidenceFor(5), nullptr);

@@ -1,0 +1,173 @@
+// Typed wire codec (wire.h): canonical round-trips for every WireMessage
+// type, and strict rejection of malformed/hostile encodings.
+#include "src/core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/serialize.h"
+
+namespace dissent {
+namespace {
+
+template <typename T>
+const T& RoundTrip(const WireMessage& msg) {
+  Bytes encoded = SerializeWire(msg);
+  auto back = ParseWire(encoded);
+  EXPECT_TRUE(back.has_value()) << WireTypeName(msg);
+  EXPECT_TRUE(std::holds_alternative<T>(*back)) << WireTypeName(msg);
+  // Canonical: re-encoding the parse reproduces the exact bytes.
+  EXPECT_EQ(SerializeWire(*back), encoded) << WireTypeName(msg);
+  static T decoded;
+  decoded = std::get<T>(*back);
+  return decoded;
+}
+
+TEST(WireTest, ClientSubmitRoundTrip) {
+  wire::ClientSubmit m{42, 7, BytesOf("ciphertext bytes")};
+  const auto& d = RoundTrip<wire::ClientSubmit>(m);
+  EXPECT_EQ(d.round, 42u);
+  EXPECT_EQ(d.client_id, 7u);
+  EXPECT_EQ(d.ciphertext, BytesOf("ciphertext bytes"));
+}
+
+TEST(WireTest, InventoryRoundTrip) {
+  wire::Inventory m{9, 2, {1, 5, 8, 1000}};
+  const auto& d = RoundTrip<wire::Inventory>(m);
+  EXPECT_EQ(d.round, 9u);
+  EXPECT_EQ(d.server_id, 2u);
+  EXPECT_EQ(d.clients, (std::vector<uint32_t>{1, 5, 8, 1000}));
+  // Empty inventory is legal (a server that heard from nobody).
+  const auto& e = RoundTrip<wire::Inventory>(wire::Inventory{1, 0, {}});
+  EXPECT_TRUE(e.clients.empty());
+}
+
+TEST(WireTest, CommitAndServerCiphertextRoundTrip) {
+  const auto& c = RoundTrip<wire::Commit>(wire::Commit{3, 1, Bytes(32, 0xab)});
+  EXPECT_EQ(c.commitment, Bytes(32, 0xab));
+  const auto& s =
+      RoundTrip<wire::ServerCiphertext>(wire::ServerCiphertext{3, 1, Bytes(100, 0x5a)});
+  EXPECT_EQ(s.ciphertext, Bytes(100, 0x5a));
+}
+
+TEST(WireTest, SignatureShareRoundTrip) {
+  const auto& d = RoundTrip<wire::SignatureShare>(
+      wire::SignatureShare{11, 3, BytesOf("serialized schnorr")});
+  EXPECT_EQ(d.round, 11u);
+  EXPECT_EQ(d.signature, BytesOf("serialized schnorr"));
+}
+
+TEST(WireTest, OutputRoundTrip) {
+  wire::Output m;
+  m.round = 77;
+  m.cleartext = Bytes(50, 0x11);
+  m.signatures = {BytesOf("sig0"), BytesOf("sig1"), BytesOf("sig2")};
+  const auto& d = RoundTrip<wire::Output>(m);
+  EXPECT_EQ(d.round, 77u);
+  EXPECT_EQ(d.cleartext, Bytes(50, 0x11));
+  ASSERT_EQ(d.signatures.size(), 3u);
+  EXPECT_EQ(d.signatures[1], BytesOf("sig1"));
+}
+
+TEST(WireTest, AccusationPhaseRoundTrip) {
+  const auto& a = RoundTrip<wire::AccusationSubmit>(
+      wire::AccusationSubmit{4, Bytes(160, 0x77)});
+  EXPECT_EQ(a.client_id, 4u);
+  EXPECT_EQ(a.blame_ciphertext.size(), 160u);
+  const auto& v = RoundTrip<wire::BlameVerdict>(
+      wire::BlameVerdict{123, wire::BlameVerdict::kServerExposed, 2});
+  EXPECT_EQ(v.round, 123u);
+  EXPECT_EQ(v.kind, wire::BlameVerdict::kServerExposed);
+  EXPECT_EQ(v.culprit, 2u);
+}
+
+TEST(WireTest, RejectsUnknownTagAndEmpty) {
+  EXPECT_FALSE(ParseWire({}).has_value());
+  EXPECT_FALSE(ParseWire({0}).has_value());
+  EXPECT_FALSE(ParseWire({99}).has_value());
+  EXPECT_FALSE(ParseWire({0xff, 1, 2, 3}).has_value());
+}
+
+TEST(WireTest, RejectsTrailingGarbage) {
+  Bytes ok = SerializeWire(wire::Commit{1, 0, BytesOf("c")});
+  ASSERT_TRUE(ParseWire(ok).has_value());
+  Bytes extended = ok;
+  extended.push_back(0);
+  EXPECT_FALSE(ParseWire(extended).has_value())
+      << "trailing bytes must not be smuggled under a valid message";
+}
+
+TEST(WireTest, RejectsTruncation) {
+  for (const WireMessage& m : std::initializer_list<WireMessage>{
+           wire::ClientSubmit{1, 2, Bytes(9, 3)},
+           wire::Inventory{1, 0, {4, 9}},
+           wire::Output{1, Bytes(8, 1), {BytesOf("s0"), BytesOf("s1")}},
+       }) {
+    Bytes full = SerializeWire(m);
+    for (size_t len = 0; len < full.size(); ++len) {
+      EXPECT_FALSE(ParseWire(Bytes(full.begin(), full.begin() + len)).has_value())
+          << WireTypeName(m) << " truncated to " << len;
+    }
+  }
+}
+
+TEST(WireTest, RejectsHostileCounts) {
+  // An Inventory claiming 2^32-1 entries with a 4-byte body must be rejected
+  // without attempting the allocation (the PR-1 DecodeFrames bad_alloc class
+  // of bug).
+  Writer w;
+  w.U8(2);  // Inventory tag
+  w.U64(1);
+  w.U32(0);
+  w.U32(0xffffffff);  // hostile count
+  w.U32(7);           // only one actual entry
+  EXPECT_FALSE(ParseWire(w.data()).has_value());
+
+  // Same for Output's signature count.
+  Writer w2;
+  w2.U8(6);  // Output tag
+  w2.U64(1);
+  w2.Blob(BytesOf("ct"));
+  w2.U32(0x7fffffff);  // hostile count
+  EXPECT_FALSE(ParseWire(w2.data()).has_value());
+}
+
+TEST(WireTest, RejectsNonCanonicalInventory) {
+  // Out-of-order or duplicate entries have no canonical meaning.
+  Writer w;
+  w.U8(2);
+  w.U64(1);
+  w.U32(0);
+  w.U32(2);
+  w.U32(9);
+  w.U32(4);  // 9 then 4: not strictly increasing
+  EXPECT_FALSE(ParseWire(w.data()).has_value());
+  Writer w2;
+  w2.U8(2);
+  w2.U64(1);
+  w2.U32(0);
+  w2.U32(2);
+  w2.U32(4);
+  w2.U32(4);  // duplicate
+  EXPECT_FALSE(ParseWire(w2.data()).has_value());
+}
+
+TEST(WireTest, DistinctTagsPerType) {
+  // Every variant alternative serializes to a distinct leading tag byte.
+  std::vector<WireMessage> all = {
+      wire::ClientSubmit{},     wire::Inventory{}, wire::Commit{},
+      wire::ServerCiphertext{}, wire::SignatureShare{}, wire::Output{},
+      wire::AccusationSubmit{}, wire::BlameVerdict{},
+  };
+  std::set<uint8_t> tags;
+  for (const auto& m : all) {
+    Bytes b = SerializeWire(m);
+    ASSERT_FALSE(b.empty());
+    EXPECT_TRUE(tags.insert(b[0]).second) << WireTypeName(m);
+  }
+  EXPECT_EQ(tags.size(), all.size());
+}
+
+}  // namespace
+}  // namespace dissent

@@ -119,6 +119,34 @@ TEST(NetworkTest, OfflineNodesDropSilently) {
   EXPECT_EQ(received, 1);
 }
 
+TEST(NetworkTest, DroppedMessagesAreNotCountedAsSent) {
+  // Bandwidth accounting must reflect delivered traffic only (Fig 9 reports
+  // bytes on the wire); silent drops land in messages_dropped() instead.
+  Simulator sim;
+  Network net(&sim);
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([](NodeId, const Bytes&) {});
+  net.Send(a, b, Bytes(100, 1));  // delivered
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 100u);
+  EXPECT_EQ(net.messages_dropped(), 0u);
+
+  net.SetOnline(b, false);
+  net.Send(a, b, Bytes(50, 1));  // dropped at delivery: receiver offline
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 100u);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+
+  net.SetOnline(a, false);
+  net.Send(a, b, Bytes(25, 1));  // dropped at send: sender offline
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 100u);
+  EXPECT_EQ(net.messages_dropped(), 2u);
+}
+
 TEST(LatencyModelTest, PlanetLabShapeMatchesPaperStatistics) {
   PlanetLabDelayModel model;
   Rng rng(17);
