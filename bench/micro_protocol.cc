@@ -1,11 +1,27 @@
-// Whole-protocol throughput over the simulated network: rounds/sec on the
-// 100-client topology, sequential (pipeline depth 1) vs pipelined rounds
-// (depth 2/3). The `rounds_per_sim_sec` counter is the cross-PR tracking
-// metric (BENCH_protocol.json via bench/run_bench.sh): with depth 2 the
-// client RTT of round r+1 hides behind round r's server gossip phase
-// (Verdict/Riposte-style overlap), so the ideal gain on a gossip-bound
-// topology is ~2x. Wall-clock iteration time additionally measures the real
-// CPU cost of simulating one protocol second.
+// Whole-protocol throughput over the simulated network.
+//
+// BM_ProtocolRounds: rounds/sec on the 100-client topology, sequential
+// (pipeline depth 1) vs pipelined rounds (depth 2/3). The
+// `rounds_per_sim_sec` counter is the cross-PR tracking metric
+// (BENCH_protocol.json via bench/run_bench.sh).
+//
+// BM_ProtocolScale: the paper-scale cases (§5.2) — 1,000 and 5,000 clients
+// multiplexed 50-per-machine onto DeterLab-style hosts with shared 100 Mbps
+// NICs, every 5th client posting 64-byte microblog messages. Args are
+// {clients, mode}:
+//   mode 0  per-client Output frames (the pre-batching per-message path,
+//           kept for apples-to-apples comparison),
+//   mode 1  shared-payload broadcast (one ref-counted frame per attached
+//           machine, parsed once per frame),
+//   mode 2  mode 1 on the heavy-tailed PlanetLab submission model (§5.1
+//           lognormal body + Pareto tail + dropouts) with the adaptive
+//           submission window absorbing the stragglers.
+// Each benchmark iteration advances the simulation by one completed round,
+// so real_time per iteration is the wall cost of simulating one round.
+// Counters: rounds_per_sim_sec (deterministic: discrete-event sim),
+// bytes_per_round on the wire, peak_round_state_bytes (largest combining
+// state any server held — O(L), independent of N for the streaming engine),
+// and participation.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -16,7 +32,6 @@
 namespace dissent {
 namespace {
 
-constexpr size_t kClients = 100;
 constexpr size_t kServers = 5;
 
 struct ProtocolSim {
@@ -24,6 +39,22 @@ struct ProtocolSim {
   Simulator sim;
   std::unique_ptr<NetDissent> net;
 };
+
+ProtocolSim* BuildSim(size_t clients, NetDissent::Options options, uint64_t seed,
+                      std::unique_ptr<ProtocolSim>& out) {
+  auto ps = std::make_unique<ProtocolSim>();
+  SecureRng rng = SecureRng::FromLabel(seed);
+  std::vector<BigInt> server_privs, client_privs;
+  ps->def = MakeTestGroup(Group::Named(GroupId::kTesting256), kServers, clients, rng,
+                          &server_privs, &client_privs);
+  ps->net = std::make_unique<NetDissent>(ps->def, server_privs, client_privs, &ps->sim,
+                                         options, seed);
+  if (!ps->net->Start()) {
+    return nullptr;
+  }
+  out = std::move(ps);
+  return out.get();
+}
 
 // The key-shuffle setup (100 ElGamal rows through a 5-server verified
 // cascade) is expensive relative to rounds, so each depth's simulation is
@@ -34,21 +65,48 @@ ProtocolSim* GetSim(size_t depth) {
   if (it != cache.end()) {
     return it->second.get();
   }
-  auto ps = std::make_unique<ProtocolSim>();
-  SecureRng rng = SecureRng::FromLabel(1234);
-  std::vector<BigInt> server_privs, client_privs;
-  ps->def = MakeTestGroup(Group::Named(GroupId::kTesting256), kServers, kClients, rng,
-                          &server_privs, &client_privs);
   NetDissent::Options options;
   options.pipeline_depth = depth;
-  ps->net = std::make_unique<NetDissent>(ps->def, server_privs, client_privs, &ps->sim,
-                                         options, 1234);
-  if (!ps->net->Start()) {
+  return BuildSim(100, options, 1234, cache[depth]);
+}
+
+// Paper-scale topologies: built once per (clients, mode); the verified
+// shuffle is skipped (direct slot assignment) and evidence retention is off,
+// so setup stays in seconds and the data path is strictly O(L) per round.
+ProtocolSim* GetScaleSim(size_t clients, int mode) {
+  static std::map<std::pair<size_t, int>, std::unique_ptr<ProtocolSim>> cache;
+  auto key = std::make_pair(clients, mode);
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second.get();
+  }
+  NetDissent::Options options;
+  options.clients_per_machine = 50;
+  // DeterLab §5.2: 100 Mbps shared NICs; propagation delay lives on the
+  // links, serialization on the per-node uplink queues.
+  options.machine_uplink = {.latency = 0, .bandwidth_bps = 12.5e6};
+  options.server_uplink = {.latency = 0, .bandwidth_bps = 12.5e6};
+  options.client_link = {.latency = 50 * kMillisecond, .bandwidth_bps = 0};
+  options.server_link = {.latency = 10 * kMillisecond, .bandwidth_bps = 0};
+  options.direct_scheduling = true;
+  options.evidence_rounds = 0;
+  options.shared_broadcast = mode != 0;
+  if (mode == 2) {
+    options.submit_delay = PlanetLabDelayModel{};
+  }
+  ProtocolSim* ps = BuildSim(clients, options, 4321 + clients + mode, cache[key]);
+  if (ps == nullptr) {
     return nullptr;
   }
-  ProtocolSim* raw = ps.get();
-  cache[depth] = std::move(ps);
-  return raw;
+  ps->net->SetRecordCleartexts(false);
+  // Microblog workload: every 5th client keeps its slot open with queued
+  // 64-byte posts (far more than the measured rounds consume).
+  for (size_t i = 0; i < clients; i += 5) {
+    for (int m = 0; m < 300; ++m) {
+      ps->net->client(i).QueueMessage(Bytes(64, static_cast<uint8_t>(i + m)));
+    }
+  }
+  return ps;
 }
 
 void BM_ProtocolRounds(benchmark::State& state) {
@@ -79,6 +137,51 @@ BENCHMARK(BM_ProtocolRounds)
     ->Arg(2)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ProtocolScale(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  ProtocolSim* ps = GetScaleSim(clients, mode);
+  if (ps == nullptr) {
+    state.SkipWithError("scale setup failed");
+    return;
+  }
+  const uint64_t rounds_before = ps->net->rounds_completed();
+  const SimTime sim_before = ps->sim.Now();
+  const uint64_t bytes_before = ps->net->network().bytes_sent();
+  for (auto _ : state) {
+    // One completed round per iteration (bounded so a stalled configuration
+    // cannot hang the bench).
+    const uint64_t target = ps->net->rounds_completed() + 1;
+    const SimTime guard = ps->sim.Now() + 120 * kSecond;
+    while (ps->net->rounds_completed() < target && ps->sim.Now() < guard) {
+      ps->sim.RunUntil(ps->sim.Now() + kSecond / 20);
+    }
+  }
+  const double sim_elapsed = ToSeconds(ps->sim.Now() - sim_before);
+  const double rounds = static_cast<double>(ps->net->rounds_completed() - rounds_before);
+  if (rounds <= 0) {
+    state.SkipWithError("no rounds completed in the horizon");
+    return;
+  }
+  if (sim_elapsed > 0) {
+    state.counters["rounds_per_sim_sec"] = rounds / sim_elapsed;
+  }
+  state.counters["bytes_per_round"] =
+      static_cast<double>(ps->net->network().bytes_sent() - bytes_before) / rounds;
+  state.counters["peak_round_state_bytes"] =
+      static_cast<double>(ps->net->peak_round_state_bytes());
+  state.counters["participation"] = static_cast<double>(ps->net->last_participation());
+}
+BENCHMARK(BM_ProtocolScale)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({5000, 0})
+    ->Args({5000, 1})
+    ->Iterations(10)
+    ->Unit(benchmark::kSecond)
     ->UseRealTime();
 
 }  // namespace

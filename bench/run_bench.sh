@@ -1,20 +1,57 @@
 #!/usr/bin/env bash
-# Runs the benchmark suites with JSON output at the repo root, so perf
-# changes are diffable across PRs:
+# Configures+builds an explicit Release tree and runs the benchmark suites
+# with JSON output at the repo root, so perf changes are diffable across PRs:
 #  * micro_dcnet + micro_crypto  -> BENCH_dcnet.json    (data-plane)
 #  * micro_protocol              -> BENCH_protocol.json (whole-protocol
-#    rounds/sec, sequential vs pipelined rounds on the 100-client topology)
+#    rounds/sec: 100-client pipelining cases + the 1,000/5,000-client
+#    paper-scale cases, per-message vs shared-payload broadcast)
 #
-# Usage: bench/run_bench.sh [build_dir] [dcnet_out.json] [protocol_out.json]
+# Usage: bench/run_bench.sh [--native] [--skip-build] [build_dir]
+#                           [dcnet_out.json] [protocol_out.json]
 #
-# Build first (DISSENT_NATIVE=ON makes the numbers reflect the local ISA):
-#   cmake -B build -S . -DDISSENT_NATIVE=ON && cmake --build build -j
+#   --native      adds -DDISSENT_NATIVE=ON (-O3 -march=native): numbers
+#                 reflect the local ISA instead of the portable baseline
+#   --skip-build  use build_dir as-is (caller guarantees it is Release)
+#
+# The build type is pinned to Release here (and recorded in the output JSON
+# as context.dissent_build) so cross-PR numbers are never silently from an
+# unoptimized tree — note the system benchmark library's own
+# "library_build_type" field describes libbenchmark, not this code.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-out="${2:-$repo_root/BENCH_dcnet.json}"
-protocol_out="${3:-$repo_root/BENCH_protocol.json}"
+native=0
+skip_build=0
+positional=()
+for arg in "$@"; do
+  case "$arg" in
+    --native) native=1 ;;
+    --skip-build) skip_build=1 ;;
+    *) positional+=("$arg") ;;
+  esac
+done
+default_build="$repo_root/build-bench"
+if [[ $native -eq 1 ]]; then
+  default_build="$repo_root/build-bench-native"
+fi
+build_dir="${positional[0]:-$default_build}"
+out="${positional[1]:-$repo_root/BENCH_dcnet.json}"
+protocol_out="${positional[2]:-$repo_root/BENCH_protocol.json}"
+
+flavor="Release"
+if [[ $native -eq 1 ]]; then
+  flavor="Release+native"
+fi
+
+if [[ $skip_build -eq 0 ]]; then
+  cmake_flags=(-DCMAKE_BUILD_TYPE=Release)
+  if [[ $native -eq 1 ]]; then
+    cmake_flags+=(-DDISSENT_NATIVE=ON)
+  fi
+  cmake -B "$build_dir" -S "$repo_root" "${cmake_flags[@]}" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)" \
+    --target micro_dcnet micro_crypto micro_protocol
+fi
 
 for bin in micro_dcnet micro_crypto micro_protocol; do
   if [[ ! -x "$build_dir/$bin" ]]; then
@@ -25,22 +62,34 @@ done
 
 tmp_dcnet="$(mktemp)"
 tmp_crypto="$(mktemp)"
-trap 'rm -f "$tmp_dcnet" "$tmp_crypto"' EXIT
+tmp_protocol="$(mktemp)"
+trap 'rm -f "$tmp_dcnet" "$tmp_crypto" "$tmp_protocol"' EXIT
 
 "$build_dir/micro_dcnet" --benchmark_format=json \
   --benchmark_out="$tmp_dcnet" --benchmark_out_format=json
 "$build_dir/micro_crypto" --benchmark_format=json \
   --benchmark_out="$tmp_crypto" --benchmark_out_format=json
 
-# One file: micro_dcnet's context plus both benchmark arrays.
-jq -s '{context: .[0].context, benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
+# One file: micro_dcnet's context plus both benchmark arrays, stamped with
+# the build flavor this script configured.
+jq -s --arg flavor "$flavor" \
+  '{context: (.[0].context + {dissent_build: $flavor}),
+    benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
   "$tmp_dcnet" "$tmp_crypto" > "$out"
 
-echo "wrote $out ($(jq '.benchmarks | length' "$out") benchmarks)"
+echo "wrote $out ($(jq '.benchmarks | length' "$out") benchmarks, $flavor)"
 
 "$build_dir/micro_protocol" --benchmark_format=json \
-  --benchmark_out="$protocol_out" --benchmark_out_format=json
+  --benchmark_out="$tmp_protocol" --benchmark_out_format=json
+jq --arg flavor "$flavor" \
+  '.context += {dissent_build: $flavor}' "$tmp_protocol" > "$protocol_out"
 
-seq_rps="$(jq '[.benchmarks[] | select(.name | contains("/1/")) | .rounds_per_sim_sec] | first' "$protocol_out")"
-pipe_rps="$(jq '[.benchmarks[] | select(.name | contains("/2/")) | .rounds_per_sim_sec] | first' "$protocol_out")"
-echo "wrote $protocol_out (sequential ${seq_rps} rounds/sim-s, pipelined-x2 ${pipe_rps} rounds/sim-s)"
+seq_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolRounds/1/")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+pipe_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolRounds/2/")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+legacy_1k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/0")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+shared_1k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/1")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+shared_5k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/5000/1")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+echo "wrote $protocol_out ($flavor)"
+echo "  100 clients: sequential ${seq_rps} rounds/sim-s, pipelined-x2 ${pipe_rps}"
+echo "  1000 clients: per-message ${legacy_1k} rounds/sim-s, shared-broadcast ${shared_1k}"
+echo "  5000 clients: shared-broadcast ${shared_5k} rounds/sim-s"

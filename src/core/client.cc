@@ -113,12 +113,16 @@ Bytes DissentClient::BuildOwnSlotRegion(uint64_t round, size_t slot_len) {
 Bytes DissentClient::BuildCiphertext(uint64_t round) {
   const SlotSchedule& layout = ScheduleFor(round);
   Bytes cleartext(layout.TotalLength(), 0);
+  SentRecord record;
+  record.cleartext_len = cleartext.size();
   if (slot_.has_value()) {
     size_t s = *slot_;
     if (layout.is_open(s)) {
       Bytes region = BuildOwnSlotRegion(round, layout.slot_length(s));
       std::copy(region.begin(), region.end(), cleartext.begin() + layout.SlotOffset(s));
       requested_last_round_ = false;
+      record.slot_open = true;
+      record.own_region = std::move(region);
     } else if (want_open_ || !outbox_.empty() || pending_accusation_.has_value()) {
       // Request-bit protocol (§3.8): set unconditionally the first time, then
       // randomize so a squatting disruptor cannot cancel us forever.
@@ -129,10 +133,10 @@ Bytes DissentClient::BuildCiphertext(uint64_t round) {
       requested_last_round_ = true;
     }
   }
-  sent_cleartexts_[round] = cleartext;
+  sent_records_[round] = std::move(record);
   // Bound the in-flight window even if outputs never come back.
-  while (sent_cleartexts_.size() > pipeline_depth_ + 1) {
-    sent_cleartexts_.erase(sent_cleartexts_.begin());
+  while (sent_records_.size() > pipeline_depth_ + 1) {
+    sent_records_.erase(sent_records_.begin());
   }
   // XOR the M server pads in place via the cached key schedules (Algorithm 1
   // step 2); `cleartext` already holds our slot content.
@@ -153,12 +157,12 @@ DissentClient::OutputResult DissentClient::ProcessOutput(
 
   // Witness-bit scan (§3.9): any bit we sent as 0 that came out as 1 inside
   // our own slot region, when the decoded region differs from what we sent.
-  auto sent_it = sent_cleartexts_.find(round);
-  if (slot_.has_value() && sent_it != sent_cleartexts_.end() && layout.is_open(*slot_) &&
-      sent_it->second.size() == cleartext.size()) {
+  auto sent_it = sent_records_.find(round);
+  if (slot_.has_value() && sent_it != sent_records_.end() && layout.is_open(*slot_) &&
+      sent_it->second.slot_open && sent_it->second.cleartext_len == cleartext.size()) {
     size_t off = layout.SlotOffset(*slot_) * 8;
     size_t len_bits = layout.slot_length(*slot_) * 8;
-    Bytes sent_region = layout.ExtractSlot(sent_it->second, *slot_);
+    const Bytes& sent_region = sent_it->second.own_region;
     Bytes got_region = layout.ExtractSlot(cleartext, *slot_);
     if (sent_region != got_region) {
       result.own_slot_disrupted = true;
@@ -178,7 +182,7 @@ DissentClient::OutputResult DissentClient::ProcessOutput(
       }
     }
   }
-  sent_cleartexts_.erase(sent_cleartexts_.begin(), sent_cleartexts_.upper_bound(round));
+  sent_records_.erase(sent_records_.begin(), sent_records_.upper_bound(round));
 
   // Extract everyone's messages.
   for (size_t s = 0; s < layout.num_slots(); ++s) {

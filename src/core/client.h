@@ -123,9 +123,16 @@ class DissentClient {
   std::deque<Bytes> outbox_;
   bool want_open_ = false;
   bool requested_last_round_ = false;
-  // Cleartexts of in-flight rounds (built, output not yet processed), for
-  // witness-bit detection (§3.9).
-  std::map<uint64_t, Bytes> sent_cleartexts_;
+  // What we placed in our own slot for each in-flight round (built, output
+  // not yet processed), for witness-bit detection (§3.9). Only the own-slot
+  // region is retained — O(slot length) per round, not O(L) — which is what
+  // keeps a 5,000-client simulation's client-side memory flat.
+  struct SentRecord {
+    size_t cleartext_len = 0;  // full round length, to match against outputs
+    bool slot_open = false;
+    Bytes own_region;          // empty unless slot_open
+  };
+  std::map<uint64_t, SentRecord> sent_records_;
   std::optional<SignedAccusation> pending_accusation_;
   uint16_t accusation_request_code_ = 0;
 };

@@ -33,6 +33,7 @@ Coordinator::Coordinator(GroupDef def, std::vector<BigInt> server_privs,
   last_seen_round_.assign(clients_.size(), 0);
   // The engines own all round sequencing; this class only delivers their
   // envelopes (zero latency) and fires their timers (virtual clock).
+  attached_.resize(servers_.size());
   for (size_t j = 0; j < servers_.size(); ++j) {
     ServerEngine::Config cfg;
     cfg.window_fraction = def_.policy.window_fraction;
@@ -43,6 +44,7 @@ Coordinator::Coordinator(GroupDef def, std::vector<BigInt> server_privs,
         cfg.attached_clients.push_back(static_cast<uint32_t>(i));
       }
     }
+    attached_[j] = cfg.attached_clients;
     server_engines_.push_back(
         std::make_unique<ServerEngine>(servers_[j].get(), def_, std::move(cfg)));
   }
@@ -75,6 +77,21 @@ bool Coordinator::RunScheduling() {
   for (const auto& row : cascade.final_rows) {
     pseudonym_keys_.push_back(row[0].b);
   }
+  return FinishScheduling();
+}
+
+bool Coordinator::RunSchedulingDirect() {
+  // Identity assignment: slot i belongs to client i. Everything downstream
+  // of scheduling (round path, accusations) behaves identically; only the
+  // unlinkability of the slot<->client mapping is gone.
+  pseudonym_keys_.clear();
+  for (auto& c : clients_) {
+    pseudonym_keys_.push_back(c->pseudonym().pub);
+  }
+  return FinishScheduling();
+}
+
+bool Coordinator::FinishScheduling() {
   // Each client locates its own key; that index is its slot (known only to
   // the client in a real deployment; the coordinator stores the mapping for
   // test assertions but never feeds it back into protocol logic).
@@ -118,6 +135,14 @@ void Coordinator::SetClientOnline(size_t i, bool online) {
 
 void Coordinator::DispatchServerActions(size_t j, ServerEngine::Actions actions) {
   for (Envelope& env : actions.out) {
+    if (env.to.kind == Peer::Kind::kAttachedClients) {
+      // Broadcast expansion: one engine envelope fans out to the server's
+      // attachment set; every copy shares the same message object.
+      for (uint32_t c : attached_[env.to.index]) {
+        queue_.push_back({ServerPeer(static_cast<uint32_t>(j)), ClientPeer(c), env.msg});
+      }
+      continue;
+    }
     queue_.push_back({ServerPeer(static_cast<uint32_t>(j)), env.to, std::move(env.msg)});
   }
   for (const TimerRequest& t : actions.timers) {

@@ -49,6 +49,10 @@ class Coordinator {
   // assigns slots, and opens the engines' first round. Returns false if any
   // proof fails.
   bool RunScheduling();
+  // Skips the verified shuffle and assigns slot i to client i (the shuffle's
+  // cost is cubic-ish in N and irrelevant to round-path behavior). For
+  // scale tests/benches only: anonymity of the slot mapping is forfeited.
+  bool RunSchedulingDirect();
   const std::vector<BigInt>& pseudonym_keys() const { return pseudonym_keys_; }
 
   // --- round execution ---
@@ -121,6 +125,9 @@ class Coordinator {
     }
   };
 
+  // Shared scheduling tail: locate slots from pseudonym_keys_, open round 1.
+  bool FinishScheduling();
+
   // Zero-latency transport plumbing.
   void DispatchServerActions(size_t j, ServerEngine::Actions actions);
   void DispatchClientActions(size_t i, ClientEngine::Actions actions);
@@ -140,6 +147,7 @@ class Coordinator {
   std::vector<std::unique_ptr<ClientEngine>> client_engines_;
   std::vector<std::unique_ptr<ServerEngine>> server_engines_;
   std::vector<bool> online_;
+  std::vector<std::vector<uint32_t>> attached_;  // per server: its clients
   std::vector<uint64_t> last_seen_round_;
   std::vector<BigInt> pseudonym_keys_;
   std::vector<size_t> slot_of_client_;

@@ -133,6 +133,12 @@ void PadExpander::XorPads(const std::vector<uint32_t>& indices, uint64_t round,
   }
 }
 
+void PadExpander::XorPad(size_t index, uint64_t round, Bytes& inout) const {
+  const Nonce12 nonce = RoundNonce(round);
+  ChaCha20Stream stream(schedules_[index].words, nonce.b);
+  stream.XorStreamRaw(inout.data(), inout.size());
+}
+
 void PadExpander::XorAllPads(uint64_t round, Bytes& inout, size_t num_threads) const {
   XorPads(all_indices_, round, inout, num_threads);
 }

@@ -65,6 +65,13 @@ class PadExpander {
   void XorPads(const std::vector<uint32_t>& indices, uint64_t round, Bytes& inout,
                size_t num_threads) const;
 
+  // One key's pad, streamed into `inout`. This is the ingest-time hook: a
+  // server folds PAD(i) into its round accumulator the moment client i's
+  // ciphertext is accepted, so that share of the combine runs inside the
+  // submission window instead of after it (XOR commutes, so the result is
+  // bit-identical to batching everything at window close).
+  void XorPad(size_t index, uint64_t round, Bytes& inout) const;
+
   // All keys (the common client path: every server pad, single buffer).
   void XorAllPads(uint64_t round, Bytes& inout, size_t num_threads = 1) const;
 

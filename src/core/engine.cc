@@ -16,6 +16,20 @@ ServerEngine::ServerEngine(DissentServer* logic, const GroupDef& def, Config con
       index_(logic->index()),
       num_servers_(def.num_servers()) {
   assert(config_.pipeline_depth == logic_->pipeline_depth());
+  rounds_.resize(std::max<size_t>(config_.pipeline_depth, 1));
+}
+
+size_t ServerEngine::inflight_rounds() const {
+  size_t n = 0;
+  for (const RoundState& st : rounds_) {
+    n += st.active ? 1 : 0;
+  }
+  return n;
+}
+
+ServerEngine::RoundState* ServerEngine::FindRound(uint64_t round) {
+  RoundState& st = rounds_[round % rounds_.size()];
+  return st.active && st.round == round ? &st : nullptr;
 }
 
 ServerEngine::Actions ServerEngine::StartSession(int64_t now_us) {
@@ -30,8 +44,18 @@ void ServerEngine::StartRound(uint64_t round, int64_t now_us, Actions& a) {
   assert(round == next_round_to_start_);
   ++next_round_to_start_;
   logic_->StartRound(round);
-  RoundState& st = rounds_[round];
+  // Ring reuse: the slot of round r - depth was released when that round
+  // finished; gathering vectors keep their capacity across rounds.
+  RoundState& st = rounds_[round % rounds_.size()];
+  assert(!st.active);
+  st.round = round;
+  st.active = true;
   st.started_us = now_us;
+  st.window_closed = false;
+  st.window_timer_armed = false;
+  st.sent_commit = st.sent_ct = st.sent_sig = false;
+  st.participation = 0;
+  st.cleartext.clear();
   st.inventories.assign(num_servers_, std::nullopt);
   st.commits.assign(num_servers_, std::nullopt);
   st.server_cts.assign(num_servers_, std::nullopt);
@@ -58,8 +82,8 @@ ServerEngine::Actions ServerEngine::HandleMessage(const Peer& from, const WireMe
     if (from.kind != Peer::Kind::kClient || from.index != submit->client_id) {
       return a;
     }
-    auto it = rounds_.find(submit->round);
-    if (it == rounds_.end() || it->second.window_closed) {
+    RoundState* st = FindRound(submit->round);
+    if (st == nullptr || st->window_closed) {
       return a;
     }
     if (logic_->AcceptClientCiphertext(submit->round, submit->client_id, submit->ciphertext)) {
@@ -106,11 +130,13 @@ void ServerEngine::HandleServerPhase(uint32_t sender, const WireMessage& msg, in
   if (round < next_round_to_finish_) {
     return;  // stale
   }
-  if (rounds_.find(round) == rounds_.end()) {
+  RoundState* strp = FindRound(round);
+  if (strp == nullptr) {
     // A faster peer is ahead of us; hold its message until we open the
     // round. Bounded in both round range and per-round size so a
     // misbehaving peer cannot grow the buffer: one slot per (sender, phase).
-    if (round < next_round_to_start_ + 2 * config_.pipeline_depth + 2) {
+    if (round >= next_round_to_start_ &&
+        round < next_round_to_start_ + 2 * config_.pipeline_depth + 2) {
       auto& pending = early_[round];
       for (const auto& [held_sender, held_msg] : pending) {
         if (held_sender == sender && held_msg.index() == msg.index()) {
@@ -125,7 +151,7 @@ void ServerEngine::HandleServerPhase(uint32_t sender, const WireMessage& msg, in
   // a server re-commit after honest ciphertexts are revealed (voiding the
   // commit-then-reveal binding of Algorithm 2 steps 3-5) or swap its
   // inventory/ciphertext/signature mid-phase.
-  RoundState& st = rounds_[round];
+  RoundState& st = *strp;
   if (const auto* m = std::get_if<wire::Inventory>(&msg)) {
     if (st.inventories[sender].has_value()) {
       return;
@@ -164,8 +190,8 @@ ServerEngine::Actions ServerEngine::HandleTimer(uint64_t token, int64_t now_us) 
     return a;
   }
   uint64_t round = token >> 1;
-  auto it = rounds_.find(round);
-  if (it == rounds_.end() || it->second.window_closed) {
+  RoundState* st = FindRound(round);
+  if (st == nullptr || st->window_closed) {
     return a;  // stale timer: round finished or window already closed
   }
   CloseWindow(round, a);
@@ -183,14 +209,19 @@ void ServerEngine::Broadcast(WireMessage msg, Actions& a) {
 }
 
 void ServerEngine::MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& a) {
-  RoundState& st = rounds_[round];
+  RoundState& st = *FindRound(round);
   if (st.window_closed || st.window_timer_armed) {
     return;
   }
-  // Close once `fraction` of this server's attached clients answered, after
-  // multiplier * elapsed (§5.1).
-  size_t share = config_.attached_clients.size();
-  size_t threshold = static_cast<size_t>(config_.window_fraction * static_cast<double>(share));
+  // Close once `fraction` of the expected submitters answered, after
+  // multiplier * elapsed (§5.1). The expectation is the previous window's
+  // observed participation when adaptive, the static attached share
+  // otherwise (and for the first window, which has no observation).
+  size_t expected = config_.attached_clients.size();
+  if (config_.adaptive_window && last_window_observed_ > 0) {
+    expected = std::min(last_window_observed_, expected);
+  }
+  size_t threshold = static_cast<size_t>(config_.window_fraction * static_cast<double>(expected));
   if (logic_->SubmissionCount(round) < std::max<size_t>(threshold, 1)) {
     return;
   }
@@ -202,8 +233,9 @@ void ServerEngine::MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& 
 }
 
 void ServerEngine::CloseWindow(uint64_t round, Actions& a) {
-  RoundState& st = rounds_[round];
+  RoundState& st = *FindRound(round);
   st.window_closed = true;
+  last_window_observed_ = logic_->SubmissionCount(round);
   std::vector<uint32_t> inv = logic_->Inventory(round);
   Broadcast(wire::Inventory{round, static_cast<uint32_t>(index_), inv}, a);
   st.inventories[index_] = std::move(inv);
@@ -211,7 +243,7 @@ void ServerEngine::CloseWindow(uint64_t round, Actions& a) {
 }
 
 void ServerEngine::MaybeBuildCiphertext(uint64_t round, Actions& a) {
-  RoundState& st = rounds_[round];
+  RoundState& st = *FindRound(round);
   if (st.sent_commit || !st.window_closed) {
     return;
   }
@@ -239,7 +271,7 @@ void ServerEngine::MaybeBuildCiphertext(uint64_t round, Actions& a) {
 }
 
 void ServerEngine::MaybeShareCiphertext(uint64_t round, Actions& a) {
-  RoundState& st = rounds_[round];
+  RoundState& st = *FindRound(round);
   if (!st.sent_commit || st.sent_ct || !AllPresent(st.commits)) {
     return;
   }
@@ -252,7 +284,7 @@ void ServerEngine::MaybeShareCiphertext(uint64_t round, Actions& a) {
 }
 
 void ServerEngine::MaybeCertify(uint64_t round, Actions& a) {
-  RoundState& st = rounds_[round];
+  RoundState& st = *FindRound(round);
   if (!st.sent_ct || st.sent_sig || !AllPresent(st.server_cts)) {
     return;
   }
@@ -289,12 +321,12 @@ void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
   // straggling signature for round r, but outputs are distributed strictly
   // in round order so clients advance their schedules consistently.
   while (!halted_) {
-    auto it = rounds_.find(next_round_to_finish_);
-    if (it == rounds_.end() || !it->second.sent_sig || !AllPresent(it->second.sigs)) {
+    RoundState* strp = FindRound(next_round_to_finish_);
+    if (strp == nullptr || !strp->sent_sig || !AllPresent(strp->sigs)) {
       return;
     }
-    const uint64_t round = it->first;
-    RoundState& st = it->second;
+    RoundState& st = *strp;
+    const uint64_t round = st.round;
     wire::Output out;
     out.round = round;
     out.cleartext = st.cleartext;
@@ -302,10 +334,11 @@ void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
     for (auto& sig : st.sigs) {
       out.signatures.push_back(*sig);
     }
-    auto shared_out = std::make_shared<const WireMessage>(std::move(out));
-    for (uint32_t c : config_.attached_clients) {
-      a.out.push_back({ClientPeer(c), shared_out});
-    }
+    // One broadcast envelope for the whole attachment set: the transport
+    // fans it out (per machine or per client) without the engine doing
+    // per-client work.
+    a.out.push_back({AttachedClientsPeer(static_cast<uint32_t>(index_)),
+                     std::make_shared<const WireMessage>(std::move(out))});
     auto fin = logic_->FinishRound(round, st.cleartext);
     RoundDone done;
     done.round = round;
@@ -320,7 +353,7 @@ void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
             def_.policy.alpha * static_cast<double>(last_participation_);
     last_participation_ = st.participation;
     a.done.push_back(std::move(done));
-    rounds_.erase(it);
+    st.active = false;
     ++next_round_to_finish_;
     ++rounds_completed_;
     StartRound(next_round_to_start_, now_us, a);

@@ -17,12 +17,31 @@
 // engines are the only place protocol order lives, so the drivers can never
 // disagree on it.
 //
+// Shared-payload ownership rules: an Envelope holds a
+// `shared_ptr<const WireMessage>`, and one message object is shared by every
+// envelope of a broadcast (server gossip goes out as M-1 envelopes sharing
+// one message; the round Output goes out as a *single* envelope addressed to
+// Peer::Kind::kAttachedClients, which the transport fans out to this
+// server's attached clients). The contract is:
+//   * the engine never mutates a message after emitting it — payloads are
+//     immutable from construction;
+//   * a transport that needs to tamper (test hooks) must copy-on-write, not
+//     mutate in place, because sibling envelopes alias the same object;
+//   * transports may cache per-payload work (serialization, parse results)
+//     keyed on the message/frame pointer — identity is stable for the
+//     lifetime of the shared_ptr and broadcast envelopes are emitted
+//     consecutively;
+//   * a transport expanding kAttachedClients chooses the wire fan-out (one
+//     frame per client, or one frame per client-hosting machine): the frame
+//     bytes are identical for every recipient by construction.
+//
 // Pipelining: a ServerEngine keeps a window of `pipeline_depth` concurrent
-// in-flight rounds, with all gathering state keyed by round number —
-// submissions for round r+1 are accepted and the r+1 gossip cascade runs
-// while round r is still combining or certifying. Rounds *finish* strictly
-// in order (outputs are distributed in round order). Depth 1 reproduces the
-// sequential protocol exactly.
+// in-flight rounds, with all gathering state held in a ring of
+// pipeline_depth slots keyed by round number — submissions for round r+1
+// are accepted and the r+1 gossip cascade runs while round r is still
+// combining or certifying. Rounds *finish* strictly in order (outputs are
+// distributed in round order). Depth 1 reproduces the sequential protocol
+// exactly.
 #ifndef DISSENT_CORE_ENGINE_H_
 #define DISSENT_CORE_ENGINE_H_
 
@@ -39,18 +58,25 @@
 namespace dissent {
 
 // Protocol-level address: transports map these to nodes/sockets.
+// kAttachedClients is a broadcast address — "every client attached to
+// server `index`" — so a 5,000-client output distribution is one envelope,
+// not 5,000.
 struct Peer {
-  enum class Kind : uint8_t { kServer, kClient };
+  enum class Kind : uint8_t { kServer, kClient, kAttachedClients };
   Kind kind = Kind::kServer;
   uint32_t index = 0;
 };
 inline Peer ServerPeer(uint32_t j) { return Peer{Peer::Kind::kServer, j}; }
 inline Peer ClientPeer(uint32_t i) { return Peer{Peer::Kind::kClient, i}; }
+inline Peer AttachedClientsPeer(uint32_t server) {
+  return Peer{Peer::Kind::kAttachedClients, server};
+}
 
 // One outgoing message: the transport serializes and delivers it. The
 // payload is shared so a broadcast to M-1 peers carries one copy of (say) a
 // 128 KiB server ciphertext, and transports can serialize it once by caching
-// on pointer identity (broadcast envelopes are emitted consecutively).
+// on pointer identity (broadcast envelopes are emitted consecutively). See
+// the shared-payload ownership rules in the header comment.
 struct Envelope {
   Peer to;
   std::shared_ptr<const WireMessage> msg;
@@ -67,12 +93,18 @@ struct TimerRequest {
 class ServerEngine {
  public:
   struct Config {
-    // Submission window (§5.1): once `window_fraction` of this server's
-    // attached clients have submitted, close at `window_multiplier` times
-    // the elapsed time; `hard_deadline_us` is the backstop.
+    // Submission window (§5.1): once `window_fraction` of the expected
+    // submitters have answered, close at `window_multiplier` times the
+    // elapsed time; `hard_deadline_us` is the backstop.
     double window_fraction = 0.95;
     double window_multiplier = 1.1;
     int64_t hard_deadline_us = 120 * 1000000ll;
+    // Adaptive window sizing (§5.1 discussion): when true, the expected
+    // submitter count for round r is the participation this server observed
+    // at the close of the previous round's window, so sustained churn moves
+    // the threshold instead of stalling every round to the hard deadline.
+    // The first round (no observation yet) uses the attached-client share.
+    bool adaptive_window = true;
     // Concurrent in-flight rounds (must match the logic's pipeline_depth).
     size_t pipeline_depth = 1;
     // Clients attached to this server (they receive Output messages).
@@ -111,11 +143,17 @@ class ServerEngine {
   // Submissions accepted for a round while an earlier round was still in
   // flight — nonzero iff pipelining actually overlapped rounds.
   uint64_t pipelined_submissions() const { return pipelined_submissions_; }
-  size_t inflight_rounds() const { return rounds_.size(); }
+  size_t inflight_rounds() const;
   bool halted() const { return halted_; }
+  // Submission count this server observed at its most recent window close
+  // (the adaptive-window input); 0 until a window has closed.
+  size_t last_window_observed() const { return last_window_observed_; }
 
  private:
+  // Ring slot for one in-flight round (index = round % pipeline_depth).
   struct RoundState {
+    uint64_t round = 0;
+    bool active = false;
     int64_t started_us = 0;
     bool window_closed = false;
     bool window_timer_armed = false;
@@ -133,6 +171,7 @@ class ServerEngine {
   enum TimerKind : uint64_t { kWindowPolicy = 0, kHardDeadline = 1 };
   static uint64_t Token(uint64_t round, TimerKind kind) { return (round << 1) | kind; }
 
+  RoundState* FindRound(uint64_t round);
   void StartRound(uint64_t round, int64_t now_us, Actions& a);
   void HandleServerPhase(uint32_t sender, const WireMessage& msg, int64_t now_us, Actions& a);
   void Broadcast(WireMessage msg, Actions& a);
@@ -150,7 +189,7 @@ class ServerEngine {
   size_t index_;
   size_t num_servers_;
 
-  std::map<uint64_t, RoundState> rounds_;
+  std::vector<RoundState> rounds_;  // ring of in-flight rounds
   // Server-phase messages for rounds we have not opened yet (a faster peer
   // can be a full phase ahead); replayed on StartRound. Bounded.
   std::map<uint64_t, std::vector<std::pair<uint32_t, WireMessage>>> early_;
@@ -158,6 +197,7 @@ class ServerEngine {
   uint64_t next_round_to_finish_ = 1;
   uint64_t rounds_completed_ = 0;
   size_t last_participation_ = 0;
+  size_t last_window_observed_ = 0;
   uint64_t pipelined_submissions_ = 0;
   bool halted_ = false;
 };

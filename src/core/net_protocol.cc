@@ -7,17 +7,33 @@
 
 namespace dissent {
 
+namespace {
+constexpr size_t kParseCacheEntries = 8;
+}  // namespace
+
 struct NetDissent::ServerNode {
   std::unique_ptr<DissentServer> logic;
   std::unique_ptr<ServerEngine> engine;
   NodeId node = 0;
+  std::vector<size_t> attached_machines;
 };
 
 struct NetDissent::ClientNode {
   std::unique_ptr<DissentClient> logic;
   std::unique_ptr<ClientEngine> engine;
-  NodeId node = 0;
+  size_t machine = 0;
   size_t upstream = 0;  // server index
+  bool online = true;
+};
+
+// One client-hosting host (§5.2): its clients share the node, its NIC, and
+// its links. With clients_per_machine == 1 this is the classic
+// one-node-per-client topology.
+struct NetDissent::MachineNode {
+  NodeId node = 0;
+  size_t first_client = 0;
+  size_t num_clients = 0;
+  size_t upstream = 0;
 };
 
 NetDissent::NetDissent(GroupDef def, std::vector<BigInt> server_privs,
@@ -31,30 +47,47 @@ NetDissent::NetDissent(GroupDef def, std::vector<BigInt> server_privs,
       rng_(SecureRng::FromLabel(seed)),
       jitter_(seed ^ 0xabcdef) {
   const size_t depth = std::max<size_t>(options_.pipeline_depth, 1);
+  const size_t per_machine = std::max<size_t>(options_.clients_per_machine, 1);
+  const size_t num_machines = (def_.num_clients() + per_machine - 1) / per_machine;
   // Clients are constructed (and fork the session rng) before servers, in
   // the same order as the in-process Coordinator, so identical seeds yield
   // identical protocol bytes across the two transports.
   for (size_t i = 0; i < def_.num_clients(); ++i) {
     auto node = std::make_unique<ClientNode>();
     node->logic = std::make_unique<DissentClient>(def_, i, client_privs[i], rng_.Fork(), depth);
-    node->upstream = i % def_.num_servers();
+    node->machine = i / per_machine;
+    node->upstream = node->machine % def_.num_servers();
     clients_.push_back(std::move(node));
   }
   for (size_t j = 0; j < def_.num_servers(); ++j) {
     auto node = std::make_unique<ServerNode>();
     node->logic = std::make_unique<DissentServer>(def_, j, server_privs_[j], rng_.Fork(), depth);
+    node->logic->SetEvidenceRounds(options_.evidence_rounds);
     servers_.push_back(std::move(node));
   }
   // Engines: thin typed state machines; this class is only their transport.
+  // Attached clients are listed machine-major so broadcast fan-out visits
+  // each machine's clients contiguously.
+  machines_.resize(num_machines);
+  for (size_t m = 0; m < num_machines; ++m) {
+    machines_[m].first_client = m * per_machine;
+    machines_[m].num_clients = std::min(per_machine, def_.num_clients() - m * per_machine);
+    machines_[m].upstream = m % def_.num_servers();
+  }
   for (size_t j = 0; j < def_.num_servers(); ++j) {
     ServerEngine::Config cfg;
     cfg.window_fraction = options_.window_fraction;
     cfg.window_multiplier = options_.window_multiplier;
     cfg.hard_deadline_us = options_.hard_deadline;
+    cfg.adaptive_window = options_.adaptive_window;
     cfg.pipeline_depth = depth;
-    for (size_t i = 0; i < clients_.size(); ++i) {
-      if (clients_[i]->upstream == j) {
-        cfg.attached_clients.push_back(static_cast<uint32_t>(i));
+    for (size_t m = 0; m < num_machines; ++m) {
+      if (machines_[m].upstream != j) {
+        continue;
+      }
+      servers_[j]->attached_machines.push_back(m);
+      for (size_t k = 0; k < machines_[m].num_clients; ++k) {
+        cfg.attached_clients.push_back(static_cast<uint32_t>(machines_[m].first_client + k));
       }
     }
     servers_[j]->engine =
@@ -68,30 +101,29 @@ NetDissent::NetDissent(GroupDef def, std::vector<BigInt> server_privs,
         std::make_unique<ClientEngine>(clients_[i]->logic.get(), def_, cfg);
   }
   // Network nodes. Servers first so their node ids are stable regardless of
-  // client count; deliveries parse the typed wire message and feed the
-  // engine, then dispatch whatever it wants sent/scheduled.
+  // client count; deliveries parse the typed wire message (once per distinct
+  // frame) and feed the engine(s), then dispatch whatever they want
+  // sent/scheduled.
   for (size_t j = 0; j < def_.num_servers(); ++j) {
-    servers_[j]->node = net_.AddNode([this, j](NodeId from, const Bytes& payload) {
-      auto msg = ParseWire(payload);
-      if (!msg.has_value()) {
-        return;  // malformed: drop
-      }
-      DispatchServer(j, servers_[j]->engine->HandleMessage(PeerForNode(from), *msg, sim_->Now()));
+    servers_[j]->node = net_.AddNode([this, j](NodeId from, const Network::Frame& payload) {
+      DeliverToServer(j, from, payload);
     });
+    if (options_.server_uplink.bandwidth_bps > 0) {
+      net_.SetUplink(servers_[j]->node, options_.server_uplink);
+    }
   }
-  for (size_t i = 0; i < clients_.size(); ++i) {
-    clients_[i]->node = net_.AddNode([this, i](NodeId from, const Bytes& payload) {
-      auto msg = ParseWire(payload);
-      if (!msg.has_value()) {
-        return;
-      }
-      DispatchClient(i, clients_[i]->engine->HandleMessage(PeerForNode(from), *msg));
+  for (size_t m = 0; m < num_machines; ++m) {
+    machines_[m].node = net_.AddNode([this, m](NodeId from, const Network::Frame& payload) {
+      DeliverToMachine(m, from, payload);
     });
+    if (options_.machine_uplink.bandwidth_bps > 0) {
+      net_.SetUplink(machines_[m].node, options_.machine_uplink);
+    }
   }
   // Topology: dedicated links; server mesh faster than client uplinks.
-  for (auto& c : clients_) {
-    net_.SetLink(c->node, servers_[c->upstream]->node, options_.client_link);
-    net_.SetLink(servers_[c->upstream]->node, c->node, options_.client_link);
+  for (auto& m : machines_) {
+    net_.SetLink(m.node, servers_[m.upstream]->node, options_.client_link);
+    net_.SetLink(servers_[m.upstream]->node, m.node, options_.client_link);
   }
   for (auto& a : servers_) {
     for (auto& b : servers_) {
@@ -107,77 +139,194 @@ NetDissent::~NetDissent() = default;
 DissentClient& NetDissent::client(size_t i) { return *clients_[i]->logic; }
 
 void NetDissent::SetClientOnline(size_t i, bool online) {
-  net_.SetOnline(clients_[i]->node, online);
+  // Per-client flag (machines host many clients, so node-level online state
+  // is the wrong granularity): an offline client neither submits nor has
+  // outputs fanned out to it, which is exactly the §3.6 silent-vanish model.
+  clients_[i]->online = online;
 }
 
-// Servers occupy node ids [0, M); clients [M, M+N).
-Peer NetDissent::PeerForNode(NodeId node) const {
-  if (node < servers_.size()) {
-    return ServerPeer(static_cast<uint32_t>(node));
+std::shared_ptr<const WireMessage> NetDissent::ParseFrame(const Network::Frame& frame) {
+  for (auto it = parse_cache_.begin(); it != parse_cache_.end(); ++it) {
+    if (it->key == frame.get() && !it->key_owner.expired()) {
+      return it->msg;
+    }
   }
-  return ClientPeer(static_cast<uint32_t>(node - servers_.size()));
+  auto msg = ParseWireShared(*frame);
+  if (msg == nullptr) {
+    return nullptr;  // malformed: drop
+  }
+  // Only frames with other deliveries still in flight can hit the cache
+  // again; unique point-to-point frames (use_count == 1: our reference only)
+  // are not worth remembering.
+  if (frame.use_count() > 1) {
+    parse_cache_.push_front({frame.get(), frame, msg});
+    while (parse_cache_.size() > kParseCacheEntries) {
+      parse_cache_.pop_back();
+    }
+  }
+  return msg;
+}
+
+void NetDissent::DeliverToServer(size_t j, NodeId from, const Network::Frame& payload) {
+  auto msg = ParseFrame(payload);
+  if (msg == nullptr) {
+    return;
+  }
+  Peer peer;
+  if (from < servers_.size()) {
+    peer = ServerPeer(static_cast<uint32_t>(from));
+  } else {
+    // Client traffic arrives from a machine node; the claimed sender is
+    // authentic iff that client is hosted on the sending machine (models the
+    // per-client authenticated connections a machine multiplexes).
+    const auto* submit = std::get_if<wire::ClientSubmit>(msg.get());
+    if (submit == nullptr) {
+      return;
+    }
+    size_t m = from - servers_.size();
+    const MachineNode& machine = machines_[m];
+    if (submit->client_id < machine.first_client ||
+        submit->client_id >= machine.first_client + machine.num_clients ||
+        machine.upstream != j) {
+      return;
+    }
+    peer = ClientPeer(submit->client_id);
+  }
+  DispatchServer(j, servers_[j]->engine->HandleMessage(peer, *msg, sim_->Now()));
+}
+
+void NetDissent::DeliverToMachine(size_t m, NodeId from, const Network::Frame& payload) {
+  if (from >= servers_.size()) {
+    return;  // machines only receive from servers
+  }
+  auto msg = ParseFrame(payload);
+  if (msg == nullptr || !std::holds_alternative<wire::Output>(*msg)) {
+    return;
+  }
+  // Fan the (already parsed) output to every hosted client. Duplicate frames
+  // (the per-client-frame comparison mode) are shed by each engine's output
+  // replay guard, so semantics match the shared-frame path exactly.
+  const MachineNode& machine = machines_[m];
+  const Peer peer = ServerPeer(static_cast<uint32_t>(from));
+  for (size_t k = 0; k < machine.num_clients; ++k) {
+    size_t i = machine.first_client + k;
+    if (!clients_[i]->online) {
+      continue;
+    }
+    DispatchClient(i, clients_[i]->engine->HandleMessage(peer, *msg));
+  }
 }
 
 bool NetDissent::Start() {
-  // Scheduling (§3.10) through the verified cascade.
-  CiphertextMatrix submissions;
-  for (auto& c : clients_) {
-    submissions.push_back(EncryptPseudonymKey(def_, c->logic->pseudonym().pub, rng_));
-  }
-  ShuffleCascadeResult cascade = RunShuffleCascade(def_, server_privs_, submissions, rng_);
-  if (!VerifyShuffleCascade(def_, submissions, cascade)) {
-    return false;
-  }
-  std::vector<BigInt> keys;
-  for (const auto& row : cascade.final_rows) {
-    keys.push_back(row[0].b);
-  }
-  for (size_t i = 0; i < clients_.size(); ++i) {
-    auto it = std::find(keys.begin(), keys.end(), clients_[i]->logic->pseudonym().pub);
-    if (it == keys.end()) {
+  if (options_.direct_scheduling) {
+    // Slot i = client i: skips the verified shuffle (whose cost at 1,000+
+    // clients dwarfs the rounds under test) while leaving the round path
+    // byte-identical to a shuffle that happened to produce the identity.
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      clients_[i]->logic->AssignSlot(i, clients_.size());
+    }
+  } else {
+    // Scheduling (§3.10) through the verified cascade.
+    CiphertextMatrix submissions;
+    for (auto& c : clients_) {
+      submissions.push_back(EncryptPseudonymKey(def_, c->logic->pseudonym().pub, rng_));
+    }
+    ShuffleCascadeResult cascade = RunShuffleCascade(def_, server_privs_, submissions, rng_);
+    if (!VerifyShuffleCascade(def_, submissions, cascade)) {
       return false;
     }
-    clients_[i]->logic->AssignSlot(static_cast<size_t>(it - keys.begin()), keys.size());
+    std::vector<BigInt> keys;
+    for (const auto& row : cascade.final_rows) {
+      keys.push_back(row[0].b);
+    }
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      auto it = std::find(keys.begin(), keys.end(), clients_[i]->logic->pseudonym().pub);
+      if (it == keys.end()) {
+        return false;
+      }
+      clients_[i]->logic->AssignSlot(static_cast<size_t>(it - keys.begin()), keys.size());
+    }
   }
   for (auto& s : servers_) {
-    s->logic->BeginSlots(keys.size());
+    s->logic->BeginSlots(clients_.size());
   }
   for (size_t j = 0; j < servers_.size(); ++j) {
     DispatchServer(j, servers_[j]->engine->StartSession(sim_->Now()));
   }
   for (size_t i = 0; i < clients_.size(); ++i) {
-    DispatchClient(i, clients_[i]->engine->StartSession());
+    if (clients_[i]->online) {
+      DispatchClient(i, clients_[i]->engine->StartSession());
+    }
   }
   return true;
 }
 
-void NetDissent::SendEnvelope(NodeId from_node, bool from_client, const Envelope& env,
+void NetDissent::SubmitWithDelay(size_t client_index, Network::Frame frame) {
+  const ClientNode& c = *clients_[client_index];
+  const NodeId from = machines_[c.machine].node;
+  const NodeId to = servers_[c.upstream]->node;
+  SimTime delay;
+  if (options_.submit_delay.has_value()) {
+    delay = options_.submit_delay->Draw(jitter_);
+    if (delay < 0) {
+      return;  // PlanetLab straggler that never answers this round (§5.1)
+    }
+  } else {
+    // Client think time before submitting each round (models app + OS).
+    delay = static_cast<SimTime>(jitter_.Below(
+        static_cast<uint64_t>(std::max<SimTime>(options_.client_jitter_max, 1))));
+  }
+  sim_->Schedule(delay, [this, client_index, from, to, f = std::move(frame)] {
+    if (!clients_[client_index]->online) {
+      return;  // vanished during think time: the frame never leaves (§3.6)
+    }
+    net_.Send(from, to, f);
+  });
+}
+
+void NetDissent::SendEnvelope(size_t server_index, const Envelope& env,
                               SerializeCache& cache) {
-  NodeId to = env.to.kind == Peer::Kind::kServer
-                  ? servers_[env.to.index]->node
-                  : clients_[env.to.index]->node;
-  // Broadcast envelopes share one payload object: serialize it once.
+  // Serialize exactly once per payload object; every destination shares the
+  // resulting frame (broadcast envelopes are emitted consecutively, so a
+  // one-entry cache keyed on message identity suffices).
   if (env.msg.get() != cache.msg) {
     cache.msg = env.msg.get();
-    cache.payload = SerializeWire(*env.msg);
+    cache.frame = SerializeWireShared(*env.msg);
   }
-  if (from_client && std::holds_alternative<wire::ClientSubmit>(*env.msg)) {
-    // Client think time before submitting each round (models app + OS).
-    SimTime jitter = static_cast<SimTime>(jitter_.Below(
-        static_cast<uint64_t>(std::max<SimTime>(options_.client_jitter_max, 1))));
-    sim_->Schedule(jitter, [this, from_node, to, payload = cache.payload] {
-      net_.Send(from_node, to, payload);
-    });
-    return;
+  const Network::Frame& frame = cache.frame;
+  const NodeId from = servers_[server_index]->node;
+  switch (env.to.kind) {
+    case Peer::Kind::kServer:
+      net_.Send(from, servers_[env.to.index]->node, frame);
+      return;
+    case Peer::Kind::kClient:
+      net_.Send(from, machines_[clients_[env.to.index]->machine].node, frame);
+      return;
+    case Peer::Kind::kAttachedClients: {
+      const ServerNode& s = *servers_[env.to.index];
+      if (options_.shared_broadcast) {
+        // One frame per attached machine; co-located clients share it.
+        for (size_t m : s.attached_machines) {
+          net_.Send(from, machines_[m].node, frame);
+        }
+      } else {
+        // Pre-batching per-message path: one wire copy per client. The
+        // frames are byte-identical; only the wire cost differs.
+        for (size_t m : s.attached_machines) {
+          for (size_t k = 0; k < machines_[m].num_clients; ++k) {
+            net_.Send(from, machines_[m].node, frame);
+          }
+        }
+      }
+      return;
+    }
   }
-  net_.Send(from_node, to, cache.payload);
 }
 
 void NetDissent::DispatchServer(size_t j, ServerEngine::Actions actions) {
-  ServerNode& s = *servers_[j];
   SerializeCache cache;
   for (const Envelope& env : actions.out) {
-    SendEnvelope(s.node, /*from_client=*/false, env, cache);
+    SendEnvelope(j, env, cache);
   }
   for (const TimerRequest& t : actions.timers) {
     sim_->Schedule(static_cast<SimTime>(t.delay_us), [this, j, token = t.token] {
@@ -192,18 +341,23 @@ void NetDissent::DispatchServer(size_t j, ServerEngine::Actions actions) {
       ++rounds_completed_;
       last_participation_ = done.participation;
       last_round_duration_ = sim_->Now() - static_cast<SimTime>(done.started_at_us);
-      cleartexts_.push_back(std::move(done.cleartext));
+      if (record_cleartexts_) {
+        cleartexts_.push_back(std::move(done.cleartext));
+      }
     }
   }
 }
 
 void NetDissent::DispatchClient(size_t i, ClientEngine::Actions actions) {
-  ClientNode& c = *clients_[i];
-  SerializeCache cache;
-  for (const Envelope& env : actions.out) {
-    SendEnvelope(c.node, /*from_client=*/true, env, cache);
+  const ClientNode& c = *clients_[i];
+  if (c.online) {
+    for (const Envelope& env : actions.out) {
+      // Clients only ever emit ClientSubmit toward their upstream server.
+      assert(env.to.kind == Peer::Kind::kServer && env.to.index == c.upstream);
+      SubmitWithDelay(i, SerializeWireShared(*env.msg));
+    }
   }
-  if (i == 0) {
+  if (i == 0 && record_cleartexts_) {
     for (ClientEngine::Delivery& d : actions.delivered) {
       if (!d.signatures_ok) {
         continue;
@@ -221,6 +375,14 @@ uint64_t NetDissent::pipelined_submissions() const {
     total += s->engine->pipelined_submissions();
   }
   return total;
+}
+
+size_t NetDissent::peak_round_state_bytes() const {
+  size_t peak = 0;
+  for (const auto& s : servers_) {
+    peak = std::max(peak, s->logic->peak_round_state_bytes());
+  }
+  return peak;
 }
 
 }  // namespace dissent

@@ -56,6 +56,7 @@ DissentServer::DissentServer(const GroupDef& def, size_t server_index,
     client_keys_.push_back(DeriveSharedKey(*def_.group, priv_, client_pub, "dissent.dcnet"));
   }
   pad_expander_ = PadExpander(client_keys_);
+  rounds_.resize(pipeline_depth_);
   ResetScheduleWindow(SlotSchedule(def.num_clients(), def.policy.default_slot_length));
 }
 
@@ -71,6 +72,11 @@ void DissentServer::BeginSlots(size_t num_slots) {
   ResetScheduleWindow(SlotSchedule(num_slots, def_.policy.default_slot_length));
 }
 
+void DissentServer::SetEvidenceRounds(size_t rounds) {
+  evidence_rounds_ = rounds;
+  PruneEvidence();
+}
+
 const SlotSchedule& DissentServer::ScheduleFor(uint64_t round) const {
   if (round <= sched_base_round_) {
     return scheds_.front();
@@ -79,47 +85,86 @@ const SlotSchedule& DissentServer::ScheduleFor(uint64_t round) const {
   return offset < scheds_.size() ? scheds_[offset] : scheds_.back();
 }
 
+DissentServer::RoundSlot* DissentServer::FindRound(uint64_t round) {
+  RoundSlot& slot = rounds_[round % pipeline_depth_];
+  return slot.active && slot.round == round ? &slot : nullptr;
+}
+
+const DissentServer::RoundSlot* DissentServer::FindRound(uint64_t round) const {
+  const RoundSlot& slot = rounds_[round % pipeline_depth_];
+  return slot.active && slot.round == round ? &slot : nullptr;
+}
+
 void DissentServer::StartRound(uint64_t round) {
-  rounds_[round];  // default-construct per-round state
+  // Ring reuse: starting round r claims the slot of round r - depth, which
+  // is exactly the "keep at most pipeline_depth rounds in flight" rule the
+  // map-based path enforced by erasure. Buffer capacity carries over, so the
+  // steady state allocates nothing per round.
+  RoundSlot& slot = rounds_[round % pipeline_depth_];
+  slot.round = round;
+  slot.active = true;
+  slot.recv_acc.clear();
+  slot.server_ct.clear();
+  slot.received_ids.clear();
+  slot.submitted.assign((def_.num_clients() + 63) / 64, 0);
   newest_round_ = std::max(newest_round_, round);
   equivocator_.reset();
-  // Keep at most pipeline_depth rounds in flight.
-  while (!rounds_.empty() && rounds_.begin()->first + pipeline_depth_ <= newest_round_) {
-    rounds_.erase(rounds_.begin());
-  }
+  PruneEvidence();
 }
 
 bool DissentServer::AcceptClientCiphertext(uint64_t round, size_t client_index,
                                            Bytes ciphertext) {
-  auto it = rounds_.find(round);
-  if (it == rounds_.end() || client_index >= def_.num_clients()) {
+  RoundSlot* slot = FindRound(round);
+  if (slot == nullptr || client_index >= def_.num_clients()) {
     return false;
   }
   if (ciphertext.size() != ScheduleFor(round).TotalLength()) {
     return false;
   }
-  return it->second.received.emplace(static_cast<uint32_t>(client_index), std::move(ciphertext))
-      .second;
+  uint64_t& word = slot->submitted[client_index / 64];
+  const uint64_t bit = 1ull << (client_index % 64);
+  if ((word & bit) != 0) {
+    return false;  // duplicate
+  }
+  word |= bit;
+  // Streaming combine: fold the ciphertext — and this client's pad, which
+  // is certainly part of the composite list every accepted client joins —
+  // into the round accumulator now, and let the buffer go. The round never
+  // holds more than the accumulator (plus the bounded evidence log)
+  // regardless of how many clients submit, and the pad expansion for
+  // directly-heard clients runs inside the submission window instead of on
+  // the post-window critical path.
+  if (slot->recv_acc.empty()) {
+    slot->recv_acc.assign(ciphertext.size(), 0);
+  }
+  XorWords(slot->recv_acc.data(), ciphertext.data(), ciphertext.size());
+  pad_expander_.XorPad(client_index, round, slot->recv_acc);
+  slot->received_ids.push_back(static_cast<uint32_t>(client_index));
+  if (evidence_rounds_ > 0) {
+    evidence_bytes_ += ciphertext.size();
+    evidence_[round].received_cts.emplace(static_cast<uint32_t>(client_index),
+                                          std::move(ciphertext));
+  }
+  NotePeakState();
+  return true;
 }
 
 size_t DissentServer::SubmissionCount(uint64_t round) const {
-  auto it = rounds_.find(round);
-  return it == rounds_.end() ? 0 : it->second.received.size();
+  const RoundSlot* slot = FindRound(round);
+  return slot == nullptr ? 0 : slot->received_ids.size();
 }
 
 size_t DissentServer::SubmissionCount() const { return SubmissionCount(newest_round_); }
 
 std::vector<uint32_t> DissentServer::Inventory(uint64_t round) const {
   std::vector<uint32_t> out;
-  auto it = rounds_.find(round);
-  if (it == rounds_.end()) {
+  const RoundSlot* slot = FindRound(round);
+  if (slot == nullptr) {
     return out;
   }
-  out.reserve(it->second.received.size());
-  for (const auto& [i, ct] : it->second.received) {
-    out.push_back(i);
-  }
-  return out;  // std::map iteration is already sorted
+  out = slot->received_ids;
+  std::sort(out.begin(), out.end());  // arrival order -> canonical sorted set
+  return out;
 }
 
 std::vector<std::vector<uint32_t>> DissentServer::TrimInventories(
@@ -140,44 +185,77 @@ std::vector<std::vector<uint32_t>> DissentServer::TrimInventories(
 const Bytes& DissentServer::BuildServerCiphertext(uint64_t round,
                                                   const std::vector<uint32_t>& composite_list,
                                                   const std::vector<uint32_t>& own_share) {
-  RoundState& st = rounds_.at(round);
-  st.server_ct.assign(ScheduleFor(round).TotalLength(), 0);
-  // XOR the pads shared with every participating client (even those whose
-  // ciphertexts went to other servers) straight into the accumulator via the
-  // precomputed key schedules. Large client sets fan out across hardware
-  // threads (§3.4: server computations are parallelizable); each worker owns
-  // a column of the buffer, so there are no per-worker copies to fold.
+  RoundSlot& st = *FindRound(round);
+  // The accumulator already holds the XOR of every ciphertext accepted at
+  // ingest time; seed it if nobody submitted.
+  const size_t len = ScheduleFor(round).TotalLength();
+  if (st.recv_acc.empty()) {
+    st.recv_acc.assign(len, 0);
+  }
+  // If the trim assigned one of our accepted clients to a lower-indexed
+  // server (possible only when a client multi-submits or a peer lies in its
+  // inventory), back that ciphertext out of the accumulator so s_j matches
+  // l'_j exactly — the map-based path excluded it by construction. Without
+  // retained evidence the correction is impossible and the round output
+  // degrades to garbage, the same observable outcome as any server-side
+  // disruption (the commit/verify phases still run honestly).
+  if (own_share.size() != st.received_ids.size() && evidence_rounds_ > 0) {
+    auto ev = evidence_.find(round);
+    if (ev != evidence_.end()) {
+      for (uint32_t i : st.received_ids) {
+        if (!std::binary_search(own_share.begin(), own_share.end(), i)) {
+          auto ct = ev->second.received_cts.find(i);
+          if (ct != ev->second.received_cts.end() && ct->second.size() == st.recv_acc.size()) {
+            XorWords(st.recv_acc.data(), ct->second.data(), ct->second.size());
+          }
+        }
+      }
+    }
+  }
+  // Pads of directly-heard clients were folded at ingest; what remains is
+  // the pads of composite-list clients whose ciphertexts went to *other*
+  // servers (§3.4: s_j covers every participating client's pad). The caller
+  // guarantees every accepted client appears in the composite list — true
+  // by construction, since the composite is the union of all inventories.
+  std::vector<uint32_t> remaining;
+  remaining.reserve(composite_list.size());
+  for (uint32_t i : composite_list) {
+    if ((st.submitted[i / 64] & (1ull << (i % 64))) == 0) {
+      remaining.push_back(i);
+    }
+  }
+  st.server_ct = std::move(st.recv_acc);
+  st.recv_acc.clear();
+  // XOR the remaining pads straight into the accumulator via the precomputed
+  // key schedules. Large client sets fan out across hardware threads (§3.4:
+  // server computations are parallelizable); each worker owns a column of
+  // the buffer, so there are no per-worker copies to fold.
   constexpr size_t kParallelThreshold = 256;
   size_t threads = 1;
-  if (composite_list.size() >= kParallelThreshold) {
+  if (remaining.size() >= kParallelThreshold) {
     threads = std::max<size_t>(std::min<size_t>(std::thread::hardware_concurrency(), 8), 1);
   }
-  pad_expander_.XorPads(composite_list, round, st.server_ct, threads);
-  // XOR in the client ciphertexts this server owns after trimming.
-  for (uint32_t i : own_share) {
-    auto it = st.received.find(i);
-    assert(it != st.received.end());
-    XorInto(st.server_ct, it->second);
+  pad_expander_.XorPads(remaining, round, st.server_ct, threads);
+  // Retain evidence for accusation tracing (received ciphertexts were
+  // already moved in at ingest).
+  if (evidence_rounds_ > 0) {
+    RoundEvidence& ev = evidence_[round];
+    ev.composite_list = composite_list;
+    ev.own_share = own_share;
+    evidence_bytes_ += st.server_ct.size();
+    ev.server_ct = st.server_ct;
+    PruneEvidence();
   }
-  // Retain evidence for accusation tracing.
-  RoundEvidence ev;
-  ev.composite_list = composite_list;
-  ev.own_share = own_share;
-  ev.received_cts = st.received;
-  ev.server_ct = st.server_ct;
-  evidence_[round] = std::move(ev);
-  while (evidence_.size() > kEvidenceRounds) {
-    evidence_.erase(evidence_.begin());
-  }
+  NotePeakState();
   return st.server_ct;
 }
 
 Bytes DissentServer::CommitHash(uint64_t round) const {
-  return Sha256::Hash(rounds_.at(round).server_ct);
+  return Sha256::Hash(FindRound(round)->server_ct);
 }
 
 const Bytes& DissentServer::server_ciphertext(uint64_t round) const {
-  return rounds_.at(round).server_ct;
+  return FindRound(round)->server_ct;
 }
 
 std::optional<Bytes> DissentServer::CombineAndVerify(uint64_t round,
@@ -202,7 +280,11 @@ SchnorrSignature DissentServer::SignRoundOutput(uint64_t round, const Bytes& cle
 DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Bytes& cleartext) {
   RoundFinish result;
   auto it = evidence_.find(round);
-  result.participation = it != evidence_.end() ? it->second.composite_list.size() : 0;
+  if (it != evidence_.end()) {
+    result.participation = it->second.composite_list.size();
+  } else if (const RoundSlot* slot = FindRound(round)) {
+    result.participation = slot->received_ids.size();
+  }
   // Scan open slots for nonzero shuffle-request fields (§3.9), against the
   // layout this round was built with.
   const SlotSchedule& layout = ScheduleFor(round);
@@ -222,7 +304,9 @@ DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Byte
   scheds_.push_back(std::move(next));
   scheds_.pop_front();
   sched_base_round_ = round + 1;
-  rounds_.erase(round);
+  if (RoundSlot* slot = FindRound(round)) {
+    slot->active = false;
+  }
   return result;
 }
 
@@ -233,6 +317,28 @@ const DissentServer::RoundEvidence* DissentServer::EvidenceFor(uint64_t round) c
 
 bool DissentServer::PadBit(uint64_t round, size_t client_index, size_t bit_index) const {
   return pad_expander_.PadBit(client_index, round, bit_index);
+}
+
+void DissentServer::NotePeakState() {
+  size_t resident = 0;
+  for (const RoundSlot& slot : rounds_) {
+    if (slot.active) {
+      resident += slot.recv_acc.size() + slot.server_ct.size();
+    }
+  }
+  peak_round_state_bytes_ = std::max(peak_round_state_bytes_, resident);
+}
+
+void DissentServer::PruneEvidence() {
+  while (evidence_.size() > evidence_rounds_) {
+    const RoundEvidence& ev = evidence_.begin()->second;
+    size_t bytes = ev.server_ct.size();
+    for (const auto& [i, ct] : ev.received_cts) {
+      bytes += ct.size();
+    }
+    evidence_bytes_ -= std::min(evidence_bytes_, bytes);
+    evidence_.erase(evidence_.begin());
+  }
 }
 
 }  // namespace dissent

@@ -4,30 +4,41 @@
 // caller (a ServerEngine, see engine.h) drives it per round:
 //   1. Submission: StartRound opens per-round state; AcceptClientCiphertext
 //      collects ciphertexts until the window-policy deadline (owned by the
-//      engine/driver).
+//      engine/driver). Accepted ciphertexts are *streamed*: each one is
+//      XORed into the round's accumulator (XorWords) at ingest time and the
+//      buffer is released (or moved into the bounded accusation-evidence
+//      log), so a round in flight holds O(L) ciphertext bytes no matter how
+//      many clients submit — not the O(N*L) of buffering all N ciphertexts
+//      until the window closes. Duplicate detection is a flat per-round
+//      bitmap indexed by client id, ring-buffered by round % pipeline_depth.
 //   2. Inventory: Inventory(round) lists the clients heard from directly.
 //   3. Commitment: after the composite client list l is fixed (union of
 //      trimmed inventories), BuildServerCiphertext XORs the per-client pads
-//      for every i in l with the ciphertexts this server received for its
-//      own trimmed share l'_j; CommitHash publishes HASH(s_j).
+//      for every i in l into the accumulator via PadExpander workers;
+//      CommitHash publishes HASH(s_j).
 //   4/5. Combining + certification: CombineAndVerify checks every server
 //      commitment in one pass (equivocation is detected here) and tree-XORs
 //      the ciphertexts, then the caller collects signatures (output_cert.h).
 //
 // Rounds are keyed by round number: up to `pipeline_depth` rounds may be in
 // flight concurrently (submissions for round r+1 accepted while round r is
-// still combining). The slot schedule advances with a lag of
-// `pipeline_depth` rounds — the layout of round r is determined by the
-// outputs of rounds 1..r-depth — which is what lets a client build the
-// ciphertext for round r+depth as soon as it has processed round r's output.
-// Depth 1 reproduces the strictly sequential protocol exactly.
+// still combining), stored in a ring of pipeline_depth slots (slot =
+// round % depth) so the hot path never touches a node-based map. The slot
+// schedule advances with a lag of `pipeline_depth` rounds — the layout of
+// round r is determined by the outputs of rounds 1..r-depth — which is what
+// lets a client build the ciphertext for round r+depth as soon as it has
+// processed round r's output. Depth 1 reproduces the strictly sequential
+// protocol exactly.
 //
 // Because clients share secrets only with servers, a client that vanishes
 // mid-round simply drops out of l — the server-side pipeline never needs to
 // re-contact clients (§3.6).
 //
 // Servers retain per-round evidence (received ciphertexts, l, s_j) for the
-// last kEvidenceRounds rounds to serve accusation tracing (§3.9).
+// last `evidence_rounds` rounds to serve accusation tracing (§3.9). The
+// evidence log is the only place received ciphertexts persist; paper-scale
+// deployments that do not serve tracing locally set evidence_rounds = 0 and
+// keep the whole data path at O(L) resident bytes per round.
 #ifndef DISSENT_CORE_SERVER_H_
 #define DISSENT_CORE_SERVER_H_
 
@@ -54,6 +65,12 @@ class DissentServer {
   size_t index() const { return index_; }
   size_t pipeline_depth() const { return pipeline_depth_; }
 
+  // How many rounds of accusation evidence (including received client
+  // ciphertexts) to retain. 0 disables retention entirely: tracing becomes
+  // unavailable but per-round resident ciphertext memory is O(L).
+  void SetEvidenceRounds(size_t rounds);
+  size_t evidence_rounds() const { return evidence_rounds_; }
+
   // Newest known schedule (the layout of the most advanced in-flight round).
   const SlotSchedule& schedule() const { return scheds_.back(); }
   // Schedule for a specific round; rounds outside the in-flight window clamp
@@ -66,9 +83,11 @@ class DissentServer {
 
   // --- step 1: submission ---
   // Opens per-round state; up to pipeline_depth rounds may be open at once
-  // (starting round r drops any state for rounds <= r - depth).
+  // (starting round r reuses — and thus drops — the ring slot of round
+  // r - depth).
   void StartRound(uint64_t round);
-  // Returns false for duplicate/malformed submissions or inactive rounds.
+  // Streams one client ciphertext into the round accumulator. Returns false
+  // for duplicate/malformed submissions or inactive rounds.
   bool AcceptClientCiphertext(uint64_t round, size_t client_index, Bytes ciphertext);
   size_t SubmissionCount(uint64_t round) const;
   size_t SubmissionCount() const;  // newest started round
@@ -122,13 +141,33 @@ class DissentServer {
 
   const Bytes& SharedKeyWith(size_t client_index) const { return client_keys_[client_index]; }
 
+  // --- observability ---
+  // Peak of the combining state resident across all in-flight rounds: the
+  // streaming accumulators plus built server ciphertexts. O(depth * L) by
+  // construction — independent of the number of submitting clients. The
+  // bounded evidence log (when enabled) is accounted separately.
+  size_t peak_round_state_bytes() const { return peak_round_state_bytes_; }
+  size_t evidence_bytes() const { return evidence_bytes_; }
+
  private:
-  struct RoundState {
-    std::map<uint32_t, Bytes> received;
+  // Ring slot for one in-flight round (index = round % pipeline_depth).
+  struct RoundSlot {
+    uint64_t round = 0;
+    bool active = false;
+    // XOR of every accepted client ciphertext; sized lazily on first accept
+    // (capacity is reused across the ring). BuildServerCiphertext folds the
+    // pads in and moves this into server_ct.
+    Bytes recv_acc;
     Bytes server_ct;
+    std::vector<uint32_t> received_ids;  // arrival order; sorted on demand
+    std::vector<uint64_t> submitted;     // bitmap over client ids
   };
 
+  RoundSlot* FindRound(uint64_t round);
+  const RoundSlot* FindRound(uint64_t round) const;
   void ResetScheduleWindow(SlotSchedule initial);
+  void NotePeakState();
+  void PruneEvidence();
 
   const GroupDef& def_;
   size_t index_;
@@ -147,10 +186,13 @@ class DissentServer {
   std::deque<SlotSchedule> scheds_;
   uint64_t sched_base_round_ = 1;
 
-  std::map<uint64_t, RoundState> rounds_;  // in-flight rounds, keyed by number
+  std::vector<RoundSlot> rounds_;  // ring of in-flight rounds
   uint64_t newest_round_ = 0;
   std::optional<size_t> equivocator_;
+  size_t evidence_rounds_ = kEvidenceRounds;
   std::map<uint64_t, RoundEvidence> evidence_;
+  size_t peak_round_state_bytes_ = 0;
+  size_t evidence_bytes_ = 0;
 };
 
 }  // namespace dissent

@@ -183,6 +183,18 @@ std::optional<WireMessage> ParseWire(const Bytes& data) {
   }
 }
 
+std::shared_ptr<const Bytes> SerializeWireShared(const WireMessage& msg) {
+  return std::make_shared<const Bytes>(SerializeWire(msg));
+}
+
+std::shared_ptr<const WireMessage> ParseWireShared(const Bytes& data) {
+  auto msg = ParseWire(data);
+  if (!msg.has_value()) {
+    return nullptr;
+  }
+  return std::make_shared<const WireMessage>(std::move(*msg));
+}
+
 const char* WireTypeName(const WireMessage& msg) {
   return std::visit(
       [](const auto& m) -> const char* {

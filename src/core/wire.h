@@ -20,6 +20,7 @@
 #define DISSENT_CORE_WIRE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <variant>
 #include <vector>
@@ -111,6 +112,12 @@ Bytes SerializeWire(const WireMessage& msg);
 // non-canonical field values, or count fields larger than the remaining
 // input could possibly hold (the hostile-count guard).
 std::optional<WireMessage> ParseWire(const Bytes& data);
+
+// Ref-counted variants for broadcast fan-out: one serialized frame (or one
+// parsed message) is shared by every destination instead of copied/parsed
+// per destination. ParseWireShared returns nullptr on rejection.
+std::shared_ptr<const Bytes> SerializeWireShared(const WireMessage& msg);
+std::shared_ptr<const WireMessage> ParseWireShared(const Bytes& data);
 
 // Human-readable tag name, for logs and test diagnostics.
 const char* WireTypeName(const WireMessage& msg);

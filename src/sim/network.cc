@@ -24,8 +24,9 @@ const LinkSpec& Network::LinkFor(NodeId from, NodeId to) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
-void Network::Send(NodeId from, NodeId to, Bytes payload) {
+void Network::Send(NodeId from, NodeId to, Frame payload) {
   assert(from < nodes_.size() && to < nodes_.size());
+  assert(payload != nullptr);
   if (!nodes_[from].online) {
     ++messages_dropped_;  // dropped at send: sender offline
     return;
@@ -35,14 +36,16 @@ void Network::Send(NodeId from, NodeId to, Bytes payload) {
   SimTime start = sim_->Now();
   // Shared-NIC uplink serialization: messages leave one at a time.
   if (src.uplink.bandwidth_bps > 0) {
-    SimTime ser = src.uplink.SerializationDelay(payload.size());
+    SimTime ser = src.uplink.SerializationDelay(payload->size());
     SimTime depart = std::max(start, src.uplink_busy_until) + ser;
     src.uplink_busy_until = depart;
     start = depart + src.uplink.latency;
   }
   const LinkSpec& link = LinkFor(from, to);
-  SimTime arrive = start + link.latency + link.SerializationDelay(payload.size());
+  SimTime arrive = start + link.latency + link.SerializationDelay(payload->size());
 
+  // The in-flight copy is one shared_ptr: a broadcast frame queued toward
+  // thousands of destinations exists once, not once per destination.
   sim_->ScheduleAt(arrive, [this, from, to, p = std::move(payload)]() {
     NodeState& dst = nodes_[to];
     if (!dst.online || !dst.on_message) {
@@ -52,7 +55,7 @@ void Network::Send(NodeId from, NodeId to, Bytes payload) {
     // Counted at delivery so silently-dropped traffic never skews the
     // bandwidth accounting.
     ++messages_sent_;
-    bytes_sent_ += p.size();
+    bytes_sent_ += p->size();
     dst.on_message(from, p);
   });
 }

@@ -1,6 +1,14 @@
 // Simulated message network: nodes, directional links with latency and
 // bandwidth (FIFO serialization queues), online/offline state.
 //
+// Payloads are ref-counted frames (`Frame = shared_ptr<const Bytes>`): a
+// broadcast of one serialized protocol message to many destinations carries
+// a single heap copy of the bytes no matter how many deliveries are in
+// flight, and receivers can use the frame pointer as an identity key to
+// parse each distinct frame exactly once. Serialization/latency accounting
+// is unchanged — every delivery still pays its full wire cost; only the
+// simulator's resident memory and CPU stop scaling with fan-out.
+//
 // Topologies used by the benches mirror the paper's §5 testbeds:
 //  * DeterLab: servers on a shared 100 Mbps / 10 ms mesh; client machines on
 //    100 Mbps / 50 ms uplinks to their upstream server.
@@ -11,6 +19,7 @@
 
 #include <functional>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -38,7 +47,11 @@ class Network {
  public:
   explicit Network(Simulator* sim) : sim_(sim) {}
 
-  using DeliveryFn = std::function<void(NodeId from, const Bytes& payload)>;
+  // Ref-counted serialized frame. Deliveries of one broadcast share the same
+  // underlying Bytes object; `frame.get()` is a stable identity for the
+  // frame's lifetime (receivers key parse caches on it).
+  using Frame = std::shared_ptr<const Bytes>;
+  using DeliveryFn = std::function<void(NodeId from, const Frame& payload)>;
 
   NodeId AddNode(DeliveryFn on_message);
   size_t node_count() const { return nodes_.size(); }
@@ -55,8 +68,13 @@ class Network {
 
   // Queues the message; delivery happens after uplink serialization + link
   // latency. Messages to/from offline nodes are dropped silently (the sender
-  // cannot tell — exactly the failure mode §3.6 is designed around).
-  void Send(NodeId from, NodeId to, Bytes payload);
+  // cannot tell — exactly the failure mode §3.6 is designed around). The
+  // Frame overload shares the payload with the caller (no copy); the Bytes
+  // overload wraps the buffer for single-destination convenience.
+  void Send(NodeId from, NodeId to, Frame payload);
+  void Send(NodeId from, NodeId to, Bytes payload) {
+    Send(from, to, std::make_shared<const Bytes>(std::move(payload)));
+  }
 
   // Delivered traffic only: messages silently dropped because either
   // endpoint was offline are counted in messages_dropped() instead, so

@@ -1,0 +1,292 @@
+// Batched submission ingest: the flat-array/streaming path (server.h ring
+// slots + XOR accumulator) must reject late/duplicate/malformed submissions
+// exactly as the map-based path did, keep per-round resident ciphertext
+// memory at O(L) regardless of client count, and survive the hostile-bytes
+// corpus of fuzz_inputs_test.cc when mutants are driven through the engine.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/wire.h"
+#include "src/util/rng.h"
+
+namespace dissent {
+namespace {
+
+struct ServerWorld {
+  GroupDef def;
+  std::vector<BigInt> server_privs, client_privs;
+  std::unique_ptr<DissentServer> logic;
+};
+
+ServerWorld MakeServerWorld(size_t servers, size_t clients, uint64_t seed,
+                            size_t pipeline_depth = 1) {
+  ServerWorld w;
+  SecureRng rng = SecureRng::FromLabel(seed);
+  w.def = MakeTestGroup(Group::Named(GroupId::kTesting256), servers, clients, rng,
+                        &w.server_privs, &w.client_privs);
+  w.logic = std::make_unique<DissentServer>(w.def, 0, w.server_privs[0],
+                                            SecureRng::FromLabel(seed + 1), pipeline_depth);
+  w.logic->BeginSlots(clients);
+  return w;
+}
+
+TEST(BatchedIngestTest, RejectionSemanticsMatchMapPath) {
+  // The exact cases units_test pinned against the map-based implementation,
+  // plus the pipelined-round shapes the flat ring adds.
+  auto w = MakeServerWorld(2, 8, 8001, /*pipeline_depth=*/2);
+  const size_t len = w.logic->ExpectedCiphertextLength(1);
+  w.logic->StartRound(1);
+  w.logic->StartRound(2);
+  EXPECT_TRUE(w.logic->AcceptClientCiphertext(1, 0, Bytes(len, 1)));
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(1, 0, Bytes(len, 2))) << "duplicate";
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(1, 1, Bytes(len + 1, 1))) << "wrong length";
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(1, 1, Bytes(len - 1, 1))) << "wrong length";
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(3, 1, Bytes(len, 1))) << "unopened round";
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(0, 1, Bytes(len, 1))) << "never-opened round";
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(1, 99, Bytes(len, 1))) << "unknown client";
+  // Both in-flight rounds accept independently, in either order.
+  EXPECT_TRUE(w.logic->AcceptClientCiphertext(2, 3, Bytes(len, 3)));
+  EXPECT_TRUE(w.logic->AcceptClientCiphertext(1, 3, Bytes(len, 3)));
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(2, 3, Bytes(len, 4))) << "duplicate in round 2";
+  EXPECT_EQ(w.logic->SubmissionCount(1), 2u);
+  EXPECT_EQ(w.logic->SubmissionCount(2), 1u);
+  // Ring reuse: opening round 3 drops round 1 (depth 2), and a submission
+  // for the dropped round is "wrong round", exactly like the map erasure.
+  w.logic->StartRound(3);
+  EXPECT_FALSE(w.logic->AcceptClientCiphertext(1, 5, Bytes(len, 1))) << "dropped round";
+  EXPECT_EQ(w.logic->SubmissionCount(1), 0u);
+  EXPECT_EQ(w.logic->SubmissionCount(2), 1u) << "in-flight round must survive ring reuse";
+  // Inventory is the canonical sorted set regardless of arrival order.
+  EXPECT_TRUE(w.logic->AcceptClientCiphertext(3, 7, Bytes(len, 1)));
+  EXPECT_TRUE(w.logic->AcceptClientCiphertext(3, 2, Bytes(len, 1)));
+  EXPECT_EQ(w.logic->Inventory(3), (std::vector<uint32_t>{2, 7}));
+}
+
+TEST(BatchedIngestTest, EngineRejectsLateAndForgedSubmissions) {
+  // Through the ServerEngine: a submission after the window closed and a
+  // submission whose transport-level sender does not match the claimed
+  // client id are both dropped, as the map-based engine did.
+  auto w = MakeServerWorld(2, 4, 8002);
+  ServerEngine::Config cfg;
+  cfg.attached_clients = {0, 2};
+  ServerEngine engine(w.logic.get(), w.def, cfg);
+  auto start = engine.StartSession(0);
+  ASSERT_FALSE(start.timers.empty());
+  const size_t len = w.logic->ExpectedCiphertextLength(1);
+
+  engine.HandleMessage(ClientPeer(0), wire::ClientSubmit{1, 0, Bytes(len, 1)}, 10);
+  EXPECT_EQ(w.logic->SubmissionCount(1), 1u);
+  // Forged sender: claimed id 2, transport says client 3.
+  engine.HandleMessage(ClientPeer(3), wire::ClientSubmit{1, 2, Bytes(len, 1)}, 20);
+  EXPECT_EQ(w.logic->SubmissionCount(1), 1u);
+  // Close the window via the hard deadline, then submit late.
+  engine.HandleTimer(start.timers[0].token, 1000);
+  engine.HandleMessage(ClientPeer(2), wire::ClientSubmit{1, 2, Bytes(len, 1)}, 2000);
+  EXPECT_EQ(w.logic->SubmissionCount(1), 1u) << "late submission accepted";
+}
+
+TEST(BatchedIngestTest, HostileSubmitFramesNeverCorruptIngest) {
+  // fuzz_inputs_test.cc's mutation corpus, driven end-to-end: mutate a valid
+  // serialized ClientSubmit, parse it with the hardened wire codec, and feed
+  // whatever parses into the engine. Nothing may crash, and only frames that
+  // are byte-identical to the original (same round/id/length) may land in
+  // the accumulator — everything else must bounce off the same guards the
+  // map path had.
+  auto w = MakeServerWorld(2, 4, 8003);
+  ServerEngine::Config cfg;
+  cfg.attached_clients = {0, 2};
+  ServerEngine engine(w.logic.get(), w.def, cfg);
+  engine.StartSession(0);
+  const size_t len = w.logic->ExpectedCiphertextLength(1);
+
+  wire::ClientSubmit valid{1, 2, Bytes(len, 0x21)};
+  Bytes frame = SerializeWire(valid);
+  Rng rng(8003);
+  for (int i = 0; i < 600; ++i) {
+    Bytes mutated = frame;
+    switch (rng.Below(4)) {
+      case 0:
+        for (int k = 0; k < 3 && !mutated.empty(); ++k) {
+          mutated[rng.Below(mutated.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+        }
+        break;
+      case 1:
+        mutated.resize(rng.Below(mutated.size() + 1));
+        break;
+      case 2:
+        for (int k = 0; k < 16; ++k) {
+          mutated.push_back(static_cast<uint8_t>(rng.Next()));
+        }
+        break;
+      case 3:
+        mutated.assign(rng.Below(200), 0);
+        for (auto& b : mutated) {
+          b = static_cast<uint8_t>(rng.Next());
+        }
+        break;
+    }
+    auto parsed = ParseWire(mutated);
+    if (!parsed.has_value()) {
+      continue;  // wire layer already rejected it
+    }
+    const auto* submit = std::get_if<wire::ClientSubmit>(&*parsed);
+    Peer from = submit != nullptr ? ClientPeer(submit->client_id) : ClientPeer(0);
+    engine.HandleMessage(from, *parsed, 10 + i);
+  }
+  // At most one submission can have landed for client 2 (first write wins);
+  // mutants with a different valid-looking id/round/length were rejected by
+  // the length / round / duplicate guards.
+  size_t count = w.logic->SubmissionCount(1);
+  EXPECT_LE(count, 4u);
+  for (uint32_t id : w.logic->Inventory(1)) {
+    EXPECT_LT(id, 4u);
+  }
+  // The engine still runs a clean round afterwards: remaining honest clients
+  // can submit (or are flagged duplicate if a mutant already landed as them).
+  for (uint32_t i = 0; i < 4; ++i) {
+    engine.HandleMessage(ClientPeer(i), wire::ClientSubmit{1, i, Bytes(len, 0x11)}, 5000);
+  }
+  EXPECT_EQ(w.logic->SubmissionCount(1), 4u);
+}
+
+TEST(BatchedIngestTest, RoundCiphertextMemoryIsIndependentOfClientCount) {
+  // The O(L) claim: with evidence retention off, a server that ingests N
+  // full-length ciphertexts holds the streaming accumulator (and later the
+  // built server ciphertext), never N buffered ciphertexts. The map-based
+  // path would have held N * L here.
+  for (size_t clients : {16u, 128u}) {
+    auto w = MakeServerWorld(2, clients, 8004);
+    w.logic->SetEvidenceRounds(0);
+    w.logic->StartRound(1);
+    const size_t len = w.logic->ExpectedCiphertextLength(1);
+    std::vector<uint32_t> all;
+    for (size_t i = 0; i < clients; ++i) {
+      ASSERT_TRUE(w.logic->AcceptClientCiphertext(1, i, Bytes(len, uint8_t(i))));
+      all.push_back(static_cast<uint32_t>(i));
+    }
+    w.logic->BuildServerCiphertext(1, all, all);
+    EXPECT_LE(w.logic->peak_round_state_bytes(), 2 * len)
+        << clients << " clients: round state scaled with N";
+    EXPECT_EQ(w.logic->evidence_bytes(), 0u);
+    EXPECT_EQ(w.logic->EvidenceFor(1), nullptr);
+  }
+}
+
+TEST(BatchedIngestTest, StreamingCombineMatchesManualXor) {
+  // The accumulator path is algebraically identical to buffering: XOR of all
+  // accepted ciphertexts + pads(composite). Verify against a hand fold.
+  auto w = MakeServerWorld(3, 6, 8005);
+  w.logic->StartRound(1);
+  const size_t len = w.logic->ExpectedCiphertextLength(1);
+  Rng rng(8005);
+  std::vector<Bytes> cts;
+  std::vector<uint32_t> ids{0, 2, 3, 5};
+  for (uint32_t i : ids) {
+    Bytes ct(len, 0);
+    for (auto& b : ct) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    cts.push_back(ct);
+    ASSERT_TRUE(w.logic->AcceptClientCiphertext(1, i, std::move(ct)));
+  }
+  const Bytes& got = w.logic->BuildServerCiphertext(1, ids, ids);
+  Bytes expect(len, 0);
+  for (const Bytes& ct : cts) {
+    XorInto(expect, ct);
+  }
+  for (uint32_t i : ids) {
+    XorDcnetPad(w.logic->SharedKeyWith(i), 1, expect);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(BatchedIngestTest, EvidenceStillServesTracingAfterStreaming) {
+  // With retention on, the evidence log (filled at ingest now, not at
+  // build) still holds every received ciphertext for §3.9 tracing.
+  auto w = MakeServerWorld(2, 4, 8006);
+  w.logic->StartRound(1);
+  const size_t len = w.logic->ExpectedCiphertextLength(1);
+  Bytes ct_a(len, 0xaa), ct_b(len, 0xbb);
+  ASSERT_TRUE(w.logic->AcceptClientCiphertext(1, 1, ct_a));
+  ASSERT_TRUE(w.logic->AcceptClientCiphertext(1, 3, ct_b));
+  w.logic->BuildServerCiphertext(1, {1, 3}, {1, 3});
+  const auto* ev = w.logic->EvidenceFor(1);
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->received_cts.at(1), ct_a);
+  EXPECT_EQ(ev->received_cts.at(3), ct_b);
+  EXPECT_EQ(ev->composite_list, (std::vector<uint32_t>{1, 3}));
+  EXPECT_GE(w.logic->evidence_bytes(), 2 * len);
+}
+
+TEST(BatchedIngestTest, AdaptiveWindowTracksObservedParticipation) {
+  // Round 1 (no observation): the policy timer arms only at the static
+  // attached share. After a window closes at lower participation, the next
+  // round's threshold follows the observation instead of stalling.
+  auto w = MakeServerWorld(1, 8, 8007);
+  ServerEngine::Config cfg;
+  cfg.attached_clients = {0, 1, 2, 3, 4, 5, 6, 7};
+  cfg.window_fraction = 0.95;  // static threshold: 7 of 8
+  ServerEngine engine(w.logic.get(), w.def, cfg);
+  auto start = engine.StartSession(0);
+  ASSERT_EQ(start.timers.size(), 1u);  // hard deadline only
+  const size_t len = w.logic->ExpectedCiphertextLength(1);
+
+  // Four clients submit round 1: below the static threshold, no policy
+  // timer arms.
+  size_t timers_armed = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto a = engine.HandleMessage(ClientPeer(i), wire::ClientSubmit{1, i, Bytes(len, 1)},
+                                  1000 + i);
+    timers_armed += a.timers.size();
+  }
+  EXPECT_EQ(timers_armed, 0u) << "static share must gate the first window";
+  // The hard deadline closes round 1 with 4 submissions observed.
+  engine.HandleTimer(start.timers[0].token, 120000000);
+  EXPECT_EQ(engine.last_window_observed(), 4u);
+
+  // Round 1 completes (single server: its own gossip suffices), opening
+  // round 2. Now 4 submissions arm the policy timer: threshold adapted from
+  // the observed 4, not the attached 8. (Round 1's garbage cleartext may
+  // have opened slots, so round 2 has its own expected length.)
+  const size_t len2 = w.logic->ExpectedCiphertextLength(2);
+  timers_armed = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto a = engine.HandleMessage(ClientPeer(i), wire::ClientSubmit{2, i, Bytes(len2, 1)},
+                                  121000000 + i);
+    for (const auto& t : a.timers) {
+      timers_armed += (t.token >> 1) == 2 ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(timers_armed, 1u) << "threshold did not adapt to observed participation";
+}
+
+TEST(BatchedIngestTest, StaticWindowConfigKeepsPaperPolicy) {
+  // adaptive_window = false reproduces the static attached-share policy
+  // bit-for-bit: after a low-participation round, 4 submissions still do not
+  // arm the policy timer.
+  auto w = MakeServerWorld(1, 8, 8008);
+  ServerEngine::Config cfg;
+  cfg.attached_clients = {0, 1, 2, 3, 4, 5, 6, 7};
+  cfg.adaptive_window = false;
+  ServerEngine engine(w.logic.get(), w.def, cfg);
+  auto start = engine.StartSession(0);
+  const size_t len = w.logic->ExpectedCiphertextLength(1);
+  for (uint32_t i = 0; i < 4; ++i) {
+    engine.HandleMessage(ClientPeer(i), wire::ClientSubmit{1, i, Bytes(len, 1)}, 1000 + i);
+  }
+  engine.HandleTimer(start.timers[0].token, 120000000);
+  EXPECT_EQ(engine.last_window_observed(), 4u);
+  const size_t len2 = w.logic->ExpectedCiphertextLength(2);
+  size_t timers_armed = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto a = engine.HandleMessage(ClientPeer(i), wire::ClientSubmit{2, i, Bytes(len2, 1)},
+                                  121000000 + i);
+    for (const auto& t : a.timers) {
+      timers_armed += (t.token >> 1) == 2 ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(timers_armed, 0u) << "static policy must ignore the observation";
+}
+
+}  // namespace
+}  // namespace dissent

@@ -1,0 +1,184 @@
+// Paper-scale round engine: 1,000-client transport equivalence, the
+// machine-multiplexed topology (§5.2), shared-payload vs per-client-frame
+// broadcast, and the adaptive submission window under a churn ramp.
+#include <gtest/gtest.h>
+
+#include "src/core/coordinator.h"
+#include "src/core/net_protocol.h"
+
+namespace dissent {
+namespace {
+
+struct NetWorld {
+  GroupDef def;
+  Simulator sim;
+  std::unique_ptr<NetDissent> net;
+};
+
+std::unique_ptr<NetWorld> MakeNetWorld(size_t servers, size_t clients, uint64_t seed,
+                                       NetDissent::Options options = {}) {
+  auto w = std::make_unique<NetWorld>();
+  SecureRng rng = SecureRng::FromLabel(seed);
+  std::vector<BigInt> server_privs, client_privs;
+  w->def = MakeTestGroup(Group::Named(GroupId::kTesting256), servers, clients, rng,
+                         &server_privs, &client_privs);
+  w->net = std::make_unique<NetDissent>(w->def, server_privs, client_privs, &w->sim, options,
+                                        seed);
+  return w;
+}
+
+TEST(EngineScaleTest, ThousandClientCoordinatorAndNetDissentMatchByteForByte) {
+  // The batched/streaming hot path at 1,000 clients: the in-process
+  // Coordinator and the simulated-network NetDissent must still produce
+  // byte-identical cleartexts. Scheduling is direct (slot i = client i) in
+  // both — the verified shuffle's cost at this N would dwarf the rounds
+  // under test and is pinned elsewhere.
+  constexpr uint64_t kSeed = 9001;
+  constexpr size_t kServers = 2, kClients = 1000;
+  constexpr int kRounds = 3;
+
+  SecureRng rng = SecureRng::FromLabel(kSeed);
+  std::vector<BigInt> server_privs, client_privs;
+  GroupDef def = MakeTestGroup(Group::Named(GroupId::kTesting256), kServers, kClients, rng,
+                               &server_privs, &client_privs);
+
+  Coordinator coord(def, server_privs, client_privs, kSeed);
+  ASSERT_TRUE(coord.RunSchedulingDirect());
+  EXPECT_EQ(*coord.client(7).slot(), 7u);
+  coord.client(7).QueueMessage(BytesOf("same bytes at scale"));
+  std::vector<Bytes> coord_cleartexts;
+  for (int r = 0; r < kRounds; ++r) {
+    auto outcome = coord.RunRound();
+    ASSERT_TRUE(outcome.completed);
+    EXPECT_EQ(outcome.participation, kClients);
+    coord_cleartexts.push_back(outcome.cleartext);
+  }
+
+  NetDissent::Options options;
+  options.direct_scheduling = true;
+  auto w = MakeNetWorld(kServers, kClients, kSeed, options);
+  w->net->client(7).QueueMessage(BytesOf("same bytes at scale"));
+  ASSERT_TRUE(w->net->Start());
+  while (w->net->rounds_completed() < static_cast<uint64_t>(kRounds)) {
+    ASSERT_GT(w->sim.pending(), 0u) << "network run stalled";
+    w->sim.Step();
+  }
+
+  ASSERT_GE(w->net->round_cleartexts().size(), static_cast<size_t>(kRounds));
+  for (int r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(w->net->round_cleartexts()[r], coord_cleartexts[r])
+        << "round " << (r + 1) << " diverged between transports";
+  }
+  EXPECT_EQ(w->net->last_participation(), kClients);
+  // O(L) round state at N = 1,000: the streaming server holds at most the
+  // accumulator + built ciphertext per in-flight round, nowhere near the
+  // N * L of the buffer-then-combine path.
+  const size_t len = coord_cleartexts.back().size();
+  EXPECT_LE(w->net->peak_round_state_bytes(), 4 * len);
+}
+
+TEST(EngineScaleTest, MachineMultiplexedTopologyPreservesCleartexts) {
+  // §5.2 testbed shape: many clients per machine node, all attached to the
+  // machine's upstream server. The round cleartext is attachment-invariant
+  // (every pad and ciphertext cancels identically), so the multiplexed
+  // topology must reproduce the one-node-per-client run byte for byte.
+  constexpr uint64_t kSeed = 9002;
+  auto flat = MakeNetWorld(2, 16, kSeed);
+  flat->net->client(5).QueueMessage(BytesOf("machines are transparent"));
+  ASSERT_TRUE(flat->net->Start());
+  flat->sim.RunUntil(10 * kSecond);
+
+  NetDissent::Options multiplexed;
+  multiplexed.clients_per_machine = 4;
+  auto packed = MakeNetWorld(2, 16, kSeed, multiplexed);
+  packed->net->client(5).QueueMessage(BytesOf("machines are transparent"));
+  ASSERT_TRUE(packed->net->Start());
+  packed->sim.RunUntil(10 * kSecond);
+
+  ASSERT_GT(flat->net->rounds_completed(), 4u);
+  ASSERT_GT(packed->net->rounds_completed(), 4u);
+  size_t common = std::min(flat->net->round_cleartexts().size(),
+                           packed->net->round_cleartexts().size());
+  for (size_t r = 0; r < common; ++r) {
+    EXPECT_EQ(flat->net->round_cleartexts()[r], packed->net->round_cleartexts()[r])
+        << "round " << (r + 1) << " diverged between topologies";
+  }
+  EXPECT_EQ(packed->net->last_participation(), 16u);
+  bool found = false;
+  for (auto& [slot, payload] : packed->net->delivered_messages()) {
+    found |= payload == BytesOf("machines are transparent");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineScaleTest, SharedBroadcastMatchesPerClientFramesAtLowerWireCost) {
+  // Same protocol bytes per round either way; the shared-payload path just
+  // stops paying one Output copy per client on the wire.
+  constexpr uint64_t kSeed = 9003;
+  NetDissent::Options shared;
+  shared.clients_per_machine = 4;
+  auto a = MakeNetWorld(2, 16, kSeed, shared);
+  ASSERT_TRUE(a->net->Start());
+  a->sim.RunUntil(10 * kSecond);
+
+  NetDissent::Options legacy = shared;
+  legacy.shared_broadcast = false;
+  auto b = MakeNetWorld(2, 16, kSeed, legacy);
+  ASSERT_TRUE(b->net->Start());
+  b->sim.RunUntil(10 * kSecond);
+
+  ASSERT_GT(a->net->rounds_completed(), 4u);
+  ASSERT_GT(b->net->rounds_completed(), 4u);
+  size_t common =
+      std::min(a->net->round_cleartexts().size(), b->net->round_cleartexts().size());
+  ASSERT_GT(common, 3u);
+  for (size_t r = 0; r < common; ++r) {
+    EXPECT_EQ(a->net->round_cleartexts()[r], b->net->round_cleartexts()[r]);
+  }
+  // 16 clients on 4 machines: the legacy path sends 4x the Output frames.
+  double a_bytes_per_round =
+      static_cast<double>(a->net->network().bytes_sent()) /
+      static_cast<double>(a->net->rounds_completed());
+  double b_bytes_per_round =
+      static_cast<double>(b->net->network().bytes_sent()) /
+      static_cast<double>(b->net->rounds_completed());
+  EXPECT_LT(a_bytes_per_round, b_bytes_per_round);
+}
+
+TEST(EngineScaleTest, AdaptiveWindowSurvivesChurnRamp) {
+  // A ramp of one disconnect per server every few seconds. The adaptive
+  // window re-sizes the round-r threshold from round r-1's observed
+  // participation, so rounds keep closing promptly; the static policy pins
+  // the threshold at 95% of the attached share and stalls into the hard
+  // deadline once two clients per server are gone.
+  constexpr size_t kServers = 3, kClients = 24;
+  constexpr SimTime kWave = 5 * kSecond;
+  auto run = [&](bool adaptive) {
+    NetDissent::Options o;
+    o.adaptive_window = adaptive;
+    auto w = MakeNetWorld(kServers, kClients, 9004, o);
+    EXPECT_TRUE(w->net->Start());
+    // 4 waves; each takes one client from every server (ids i, i+3, i+6).
+    for (size_t wave = 0; wave < 4; ++wave) {
+      w->sim.RunUntil((wave + 1) * kWave);
+      for (size_t j = 0; j < kServers; ++j) {
+        w->net->SetClientOnline(wave * kServers + j, false);
+      }
+    }
+    w->sim.RunUntil(40 * kSecond);
+    return w;
+  };
+  auto adaptive = run(true);
+  auto fixed = run(false);
+  // Adaptive: still completing rounds with the 12 survivors at the end.
+  EXPECT_EQ(adaptive->net->last_participation(), 12u);
+  EXPECT_GT(adaptive->net->rounds_completed(), fixed->net->rounds_completed() + 20)
+      << "adaptive=" << adaptive->net->rounds_completed()
+      << " static=" << fixed->net->rounds_completed();
+  // The static policy stopped dead once participation fell below its fixed
+  // threshold (the hard deadline is beyond this horizon).
+  EXPECT_LT(fixed->net->last_participation(), 24u);
+}
+
+}  // namespace
+}  // namespace dissent

@@ -51,10 +51,10 @@ TEST(NetworkTest, LatencyOnlyDelivery) {
   Network net(&sim);
   SimTime delivered_at = -1;
   NodeId a = net.AddNode(nullptr);
-  NodeId b = net.AddNode([&](NodeId from, const Bytes& p) {
+  NodeId b = net.AddNode([&](NodeId from, const Network::Frame& p) {
     delivered_at = sim.Now();
     EXPECT_EQ(from, a);
-    EXPECT_EQ(p.size(), 100u);
+    EXPECT_EQ(p->size(), 100u);
   });
   net.SetDefaultLink({.latency = 5 * kMillisecond, .bandwidth_bps = 0});
   net.Send(a, b, Bytes(100, 1));
@@ -67,7 +67,7 @@ TEST(NetworkTest, BandwidthSerializationDelay) {
   Network net(&sim);
   SimTime delivered_at = -1;
   NodeId a = net.AddNode(nullptr);
-  NodeId b = net.AddNode([&](NodeId, const Bytes&) { delivered_at = sim.Now(); });
+  NodeId b = net.AddNode([&](NodeId, const Network::Frame&) { delivered_at = sim.Now(); });
   // 1 MB/s link, 10 ms latency, 100 KB message => 100 ms + 10 ms.
   net.SetDefaultLink({.latency = 10 * kMillisecond, .bandwidth_bps = 1e6});
   net.Send(a, b, Bytes(100000, 1));
@@ -82,8 +82,8 @@ TEST(NetworkTest, UplinkIsFifoShared) {
   Network net(&sim);
   std::vector<SimTime> arrivals;
   NodeId a = net.AddNode(nullptr);
-  NodeId b = net.AddNode([&](NodeId, const Bytes&) { arrivals.push_back(sim.Now()); });
-  NodeId c = net.AddNode([&](NodeId, const Bytes&) { arrivals.push_back(sim.Now()); });
+  NodeId b = net.AddNode([&](NodeId, const Network::Frame&) { arrivals.push_back(sim.Now()); });
+  NodeId c = net.AddNode([&](NodeId, const Network::Frame&) { arrivals.push_back(sim.Now()); });
   net.SetUplink(a, {.latency = 0, .bandwidth_bps = 1e6});  // 1 MB/s NIC
   net.SetDefaultLink({.latency = 0, .bandwidth_bps = 0});
   net.Send(a, b, Bytes(50000, 1));  // 50 ms serialization
@@ -99,7 +99,7 @@ TEST(NetworkTest, OfflineNodesDropSilently) {
   Network net(&sim);
   int received = 0;
   NodeId a = net.AddNode(nullptr);
-  NodeId b = net.AddNode([&](NodeId, const Bytes&) { received++; });
+  NodeId b = net.AddNode([&](NodeId, const Network::Frame&) { received++; });
   net.Send(a, b, Bytes(10, 1));
   sim.RunUntilIdle();
   EXPECT_EQ(received, 1);
@@ -119,13 +119,39 @@ TEST(NetworkTest, OfflineNodesDropSilently) {
   EXPECT_EQ(received, 1);
 }
 
+TEST(NetworkTest, BroadcastFrameIsSharedAcrossDeliveries) {
+  // One ref-counted frame sent to many destinations: every delivery sees the
+  // same underlying buffer (receivers key parse caches on that identity),
+  // while the wire accounting still charges each delivery its full size.
+  Simulator sim;
+  Network net(&sim);
+  std::vector<const Bytes*> seen;
+  NodeId a = net.AddNode(nullptr);
+  std::vector<NodeId> dests;
+  for (int i = 0; i < 5; ++i) {
+    dests.push_back(
+        net.AddNode([&](NodeId, const Network::Frame& p) { seen.push_back(p.get()); }));
+  }
+  auto frame = std::make_shared<const Bytes>(Bytes(1000, 0x5a));
+  for (NodeId d : dests) {
+    net.Send(a, d, frame);
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(seen.size(), 5u);
+  for (const Bytes* p : seen) {
+    EXPECT_EQ(p, frame.get());
+  }
+  EXPECT_EQ(net.messages_sent(), 5u);
+  EXPECT_EQ(net.bytes_sent(), 5000u);
+}
+
 TEST(NetworkTest, DroppedMessagesAreNotCountedAsSent) {
   // Bandwidth accounting must reflect delivered traffic only (Fig 9 reports
   // bytes on the wire); silent drops land in messages_dropped() instead.
   Simulator sim;
   Network net(&sim);
   NodeId a = net.AddNode(nullptr);
-  NodeId b = net.AddNode([](NodeId, const Bytes&) {});
+  NodeId b = net.AddNode([](NodeId, const Network::Frame&) {});
   net.Send(a, b, Bytes(100, 1));  // delivered
   sim.RunUntilIdle();
   EXPECT_EQ(net.messages_sent(), 1u);
