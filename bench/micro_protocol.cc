@@ -22,6 +22,14 @@
 // bytes_per_round on the wire, peak_round_state_bytes (largest combining
 // state any server held — O(L), independent of N for the streaming engine),
 // and participation.
+//
+// BM_ProtocolDisruption: the §3.9 accountability scenario at 1,000 clients —
+// a disruptor corrupts the victim's slot every round until the engine-driven
+// blame sub-phase (accusation shuffle over 1,000 fixed-width rows, trace,
+// verdict) expels it, after which rounds continue at N-1; a fresh disruptor
+// is injected after each expulsion, so sustained throughput includes the
+// full blame cost. Counters: rounds_per_sim_sec (including blame stalls),
+// blames_completed, clients_expelled, participation.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -137,6 +145,86 @@ BENCHMARK(BM_ProtocolRounds)
     ->Arg(2)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Disruption scenario (§3.9): built once; evidence retention stays ON (the
+// trace needs it) and the victim keeps slot 0 open with a backlog.
+ProtocolSim* GetDisruptionSim(size_t clients, std::unique_ptr<ProtocolSim>& cache) {
+  if (cache != nullptr) {
+    return cache.get();
+  }
+  NetDissent::Options options;
+  options.clients_per_machine = 50;
+  options.machine_uplink = {.latency = 0, .bandwidth_bps = 12.5e6};
+  options.server_uplink = {.latency = 0, .bandwidth_bps = 12.5e6};
+  options.client_link = {.latency = 50 * kMillisecond, .bandwidth_bps = 0};
+  options.server_link = {.latency = 10 * kMillisecond, .bandwidth_bps = 0};
+  options.direct_scheduling = true;
+  options.pipeline_depth = 2;
+  ProtocolSim* ps = BuildSim(clients, options, 5150 + clients, cache);
+  if (ps == nullptr) {
+    return nullptr;
+  }
+  ps->net->SetRecordCleartexts(false);
+  for (int m = 0; m < 400; ++m) {
+    ps->net->client(0).QueueMessage(Bytes(64, 0x5a));
+  }
+  return ps;
+}
+
+void BM_ProtocolDisruption(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  static std::unique_ptr<ProtocolSim> cache;
+  ProtocolSim* ps = GetDisruptionSim(clients, cache);
+  if (ps == nullptr) {
+    state.SkipWithError("disruption setup failed");
+    return;
+  }
+  // Victim = client 0 (slot 0 sits right after the request region, so its
+  // offset is stable whatever the other slots do).
+  const size_t victim_bit =
+      (ps->net->server(0).schedule().RequestRegionBytes() + 20) * 8;
+  size_t next_disruptor = clients - 1;
+  size_t blames_seen = ps->net->blame_outcomes().size();
+  ps->net->InjectDisruptor(next_disruptor--, victim_bit);
+  const uint64_t rounds_before = ps->net->rounds_completed();
+  const SimTime sim_before = ps->sim.Now();
+  for (auto _ : state) {
+    // One completed round per iteration; blame instances run inline, so an
+    // iteration that spans one includes the whole shuffle+trace cost.
+    const uint64_t target = ps->net->rounds_completed() + 1;
+    const SimTime guard = ps->sim.Now() + 600 * kSecond;
+    while (ps->net->rounds_completed() < target && ps->sim.Now() < guard) {
+      ps->sim.RunUntil(ps->sim.Now() + kSecond / 20);
+    }
+    if (ps->net->blame_outcomes().size() > blames_seen) {
+      // Culprit expelled: a fresh disruptor takes over ("1 disruptor per K
+      // rounds" sustained-abuse shape).
+      blames_seen = ps->net->blame_outcomes().size();
+      ps->net->InjectDisruptor(next_disruptor--, victim_bit);
+    }
+  }
+  const double sim_elapsed = ToSeconds(ps->sim.Now() - sim_before);
+  const double rounds = static_cast<double>(ps->net->rounds_completed() - rounds_before);
+  if (rounds <= 0) {
+    state.SkipWithError("no rounds completed in the horizon");
+    return;
+  }
+  if (sim_elapsed > 0) {
+    state.counters["rounds_per_sim_sec"] = rounds / sim_elapsed;
+  }
+  size_t expelled = 0;
+  for (const auto& done : ps->net->blame_outcomes()) {
+    expelled += done.verdict.kind == wire::BlameVerdict::kClientExpelled ? 1 : 0;
+  }
+  state.counters["blames_completed"] = static_cast<double>(ps->net->blame_outcomes().size());
+  state.counters["clients_expelled"] = static_cast<double>(expelled);
+  state.counters["participation"] = static_cast<double>(ps->net->last_participation());
+}
+BENCHMARK(BM_ProtocolDisruption)
+    ->Arg(1000)
+    ->Iterations(8)
+    ->Unit(benchmark::kSecond)
     ->UseRealTime();
 
 void BM_ProtocolScale(benchmark::State& state) {

@@ -89,7 +89,10 @@ pipe_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolRounds/2/")) |
 legacy_1k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/0")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 shared_1k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/1")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 shared_5k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/5000/1")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+disrupt_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolDisruption/1000")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+disrupt_blames="$(jq '[.benchmarks[] | select(.name | contains("ProtocolDisruption/1000")) | .blames_completed] | first' "$protocol_out")"
 echo "wrote $protocol_out ($flavor)"
 echo "  100 clients: sequential ${seq_rps} rounds/sim-s, pipelined-x2 ${pipe_rps}"
 echo "  1000 clients: per-message ${legacy_1k} rounds/sim-s, shared-broadcast ${shared_1k}"
 echo "  5000 clients: shared-broadcast ${shared_5k} rounds/sim-s"
+echo "  1000 clients + disruptor (§3.9 blame inline): ${disrupt_rps} rounds/sim-s, ${disrupt_blames} blame(s) resolved"

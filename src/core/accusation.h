@@ -30,6 +30,19 @@ bool ValidateAccusation(const GroupDef& def, const std::vector<BigInt>& pseudony
                         const SignedAccusation& acc, const Bytes& round_cleartext,
                         size_t slot_offset_bits, size_t slot_len_bits);
 
+// One server's §3.9 disclosure for the accused (round, bit): what it owned
+// after trimming, the ciphertext bits it received, its own published
+// ciphertext bit, and the pad bits s_ij[k] for every composite-list client
+// (in composite-list order). This is the payload of wire::TraceEvidence; the
+// engines gossip one per server and assemble TraceInputs from the set.
+struct TraceDisclosure {
+  bool present = false;  // false: evidence for that round has expired
+  std::vector<uint32_t> own_share;
+  std::vector<bool> client_ct_bits;  // parallel to own_share
+  bool server_ct_bit = false;
+  std::vector<bool> pad_bits;  // parallel to the composite list
+};
+
 // Everything the tracing computation consumes, gathered by the driver from
 // the servers' retained evidence.
 struct TraceInputs {

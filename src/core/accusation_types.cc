@@ -39,4 +39,57 @@ std::optional<SignedAccusation> SignedAccusation::Deserialize(const Group& group
   return out;
 }
 
+Bytes BlameAnswerSigningBytes(uint64_t session, uint32_t client_index, uint64_t round,
+                              uint64_t bit_index, const Bytes& pad_bits,
+                              const Bytes& rebuttal) {
+  Writer w;
+  w.Str("dissent.blame.answer.v1");
+  w.U64(session);
+  w.U32(client_index);
+  w.U64(round);
+  w.U64(bit_index);
+  w.Blob(pad_bits);
+  w.Blob(rebuttal);
+  return w.Take();
+}
+
+Bytes BlameRowSigningBytes(uint64_t session, uint32_t client_index, const Bytes& row) {
+  Writer w;
+  w.Str("dissent.blame.row.v1");
+  w.U64(session);
+  w.U32(client_index);
+  w.Blob(row);
+  return w.Take();
+}
+
+Bytes Rebuttal::Serialize(const Group& group) const {
+  Writer w;
+  w.U32(client_index);
+  w.U32(server_index);
+  w.Blob(group.ElementToBytes(shared_element));
+  w.Blob(proof.Serialize(group));
+  return w.Take();
+}
+
+std::optional<Rebuttal> Rebuttal::Deserialize(const Group& group, const Bytes& data) {
+  Reader r(data);
+  Rebuttal out;
+  Bytes elem_bytes, proof_bytes;
+  if (!r.U32(&out.client_index) || !r.U32(&out.server_index) || !r.Blob(&elem_bytes) ||
+      !r.Blob(&proof_bytes) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  auto elem = group.ElementFromBytes(elem_bytes);
+  if (!elem.has_value()) {
+    return std::nullopt;
+  }
+  out.shared_element = *elem;
+  auto proof = DleqProof::Deserialize(group, proof_bytes);
+  if (!proof.has_value()) {
+    return std::nullopt;
+  }
+  out.proof = *proof;
+  return out;
+}
+
 }  // namespace dissent

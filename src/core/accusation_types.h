@@ -11,6 +11,13 @@
 
 namespace dissent {
 
+// Fixed serialized size budget for accusation-shuffle messages (§3.9). Every
+// online client submits exactly this many bytes to the blame shuffle (victims
+// a real SignedAccusation, everyone else all-zero filler), so accusers are
+// indistinguishable from non-accusers. Shared by both transports, the wire
+// codec, and the engines — one constant, one message width.
+inline constexpr size_t kAccusationBytes = 160;
+
 struct Accusation {
   uint64_t round = 0;
   uint32_t slot = 0;
@@ -37,7 +44,29 @@ struct Rebuttal {
   uint32_t server_index = 0;
   BigInt shared_element;  // g^{x_i * x_j}
   DleqProof proof;        // log_g(client_pub) == log_{server_pub}(shared_element)
+
+  // Canonical wire form (travels inside wire::BlameRebuttal). Deserialize
+  // validates group membership of the revealed element and rejects
+  // truncation/trailing bytes.
+  Bytes Serialize(const Group& group) const;
+  static std::optional<Rebuttal> Deserialize(const Group& group, const Bytes& data);
 };
+
+// Canonical bytes a client signs (long-term key) over its blame answer —
+// the rebuttal payload, or empty for a concession — INCLUDING the challenge
+// context it was answering (round, bit, and the pad bits as published).
+// Servers verify against their own view of that context, so a malicious
+// upstream can neither forge a concession in an honest client's name nor
+// extract a genuine-looking one by doctoring the challenge it relays (a
+// signature over doctored pad bits fails verification everywhere honest).
+Bytes BlameAnswerSigningBytes(uint64_t session, uint32_t client_index, uint64_t round,
+                              uint64_t bit_index, const Bytes& pad_bits,
+                              const Bytes& rebuttal);
+
+// Canonical bytes a client signs over its blame-shuffle row, so a server
+// gossiping rosters cannot forge or substitute a row for a client attached
+// elsewhere (e.g. to shadow a victim's accusation out of the shuffle).
+Bytes BlameRowSigningBytes(uint64_t session, uint32_t client_index, const Bytes& row);
 
 }  // namespace dissent
 

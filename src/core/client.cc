@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/core/dcnet.h"
+#include "src/core/key_shuffle.h"
 #include "src/core/output_cert.h"
 #include "src/crypto/dh.h"
 #include "src/crypto/sha256.h"
@@ -52,9 +53,13 @@ const SlotSchedule& DissentClient::ScheduleFor(uint64_t round) const {
 }
 
 void DissentClient::AdvanceSchedules(uint64_t round, const Bytes& cleartext) {
-  // This output determines the layout of round + pipeline_depth; rebase the
-  // window even if outputs were skipped while offline.
-  SlotSchedule next = scheds_.back();
+  // This output determines the layout of round + pipeline_depth: the lagged
+  // evolution is layout(r+depth) = Advance(layout(r), output(r)), so the
+  // cleartext must be interpreted with the layout of the round it was built
+  // for — scheds_.front(), not the newest window entry (whose length can
+  // already differ at depth > 1, which would mean reading past the output's
+  // end). Rebase the window even if outputs were skipped while offline.
+  SlotSchedule next = scheds_.front();
   next.Advance(cleartext);
   scheds_.push_back(std::move(next));
   scheds_.pop_front();
@@ -184,12 +189,17 @@ DissentClient::OutputResult DissentClient::ProcessOutput(
   }
   sent_records_.erase(sent_records_.begin(), sent_records_.upper_bound(round));
 
-  // Extract everyone's messages.
+  // Extract everyone's messages; scan shuffle-request fields with exactly the
+  // rule the servers apply in FinishRound, so both sides flag the same
+  // rounds for the blame sub-phase.
   for (size_t s = 0; s < layout.num_slots(); ++s) {
     if (!layout.is_open(s)) {
       continue;
     }
     auto payload = DecodeSlot(layout.ExtractSlot(cleartext, s));
+    if (payload.has_value() && payload->shuffle_request != 0) {
+      result.accusation_requested = true;
+    }
     if (payload.has_value() && !payload->payload.empty()) {
       result.messages.emplace_back(s, payload->payload);
     }
@@ -207,6 +217,80 @@ std::optional<SignedAccusation> DissentClient::TakeAccusation() {
   auto acc = pending_accusation_;
   pending_accusation_.reset();
   return acc;
+}
+
+Bytes DissentClient::BuildBlameCiphertext() {
+  // Fixed width whether or not we are accusing: victims are
+  // indistinguishable from filler-submitting bystanders (§3.9).
+  Bytes payload;
+  auto acc = TakeAccusation();
+  if (acc.has_value()) {
+    payload = acc->Serialize(*def_.group);
+    // Keep a copy until a verdict lands: if the instance ends inconclusive
+    // (our row lost in transit or collection closed early), the accusation
+    // is restored for a bounded number of retries instead of being erased.
+    shipped_accusation_ = acc;
+    accusation_retries_ = 2;
+  }
+  payload.resize(kAccusationBytes, 0);
+  auto row = EncryptMessageBlocks(def_, payload, MessageBlockWidth(def_, kAccusationBytes),
+                                  rng_);
+  assert(row.has_value());
+  return SerializeCiphertextRow(*def_.group, *row);
+}
+
+std::optional<Rebuttal> DissentClient::BuildBlameRebuttal(
+    uint64_t round, uint64_t bit_index, const std::vector<bool>& claimed_pad_bits) const {
+  for (size_t j = 0; j < def_.num_servers() && j < claimed_pad_bits.size(); ++j) {
+    bool own_view = DcnetPadBit(server_keys_[j], round, bit_index);
+    if (own_view != claimed_pad_bits[j]) {
+      return BuildRebuttal(j);
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+// Deterministic signing nonce (RFC 6979 style, like BuildRebuttal): keeps
+// the signing methods const and the bytes identical across transports.
+SecureRng BlameNonceRng(const Group& group, const BigInt& priv, const char* label,
+                        uint64_t session, const Bytes& payload) {
+  Writer nonce;
+  nonce.Str(label);
+  nonce.Blob(group.ScalarToBytes(priv));
+  nonce.U64(session);
+  nonce.Blob(payload);
+  return SecureRng(Sha256::Hash(nonce.data()));
+}
+}  // namespace
+
+Bytes DissentClient::SignBlameAnswer(uint64_t session, uint64_t round, uint64_t bit_index,
+                                     const Bytes& pad_bits, const Bytes& rebuttal) const {
+  Bytes canonical = BlameAnswerSigningBytes(session, static_cast<uint32_t>(index_), round,
+                                            bit_index, pad_bits, rebuttal);
+  SecureRng prover_rng =
+      BlameNonceRng(*def_.group, priv_, "dissent.blame.answer.nonce", session, canonical);
+  return SchnorrSign(*def_.group, priv_, canonical, prover_rng).Serialize(*def_.group);
+}
+
+void DissentClient::OnBlameVerdict(uint8_t verdict_kind) {
+  // wire::BlameVerdict::kInconclusive == 0; conclusive verdicts resolve the
+  // shipped accusation either way (traced, or superseded by the traced one).
+  if (verdict_kind == 0 && shipped_accusation_.has_value() && accusation_retries_ > 0 &&
+      !pending_accusation_.has_value()) {
+    pending_accusation_ = shipped_accusation_;
+    --accusation_retries_;
+    return;
+  }
+  shipped_accusation_.reset();
+  accusation_retries_ = 0;
+}
+
+Bytes DissentClient::SignBlameRow(uint64_t session, const Bytes& row) const {
+  Bytes canonical = BlameRowSigningBytes(session, static_cast<uint32_t>(index_), row);
+  SecureRng prover_rng =
+      BlameNonceRng(*def_.group, priv_, "dissent.blame.row.nonce", session, row);
+  return SchnorrSign(*def_.group, priv_, canonical, prover_rng).Serialize(*def_.group);
 }
 
 Rebuttal DissentClient::BuildRebuttal(size_t server_index) const {

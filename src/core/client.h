@@ -60,6 +60,10 @@ class DissentClient {
   struct OutputResult {
     bool signatures_ok = false;
     bool own_slot_disrupted = false;
+    // Some open slot carried a nonzero shuffle-request field (§3.9) — the
+    // same scan the servers run in FinishRound, so clients and servers agree
+    // on which rounds trigger the blame sub-phase.
+    bool accusation_requested = false;
     // Decoded payloads of all valid open slots this round (slot -> payload).
     std::vector<std::pair<size_t, Bytes>> messages;
   };
@@ -83,9 +87,40 @@ class DissentClient {
   // The signed accusation to submit via the accusation shuffle.
   std::optional<SignedAccusation> TakeAccusation();
 
+  // The fixed-width blame-shuffle submission (wire::AccusationSubmit body):
+  // the pending accusation if one exists, an all-zero filler otherwise, both
+  // padded to kAccusationBytes, encrypted under the combined server key and
+  // serialized as an ElGamal row. Consumes the pending accusation.
+  Bytes BuildBlameCiphertext();
+
   // Rebuttal (§3.9 final case): reveal the shared-secret element with server
   // `server_index` plus a DLEQ proof of its correctness.
   Rebuttal BuildRebuttal(size_t server_index) const;
+
+  // Answer a BlameChallenge: compare the servers' claimed pad bits for us at
+  // (round, bit) against our own view; the first mismatch names the lying
+  // server and yields a rebuttal. nullopt concedes (an honest client whose
+  // pads all match has nothing to rebut — and a real disruptor's pads always
+  // match, so conceding is what convicts it).
+  std::optional<Rebuttal> BuildBlameRebuttal(uint64_t round, uint64_t bit_index,
+                                             const std::vector<bool>& claimed_pad_bits) const;
+
+  // Signature under the long-term key over (session, our id, the challenge
+  // context we answered, and the rebuttal bytes — empty for a concession):
+  // no server can forge a concession in our name, nor extract one by
+  // doctoring the challenge it relays. Deterministic nonce, so both
+  // transports produce identical bytes.
+  Bytes SignBlameAnswer(uint64_t session, uint64_t round, uint64_t bit_index,
+                        const Bytes& pad_bits, const Bytes& rebuttal) const;
+
+  // Verdict feedback (§3.9): an inconclusive instance restores the shipped
+  // accusation (bounded retries) so a blame row lost in transit does not
+  // permanently erase a victim's only evidence of a past disruption.
+  void OnBlameVerdict(uint8_t verdict_kind);
+
+  // Signature under the long-term key over our blame-shuffle row, so no
+  // server can substitute a forged row for ours when rosters are gossiped.
+  Bytes SignBlameRow(uint64_t session, const Bytes& row) const;
 
   // Newest known schedule (the layout of the most advanced in-flight round).
   const SlotSchedule& schedule() const { return scheds_.back(); }
@@ -134,6 +169,10 @@ class DissentClient {
   };
   std::map<uint64_t, SentRecord> sent_records_;
   std::optional<SignedAccusation> pending_accusation_;
+  // The accusation most recently shipped into a blame shuffle, restorable on
+  // an inconclusive verdict (bounded retries; see OnBlameVerdict).
+  std::optional<SignedAccusation> shipped_accusation_;
+  int accusation_retries_ = 0;
   uint16_t accusation_request_code_ = 0;
 };
 

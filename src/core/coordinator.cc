@@ -9,12 +9,6 @@
 
 namespace dissent {
 
-namespace {
-// Fixed serialized size budget for accusation-shuffle messages; all clients
-// submit the same width so accusers are indistinguishable from non-accusers.
-constexpr size_t kAccusationBytes = 160;
-}  // namespace
-
 Coordinator::Coordinator(GroupDef def, std::vector<BigInt> server_privs,
                          std::vector<BigInt> client_privs, uint64_t seed)
     : def_(std::move(def)), rng_(SecureRng::FromLabel(seed)) {
@@ -108,6 +102,8 @@ bool Coordinator::FinishScheduling() {
   }
   for (auto& s : servers_) {
     s->BeginSlots(pseudonym_keys_.size());
+    // The blame sub-phase validates accusation signatures server-side.
+    s->SetPseudonymKeys(pseudonym_keys_);
   }
   // Open round 1 on every server; clients submit per RunRound call.
   for (size_t j = 0; j < server_engines_.size(); ++j) {
@@ -156,7 +152,7 @@ void Coordinator::DispatchServerActions(size_t j, ServerEngine::Actions actions)
     }
     if (j == 0) {
       if (done.completed) {
-        // History for accusation tracing.
+        // History for offline clients' reconnect catch-up (§3.6).
         RoundRecord rec;
         rec.cleartext = done.cleartext;
         history_[done.round] = std::move(rec);
@@ -166,6 +162,16 @@ void Coordinator::DispatchServerActions(size_t j, ServerEngine::Actions actions)
         last_participation_ = done.participation;
       }
       server0_done_[done.round] = std::move(done);
+    }
+  }
+  for (ServerEngine::BlameDone& done : actions.blame) {
+    // Verdicts are deterministic and identical on every honest server;
+    // record server 0's and apply the membership change transport-side too.
+    if (done.verdict.kind == wire::BlameVerdict::kClientExpelled) {
+      expelled_clients_.insert(done.verdict.culprit);
+    }
+    if (j == 0) {
+      last_blame_ = std::move(done);
     }
   }
 }
@@ -188,13 +194,18 @@ void Coordinator::DeliverNextQueued() {
   QueuedMsg qm = std::move(queue_.front());
   queue_.pop_front();
   // Transport-level drops: offline or expelled clients neither send nor
-  // receive (§3.6 — the other side cannot tell the difference).
+  // receive (§3.6 — the other side cannot tell the difference). Exception:
+  // the BlameVerdict that expels a client still reaches it (the expulsion
+  // notice itself), since the engine recorded the expulsion before the
+  // envelope was delivered.
   if (qm.from.kind == Peer::Kind::kClient &&
       (!online_[qm.from.index] || expelled_clients_.count(qm.from.index) != 0)) {
     return;
   }
   if (qm.to.kind == Peer::Kind::kClient &&
-      (!online_[qm.to.index] || expelled_clients_.count(qm.to.index) != 0)) {
+      (!online_[qm.to.index] ||
+       (expelled_clients_.count(qm.to.index) != 0 &&
+        !std::holds_alternative<wire::BlameVerdict>(*qm.msg)))) {
     return;
   }
   // Adversarial in-flight tampering (§3.9 test hooks). The payload may be
@@ -220,12 +231,30 @@ void Coordinator::DeliverNextQueued() {
       }
     }
   }
+  // Fig 9 phase buckets: wall time spent processing blame messages, split
+  // into the shuffle leg and the trace/rebuttal leg. One variant-index
+  // check gates all of it, so the per-message hot path (millions of
+  // ClientSubmit/Output deliveries at scale) pays nothing.
+  const bool is_blame = IsBlamePhaseMessage(*qm.msg);
+  std::chrono::steady_clock::time_point deliver_start;
+  if (is_blame) {
+    deliver_start = std::chrono::steady_clock::now();
+  }
   if (qm.to.kind == Peer::Kind::kServer) {
     DispatchServerActions(
         qm.to.index, server_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg, vnow_));
   } else {
     DispatchClientActions(qm.to.index,
                           client_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg));
+  }
+  if (is_blame) {
+    const bool is_shuffle_leg = std::holds_alternative<wire::BlameStart>(*qm.msg) ||
+                                std::holds_alternative<wire::AccusationSubmit>(*qm.msg) ||
+                                std::holds_alternative<wire::BlameRoster>(*qm.msg) ||
+                                std::holds_alternative<wire::BlameMix>(*qm.msg);
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - deliver_start).count();
+    (is_shuffle_leg ? blame_shuffle_seconds_ : blame_trace_seconds_) += secs;
   }
 }
 
@@ -306,12 +335,24 @@ Coordinator::RoundOutcome Coordinator::RunRound() {
   // Drop per-round bookkeeping that can no longer be queried, and prune the
   // resolved rounds' never-fired hard-deadline backstops from the heap
   // (otherwise they accumulate one per server per round for the session).
+  // Blame timers (token kinds 2/3) are pruned only when no blame instance is
+  // pending anywhere — a live instance may still need its backstops.
   server0_done_.erase(server0_done_.begin(), server0_done_.upper_bound(round));
   servers_done_count_.erase(servers_done_count_.begin(),
                             servers_done_count_.upper_bound(round));
   first_delivery_.erase(first_delivery_.begin(), first_delivery_.upper_bound(round));
+  bool blame_live = false;
+  for (const auto& engine : server_engines_) {
+    blame_live |= engine->blame_in_progress();
+  }
   auto stale = std::remove_if(timers_.begin(), timers_.end(),
-                              [round](const PendingTimer& t) { return (t.token >> 1) <= round; });
+                              [round, blame_live](const PendingTimer& t) {
+                                const bool blame_token = (t.token & 3) >= 2;
+                                if (blame_token && blame_live) {
+                                  return false;
+                                }
+                                return (t.token >> 2) <= round;
+                              });
   if (stale != timers_.end()) {
     timers_.erase(stale, timers_.end());
     std::make_heap(timers_.begin(), timers_.end(), TimerLater());
@@ -320,207 +361,50 @@ Coordinator::RoundOutcome Coordinator::RunRound() {
 }
 
 Coordinator::AccusationOutcome Coordinator::RunAccusationPhase() {
+  // The blame machinery lives in the engines (§3.9 as a first-class protocol
+  // phase): a flagged round drains the pipeline and runs the accusation
+  // shuffle -> trace -> rebuttal -> BlameVerdict flow through the same
+  // message pump as the rounds themselves. This driver only keeps rounds
+  // turning until the verdict lands — the victim may first need a
+  // request-bit round to reopen a garbled slot and raise its shuffle-request
+  // field — then translates the engine report into the legacy outcome shape.
+  for (int i = 0; i < 64 && !last_blame_.has_value() && !halted_; ++i) {
+    bool blame_live = false;
+    for (const auto& engine : server_engines_) {
+      blame_live |= engine->blame_in_progress();
+    }
+    if (i >= 6 && !blame_live) {
+      break;  // no request surfaced and nothing is in flight: nothing to do
+    }
+    RunRound();
+  }
   AccusationOutcome outcome;
-  const auto shuffle_start = std::chrono::steady_clock::now();
-  const size_t width = MessageBlockWidth(def_, kAccusationBytes);
-
-  // Accusation shuffle: every online client submits a fixed-width message;
-  // only victims place real accusations inside (§3.9 — the shuffle hides who
-  // is accusing).
-  CiphertextMatrix submissions;
-  std::vector<size_t> submitters;
-  for (size_t i = 0; i < clients_.size(); ++i) {
-    if (!online_[i] || expelled_clients_.count(i) != 0) {
-      continue;
-    }
-    Bytes payload;
-    auto acc = clients_[i]->TakeAccusation();
-    if (acc.has_value()) {
-      payload = acc->Serialize(*def_.group);
-      payload.resize(kAccusationBytes, 0);
-    } else {
-      payload.assign(kAccusationBytes, 0);
-    }
-    auto row = EncryptMessageBlocks(def_, payload, width, rng_);
-    assert(row.has_value());
-    submissions.push_back(*row);
-    submitters.push_back(i);
-  }
-  if (submissions.size() < 2) {
+  if (!last_blame_.has_value()) {
     return outcome;
   }
-  ShuffleCascadeResult cascade = RunShuffleCascade(def_, server_privs_, submissions, rng_);
-  if (!VerifyShuffleCascade(def_, submissions, cascade)) {
-    return outcome;
-  }
-  outcome.shuffle_ran = true;
-  outcome.shuffle_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - shuffle_start).count();
-  const auto trace_start = std::chrono::steady_clock::now();
-  auto record_trace_time = [&outcome, trace_start] {
-    outcome.trace_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - trace_start).count();
-  };
-
-  // Recover the (at most one, in this driver) real accusation.
-  std::optional<SignedAccusation> accusation;
-  for (const auto& row : cascade.final_rows) {
-    auto payload = DecodeMessageBlocks(def_, row);
-    if (!payload.has_value()) {
-      continue;
-    }
-    // Trim the zero padding back off.
-    Bytes trimmed = *payload;
-    while (!trimmed.empty() && trimmed.back() == 0) {
-      trimmed.pop_back();
-    }
-    if (trimmed.empty()) {
-      continue;  // null filler from a non-accusing client
-    }
-    auto acc = SignedAccusation::Deserialize(*def_.group, *payload);
-    if (!acc.has_value()) {
-      // Re-try without padding (serialization is self-delimiting up to the
-      // zero fill; Deserialize demands AtEnd, so strip zeros first).
-      Bytes exact = *payload;
-      while (exact.size() > 0 && exact.back() == 0) {
-        exact.pop_back();
-      }
-      acc = SignedAccusation::Deserialize(*def_.group, exact);
-    }
-    if (acc.has_value()) {
-      accusation = acc;
+  const ServerEngine::BlameDone& done = *last_blame_;
+  outcome.shuffle_ran = done.shuffle_ran;
+  outcome.accusation_found = done.accusation_found;
+  outcome.accusation_valid = done.accusation_valid;
+  outcome.verdict = done.trace;
+  switch (done.verdict.kind) {
+    case wire::BlameVerdict::kClientExpelled:
+      outcome.expelled_client = done.verdict.culprit;
       break;
-    }
+    case wire::BlameVerdict::kServerExposed:
+      outcome.expelled_server = done.verdict.culprit;
+      break;
+    default:
+      break;
   }
-  if (!accusation.has_value()) {
-    record_trace_time();
-    return outcome;
-  }
-  outcome.accusation_found = true;
-
-  // Validate against the recorded round output.
-  auto hist = history_.find(accusation->accusation.round);
-  if (hist == history_.end()) {
-    return outcome;
-  }
-  const DissentServer::RoundEvidence* ev =
-      servers_[0]->EvidenceFor(accusation->accusation.round);
-  if (ev == nullptr) {
-    return outcome;
-  }
-  // Slot span at that round comes from the servers' schedule history; the
-  // reference driver recomputes it from the retained cleartext by replaying
-  // the schedule (cheap at test scale): here we use the span recorded at
-  // round time via the current server schedule only if the layout hasn't
-  // changed. For robustness we recompute from the history.
-  auto span = SlotSpanAtRound(accusation->accusation.round, accusation->accusation.slot);
-  if (!span.has_value()) {
-    return outcome;
-  }
-  if (!ValidateAccusation(def_, pseudonym_keys_, *accusation, hist->second.cleartext,
-                          span->first, span->second)) {
-    return outcome;
-  }
-  outcome.accusation_valid = true;
-
-  // Gather tracing inputs from every server's evidence.
-  const uint64_t round = accusation->accusation.round;
-  const size_t bit = accusation->accusation.bit_index;
-  TraceInputs in;
-  in.round = round;
-  in.bit_index = bit;
-  in.composite_list = ev->composite_list;
-  in.own_shares.resize(servers_.size());
-  in.server_ct_bits.resize(servers_.size());
-  in.pad_bits.resize(servers_.size());
-  for (size_t j = 0; j < servers_.size(); ++j) {
-    const auto* evj = servers_[j]->EvidenceFor(round);
-    if (evj == nullptr) {
-      return outcome;
-    }
-    in.own_shares[j] = evj->own_share;
-    in.server_ct_bits[j] = GetBit(evj->server_ct, bit);
-    for (uint32_t i : evj->own_share) {
-      in.client_ct_bits[i] = GetBit(evj->received_cts.at(i), bit);
-    }
-    for (uint32_t i : evj->composite_list) {
-      bool b = servers_[j]->PadBit(round, i, bit);
-      if (trace_liar_.has_value() && trace_liar_->server == j && trace_liar_->client == i) {
-        b = !b;  // the lying server flips its disclosed pad bit
-      }
-      in.pad_bits[j][i] = b;
-    }
-  }
-  outcome.verdict = TraceDisruptor(def_, in);
-
-  if (outcome.verdict.kind == TraceVerdict::Kind::kServerExposed) {
-    outcome.expelled_server = outcome.verdict.culprit;
-    record_trace_time();
-    return outcome;
-  }
-  if (outcome.verdict.kind == TraceVerdict::Kind::kClientAccused) {
-    size_t accused = outcome.verdict.culprit;
-    // Rebuttal (§3.9): the accused client checks each server's published pad
-    // bit against its own and, if one differs, exposes that server.
-    std::optional<size_t> blamed_server;
-    for (size_t j = 0; j < servers_.size(); ++j) {
-      bool client_view = DcnetPadBit(clients_[accused]->server_keys()[j], round, bit);
-      if (client_view != in.pad_bits[j].at(static_cast<uint32_t>(accused))) {
-        blamed_server = j;
-        break;
-      }
-    }
-    if (blamed_server.has_value()) {
-      Rebuttal rebuttal = clients_[accused]->BuildRebuttal(*blamed_server);
-      auto rv = EvaluateRebuttal(def_, rebuttal, round, bit,
-                                 in.pad_bits[*blamed_server].at(
-                                     static_cast<uint32_t>(accused)));
-      if (rv.valid_proof && rv.server_lied) {
-        outcome.expelled_server = *blamed_server;
-        record_trace_time();
-        return outcome;
-      }
-    }
-    // No (successful) rebuttal: the client is the disruptor.
-    expelled_clients_.insert(accused);
-    outcome.expelled_client = accused;
-  }
-  record_trace_time();
+  outcome.shuffle_seconds = blame_shuffle_seconds_;
+  outcome.trace_seconds = blame_trace_seconds_;
+  // Consume: the buckets accumulated since the previous report belong to
+  // this instance, whether it resolved here or inside earlier RunRounds.
+  blame_shuffle_seconds_ = 0;
+  blame_trace_seconds_ = 0;
+  last_blame_.reset();
   return outcome;
-}
-
-std::optional<std::pair<size_t, size_t>> Coordinator::SlotSpanAtRound(uint64_t round,
-                                                                      size_t slot) {
-  // Replays the slot schedule from the oldest retained round. The schedule
-  // is deterministic in the outputs, so this reproduces the layout exactly.
-  if (history_.empty() || history_.find(round) == history_.end()) {
-    return std::nullopt;
-  }
-  SlotSchedule replay(pseudonym_keys_.size(), def_.policy.default_slot_length);
-  // We can only replay from a state we know: the oldest retained round must
-  // be reachable from the initial all-closed schedule — that holds when
-  // kEvidenceRounds covers the full session (tests) or the caller accuses a
-  // recent round (production). Walk forward from round 1 if retained,
-  // otherwise fall back to the current schedule's layout.
-  if (history_.begin()->first != 1) {
-    const SlotSchedule& cur = servers_[0]->schedule();
-    if (slot >= cur.num_slots() || !cur.is_open(slot)) {
-      return std::nullopt;
-    }
-    return std::make_pair(cur.SlotOffset(slot) * 8,
-                          static_cast<size_t>(cur.slot_length(slot)) * 8);
-  }
-  for (auto& [r, rec] : history_) {
-    if (r == round) {
-      if (slot >= replay.num_slots() || !replay.is_open(slot)) {
-        return std::nullopt;
-      }
-      return std::make_pair(replay.SlotOffset(slot) * 8,
-                            static_cast<size_t>(replay.slot_length(slot)) * 8);
-    }
-    replay.Advance(rec.cleartext);
-  }
-  return std::nullopt;
 }
 
 void Coordinator::InjectDisruptor(size_t disruptor, size_t bit) {
@@ -532,7 +416,9 @@ void Coordinator::InjectEquivocatingServer(size_t server_index) {
 }
 
 void Coordinator::InjectTraceLiar(size_t server_index, size_t about_client) {
-  trace_liar_ = TraceLiarHook{server_index, about_client};
+  // Logic-level hook: the lying server publishes (and itself consumes) a
+  // self-consistent forged TraceEvidence, exactly as a real cheater would.
+  servers_[server_index]->InjectTraceLie(about_client);
 }
 
 }  // namespace dissent

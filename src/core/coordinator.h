@@ -16,10 +16,19 @@
 // src/simmodel reproduces the latency figures.)
 //
 // Adversarial hooks let tests inject exactly the misbehaviour §3.9 defends
-// against, at the transport layer where a real attacker sits: a client
-// flipping bits in a victim's slot (tampering with its own ClientSubmit), a
-// server equivocating on its commitment (altering its ServerCiphertext in
-// flight), and a server lying during trace pad-bit disclosure.
+// against: a client flipping bits in a victim's slot (tampering with its own
+// ClientSubmit in flight), a server equivocating on its commitment (altering
+// its ServerCiphertext in flight), and a server lying during trace pad-bit
+// disclosure (a logic-level hook — the liar publishes, and itself uses, the
+// forged TraceEvidence, as a real cheater would).
+//
+// The §3.9 blame flow — accusation shuffle, trace, rebuttal, expulsion — is
+// a sub-phase of the engines since PR 4: a finished round whose output
+// carries a shuffle request drains the pipeline and runs blame to a
+// BlameVerdict entirely through engine messages, so it happens *inside*
+// RunRound's message pump. RunAccusationPhase is a thin driver that keeps
+// rounds turning until the pending accusation's verdict lands and then
+// reports it.
 #ifndef DISSENT_CORE_COORDINATOR_H_
 #define DISSENT_CORE_COORDINATOR_H_
 
@@ -89,7 +98,14 @@ class Coordinator {
     double shuffle_seconds = 0;  // accusation (blame) shuffle + verification
     double trace_seconds = 0;    // validation, bit tracing, rebuttal
   };
+  // Thin driver over the engines' blame sub-phase: if a blame instance
+  // already resolved during earlier RunRound calls, reports it; otherwise
+  // runs rounds until the pending accusation reaches a verdict (the victim
+  // may first need a request-bit round to reopen its slot).
   AccusationOutcome RunAccusationPhase();
+  // True when a blame verdict resolved during earlier RunRound calls and has
+  // not yet been consumed by RunAccusationPhase.
+  bool has_blame_outcome() const { return last_blame_.has_value(); }
 
   const std::set<size_t>& expelled_clients() const { return expelled_clients_; }
 
@@ -135,10 +151,6 @@ class Coordinator {
   void FireEarliestTimer();
   bool RoundResolved(uint64_t round) const;
 
-  // Bit span (offset, length) of `slot` in the retained round's cleartext,
-  // recovered by replaying the deterministic schedule over the history.
-  std::optional<std::pair<size_t, size_t>> SlotSpanAtRound(uint64_t round, size_t slot);
-
   GroupDef def_;
   SecureRng rng_;
   std::vector<BigInt> server_privs_;
@@ -178,11 +190,13 @@ class Coordinator {
   };
   std::optional<DisruptorHook> disruptor_;
   std::optional<size_t> equivocator_;
-  struct TraceLiarHook {
-    size_t server;
-    size_t client;
-  };
-  std::optional<TraceLiarHook> trace_liar_;
+
+  // Most recent engine blame verdict (server 0's report) not yet consumed by
+  // RunAccusationPhase, plus the wall-clock phase buckets accumulated while
+  // delivering blame messages.
+  std::optional<ServerEngine::BlameDone> last_blame_;
+  double blame_shuffle_seconds_ = 0;
+  double blame_trace_seconds_ = 0;
 };
 
 }  // namespace dissent

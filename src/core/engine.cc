@@ -5,6 +5,58 @@
 
 namespace dissent {
 
+namespace {
+
+// Bitmap helpers for the TraceEvidence / BlameChallenge wire bitmaps.
+Bytes PackBits(const std::vector<bool>& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (size_t k = 0; k < bits.size(); ++k) {
+    if (bits[k]) {
+      out[k / 8] |= static_cast<uint8_t>(1u << (k % 8));
+    }
+  }
+  return out;
+}
+
+// Strict inverse of PackBits: the wire codec's canonical-bitmap rule
+// (exact width, no stray bits) gates every unpack, so hostile peers cannot
+// smuggle state in oversized or padded bitmaps.
+std::optional<std::vector<bool>> UnpackBits(const Bytes& bitmap, size_t n) {
+  if (!BitmapCanonical(bitmap, n)) {
+    return std::nullopt;
+  }
+  std::vector<bool> bits(n);
+  for (size_t k = 0; k < n; ++k) {
+    bits[k] = (bitmap[k / 8] >> (k % 8)) & 1;
+  }
+  return bits;
+}
+
+bool IsBlameGossip(const WireMessage& msg) {
+  return std::holds_alternative<wire::BlameRoster>(msg) ||
+         std::holds_alternative<wire::BlameMix>(msg) ||
+         std::holds_alternative<wire::TraceEvidence>(msg) ||
+         std::holds_alternative<wire::BlameRebuttal>(msg);
+}
+
+uint64_t BlameSessionOf(const WireMessage& msg) {
+  if (const auto* m = std::get_if<wire::BlameRoster>(&msg)) {
+    return m->session;
+  }
+  if (const auto* m = std::get_if<wire::BlameMix>(&msg)) {
+    return m->session;
+  }
+  if (const auto* m = std::get_if<wire::TraceEvidence>(&msg)) {
+    return m->session;
+  }
+  if (const auto* m = std::get_if<wire::BlameRebuttal>(&msg)) {
+    return m->session;
+  }
+  return 0;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ServerEngine
 // ---------------------------------------------------------------------------
@@ -17,6 +69,7 @@ ServerEngine::ServerEngine(DissentServer* logic, const GroupDef& def, Config con
       num_servers_(def.num_servers()) {
   assert(config_.pipeline_depth == logic_->pipeline_depth());
   rounds_.resize(std::max<size_t>(config_.pipeline_depth, 1));
+  blame_width_ = MessageBlockWidth(def_, kAccusationBytes);
 }
 
 size_t ServerEngine::inflight_rounds() const {
@@ -92,6 +145,10 @@ ServerEngine::Actions ServerEngine::HandleMessage(const Peer& from, const WireMe
       }
       MaybeArmWindowTimer(submit->round, now_us, a);
     }
+    return a;
+  }
+  if (std::holds_alternative<wire::AccusationSubmit>(msg) || IsBlameGossip(msg)) {
+    HandleBlameMessage(from, msg, now_us, a);
     return a;
   }
   // Everything else is server-to-server gossip.
@@ -189,12 +246,28 @@ ServerEngine::Actions ServerEngine::HandleTimer(uint64_t token, int64_t now_us) 
   if (halted_) {
     return a;
   }
-  uint64_t round = token >> 1;
-  RoundState* st = FindRound(round);
+  const uint64_t id = token >> 2;
+  const TimerKind kind = static_cast<TimerKind>(token & 3);
+  if (kind == kBlameCollect) {
+    // Collection backstop: proceed with whoever answered (offline clients
+    // never will; §3.6 silence is indistinguishable from departure).
+    if (blame_.active && blame_.collecting && blame_.session == id) {
+      CloseBlameCollection(now_us, a);
+    }
+    return a;
+  }
+  if (kind == kBlameRebuttal) {
+    // A silent accused client concedes (§3.9): expulsion by default.
+    if (blame_.active && blame_.awaiting_rebuttal && blame_.session == id) {
+      FinishBlame(wire::BlameVerdict::kClientExpelled, blame_.accused, now_us, a);
+    }
+    return a;
+  }
+  RoundState* st = FindRound(id);
   if (st == nullptr || st->window_closed) {
     return a;  // stale timer: round finished or window already closed
   }
-  CloseWindow(round, a);
+  CloseWindow(id, a);
   MaybeFinishRounds(now_us, a);
   return a;
 }
@@ -217,7 +290,8 @@ void ServerEngine::MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& 
   // multiplier * elapsed (§5.1). The expectation is the previous window's
   // observed participation when adaptive, the static attached share
   // otherwise (and for the first window, which has no observation).
-  size_t expected = config_.attached_clients.size();
+  // Expelled clients (§3.9) are out of every schedule from expulsion on.
+  size_t expected = config_.attached_clients.size() - expelled_attached_;
   if (config_.adaptive_window && last_window_observed_ > 0) {
     expected = std::min(last_window_observed_, expected);
   }
@@ -352,10 +426,24 @@ void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
         static_cast<double>(st.participation) <
             def_.policy.alpha * static_cast<double>(last_participation_);
     last_participation_ = st.participation;
+    const bool flagged = done.accusation_requested;
     a.done.push_back(std::move(done));
     st.active = false;
     ++next_round_to_finish_;
     ++rounds_completed_;
+    // Blame sub-phase trigger (§3.9): a flagged round suspends the pipeline
+    // deterministically — no new rounds open, in-flight rounds drain, and
+    // the blame protocol runs once the last one finishes. The session id is
+    // the first flagged round; flags seen while draining join the same
+    // instance (the shuffle carries every pending accusation anyway).
+    if (flagged && !blame_.pending && !blame_.active) {
+      blame_.pending = true;
+      blame_.session = round;
+    }
+    if (blame_.pending) {
+      MaybeStartBlame(now_us, a);
+      continue;  // do not open a replacement round while blame is pending
+    }
     StartRound(next_round_to_start_, now_us, a);
   }
 }
@@ -367,6 +455,511 @@ bool ServerEngine::AllPresent(const std::vector<std::optional<Bytes>>& v) const 
     }
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// ServerEngine: blame sub-phase (§3.9)
+// ---------------------------------------------------------------------------
+
+bool ServerEngine::IsAttached(uint32_t client) const {
+  // attached_clients is built in increasing order by both transports.
+  return std::binary_search(config_.attached_clients.begin(), config_.attached_clients.end(),
+                            client);
+}
+
+size_t ServerEngine::ExpectedBlameSubmitters() const {
+  size_t expected = 0;
+  for (uint32_t c : config_.attached_clients) {
+    expected += logic_->IsExpelled(c) ? 0 : 1;
+  }
+  return expected;
+}
+
+void ServerEngine::MaybeStartBlame(int64_t now_us, Actions& a) {
+  if (!blame_.pending || blame_.active || inflight_rounds() != 0) {
+    return;
+  }
+  // Pipeline fully drained: run the blame instance. All servers reach this
+  // point with identical session ids (flags are computed from identical
+  // certified cleartexts) and identical open-round frontiers.
+  blame_.pending = false;
+  blame_.active = true;
+  blame_.collecting = true;
+  blame_.rosters.assign(num_servers_, std::nullopt);
+  blame_.mix_steps.assign(num_servers_, std::nullopt);
+  blame_.disclosures.assign(num_servers_, std::nullopt);
+  if (!config_.attached_clients.empty()) {
+    a.out.push_back({AttachedClientsPeer(static_cast<uint32_t>(index_)),
+                     std::make_shared<const WireMessage>(wire::BlameStart{blame_.session})});
+  }
+  a.timers.push_back({Token(blame_.session, kBlameCollect), config_.hard_deadline_us});
+  // Replay server gossip that outpaced our drain.
+  auto early = std::move(blame_early_);
+  blame_early_.clear();
+  if (ExpectedBlameSubmitters() == 0) {
+    CloseBlameCollection(now_us, a);
+  }
+  for (auto& [sender, msg] : early) {
+    if (BlameSessionOf(msg) == blame_.session) {
+      HandleBlameMessage(ServerPeer(sender), msg, now_us, a);
+    }
+  }
+}
+
+void ServerEngine::BufferEarlyBlame(uint32_t sender, const WireMessage& msg) {
+  // Bounded: one slot per (sender, type), sessions only within the window a
+  // legitimate peer could be ahead by. The session is a round the sender has
+  // already finished; we may still be up to a full pipeline window behind.
+  const uint64_t session = BlameSessionOf(msg);
+  const uint64_t lo =
+      blame_.pending ? blame_.session
+                     : (next_round_to_finish_ > config_.pipeline_depth
+                            ? next_round_to_finish_ - config_.pipeline_depth
+                            : 1);
+  if (session < lo || session >= next_round_to_start_ + 2 * config_.pipeline_depth + 2) {
+    return;
+  }
+  for (const auto& [held_sender, held_msg] : blame_early_) {
+    if (held_sender == sender && held_msg.index() == msg.index()) {
+      return;  // first wins
+    }
+  }
+  blame_early_.emplace_back(sender, msg);
+}
+
+void ServerEngine::HandleBlameMessage(const Peer& from, const WireMessage& msg, int64_t now_us,
+                                      Actions& a) {
+  // Client-originated blame traffic is only ever meaningful to the upstream
+  // server of that client, and only inside an active instance.
+  if (const auto* submit = std::get_if<wire::AccusationSubmit>(&msg)) {
+    if (from.kind != Peer::Kind::kClient || from.index != submit->client_id) {
+      return;
+    }
+    if (!blame_.active || !blame_.collecting || submit->session != blame_.session) {
+      return;
+    }
+    if (!IsAttached(submit->client_id) || logic_->IsExpelled(submit->client_id)) {
+      return;
+    }
+    if (blame_.collected.count(submit->client_id) != 0) {
+      return;  // duplicate: first wins
+    }
+    // Cheap hostile-input gate: the serialized row has exactly one valid
+    // length (indistinguishability requires every submission the same
+    // size). Signature and element validity are checked at matrix assembly,
+    // once, identically on every server.
+    const size_t expected_len = 4 + blame_width_ * 2 * def_.group->ElementBytes();
+    if (submit->blame_ciphertext.size() != expected_len) {
+      return;
+    }
+    blame_.collected.emplace(submit->client_id,
+                             std::make_pair(submit->blame_ciphertext, submit->signature));
+    if (blame_.collected.size() >= ExpectedBlameSubmitters()) {
+      CloseBlameCollection(now_us, a);
+    }
+    return;
+  }
+  if (const auto* rebuttal = std::get_if<wire::BlameRebuttal>(&msg)) {
+    HandleRebuttal(*rebuttal, from, now_us, a);
+    return;
+  }
+  // Everything else is server gossip.
+  if (from.kind != Peer::Kind::kServer || from.index >= num_servers_ || from.index == index_) {
+    return;
+  }
+  if (!blame_.active || BlameSessionOf(msg) != blame_.session) {
+    BufferEarlyBlame(from.index, msg);
+    return;
+  }
+  if (const auto* roster = std::get_if<wire::BlameRoster>(&msg)) {
+    if (roster->server_id != from.index || blame_.rosters[from.index].has_value()) {
+      return;
+    }
+    blame_.rosters[from.index] = roster->entries;
+    MaybeAssembleBlameMatrix(now_us, a);
+  } else if (const auto* mix = std::get_if<wire::BlameMix>(&msg)) {
+    if (mix->server_id != from.index || blame_.mix_steps[from.index].has_value()) {
+      return;
+    }
+    blame_.mix_steps[from.index] = mix->step;
+    TryAdvanceCascade(now_us, a);
+  } else if (const auto* ev = std::get_if<wire::TraceEvidence>(&msg)) {
+    if (ev->server_id != from.index || blame_.disclosures[from.index].has_value()) {
+      return;
+    }
+    blame_.disclosures[from.index] = *ev;
+    MaybeTrace(now_us, a);
+  }
+}
+
+void ServerEngine::CloseBlameCollection(int64_t now_us, Actions& a) {
+  blame_.collecting = false;
+  // std::map iterates in increasing client id: the roster is canonical.
+  std::vector<wire::BlameRosterEntry> roster;
+  roster.reserve(blame_.collected.size());
+  for (const auto& [client, row_sig] : blame_.collected) {
+    roster.push_back({client, row_sig.first, row_sig.second});
+  }
+  Broadcast(wire::BlameRoster{blame_.session, static_cast<uint32_t>(index_), roster}, a);
+  blame_.rosters[index_] = std::move(roster);
+  MaybeAssembleBlameMatrix(now_us, a);
+}
+
+void ServerEngine::MaybeAssembleBlameMatrix(int64_t now_us, Actions& a) {
+  if (blame_.mixing || blame_.collecting) {
+    return;
+  }
+  for (const auto& r : blame_.rosters) {
+    if (!r.has_value()) {
+      return;  // still gathering
+    }
+  }
+  // Merge in server order, first server wins a contested client id. Every
+  // entry must carry a valid client signature over (session, id, row) —
+  // without this, a lower-indexed malicious server could shadow a victim's
+  // genuine accusation row with a forged filler and render every blame
+  // instance inconclusive. Signatures, element validity, and ordering are
+  // checked identically on every server, so all honest servers compute the
+  // identical client-id-sorted input matrix. Each accepted row is parsed
+  // exactly once.
+  std::map<uint32_t, std::vector<ElGamalCiphertext>> merged;
+  for (const auto& roster : blame_.rosters) {
+    for (const auto& entry : *roster) {
+      if (entry.client_id >= def_.num_clients() || logic_->IsExpelled(entry.client_id) ||
+          merged.count(entry.client_id) != 0) {
+        continue;
+      }
+      auto sig = SchnorrSignature::Deserialize(*def_.group, entry.signature);
+      if (!sig.has_value() ||
+          !SchnorrVerify(*def_.group, def_.client_pubs[entry.client_id],
+                         BlameRowSigningBytes(blame_.session, entry.client_id, entry.row),
+                         *sig)) {
+        continue;  // forged or corrupted: dropped identically everywhere
+      }
+      auto parsed = ParseCiphertextRow(*def_.group, entry.row, blame_width_);
+      if (parsed.has_value()) {
+        merged.emplace(entry.client_id, std::move(*parsed));
+      }
+    }
+  }
+  CiphertextMatrix matrix;
+  matrix.reserve(merged.size());
+  for (auto& [client, row] : merged) {
+    matrix.push_back(std::move(row));
+  }
+  if (matrix.size() < 2) {
+    // Nothing to shuffle anonymously over: no conclusive blame possible.
+    FinishBlame(wire::BlameVerdict::kInconclusive, 0, now_us, a);
+    return;
+  }
+  blame_.mixing = true;
+  blame_.cascade = std::move(matrix);
+  blame_.steps_verified = 0;
+  TryAdvanceCascade(now_us, a);
+}
+
+void ServerEngine::TryAdvanceCascade(int64_t now_us, Actions& a) {
+  if (!blame_.mixing) {
+    return;
+  }
+  while (blame_.steps_verified < num_servers_) {
+    const size_t j = blame_.steps_verified;
+    if (j == index_ && !blame_.own_step_sent) {
+      // Our turn in the cascade: apply our verified mix layer.
+      MixStep step = logic_->BlameMixStep(blame_.cascade);
+      Bytes serialized = SerializeMixStep(*def_.group, step);
+      Broadcast(wire::BlameMix{blame_.session, static_cast<uint32_t>(index_), serialized}, a);
+      blame_.mix_steps[index_] = std::move(serialized);
+      blame_.own_step_sent = true;
+      blame_.cascade = std::move(step.decrypted);
+      ++blame_.steps_verified;
+      continue;
+    }
+    if (!blame_.mix_steps[j].has_value()) {
+      return;  // waiting for server j's layer
+    }
+    if (j == index_) {
+      ++blame_.steps_verified;  // own step, already applied
+      continue;
+    }
+    auto step = ParseMixStep(*def_.group, *blame_.mix_steps[j]);
+    if (!step.has_value() || !VerifyMixStep(def_, j, blame_.cascade, *step)) {
+      // The §3.10 proofs identify the cheating mixer outright.
+      FinishBlame(wire::BlameVerdict::kServerExposed, static_cast<uint32_t>(j), now_us, a);
+      return;
+    }
+    blame_.cascade = std::move(step->decrypted);
+    ++blame_.steps_verified;
+  }
+  blame_.shuffle_ran = true;
+  DecodeBlameAccusation(now_us, a);
+}
+
+void ServerEngine::DecodeBlameAccusation(int64_t now_us, Actions& a) {
+  // The cascade's final rows are plaintext blocks: recover the real
+  // accusations among the zero fillers. The instance traces the first row
+  // that both decodes AND validates against the retained evidence — a
+  // hostile client shipping a well-formed-but-invalid accusation must not
+  // be able to shadow a genuine victim's row into an inconclusive verdict.
+  for (const auto& row : blame_.cascade) {
+    auto payload = DecodeMessageBlocks(def_, row);
+    if (!payload.has_value()) {
+      continue;
+    }
+    Bytes trimmed = *payload;
+    while (!trimmed.empty() && trimmed.back() == 0) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty()) {
+      continue;  // null filler from a non-accusing client
+    }
+    auto acc = SignedAccusation::Deserialize(*def_.group, *payload);
+    if (!acc.has_value()) {
+      // The serialization is self-delimiting up to the zero fill; Deserialize
+      // demands AtEnd, so retry with the padding stripped.
+      acc = SignedAccusation::Deserialize(*def_.group, trimmed);
+    }
+    if (!acc.has_value()) {
+      continue;
+    }
+    if (!blame_.accusation_found) {
+      blame_.accusation = acc;  // remember the first decodable for reporting
+      blame_.accusation_found = true;
+    }
+    if (logic_->CheckAccusation(*acc)) {
+      blame_.accusation = acc;
+      blame_.accusation_valid = true;
+      break;
+    }
+  }
+  if (!blame_.accusation_found || !blame_.accusation_valid) {
+    FinishBlame(wire::BlameVerdict::kInconclusive, 0, now_us, a);
+    return;
+  }
+  // Trace phase: disclose our own §3.9 evidence and wait for every peer's.
+  blame_.tracing = true;
+  const uint64_t round = blame_.accusation->accusation.round;
+  const uint64_t bit = blame_.accusation->accusation.bit_index;
+  TraceDisclosure own = logic_->BuildTraceDisclosure(round, bit);
+  wire::TraceEvidence ev;
+  ev.session = blame_.session;
+  ev.server_id = static_cast<uint32_t>(index_);
+  ev.round = round;
+  ev.bit_index = bit;
+  ev.present = own.present;
+  ev.own_share = own.own_share;
+  ev.client_ct_bits = PackBits(own.client_ct_bits);
+  ev.server_ct_bit = own.server_ct_bit ? 1 : 0;
+  ev.pad_bits = PackBits(own.pad_bits);
+  Broadcast(ev, a);
+  blame_.disclosures[index_] = std::move(ev);
+  MaybeTrace(now_us, a);
+}
+
+void ServerEngine::MaybeTrace(int64_t now_us, Actions& a) {
+  if (!blame_.tracing || blame_.awaiting_rebuttal) {
+    return;
+  }
+  for (const auto& d : blame_.disclosures) {
+    if (!d.has_value()) {
+      return;  // still gathering
+    }
+  }
+  const uint64_t round = blame_.accusation->accusation.round;
+  const uint64_t bit = blame_.accusation->accusation.bit_index;
+  const DissentServer::RoundEvidence* own_ev = logic_->EvidenceFor(round);
+  if (own_ev == nullptr) {
+    // Our own evidence expired: we cannot anchor the composite list.
+    FinishBlame(wire::BlameVerdict::kInconclusive, 0, now_us, a);
+    return;
+  }
+  const std::vector<uint32_t>& composite = own_ev->composite_list;
+  TraceInputs in;
+  in.round = round;
+  in.bit_index = bit;
+  in.composite_list = composite;
+  in.own_shares.resize(num_servers_);
+  in.server_ct_bits.resize(num_servers_);
+  in.pad_bits.resize(num_servers_);
+  for (size_t j = 0; j < num_servers_; ++j) {
+    const wire::TraceEvidence& d = *blame_.disclosures[j];
+    if (!d.present) {
+      // Evidence expired somewhere: the trace cannot conclude.
+      FinishBlame(wire::BlameVerdict::kInconclusive, 0, now_us, a);
+      return;
+    }
+    auto ct_bits = UnpackBits(d.client_ct_bits, d.own_share.size());
+    auto pad_bits = UnpackBits(d.pad_bits, composite.size());
+    if (!ct_bits.has_value() || !pad_bits.has_value()) {
+      // A disclosure that does not cover the composite list is a failure to
+      // disclose — the §3.9 case (a) analogue at the message level.
+      FinishBlame(wire::BlameVerdict::kServerExposed, static_cast<uint32_t>(j), now_us, a);
+      return;
+    }
+    in.own_shares[j] = d.own_share;
+    in.server_ct_bits[j] = d.server_ct_bit != 0;
+    for (size_t k = 0; k < d.own_share.size(); ++k) {
+      in.client_ct_bits.emplace(d.own_share[k], (*ct_bits)[k]);
+    }
+    for (size_t k = 0; k < composite.size(); ++k) {
+      in.pad_bits[j][composite[k]] = (*pad_bits)[k];
+    }
+  }
+  blame_.trace = TraceDisruptor(def_, in);
+  switch (blame_.trace.kind) {
+    case TraceVerdict::Kind::kInconclusive:
+      FinishBlame(wire::BlameVerdict::kInconclusive, 0, now_us, a);
+      return;
+    case TraceVerdict::Kind::kServerExposed:
+      FinishBlame(wire::BlameVerdict::kServerExposed,
+                  static_cast<uint32_t>(blame_.trace.culprit), now_us, a);
+      return;
+    case TraceVerdict::Kind::kClientAccused:
+      break;
+  }
+  // An accusation about an old round can re-convict a client already
+  // expelled by an earlier instance: no challenge to send (the member is
+  // gone and would never answer) — conclude immediately and idempotently.
+  if (logic_->IsExpelled(blame_.trace.culprit)) {
+    FinishBlame(wire::BlameVerdict::kClientExpelled,
+                static_cast<uint32_t>(blame_.trace.culprit), now_us, a);
+    return;
+  }
+  // Rebuttal phase: the accused answers its upstream server's challenge with
+  // a DLEQ reveal (exposing a lying server) or concedes.
+  blame_.awaiting_rebuttal = true;
+  blame_.accused = static_cast<uint32_t>(blame_.trace.culprit);
+  blame_.accused_pad_bits.assign(num_servers_, false);
+  for (size_t j = 0; j < num_servers_; ++j) {
+    auto it = in.pad_bits[j].find(blame_.accused);
+    blame_.accused_pad_bits[j] = it != in.pad_bits[j].end() && it->second;
+  }
+  if (IsAttached(blame_.accused)) {
+    wire::BlameChallenge challenge;
+    challenge.session = blame_.session;
+    challenge.round = round;
+    challenge.bit_index = bit;
+    challenge.client_id = blame_.accused;
+    challenge.pad_bits = PackBits(blame_.accused_pad_bits);
+    a.out.push_back({ClientPeer(blame_.accused),
+                     std::make_shared<const WireMessage>(std::move(challenge))});
+  }
+  a.timers.push_back({Token(blame_.session, kBlameRebuttal), config_.hard_deadline_us});
+  if (blame_.pending_rebuttal.has_value()) {
+    // A peer's forward arrived while we were still gathering disclosures;
+    // replay it now (held forwards are always server-origin).
+    wire::BlameRebuttal held = *blame_.pending_rebuttal;
+    blame_.pending_rebuttal.reset();
+    HandleRebuttal(held, ServerPeer(static_cast<uint32_t>(index_)), now_us, a);
+  }
+}
+
+void ServerEngine::HandleRebuttal(const wire::BlameRebuttal& msg, const Peer& from,
+                                  int64_t now_us, Actions& a) {
+  if (!blame_.active || msg.session != blame_.session) {
+    if (from.kind == Peer::Kind::kServer) {
+      BufferEarlyBlame(from.index, WireMessage(msg));
+    }
+    return;
+  }
+  if (!blame_.awaiting_rebuttal) {
+    // A peer's forwarded rebuttal can outpace a straggling TraceEvidence
+    // that still holds our own trace back; hold it until tracing concludes.
+    if (from.kind == Peer::Kind::kServer && !blame_.pending_rebuttal.has_value()) {
+      blame_.pending_rebuttal = msg;
+    }
+    return;
+  }
+  if (msg.client_id != blame_.accused) {
+    return;
+  }
+  // The answer must carry a valid signature under the accused's long-term
+  // key over (session, id, the challenge context, rebuttal) — verified
+  // against OUR OWN view of the context (the accusation's round/bit and the
+  // pad bits every server derived from the disclosures). Without this, any
+  // single malicious server could forge an empty "concession" — or doctor
+  // the challenge it relays to extract a genuine-looking one — and convict
+  // an honest client whose real rebuttal would expose the liar, voiding
+  // §3.9's anytrust guarantee. A mismatched answer is simply ignored; the
+  // legitimate one (or the rebuttal deadline) still decides.
+  const uint64_t acc_round = blame_.accusation->accusation.round;
+  const uint64_t acc_bit = blame_.accusation->accusation.bit_index;
+  auto sig = SchnorrSignature::Deserialize(*def_.group, msg.signature);
+  if (!sig.has_value() ||
+      !SchnorrVerify(*def_.group, def_.client_pubs[blame_.accused],
+                     BlameAnswerSigningBytes(msg.session, msg.client_id, acc_round, acc_bit,
+                                             PackBits(blame_.accused_pad_bits), msg.rebuttal),
+                     *sig)) {
+    return;
+  }
+  // Two legitimate sources: the accused client itself (if attached to us —
+  // we then forward the answer verbatim to every peer), or a peer server's
+  // forward.
+  if (from.kind == Peer::Kind::kClient) {
+    if (from.index != blame_.accused || !IsAttached(blame_.accused)) {
+      return;
+    }
+    Broadcast(wire::BlameRebuttal{msg.session, msg.client_id, msg.rebuttal, msg.signature}, a);
+  } else if (from.kind != Peer::Kind::kServer || from.index >= num_servers_) {
+    return;
+  }
+  const uint64_t round = blame_.accusation->accusation.round;
+  const uint64_t bit = blame_.accusation->accusation.bit_index;
+  if (!msg.rebuttal.empty()) {
+    auto rebuttal = Rebuttal::Deserialize(*def_.group, msg.rebuttal);
+    if (rebuttal.has_value() && rebuttal->client_index == blame_.accused &&
+        rebuttal->server_index < num_servers_) {
+      auto rv = EvaluateRebuttal(def_, *rebuttal, round, bit,
+                                 blame_.accused_pad_bits[rebuttal->server_index]);
+      if (rv.valid_proof && rv.server_lied) {
+        FinishBlame(wire::BlameVerdict::kServerExposed, rebuttal->server_index, now_us, a);
+        return;
+      }
+    }
+  }
+  // A signed empty/unconvincing rebuttal concedes: the accused is the
+  // disruptor.
+  FinishBlame(wire::BlameVerdict::kClientExpelled, blame_.accused, now_us, a);
+}
+
+void ServerEngine::FinishBlame(uint8_t kind, uint32_t culprit, int64_t now_us, Actions& a) {
+  wire::BlameVerdict verdict;
+  verdict.session = blame_.session;
+  verdict.round =
+      blame_.accusation.has_value() ? blame_.accusation->accusation.round : blame_.session;
+  verdict.kind = kind;
+  verdict.culprit = culprit;
+
+  BlameDone done;
+  done.session = blame_.session;
+  done.shuffle_ran = blame_.shuffle_ran;
+  done.accusation_found = blame_.accusation_found;
+  done.accusation_valid = blame_.accusation_valid;
+  done.trace = blame_.trace;
+  done.verdict = verdict;
+  a.blame.push_back(std::move(done));
+
+  if (kind == wire::BlameVerdict::kClientExpelled && !logic_->IsExpelled(culprit)) {
+    // Membership change before any post-blame round opens: the expelled
+    // client is out of ingest, inventories, and window expectations — i.e.
+    // out of every schedule from round session+depth on. (Idempotent: a
+    // re-conviction of an already-expelled client changes nothing.)
+    logic_->ExpelClient(culprit);
+    if (IsAttached(culprit)) {
+      ++expelled_attached_;
+    }
+  }
+  if (!config_.attached_clients.empty()) {
+    a.out.push_back({AttachedClientsPeer(static_cast<uint32_t>(index_)),
+                     std::make_shared<const WireMessage>(verdict)});
+  }
+  ++blames_completed_;
+  blame_ = BlameState{};
+  blame_early_.clear();
+  // Resume the pipeline: reopen a full window of rounds.
+  for (size_t k = 0; k < config_.pipeline_depth; ++k) {
+    StartRound(next_round_to_start_, now_us, a);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +980,9 @@ ClientEngine::Actions ClientEngine::StartSession() {
 }
 
 void ClientEngine::Submit(uint64_t round, Actions& a) {
+  if (expelled_) {
+    return;  // out of the group (§3.9): nothing to submit, ever
+  }
   wire::ClientSubmit msg;
   msg.round = round;
   msg.client_id = static_cast<uint32_t>(logic_->index());
@@ -395,16 +991,99 @@ void ClientEngine::Submit(uint64_t round, Actions& a) {
                    std::make_shared<const WireMessage>(std::move(msg))});
 }
 
+void ClientEngine::SendUpstream(WireMessage msg, Actions& a) {
+  a.out.push_back({ServerPeer(config_.upstream_server),
+                   std::make_shared<const WireMessage>(std::move(msg))});
+}
+
 ClientEngine::Actions ClientEngine::SubmitRound(uint64_t round) {
   Actions a;
+  if (blame_hold_) {
+    // Transport-paced submissions respect the blame drain too: the servers
+    // are not opening this round until the verdict, so hold it and flush on
+    // the verdict instead of letting the submission be dropped.
+    deferred_.push_back(round);
+    return a;
+  }
   Submit(round, a);
   return a;
 }
 
 ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMessage& msg) {
   Actions a;
+  if (from.kind != Peer::Kind::kServer) {
+    return a;
+  }
+  // Blame traffic (§3.9) only ever comes from our upstream server.
+  if (from.index == config_.upstream_server) {
+    if (const auto* start = std::get_if<wire::BlameStart>(&msg)) {
+      if (!expelled_) {
+        if (SeenDrainedOutputs(start->session)) {
+          AnswerBlameStart(start->session, a);
+        } else {
+          // The invite overtook a drained round's Output frame; answer once
+          // that output has been processed, so the pending accusation we
+          // ship reflects the full drained history on every transport.
+          pending_blame_start_ = start->session;
+        }
+      }
+      return a;
+    }
+    if (const auto* challenge = std::get_if<wire::BlameChallenge>(&msg)) {
+      if (challenge->client_id != logic_->index() || expelled_) {
+        return a;
+      }
+      auto claimed = UnpackBits(challenge->pad_bits, def_.num_servers());
+      if (!claimed.has_value()) {
+        // A malformed challenge gets no answer at all — never a blind
+        // concession a doctored relay could harvest.
+        return a;
+      }
+      wire::BlameRebuttal answer;
+      answer.session = challenge->session;
+      answer.client_id = challenge->client_id;
+      auto rebuttal =
+          logic_->BuildBlameRebuttal(challenge->round, challenge->bit_index, *claimed);
+      if (rebuttal.has_value()) {
+        answer.rebuttal = rebuttal->Serialize(*def_.group);
+      }
+      // An empty rebuttal concedes: all published pad bits match our own
+      // view, which is exactly what convicts a real disruptor. The signature
+      // binds the challenge context we actually answered (round, bit, pad
+      // bits as relayed), so a doctored challenge yields a signature honest
+      // servers reject against their own view.
+      answer.signature =
+          logic_->SignBlameAnswer(challenge->session, challenge->round, challenge->bit_index,
+                                  challenge->pad_bits, answer.rebuttal);
+      SendUpstream(std::move(answer), a);
+      return a;
+    }
+    if (const auto* verdict = std::get_if<wire::BlameVerdict>(&msg)) {
+      if (verdict->session <= last_verdict_session_) {
+        return a;  // replay guard: blame sessions only move forward
+      }
+      last_verdict_session_ = verdict->session;
+      a.verdicts.push_back(*verdict);
+      // Inconclusive instances restore a shipped accusation for a bounded
+      // retry (a row lost in transit must not erase the only evidence).
+      logic_->OnBlameVerdict(verdict->kind);
+      blame_hold_ = false;
+      if (verdict->kind == wire::BlameVerdict::kClientExpelled &&
+          verdict->culprit == logic_->index()) {
+        expelled_ = true;
+        deferred_.clear();
+        return a;
+      }
+      // The servers reopened the pipeline; flush the submissions we held.
+      for (uint64_t round : deferred_) {
+        Submit(round, a);
+      }
+      deferred_.clear();
+      return a;
+    }
+  }
   const auto* output = std::get_if<wire::Output>(&msg);
-  if (output == nullptr || from.kind != Peer::Kind::kServer) {
+  if (output == nullptr) {
     return a;
   }
   if (output->round <= last_output_round_) {
@@ -439,10 +1118,44 @@ ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMe
   if (!result.signatures_ok) {
     return a;  // forged output: ignore (the client would switch servers, §3.5)
   }
+  if (result.accusation_requested) {
+    // The same scan the servers run: this round flagged a blame shuffle, so
+    // the pipeline is about to drain — hold further submissions until the
+    // verdict instead of submitting into rounds the servers will not open.
+    blame_hold_ = true;
+  }
+  if (pending_blame_start_.has_value() && SeenDrainedOutputs(*pending_blame_start_)) {
+    uint64_t session = *pending_blame_start_;
+    pending_blame_start_.reset();
+    AnswerBlameStart(session, a);
+  }
+  if (blame_hold_ && !deferred_.empty() && output->round >= deferred_.front()) {
+    // The servers certified a round they only open after a blame verdict —
+    // we must have missed the verdict broadcast (offline at the time).
+    // Resume; the held submissions are stale (their windows are long gone).
+    blame_hold_ = false;
+    deferred_.clear();
+  }
   if (config_.auto_submit) {
-    Submit(output->round + config_.pipeline_depth, a);
+    if (blame_hold_) {
+      deferred_.push_back(output->round + config_.pipeline_depth);
+    } else {
+      Submit(output->round + config_.pipeline_depth, a);
+    }
   }
   return a;
+}
+
+void ClientEngine::AnswerBlameStart(uint64_t session, Actions& a) {
+  // Fixed-width row whether or not we hold an accusation: accusers are
+  // indistinguishable from bystanders. Signed so roster gossip cannot
+  // substitute a forged row for ours.
+  wire::AccusationSubmit submit;
+  submit.session = session;
+  submit.client_id = static_cast<uint32_t>(logic_->index());
+  submit.blame_ciphertext = logic_->BuildBlameCiphertext();
+  submit.signature = logic_->SignBlameRow(session, submit.blame_ciphertext);
+  SendUpstream(std::move(submit), a);
 }
 
 }  // namespace dissent

@@ -42,6 +42,22 @@
 // combining or certifying. Rounds *finish* strictly in order (outputs are
 // distributed in round order). Depth 1 reproduces the sequential protocol
 // exactly.
+//
+// Blame sub-phase (§3.9): when a finished round's certified output carries a
+// nonzero shuffle-request field, every server engine independently flags a
+// blame instance whose session id is that round number. Pipeline semantics
+// are deterministic: the engine stops opening new rounds, the ≤ depth rounds
+// already in flight drain to completion in order, and only then does the
+// blame protocol run — BlameStart to the attached clients, fixed-width
+// AccusationSubmit collection, roster gossip, the verified mix cascade in
+// server order, TraceEvidence disclosure, TraceDisruptor, the accused
+// client's rebuttal, and finally a BlameVerdict broadcast. An expelled
+// client is removed from the logic's membership and from this engine's
+// window expectations before any post-blame round opens, so it is out of
+// every schedule from round session+depth on. The engines then reopen depth
+// rounds and the pipeline resumes. Clients mirror the same flag scan: once
+// they see a flagged output they defer further submissions until the
+// verdict, so no submission is ever dropped against an unopened round.
 #ifndef DISSENT_CORE_ENGINE_H_
 #define DISSENT_CORE_ENGINE_H_
 
@@ -51,6 +67,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/accusation.h"
 #include "src/core/client.h"
 #include "src/core/server.h"
 #include "src/core/wire.h"
@@ -123,10 +140,22 @@ class ServerEngine {
     int64_t started_at_us = 0;          // when this round's window opened
   };
 
+  // Result of one blame instance (§3.9), reported when the verdict is
+  // reached. Deterministic and identical on every honest server.
+  struct BlameDone {
+    uint64_t session = 0;
+    bool shuffle_ran = false;       // cascade completed and verified
+    bool accusation_found = false;  // a decodable SignedAccusation surfaced
+    bool accusation_valid = false;  // it checked out against evidence
+    TraceVerdict trace;             // pre-rebuttal trace verdict
+    wire::BlameVerdict verdict;     // the final outcome clients receive
+  };
+
   struct Actions {
     std::vector<Envelope> out;
     std::vector<TimerRequest> timers;
     std::vector<RoundDone> done;
+    std::vector<BlameDone> blame;
   };
 
   // `logic` must outlive the engine; `def` is the shared group roster.
@@ -148,6 +177,10 @@ class ServerEngine {
   // Submission count this server observed at its most recent window close
   // (the adaptive-window input); 0 until a window has closed.
   size_t last_window_observed() const { return last_window_observed_; }
+  // True from the moment a finished round flags an accusation shuffle until
+  // that blame instance's verdict is broadcast.
+  bool blame_in_progress() const { return blame_.pending || blame_.active; }
+  uint64_t blames_completed() const { return blames_completed_; }
 
  private:
   // Ring slot for one in-flight round (index = round % pipeline_depth).
@@ -168,8 +201,51 @@ class ServerEngine {
     Bytes cleartext;
   };
 
-  enum TimerKind : uint64_t { kWindowPolicy = 0, kHardDeadline = 1 };
-  static uint64_t Token(uint64_t round, TimerKind kind) { return (round << 1) | kind; }
+  // Timer tokens carry (round-or-session << 2) | kind. kWindowPolicy and
+  // kHardDeadline belong to the round pipeline; kBlameCollect backstops the
+  // blame-shuffle collection window and kBlameRebuttal the accused client's
+  // answer (a silent client concedes).
+  enum TimerKind : uint64_t {
+    kWindowPolicy = 0,
+    kHardDeadline = 1,
+    kBlameCollect = 2,
+    kBlameRebuttal = 3,
+  };
+  static uint64_t Token(uint64_t round, TimerKind kind) { return (round << 2) | kind; }
+
+  // One blame instance (§3.9); at most one runs at a time, and all round
+  // pipelining is suspended while it does.
+  struct BlameState {
+    bool pending = false;  // flagged; waiting for in-flight rounds to drain
+    bool active = false;
+    uint64_t session = 0;
+    // Collection: fixed-width rows from this server's attached clients
+    // (row bytes + the client's signature over them).
+    bool collecting = false;
+    std::map<uint32_t, std::pair<Bytes, Bytes>> collected;
+    std::vector<std::optional<std::vector<wire::BlameRosterEntry>>> rosters;
+    // Cascade: the merged matrix walks through every server's verified mix.
+    bool mixing = false;
+    std::vector<std::optional<Bytes>> mix_steps;  // serialized, per server
+    CiphertextMatrix cascade;
+    size_t steps_verified = 0;
+    bool own_step_sent = false;
+    bool shuffle_ran = false;
+    // Trace: the decoded accusation plus every server's disclosure.
+    bool tracing = false;
+    std::optional<SignedAccusation> accusation;
+    bool accusation_found = false;
+    bool accusation_valid = false;
+    std::vector<std::optional<wire::TraceEvidence>> disclosures;
+    TraceVerdict trace;
+    // Rebuttal: the accused client's answer (or its absence).
+    bool awaiting_rebuttal = false;
+    uint32_t accused = 0;
+    std::vector<bool> accused_pad_bits;  // per server, for the challenge
+    // A peer's forwarded rebuttal that arrived while a straggling
+    // TraceEvidence still held our own trace back; replayed after tracing.
+    std::optional<wire::BlameRebuttal> pending_rebuttal;
+  };
 
   RoundState* FindRound(uint64_t round);
   void StartRound(uint64_t round, int64_t now_us, Actions& a);
@@ -182,6 +258,21 @@ class ServerEngine {
   void MaybeCertify(uint64_t round, Actions& a);
   void MaybeFinishRounds(int64_t now_us, Actions& a);
   bool AllPresent(const std::vector<std::optional<Bytes>>& v) const;
+
+  // --- blame sub-phase (§3.9) ---
+  bool IsAttached(uint32_t client) const;
+  size_t ExpectedBlameSubmitters() const;
+  void MaybeStartBlame(int64_t now_us, Actions& a);
+  void HandleBlameMessage(const Peer& from, const WireMessage& msg, int64_t now_us, Actions& a);
+  void BufferEarlyBlame(uint32_t sender, const WireMessage& msg);
+  void CloseBlameCollection(int64_t now_us, Actions& a);
+  void MaybeAssembleBlameMatrix(int64_t now_us, Actions& a);
+  void TryAdvanceCascade(int64_t now_us, Actions& a);
+  void DecodeBlameAccusation(int64_t now_us, Actions& a);
+  void MaybeTrace(int64_t now_us, Actions& a);
+  void HandleRebuttal(const wire::BlameRebuttal& msg, const Peer& from, int64_t now_us,
+                      Actions& a);
+  void FinishBlame(uint8_t kind, uint32_t culprit, int64_t now_us, Actions& a);
 
   DissentServer* logic_;
   const GroupDef& def_;
@@ -200,6 +291,16 @@ class ServerEngine {
   size_t last_window_observed_ = 0;
   uint64_t pipelined_submissions_ = 0;
   bool halted_ = false;
+
+  BlameState blame_;
+  // Server-gossiped blame messages that outpaced our own pipeline drain
+  // (a peer can finish, collect, and roster while our last round's
+  // signatures are still in flight). One slot per (sender, type); replayed
+  // when the blame instance activates.
+  std::vector<std::pair<uint32_t, WireMessage>> blame_early_;
+  uint64_t blames_completed_ = 0;
+  size_t blame_width_ = 0;  // ElGamal row width of a kAccusationBytes payload
+  size_t expelled_attached_ = 0;
 };
 
 class ClientEngine {
@@ -227,6 +328,8 @@ class ClientEngine {
   struct Actions {
     std::vector<Envelope> out;
     std::vector<Delivery> delivered;
+    // Blame verdicts received from the upstream server (§3.9), in order.
+    std::vector<wire::BlameVerdict> verdicts;
   };
 
   ClientEngine(DissentClient* logic, const GroupDef& def, Config config);
@@ -240,14 +343,36 @@ class ClientEngine {
   Actions SubmitRound(uint64_t round);
 
   DissentClient& logic() { return *logic_; }
+  // True once a BlameVerdict expelled this client; it stops submitting.
+  bool expelled() const { return expelled_; }
 
  private:
   void Submit(uint64_t round, Actions& a);
+  void SendUpstream(WireMessage msg, Actions& a);
+  void AnswerBlameStart(uint64_t session, Actions& a);
+  // True once we have processed the outputs of every round the servers
+  // drained before opening the blame instance (session .. session+depth-1).
+  bool SeenDrainedOutputs(uint64_t session) const {
+    return last_output_round_ + 1 >= session + config_.pipeline_depth;
+  }
 
   DissentClient* logic_;
   const GroupDef& def_;
   Config config_;
   uint64_t last_output_round_ = 0;  // replay guard: outputs move forward only
+  // Blame deferral (§3.9): after a flagged output, auto-submission pauses
+  // (the servers stopped opening rounds) and the held rounds flush when the
+  // verdict arrives — so submissions are never dropped against unopened
+  // rounds and the pipeline resumes without a stall.
+  bool blame_hold_ = false;
+  std::vector<uint64_t> deferred_;
+  // A BlameStart that arrived before the flagged round's output (small
+  // frames can overtake large ones on bandwidth-modeled links): answered
+  // only once every drained output has been processed, so the accusation
+  // that rides the shuffle is the same on every transport and ordering.
+  std::optional<uint64_t> pending_blame_start_;
+  uint64_t last_verdict_session_ = 0;
+  bool expelled_ = false;
 };
 
 }  // namespace dissent

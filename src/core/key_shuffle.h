@@ -82,6 +82,29 @@ ShuffleCascadeResult RunShuffleCascade(const GroupDef& def,
 bool VerifyShuffleCascade(const GroupDef& def, const CiphertextMatrix& submissions,
                           const ShuffleCascadeResult& result);
 
+// --- wire codecs (engine-driven blame shuffle, §3.9) ---
+//
+// The blame sub-phase runs the general message shuffle *over the wire*:
+// clients ship encrypted fixed-width accusation rows, and each server ships
+// its MixStep to every peer for verification. These codecs are the canonical,
+// hostile-input-hardened byte forms those messages carry — counts are bounded
+// by the remaining input before any allocation, and every group element is
+// subgroup-membership-checked on parse.
+
+// One logical message: `width` ElGamal pairs as fixed-width element bytes.
+// Parse enforces the exact expected width (fixed-size blame rows keep
+// accusers indistinguishable).
+Bytes SerializeCiphertextRow(const Group& group, const std::vector<ElGamalCiphertext>& row);
+std::optional<std::vector<ElGamalCiphertext>> ParseCiphertextRow(const Group& group,
+                                                                 const Bytes& data,
+                                                                 size_t expected_width);
+
+// One server's full mix contribution (shuffled matrix + shuffle proof +
+// decrypted matrix + per-ciphertext DLEQ proofs). Parse checks shape
+// consistency; cryptographic validity is the caller's VerifyMixStep.
+Bytes SerializeMixStep(const Group& group, const MixStep& step);
+std::optional<MixStep> ParseMixStep(const Group& group, const Bytes& data);
+
 }  // namespace dissent
 
 #endif  // DISSENT_CORE_KEY_SHUFFLE_H_

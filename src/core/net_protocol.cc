@@ -138,6 +138,8 @@ NetDissent::~NetDissent() = default;
 
 DissentClient& NetDissent::client(size_t i) { return *clients_[i]->logic; }
 
+DissentServer& NetDissent::server(size_t j) { return *servers_[j]->logic; }
+
 void NetDissent::SetClientOnline(size_t i, bool online) {
   // Per-client flag (machines host many clients, so node-level online state
   // is the wrong granularity): an offline client neither submits nor has
@@ -178,19 +180,25 @@ void NetDissent::DeliverToServer(size_t j, NodeId from, const Network::Frame& pa
   } else {
     // Client traffic arrives from a machine node; the claimed sender is
     // authentic iff that client is hosted on the sending machine (models the
-    // per-client authenticated connections a machine multiplexes).
-    const auto* submit = std::get_if<wire::ClientSubmit>(msg.get());
-    if (submit == nullptr) {
+    // per-client authenticated connections a machine multiplexes). Clients
+    // speak ClientSubmit plus the client legs of the blame sub-phase.
+    uint32_t claimed;
+    if (const auto* submit = std::get_if<wire::ClientSubmit>(msg.get())) {
+      claimed = submit->client_id;
+    } else if (const auto* acc = std::get_if<wire::AccusationSubmit>(msg.get())) {
+      claimed = acc->client_id;
+    } else if (const auto* rebuttal = std::get_if<wire::BlameRebuttal>(msg.get())) {
+      claimed = rebuttal->client_id;
+    } else {
       return;
     }
     size_t m = from - servers_.size();
     const MachineNode& machine = machines_[m];
-    if (submit->client_id < machine.first_client ||
-        submit->client_id >= machine.first_client + machine.num_clients ||
+    if (claimed < machine.first_client || claimed >= machine.first_client + machine.num_clients ||
         machine.upstream != j) {
       return;
     }
-    peer = ClientPeer(submit->client_id);
+    peer = ClientPeer(claimed);
   }
   DispatchServer(j, servers_[j]->engine->HandleMessage(peer, *msg, sim_->Now()));
 }
@@ -200,14 +208,29 @@ void NetDissent::DeliverToMachine(size_t m, NodeId from, const Network::Frame& p
     return;  // machines only receive from servers
   }
   auto msg = ParseFrame(payload);
-  if (msg == nullptr || !std::holds_alternative<wire::Output>(*msg)) {
+  if (msg == nullptr) {
     return;
   }
-  // Fan the (already parsed) output to every hosted client. Duplicate frames
-  // (the per-client-frame comparison mode) are shed by each engine's output
-  // replay guard, so semantics match the shared-frame path exactly.
   const MachineNode& machine = machines_[m];
   const Peer peer = ServerPeer(static_cast<uint32_t>(from));
+  // Client-specific blame traffic: hand the frame to the addressed client
+  // only (the machine multiplexes per-client connections).
+  if (const auto* challenge = std::get_if<wire::BlameChallenge>(msg.get())) {
+    size_t i = challenge->client_id;
+    if (i >= machine.first_client && i < machine.first_client + machine.num_clients &&
+        clients_[i]->online) {
+      DispatchClient(i, clients_[i]->engine->HandleMessage(peer, *msg));
+    }
+    return;
+  }
+  if (!std::holds_alternative<wire::Output>(*msg) &&
+      !std::holds_alternative<wire::BlameStart>(*msg) &&
+      !std::holds_alternative<wire::BlameVerdict>(*msg)) {
+    return;
+  }
+  // Fan the (already parsed) broadcast to every hosted client. Duplicate
+  // frames (the per-client-frame comparison mode) are shed by each engine's
+  // replay guards, so semantics match the shared-frame path exactly.
   for (size_t k = 0; k < machine.num_clients; ++k) {
     size_t i = machine.first_client + k;
     if (!clients_[i]->online) {
@@ -222,8 +245,14 @@ bool NetDissent::Start() {
     // Slot i = client i: skips the verified shuffle (whose cost at 1,000+
     // clients dwarfs the rounds under test) while leaving the round path
     // byte-identical to a shuffle that happened to produce the identity.
+    std::vector<BigInt> keys;
+    keys.reserve(clients_.size());
     for (size_t i = 0; i < clients_.size(); ++i) {
       clients_[i]->logic->AssignSlot(i, clients_.size());
+      keys.push_back(clients_[i]->logic->pseudonym().pub);
+    }
+    for (auto& s : servers_) {
+      s->logic->SetPseudonymKeys(keys);
     }
   } else {
     // Scheduling (§3.10) through the verified cascade.
@@ -246,6 +275,9 @@ bool NetDissent::Start() {
       }
       clients_[i]->logic->AssignSlot(static_cast<size_t>(it - keys.begin()), keys.size());
     }
+    for (auto& s : servers_) {
+      s->logic->SetPseudonymKeys(keys);
+    }
   }
   for (auto& s : servers_) {
     s->logic->BeginSlots(clients_.size());
@@ -261,18 +293,20 @@ bool NetDissent::Start() {
   return true;
 }
 
-void NetDissent::SubmitWithDelay(size_t client_index, Network::Frame frame) {
+void NetDissent::SubmitWithDelay(size_t client_index, Network::Frame frame, bool round_paced) {
   const ClientNode& c = *clients_[client_index];
   const NodeId from = machines_[c.machine].node;
   const NodeId to = servers_[c.upstream]->node;
   SimTime delay;
-  if (options_.submit_delay.has_value()) {
+  if (round_paced && options_.submit_delay.has_value()) {
     delay = options_.submit_delay->Draw(jitter_);
     if (delay < 0) {
       return;  // PlanetLab straggler that never answers this round (§5.1)
     }
   } else {
-    // Client think time before submitting each round (models app + OS).
+    // Client think time before submitting (models app + OS). Blame replies
+    // are reactive, so they get the uniform jitter, never the heavy-tailed
+    // round-pacing dropout model.
     delay = static_cast<SimTime>(jitter_.Below(
         static_cast<uint64_t>(std::max<SimTime>(options_.client_jitter_max, 1))));
   }
@@ -346,15 +380,35 @@ void NetDissent::DispatchServer(size_t j, ServerEngine::Actions actions) {
       }
     }
   }
+  for (ServerEngine::BlameDone& done : actions.blame) {
+    if (j == 0) {
+      blame_done_.push_back(std::move(done));
+    }
+  }
 }
 
 void NetDissent::DispatchClient(size_t i, ClientEngine::Actions actions) {
   const ClientNode& c = *clients_[i];
   if (c.online) {
     for (const Envelope& env : actions.out) {
-      // Clients only ever emit ClientSubmit toward their upstream server.
+      // Clients only ever emit toward their upstream server: ClientSubmit
+      // plus the blame legs (AccusationSubmit, BlameRebuttal).
       assert(env.to.kind == Peer::Kind::kServer && env.to.index == c.upstream);
-      SubmitWithDelay(i, SerializeWireShared(*env.msg));
+      std::shared_ptr<const WireMessage> msg = env.msg;
+      // Adversarial hook (§3.9): the disruptor's submissions are tampered in
+      // flight; the payload may be shared, so mutate a private copy.
+      if (disruptor_.has_value() && i == disruptor_->client) {
+        if (const auto* submit = std::get_if<wire::ClientSubmit>(msg.get())) {
+          if (disruptor_->bit < submit->ciphertext.size() * 8) {
+            auto mutated = std::make_shared<WireMessage>(*msg);
+            auto& ct = std::get<wire::ClientSubmit>(*mutated).ciphertext;
+            SetBit(ct, disruptor_->bit, !GetBit(ct, disruptor_->bit));
+            msg = std::move(mutated);
+          }
+        }
+      }
+      const bool round_paced = std::holds_alternative<wire::ClientSubmit>(*msg);
+      SubmitWithDelay(i, SerializeWireShared(*msg), round_paced);
     }
   }
   if (i == 0 && record_cleartexts_) {
@@ -383,6 +437,19 @@ size_t NetDissent::peak_round_state_bytes() const {
     peak = std::max(peak, s->logic->peak_round_state_bytes());
   }
   return peak;
+}
+
+void NetDissent::InjectDisruptor(size_t disruptor, size_t bit) {
+  disruptor_ = DisruptorHook{disruptor, bit};
+}
+
+bool NetDissent::blame_in_progress() const {
+  for (const auto& s : servers_) {
+    if (s->engine->blame_in_progress()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace dissent

@@ -95,6 +95,7 @@ class NetDissent {
   bool Start();
 
   DissentClient& client(size_t i);
+  DissentServer& server(size_t j);
   void SetClientOnline(size_t i, bool online);
 
   // Observability for tests/benches.
@@ -118,6 +119,17 @@ class NetDissent {
   size_t peak_round_state_bytes() const;
   Network& network() { return net_; }
 
+  // --- blame sub-phase (§3.9) ---
+  // Adversarial hook: client `disruptor` has a 1 XORed into `bit` of every
+  // DC-net ciphertext it submits (tampered in flight, where a real attacker
+  // sits); mirrors Coordinator::InjectDisruptor for transport equivalence.
+  void InjectDisruptor(size_t disruptor, size_t bit);
+  void ClearDisruptor() { disruptor_.reset(); }
+  // Blame verdicts reached so far (server 0's reports, in order).
+  const std::vector<ServerEngine::BlameDone>& blame_outcomes() const { return blame_done_; }
+  // True while any server engine has a blame instance pending or active.
+  bool blame_in_progress() const;
+
  private:
   struct ServerNode;
   struct ClientNode;
@@ -133,7 +145,7 @@ class NetDissent {
   void DispatchServer(size_t j, ServerEngine::Actions actions);
   void DispatchClient(size_t i, ClientEngine::Actions actions);
   void SendEnvelope(size_t server_index, const Envelope& env, SerializeCache& cache);
-  void SubmitWithDelay(size_t client_index, Network::Frame frame);
+  void SubmitWithDelay(size_t client_index, Network::Frame frame, bool round_paced);
   void DeliverToServer(size_t j, NodeId from, const Network::Frame& payload);
   void DeliverToMachine(size_t m, NodeId from, const Network::Frame& payload);
   // Parse each distinct frame exactly once: broadcast deliveries share the
@@ -164,6 +176,13 @@ class NetDissent {
     std::shared_ptr<const WireMessage> msg;
   };
   std::deque<ParseCacheEntry> parse_cache_;
+
+  struct DisruptorHook {
+    size_t client;
+    size_t bit;
+  };
+  std::optional<DisruptorHook> disruptor_;
+  std::vector<ServerEngine::BlameDone> blame_done_;
 };
 
 }  // namespace dissent

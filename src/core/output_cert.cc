@@ -24,13 +24,11 @@ bool VerifyOutputCertificate(const GroupDef& def, uint64_t round, const Bytes& c
   if (sigs.size() != def.num_servers()) {
     return false;
   }
-  Bytes msg = OutputSigningBytes(def, round, cleartext);
-  for (size_t j = 0; j < sigs.size(); ++j) {
-    if (!SchnorrVerify(*def.group, def.server_pubs[j], msg, sigs[j])) {
-      return false;
-    }
-  }
-  return true;
+  // One Schnorr multi-verify over all M shares instead of M sequential
+  // verifies — the per-round client cost the 5,000-client sim was dominated
+  // by. Same message, roster order; accepts iff every share verifies.
+  return SchnorrMultiVerify(*def.group, def.server_pubs,
+                            OutputSigningBytes(def, round, cleartext), sigs);
 }
 
 }  // namespace dissent

@@ -56,6 +56,7 @@ DissentServer::DissentServer(const GroupDef& def, size_t server_index,
     client_keys_.push_back(DeriveSharedKey(*def_.group, priv_, client_pub, "dissent.dcnet"));
   }
   pad_expander_ = PadExpander(client_keys_);
+  expelled_.assign(def_.num_clients(), false);
   rounds_.resize(pipeline_depth_);
   ResetScheduleWindow(SlotSchedule(def.num_clients(), def.policy.default_slot_length));
 }
@@ -115,7 +116,7 @@ void DissentServer::StartRound(uint64_t round) {
 bool DissentServer::AcceptClientCiphertext(uint64_t round, size_t client_index,
                                            Bytes ciphertext) {
   RoundSlot* slot = FindRound(round);
-  if (slot == nullptr || client_index >= def_.num_clients()) {
+  if (slot == nullptr || client_index >= def_.num_clients() || expelled_[client_index]) {
     return false;
   }
   if (ciphertext.size() != ScheduleFor(round).TotalLength()) {
@@ -244,6 +245,9 @@ const Bytes& DissentServer::BuildServerCiphertext(uint64_t round,
     ev.own_share = own_share;
     evidence_bytes_ += st.server_ct.size();
     ev.server_ct = st.server_ct;
+    // The layout this round was built with, for accusation validation (the
+    // accused bit must fall inside the accuser's slot as laid out *then*).
+    ev.layout = ScheduleFor(round);
     PruneEvidence();
   }
   NotePeakState();
@@ -282,6 +286,10 @@ DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Byte
   auto it = evidence_.find(round);
   if (it != evidence_.end()) {
     result.participation = it->second.composite_list.size();
+    // Certified output joins the evidence: accusation validation checks the
+    // accused bit against exactly these bytes.
+    evidence_bytes_ += cleartext.size();
+    it->second.cleartext = cleartext;
   } else if (const RoundSlot* slot = FindRound(round)) {
     result.participation = slot->received_ids.size();
   }
@@ -298,8 +306,11 @@ DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Byte
     }
   }
   // Lagged schedule advance: this output determines the layout of round
-  // round + pipeline_depth. Rebase the window even if rounds were skipped.
-  SlotSchedule next = scheds_.back();
+  // round + pipeline_depth, via layout(r+depth) = Advance(layout(r),
+  // output(r)) — the cleartext is interpreted with the layout of its own
+  // round (scheds_.front()), never a newer window entry whose total length
+  // may already differ. Rebase the window even if rounds were skipped.
+  SlotSchedule next = scheds_.front();
   next.Advance(cleartext);
   scheds_.push_back(std::move(next));
   scheds_.pop_front();
@@ -332,12 +343,72 @@ void DissentServer::NotePeakState() {
 void DissentServer::PruneEvidence() {
   while (evidence_.size() > evidence_rounds_) {
     const RoundEvidence& ev = evidence_.begin()->second;
-    size_t bytes = ev.server_ct.size();
+    size_t bytes = ev.server_ct.size() + ev.cleartext.size();
     for (const auto& [i, ct] : ev.received_cts) {
       bytes += ct.size();
     }
     evidence_bytes_ -= std::min(evidence_bytes_, bytes);
     evidence_.erase(evidence_.begin());
+  }
+}
+
+void DissentServer::SetPseudonymKeys(std::vector<BigInt> keys) {
+  pseudonym_keys_ = std::move(keys);
+}
+
+bool DissentServer::CheckAccusation(const SignedAccusation& acc) const {
+  const RoundEvidence* ev = EvidenceFor(acc.accusation.round);
+  if (ev == nullptr || ev->cleartext.empty() || pseudonym_keys_.empty()) {
+    return false;
+  }
+  const SlotSchedule& layout = ev->layout;
+  if (acc.accusation.slot >= layout.num_slots() || !layout.is_open(acc.accusation.slot)) {
+    return false;
+  }
+  return ValidateAccusation(def_, pseudonym_keys_, acc, ev->cleartext,
+                            layout.SlotOffset(acc.accusation.slot) * 8,
+                            static_cast<size_t>(layout.slot_length(acc.accusation.slot)) * 8);
+}
+
+MixStep DissentServer::BlameMixStep(const CiphertextMatrix& inputs) {
+  return KeyShuffleMixStep(def_, index_, priv_, inputs, rng_);
+}
+
+TraceDisclosure DissentServer::BuildTraceDisclosure(uint64_t round, size_t bit_index) const {
+  TraceDisclosure d;
+  const RoundEvidence* ev = EvidenceFor(round);
+  if (ev == nullptr) {
+    return d;  // evidence expired: present = false
+  }
+  d.present = true;
+  d.own_share = ev->own_share;
+  d.client_ct_bits.reserve(ev->own_share.size());
+  for (uint32_t i : ev->own_share) {
+    auto ct = ev->received_cts.find(i);
+    d.client_ct_bits.push_back(ct != ev->received_cts.end() &&
+                               bit_index < ct->second.size() * 8 &&
+                               GetBit(ct->second, bit_index));
+  }
+  d.server_ct_bit = bit_index < ev->server_ct.size() * 8 && GetBit(ev->server_ct, bit_index);
+  d.pad_bits.reserve(ev->composite_list.size());
+  for (uint32_t i : ev->composite_list) {
+    bool b = PadBit(round, i, bit_index);
+    if (trace_lie_client_.has_value() && *trace_lie_client_ == i) {
+      // Frame this client: flip its disclosed pad bit, and flip the
+      // disclosed server-ciphertext bit to keep the §3.9 balance check for
+      // this server passing — only the framed client's rebuttal (the DLEQ
+      // reveal of the true shared secret) can now expose the lie.
+      b = !b;
+      d.server_ct_bit = !d.server_ct_bit;
+    }
+    d.pad_bits.push_back(b);
+  }
+  return d;
+}
+
+void DissentServer::ExpelClient(size_t client_index) {
+  if (client_index < expelled_.size()) {
+    expelled_[client_index] = true;
   }
 }
 

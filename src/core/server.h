@@ -47,8 +47,10 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/accusation.h"
 #include "src/core/dcnet.h"
 #include "src/core/group_def.h"
+#include "src/core/key_shuffle.h"
 #include "src/core/slot_schedule.h"
 #include "src/crypto/schnorr.h"
 
@@ -134,10 +136,50 @@ class DissentServer {
     std::vector<uint32_t> own_share;
     std::map<uint32_t, Bytes> received_cts;  // all received, incl. trimmed
     Bytes server_ct;
+    // Retained for accusation validation: the certified cleartext and the
+    // slot layout the round was built with (FinishRound fills the cleartext;
+    // the default is an empty zero-slot layout, overwritten at build time).
+    Bytes cleartext;
+    SlotSchedule layout{0, 256};
   };
   const RoundEvidence* EvidenceFor(uint64_t round) const;
   // Pad bit s_ij[k] for client i at global bit k of `round`.
   bool PadBit(uint64_t round, size_t client_index, size_t bit_index) const;
+
+  // --- blame sub-phase support (§3.9, engine-driven) ---
+  // The shuffled pseudonym keys, roster-ordered by slot; needed to validate
+  // accusation signatures. Both transports install them right after
+  // scheduling.
+  void SetPseudonymKeys(std::vector<BigInt> keys);
+  const std::vector<BigInt>& pseudonym_keys() const { return pseudonym_keys_; }
+
+  // Full §3.9 accusation check against retained evidence: pseudonym
+  // signature, accused bit inside the accuser's slot at that round's layout,
+  // and the bit actually came out 1. False when the evidence has expired.
+  bool CheckAccusation(const SignedAccusation& acc) const;
+
+  // This server's mix contribution to the blame shuffle cascade (its layer
+  // of the general message shuffle, proven).
+  MixStep BlameMixStep(const CiphertextMatrix& inputs);
+
+  // The §3.9 trace disclosure for (round, bit): pad bits over the retained
+  // composite list, received ciphertext bits over the trimmed own share, and
+  // the published server-ciphertext bit. `present` is false when evidence
+  // for the round has expired.
+  TraceDisclosure BuildTraceDisclosure(uint64_t round, size_t bit_index) const;
+
+  // Membership: an expelled client's submissions are rejected from the next
+  // started round on (the engine also removes it from window expectations).
+  void ExpelClient(size_t client_index);
+  bool IsExpelled(size_t client_index) const {
+    return client_index < expelled_.size() && expelled_[client_index];
+  }
+
+  // Test hook: this server frames `client` during tracing — it flips the
+  // disclosed pad bit s_ij[k] for that client AND its disclosed server
+  // ciphertext bit, staying self-consistent so the lie survives the §3.9
+  // balance checks and only the framed client's rebuttal can expose it.
+  void InjectTraceLie(size_t about_client) { trace_lie_client_ = about_client; }
 
   const Bytes& SharedKeyWith(size_t client_index) const { return client_keys_[client_index]; }
 
@@ -193,6 +235,9 @@ class DissentServer {
   std::map<uint64_t, RoundEvidence> evidence_;
   size_t peak_round_state_bytes_ = 0;
   size_t evidence_bytes_ = 0;
+  std::vector<BigInt> pseudonym_keys_;
+  std::vector<bool> expelled_;
+  std::optional<size_t> trace_lie_client_;
 };
 
 }  // namespace dissent

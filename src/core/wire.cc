@@ -15,9 +15,34 @@ enum class Tag : uint8_t {
   kOutput = 6,
   kAccusationSubmit = 7,
   kBlameVerdict = 8,
+  kBlameStart = 9,
+  kBlameRoster = 10,
+  kBlameMix = 11,
+  kTraceEvidence = 12,
+  kBlameChallenge = 13,
+  kBlameRebuttal = 14,
 };
 
 }  // namespace
+
+// IsBlamePhaseMessage relies on the blame messages being the variant tail.
+static_assert(std::is_same_v<std::variant_alternative_t<6, WireMessage>, wire::BlameStart>,
+              "blame messages must start at variant index 6");
+static_assert(std::is_same_v<std::variant_alternative_t<std::variant_size_v<WireMessage> - 1,
+                                                        WireMessage>,
+              wire::BlameVerdict>,
+              "BlameVerdict must be the last variant alternative");
+
+bool BitmapCanonical(const Bytes& bitmap, size_t bits) {
+  if (bitmap.size() != (bits + 7) / 8) {
+    return false;
+  }
+  if (bits % 8 != 0 && !bitmap.empty() &&
+      (bitmap.back() & static_cast<uint8_t>(0xff << (bits % 8))) != 0) {
+    return false;
+  }
+  return true;
+}
 
 Bytes SerializeWire(const WireMessage& msg) {
   Writer w;
@@ -60,12 +85,60 @@ Bytes SerializeWire(const WireMessage& msg) {
           for (const Bytes& sig : m.signatures) {
             w.Blob(sig);
           }
+        } else if constexpr (std::is_same_v<T, wire::BlameStart>) {
+          w.U8(static_cast<uint8_t>(Tag::kBlameStart));
+          w.U64(m.session);
         } else if constexpr (std::is_same_v<T, wire::AccusationSubmit>) {
           w.U8(static_cast<uint8_t>(Tag::kAccusationSubmit));
+          w.U64(m.session);
           w.U32(m.client_id);
           w.Blob(m.blame_ciphertext);
+          w.Blob(m.signature);
+        } else if constexpr (std::is_same_v<T, wire::BlameRoster>) {
+          w.U8(static_cast<uint8_t>(Tag::kBlameRoster));
+          w.U64(m.session);
+          w.U32(m.server_id);
+          w.U32(static_cast<uint32_t>(m.entries.size()));
+          for (const auto& entry : m.entries) {
+            w.U32(entry.client_id);
+            w.Blob(entry.row);
+            w.Blob(entry.signature);
+          }
+        } else if constexpr (std::is_same_v<T, wire::BlameMix>) {
+          w.U8(static_cast<uint8_t>(Tag::kBlameMix));
+          w.U64(m.session);
+          w.U32(m.server_id);
+          w.Blob(m.step);
+        } else if constexpr (std::is_same_v<T, wire::TraceEvidence>) {
+          w.U8(static_cast<uint8_t>(Tag::kTraceEvidence));
+          w.U64(m.session);
+          w.U32(m.server_id);
+          w.U64(m.round);
+          w.U64(m.bit_index);
+          w.Bool(m.present);
+          w.U32(static_cast<uint32_t>(m.own_share.size()));
+          for (uint32_t id : m.own_share) {
+            w.U32(id);
+          }
+          w.Blob(m.client_ct_bits);
+          w.U8(m.server_ct_bit);
+          w.Blob(m.pad_bits);
+        } else if constexpr (std::is_same_v<T, wire::BlameChallenge>) {
+          w.U8(static_cast<uint8_t>(Tag::kBlameChallenge));
+          w.U64(m.session);
+          w.U64(m.round);
+          w.U64(m.bit_index);
+          w.U32(m.client_id);
+          w.Blob(m.pad_bits);
+        } else if constexpr (std::is_same_v<T, wire::BlameRebuttal>) {
+          w.U8(static_cast<uint8_t>(Tag::kBlameRebuttal));
+          w.U64(m.session);
+          w.U32(m.client_id);
+          w.Blob(m.rebuttal);
+          w.Blob(m.signature);
         } else if constexpr (std::is_same_v<T, wire::BlameVerdict>) {
           w.U8(static_cast<uint8_t>(Tag::kBlameVerdict));
+          w.U64(m.session);
           w.U64(m.round);
           w.U8(m.kind);
           w.U32(m.culprit);
@@ -161,16 +234,112 @@ std::optional<WireMessage> ParseWire(const Bytes& data) {
       }
       return WireMessage(std::move(m));
     }
+    case Tag::kBlameStart: {
+      wire::BlameStart m;
+      if (!r.U64(&m.session) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
     case Tag::kAccusationSubmit: {
       wire::AccusationSubmit m;
-      if (!r.U32(&m.client_id) || !r.Blob(&m.blame_ciphertext) || !r.AtEnd()) {
+      if (!r.U64(&m.session) || !r.U32(&m.client_id) || !r.Blob(&m.blame_ciphertext) ||
+          !r.Blob(&m.signature) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kBlameRoster: {
+      wire::BlameRoster m;
+      uint32_t count;
+      if (!r.U64(&m.session) || !r.U32(&m.server_id) || !r.U32(&count)) {
+        return std::nullopt;
+      }
+      // Each entry carries at least an id plus two blob length prefixes.
+      if (static_cast<size_t>(count) > r.remaining() / 12) {
+        return std::nullopt;
+      }
+      m.entries.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        wire::BlameRosterEntry entry;
+        if (!r.U32(&entry.client_id) || !r.Blob(&entry.row) || !r.Blob(&entry.signature)) {
+          return std::nullopt;
+        }
+        // Canonical: strictly increasing client ids (rosters are sorted
+        // sets, and the merged shuffle input must be identical everywhere).
+        if (!m.entries.empty() && entry.client_id <= m.entries.back().client_id) {
+          return std::nullopt;
+        }
+        m.entries.push_back(std::move(entry));
+      }
+      if (!r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kBlameMix: {
+      wire::BlameMix m;
+      if (!r.U64(&m.session) || !r.U32(&m.server_id) || !r.Blob(&m.step) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kTraceEvidence: {
+      wire::TraceEvidence m;
+      uint32_t count;
+      if (!r.U64(&m.session) || !r.U32(&m.server_id) || !r.U64(&m.round) ||
+          !r.U64(&m.bit_index) || !r.Bool(&m.present) || !r.U32(&count)) {
+        return std::nullopt;
+      }
+      if (static_cast<size_t>(count) > r.remaining() / 4) {
+        return std::nullopt;
+      }
+      m.own_share.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t id;
+        if (!r.U32(&id)) {
+          return std::nullopt;
+        }
+        if (!m.own_share.empty() && id <= m.own_share.back()) {
+          return std::nullopt;  // canonical: strictly increasing
+        }
+        m.own_share.push_back(id);
+      }
+      if (!r.Blob(&m.client_ct_bits) || !r.U8(&m.server_ct_bit) || !r.Blob(&m.pad_bits) ||
+          !r.AtEnd()) {
+        return std::nullopt;
+      }
+      if (m.server_ct_bit > 1) {
+        return std::nullopt;
+      }
+      // client_ct_bits covers exactly the own_share list; pad_bits covers the
+      // composite list, whose size only the engine knows — its stray-bit
+      // check happens there.
+      if (!BitmapCanonical(m.client_ct_bits, m.own_share.size())) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kBlameChallenge: {
+      wire::BlameChallenge m;
+      if (!r.U64(&m.session) || !r.U64(&m.round) || !r.U64(&m.bit_index) ||
+          !r.U32(&m.client_id) || !r.Blob(&m.pad_bits) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kBlameRebuttal: {
+      wire::BlameRebuttal m;
+      if (!r.U64(&m.session) || !r.U32(&m.client_id) || !r.Blob(&m.rebuttal) ||
+          !r.Blob(&m.signature) || !r.AtEnd()) {
         return std::nullopt;
       }
       return WireMessage(std::move(m));
     }
     case Tag::kBlameVerdict: {
       wire::BlameVerdict m;
-      if (!r.U64(&m.round) || !r.U8(&m.kind) || !r.U32(&m.culprit) || !r.AtEnd()) {
+      if (!r.U64(&m.session) || !r.U64(&m.round) || !r.U8(&m.kind) || !r.U32(&m.culprit) ||
+          !r.AtEnd()) {
         return std::nullopt;
       }
       if (m.kind > wire::BlameVerdict::kServerExposed) {
@@ -211,8 +380,20 @@ const char* WireTypeName(const WireMessage& msg) {
           return "SignatureShare";
         } else if constexpr (std::is_same_v<T, wire::Output>) {
           return "Output";
+        } else if constexpr (std::is_same_v<T, wire::BlameStart>) {
+          return "BlameStart";
         } else if constexpr (std::is_same_v<T, wire::AccusationSubmit>) {
           return "AccusationSubmit";
+        } else if constexpr (std::is_same_v<T, wire::BlameRoster>) {
+          return "BlameRoster";
+        } else if constexpr (std::is_same_v<T, wire::BlameMix>) {
+          return "BlameMix";
+        } else if constexpr (std::is_same_v<T, wire::TraceEvidence>) {
+          return "TraceEvidence";
+        } else if constexpr (std::is_same_v<T, wire::BlameChallenge>) {
+          return "BlameChallenge";
+        } else if constexpr (std::is_same_v<T, wire::BlameRebuttal>) {
+          return "BlameRebuttal";
         } else {
           return "BlameVerdict";
         }

@@ -4,8 +4,11 @@
 // deployment shape exchanges: clients speak ClientSubmit to one upstream
 // server; servers gossip Inventory -> Commit -> ServerCiphertext ->
 // SignatureShare among themselves and distribute Output down to their
-// attached clients; the accusation phase (§3.9) adds AccusationSubmit (the
-// fixed-width blame-shuffle input) and BlameVerdict (the trace outcome).
+// attached clients; the blame sub-phase (§3.9) adds the full accusation
+// flow — BlameStart, AccusationSubmit (the fixed-width blame-shuffle
+// input), BlameRoster, BlameMix (one verified shuffle layer), TraceEvidence
+// (pad-bit disclosure), BlameChallenge, BlameRebuttal, and BlameVerdict
+// (the outcome every client receives).
 //
 // Serialize/Parse are canonical (exactly one valid encoding per value) and
 // defensive: Parse rejects truncation, trailing bytes, unknown tags, and
@@ -22,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -80,19 +84,114 @@ struct Output {
   std::vector<Bytes> signatures;
 };
 
-// --- accusation phase (§3.9) ---
+// --- blame phase (§3.9) ---
+//
+// The blame sub-phase is one protocol instance per flagged round, identified
+// by `session` (the round number whose certified output carried the nonzero
+// shuffle-request field). Message flow, driven entirely by the engines:
+//
+//   server -> attached clients   BlameStart          open the blame shuffle
+//   client -> upstream server    AccusationSubmit    fixed-width blame row
+//   server -> servers            BlameRoster         collected rows, gossiped
+//   server -> servers            BlameMix            one verified mix step
+//   server -> servers            TraceEvidence       §3.9 pad-bit disclosure
+//   server -> accused client     BlameChallenge      published pad bits
+//   client -> upstream server    BlameRebuttal       DLEQ reveal (or concede)
+//   server -> servers            BlameRebuttal       forwarded verbatim
+//   server -> attached clients   BlameVerdict        outcome + expulsion
+
+// Server -> its attached clients: the blame shuffle for `session` is open;
+// every online client answers with exactly one AccusationSubmit.
+struct BlameStart {
+  uint64_t session = 0;
+};
 
 // A client's fixed-width submission to the blame shuffle. Every online
 // client submits one (victims embed a real SignedAccusation, everyone else
 // an all-zero filler of the same width), so accusers are indistinguishable.
+// `blame_ciphertext` is a serialized ElGamal row (key_shuffle.h codec) of
+// exactly MessageBlockWidth(kAccusationBytes) elements, signed under the
+// client's long-term key over (session, client_id, row) — so when rosters
+// are gossiped, no server can forge or substitute a row for a client that
+// is not attached to it (e.g. to shadow a victim's accusation out of the
+// shuffle).
 struct AccusationSubmit {
+  uint64_t session = 0;
   uint32_t client_id = 0;
   Bytes blame_ciphertext;
+  Bytes signature;
+};
+
+// One collected blame row, exactly as the client signed it.
+struct BlameRosterEntry {
+  uint32_t client_id = 0;
+  Bytes row;
+  Bytes signature;
+};
+
+// Server -> all other servers: the blame rows this server collected from its
+// attached clients. `entries` must be strictly increasing by client id —
+// rosters are sorted sets, which keeps the encoding canonical and makes the
+// merged shuffle input matrix identical on every server (entries whose
+// client signature does not verify are dropped identically everywhere).
+struct BlameRoster {
+  uint64_t session = 0;
+  uint32_t server_id = 0;
+  std::vector<BlameRosterEntry> entries;
+};
+
+// Server -> all other servers: this server's verified mix contribution, in
+// cascade order. `step` is a serialized MixStep (key_shuffle.h codec).
+struct BlameMix {
+  uint64_t session = 0;
+  uint32_t server_id = 0;
+  Bytes step;
+};
+
+// Server -> all other servers: the §3.9 trace disclosure for the accused
+// (round, bit): which clients this server owned after trimming, their
+// ciphertext bits, its own published ciphertext bit, and the pad bits
+// s_ij[k] for every client in the composite list (bitmap in composite-list
+// order). `present` false means the server's evidence for that round has
+// expired (SetEvidenceRounds) — the trace ends inconclusive.
+struct TraceEvidence {
+  uint64_t session = 0;
+  uint32_t server_id = 0;
+  uint64_t round = 0;
+  uint64_t bit_index = 0;
+  bool present = false;
+  std::vector<uint32_t> own_share;  // strictly increasing client ids
+  Bytes client_ct_bits;             // bitmap, one bit per own_share entry
+  uint8_t server_ct_bit = 0;        // 0/1
+  Bytes pad_bits;                   // bitmap over the composite list
+};
+
+// Upstream server -> the accused client: the pad bits the servers published
+// for you at (round, bit_index); rebut by exposing the liar, or concede.
+struct BlameChallenge {
+  uint64_t session = 0;
+  uint64_t round = 0;
+  uint64_t bit_index = 0;
+  uint32_t client_id = 0;
+  Bytes pad_bits;  // bitmap, one bit per server
+};
+
+// Accused client -> upstream server (then gossiped among servers verbatim):
+// a serialized Rebuttal (accusation_types.h), or empty to concede. Signed
+// under the client's long-term key over (session, client_id, rebuttal), so
+// a malicious server cannot forge a concession that convicts an honest
+// client whose genuine rebuttal would have exposed it.
+struct BlameRebuttal {
+  uint64_t session = 0;
+  uint32_t client_id = 0;
+  Bytes rebuttal;
+  Bytes signature;
 };
 
 // Broadcast outcome of accusation tracing: who (if anyone) was exposed.
 struct BlameVerdict {
   enum Kind : uint8_t { kInconclusive = 0, kClientExpelled = 1, kServerExposed = 2 };
+  uint64_t session = 0;  // blame instance this verdict closes
   uint64_t round = 0;    // the disrupted round that was traced
   uint8_t kind = kInconclusive;
   uint32_t culprit = 0;  // client index or server index, per `kind`
@@ -102,8 +201,9 @@ struct BlameVerdict {
 
 using WireMessage =
     std::variant<wire::ClientSubmit, wire::Inventory, wire::Commit, wire::ServerCiphertext,
-                 wire::SignatureShare, wire::Output, wire::AccusationSubmit,
-                 wire::BlameVerdict>;
+                 wire::SignatureShare, wire::Output, wire::BlameStart, wire::AccusationSubmit,
+                 wire::BlameRoster, wire::BlameMix, wire::TraceEvidence, wire::BlameChallenge,
+                 wire::BlameRebuttal, wire::BlameVerdict>;
 
 // Canonical encoding: [u8 tag][fixed fields][length-prefixed byte strings].
 Bytes SerializeWire(const WireMessage& msg);
@@ -121,6 +221,16 @@ std::shared_ptr<const WireMessage> ParseWireShared(const Bytes& data);
 
 // Human-readable tag name, for logs and test diagnostics.
 const char* WireTypeName(const WireMessage& msg);
+
+// Canonical bitmap rule shared by the codec and the engines: a bitmap over
+// `bits` entries must be exactly ceil(bits/8) bytes with no stray bits set
+// beyond the last entry, so every value has one encoding.
+bool BitmapCanonical(const Bytes& bitmap, size_t bits);
+
+// True for the §3.9 blame sub-phase messages (BlameStart..BlameVerdict) —
+// one index compare, cheap enough for per-delivery hot paths. The variant
+// layout this relies on is pinned by static_asserts in wire.cc.
+inline bool IsBlamePhaseMessage(const WireMessage& msg) { return msg.index() >= 6; }
 
 }  // namespace dissent
 

@@ -190,7 +190,10 @@ void BlocksWide(const uint32_t state[16], uint32_t counter, uint8_t* out) {
 // output transpose, and the XOR combine all run at the local ISA's width.
 // -march=native (DISSENT_NATIVE) builds compile the whole file for the local
 // ISA anyway, and then a single version suffices.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__)
+// (Sanitizer builds skip the clones: ifunc resolvers run before ASan
+// initializes its shadow memory, which crashes at dispatch.)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__AVX2__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
 #define DISSENT_CHACHA_CLONES \
   __attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
 #else

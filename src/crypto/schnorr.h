@@ -7,6 +7,8 @@
 #ifndef DISSENT_CRYPTO_SCHNORR_H_
 #define DISSENT_CRYPTO_SCHNORR_H_
 
+#include <vector>
+
 #include "src/crypto/group.h"
 #include "src/crypto/random.h"
 
@@ -32,6 +34,20 @@ SchnorrSignature SchnorrSign(const Group& group, const BigInt& priv, const Bytes
 
 bool SchnorrVerify(const Group& group, const BigInt& pub, const Bytes& message,
                    const SchnorrSignature& sig);
+
+// Batch verification of M signatures over the SAME message under M roster
+// keys (the round-output certificate shape: every server signs the combined
+// cleartext). Uses the small-exponent test: random 128-bit weights z_i drawn
+// from a Fiat-Shamir transcript over the whole batch, then one combined check
+//     g^{sum z_i s_i}  ==  prod R_i^{z_i} * prod y_i^{c_i z_i}.
+// Accepts iff every signature verifies individually (up to a ~2^-128
+// soundness slack an attacker cannot steer, since the weights depend on the
+// signatures). Half-width weight exponents and a single g-exponentiation make
+// this ~2x cheaper than M sequential verifies — the client-side win the
+// 5,000-client sim spends ~2 s/round on. `pubs` must be roster keys already
+// validated as group elements (commits are membership-checked here).
+bool SchnorrMultiVerify(const Group& group, const std::vector<BigInt>& pubs,
+                        const Bytes& message, const std::vector<SchnorrSignature>& sigs);
 
 }  // namespace dissent
 

@@ -41,8 +41,16 @@ void Network::Send(NodeId from, NodeId to, Frame payload) {
     src.uplink_busy_until = depart;
     start = depart + src.uplink.latency;
   }
+  // Per-link FIFO serialization: a link is one ordered byte stream (TCP
+  // semantics), so a small frame sent right after a large one queues behind
+  // it instead of overtaking — protocol messages on a connection arrive in
+  // send order. An idle link behaves exactly as before (latency + own
+  // serialization time).
   const LinkSpec& link = LinkFor(from, to);
-  SimTime arrive = start + link.latency + link.SerializationDelay(payload->size());
+  SimTime& link_busy = link_busy_[(static_cast<uint64_t>(from) << 32) | to];
+  SimTime depart = std::max(start, link_busy) + link.SerializationDelay(payload->size());
+  link_busy = depart;
+  SimTime arrive = depart + link.latency;
 
   // The in-flight copy is one shared_ptr: a broadcast frame queued toward
   // thousands of destinations exists once, not once per destination.

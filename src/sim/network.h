@@ -97,6 +97,9 @@ class Network {
   std::vector<NodeState> nodes_;
   LinkSpec default_link_;
   std::unordered_map<uint64_t, LinkSpec> links_;  // key = from << 32 | to
+  // FIFO serialization horizon per directed link (key as above): frames on
+  // one link never reorder, exactly like messages on a TCP connection.
+  std::unordered_map<uint64_t, SimTime> link_busy_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_dropped_ = 0;

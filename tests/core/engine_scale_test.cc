@@ -145,6 +145,45 @@ TEST(EngineScaleTest, SharedBroadcastMatchesPerClientFramesAtLowerWireCost) {
   EXPECT_LT(a_bytes_per_round, b_bytes_per_round);
 }
 
+TEST(EngineScaleTest, ThousandClientBlameExpelsDisruptorWithoutStallingPipeline) {
+  // §3.9 at paper scale: a 1,000-client sim with a persistent disruptor runs
+  // the full engine-driven blame sub-phase — pipeline drain, accusation
+  // shuffle over 1,000 fixed-width rows, trace, verdict — expels the culprit
+  // and keeps the pipelined round path moving at N-1 without a stall.
+  constexpr uint64_t kSeed = 9005;
+  constexpr size_t kClients = 1000, kVictim = 0, kDisruptor = 999;
+  NetDissent::Options options;
+  options.direct_scheduling = true;
+  options.pipeline_depth = 2;
+  auto w = MakeNetWorld(2, kClients, kSeed, options);
+  // The victim keeps its slot (slot 0: its offset is just the request
+  // region, stable regardless of what other slots do) open with a backlog.
+  for (int m = 0; m < 50; ++m) {
+    w->net->client(kVictim).QueueMessage(Bytes(48, 0x5a));
+  }
+  ASSERT_TRUE(w->net->Start());
+  const size_t victim_bit = (w->net->server(0).schedule().RequestRegionBytes() + 20) * 8;
+  w->net->InjectDisruptor(kDisruptor, victim_bit);
+  while (w->net->blame_outcomes().empty()) {
+    ASSERT_GT(w->sim.pending(), 0u) << "sim stalled before the blame verdict";
+    ASSERT_LT(w->net->rounds_completed(), 30u) << "no witness/verdict in 30 rounds";
+    w->sim.Step();
+  }
+  const ServerEngine::BlameDone& done = w->net->blame_outcomes()[0];
+  EXPECT_TRUE(done.shuffle_ran);
+  EXPECT_TRUE(done.accusation_valid);
+  EXPECT_EQ(done.verdict.kind, wire::BlameVerdict::kClientExpelled);
+  EXPECT_EQ(done.verdict.culprit, kDisruptor);
+  // The pipeline resumes and completes rounds at 999 participants.
+  const uint64_t at_verdict = w->net->rounds_completed();
+  while (w->net->rounds_completed() < at_verdict + 4) {
+    ASSERT_GT(w->sim.pending(), 0u) << "pipeline stalled after expulsion";
+    w->sim.Step();
+  }
+  EXPECT_EQ(w->net->last_participation(), kClients - 1);
+  EXPECT_EQ(w->net->blame_outcomes().size(), 1u) << "spurious extra blame instance";
+}
+
 TEST(EngineScaleTest, AdaptiveWindowSurvivesChurnRamp) {
   // A ramp of one disconnect per server every few seconds. The adaptive
   // window re-sizes the round-r threshold from round r-1's observed

@@ -7,6 +7,8 @@
 #include "src/app/tunnel.h"
 #include "src/core/accusation_types.h"
 #include "src/core/cleartext.h"
+#include "src/core/client.h"
+#include "src/core/key_shuffle.h"
 #include "src/core/wire.h"
 #include "src/crypto/chaum_pedersen.h"
 #include "src/crypto/schnorr.h"
@@ -121,6 +123,16 @@ TEST(FuzzTest, WireMessageParser) {
   // Every WireMessage type hammered with mutations/truncations/garbage: the
   // parser must never crash, hang, or allocate absurdly — and any mutant
   // that does parse must re-serialize canonically.
+  wire::TraceEvidence trace_seed;
+  trace_seed.session = 7;
+  trace_seed.server_id = 1;
+  trace_seed.round = 6;
+  trace_seed.bit_index = 1234;
+  trace_seed.present = true;
+  trace_seed.own_share = {0, 3, 9};
+  trace_seed.client_ct_bits = Bytes{0x05};
+  trace_seed.server_ct_bit = 1;
+  trace_seed.pad_bits = Bytes{0xa5, 0x01};
   std::vector<WireMessage> seeds = {
       wire::ClientSubmit{7, 3, Bytes(64, 0x21)},
       wire::Inventory{7, 1, {0, 2, 5, 11}},
@@ -128,8 +140,14 @@ TEST(FuzzTest, WireMessageParser) {
       wire::ServerCiphertext{7, 2, Bytes(64, 0x6d)},
       wire::SignatureShare{7, 1, Bytes(72, 0x3f)},
       wire::Output{7, Bytes(64, 0x01), {Bytes(72, 2), Bytes(72, 3)}},
-      wire::AccusationSubmit{5, Bytes(160, 0x44)},
-      wire::BlameVerdict{7, wire::BlameVerdict::kClientExpelled, 9},
+      wire::BlameStart{7},
+      wire::AccusationSubmit{7, 5, Bytes(160, 0x44), Bytes(72, 0x2d)},
+      wire::BlameRoster{7, 2, {{1, Bytes(40, 0x10), Bytes(72, 5)}, {4, Bytes(40, 0x11), Bytes(72, 6)}}},
+      wire::BlameMix{7, 0, Bytes(96, 0x2e)},
+      trace_seed,
+      wire::BlameChallenge{7, 6, 1234, 9, Bytes{0x03}},
+      wire::BlameRebuttal{7, 9, Bytes(80, 0x7b), Bytes(72, 0x1c)},
+      wire::BlameVerdict{7, 6, wire::BlameVerdict::kClientExpelled, 9},
   };
   Rng rng(75);
   for (const WireMessage& seed : seeds) {
@@ -168,7 +186,76 @@ TEST(FuzzTest, WireHostileCountsDoNotAllocate) {
     sub.U32(0);
     sub.U32(hostile);  // raw length prefix, no body
     EXPECT_FALSE(ParseWire(sub.data()).has_value());
+
+    Writer roster;
+    roster.U8(10);  // BlameRoster claiming 4 billion entries
+    roster.U64(1);
+    roster.U32(0);
+    roster.U32(hostile);
+    EXPECT_FALSE(ParseWire(roster.data()).has_value());
+
+    Writer trace;
+    trace.U8(12);  // TraceEvidence claiming a 4-billion-client own share
+    trace.U64(1);
+    trace.U32(0);
+    trace.U64(1);
+    trace.U64(0);
+    trace.Bool(true);
+    trace.U32(hostile);
+    EXPECT_FALSE(ParseWire(trace.data()).has_value());
   }
+}
+
+TEST(FuzzTest, MixStepParser) {
+  // The blame cascade's MixStep codec against mutations/truncations/garbage:
+  // must reject cleanly, and any mutant that parses must fail VerifyMixStep
+  // (the proofs bind every component).
+  SecureRng srng = SecureRng::FromLabel(76);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 2, 3, srng, &sp, &cp);
+  CiphertextMatrix submissions;
+  for (int i = 0; i < 3; ++i) {
+    SchnorrKeyPair kp = SchnorrKeyPair::Generate(*def.group, srng);
+    submissions.push_back(EncryptPseudonymKey(def, kp.pub, srng));
+  }
+  MixStep step = KeyShuffleMixStep(def, 0, sp[0], submissions, srng);
+  Bytes wire_bytes = SerializeMixStep(*def.group, step);
+  auto back = ParseMixStep(*def.group, wire_bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(VerifyMixStep(def, 0, submissions, *back));
+  EXPECT_EQ(SerializeMixStep(*def.group, *back), wire_bytes) << "codec not canonical";
+  Rng rng(76);
+  Hammer(wire_bytes, rng, [&](const Bytes& mutated) {
+    auto parsed = ParseMixStep(*def.group, mutated);
+    if (parsed.has_value() && mutated != wire_bytes) {
+      EXPECT_FALSE(VerifyMixStep(def, 0, submissions, *parsed))
+          << "tampered mix step verified";
+    }
+  });
+}
+
+TEST(FuzzTest, RebuttalParser) {
+  SecureRng srng = SecureRng::FromLabel(77);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 2, 2, srng, &sp, &cp);
+  DissentClient client(def, 0, cp[0], SecureRng::FromLabel(78));
+  Rebuttal rebuttal = client.BuildRebuttal(1);
+  Bytes wire_bytes = rebuttal.Serialize(*def.group);
+  auto back = Rebuttal::Deserialize(*def.group, wire_bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->server_index, 1u);
+  Rng rng(77);
+  Hammer(wire_bytes, rng, [&](const Bytes& mutated) {
+    auto parsed = Rebuttal::Deserialize(*def.group, mutated);
+    if (parsed.has_value() && mutated != wire_bytes) {
+      // Structurally valid mutants may parse, but the DLEQ must not verify
+      // against the roster statement.
+      EXPECT_FALSE(DleqVerify(*def.group, def.group->g(),
+                              def.client_pubs[parsed->client_index % def.num_clients()],
+                              def.server_pubs[parsed->server_index % def.num_servers()],
+                              parsed->shared_element, parsed->proof));
+    }
+  });
 }
 
 TEST(FuzzTest, SlotRegionDecoder) {

@@ -71,15 +71,131 @@ TEST(WireTest, OutputRoundTrip) {
 }
 
 TEST(WireTest, AccusationPhaseRoundTrip) {
+  const auto& s = RoundTrip<wire::BlameStart>(wire::BlameStart{55});
+  EXPECT_EQ(s.session, 55u);
   const auto& a = RoundTrip<wire::AccusationSubmit>(
-      wire::AccusationSubmit{4, Bytes(160, 0x77)});
+      wire::AccusationSubmit{55, 4, Bytes(160, 0x77), BytesOf("row-sig")});
+  EXPECT_EQ(a.session, 55u);
   EXPECT_EQ(a.client_id, 4u);
   EXPECT_EQ(a.blame_ciphertext.size(), 160u);
+  EXPECT_EQ(a.signature, BytesOf("row-sig"));
   const auto& v = RoundTrip<wire::BlameVerdict>(
-      wire::BlameVerdict{123, wire::BlameVerdict::kServerExposed, 2});
+      wire::BlameVerdict{55, 123, wire::BlameVerdict::kServerExposed, 2});
+  EXPECT_EQ(v.session, 55u);
   EXPECT_EQ(v.round, 123u);
   EXPECT_EQ(v.kind, wire::BlameVerdict::kServerExposed);
   EXPECT_EQ(v.culprit, 2u);
+}
+
+TEST(WireTest, BlameGossipRoundTrip) {
+  wire::BlameRoster roster{
+      9, 1, {{2, BytesOf("row-a"), BytesOf("sig-a")}, {7, BytesOf("row-b"), BytesOf("sig-b")}}};
+  const auto& r = RoundTrip<wire::BlameRoster>(roster);
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_EQ(r.entries[0].client_id, 2u);
+  EXPECT_EQ(r.entries[1].row, BytesOf("row-b"));
+  EXPECT_EQ(r.entries[1].signature, BytesOf("sig-b"));
+  // Empty roster is legal (a server whose clients all vanished).
+  const auto& e = RoundTrip<wire::BlameRoster>(wire::BlameRoster{9, 0, {}});
+  EXPECT_TRUE(e.entries.empty());
+
+  const auto& m = RoundTrip<wire::BlameMix>(wire::BlameMix{9, 2, Bytes(500, 0x31)});
+  EXPECT_EQ(m.server_id, 2u);
+  EXPECT_EQ(m.step.size(), 500u);
+
+  wire::TraceEvidence ev;
+  ev.session = 9;
+  ev.server_id = 3;
+  ev.round = 8;
+  ev.bit_index = 4242;
+  ev.present = true;
+  ev.own_share = {1, 5, 6};
+  ev.client_ct_bits = Bytes{0x03};
+  ev.server_ct_bit = 1;
+  ev.pad_bits = Bytes{0xff, 0x0f};
+  const auto& t = RoundTrip<wire::TraceEvidence>(ev);
+  EXPECT_EQ(t.bit_index, 4242u);
+  EXPECT_EQ(t.own_share, (std::vector<uint32_t>{1, 5, 6}));
+  EXPECT_EQ(t.client_ct_bits, Bytes{0x03});
+
+  const auto& c = RoundTrip<wire::BlameChallenge>(
+      wire::BlameChallenge{9, 8, 4242, 5, Bytes{0x07}});
+  EXPECT_EQ(c.client_id, 5u);
+  EXPECT_EQ(c.pad_bits, Bytes{0x07});
+
+  const auto& reb = RoundTrip<wire::BlameRebuttal>(
+      wire::BlameRebuttal{9, 5, BytesOf("dleq"), BytesOf("schnorr")});
+  EXPECT_EQ(reb.client_id, 5u);
+  EXPECT_EQ(reb.signature, BytesOf("schnorr"));
+  // Empty rebuttal (concession) is legal — but still signed.
+  const auto& concede = RoundTrip<wire::BlameRebuttal>(
+      wire::BlameRebuttal{9, 5, {}, BytesOf("schnorr")});
+  EXPECT_TRUE(concede.rebuttal.empty());
+}
+
+TEST(WireTest, RejectsHostileBlameFrames) {
+  // Roster entries out of order (the merged shuffle input must be canonical).
+  Writer w;
+  w.U8(10);  // BlameRoster tag
+  w.U64(1);
+  w.U32(0);
+  w.U32(2);
+  w.U32(7);
+  w.Blob(BytesOf("x"));
+  w.Blob(BytesOf("sx"));
+  w.U32(3);  // 7 then 3: not strictly increasing
+  w.Blob(BytesOf("y"));
+  w.Blob(BytesOf("sy"));
+  EXPECT_FALSE(ParseWire(w.data()).has_value());
+
+  // Hostile roster count with a 4-byte body.
+  Writer w2;
+  w2.U8(10);
+  w2.U64(1);
+  w2.U32(0);
+  w2.U32(0xffffffff);
+  EXPECT_FALSE(ParseWire(w2.data()).has_value());
+
+  // TraceEvidence bitmap of the wrong width for its own-share list.
+  Writer w3;
+  w3.U8(12);  // TraceEvidence tag
+  w3.U64(1);
+  w3.U32(0);
+  w3.U64(1);
+  w3.U64(9);
+  w3.Bool(true);
+  w3.U32(2);  // two own-share entries
+  w3.U32(1);
+  w3.U32(4);
+  w3.Blob(Bytes(2, 0xff));  // bitmap should be 1 byte, not 2
+  w3.U8(0);
+  w3.Blob(Bytes(1, 0x01));
+  EXPECT_FALSE(ParseWire(w3.data()).has_value());
+
+  // Stray bits beyond the last own-share entry are non-canonical.
+  Writer w4;
+  w4.U8(12);
+  w4.U64(1);
+  w4.U32(0);
+  w4.U64(1);
+  w4.U64(9);
+  w4.Bool(true);
+  w4.U32(2);
+  w4.U32(1);
+  w4.U32(4);
+  w4.Blob(Bytes(1, 0xff));  // bits 2..7 set for a 2-entry list
+  w4.U8(0);
+  w4.Blob(Bytes(1, 0x01));
+  EXPECT_FALSE(ParseWire(w4.data()).has_value());
+
+  // BlameVerdict with an unknown kind.
+  Writer w5;
+  w5.U8(8);  // BlameVerdict tag
+  w5.U64(1);
+  w5.U64(1);
+  w5.U8(3);  // beyond kServerExposed
+  w5.U32(0);
+  EXPECT_FALSE(ParseWire(w5.data()).has_value());
 }
 
 TEST(WireTest, RejectsUnknownTagAndEmpty) {
@@ -156,9 +272,11 @@ TEST(WireTest, RejectsNonCanonicalInventory) {
 TEST(WireTest, DistinctTagsPerType) {
   // Every variant alternative serializes to a distinct leading tag byte.
   std::vector<WireMessage> all = {
-      wire::ClientSubmit{},     wire::Inventory{}, wire::Commit{},
+      wire::ClientSubmit{},   wire::Inventory{},      wire::Commit{},
       wire::ServerCiphertext{}, wire::SignatureShare{}, wire::Output{},
-      wire::AccusationSubmit{}, wire::BlameVerdict{},
+      wire::BlameStart{},     wire::AccusationSubmit{}, wire::BlameRoster{},
+      wire::BlameMix{},       wire::TraceEvidence{},  wire::BlameChallenge{},
+      wire::BlameRebuttal{},  wire::BlameVerdict{},
   };
   std::set<uint8_t> tags;
   for (const auto& m : all) {

@@ -176,6 +176,64 @@ TEST(DleqTest, RejectsTamperedProof) {
   EXPECT_FALSE(DleqVerify(*g, g->g(), h2, base2, h1, proof));
 }
 
+TEST(SchnorrTest, MultiVerifyMatchesSequentialVerify) {
+  // The round-output certificate shape: M servers sign the same message; one
+  // batched small-exponent check must accept exactly when every signature
+  // verifies individually.
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(33);
+  Bytes msg = BytesOf("round output bytes");
+  std::vector<BigInt> pubs;
+  std::vector<SchnorrSignature> sigs;
+  std::vector<SchnorrKeyPair> keys;
+  for (int j = 0; j < 5; ++j) {
+    keys.push_back(SchnorrKeyPair::Generate(*g, rng));
+    pubs.push_back(keys.back().pub);
+    sigs.push_back(SchnorrSign(*g, keys.back().priv, msg, rng));
+  }
+  EXPECT_TRUE(SchnorrMultiVerify(*g, pubs, msg, sigs));
+  // Empty and single-signature batches.
+  EXPECT_TRUE(SchnorrMultiVerify(*g, {}, msg, {}));
+  EXPECT_TRUE(SchnorrMultiVerify(*g, {pubs[0]}, msg, {sigs[0]}));
+  // Size mismatch.
+  EXPECT_FALSE(SchnorrMultiVerify(*g, pubs, msg, {sigs[0]}));
+}
+
+TEST(SchnorrTest, MultiVerifyRejectsAnySingleBadSignature) {
+  auto g = G();
+  SecureRng rng = SecureRng::FromLabel(34);
+  Bytes msg = BytesOf("certified cleartext");
+  std::vector<BigInt> pubs;
+  std::vector<SchnorrSignature> sigs;
+  for (int j = 0; j < 4; ++j) {
+    SchnorrKeyPair kp = SchnorrKeyPair::Generate(*g, rng);
+    pubs.push_back(kp.pub);
+    sigs.push_back(SchnorrSign(*g, kp.priv, msg, rng));
+  }
+  for (size_t victim = 0; victim < sigs.size(); ++victim) {
+    // Tampered response.
+    auto bad = sigs;
+    bad[victim].response = g->AddScalars(bad[victim].response, BigInt(1));
+    EXPECT_FALSE(SchnorrMultiVerify(*g, pubs, msg, bad)) << "response " << victim;
+    // Tampered commit.
+    bad = sigs;
+    bad[victim].commit = g->MulElems(bad[victim].commit, g->g());
+    EXPECT_FALSE(SchnorrMultiVerify(*g, pubs, msg, bad)) << "commit " << victim;
+    // Signature under the wrong key (swap two slots).
+    if (victim + 1 < sigs.size()) {
+      bad = sigs;
+      std::swap(bad[victim], bad[victim + 1]);
+      EXPECT_FALSE(SchnorrMultiVerify(*g, pubs, msg, bad)) << "swap " << victim;
+    }
+  }
+  // Wrong message for the whole batch.
+  EXPECT_FALSE(SchnorrMultiVerify(*g, pubs, BytesOf("different"), sigs));
+  // Out-of-range response is structurally invalid.
+  auto bad = sigs;
+  bad[0].response = g->q();
+  EXPECT_FALSE(SchnorrMultiVerify(*g, pubs, msg, bad));
+}
+
 TEST(DleqTest, VerifiableDecryptionUseCase) {
   // The exact statement used by the key shuffle: server proves b' is a
   // correct partial decryption: log_g(pub_j) == log_a(b / b').
