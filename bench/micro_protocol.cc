@@ -16,6 +16,12 @@
 //   mode 2  mode 1 on the heavy-tailed PlanetLab submission model (§5.1
 //           lognormal body + Pareto tail + dropouts) with the adaptive
 //           submission window absorbing the stragglers.
+//   mode 3  mode 1 with REAL scheduling: the full §3.10 verified key-shuffle
+//           cascade (prove + verify at every server) runs through the
+//           multi-exponentiation engine instead of the direct slot
+//           assignment the scale benches used to need; the cascade's wall
+//           cost is reported as scheduling_seconds. Direct modes 0-2 are
+//           kept as comparison columns.
 // Each benchmark iteration advances the simulation by one completed round,
 // so real_time per iteration is the wall cost of simulating one round.
 // Counters: rounds_per_sim_sec (deterministic: discrete-event sim),
@@ -78,9 +84,11 @@ ProtocolSim* GetSim(size_t depth) {
   return BuildSim(100, options, 1234, cache[depth]);
 }
 
-// Paper-scale topologies: built once per (clients, mode); the verified
-// shuffle is skipped (direct slot assignment) and evidence retention is off,
-// so setup stays in seconds and the data path is strictly O(L) per round.
+// Paper-scale topologies: built once per (clients, mode); evidence retention
+// is off so the data path is strictly O(L) per round. Modes 0-2 skip the
+// verified shuffle (direct slot assignment); mode 3 runs the real cascade
+// through the multi-exp engine — what used to dwarf the rounds under test
+// now costs seconds at 1,000 clients.
 ProtocolSim* GetScaleSim(size_t clients, int mode) {
   static std::map<std::pair<size_t, int>, std::unique_ptr<ProtocolSim>> cache;
   auto key = std::make_pair(clients, mode);
@@ -96,7 +104,7 @@ ProtocolSim* GetScaleSim(size_t clients, int mode) {
   options.server_uplink = {.latency = 0, .bandwidth_bps = 12.5e6};
   options.client_link = {.latency = 50 * kMillisecond, .bandwidth_bps = 0};
   options.server_link = {.latency = 10 * kMillisecond, .bandwidth_bps = 0};
-  options.direct_scheduling = true;
+  options.direct_scheduling = mode != 3;
   options.evidence_rounds = 0;
   options.shared_broadcast = mode != 0;
   if (mode == 2) {
@@ -261,11 +269,13 @@ void BM_ProtocolScale(benchmark::State& state) {
   state.counters["peak_round_state_bytes"] =
       static_cast<double>(ps->net->peak_round_state_bytes());
   state.counters["participation"] = static_cast<double>(ps->net->last_participation());
+  state.counters["scheduling_seconds"] = ps->net->scheduling_seconds();
 }
 BENCHMARK(BM_ProtocolScale)
     ->Args({1000, 0})
     ->Args({1000, 1})
     ->Args({1000, 2})
+    ->Args({1000, 3})
     ->Args({5000, 0})
     ->Args({5000, 1})
     ->Iterations(10)

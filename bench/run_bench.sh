@@ -79,6 +79,10 @@ jq -s --arg flavor "$flavor" \
 
 echo "wrote $out ($(jq '.benchmarks | length' "$out") benchmarks, $flavor)"
 
+casc_ref="$(jq '[.benchmarks[] | select(.name | contains("KeyShuffleCascade/1000/0")) | .total_sec] | first' "$out")"
+casc_eng="$(jq '[.benchmarks[] | select(.name | contains("KeyShuffleCascade/1000/1")) | .total_sec] | first' "$out")"
+echo "  key-shuffle cascade @1000 clients: engine ${casc_eng}s vs reference ${casc_ref}s"
+
 "$build_dir/micro_protocol" --benchmark_format=json \
   --benchmark_out="$tmp_protocol" --benchmark_out_format=json
 jq --arg flavor "$flavor" \
@@ -88,11 +92,14 @@ seq_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolRounds/1/")) | 
 pipe_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolRounds/2/")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 legacy_1k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/0")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 shared_1k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/1")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+real_1k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/3")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+real_1k_sched="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/1000/3")) | .scheduling_seconds] | first' "$protocol_out")"
 shared_5k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/5000/1")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 disrupt_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolDisruption/1000")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 disrupt_blames="$(jq '[.benchmarks[] | select(.name | contains("ProtocolDisruption/1000")) | .blames_completed] | first' "$protocol_out")"
 echo "wrote $protocol_out ($flavor)"
 echo "  100 clients: sequential ${seq_rps} rounds/sim-s, pipelined-x2 ${pipe_rps}"
 echo "  1000 clients: per-message ${legacy_1k} rounds/sim-s, shared-broadcast ${shared_1k}"
+echo "  1000 clients + REAL verified shuffle: ${real_1k} rounds/sim-s (cascade setup ${real_1k_sched}s)"
 echo "  5000 clients: shared-broadcast ${shared_5k} rounds/sim-s"
 echo "  1000 clients + disruptor (§3.9 blame inline): ${disrupt_rps} rounds/sim-s, ${disrupt_blames} blame(s) resolved"

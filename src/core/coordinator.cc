@@ -55,6 +55,7 @@ Coordinator::Coordinator(GroupDef def, std::vector<BigInt> server_privs,
 }
 
 bool Coordinator::RunScheduling() {
+  const auto sched_start = std::chrono::steady_clock::now();
   // Clients submit encrypted pseudonym keys.
   CiphertextMatrix submissions;
   submissions.reserve(clients_.size());
@@ -66,6 +67,8 @@ bool Coordinator::RunScheduling() {
   if (!VerifyShuffleCascade(def_, submissions, cascade)) {
     return false;
   }
+  scheduling_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sched_start).count();
   // The final b components are the pseudonym keys, in shuffled order.
   pseudonym_keys_.clear();
   for (const auto& row : cascade.final_rows) {

@@ -63,6 +63,9 @@ class Coordinator {
   // scale tests/benches only: anonymity of the slot mapping is forfeited.
   bool RunSchedulingDirect();
   const std::vector<BigInt>& pseudonym_keys() const { return pseudonym_keys_; }
+  // Wall-clock seconds RunScheduling spent in the verified cascade
+  // (prove + verify); 0 after RunSchedulingDirect.
+  double scheduling_seconds() const { return scheduling_seconds_; }
 
   // --- round execution ---
   void SetClientOnline(size_t i, bool online);
@@ -153,6 +156,7 @@ class Coordinator {
 
   GroupDef def_;
   SecureRng rng_;
+  double scheduling_seconds_ = 0;
   std::vector<BigInt> server_privs_;
   std::vector<std::unique_ptr<DissentClient>> clients_;
   std::vector<std::unique_ptr<DissentServer>> servers_;

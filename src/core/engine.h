@@ -35,6 +35,26 @@
 //     frame per client, or one frame per client-hosting machine): the frame
 //     bytes are identical for every recipient by construction.
 //
+// Crypto fast-path (Elem/MultiExp) rules — the engines' proof work (blame
+// mix cascade, output certificates) rides the multi-exponentiation engine
+// in crypto/multiexp.h; the contract mirrors the ownership rules above:
+//   * Group::Elem carries Montgomery-form limbs. Convert with
+//     ToElem/FromElem at boundaries (wire, transcripts, comparisons) and
+//     chain MulElems/MultiExp in the Montgomery domain in between; the
+//     BigInt encoding stays canonical, and every fast path is bit-identical
+//     to the generic Montgomery::Exp reference (tests/crypto/multiexp_test).
+//   * Exponent-secrecy split: *Secret entry points (GExpSecret, ExpSecret,
+//     MultiExpSecret) use fixed schedules + constant-time table scans and
+//     MUST be used for private keys, nonces, and shuffle secrets; the plain
+//     variants are variable-time and for public (verifier-side) exponents
+//     only. See montgomery.h.
+//   * Determinism under parallelism: provers draw all randomness serially,
+//     then fan pure exponentiation across ParallelFor workers — protocol
+//     bytes are independent of thread count, so transport byte-identity
+//     tests hold at any parallelism level. ScopedCryptoFastPath(false)
+//     restores the pre-PR serial/generic behaviour for benches and
+//     equivalence tests.
+//
 // Pipelining: a ServerEngine keeps a window of `pipeline_depth` concurrent
 // in-flight rounds, with all gathering state held in a ring of
 // pipeline_depth slots keyed by round number — submissions for round r+1

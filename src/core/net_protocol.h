@@ -100,6 +100,10 @@ class NetDissent {
 
   // Observability for tests/benches.
   uint64_t rounds_completed() const { return rounds_completed_; }
+  // Wall-clock seconds the verified key-shuffle cascade took inside Start()
+  // (prove + verify across all servers); 0 under direct_scheduling. The
+  // scale benches report this as the control-plane setup cost.
+  double scheduling_seconds() const { return scheduling_seconds_; }
   size_t last_participation() const { return last_participation_; }
   const std::vector<std::pair<size_t, Bytes>>& delivered_messages() const {
     return delivered_;
@@ -164,6 +168,7 @@ class NetDissent {
   std::vector<std::unique_ptr<ServerNode>> servers_;
   std::vector<MachineNode> machines_;
   uint64_t rounds_completed_ = 0;
+  double scheduling_seconds_ = 0;
   size_t last_participation_ = 0;
   SimTime last_round_duration_ = 0;
   bool record_cleartexts_ = true;

@@ -470,6 +470,106 @@ BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
   return x;
 }
 
+namespace {
+
+// In-place little-endian limb helpers for the allocation-free binary Jacobi
+// loop below (values stay normalized: no high zero limbs).
+
+void LimbNormalize(std::vector<uint64_t>& v) {
+  while (!v.empty() && v.back() == 0) {
+    v.pop_back();
+  }
+}
+
+// v >>= s for s in [1, 63].
+void LimbShiftRightSmall(std::vector<uint64_t>& v, unsigned s) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] >>= s;
+    if (i + 1 < v.size()) {
+      v[i] |= v[i + 1] << (64 - s);
+    }
+  }
+  LimbNormalize(v);
+}
+
+// Drops whole zero limbs plus the remaining small shift; returns the total
+// number of two-factors removed. v must be nonzero.
+size_t LimbStripTwos(std::vector<uint64_t>& v) {
+  size_t zero_limbs = 0;
+  while (v[zero_limbs] == 0) {
+    ++zero_limbs;
+  }
+  if (zero_limbs > 0) {
+    v.erase(v.begin(), v.begin() + zero_limbs);
+  }
+  unsigned tz = static_cast<unsigned>(__builtin_ctzll(v[0]));
+  if (tz > 0) {
+    LimbShiftRightSmall(v, tz);
+  }
+  return zero_limbs * 64 + tz;
+}
+
+int LimbCmp(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) {
+    return a.size() < b.size() ? -1 : 1;
+  }
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) {
+      return a[i] < b[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+// a -= b; requires a >= b.
+void LimbSubInPlace(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bi = i < b.size() ? b[i] : 0;
+    unsigned __int128 d = static_cast<unsigned __int128>(a[i]) - bi - borrow;
+    a[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  LimbNormalize(a);
+}
+
+}  // namespace
+
+int BigInt::Jacobi(const BigInt& a, const BigInt& n) {
+  // Binary Jacobi symbol (a|n) for odd n > 0, via quadratic reciprocity.
+  // For prime n this is the Legendre symbol, so (a|p) == 1 iff a is a QR mod
+  // p — which for a safe prime p = 2q+1 is exactly the order-q subgroup test
+  // a^q == 1, at a tiny fraction of the exponentiation's cost. The loop is
+  // the subtraction-based binary variant over raw limbs: O(bits) iterations
+  // of shift/subtract with no divisions and no allocation churn, which is
+  // what lets IsElement run on every hostile-parse and matrix-validation
+  // path without showing up in profiles.
+  if (!n.IsOdd() || n.IsZero()) {
+    return 0;
+  }
+  std::vector<uint64_t> x = Mod(a, n).limbs();
+  std::vector<uint64_t> y = n.limbs();
+  int result = 1;
+  while (!x.empty()) {
+    // Strip factors of two: (2|y) = -1 iff y = 3 or 5 (mod 8).
+    size_t twos = LimbStripTwos(x);
+    uint64_t y8 = y[0] & 7;
+    if ((twos & 1) && (y8 == 3 || y8 == 5)) {
+      result = -result;
+    }
+    // Both odd now. Reciprocity applies when the (ordered) pair swaps:
+    // flip iff both are 3 (mod 4).
+    if (LimbCmp(x, y) < 0) {
+      std::swap(x, y);
+      if ((x[0] & 3) == 3 && (y[0] & 3) == 3) {
+        result = -result;
+      }
+    }
+    LimbSubInPlace(x, y);  // x >= y, difference is even (both odd)
+  }
+  return y.size() == 1 && y[0] == 1 ? result : 0;
+}
+
 BigInt BigInt::ModInverse(const BigInt& a, const BigInt& m) {
   // Iterative extended Euclid with the Bezout coefficient tracked mod m,
   // avoiding signed arithmetic.

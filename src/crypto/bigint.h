@@ -67,6 +67,10 @@ class BigInt {
   // Multiplicative inverse mod m; returns zero if gcd(a, m) != 1.
   static BigInt ModInverse(const BigInt& a, const BigInt& m);
   static BigInt Gcd(const BigInt& a, const BigInt& b);
+  // Jacobi symbol (a|n) in {-1, 0, +1}; n must be odd and positive (returns 0
+  // otherwise). For prime n this is the Legendre symbol: the O(bits^2)
+  // subgroup-membership test behind Group::IsElement.
+  static int Jacobi(const BigInt& a, const BigInt& n);
 
   // Miller-Rabin with `rounds` pseudo-randomly derived bases (deterministic,
   // seeded from n itself); used to re-verify embedded group parameters.

@@ -27,8 +27,31 @@ struct DleqProof {
 DleqProof DleqProve(const Group& group, const BigInt& g1, const BigInt& h1, const BigInt& g2,
                     const BigInt& h2, const BigInt& x, SecureRng& rng);
 
+// Deterministic core with a caller-supplied nonce w: lets batch provers (the
+// shuffle cascade's per-ciphertext decryption proofs) draw all randomness
+// serially and fan the pure exponentiation work across workers.
+DleqProof DleqProveWithNonce(const Group& group, const BigInt& g1, const BigInt& h1,
+                             const BigInt& g2, const BigInt& h2, const BigInt& x,
+                             const BigInt& w);
+
 bool DleqVerify(const Group& group, const BigInt& g1, const BigInt& h1, const BigInt& g2,
                 const BigInt& h2, const DleqProof& proof);
+
+// One statement of a batch sharing the fixed pair (g1, h1).
+struct DleqBatchItem {
+  BigInt g2;
+  BigInt h2;
+  DleqProof proof;
+};
+
+// Verifies a batch of DLEQ proofs that share (g1, h1) — the shuffle
+// cascade's shape: one server key, one proof per ciphertext. Collapses all
+// 4n verification exponentiations into a single MultiExp relation under
+// deterministic 128-bit weights derived from the whole batch; accepts iff
+// every proof would individually verify, up to the 2^-128 weight slack.
+// With the crypto fast path disabled this is a plain DleqVerify loop.
+bool DleqBatchVerify(const Group& group, const BigInt& g1, const BigInt& h1,
+                     const std::vector<DleqBatchItem>& items);
 
 }  // namespace dissent
 

@@ -8,12 +8,12 @@ namespace dissent {
 DhKeyPair DhKeyPair::Generate(const Group& group, SecureRng& rng) {
   DhKeyPair kp;
   kp.priv = rng.RandomNonZeroBelow(group.q());
-  kp.pub = group.GExp(kp.priv);
+  kp.pub = group.GExpSecret(kp.priv);
   return kp;
 }
 
 BigInt DhSharedElement(const Group& group, const BigInt& priv, const BigInt& peer_pub) {
-  return group.Exp(peer_pub, priv);
+  return group.ExpSecret(peer_pub, priv);
 }
 
 Bytes DeriveSharedKey(const Group& group, const BigInt& priv, const BigInt& peer_pub,

@@ -1,5 +1,7 @@
 #include "src/crypto/elgamal.h"
 
+#include "src/crypto/multiexp.h"
+
 namespace dissent {
 
 BigInt CombineKeys(const Group& group, const std::vector<BigInt>& pubs) {
@@ -13,8 +15,13 @@ BigInt CombineKeys(const Group& group, const std::vector<BigInt>& pubs) {
 ElGamalCiphertext ElGamalEncrypt(const Group& group, const BigInt& combined_pub,
                                  const BigInt& message_elem, const BigInt& r) {
   ElGamalCiphertext ct;
-  ct.a = group.GExp(r);
-  ct.b = group.MulElems(group.Exp(combined_pub, r), message_elem);
+  ct.a = group.GExpSecret(r);
+  // Encryption under a combined key is a repeated-base workload (every
+  // client of a session encrypts under the same H), so the cached window
+  // table pays for itself after a handful of calls.
+  auto table = group.CachedTable(combined_pub);
+  BigInt hr = table ? table->ExpSecret(r) : group.ExpSecret(combined_pub, r);
+  ct.b = group.MulElems(hr, message_elem);
   return ct;
 }
 
@@ -26,13 +33,15 @@ ElGamalCiphertext ElGamalEncrypt(const Group& group, const BigInt& combined_pub,
 ElGamalCiphertext ElGamalReEncrypt(const Group& group, const BigInt& combined_pub,
                                    const ElGamalCiphertext& ct, const BigInt& r2) {
   ElGamalCiphertext out;
-  out.a = group.MulElems(ct.a, group.GExp(r2));
-  out.b = group.MulElems(ct.b, group.Exp(combined_pub, r2));
+  out.a = group.MulElems(ct.a, group.GExpSecret(r2));
+  auto table = group.CachedTable(combined_pub);
+  BigInt hr = table ? table->ExpSecret(r2) : group.ExpSecret(combined_pub, r2);
+  out.b = group.MulElems(ct.b, hr);
   return out;
 }
 
 BigInt ElGamalDecrypt(const Group& group, const BigInt& priv, const ElGamalCiphertext& ct) {
-  BigInt shared = group.Exp(ct.a, priv);
+  BigInt shared = group.ExpSecret(ct.a, priv);
   return group.MulElems(ct.b, group.InvElem(shared));
 }
 
@@ -40,7 +49,7 @@ ElGamalCiphertext ElGamalPartialDecrypt(const Group& group, const BigInt& priv_j
                                         const ElGamalCiphertext& ct) {
   ElGamalCiphertext out;
   out.a = ct.a;
-  out.b = group.MulElems(ct.b, group.InvElem(group.Exp(ct.a, priv_j)));
+  out.b = group.MulElems(ct.b, group.InvElem(group.ExpSecret(ct.a, priv_j)));
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/crypto/multiexp.h"
 #include "src/crypto/sha256.h"
 #include "src/util/serialize.h"
 
@@ -82,11 +83,39 @@ Group::Group(BigInt p, BigInt q, BigInt g)
     : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)), mont_p_(p_) {
   element_bytes_ = (p_.BitLength() + 7) / 8;
   scalar_bytes_ = (q_.BitLength() + 7) / 8;
+  // Safe-prime shape check gates the Jacobi membership test: only when
+  // p == 2q + 1 does "subgroup of order q" coincide with "quadratic
+  // residue", i.e. Legendre symbol +1 (Euler's criterion).
+  safe_prime_ = BigInt::Cmp(BigInt::Add(q_.ShiftLeft(1), BigInt(1)), p_) == 0;
+  g_table_ = std::make_shared<const FixedBaseTable>(*this, g_);
 }
+
+Group::~Group() = default;
 
 BigInt Group::Exp(const BigInt& base, const BigInt& e) const { return mont_p_.Exp(base, e); }
 
-BigInt Group::GExp(const BigInt& e) const { return mont_p_.Exp(g_, e); }
+BigInt Group::GExp(const BigInt& e) const {
+  if (CryptoFastPathEnabled()) {
+    return g_table_->Exp(e);
+  }
+  return mont_p_.Exp(g_, e);
+}
+
+BigInt Group::ExpSecret(const BigInt& base, const BigInt& e) const {
+  if (!CryptoFastPathEnabled()) {
+    return mont_p_.Exp(base, e);  // pre-PR (variable-time) reference path
+  }
+  assert(BigInt::Cmp(e, q_) < 0);
+  return mont_p_.ExpSecret(base, e, q_.BitLength());
+}
+
+BigInt Group::GExpSecret(const BigInt& e) const {
+  if (!CryptoFastPathEnabled()) {
+    return mont_p_.Exp(g_, e);
+  }
+  assert(BigInt::Cmp(e, q_) < 0);
+  return g_table_->ExpSecret(e);
+}
 
 BigInt Group::MulElems(const BigInt& a, const BigInt& b) const {
   return BigInt::ModMul(a, b, p_);
@@ -94,11 +123,96 @@ BigInt Group::MulElems(const BigInt& a, const BigInt& b) const {
 
 BigInt Group::InvElem(const BigInt& a) const { return BigInt::ModInverse(a, p_); }
 
+std::vector<BigInt> Group::BatchInvElems(const std::vector<BigInt>& v) const {
+  // Montgomery's trick over prefix products, in the Montgomery domain so the
+  // walk-back costs one MontMul per element instead of a ModMul round trip.
+  const size_t n = v.size();
+  if (n == 0) {
+    return {};
+  }
+  std::vector<Montgomery::Limbs> prefix(n);
+  Montgomery::Limbs acc = mont_p_.One();
+  for (size_t i = 0; i < n; ++i) {
+    assert(!v[i].IsZero());
+    acc = mont_p_.MontMul(acc, mont_p_.ToMont(v[i]));
+    prefix[i] = acc;
+  }
+  BigInt total_inv = BigInt::ModInverse(mont_p_.FromMont(acc), p_);
+  assert(!total_inv.IsZero());
+  Montgomery::Limbs inv = mont_p_.ToMont(total_inv);  // prod^{-1}
+  std::vector<BigInt> out(n);
+  for (size_t i = n; i-- > 1;) {
+    out[i] = mont_p_.FromMont(mont_p_.MontMul(inv, prefix[i - 1]));
+    inv = mont_p_.MontMul(inv, mont_p_.ToMont(v[i]));
+  }
+  out[0] = mont_p_.FromMont(inv);
+  return out;
+}
+
 bool Group::IsElement(const BigInt& a) const {
   if (a.IsZero() || BigInt::Cmp(a, p_) >= 0) {
     return false;
   }
+  if (safe_prime_ && CryptoFastPathEnabled()) {
+    // Legendre symbol via binary Jacobi: identical verdict to a^q == 1 at a
+    // small fraction of the exponentiation's cost (pinned against the
+    // reference below by tests/crypto/multiexp_test.cc,
+    // JacobiMembershipMatchesExpMembership).
+    return BigInt::Jacobi(a, p_) == 1;
+  }
   return Exp(a, q_).IsOne();
+}
+
+Group::Elem Group::ToElem(const BigInt& a) const { return Elem{mont_p_.ToMont(a)}; }
+
+BigInt Group::FromElem(const Elem& a) const { return mont_p_.FromMont(a.mont); }
+
+Group::Elem Group::IdentityElem() const { return Elem{mont_p_.One()}; }
+
+Group::Elem Group::MulElems(const Elem& a, const Elem& b) const {
+  return Elem{mont_p_.MontMul(a.mont, b.mont)};
+}
+
+const FixedBaseTable& Group::GeneratorTable() const { return *g_table_; }
+
+std::shared_ptr<const FixedBaseTable> Group::FindCachedTable(const BigInt& base) const {
+  if (!CryptoFastPathEnabled()) {
+    return nullptr;
+  }
+  std::string key(reinterpret_cast<const char*>(base.limbs().data()),
+                  base.limbs().size() * sizeof(uint64_t));
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_cache_.find(key);
+  return it != table_cache_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const FixedBaseTable> Group::CachedTable(const BigInt& base) const {
+  if (!CryptoFastPathEnabled()) {
+    return nullptr;  // callers fall back to the generic ladder
+  }
+  constexpr size_t kMaxCachedTables = 64;
+  std::string key(reinterpret_cast<const char*>(base.limbs().data()),
+                  base.limbs().size() * sizeof(uint64_t));
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    auto it = table_cache_.find(key);
+    if (it != table_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Built outside the lock: a concurrent double build wastes a little work
+  // but never blocks other bases behind a ~1k-multiplication construction.
+  auto table = std::make_shared<const FixedBaseTable>(*this, base);
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto [it, inserted] = table_cache_.emplace(std::move(key), table);
+  if (inserted) {
+    table_order_.push_back(it->first);
+    if (table_order_.size() > kMaxCachedTables) {
+      table_cache_.erase(table_order_.front());
+      table_order_.pop_front();
+    }
+  }
+  return it->second;
 }
 
 BigInt Group::AddScalars(const BigInt& a, const BigInt& b) const {
@@ -116,6 +230,32 @@ BigInt Group::MulScalars(const BigInt& a, const BigInt& b) const {
 BigInt Group::NegScalar(const BigInt& a) const { return BigInt::ModSub(BigInt(), a, q_); }
 
 BigInt Group::InvScalar(const BigInt& a) const { return BigInt::ModInverse(a, q_); }
+
+std::vector<BigInt> Group::BatchInvScalars(const std::vector<BigInt>& v) const {
+  const size_t n = v.size();
+  if (n == 0) {
+    return {};
+  }
+  std::vector<BigInt> prefix(n);
+  BigInt acc(1);
+  for (size_t i = 0; i < n; ++i) {
+    acc = BigInt::ModMul(acc, v[i], q_);
+    prefix[i] = acc;
+  }
+  BigInt inv = BigInt::ModInverse(acc, q_);
+  if (inv.IsZero()) {
+    // Some entry is not invertible: every output is zero, matching
+    // InvScalar's convention for that entry (callers treat it as an error).
+    return std::vector<BigInt>(n);
+  }
+  std::vector<BigInt> out(n);
+  for (size_t i = n; i-- > 1;) {
+    out[i] = BigInt::ModMul(inv, prefix[i - 1], q_);
+    inv = BigInt::ModMul(inv, v[i], q_);
+  }
+  out[0] = std::move(inv);
+  return out;
+}
 
 BigInt Group::RandomScalar(SecureRng& rng) const { return rng.RandomBelow(q_); }
 

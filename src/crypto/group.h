@@ -12,9 +12,13 @@
 #ifndef DISSENT_CRYPTO_GROUP_H_
 #define DISSENT_CRYPTO_GROUP_H_
 
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/crypto/bigint.h"
 #include "src/crypto/montgomery.h"
@@ -30,29 +34,75 @@ enum class GroupId {
   kProduction2048,
 };
 
+class FixedBaseTable;
+
 class Group {
  public:
+  // Montgomery-domain element handle for chained element arithmetic: carries
+  // the mont-form limbs so sequences of MulElems/MultiExp stop round-tripping
+  // through ToMont/FromMont on every operation (each round trip costs two
+  // extra Montgomery multiplications). Convert once with ToElem, chain in
+  // the Montgomery domain, convert back once with FromElem. The BigInt API
+  // below remains the canonical encoding (wire, transcripts, comparisons).
+  struct Elem {
+    Montgomery::Limbs mont;  // limb_count() limbs, Montgomery form, < p
+  };
+
   // Shared immutable instances (Montgomery context construction is not free).
   static std::shared_ptr<const Group> Named(GroupId id);
   // Custom parameters; p must be a safe prime 2q+1 and g a generator of the
   // order-q subgroup (verified in debug/tests via IsElement).
   Group(BigInt p, BigInt q, BigInt g);
+  ~Group();
 
   const BigInt& p() const { return p_; }
   const BigInt& q() const { return q_; }
   const BigInt& g() const { return g_; }
+  const Montgomery& mont() const { return mont_p_; }
 
   size_t ElementBytes() const { return element_bytes_; }
   size_t ScalarBytes() const { return scalar_bytes_; }
 
   // --- element operations (mod p) ---
+  // Variable-time; e must be public (verification, challenges). Secret
+  // exponents go through ExpSecret/GExpSecret (see montgomery.h for the
+  // timing-channel contract).
   BigInt Exp(const BigInt& base, const BigInt& e) const;
-  BigInt GExp(const BigInt& e) const;  // g^e
+  BigInt GExp(const BigInt& e) const;  // g^e (fixed-base comb when enabled)
+  // Constant-time-lookup variants for secret exponents (private keys,
+  // nonces, re-encryption factors, shuffle secrets). e must be < q.
+  BigInt ExpSecret(const BigInt& base, const BigInt& e) const;
+  BigInt GExpSecret(const BigInt& e) const;
   BigInt MulElems(const BigInt& a, const BigInt& b) const;
   BigInt InvElem(const BigInt& a) const;
-  // Subgroup membership: a in [1, p) and a^q = 1 (mod p).
+  // Batch inversion (Montgomery's trick): one ModInverse plus 3(n-1)
+  // multiplications for n elements. All inputs must be invertible mod p
+  // (any subgroup element is); aborts on zero input.
+  std::vector<BigInt> BatchInvElems(const std::vector<BigInt>& v) const;
+  // Subgroup membership: a in [1, p) and a^q = 1 (mod p). For safe-prime
+  // groups this is evaluated as a Jacobi-symbol test (Euler's criterion) —
+  // two orders of magnitude cheaper than the defining exponentiation.
   bool IsElement(const BigInt& a) const;
   BigInt Identity() const { return BigInt(1); }
+
+  // --- Montgomery-domain element API ---
+  Elem ToElem(const BigInt& a) const;
+  BigInt FromElem(const Elem& a) const;
+  Elem IdentityElem() const;
+  Elem MulElems(const Elem& a, const Elem& b) const;
+
+  // --- fixed-base tables ---
+  // The generator's comb table (always present; GExp/GExpSecret use it).
+  const FixedBaseTable& GeneratorTable() const;
+  // Cached per-base window table for repeated-base exponents (combined keys
+  // h in the shuffle cascade, roster public keys in signature verification).
+  // Returns nullptr when the fast path is disabled (callers fall back to
+  // Exp/ExpSecret). Tables are built once and shared; a small FIFO bounds
+  // the cache. Call this only for bases known to repeat (a build costs ~15
+  // multiplications per window); FindCachedTable looks up without building,
+  // for opportunistic reuse on one-shot-or-maybe-repeated bases.
+  std::shared_ptr<const FixedBaseTable> CachedTable(const BigInt& base) const;
+  std::shared_ptr<const FixedBaseTable> FindCachedTable(const BigInt& base) const;
 
   // --- scalar operations (mod q) ---
   BigInt AddScalars(const BigInt& a, const BigInt& b) const;
@@ -60,6 +110,11 @@ class Group {
   BigInt MulScalars(const BigInt& a, const BigInt& b) const;
   BigInt NegScalar(const BigInt& a) const;
   BigInt InvScalar(const BigInt& a) const;
+  // Batch scalar inversion (Montgomery's trick, mod q): one ModInverse plus
+  // 3(n-1) multiplications. Entries must be invertible mod q; a
+  // non-invertible entry makes every output zero (callers that cannot rule
+  // this out fall back to InvScalar per element).
+  std::vector<BigInt> BatchInvScalars(const std::vector<BigInt>& v) const;
   BigInt RandomScalar(SecureRng& rng) const;  // uniform in [0, q)
 
   // Wide-reduction hash to scalar (Fiat-Shamir challenges).
@@ -86,6 +141,12 @@ class Group {
   Montgomery mont_p_;
   size_t element_bytes_;
   size_t scalar_bytes_;
+  bool safe_prime_ = false;  // p == 2q + 1: enables the Jacobi membership test
+  std::shared_ptr<const FixedBaseTable> g_table_;
+  // FIFO-bounded per-base table cache (CachedTable).
+  mutable std::mutex table_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const FixedBaseTable>> table_cache_;
+  mutable std::deque<std::string> table_order_;
 };
 
 }  // namespace dissent

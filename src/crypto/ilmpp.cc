@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "src/crypto/multiexp.h"
+#include "src/util/parallel.h"
+
 namespace dissent {
 
 namespace {
@@ -47,12 +50,28 @@ IlmppProof IlmppProve(const Group& group, Transcript& transcript, const std::vec
 
   IlmppProof proof;
   proof.commits.resize(k);
-  proof.commits[0] = group.Exp(ys[0], theta[0]);
-  for (size_t i = 1; i + 1 < k; ++i) {
-    proof.commits[i] =
-        group.MulElems(group.Exp(xs[i], theta[i - 1]), group.Exp(ys[i], theta[i]));
+  if (CryptoFastPathEnabled()) {
+    // The prover knows the discrete logs of the statement (X_i = g^{x_i},
+    // Y_i = g^{y_i}), so every commitment is a single fixed-base comb
+    // exponentiation of the generator:
+    //   A_i = X_i^{theta_{i-1}} * Y_i^{theta_i} = g^{x_i th_{i-1} + y_i th_i}
+    // — two random-base ladders collapse into one comb eval per element.
+    // theta is secret, so the exponents are too: constant-time path.
+    proof.commits[0] = group.GExpSecret(group.MulScalars(y_logs[0], theta[0]));
+    for (size_t i = 1; i + 1 < k; ++i) {
+      proof.commits[i] = group.GExpSecret(
+          group.AddScalars(group.MulScalars(x_logs[i], theta[i - 1]),
+                           group.MulScalars(y_logs[i], theta[i])));
+    }
+    proof.commits[k - 1] = group.GExpSecret(group.MulScalars(x_logs[k - 1], theta[k - 2]));
+  } else {
+    proof.commits[0] = group.Exp(ys[0], theta[0]);
+    for (size_t i = 1; i + 1 < k; ++i) {
+      proof.commits[i] =
+          group.MulElems(group.Exp(xs[i], theta[i - 1]), group.Exp(ys[i], theta[i]));
+    }
+    proof.commits[k - 1] = group.Exp(xs[k - 1], theta[k - 2]);
   }
-  proof.commits[k - 1] = group.Exp(xs[k - 1], theta[k - 2]);
 
   BigInt gamma = DrawGamma(group, transcript, xs, ys, proof.commits);
 
@@ -60,13 +79,16 @@ IlmppProof IlmppProve(const Group& group, Transcript& transcript, const std::vec
   // P_i = prod_{j<=i} x_j / y_j. In 1-based terms t_i = (-1)^i gamma P_i:
   // odd index => subtract, even index => add.
   proof.responses.resize(k - 1);
+  // One batch inversion replaces k-1 serial extended-gcd inversions (the
+  // former dominated prover time at cascade scale).
+  std::vector<BigInt> y_invs =
+      group.BatchInvScalars(std::vector<BigInt>(y_logs.begin(), y_logs.end() - 1));
   BigInt prefix(1);  // P_i
   for (size_t i = 0; i < k - 1; ++i) {
-    BigInt y_inv = group.InvScalar(y_logs[i]);
-    if (y_inv.IsZero()) {
+    if (y_invs[i].IsZero()) {
       std::abort();  // y_log not invertible: probability ~ k/q
     }
-    prefix = group.MulScalars(prefix, group.MulScalars(x_logs[i], y_inv));
+    prefix = group.MulScalars(prefix, group.MulScalars(x_logs[i], y_invs[i]));
     BigInt term = group.MulScalars(gamma, prefix);
     bool one_based_odd = (i % 2 == 0);  // i=0 is index 1
     proof.responses[i] = one_based_odd ? group.SubScalars(theta[i], term)
@@ -95,25 +117,64 @@ bool IlmppVerify(const Group& group, Transcript& transcript, const std::vector<B
 
   BigInt gamma = DrawGamma(group, transcript, xs, ys, proof.commits);
 
-  // A_1 == Y_1^{r_1} * X_1^{gamma}
-  if (proof.commits[0] !=
-      group.MulElems(group.Exp(ys[0], proof.responses[0]), group.Exp(xs[0], gamma))) {
-    return false;
-  }
-  // A_i == X_i^{r_{i-1}} * Y_i^{r_i}
-  for (size_t i = 1; i + 1 < k; ++i) {
-    BigInt expect = group.MulElems(group.Exp(xs[i], proof.responses[i - 1]),
-                                   group.Exp(ys[i], proof.responses[i]));
-    if (proof.commits[i] != expect) {
+  if (!CryptoFastPathEnabled()) {
+    // Reference (pre-PR) path: one pair of ladders per equation.
+    // A_1 == Y_1^{r_1} * X_1^{gamma}
+    if (proof.commits[0] !=
+        group.MulElems(group.Exp(ys[0], proof.responses[0]), group.Exp(xs[0], gamma))) {
       return false;
     }
+    // A_i == X_i^{r_{i-1}} * Y_i^{r_i}
+    for (size_t i = 1; i + 1 < k; ++i) {
+      BigInt expect = group.MulElems(group.Exp(xs[i], proof.responses[i - 1]),
+                                     group.Exp(ys[i], proof.responses[i]));
+      if (proof.commits[i] != expect) {
+        return false;
+      }
+    }
+    // A_k == X_k^{r_{k-1}} * Y_k^{+-gamma}: +gamma when k is even (1-based
+    // sign (-1)^k), -gamma when odd.
+    BigInt last_exp = (k % 2 == 0) ? gamma : group.NegScalar(gamma);
+    BigInt expect_last = group.MulElems(group.Exp(xs[k - 1], proof.responses[k - 2]),
+                                        group.Exp(ys[k - 1], last_exp));
+    return proof.commits[k - 1] == expect_last;
   }
-  // A_k == X_k^{r_{k-1}} * Y_k^{+-gamma}: +gamma when k is even (1-based sign
-  // (-1)^k), -gamma when odd.
+
+  // Batched verification: fold every per-element equation
+  //   X_i^{a_i} * Y_i^{b_i} * A_i^{-1} == 1
+  // into one product under deterministic 128-bit weights u_i. gamma already
+  // binds the statement and commitments (they were hashed to produce it);
+  // the weights additionally bind the responses, so no prover choice can
+  // steer the combined relation after the fact. Repeated statement bases
+  // (the simple shuffle pads its upper half with Gamma and g) are merged by
+  // MultiExp's dedup pass — for the 2k-element shuffle statement that
+  // roughly halves the distinct-base count.
+  Transcript wt("dissent.ilmpp.batchverify.v1");
+  wt.AppendScalar(group, "gamma", gamma);
+  for (const BigInt& r : proof.responses) {
+    wt.AppendScalar(group, "r", r);
+  }
+  auto draw_weight = [&wt]() { return DrawBatchWeight128(wt, "u"); };
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exps;
+  bases.reserve(3 * k);
+  exps.reserve(3 * k);
+  auto add_equation = [&](size_t i, const BigInt& x_exp, const BigInt& y_exp,
+                          const BigInt& weight) {
+    bases.push_back(xs[i]);
+    exps.push_back(group.MulScalars(weight, x_exp));
+    bases.push_back(ys[i]);
+    exps.push_back(group.MulScalars(weight, y_exp));
+    bases.push_back(proof.commits[i]);
+    exps.push_back(group.NegScalar(weight));
+  };
+  add_equation(0, gamma, proof.responses[0], draw_weight());
+  for (size_t i = 1; i + 1 < k; ++i) {
+    add_equation(i, proof.responses[i - 1], proof.responses[i], draw_weight());
+  }
   BigInt last_exp = (k % 2 == 0) ? gamma : group.NegScalar(gamma);
-  BigInt expect_last = group.MulElems(group.Exp(xs[k - 1], proof.responses[k - 2]),
-                                      group.Exp(ys[k - 1], last_exp));
-  return proof.commits[k - 1] == expect_last;
+  add_equation(k - 1, proof.responses[k - 2], last_exp, draw_weight());
+  return MultiExp(group, bases, exps, DefaultCryptoThreads()).IsOne();
 }
 
 }  // namespace dissent

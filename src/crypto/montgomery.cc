@@ -179,6 +179,15 @@ void Montgomery::MulRaw(const uint64_t* a, const uint64_t* b, uint64_t* t,
   }
 }
 
+namespace {
+// Reusable per-thread exponentiation arena: schedule-sized loops (a verified
+// shuffle runs tens of thousands of Exp calls back to back) were hammering
+// the allocator with a fresh ~19k-limb vector per call. resize() only grows
+// the underlying capacity, so after the first call per width this is
+// allocation-free.
+thread_local std::vector<uint64_t> t_exp_arena;
+}  // namespace
+
 BigInt Montgomery::Exp(const BigInt& a, const BigInt& e) const {
   if (e.IsZero()) {
     return BigInt::Mod(BigInt(1), n_);
@@ -186,7 +195,8 @@ BigInt Montgomery::Exp(const BigInt& a, const BigInt& e) const {
   const size_t k = k_;
   // 4-bit fixed-window exponentiation in the Montgomery domain, with one
   // contiguous arena: 16 table entries + accumulator + CIOS scratch.
-  std::vector<uint64_t> arena(16 * k + 2 * k + (k + 2));
+  std::vector<uint64_t>& arena = t_exp_arena;
+  arena.resize(16 * k + 2 * k + (k + 2));
   uint64_t* table = arena.data();        // 16 * k
   uint64_t* acc = table + 16 * k;        // k
   uint64_t* tmp = acc + k;               // k
@@ -220,6 +230,63 @@ BigInt Montgomery::Exp(const BigInt& a, const BigInt& e) const {
       std::swap(acc, tmp);
       started = true;
     }
+  }
+  Limbs result(acc, acc + k);
+  return FromMont(result);
+}
+
+BigInt Montgomery::ExpSecret(const BigInt& a, const BigInt& e, size_t exp_bits) const {
+  assert(e.BitLength() <= exp_bits);
+  const size_t k = k_;
+  // Same 4-bit windows as Exp, but with a fixed schedule over exp_bits
+  // windows (no zero-digit or leading-window skips) and a branchless
+  // full-table scan per lookup: the exponent's digits never select a load
+  // address or a branch. table[0] holds the Montgomery one, so zero digits
+  // cost the same multiply as any other digit.
+  thread_local std::vector<uint64_t> arena;
+  arena.resize(16 * k + 3 * k + (k + 2));
+  uint64_t* table = arena.data();        // 16 * k
+  uint64_t* acc = table + 16 * k;        // k
+  uint64_t* tmp = acc + k;               // k
+  uint64_t* sel = tmp + k;               // k (scanned-out table entry)
+  uint64_t* scratch = sel + k;           // k + 2
+
+  Limbs one = One();
+  Limbs base = ToMont(a);
+  std::copy(one.begin(), one.end(), table);
+  std::copy(base.begin(), base.end(), table + k);
+  for (size_t i = 2; i < 16; ++i) {
+    MulRaw(table + (i - 1) * k, table + k, scratch, table + i * k);
+  }
+
+  // Fixed-width little-endian exponent limbs (zero-padded past e's length).
+  const size_t elimbs = (exp_bits + 63) / 64;
+  thread_local std::vector<uint64_t> ebuf;
+  ebuf.assign(elimbs, 0);
+  const std::vector<uint64_t>& el = e.limbs();
+  std::copy(el.begin(), el.end(), ebuf.begin());
+
+  const size_t windows = (exp_bits + 3) / 4;
+  std::copy(one.begin(), one.end(), acc);
+  for (size_t w = windows; w-- > 0;) {
+    for (int sq = 0; sq < 4; ++sq) {
+      MulRaw(acc, acc, scratch, tmp);
+      std::swap(acc, tmp);
+    }
+    // 4-bit windows at 4-bit offsets never straddle a 64-bit limb.
+    const uint64_t digit = (ebuf[(w * 4) / 64] >> ((w * 4) % 64)) & 0xf;
+    std::fill(sel, sel + k, 0);
+    for (uint64_t idx = 0; idx < 16; ++idx) {
+      // mask = all-ones iff idx == digit, derived without a branch.
+      const uint64_t x = idx ^ digit;
+      const uint64_t mask = ((x | (0 - x)) >> 63) - 1;
+      const uint64_t* entry = table + idx * k;
+      for (size_t l = 0; l < k; ++l) {
+        sel[l] |= entry[l] & mask;
+      }
+    }
+    MulRaw(acc, sel, scratch, tmp);
+    std::swap(acc, tmp);
   }
   Limbs result(acc, acc + k);
   return FromMont(result);

@@ -4,6 +4,28 @@
 // this context; a Dissent key shuffle for 1,000 clients performs tens of
 // thousands of exponentiations per server, so this path dominates the
 // cryptographic cost model (see bench/micro_crypto).
+//
+// Variable-time vs constant-time — the exponent-secrecy split:
+//   * Exp        4-bit fixed windows with zero-digit skipping and an indexed
+//                table load. The digit pattern of the exponent leaks through
+//                timing and the data cache, so this path is for PUBLIC
+//                exponents only: proof verification, Fiat-Shamir challenges,
+//                subgroup checks — anything an observer already knows.
+//   * ExpSecret  fixed window schedule (always 4 squarings + 1 multiply per
+//                window over a caller-fixed bit width) and a full-table scan
+//                with branchless masking for every lookup, so neither the
+//                digit values nor the exponent's bit length select a load
+//                address or a branch. Private keys, DC-net/shuffle secrets,
+//                nonces, and re-encryption factors go through here
+//                (Group::ExpSecret / GExpSecret route to it). Scope: this
+//                closes the digit-dependent lookup/schedule channels only —
+//                the CIOS limb arithmetic keeps its data-dependent final
+//                subtraction (the classic Montgomery extra-reduction
+//                signal), so the claim is "no exponent-indexed memory or
+//                control flow", not full constant-time multiplication.
+// The split is mirrored in the fixed-base and multi-exponentiation engine
+// (crypto/multiexp.h): every *Secret entry point scans, everything else may
+// skip.
 #ifndef DISSENT_CRYPTO_MONTGOMERY_H_
 #define DISSENT_CRYPTO_MONTGOMERY_H_
 
@@ -20,9 +42,17 @@ class Montgomery {
   explicit Montgomery(const BigInt& n);
 
   const BigInt& modulus() const { return n_; }
+  // Modulus width in 64-bit limbs; every Limbs value below carries exactly
+  // this many limbs.
+  size_t limb_count() const { return k_; }
 
-  // a^e mod n; a need not be reduced.
+  // a^e mod n; a need not be reduced. Variable time in e (see header note).
   BigInt Exp(const BigInt& a, const BigInt& e) const;
+
+  // a^e mod n treating e as a secret of (at most) exp_bits bits: fixed
+  // window schedule over exp_bits and constant-time table lookups. e must
+  // satisfy e.BitLength() <= exp_bits (callers pass the scalar-field width).
+  BigInt ExpSecret(const BigInt& a, const BigInt& e, size_t exp_bits) const;
 
   // (a * b) mod n via to/from Montgomery form; mostly for tests — bulk work
   // should stay in Montgomery domain via the Limbs API below.
@@ -35,10 +65,13 @@ class Montgomery {
   Limbs MontMul(const Limbs& a, const Limbs& b) const;
   Limbs One() const;  // R mod n (the Montgomery representation of 1)
 
+  // CIOS over raw pointers — the hot-loop hook the multi-exponentiation
+  // engine (crypto/multiexp.cc) builds on. t is scratch of k+2 limbs, out
+  // holds k limbs; out may alias a or b but not t.
+  void MulRaw(const uint64_t* a, const uint64_t* b, uint64_t* t, uint64_t* out) const;
+
  private:
   void Reduce(Limbs& t) const;  // conditional final subtraction
-  // CIOS over raw pointers (hot path): t = scratch (k+2 limbs), out = k limbs.
-  void MulRaw(const uint64_t* a, const uint64_t* b, uint64_t* t, uint64_t* out) const;
 
   BigInt n_;
   Limbs n_limbs_;   // exactly k limbs

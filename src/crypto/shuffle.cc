@@ -3,6 +3,9 @@
 #include <cassert>
 #include <numeric>
 
+#include "src/crypto/multiexp.h"
+#include "src/util/parallel.h"
+
 namespace dissent {
 
 namespace {
@@ -55,6 +58,27 @@ bool ValidMatrix(const Group& group, const CiphertextMatrix& m, size_t k, size_t
   return true;
 }
 
+// Column views of a ciphertext matrix in the Montgomery domain: the a (or b)
+// components of column l as MultiExp-ready bases. Converting once up front
+// (one MontMul per element) lets every product-of-powers relation over the
+// matrix reuse the same Elems instead of re-entering the Montgomery domain
+// per relation.
+std::vector<std::vector<Group::Elem>> ColumnElems(const Group& group,
+                                                  const CiphertextMatrix& m, bool b_component,
+                                                  size_t num_threads) {
+  const size_t k = m.size();
+  const size_t width = k == 0 ? 0 : m[0].size();
+  std::vector<std::vector<Group::Elem>> cols(width, std::vector<Group::Elem>(k));
+  ParallelFor(k, num_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t l = 0; l < width; ++l) {
+        cols[l][i] = group.ToElem(b_component ? m[i][l].b : m[i][l].a);
+      }
+    }
+  });
+  return cols;
+}
+
 }  // namespace
 
 ShuffleResult ApplyRandomShuffle(const Group& group, const BigInt& h,
@@ -70,16 +94,27 @@ ShuffleResult ApplyRandomShuffle(const Group& group, const BigInt& h,
   }
   result.outputs.resize(k);
   result.witness.factors.resize(k);
+  // All randomness is drawn serially (same stream order as the sequential
+  // reference), then the pure re-encryption exponentiations fan out across
+  // workers — the outputs are bit-identical for any thread count.
   for (size_t i = 0; i < k; ++i) {
     const auto& src = inputs[result.witness.perm[i]];
     result.outputs[i].resize(src.size());
     result.witness.factors[i].resize(src.size());
     for (size_t l = 0; l < src.size(); ++l) {
-      BigInt beta = group.RandomScalar(rng);
-      result.witness.factors[i][l] = beta;
-      result.outputs[i][l] = ElGamalReEncrypt(group, h, src[l], beta);
+      result.witness.factors[i][l] = group.RandomScalar(rng);
     }
   }
+  group.CachedTable(h);  // warm the shared h table before workers race to it
+  ParallelFor(k, DefaultCryptoThreads(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto& src = inputs[result.witness.perm[i]];
+      for (size_t l = 0; l < src.size(); ++l) {
+        result.outputs[i][l] =
+            ElGamalReEncrypt(group, h, src[l], result.witness.factors[i][l]);
+      }
+    }
+  });
   return result;
 }
 
@@ -90,39 +125,69 @@ ShuffleProof ShuffleProve(const Group& group, const BigInt& h, const CiphertextM
   assert(k >= 2);
   const size_t width = inputs[0].size();
   assert(outputs.size() == k && witness.perm.size() == k && witness.factors.size() == k);
+  const bool fast = CryptoFastPathEnabled();
+  const size_t threads = DefaultCryptoThreads();
 
   Transcript transcript("dissent.shuffle.v1");
   AppendStatement(group, transcript, h, inputs, outputs);
 
   ShuffleProof proof;
   BigInt gamma = rng.RandomNonZeroBelow(group.q());
-  proof.gamma_commit = group.GExp(gamma);
+  proof.gamma_commit = group.GExpSecret(gamma);
   transcript.AppendElement(group, "shuf.Gamma", proof.gamma_commit);
 
   std::vector<BigInt> e = DrawExponents(group, transcript, k);
   std::vector<BigInt> e_elems(k);
-  for (size_t i = 0; i < k; ++i) {
-    e_elems[i] = group.GExp(e[i]);
-  }
+  ParallelFor(k, threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      e_elems[i] = group.GExp(e[i]);
+    }
+  });
 
   // Layer 1: F_i = g^{gamma * e_{perm(i)}} plus the simple-shuffle proof.
   std::vector<BigInt> f(k);
   proof.f_elems.resize(k);
   for (size_t i = 0; i < k; ++i) {
     f[i] = group.MulScalars(gamma, e[witness.perm[i]]);
-    proof.f_elems[i] = group.GExp(f[i]);
+  }
+  ParallelFor(k, threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      proof.f_elems[i] = group.GExpSecret(f[i]);
+    }
+  });
+  for (size_t i = 0; i < k; ++i) {
     transcript.AppendElement(group, "shuf.F", proof.f_elems[i]);
   }
   proof.perm_proof = SimpleShuffleProve(group, transcript, e_elems, proof.f_elems,
                                         proof.gamma_commit, e, gamma, witness.perm, rng);
 
-  // Layer 2: products Q and the generalized Schnorr binding.
-  proof.q_a.assign(width, group.Identity());
-  proof.q_b.assign(width, group.Identity());
-  for (size_t i = 0; i < k; ++i) {
+  // Montgomery-domain column views shared by layers 2 and 3.
+  std::vector<std::vector<Group::Elem>> out_a, out_b, in_a, in_b;
+  if (fast) {
+    out_a = ColumnElems(group, outputs, /*b_component=*/false, threads);
+    out_b = ColumnElems(group, outputs, /*b_component=*/true, threads);
+    in_a = ColumnElems(group, inputs, /*b_component=*/false, threads);
+    in_b = ColumnElems(group, inputs, /*b_component=*/true, threads);
+  }
+
+  // Layer 2: products Q and the generalized Schnorr binding. The f_i are
+  // secret (they encode the permutation), so the column products run through
+  // the constant-time MultiExp.
+  proof.q_a.resize(width);
+  proof.q_b.resize(width);
+  if (fast) {
     for (size_t l = 0; l < width; ++l) {
-      proof.q_a[l] = group.MulElems(proof.q_a[l], group.Exp(outputs[i][l].a, f[i]));
-      proof.q_b[l] = group.MulElems(proof.q_b[l], group.Exp(outputs[i][l].b, f[i]));
+      proof.q_a[l] = MultiExpSecret(group, out_a[l], f, threads);
+      proof.q_b[l] = MultiExpSecret(group, out_b[l], f, threads);
+    }
+  } else {
+    proof.q_a.assign(width, group.Identity());
+    proof.q_b.assign(width, group.Identity());
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t l = 0; l < width; ++l) {
+        proof.q_a[l] = group.MulElems(proof.q_a[l], group.Exp(outputs[i][l].a, f[i]));
+        proof.q_b[l] = group.MulElems(proof.q_b[l], group.Exp(outputs[i][l].b, f[i]));
+      }
     }
   }
   for (size_t l = 0; l < width; ++l) {
@@ -131,18 +196,33 @@ ShuffleProof ShuffleProve(const Group& group, const BigInt& h, const CiphertextM
   }
 
   std::vector<BigInt> w(k);
-  proof.bind_t_f.resize(k);
   for (size_t i = 0; i < k; ++i) {
     w[i] = group.RandomScalar(rng);
-    proof.bind_t_f[i] = group.GExp(w[i]);
+  }
+  proof.bind_t_f.resize(k);
+  ParallelFor(k, threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      proof.bind_t_f[i] = group.GExpSecret(w[i]);
+    }
+  });
+  for (size_t i = 0; i < k; ++i) {
     transcript.AppendElement(group, "shuf.bind.TF", proof.bind_t_f[i]);
   }
-  proof.bind_t_qa.assign(width, group.Identity());
-  proof.bind_t_qb.assign(width, group.Identity());
-  for (size_t i = 0; i < k; ++i) {
+  proof.bind_t_qa.resize(width);
+  proof.bind_t_qb.resize(width);
+  if (fast) {
     for (size_t l = 0; l < width; ++l) {
-      proof.bind_t_qa[l] = group.MulElems(proof.bind_t_qa[l], group.Exp(outputs[i][l].a, w[i]));
-      proof.bind_t_qb[l] = group.MulElems(proof.bind_t_qb[l], group.Exp(outputs[i][l].b, w[i]));
+      proof.bind_t_qa[l] = MultiExpSecret(group, out_a[l], w, threads);
+      proof.bind_t_qb[l] = MultiExpSecret(group, out_b[l], w, threads);
+    }
+  } else {
+    proof.bind_t_qa.assign(width, group.Identity());
+    proof.bind_t_qb.assign(width, group.Identity());
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t l = 0; l < width; ++l) {
+        proof.bind_t_qa[l] = group.MulElems(proof.bind_t_qa[l], group.Exp(outputs[i][l].a, w[i]));
+        proof.bind_t_qb[l] = group.MulElems(proof.bind_t_qb[l], group.Exp(outputs[i][l].b, w[i]));
+      }
     }
   }
   for (size_t l = 0; l < width; ++l) {
@@ -156,12 +236,19 @@ ShuffleProof ShuffleProve(const Group& group, const BigInt& h, const CiphertextM
     transcript.AppendScalar(group, "shuf.bind.z", proof.bind_z[i]);
   }
 
-  // Layer 3: product argument over verifier-computable PA/PB.
+  // Layer 3: product argument over verifier-computable PA/PB (e_i public).
   std::vector<BigInt> p_a(width, group.Identity()), p_b(width, group.Identity());
-  for (size_t i = 0; i < k; ++i) {
+  if (fast) {
     for (size_t l = 0; l < width; ++l) {
-      p_a[l] = group.MulElems(p_a[l], group.Exp(inputs[i][l].a, e[i]));
-      p_b[l] = group.MulElems(p_b[l], group.Exp(inputs[i][l].b, e[i]));
+      p_a[l] = MultiExp(group, in_a[l], e, threads);
+      p_b[l] = MultiExp(group, in_b[l], e, threads);
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t l = 0; l < width; ++l) {
+        p_a[l] = group.MulElems(p_a[l], group.Exp(inputs[i][l].a, e[i]));
+        p_b[l] = group.MulElems(p_b[l], group.Exp(inputs[i][l].b, e[i]));
+      }
     }
   }
   std::vector<BigInt> bhat(width);
@@ -173,18 +260,21 @@ ShuffleProof ShuffleProve(const Group& group, const BigInt& h, const CiphertextM
     bhat[l] = acc;
   }
 
+  auto h_table = group.CachedTable(h);
   BigInt s = group.RandomScalar(rng);
   std::vector<BigInt> t(width);
   proof.prod_t_a.resize(width);
   proof.prod_t_b.resize(width);
   for (size_t l = 0; l < width; ++l) {
     t[l] = group.RandomScalar(rng);
-    proof.prod_t_a[l] = group.MulElems(group.GExp(t[l]), group.Exp(p_a[l], s));
-    proof.prod_t_b[l] = group.MulElems(group.Exp(h, t[l]), group.Exp(p_b[l], s));
+    BigInt h_t = h_table ? h_table->ExpSecret(t[l]) : group.ExpSecret(h, t[l]);
+    proof.prod_t_a[l] =
+        group.MulElems(group.GExpSecret(t[l]), group.ExpSecret(p_a[l], s));
+    proof.prod_t_b[l] = group.MulElems(h_t, group.ExpSecret(p_b[l], s));
     transcript.AppendElement(group, "shuf.prod.TA", proof.prod_t_a[l]);
     transcript.AppendElement(group, "shuf.prod.TB", proof.prod_t_b[l]);
   }
-  proof.prod_t_gamma = group.GExp(s);
+  proof.prod_t_gamma = group.GExpSecret(s);
   transcript.AppendElement(group, "shuf.prod.Tg", proof.prod_t_gamma);
 
   BigInt c2 = transcript.ChallengeScalar(group, "shuf.c2");
@@ -241,6 +331,8 @@ bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& 
       BigInt::Cmp(proof.prod_z_s, group.q()) >= 0) {
     return false;
   }
+  const bool fast = CryptoFastPathEnabled();
+  const size_t threads = DefaultCryptoThreads();
 
   Transcript transcript("dissent.shuffle.v1");
   AppendStatement(group, transcript, h, inputs, outputs);
@@ -248,9 +340,11 @@ bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& 
 
   std::vector<BigInt> e = DrawExponents(group, transcript, k);
   std::vector<BigInt> e_elems(k);
-  for (size_t i = 0; i < k; ++i) {
-    e_elems[i] = group.GExp(e[i]);
-  }
+  ParallelFor(k, threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      e_elems[i] = group.GExp(e[i]);
+    }
+  });
   for (size_t i = 0; i < k; ++i) {
     transcript.AppendElement(group, "shuf.F", proof.f_elems[i]);
   }
@@ -274,20 +368,64 @@ bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& 
     transcript.AppendElement(group, "shuf.bind.TQB", proof.bind_t_qb[l]);
   }
   BigInt c1 = transcript.ChallengeScalar(group, "shuf.c1");
-  for (size_t i = 0; i < k; ++i) {
-    // g^{z_i} == TF_i * F_i^{c1}
-    if (group.GExp(proof.bind_z[i]) !=
-        group.MulElems(proof.bind_t_f[i], group.Exp(proof.f_elems[i], c1))) {
+  if (!fast) {
+    for (size_t i = 0; i < k; ++i) {
+      // g^{z_i} == TF_i * F_i^{c1}
+      if (group.GExp(proof.bind_z[i]) !=
+          group.MulElems(proof.bind_t_f[i], group.Exp(proof.f_elems[i], c1))) {
+        return false;
+      }
+      transcript.AppendScalar(group, "shuf.bind.z", proof.bind_z[i]);
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      transcript.AppendScalar(group, "shuf.bind.z", proof.bind_z[i]);
+    }
+    // Fold the k per-index checks g^{z_i} == TF_i * F_i^{c1} into one
+    // relation under deterministic weights (bound to c1 — which transitively
+    // binds the statement and commitments — plus the responses):
+    //   g^{sum v_i z_i} == prod TF_i^{v_i} * prod F_i^{c1 v_i}.
+    Transcript wt("dissent.shuffle.bind.batchverify.v1");
+    wt.AppendScalar(group, "c1", c1);
+    for (size_t i = 0; i < k; ++i) {
+      wt.AppendScalar(group, "z", proof.bind_z[i]);
+    }
+    BigInt combined(0);
+    std::vector<BigInt> bases;
+    std::vector<BigInt> exps;
+    bases.reserve(2 * k);
+    exps.reserve(2 * k);
+    for (size_t i = 0; i < k; ++i) {
+      BigInt v = DrawBatchWeight128(wt, "u");
+      combined = group.AddScalars(combined, group.MulScalars(v, proof.bind_z[i]));
+      bases.push_back(proof.bind_t_f[i]);
+      exps.push_back(v);
+      bases.push_back(proof.f_elems[i]);
+      exps.push_back(group.MulScalars(c1, v));
+    }
+    if (group.GExp(combined) != MultiExp(group, bases, exps, threads)) {
       return false;
     }
-    transcript.AppendScalar(group, "shuf.bind.z", proof.bind_z[i]);
+  }
+  std::vector<std::vector<Group::Elem>> out_a, out_b, in_a, in_b;
+  if (fast) {
+    out_a = ColumnElems(group, outputs, /*b_component=*/false, threads);
+    out_b = ColumnElems(group, outputs, /*b_component=*/true, threads);
+    in_a = ColumnElems(group, inputs, /*b_component=*/false, threads);
+    in_b = ColumnElems(group, inputs, /*b_component=*/true, threads);
   }
   for (size_t l = 0; l < width; ++l) {
-    BigInt lhs_a = group.Identity();
-    BigInt lhs_b = group.Identity();
-    for (size_t i = 0; i < k; ++i) {
-      lhs_a = group.MulElems(lhs_a, group.Exp(outputs[i][l].a, proof.bind_z[i]));
-      lhs_b = group.MulElems(lhs_b, group.Exp(outputs[i][l].b, proof.bind_z[i]));
+    BigInt lhs_a, lhs_b;
+    if (fast) {
+      lhs_a = MultiExp(group, out_a[l], proof.bind_z, threads);
+      lhs_b = MultiExp(group, out_b[l], proof.bind_z, threads);
+    } else {
+      lhs_a = group.Identity();
+      lhs_b = group.Identity();
+      for (size_t i = 0; i < k; ++i) {
+        lhs_a = group.MulElems(lhs_a, group.Exp(outputs[i][l].a, proof.bind_z[i]));
+        lhs_b = group.MulElems(lhs_b, group.Exp(outputs[i][l].b, proof.bind_z[i]));
+      }
     }
     if (lhs_a != group.MulElems(proof.bind_t_qa[l], group.Exp(proof.q_a[l], c1))) {
       return false;
@@ -299,10 +437,17 @@ bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& 
 
   // Layer 3.
   std::vector<BigInt> p_a(width, group.Identity()), p_b(width, group.Identity());
-  for (size_t i = 0; i < k; ++i) {
+  if (fast) {
     for (size_t l = 0; l < width; ++l) {
-      p_a[l] = group.MulElems(p_a[l], group.Exp(inputs[i][l].a, e[i]));
-      p_b[l] = group.MulElems(p_b[l], group.Exp(inputs[i][l].b, e[i]));
+      p_a[l] = MultiExp(group, in_a[l], e, threads);
+      p_b[l] = MultiExp(group, in_b[l], e, threads);
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t l = 0; l < width; ++l) {
+        p_a[l] = group.MulElems(p_a[l], group.Exp(inputs[i][l].a, e[i]));
+        p_b[l] = group.MulElems(p_b[l], group.Exp(inputs[i][l].b, e[i]));
+      }
     }
   }
   for (size_t l = 0; l < width; ++l) {
@@ -317,6 +462,7 @@ bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& 
       group.MulElems(proof.prod_t_gamma, group.Exp(proof.gamma_commit, c2))) {
     return false;
   }
+  auto h_table = group.CachedTable(h);
   for (size_t l = 0; l < width; ++l) {
     // g^{z_t} * PA^{z_s} == TA * QA^{c2}
     BigInt lhs = group.MulElems(group.GExp(proof.prod_z_t[l]),
@@ -326,7 +472,8 @@ bool ShuffleVerify(const Group& group, const BigInt& h, const CiphertextMatrix& 
       return false;
     }
     // h^{z_t} * PB^{z_s} == TB * QB^{c2}
-    lhs = group.MulElems(group.Exp(h, proof.prod_z_t[l]), group.Exp(p_b[l], proof.prod_z_s));
+    BigInt h_zt = h_table ? h_table->Exp(proof.prod_z_t[l]) : group.Exp(h, proof.prod_z_t[l]);
+    lhs = group.MulElems(h_zt, group.Exp(p_b[l], proof.prod_z_s));
     rhs = group.MulElems(proof.prod_t_b[l], group.Exp(proof.q_b[l], c2));
     if (lhs != rhs) {
       return false;

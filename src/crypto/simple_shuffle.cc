@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "src/crypto/multiexp.h"
+
 namespace dissent {
 
 namespace {
@@ -19,7 +21,10 @@ BigInt DrawShift(const Group& group, Transcript& transcript, const std::vector<B
   return transcript.ChallengeScalar(group, "sshuf.t");
 }
 
-// Builds the 2k ILMPP statement sequences from the public values.
+// Builds the 2k ILMPP statement sequences from the public values. The two
+// shift products run in the Montgomery domain: the shift factors are
+// converted to Elem once and each sequence entry costs one conversion + one
+// MontMul instead of a full ModMul round trip per element.
 void BuildSequences(const Group& group, const std::vector<BigInt>& xs,
                     const std::vector<BigInt>& ys, const BigInt& gamma_commit, const BigInt& t,
                     std::vector<BigInt>* seq_x, std::vector<BigInt>* seq_y) {
@@ -31,14 +36,28 @@ void BuildSequences(const Group& group, const std::vector<BigInt>& xs,
   seq_y->clear();
   seq_x->reserve(2 * k);
   seq_y->reserve(2 * k);
-  for (size_t i = 0; i < k; ++i) {
-    seq_x->push_back(group.MulElems(xs[i], g_neg_t));
-  }
-  for (size_t i = 0; i < k; ++i) {
-    seq_x->push_back(gamma_commit);
-  }
-  for (size_t i = 0; i < k; ++i) {
-    seq_y->push_back(group.MulElems(ys[i], gamma_neg_t));
+  if (CryptoFastPathEnabled()) {
+    Group::Elem g_shift = group.ToElem(g_neg_t);
+    Group::Elem gamma_shift = group.ToElem(gamma_neg_t);
+    for (size_t i = 0; i < k; ++i) {
+      seq_x->push_back(group.FromElem(group.MulElems(group.ToElem(xs[i]), g_shift)));
+    }
+    for (size_t i = 0; i < k; ++i) {
+      seq_x->push_back(gamma_commit);
+    }
+    for (size_t i = 0; i < k; ++i) {
+      seq_y->push_back(group.FromElem(group.MulElems(group.ToElem(ys[i]), gamma_shift)));
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      seq_x->push_back(group.MulElems(xs[i], g_neg_t));
+    }
+    for (size_t i = 0; i < k; ++i) {
+      seq_x->push_back(gamma_commit);
+    }
+    for (size_t i = 0; i < k; ++i) {
+      seq_y->push_back(group.MulElems(ys[i], gamma_neg_t));
+    }
   }
   for (size_t i = 0; i < k; ++i) {
     seq_y->push_back(group.g());

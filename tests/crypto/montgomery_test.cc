@@ -62,6 +62,32 @@ TEST_P(MontgomeryWidthTest, ExpMatchesSquareAndMultiply) {
   }
 }
 
+TEST_P(MontgomeryWidthTest, ExpSecretMatchesExpAcrossWidths) {
+  Rng rng(13 + GetParam());
+  BigInt n = RandomBig(rng, GetParam());
+  if (!n.IsOdd()) {
+    n = BigInt::Add(n, BigInt(1));
+  }
+  if (n.BitLength() < 2) {
+    n = BigInt(0x10001);
+  }
+  Montgomery mont(n);
+  for (int iter = 0; iter < 6; ++iter) {
+    BigInt a = RandomBig(rng, GetParam());
+    BigInt e = RandomBig(rng, 16);
+    // The fixed schedule must tolerate any exp_bits >= e.BitLength(),
+    // including window counts that are not limb-aligned.
+    for (size_t slack : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
+      EXPECT_EQ(mont.ExpSecret(a, e, e.BitLength() + slack), mont.Exp(a, e));
+    }
+  }
+  // Edge exponents under a fixed 128-bit schedule.
+  BigInt a = RandomBig(rng, GetParam());
+  for (uint64_t e : {uint64_t{0}, uint64_t{1}, uint64_t{2}, uint64_t{15}, uint64_t{16}}) {
+    EXPECT_EQ(mont.ExpSecret(a, BigInt(e), 128), mont.Exp(a, BigInt(e)));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Widths, MontgomeryWidthTest,
                          ::testing::Values(8, 16, 17, 32, 33, 64, 128, 256));
 
