@@ -97,9 +97,16 @@ real_1k_sched="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/100
 shared_5k="$(jq '[.benchmarks[] | select(.name | contains("ProtocolScale/5000/1")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 disrupt_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolDisruption/1000")) | .rounds_per_sim_sec] | first' "$protocol_out")"
 disrupt_blames="$(jq '[.benchmarks[] | select(.name | contains("ProtocolDisruption/1000")) | .blames_completed] | first' "$protocol_out")"
+faults_rps="$(jq '[.benchmarks[] | select(.name | contains("ProtocolFaults/1000")) | .rounds_per_sim_sec] | first' "$protocol_out")"
+faults_recover="$(jq '[.benchmarks[] | select(.name | contains("ProtocolFaults/1000")) | .rounds_to_recover] | first' "$protocol_out")"
+faults_overhead="$(jq '[.benchmarks[] | select(.name | contains("ProtocolFaults/1000")) | .retransmit_overhead] | first' "$protocol_out")"
+faults_recovered="$(jq '[.benchmarks[] | select(.name | contains("ProtocolFaults/1000")) | .rounds_recovered] | first' "$protocol_out")"
 echo "wrote $protocol_out ($flavor)"
 echo "  100 clients: sequential ${seq_rps} rounds/sim-s, pipelined-x2 ${pipe_rps}"
 echo "  1000 clients: per-message ${legacy_1k} rounds/sim-s, shared-broadcast ${shared_1k}"
 echo "  1000 clients + REAL verified shuffle: ${real_1k} rounds/sim-s (cascade setup ${real_1k_sched}s)"
 echo "  5000 clients: shared-broadcast ${shared_5k} rounds/sim-s"
 echo "  1000 clients + disruptor (§3.9 blame inline): ${disrupt_rps} rounds/sim-s, ${disrupt_blames} blame(s) resolved"
+echo "  1000 clients + fault matrix (1% loss/dup, 5% reorder, 30 sim-s outage):" \
+     "${faults_rps} rounds/sim-s, ${faults_recovered} rounds after restart," \
+     "recovery ${faults_recover} round-times, retransmit overhead ${faults_overhead}x"

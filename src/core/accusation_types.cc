@@ -62,6 +62,18 @@ Bytes BlameRowSigningBytes(uint64_t session, uint32_t client_index, const Bytes&
   return w.Take();
 }
 
+Bytes VerdictSigningBytes(uint64_t session, uint32_t server_index, uint64_t round,
+                          uint8_t kind, uint32_t culprit) {
+  Writer w;
+  w.Str("dissent.blame.verdict.v1");
+  w.U64(session);
+  w.U32(server_index);
+  w.U64(round);
+  w.U8(kind);
+  w.U32(culprit);
+  return w.Take();
+}
+
 Bytes Rebuttal::Serialize(const Group& group) const {
   Writer w;
   w.U32(client_index);

@@ -68,6 +68,14 @@ Bytes BlameAnswerSigningBytes(uint64_t session, uint32_t client_index, uint64_t 
 // elsewhere (e.g. to shadow a victim's accusation out of the shuffle).
 Bytes BlameRowSigningBytes(uint64_t session, uint32_t client_index, const Bytes& row);
 
+// Canonical bytes a server signs over its blame-verdict share (the full
+// verdict context, bound to the signing server). No engine acts on an
+// expulsion until it holds one valid signature from *every* server over an
+// identical (session, round, kind, culprit) context — a unilateral or
+// equivocated verdict degrades to inconclusive instead of an expulsion.
+Bytes VerdictSigningBytes(uint64_t session, uint32_t server_index, uint64_t round,
+                          uint8_t kind, uint32_t culprit);
+
 }  // namespace dissent
 
 #endif  // DISSENT_CORE_ACCUSATION_TYPES_H_

@@ -213,6 +213,26 @@ void DissentClient::CatchUp(uint64_t round, const Bytes& cleartext) {
   AdvanceSchedules(round, cleartext);
 }
 
+void DissentClient::AbortRound(uint64_t round) {
+  // Mirror DissentServer::AbortRound: advance the lagged schedule with an
+  // all-zero cleartext (every slot closes; owners re-request). Anything we
+  // placed in our slot for the aborted round never came out — put the head
+  // message back so a round abort degrades to a delay, not a silent loss.
+  auto sent_it = sent_records_.find(round);
+  if (sent_it != sent_records_.end() && sent_it->second.slot_open) {
+    auto payload = DecodeSlot(sent_it->second.own_region);
+    if (payload.has_value() && !payload->payload.empty()) {
+      outbox_.push_front(payload->payload);
+    }
+  }
+  sent_records_.erase(sent_records_.begin(), sent_records_.upper_bound(round));
+  if (!outbox_.empty() || pending_accusation_.has_value()) {
+    want_open_ = true;
+  }
+  Bytes zero(scheds_.front().TotalLength(), 0);
+  AdvanceSchedules(round, zero);
+}
+
 std::optional<SignedAccusation> DissentClient::TakeAccusation() {
   auto acc = pending_accusation_;
   pending_accusation_.reset();

@@ -82,6 +82,12 @@ class DissentClient {
   // sync using the signed output it fetches on reconnect.
   void CatchUp(uint64_t round, const Bytes& cleartext);
 
+  // A round the server fleet aborted (crash past the abort deadline): the
+  // schedule advances with an all-zero cleartext — every slot closes, all
+  // owners re-request — and the message we staged for the dead round goes
+  // back to the head of the outbox. Call in place of ProcessOutput/CatchUp.
+  void AbortRound(uint64_t round);
+
   // --- accusation (§3.9) ---
   bool HasPendingAccusation() const { return pending_accusation_.has_value(); }
   // The signed accusation to submit via the accusation shuffle.

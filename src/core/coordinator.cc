@@ -145,7 +145,7 @@ void Coordinator::DispatchServerActions(size_t j, ServerEngine::Actions actions)
     queue_.push_back({ServerPeer(static_cast<uint32_t>(j)), env.to, std::move(env.msg)});
   }
   for (const TimerRequest& t : actions.timers) {
-    timers_.push_back({vnow_ + t.delay_us, timer_seq_++, j, t.token});
+    timers_.push_back({vnow_ + t.delay_us, timer_seq_++, j, t.token, false});
     std::push_heap(timers_.begin(), timers_.end(), TimerLater());
   }
   for (ServerEngine::RoundDone& done : actions.done) {
@@ -183,6 +183,10 @@ void Coordinator::DispatchClientActions(size_t i, ClientEngine::Actions actions)
   for (Envelope& env : actions.out) {
     queue_.push_back({ClientPeer(static_cast<uint32_t>(i)), env.to, std::move(env.msg)});
   }
+  for (const TimerRequest& t : actions.timers) {
+    timers_.push_back({vnow_ + t.delay_us, timer_seq_++, i, t.token, true});
+    std::push_heap(timers_.begin(), timers_.end(), TimerLater());
+  }
   for (ClientEngine::Delivery& d : actions.delivered) {
     assert(d.signatures_ok);
     last_seen_round_[i] = d.round;
@@ -210,6 +214,9 @@ void Coordinator::DeliverNextQueued() {
        (expelled_clients_.count(qm.to.index) != 0 &&
         !std::holds_alternative<wire::BlameVerdict>(*qm.msg)))) {
     return;
+  }
+  if (filter_ && !filter_(qm.from, qm.to, *qm.msg)) {
+    return;  // test-injected in-flight drop
   }
   // Adversarial in-flight tampering (§3.9 test hooks). The payload may be
   // shared with sibling broadcast envelopes, so tamper on a private copy.
@@ -243,12 +250,15 @@ void Coordinator::DeliverNextQueued() {
   if (is_blame) {
     deliver_start = std::chrono::steady_clock::now();
   }
-  if (qm.to.kind == Peer::Kind::kServer) {
-    DispatchServerActions(
-        qm.to.index, server_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg, vnow_));
-  } else {
-    DispatchClientActions(qm.to.index,
-                          client_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg));
+  const int copies = duplicate_delivery_ ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    if (qm.to.kind == Peer::Kind::kServer) {
+      DispatchServerActions(
+          qm.to.index, server_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg, vnow_));
+    } else {
+      DispatchClientActions(
+          qm.to.index, client_engines_[qm.to.index]->HandleMessage(qm.from, *qm.msg, vnow_));
+    }
   }
   if (is_blame) {
     const bool is_shuffle_leg = std::holds_alternative<wire::BlameStart>(*qm.msg) ||
@@ -266,7 +276,11 @@ void Coordinator::FireEarliestTimer() {
   PendingTimer t = timers_.back();
   timers_.pop_back();
   vnow_ = std::max(vnow_, t.due);
-  DispatchServerActions(t.server, server_engines_[t.server]->HandleTimer(t.token, vnow_));
+  if (t.client_owned) {
+    DispatchClientActions(t.owner, client_engines_[t.owner]->HandleTimer(t.token, vnow_));
+  } else {
+    DispatchServerActions(t.owner, server_engines_[t.owner]->HandleTimer(t.token, vnow_));
+  }
 }
 
 bool Coordinator::RoundResolved(uint64_t round) const {
@@ -296,7 +310,7 @@ Coordinator::RoundOutcome Coordinator::RunRound() {
     if (!online_[i] || expelled_clients_.count(i) != 0) {
       continue;
     }
-    DispatchClientActions(i, client_engines_[i]->SubmitRound(round));
+    DispatchClientActions(i, client_engines_[i]->SubmitRound(round, vnow_));
   }
 
   // Pump: deliver everything in flight; when the system goes quiet, fire the
@@ -350,11 +364,13 @@ Coordinator::RoundOutcome Coordinator::RunRound() {
   }
   auto stale = std::remove_if(timers_.begin(), timers_.end(),
                               [round, blame_live](const PendingTimer& t) {
-                                const bool blame_token = (t.token & 3) >= 2;
-                                if (blame_token && blame_live) {
+                                // Client timers are self-rearming heartbeats
+                                // (retransmit/resync) — never stale by round.
+                                if (t.client_owned) {
                                   return false;
                                 }
-                                return (t.token >> 2) <= round;
+                                return ServerEngine::TimerStaleAfterRound(t.token, round,
+                                                                          blame_live);
                               });
   if (stale != timers_.end()) {
     timers_.erase(stale, timers_.end());

@@ -33,6 +33,7 @@
 #define DISSENT_CORE_COORDINATOR_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -122,6 +123,16 @@ class Coordinator {
   void InjectEquivocatingServer(size_t server_index);
   // Server lies about one client's pad bit during accusation tracing.
   void InjectTraceLiar(size_t server_index, size_t about_client);
+  // Every queued envelope is delivered twice (idempotency property tests:
+  // engines must produce byte-identical cleartexts under duplication).
+  void SetDuplicateDelivery(bool on) { duplicate_delivery_ = on; }
+  // Generic in-flight filter: return false to drop the envelope. Lets tests
+  // sever specific message types (e.g. one server's VerdictShare frames) to
+  // probe degradation paths the network transport would need fault timing
+  // to hit.
+  using MessageFilter = std::function<bool(const Peer& from, const Peer& to,
+                                           const WireMessage& msg)>;
+  void SetMessageFilter(MessageFilter filter) { filter_ = std::move(filter); }
 
  private:
   struct RoundRecord {
@@ -135,8 +146,9 @@ class Coordinator {
   struct PendingTimer {
     int64_t due;
     uint64_t seq;
-    size_t server;
+    size_t owner;       // server index, or client index when client_owned
     uint64_t token;
+    bool client_owned;  // client engines request timers too (PR 6 reliability)
   };
   struct TimerLater {
     bool operator()(const PendingTimer& a, const PendingTimer& b) const {
@@ -194,6 +206,8 @@ class Coordinator {
   };
   std::optional<DisruptorHook> disruptor_;
   std::optional<size_t> equivocator_;
+  bool duplicate_delivery_ = false;
+  MessageFilter filter_;
 
   // Most recent engine blame verdict (server 0's report) not yet consumed by
   // RunAccusationPhase, plus the wall-clock phase buckets accumulated while

@@ -36,7 +36,8 @@ bool IsBlameGossip(const WireMessage& msg) {
   return std::holds_alternative<wire::BlameRoster>(msg) ||
          std::holds_alternative<wire::BlameMix>(msg) ||
          std::holds_alternative<wire::TraceEvidence>(msg) ||
-         std::holds_alternative<wire::BlameRebuttal>(msg);
+         std::holds_alternative<wire::BlameRebuttal>(msg) ||
+         std::holds_alternative<wire::VerdictShare>(msg);
 }
 
 uint64_t BlameSessionOf(const WireMessage& msg) {
@@ -52,10 +53,235 @@ uint64_t BlameSessionOf(const WireMessage& msg) {
   if (const auto* m = std::get_if<wire::BlameRebuttal>(&msg)) {
     return m->session;
   }
+  if (const auto* m = std::get_if<wire::VerdictShare>(&msg)) {
+    return m->session;
+  }
   return 0;
 }
 
+uint64_t PeerKey(const Peer& p) {
+  return (static_cast<uint64_t>(p.kind) << 32) | p.index;
+}
+
+// RoundSummary frames answered per CatchUpRequest (a lagging client asks
+// again once these are ingested).
+constexpr size_t kCatchUpBatch = 64;
+// Receive-window flood guard: sequence numbers this far beyond the
+// cumulative frontier are hostile (an honest sender's pending set is
+// bounded by its own unacked traffic, which retransmission keeps small).
+constexpr uint64_t kRecvWindow = 4096;
+// Sack bitmap covers (cum, cum + kSackSpan]; frames beyond it are simply
+// retransmitted until the cumulative frontier advances.
+constexpr uint64_t kSackSpan = 64;
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// ReliableMailbox
+// ---------------------------------------------------------------------------
+
+ReliableMailbox::Link& ReliableMailbox::LinkFor(const Peer& peer) {
+  Link& l = links_[PeerKey(peer)];
+  l.peer = peer;
+  return l;
+}
+
+void ReliableMailbox::WrapOutgoing(std::vector<Envelope>& out, uint32_t self, int64_t now_us) {
+  if (!cfg_.enabled) {
+    return;
+  }
+  for (Envelope& env : out) {
+    // Broadcast fan-outs stay unreliable (clients recover via catch-up);
+    // Ack and already-wrapped frames (retransmissions) pass through.
+    if (env.to.kind == Peer::Kind::kAttachedClients ||
+        std::holds_alternative<wire::Ack>(*env.msg) ||
+        std::holds_alternative<wire::Reliable>(*env.msg)) {
+      continue;
+    }
+    Link& l = LinkFor(env.to);
+    const uint64_t seq = l.next_seq++;
+    wire::Reliable rel;
+    rel.seq = seq;
+    rel.from_id = self;
+    rel.to_id = env.to.index;
+    rel.inner = SerializeWire(*env.msg);
+    auto wrapped = std::make_shared<const WireMessage>(std::move(rel));
+    l.pending.emplace(seq, Pending{wrapped, now_us + cfg_.rto_us, cfg_.rto_us});
+    env.msg = std::move(wrapped);
+  }
+}
+
+void ReliableMailbox::EmitAck(const Link& l, uint32_t self, std::vector<Envelope>& out) const {
+  wire::Ack ack;
+  ack.seq = l.cum;
+  ack.from_id = self;
+  ack.to_id = l.peer.index;
+  uint64_t max_off = 0;
+  for (uint64_t s : l.ooo) {
+    if (s > l.cum && s <= l.cum + kSackSpan) {
+      max_off = std::max(max_off, s - l.cum);
+    }
+  }
+  if (max_off > 0) {
+    // Sized to the highest set bit, so the canonical no-trailing-zero-byte
+    // wire rule holds by construction.
+    ack.sack.assign((max_off + 7) / 8, 0);
+    for (uint64_t s : l.ooo) {
+      if (s > l.cum && s <= l.cum + kSackSpan) {
+        const uint64_t k = s - l.cum - 1;
+        ack.sack[k / 8] |= static_cast<uint8_t>(1u << (k % 8));
+      }
+    }
+  }
+  out.push_back({l.peer, std::make_shared<const WireMessage>(std::move(ack))});
+}
+
+ReliableMailbox::Recv ReliableMailbox::OnReliable(const Peer& from, const wire::Reliable& rel,
+                                                  uint32_t self,
+                                                  std::shared_ptr<const WireMessage>* inner,
+                                                  std::vector<Envelope>& out) {
+  if (!cfg_.enabled || rel.seq == 0) {
+    return Recv::kMalformed;
+  }
+  Link& l = LinkFor(from);
+  if (rel.seq > l.cum + kRecvWindow) {
+    return Recv::kMalformed;  // flood guard: not even worth an ack
+  }
+  const bool fresh = rel.seq > l.cum && l.ooo.count(rel.seq) == 0;
+  if (fresh) {
+    if (rel.seq == l.cum + 1) {
+      ++l.cum;
+      while (l.ooo.erase(l.cum + 1) != 0) {
+        ++l.cum;
+      }
+    } else {
+      l.ooo.insert(rel.seq);
+    }
+  }
+  // Always ack — a lost ack makes the sender retransmit, and the dedup
+  // above makes that retransmission harmless.
+  EmitAck(l, self, out);
+  if (!fresh) {
+    return Recv::kDuplicate;
+  }
+  auto parsed = ParseWire(rel.inner);
+  if (!parsed.has_value()) {
+    return Recv::kMalformed;
+  }
+  *inner = std::make_shared<const WireMessage>(std::move(*parsed));
+  return Recv::kDeliver;
+}
+
+void ReliableMailbox::OnAck(const Peer& from, const wire::Ack& ack) {
+  if (!cfg_.enabled) {
+    return;
+  }
+  auto it = links_.find(PeerKey(from));
+  if (it == links_.end()) {
+    return;
+  }
+  Link& l = it->second;
+  l.pending.erase(l.pending.begin(), l.pending.upper_bound(ack.seq));
+  for (size_t k = 0; k < ack.sack.size() * 8; ++k) {
+    if ((ack.sack[k / 8] >> (k % 8)) & 1) {
+      l.pending.erase(ack.seq + 1 + k);
+    }
+  }
+}
+
+void ReliableMailbox::Sweep(int64_t now_us, std::vector<Envelope>& out) {
+  for (auto& [key, l] : links_) {
+    (void)key;
+    for (auto& [seq, p] : l.pending) {
+      (void)seq;
+      if (p.due_us > now_us) {
+        continue;
+      }
+      p.rto_us = std::min<int64_t>(p.rto_us * 2, cfg_.max_rto_us);
+      p.due_us = now_us + p.rto_us;
+      out.push_back({l.peer, p.frame});
+      ++retransmits_;
+    }
+  }
+}
+
+bool ReliableMailbox::HasPending() const {
+  for (const auto& [key, l] : links_) {
+    (void)key;
+    if (!l.pending.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReliableMailbox::SerializeTo(Writer& w) const {
+  w.U32(static_cast<uint32_t>(links_.size()));
+  for (const auto& [key, l] : links_) {
+    (void)key;
+    w.U8(static_cast<uint8_t>(l.peer.kind));
+    w.U32(l.peer.index);
+    w.U64(l.next_seq);
+    w.U64(l.cum);
+    w.U32(static_cast<uint32_t>(l.ooo.size()));
+    for (uint64_t s : l.ooo) {
+      w.U64(s);
+    }
+    w.U32(static_cast<uint32_t>(l.pending.size()));
+    for (const auto& [seq, p] : l.pending) {
+      w.U64(seq);
+      w.Blob(SerializeWire(*p.frame));
+    }
+  }
+}
+
+bool ReliableMailbox::RestoreFrom(Reader& r) {
+  links_.clear();
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > (1u << 16)) {
+    return false;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t kind = 0;
+    uint32_t idx = 0;
+    if (!r.U8(&kind) || kind > static_cast<uint8_t>(Peer::Kind::kAttachedClients) ||
+        !r.U32(&idx)) {
+      return false;
+    }
+    Link& l = LinkFor(Peer{static_cast<Peer::Kind>(kind), idx});
+    uint32_t n_ooo = 0;
+    uint32_t n_pending = 0;
+    if (!r.U64(&l.next_seq) || !r.U64(&l.cum) || !r.U32(&n_ooo) || n_ooo > kRecvWindow) {
+      return false;
+    }
+    for (uint32_t k = 0; k < n_ooo; ++k) {
+      uint64_t s = 0;
+      if (!r.U64(&s)) {
+        return false;
+      }
+      l.ooo.insert(s);
+    }
+    if (!r.U32(&n_pending) || n_pending > kRecvWindow) {
+      return false;
+    }
+    for (uint32_t k = 0; k < n_pending; ++k) {
+      uint64_t seq = 0;
+      Bytes frame;
+      if (!r.U64(&seq) || !r.Blob(&frame)) {
+        return false;
+      }
+      auto parsed = ParseWire(frame);
+      if (!parsed.has_value() || !std::holds_alternative<wire::Reliable>(*parsed)) {
+        return false;
+      }
+      // Due immediately, back at the initial timeout: the restart itself is
+      // the backoff.
+      l.pending.emplace(
+          seq, Pending{std::make_shared<const WireMessage>(std::move(*parsed)), 0, cfg_.rto_us});
+    }
+  }
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // ServerEngine
@@ -66,7 +292,8 @@ ServerEngine::ServerEngine(DissentServer* logic, const GroupDef& def, Config con
       def_(def),
       config_(std::move(config)),
       index_(logic->index()),
-      num_servers_(def.num_servers()) {
+      num_servers_(def.num_servers()),
+      mailbox_(config_.reliability) {
   assert(config_.pipeline_depth == logic_->pipeline_depth());
   rounds_.resize(std::max<size_t>(config_.pipeline_depth, 1));
   blame_width_ = MessageBlockWidth(def_, kAccusationBytes);
@@ -90,6 +317,7 @@ ServerEngine::Actions ServerEngine::StartSession(int64_t now_us) {
   for (size_t k = 0; k < config_.pipeline_depth; ++k) {
     StartRound(next_round_to_start_, now_us, a);
   }
+  Seal(a, now_us);
   return a;
 }
 
@@ -106,6 +334,7 @@ void ServerEngine::StartRound(uint64_t round, int64_t now_us, Actions& a) {
   st.started_us = now_us;
   st.window_closed = false;
   st.window_timer_armed = false;
+  st.window_close_at_us = 0;
   st.sent_commit = st.sent_ct = st.sent_sig = false;
   st.participation = 0;
   st.cleartext.clear();
@@ -114,6 +343,9 @@ void ServerEngine::StartRound(uint64_t round, int64_t now_us, Actions& a) {
   st.server_cts.assign(num_servers_, std::nullopt);
   st.sigs.assign(num_servers_, std::nullopt);
   a.timers.push_back({Token(round, kHardDeadline), config_.hard_deadline_us});
+  if (config_.abort_deadline_us > 0) {
+    a.timers.push_back({Token(round, kAbortDeadline), config_.abort_deadline_us});
+  }
   // Replay server-phase traffic that arrived before we opened this round.
   auto early = early_.find(round);
   if (early != early_.end()) {
@@ -131,13 +363,36 @@ ServerEngine::Actions ServerEngine::HandleMessage(const Peer& from, const WireMe
   if (halted_) {
     return a;
   }
+  // Reliability layer first: peel Reliable wrappers (ack + dedup) and
+  // consume Acks before any protocol dispatch.
+  if (const auto* ack = std::get_if<wire::Ack>(&msg)) {
+    mailbox_.OnAck(from, *ack);
+    Seal(a, now_us);
+    return a;
+  }
+  if (const auto* rel = std::get_if<wire::Reliable>(&msg)) {
+    std::shared_ptr<const WireMessage> inner;
+    if (mailbox_.OnReliable(from, *rel, static_cast<uint32_t>(index_), &inner, a.out) ==
+        ReliableMailbox::Recv::kDeliver) {
+      DispatchMessage(from, *inner, now_us, a);
+    }
+    Seal(a, now_us);
+    return a;
+  }
+  DispatchMessage(from, msg, now_us, a);
+  Seal(a, now_us);
+  return a;
+}
+
+void ServerEngine::DispatchMessage(const Peer& from, const WireMessage& msg, int64_t now_us,
+                                   Actions& a) {
   if (const auto* submit = std::get_if<wire::ClientSubmit>(&msg)) {
     if (from.kind != Peer::Kind::kClient || from.index != submit->client_id) {
-      return a;
+      return;
     }
     RoundState* st = FindRound(submit->round);
     if (st == nullptr || st->window_closed) {
-      return a;
+      return;
     }
     if (logic_->AcceptClientCiphertext(submit->round, submit->client_id, submit->ciphertext)) {
       if (submit->round > next_round_to_finish_) {
@@ -145,21 +400,31 @@ ServerEngine::Actions ServerEngine::HandleMessage(const Peer& from, const WireMe
       }
       MaybeArmWindowTimer(submit->round, now_us, a);
     }
-    return a;
+    return;
+  }
+  if (const auto* req = std::get_if<wire::CatchUpRequest>(&msg)) {
+    HandleCatchUpRequest(from, *req, a);
+    return;
+  }
+  if (const auto* abort = std::get_if<wire::RoundAbort>(&msg)) {
+    if (from.kind == Peer::Kind::kServer && from.index == abort->server_id &&
+        abort->server_id < num_servers_ && abort->server_id != index_) {
+      RecordAbortVote(abort->round, abort->server_id, now_us, a);
+    }
+    return;
   }
   if (std::holds_alternative<wire::AccusationSubmit>(msg) || IsBlameGossip(msg)) {
     HandleBlameMessage(from, msg, now_us, a);
-    return a;
+    return;
   }
   // Everything else is server-to-server gossip.
   if (from.kind != Peer::Kind::kServer) {
-    return a;
+    return;
   }
   HandleServerPhase(from.index, msg, now_us, a);
   // Any phase message can be the last missing piece (including the one that
   // lets us certify and add our own signature): always re-check completion.
   MaybeFinishRounds(now_us, a);
-  return a;
 }
 
 void ServerEngine::HandleServerPhase(uint32_t sender, const WireMessage& msg, int64_t now_us,
@@ -246,14 +511,23 @@ ServerEngine::Actions ServerEngine::HandleTimer(uint64_t token, int64_t now_us) 
   if (halted_) {
     return a;
   }
-  const uint64_t id = token >> 2;
-  const TimerKind kind = static_cast<TimerKind>(token & 3);
+  const uint64_t id = TimerTokenId(token);
+  const TimerKind kind = static_cast<TimerKind>(token & ((1ull << kTimerKindBits) - 1));
+  if (kind == kRetransmit) {
+    // The repeating mailbox sweep: re-send every due unacked frame; Seal
+    // re-arms the timer while anything is still pending.
+    retransmit_armed_ = false;
+    mailbox_.Sweep(now_us, a.out);
+    Seal(a, now_us);
+    return a;
+  }
   if (kind == kBlameCollect) {
     // Collection backstop: proceed with whoever answered (offline clients
     // never will; §3.6 silence is indistinguishable from departure).
     if (blame_.active && blame_.collecting && blame_.session == id) {
       CloseBlameCollection(now_us, a);
     }
+    Seal(a, now_us);
     return a;
   }
   if (kind == kBlameRebuttal) {
@@ -261,6 +535,26 @@ ServerEngine::Actions ServerEngine::HandleTimer(uint64_t token, int64_t now_us) 
     if (blame_.active && blame_.awaiting_rebuttal && blame_.session == id) {
       FinishBlame(wire::BlameVerdict::kClientExpelled, blame_.accused, now_us, a);
     }
+    Seal(a, now_us);
+    return a;
+  }
+  if (kind == kVerdictShares) {
+    // Agreement backstop: a share that never arrives (crashed or silent
+    // peer) downgrades the verdict — nobody is expelled on a verdict the
+    // whole fleet did not provably reach.
+    if (blame_.active && blame_.awaiting_shares && blame_.session == id) {
+      ConcludeBlame(wire::BlameVerdict::kInconclusive, 0, false, now_us, a);
+    }
+    Seal(a, now_us);
+    return a;
+  }
+  if (kind == kAbortDeadline) {
+    // The round is still unresolved this long after it opened: vote to
+    // abort it (the vote only carries once >= M-1 servers agree).
+    if (FindRound(id) != nullptr) {
+      RecordAbortVote(id, static_cast<uint32_t>(index_), now_us, a);
+    }
+    Seal(a, now_us);
     return a;
   }
   RoundState* st = FindRound(id);
@@ -269,6 +563,7 @@ ServerEngine::Actions ServerEngine::HandleTimer(uint64_t token, int64_t now_us) 
   }
   CloseWindow(id, a);
   MaybeFinishRounds(now_us, a);
+  Seal(a, now_us);
   return a;
 }
 
@@ -303,7 +598,9 @@ void ServerEngine::MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& 
   int64_t close_at =
       static_cast<int64_t>(static_cast<double>(elapsed) * config_.window_multiplier);
   st.window_timer_armed = true;
-  a.timers.push_back({Token(round, kWindowPolicy), std::max<int64_t>(close_at - elapsed, 0)});
+  const int64_t delay = std::max<int64_t>(close_at - elapsed, 0);
+  st.window_close_at_us = now_us + delay;  // absolute, for snapshot re-arming
+  a.timers.push_back({Token(round, kWindowPolicy), delay});
 }
 
 void ServerEngine::CloseWindow(uint64_t round, Actions& a) {
@@ -408,6 +705,14 @@ void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
     for (auto& sig : st.sigs) {
       out.signatures.push_back(*sig);
     }
+    if (config_.output_history > 0) {
+      wire::RoundSummary summary;
+      summary.round = round;
+      summary.aborted = false;
+      summary.cleartext = out.cleartext;
+      summary.signatures = out.signatures;
+      RetainSummary(std::move(summary));
+    }
     // One broadcast envelope for the whole attachment set: the transport
     // fans it out (per machine or per client) without the engine doing
     // per-client work.
@@ -429,6 +734,7 @@ void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
     const bool flagged = done.accusation_requested;
     a.done.push_back(std::move(done));
     st.active = false;
+    abort_votes_.erase(round);
     ++next_round_to_finish_;
     ++rounds_completed_;
     // Blame sub-phase trigger (§3.9): a flagged round suspends the pipeline
@@ -455,6 +761,413 @@ bool ServerEngine::AllPresent(const std::vector<std::optional<Bytes>>& v) const 
     }
   }
   return true;
+}
+
+void ServerEngine::Seal(Actions& a, int64_t now_us) {
+  if (!mailbox_.enabled()) {
+    return;
+  }
+  mailbox_.WrapOutgoing(a.out, static_cast<uint32_t>(index_), now_us);
+  if (mailbox_.HasPending() && !retransmit_armed_) {
+    retransmit_armed_ = true;
+    a.timers.push_back({Token(0, kRetransmit), config_.reliability.rto_us});
+  }
+}
+
+void ServerEngine::RetainSummary(wire::RoundSummary summary) {
+  if (config_.output_history == 0) {
+    return;
+  }
+  recent_.push_back(std::move(summary));
+  while (recent_.size() > config_.output_history) {
+    recent_.pop_front();
+  }
+}
+
+void ServerEngine::HandleCatchUpRequest(const Peer& from, const wire::CatchUpRequest& req,
+                                        Actions& a) {
+  // Only our own attached clients get history (the transport authenticated
+  // the claim; a client resyncing against a foreign server gets silence).
+  if (from.kind != Peer::Kind::kClient || from.index != req.client_id ||
+      !IsAttached(req.client_id) || logic_->IsExpelled(req.client_id)) {
+    return;
+  }
+  const uint64_t fin = next_round_to_finish_ - 1;
+  size_t sent = 0;
+  for (const auto& s : recent_) {
+    if (s.round <= req.have_round) {
+      continue;
+    }
+    if (sent == kCatchUpBatch) {
+      break;  // the client asks again once these are ingested
+    }
+    ++sent;
+    wire::RoundSummary copy = s;
+    copy.final_round = fin;
+    a.out.push_back(
+        {ClientPeer(req.client_id), std::make_shared<const WireMessage>(std::move(copy))});
+  }
+  // A gap older than the retained history cannot be served: the client
+  // stays stalled and a real deployment would re-admit it via a group
+  // re-form. recent_ is sized (output_history) to cover every outage the
+  // fault model can produce.
+}
+
+void ServerEngine::RecordAbortVote(uint64_t round, uint32_t server, int64_t now_us, Actions& a) {
+  if (config_.abort_deadline_us <= 0 || server >= num_servers_) {
+    return;
+  }
+  // Votes are only meaningful for rounds still unresolved and within the
+  // window any honest server could have open.
+  if (round < next_round_to_finish_ ||
+      round >= next_round_to_start_ + 2 * config_.pipeline_depth + 2) {
+    return;
+  }
+  auto& votes = abort_votes_[round];
+  if (votes.empty()) {
+    votes.assign(num_servers_, false);
+  }
+  if (votes[server]) {
+    return;
+  }
+  votes[server] = true;
+  if (server == index_) {
+    Broadcast(wire::RoundAbort{round, static_cast<uint32_t>(index_)}, a);
+  }
+  MaybeAbortRound(round, now_us, a);
+}
+
+void ServerEngine::MaybeAbortRound(uint64_t round, int64_t now_us, Actions& a) {
+  // Aborts resolve strictly at the finish frontier, like outputs, so every
+  // client sees one totally-ordered schedule history.
+  if (round != next_round_to_finish_) {
+    return;
+  }
+  auto it = abort_votes_.find(round);
+  if (it == abort_votes_.end()) {
+    return;
+  }
+  const std::vector<bool>& votes = it->second;
+  // Never abort a round we did not give up on ourselves, and require every
+  // server that could still be alive (>= M-1 of M) to agree. A server that
+  // can finish the round finishes it instead of voting; the residual race —
+  // one survivor certifying in the same instant its peers vote — is the
+  // classic asynchronous-consensus gap and is documented as out of scope
+  // (deployments re-form the group on server failure, §3.5).
+  if (!votes[index_]) {
+    return;
+  }
+  size_t n = 0;
+  for (bool v : votes) {
+    n += v ? 1 : 0;
+  }
+  if (n + 1 < num_servers_) {
+    return;
+  }
+  RoundState* st = FindRound(round);
+  const int64_t started = st != nullptr ? st->started_us : now_us;
+  if (st != nullptr) {
+    st->active = false;
+  }
+  // The logic advances every schedule with an all-zero cleartext — slots
+  // close, owners re-request — so clients and servers stay in lockstep
+  // through the gap.
+  logic_->AbortRound(round);
+  abort_votes_.erase(it);
+  ++next_round_to_finish_;
+  ++rounds_aborted_;
+  RoundDone done;
+  done.round = round;
+  done.completed = false;
+  done.aborted = true;
+  done.started_at_us = started;
+  a.done.push_back(std::move(done));
+  wire::RoundSummary summary;
+  summary.round = round;
+  summary.aborted = true;
+  RetainSummary(summary);
+  if (!config_.attached_clients.empty()) {
+    summary.final_round = next_round_to_finish_ - 1;
+    a.out.push_back({AttachedClientsPeer(static_cast<uint32_t>(index_)),
+                     std::make_shared<const WireMessage>(WireMessage(std::move(summary)))});
+  }
+  // Reopen the pipeline (or let a pending blame instance run now that the
+  // wedged round is out of the way).
+  if (blame_.pending) {
+    MaybeStartBlame(now_us, a);
+  } else if (!blame_.active) {
+    StartRound(next_round_to_start_, now_us, a);
+  }
+  MaybeFinishRounds(now_us, a);
+  MaybeAbortRound(next_round_to_finish_, now_us, a);
+}
+
+bool ServerEngine::TimerStaleAfterRound(uint64_t token, uint64_t round, bool blame_live) {
+  const uint64_t id = token >> kTimerKindBits;
+  switch (static_cast<TimerKind>(token & ((1ull << kTimerKindBits) - 1))) {
+    case kWindowPolicy:
+    case kHardDeadline:
+    case kAbortDeadline:
+      return id <= round;
+    case kBlameCollect:
+    case kBlameRebuttal:
+    case kVerdictShares:
+      return !blame_live && id <= round;
+    case kRetransmit:
+      return false;  // the repeating mailbox sweep is never stale
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ServerEngine: crash-recovery snapshot
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void WriteOptionalBlob(Writer& w, const std::optional<Bytes>& v) {
+  w.Bool(v.has_value());
+  if (v.has_value()) {
+    w.Blob(*v);
+  }
+}
+
+bool ReadOptionalBlob(Reader& r, std::optional<Bytes>* v) {
+  bool present = false;
+  if (!r.Bool(&present)) {
+    return false;
+  }
+  if (!present) {
+    v->reset();
+    return true;
+  }
+  Bytes b;
+  if (!r.Blob(&b)) {
+    return false;
+  }
+  *v = std::move(b);
+  return true;
+}
+
+constexpr char kSnapshotMagic[] = "dissent.engine.snap.v1";
+
+}  // namespace
+
+Bytes ServerEngine::SerializeSnapshot() const {
+  Writer w;
+  w.Str(kSnapshotMagic);
+  w.Blob(logic_->SerializeState());
+  w.U64(next_round_to_start_);
+  w.U64(next_round_to_finish_);
+  w.U64(rounds_completed_);
+  w.U64(pipelined_submissions_);
+  w.U64(blames_completed_);
+  w.U64(rounds_aborted_);
+  w.U32(static_cast<uint32_t>(last_participation_));
+  w.U32(static_cast<uint32_t>(last_window_observed_));
+  w.U32(static_cast<uint32_t>(expelled_attached_));
+  w.Bool(halted_);
+  // Of the blame machinery only the pending flag survives a crash: a crash
+  // during an *active* instance degrades to the peers' deadlines and an
+  // inconclusive verdict (documented limitation).
+  w.Bool(blame_.pending);
+  w.U64(blame_.session);
+  w.U32(static_cast<uint32_t>(rounds_.size()));
+  for (const RoundState& st : rounds_) {
+    w.U64(st.round);
+    w.Bool(st.active);
+    w.U64(static_cast<uint64_t>(st.started_us));
+    w.Bool(st.window_closed);
+    w.Bool(st.window_timer_armed);
+    w.U64(static_cast<uint64_t>(st.window_close_at_us));
+    w.U32(static_cast<uint32_t>(st.participation));
+    w.Blob(st.cleartext);
+    w.Bool(st.sent_commit);
+    w.Bool(st.sent_ct);
+    w.Bool(st.sent_sig);
+    for (const auto& inv : st.inventories) {
+      w.Bool(inv.has_value());
+      if (inv.has_value()) {
+        w.U32(static_cast<uint32_t>(inv->size()));
+        for (uint32_t id : *inv) {
+          w.U32(id);
+        }
+      }
+    }
+    for (const auto& c : st.commits) {
+      WriteOptionalBlob(w, c);
+    }
+    for (const auto& c : st.server_cts) {
+      WriteOptionalBlob(w, c);
+    }
+    for (const auto& s : st.sigs) {
+      WriteOptionalBlob(w, s);
+    }
+  }
+  // Gossip buffered for rounds not yet opened: acked frames peers will
+  // never retransmit, so they must ride the snapshot.
+  w.U32(static_cast<uint32_t>(early_.size()));
+  for (const auto& [round, msgs] : early_) {
+    w.U64(round);
+    w.U32(static_cast<uint32_t>(msgs.size()));
+    for (const auto& [sender, m] : msgs) {
+      w.U32(sender);
+      w.Blob(SerializeWire(m));
+    }
+  }
+  w.U32(static_cast<uint32_t>(recent_.size()));
+  for (const auto& s : recent_) {
+    w.Blob(SerializeWire(WireMessage(s)));
+  }
+  mailbox_.SerializeTo(w);
+  return w.Take();
+}
+
+std::optional<ServerEngine::Actions> ServerEngine::RestoreSnapshot(const Bytes& snapshot,
+                                                                   int64_t now_us) {
+  Reader r(snapshot);
+  std::string magic;
+  Bytes logic_state;
+  if (!r.Str(&magic) || magic != kSnapshotMagic || !r.Blob(&logic_state) ||
+      !logic_->RestoreState(logic_state)) {
+    return std::nullopt;
+  }
+  uint32_t participation = 0, window_observed = 0, expelled = 0, n_rounds = 0;
+  if (!r.U64(&next_round_to_start_) || !r.U64(&next_round_to_finish_) ||
+      !r.U64(&rounds_completed_) || !r.U64(&pipelined_submissions_) ||
+      !r.U64(&blames_completed_) || !r.U64(&rounds_aborted_) || !r.U32(&participation) ||
+      !r.U32(&window_observed) || !r.U32(&expelled) || !r.Bool(&halted_)) {
+    return std::nullopt;
+  }
+  last_participation_ = participation;
+  last_window_observed_ = window_observed;
+  expelled_attached_ = expelled;
+  blame_ = BlameState{};
+  blame_early_.clear();
+  if (!r.Bool(&blame_.pending) || !r.U64(&blame_.session)) {
+    return std::nullopt;
+  }
+  if (!r.U32(&n_rounds) || n_rounds != rounds_.size()) {
+    return std::nullopt;
+  }
+  for (RoundState& st : rounds_) {
+    uint64_t started = 0, close_at = 0;
+    uint32_t part = 0;
+    if (!r.U64(&st.round) || !r.Bool(&st.active) || !r.U64(&started) ||
+        !r.Bool(&st.window_closed) || !r.Bool(&st.window_timer_armed) || !r.U64(&close_at) ||
+        !r.U32(&part) || !r.Blob(&st.cleartext) || !r.Bool(&st.sent_commit) ||
+        !r.Bool(&st.sent_ct) || !r.Bool(&st.sent_sig)) {
+      return std::nullopt;
+    }
+    st.started_us = static_cast<int64_t>(started);
+    st.window_close_at_us = static_cast<int64_t>(close_at);
+    st.participation = part;
+    st.inventories.assign(num_servers_, std::nullopt);
+    st.commits.assign(num_servers_, std::nullopt);
+    st.server_cts.assign(num_servers_, std::nullopt);
+    st.sigs.assign(num_servers_, std::nullopt);
+    for (auto& inv : st.inventories) {
+      bool present = false;
+      if (!r.Bool(&present)) {
+        return std::nullopt;
+      }
+      if (present) {
+        uint32_t n = 0;
+        if (!r.U32(&n) || static_cast<size_t>(n) > r.remaining() / 4) {
+          return std::nullopt;
+        }
+        std::vector<uint32_t> ids(n);
+        for (uint32_t& id : ids) {
+          if (!r.U32(&id)) {
+            return std::nullopt;
+          }
+        }
+        inv = std::move(ids);
+      }
+    }
+    for (auto& c : st.commits) {
+      if (!ReadOptionalBlob(r, &c)) {
+        return std::nullopt;
+      }
+    }
+    for (auto& c : st.server_cts) {
+      if (!ReadOptionalBlob(r, &c)) {
+        return std::nullopt;
+      }
+    }
+    for (auto& s : st.sigs) {
+      if (!ReadOptionalBlob(r, &s)) {
+        return std::nullopt;
+      }
+    }
+  }
+  early_.clear();
+  uint32_t n_early = 0;
+  if (!r.U32(&n_early) || n_early > (1u << 16)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n_early; ++i) {
+    uint64_t round = 0;
+    uint32_t n_msgs = 0;
+    if (!r.U64(&round) || !r.U32(&n_msgs) || n_msgs > (1u << 16)) {
+      return std::nullopt;
+    }
+    auto& slot = early_[round];
+    for (uint32_t k = 0; k < n_msgs; ++k) {
+      uint32_t sender = 0;
+      Bytes frame;
+      if (!r.U32(&sender) || !r.Blob(&frame)) {
+        return std::nullopt;
+      }
+      auto parsed = ParseWire(frame);
+      if (!parsed.has_value()) {
+        return std::nullopt;
+      }
+      slot.emplace_back(sender, std::move(*parsed));
+    }
+  }
+  recent_.clear();
+  uint32_t n_recent = 0;
+  if (!r.U32(&n_recent) || n_recent > (1u << 16)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n_recent; ++i) {
+    Bytes frame;
+    if (!r.Blob(&frame)) {
+      return std::nullopt;
+    }
+    auto parsed = ParseWire(frame);
+    if (!parsed.has_value() || !std::holds_alternative<wire::RoundSummary>(*parsed)) {
+      return std::nullopt;
+    }
+    recent_.push_back(std::get<wire::RoundSummary>(std::move(*parsed)));
+  }
+  if (!mailbox_.RestoreFrom(r) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  // Re-arm every backstop the crash erased. Elapsed in-crash time counts
+  // against the deadlines (a deadline already past fires immediately).
+  Actions a;
+  for (const RoundState& st : rounds_) {
+    if (!st.active) {
+      continue;
+    }
+    a.timers.push_back({Token(st.round, kHardDeadline),
+                        std::max<int64_t>(st.started_us + config_.hard_deadline_us - now_us, 0)});
+    if (st.window_timer_armed && !st.window_closed) {
+      a.timers.push_back(
+          {Token(st.round, kWindowPolicy), std::max<int64_t>(st.window_close_at_us - now_us, 0)});
+    }
+    if (config_.abort_deadline_us > 0) {
+      a.timers.push_back(
+          {Token(st.round, kAbortDeadline),
+           std::max<int64_t>(st.started_us + config_.abort_deadline_us - now_us, 0)});
+    }
+  }
+  retransmit_armed_ = false;
+  MaybeStartBlame(now_us, a);
+  Seal(a, now_us);
+  return a;
 }
 
 // ---------------------------------------------------------------------------
@@ -488,6 +1201,7 @@ void ServerEngine::MaybeStartBlame(int64_t now_us, Actions& a) {
   blame_.rosters.assign(num_servers_, std::nullopt);
   blame_.mix_steps.assign(num_servers_, std::nullopt);
   blame_.disclosures.assign(num_servers_, std::nullopt);
+  blame_.shares.assign(num_servers_, std::nullopt);
   if (!config_.attached_clients.empty()) {
     a.out.push_back({AttachedClientsPeer(static_cast<uint32_t>(index_)),
                      std::make_shared<const WireMessage>(wire::BlameStart{blame_.session})});
@@ -589,7 +1303,25 @@ void ServerEngine::HandleBlameMessage(const Peer& from, const WireMessage& msg, 
     }
     blame_.disclosures[from.index] = *ev;
     MaybeTrace(now_us, a);
+  } else if (const auto* share = std::get_if<wire::VerdictShare>(&msg)) {
+    HandleVerdictShare(*share, from, now_us, a);
   }
+}
+
+void ServerEngine::HandleVerdictShare(const wire::VerdictShare& share, const Peer& from,
+                                      int64_t now_us, Actions& a) {
+  // A faster peer's share can arrive before we reach our own verdict; it is
+  // stored (signature-checked) and compared once we propose.
+  if (share.server_id != from.index || blame_.shares.empty() ||
+      blame_.shares[from.index].has_value()) {
+    return;
+  }
+  if (!logic_->VerifyVerdictShare(share.session, share.server_id, share.round, share.kind,
+                                  share.culprit, share.signature)) {
+    return;  // forged or doctored: the deadline downgrade decides instead
+  }
+  blame_.shares[from.index] = share;
+  MaybeAgreeVerdict(now_us, a);
 }
 
 void ServerEngine::CloseBlameCollection(int64_t now_us, Actions& a) {
@@ -923,6 +1655,63 @@ void ServerEngine::HandleRebuttal(const wire::BlameRebuttal& msg, const Peer& fr
 }
 
 void ServerEngine::FinishBlame(uint8_t kind, uint32_t culprit, int64_t now_us, Actions& a) {
+  if (!config_.verdict_agreement || num_servers_ == 1) {
+    ConcludeBlame(kind, culprit, true, now_us, a);
+    return;
+  }
+  if (blame_.awaiting_shares) {
+    return;  // already proposed; the share exchange or its deadline decides
+  }
+  // Propose: broadcast our signed share and act only when every server has
+  // produced a verified share over the identical verdict context. No
+  // expulsion is ever acted on from one server's local conclusion alone.
+  blame_.awaiting_shares = true;
+  blame_.proposed_kind = kind;
+  blame_.proposed_culprit = culprit;
+  blame_.proposed_round =
+      blame_.accusation.has_value() ? blame_.accusation->accusation.round : blame_.session;
+  wire::VerdictShare own;
+  own.session = blame_.session;
+  own.server_id = static_cast<uint32_t>(index_);
+  own.round = blame_.proposed_round;
+  own.kind = kind;
+  own.culprit = culprit;
+  own.signature = logic_->SignVerdictShare(blame_.session, own.round, kind, culprit);
+  Broadcast(own, a);
+  if (blame_.shares.empty()) {
+    blame_.shares.assign(num_servers_, std::nullopt);
+  }
+  blame_.shares[index_] = std::move(own);
+  a.timers.push_back({Token(blame_.session, kVerdictShares), config_.hard_deadline_us});
+  MaybeAgreeVerdict(now_us, a);
+}
+
+void ServerEngine::MaybeAgreeVerdict(int64_t now_us, Actions& a) {
+  if (!blame_.active || !blame_.awaiting_shares) {
+    return;
+  }
+  for (const auto& s : blame_.shares) {
+    if (!s.has_value()) {
+      return;  // still gathering; the kVerdictShares deadline backstops
+    }
+  }
+  bool match = true;
+  for (const auto& s : blame_.shares) {
+    match = match && s->session == blame_.session && s->round == blame_.proposed_round &&
+            s->kind == blame_.proposed_kind && s->culprit == blame_.proposed_culprit;
+  }
+  if (match) {
+    ConcludeBlame(blame_.proposed_kind, blame_.proposed_culprit, true, now_us, a);
+  } else {
+    // The fleet reached different conclusions (divergent evidence windows,
+    // a lying server's doctored view): nobody acts. Deterministically the
+    // same downgrade everywhere, since every server sees all M shares.
+    ConcludeBlame(wire::BlameVerdict::kInconclusive, 0, false, now_us, a);
+  }
+}
+
+void ServerEngine::ConcludeBlame(uint8_t kind, uint32_t culprit, bool agreed, int64_t now_us,
+                                 Actions& a) {
   wire::BlameVerdict verdict;
   verdict.session = blame_.session;
   verdict.round =
@@ -937,6 +1726,7 @@ void ServerEngine::FinishBlame(uint8_t kind, uint32_t culprit, int64_t now_us, A
   done.accusation_valid = blame_.accusation_valid;
   done.trace = blame_.trace;
   done.verdict = verdict;
+  done.verdict_agreed = agreed;
   a.blame.push_back(std::move(done));
 
   if (kind == wire::BlameVerdict::kClientExpelled && !logic_->IsExpelled(culprit)) {
@@ -967,16 +1757,33 @@ void ServerEngine::FinishBlame(uint8_t kind, uint32_t culprit, int64_t now_us, A
 // ---------------------------------------------------------------------------
 
 ClientEngine::ClientEngine(DissentClient* logic, const GroupDef& def, Config config)
-    : logic_(logic), def_(def), config_(config) {
+    : logic_(logic), def_(def), config_(config), mailbox_(config_.reliability) {
   assert(config_.pipeline_depth == logic_->pipeline_depth());
 }
 
-ClientEngine::Actions ClientEngine::StartSession() {
+ClientEngine::Actions ClientEngine::StartSession(int64_t now_us) {
   Actions a;
+  last_progress_us_ = now_us;
   for (uint64_t r = 1; r <= config_.pipeline_depth; ++r) {
     Submit(r, a);
   }
+  if (config_.resync_timeout_us > 0 && !resync_armed_) {
+    resync_armed_ = true;
+    a.timers.push_back({Token(0, kClientResync), config_.resync_timeout_us});
+  }
+  Seal(a, now_us);
   return a;
+}
+
+void ClientEngine::Seal(Actions& a, int64_t now_us) {
+  if (!mailbox_.enabled()) {
+    return;
+  }
+  mailbox_.WrapOutgoing(a.out, static_cast<uint32_t>(logic_->index()), now_us);
+  if (mailbox_.HasPending() && !retransmit_armed_) {
+    retransmit_armed_ = true;
+    a.timers.push_back({Token(0, kClientRetransmit), config_.reliability.rto_us});
+  }
 }
 
 void ClientEngine::Submit(uint64_t round, Actions& a) {
@@ -987,8 +1794,16 @@ void ClientEngine::Submit(uint64_t round, Actions& a) {
   msg.round = round;
   msg.client_id = static_cast<uint32_t>(logic_->index());
   msg.ciphertext = logic_->BuildCiphertext(round);
-  a.out.push_back({ServerPeer(config_.upstream_server),
-                   std::make_shared<const WireMessage>(std::move(msg))});
+  auto shared = std::make_shared<const WireMessage>(std::move(msg));
+  a.out.push_back({ServerPeer(config_.upstream_server), shared});
+  if (config_.resync_timeout_us > 0) {
+    // Retained for the stalled-resync re-send: a crashed server can lose a
+    // submission it acked but had not yet snapshotted into a round.
+    sent_submits_[round] = std::move(shared);
+    while (sent_submits_.size() > config_.pipeline_depth + 2) {
+      sent_submits_.erase(sent_submits_.begin());
+    }
+  }
 }
 
 void ClientEngine::SendUpstream(WireMessage msg, Actions& a) {
@@ -996,7 +1811,7 @@ void ClientEngine::SendUpstream(WireMessage msg, Actions& a) {
                    std::make_shared<const WireMessage>(std::move(msg))});
 }
 
-ClientEngine::Actions ClientEngine::SubmitRound(uint64_t round) {
+ClientEngine::Actions ClientEngine::SubmitRound(uint64_t round, int64_t now_us) {
   Actions a;
   if (blame_hold_) {
     // Transport-paced submissions respect the blame drain too: the servers
@@ -1006,14 +1821,73 @@ ClientEngine::Actions ClientEngine::SubmitRound(uint64_t round) {
     return a;
   }
   Submit(round, a);
+  Seal(a, now_us);
   return a;
 }
 
-ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMessage& msg) {
+ClientEngine::Actions ClientEngine::HandleTimer(uint64_t token, int64_t now_us) {
+  Actions a;
+  const TimerKind kind =
+      static_cast<TimerKind>(token & ((1ull << ServerEngine::kTimerKindBits) - 1));
+  if (kind == kClientRetransmit) {
+    retransmit_armed_ = false;
+    mailbox_.Sweep(now_us, a.out);
+    Seal(a, now_us);
+    return a;
+  }
+  if (kind == kClientResync && config_.resync_timeout_us > 0 && !expelled_) {
+    const bool stalled = now_us - last_progress_us_ >= config_.resync_timeout_us;
+    // A RoundSummary advertised a fleet frontier we have not reached yet:
+    // keep requesting the next batch every tick even though the batches
+    // themselves count as progress, or a long outage would only be worked
+    // off at (batch - rounds_per_tick) rounds per interval.
+    const bool backlog = catchup_final_round_ > last_output_round_;
+    if ((stalled || backlog) && !blame_hold_) {
+      // Ask the upstream server for everything after our frontier.
+      SendUpstream(
+          wire::CatchUpRequest{last_output_round_, static_cast<uint32_t>(logic_->index())}, a);
+      if (stalled) {
+        // Re-send the in-flight ciphertexts a crashed server may have lost.
+        for (const auto& [round, msg] : sent_submits_) {
+          (void)round;
+          a.out.push_back({ServerPeer(config_.upstream_server), msg});
+        }
+      }
+    }
+    resync_armed_ = true;
+    a.timers.push_back({Token(0, kClientResync), config_.resync_timeout_us});
+    Seal(a, now_us);
+  }
+  return a;
+}
+
+ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMessage& msg,
+                                                  int64_t now_us) {
   Actions a;
   if (from.kind != Peer::Kind::kServer) {
     return a;
   }
+  if (const auto* ack = std::get_if<wire::Ack>(&msg)) {
+    mailbox_.OnAck(from, *ack);
+    Seal(a, now_us);
+    return a;
+  }
+  if (const auto* rel = std::get_if<wire::Reliable>(&msg)) {
+    std::shared_ptr<const WireMessage> inner;
+    if (mailbox_.OnReliable(from, *rel, static_cast<uint32_t>(logic_->index()), &inner,
+                            a.out) == ReliableMailbox::Recv::kDeliver) {
+      Dispatch(from, *inner, now_us, a);
+    }
+    Seal(a, now_us);
+    return a;
+  }
+  Dispatch(from, msg, now_us, a);
+  Seal(a, now_us);
+  return a;
+}
+
+void ClientEngine::Dispatch(const Peer& from, const WireMessage& msg, int64_t now_us,
+                            Actions& a) {
   // Blame traffic (§3.9) only ever comes from our upstream server.
   if (from.index == config_.upstream_server) {
     if (const auto* start = std::get_if<wire::BlameStart>(&msg)) {
@@ -1027,17 +1901,17 @@ ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMe
           pending_blame_start_ = start->session;
         }
       }
-      return a;
+      return;
     }
     if (const auto* challenge = std::get_if<wire::BlameChallenge>(&msg)) {
       if (challenge->client_id != logic_->index() || expelled_) {
-        return a;
+        return;
       }
       auto claimed = UnpackBits(challenge->pad_bits, def_.num_servers());
       if (!claimed.has_value()) {
         // A malformed challenge gets no answer at all — never a blind
         // concession a doctored relay could harvest.
-        return a;
+        return;
       }
       wire::BlameRebuttal answer;
       answer.session = challenge->session;
@@ -1056,11 +1930,11 @@ ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMe
           logic_->SignBlameAnswer(challenge->session, challenge->round, challenge->bit_index,
                                   challenge->pad_bits, answer.rebuttal);
       SendUpstream(std::move(answer), a);
-      return a;
+      return;
     }
     if (const auto* verdict = std::get_if<wire::BlameVerdict>(&msg)) {
       if (verdict->session <= last_verdict_session_) {
-        return a;  // replay guard: blame sessions only move forward
+        return;  // replay guard: blame sessions only move forward
       }
       last_verdict_session_ = verdict->session;
       a.verdicts.push_back(*verdict);
@@ -1072,51 +1946,116 @@ ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMe
           verdict->culprit == logic_->index()) {
         expelled_ = true;
         deferred_.clear();
-        return a;
+        return;
       }
       // The servers reopened the pipeline; flush the submissions we held.
       for (uint64_t round : deferred_) {
         Submit(round, a);
       }
       deferred_.clear();
-      return a;
+      return;
+    }
+    if (const auto* summary = std::get_if<wire::RoundSummary>(&msg)) {
+      IngestRound(summary->round, summary->aborted, summary->cleartext, summary->signatures,
+                  summary->final_round, now_us, a);
+      return;
     }
   }
   const auto* output = std::get_if<wire::Output>(&msg);
   if (output == nullptr) {
-    return a;
+    return;
   }
-  if (output->round <= last_output_round_) {
+  IngestRound(output->round, /*aborted=*/false, output->cleartext, output->signatures,
+              /*final_round=*/0, now_us, a);
+}
+
+void ClientEngine::IngestRound(uint64_t round, bool aborted, const Bytes& cleartext,
+                               const std::vector<Bytes>& signatures, uint64_t final_round,
+                               int64_t now_us, Actions& a) {
+  // Remember the highest fleet frontier any summary has advertised — the
+  // resync timer keeps requesting batches until we reach it.
+  catchup_final_round_ = std::max(catchup_final_round_, final_round);
+  if (round <= last_output_round_) {
     // Replay of an old (even validly certified) output would rebase the
-    // slot-schedule window backwards and desynchronize us for good; forward
-    // gaps are fine (reconnect catch-up), going back never is.
-    return a;
+    // slot-schedule window backwards and desynchronize us for good.
+    return;
   }
-  if (output->signatures.size() != def_.num_servers()) {
-    return a;
+  if (config_.resync_timeout_us > 0 && round != last_output_round_ + 1) {
+    // Strict sequential mode: an out-of-order arrival is stashed until the
+    // gap fills (via retransmission or catch-up). Far-future rounds are
+    // dropped — the catch-up path re-fetches them in order.
+    if (round <= last_output_round_ + 2 * config_.pipeline_depth + 4) {
+      StashedRound& slot = stash_[round];
+      slot.aborted = aborted;
+      slot.cleartext = cleartext;
+      slot.signatures = signatures;
+    }
+    return;
+  }
+  ApplyRound(round, aborted, cleartext, signatures, now_us, a);
+  // Drain any stashed successors the gap was hiding.
+  auto it = stash_.find(last_output_round_ + 1);
+  while (it != stash_.end()) {
+    uint64_t next_round = it->first;
+    StashedRound next = std::move(it->second);
+    stash_.erase(it);
+    ApplyRound(next_round, next.aborted, next.cleartext, next.signatures, now_us, a);
+    it = stash_.find(last_output_round_ + 1);
+  }
+  while (!stash_.empty() && stash_.begin()->first <= last_output_round_) {
+    stash_.erase(stash_.begin());
+  }
+}
+
+void ClientEngine::ApplyRound(uint64_t round, bool aborted, const Bytes& cleartext,
+                              const std::vector<Bytes>& signatures, int64_t now_us, Actions& a) {
+  if (round <= last_output_round_) {
+    return;
+  }
+  if (aborted) {
+    // Fleet-voted abort: the schedule advances with the all-zero cleartext
+    // (every slot closes, owners re-request) and our staged message goes
+    // back to the head of the outbox.
+    logic_->AbortRound(round);
+    last_output_round_ = round;
+    last_progress_us_ = now_us;
+    sent_submits_.erase(sent_submits_.begin(), sent_submits_.upper_bound(round));
+    if (config_.auto_submit && !expelled_) {
+      if (blame_hold_) {
+        deferred_.push_back(round + config_.pipeline_depth);
+      } else {
+        Submit(round + config_.pipeline_depth, a);
+      }
+    }
+    return;
+  }
+  if (signatures.size() != def_.num_servers()) {
+    return;
   }
   std::vector<SchnorrSignature> sigs;
-  sigs.reserve(output->signatures.size());
-  for (const Bytes& sig_bytes : output->signatures) {
+  sigs.reserve(signatures.size());
+  for (const Bytes& sig_bytes : signatures) {
     auto sig = SchnorrSignature::Deserialize(*def_.group, sig_bytes);
     if (!sig.has_value()) {
-      return a;
+      return;
     }
     sigs.push_back(*sig);
   }
-  auto result = logic_->ProcessOutput(output->round, output->cleartext, sigs);
+  auto result = logic_->ProcessOutput(round, cleartext, sigs);
   if (result.signatures_ok) {
-    last_output_round_ = output->round;
+    last_output_round_ = round;
+    last_progress_us_ = now_us;
+    sent_submits_.erase(sent_submits_.begin(), sent_submits_.upper_bound(round));
   }
   Delivery d;
-  d.round = output->round;
+  d.round = round;
   d.signatures_ok = result.signatures_ok;
   d.own_slot_disrupted = result.own_slot_disrupted;
   d.messages = std::move(result.messages);
-  d.cleartext = output->cleartext;
+  d.cleartext = cleartext;
   a.delivered.push_back(std::move(d));
   if (!result.signatures_ok) {
-    return a;  // forged output: ignore (the client would switch servers, §3.5)
+    return;  // forged output: ignore (the client would switch servers, §3.5)
   }
   if (result.accusation_requested) {
     // The same scan the servers run: this round flagged a blame shuffle, so
@@ -1129,7 +2068,7 @@ ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMe
     pending_blame_start_.reset();
     AnswerBlameStart(session, a);
   }
-  if (blame_hold_ && !deferred_.empty() && output->round >= deferred_.front()) {
+  if (blame_hold_ && !deferred_.empty() && round >= deferred_.front()) {
     // The servers certified a round they only open after a blame verdict —
     // we must have missed the verdict broadcast (offline at the time).
     // Resume; the held submissions are stale (their windows are long gone).
@@ -1138,15 +2077,20 @@ ClientEngine::Actions ClientEngine::HandleMessage(const Peer& from, const WireMe
   }
   if (config_.auto_submit) {
     if (blame_hold_) {
-      deferred_.push_back(output->round + config_.pipeline_depth);
+      deferred_.push_back(round + config_.pipeline_depth);
     } else {
-      Submit(output->round + config_.pipeline_depth, a);
+      Submit(round + config_.pipeline_depth, a);
     }
   }
-  return a;
 }
 
 void ClientEngine::AnswerBlameStart(uint64_t session, Actions& a) {
+  // Duplicate invites (retransmission, replay) must not consume the pending
+  // accusation — or an rng draw — a second time.
+  if (session <= last_answered_blame_session_) {
+    return;
+  }
+  last_answered_blame_session_ = session;
   // Fixed-width row whether or not we hold an accusation: accusers are
   // indistinguishable from bystanders. Signed so roster gossip cannot
   // substitute a forged row for ours.

@@ -81,9 +81,11 @@
 #ifndef DISSENT_CORE_ENGINE_H_
 #define DISSENT_CORE_ENGINE_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -91,6 +93,7 @@
 #include "src/core/client.h"
 #include "src/core/server.h"
 #include "src/core/wire.h"
+#include "src/util/serialize.h"
 
 namespace dissent {
 
@@ -127,6 +130,77 @@ struct TimerRequest {
   int64_t delay_us = 0;
 };
 
+// Ack/retransmit layer shared by both engines. Off by default: the
+// in-process Coordinator is lossless and the sim transport was historically
+// run over reliable links, and with `enabled = false` every engine byte
+// stream is identical to the pre-reliability protocol.
+struct ReliabilityConfig {
+  bool enabled = false;
+  int64_t rto_us = 500 * 1000ll;        // initial per-frame retransmit timeout
+  int64_t max_rto_us = 8 * 1000000ll;   // backoff cap
+};
+
+// Per-directed-peer sequencing, dedup, and retransmission for unicast
+// engine traffic. Every unicast Envelope is wrapped in wire::Reliable{seq,
+// inner}; the receiver acks every arrival (cumulative frontier + a sack
+// bitmap of the 64 following sequence numbers), delivers each seq at most
+// once, and the sender re-emits unacked frames with capped exponential
+// backoff on a single repeating sweep timer owned by the engine.
+// kAttachedClients broadcasts stay unreliable — a client that misses an
+// Output recovers via the CatchUpRequest/RoundSummary path instead, so the
+// fan-out stays one shared frame.
+class ReliableMailbox {
+ public:
+  explicit ReliableMailbox(ReliabilityConfig cfg = {}) : cfg_(cfg) {}
+  bool enabled() const { return cfg_.enabled; }
+
+  // Sender side: wraps each unicast envelope of `out` in place (skipping
+  // kAttachedClients fan-outs and Ack/Reliable frames the mailbox itself
+  // produced) and records it for retransmission. `self` stamps
+  // Reliable::from_id.
+  void WrapOutgoing(std::vector<Envelope>& out, uint32_t self, int64_t now_us);
+
+  enum class Recv : uint8_t { kDeliver, kDuplicate, kMalformed };
+  // Receiver side: always appends an Ack toward `from`; parses and returns
+  // the inner message iff this seq is new on the (from -> us) link.
+  Recv OnReliable(const Peer& from, const wire::Reliable& rel, uint32_t self,
+                  std::shared_ptr<const WireMessage>* inner, std::vector<Envelope>& out);
+  void OnAck(const Peer& from, const wire::Ack& ack);
+
+  // Re-emits every due pending frame into `out`, doubling its timeout
+  // (capped at max_rto_us).
+  void Sweep(int64_t now_us, std::vector<Envelope>& out);
+  bool HasPending() const;
+  uint64_t retransmits() const { return retransmits_; }
+
+  // Snapshot both directions of every link (pending frames, cumulative
+  // frontiers, out-of-order sets) so a restarted node neither replays
+  // delivered frames nor orphans unacked ones. Restored timeouts are reset
+  // to the initial rto.
+  void SerializeTo(Writer& w) const;
+  bool RestoreFrom(Reader& r);
+
+ private:
+  struct Pending {
+    std::shared_ptr<const WireMessage> frame;  // the wrapped Reliable message
+    int64_t due_us = 0;
+    int64_t rto_us = 0;
+  };
+  struct Link {
+    Peer peer;
+    uint64_t next_seq = 1;                // sender side
+    std::map<uint64_t, Pending> pending;  // sender side: seq -> frame
+    uint64_t cum = 0;                     // receiver side: all of 1..cum seen
+    std::set<uint64_t> ooo;               // receiver side: seen beyond cum
+  };
+  Link& LinkFor(const Peer& peer);
+  void EmitAck(const Link& l, uint32_t self, std::vector<Envelope>& out) const;
+
+  ReliabilityConfig cfg_;
+  std::map<uint64_t, Link> links_;  // keyed on (peer.kind << 32) | peer.index
+  uint64_t retransmits_ = 0;
+};
+
 class ServerEngine {
  public:
   struct Config {
@@ -146,12 +220,32 @@ class ServerEngine {
     size_t pipeline_depth = 1;
     // Clients attached to this server (they receive Output messages).
     std::vector<uint32_t> attached_clients;
+    // Ack/retransmit layer for unicast traffic (see ReliableMailbox).
+    ReliabilityConfig reliability;
+    // Graceful degradation: when nonzero, a round still unfinished this
+    // long after its window opened triggers a RoundAbort vote; once every
+    // server that is still alive (>= M-1 distinct votes, ours among them)
+    // agrees, the round at the finish frontier aborts cleanly — all-zero
+    // cleartext, RoundSummary{aborted} to the attached clients — and a
+    // replacement round opens, so one crashed server past its restart
+    // deadline cannot wedge the pipeline forever. 0 disables aborts.
+    int64_t abort_deadline_us = 0;
+    // Verdict agreement (§3.9 hardening): before acting on any expulsion,
+    // every server broadcasts a signed VerdictShare over its proposed
+    // verdict and waits for a verified share from *every* peer over the
+    // identical (session, round, kind, culprit) context. A mismatch or a
+    // missing share downgrades the verdict to inconclusive — no server ever
+    // expels unilaterally on a verdict its peers did not provably reach.
+    bool verdict_agreement = true;
+    // Finished rounds retained as RoundSummary frames for client catch-up.
+    size_t output_history = 64;
   };
 
   // A round that reached its terminal state this call.
   struct RoundDone {
     uint64_t round = 0;
     bool completed = false;
+    bool aborted = false;  // fleet-voted RoundAbort (see Config::abort_deadline_us)
     Bytes cleartext;
     size_t participation = 0;
     bool below_alpha = false;           // §3.7 threshold would have stalled
@@ -169,6 +263,11 @@ class ServerEngine {
     bool accusation_valid = false;  // it checked out against evidence
     TraceVerdict trace;             // pre-rebuttal trace verdict
     wire::BlameVerdict verdict;     // the final outcome clients receive
+    // True when every server produced a verified VerdictShare over this
+    // exact verdict (trivially true with agreement disabled or M == 1);
+    // false when shares were missing or mismatched and the verdict was
+    // downgraded to inconclusive.
+    bool verdict_agreed = false;
   };
 
   struct Actions {
@@ -186,6 +285,36 @@ class ServerEngine {
   Actions HandleMessage(const Peer& from, const WireMessage& msg, int64_t now_us);
   Actions HandleTimer(uint64_t token, int64_t now_us);
 
+  // --- crash recovery ---
+  // Serializes the full in-flight protocol state: the logic's schedule
+  // window and submission ring, this engine's round ring, frontiers,
+  // retained RoundSummary history, and both directions of the reliable
+  // mailbox. A server restored from the latest snapshot resumes
+  // byte-identically — unacked frames it sent are retransmitted from the
+  // mailbox, frames it never acked are retransmitted by the peers — so its
+  // post-restart gossip can never contradict pre-crash gossip already in
+  // peers' first-write-wins slots (which would read as equivocation).
+  // Excluded, by design: blame-instance state beyond the pending flag (a
+  // crash during an active blame instance degrades to the peers' share
+  // deadline and an inconclusive verdict) and accumulated trace evidence.
+  // Recovery of in-flight frames requires Config::reliability.enabled.
+  Bytes SerializeSnapshot() const;
+  // Rebuilds from a snapshot taken by the same server (index and pipeline
+  // depth must match). Returns the timer re-arms (window/deadline backstops
+  // for every restored round, plus the retransmit sweep) or nullopt on a
+  // malformed snapshot. Pseudonym keys and evidence retention must be
+  // reinstalled on the logic by the transport *before* this call.
+  std::optional<Actions> RestoreSnapshot(const Bytes& snapshot, int64_t now_us);
+
+  // Timer-token introspection for transports that prune their timer heaps:
+  // tokens are (id << kTimerKindBits) | kind, where id is a round or blame
+  // session. A token is prunable after `round` resolves iff it is a
+  // per-round backstop for id <= round — retransmit-sweep tokens and (while
+  // a blame instance is live) blame backstops are never prunable.
+  static constexpr uint64_t kTimerKindBits = 3;
+  static uint64_t TimerTokenId(uint64_t token) { return token >> kTimerKindBits; }
+  static bool TimerStaleAfterRound(uint64_t token, uint64_t round, bool blame_live);
+
   DissentServer& logic() { return *logic_; }
   uint64_t rounds_completed() const { return rounds_completed_; }
   size_t last_participation() const { return last_participation_; }
@@ -201,6 +330,9 @@ class ServerEngine {
   // that blame instance's verdict is broadcast.
   bool blame_in_progress() const { return blame_.pending || blame_.active; }
   uint64_t blames_completed() const { return blames_completed_; }
+  uint64_t rounds_aborted() const { return rounds_aborted_; }
+  // Frames re-sent by the reliable mailbox (retransmission overhead probe).
+  uint64_t retransmits() const { return mailbox_.retransmits(); }
 
  private:
   // Ring slot for one in-flight round (index = round % pipeline_depth).
@@ -210,6 +342,7 @@ class ServerEngine {
     int64_t started_us = 0;
     bool window_closed = false;
     bool window_timer_armed = false;
+    int64_t window_close_at_us = 0;  // absolute; for snapshot re-arming
     std::vector<std::optional<std::vector<uint32_t>>> inventories;
     std::vector<std::optional<Bytes>> commits;
     std::vector<std::optional<Bytes>> server_cts;
@@ -221,17 +354,25 @@ class ServerEngine {
     Bytes cleartext;
   };
 
-  // Timer tokens carry (round-or-session << 2) | kind. kWindowPolicy and
-  // kHardDeadline belong to the round pipeline; kBlameCollect backstops the
-  // blame-shuffle collection window and kBlameRebuttal the accused client's
-  // answer (a silent client concedes).
+  // Timer tokens carry (round-or-session << kTimerKindBits) | kind.
+  // kWindowPolicy, kHardDeadline, and kAbortDeadline belong to the round
+  // pipeline; kBlameCollect backstops the blame-shuffle collection window,
+  // kBlameRebuttal the accused client's answer (a silent client concedes),
+  // and kVerdictShares the agreement exchange (missing shares downgrade the
+  // verdict to inconclusive). kRetransmit (id always 0) is the mailbox's
+  // repeating sweep.
   enum TimerKind : uint64_t {
     kWindowPolicy = 0,
     kHardDeadline = 1,
     kBlameCollect = 2,
     kBlameRebuttal = 3,
+    kVerdictShares = 4,
+    kRetransmit = 5,
+    kAbortDeadline = 6,
   };
-  static uint64_t Token(uint64_t round, TimerKind kind) { return (round << 2) | kind; }
+  static uint64_t Token(uint64_t round, TimerKind kind) {
+    return (round << kTimerKindBits) | kind;
+  }
 
   // One blame instance (§3.9); at most one runs at a time, and all round
   // pipelining is suspended while it does.
@@ -265,10 +406,21 @@ class ServerEngine {
     // A peer's forwarded rebuttal that arrived while a straggling
     // TraceEvidence still held our own trace back; replayed after tracing.
     std::optional<wire::BlameRebuttal> pending_rebuttal;
+    // Verdict agreement: our proposed verdict and every server's verified
+    // share over it (shares from faster peers are stored before we propose
+    // and compared once we do).
+    bool awaiting_shares = false;
+    uint8_t proposed_kind = 0;
+    uint32_t proposed_culprit = 0;
+    uint64_t proposed_round = 0;
+    std::vector<std::optional<wire::VerdictShare>> shares;
   };
 
   RoundState* FindRound(uint64_t round);
   void StartRound(uint64_t round, int64_t now_us, Actions& a);
+  // The pre-reliability HandleMessage body: dispatches one already-unwrapped
+  // message. The public entry point peels Reliable/Ack frames first.
+  void DispatchMessage(const Peer& from, const WireMessage& msg, int64_t now_us, Actions& a);
   void HandleServerPhase(uint32_t sender, const WireMessage& msg, int64_t now_us, Actions& a);
   void Broadcast(WireMessage msg, Actions& a);
   void MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& a);
@@ -278,6 +430,15 @@ class ServerEngine {
   void MaybeCertify(uint64_t round, Actions& a);
   void MaybeFinishRounds(int64_t now_us, Actions& a);
   bool AllPresent(const std::vector<std::optional<Bytes>>& v) const;
+  // Wraps unicast output in the mailbox and keeps the retransmit sweep
+  // armed; every public entry point funnels its Actions through here.
+  void Seal(Actions& a, int64_t now_us);
+  // Finished/aborted-round bookkeeping shared by MaybeFinishRounds and the
+  // abort path: retains the RoundSummary for catch-up serving.
+  void RetainSummary(wire::RoundSummary summary);
+  void HandleCatchUpRequest(const Peer& from, const wire::CatchUpRequest& req, Actions& a);
+  void RecordAbortVote(uint64_t round, uint32_t server, int64_t now_us, Actions& a);
+  void MaybeAbortRound(uint64_t round, int64_t now_us, Actions& a);
 
   // --- blame sub-phase (§3.9) ---
   bool IsAttached(uint32_t client) const;
@@ -292,7 +453,14 @@ class ServerEngine {
   void MaybeTrace(int64_t now_us, Actions& a);
   void HandleRebuttal(const wire::BlameRebuttal& msg, const Peer& from, int64_t now_us,
                       Actions& a);
+  // Verdict reached locally: with agreement on, broadcast our signed share
+  // and wait for every peer's before acting (ConcludeBlame); without it,
+  // conclude immediately.
   void FinishBlame(uint8_t kind, uint32_t culprit, int64_t now_us, Actions& a);
+  void HandleVerdictShare(const wire::VerdictShare& share, const Peer& from, int64_t now_us,
+                          Actions& a);
+  void MaybeAgreeVerdict(int64_t now_us, Actions& a);
+  void ConcludeBlame(uint8_t kind, uint32_t culprit, bool agreed, int64_t now_us, Actions& a);
 
   DissentServer* logic_;
   const GroupDef& def_;
@@ -321,6 +489,15 @@ class ServerEngine {
   uint64_t blames_completed_ = 0;
   size_t blame_width_ = 0;  // ElGamal row width of a kAccusationBytes payload
   size_t expelled_attached_ = 0;
+
+  ReliableMailbox mailbox_;
+  bool retransmit_armed_ = false;
+  // Finished/aborted rounds retained for CatchUpRequest serving, newest at
+  // the back, capped at Config::output_history.
+  std::deque<wire::RoundSummary> recent_;
+  // RoundAbort votes per round (one bit per server), erased on resolution.
+  std::map<uint64_t, std::vector<bool>> abort_votes_;
+  uint64_t rounds_aborted_ = 0;
 };
 
 class ClientEngine {
@@ -334,6 +511,16 @@ class ClientEngine {
     // via SubmitRound, so application sends queued between rounds still make
     // the next round.
     bool auto_submit = true;
+    // Ack/retransmit layer for the upstream link (see ReliableMailbox).
+    ReliabilityConfig reliability;
+    // Resynchronization after a missed output: when nonzero, outputs are
+    // ingested strictly sequentially (out-of-order arrivals are stashed) and
+    // a repeating timer that sees no forward progress for this long sends a
+    // CatchUpRequest upstream — answered with signed RoundSummary frames —
+    // and re-submits the retained in-flight ciphertexts (a crashed server
+    // may have lost acked-but-unprocessed submissions). 0 keeps the
+    // historical gap-tolerant ProcessOutput behaviour and arms no timers.
+    int64_t resync_timeout_us = 0;
   };
 
   // One verified round output, decoded.
@@ -347,6 +534,7 @@ class ClientEngine {
 
   struct Actions {
     std::vector<Envelope> out;
+    std::vector<TimerRequest> timers;
     std::vector<Delivery> delivered;
     // Blame verdicts received from the upstream server (§3.9), in order.
     std::vector<wire::BlameVerdict> verdicts;
@@ -356,20 +544,47 @@ class ClientEngine {
 
   // Submits ciphertexts for rounds 1..pipeline_depth. Call once, after the
   // key shuffle assigned slots.
-  Actions StartSession();
-  Actions HandleMessage(const Peer& from, const WireMessage& msg);
+  Actions StartSession(int64_t now_us);
+  Actions HandleMessage(const Peer& from, const WireMessage& msg, int64_t now_us);
+  Actions HandleTimer(uint64_t token, int64_t now_us);
   // Build and submit a specific round's ciphertext (transport-driven
   // resynchronization, e.g. after a reconnect catch-up).
-  Actions SubmitRound(uint64_t round);
+  Actions SubmitRound(uint64_t round, int64_t now_us);
 
   DissentClient& logic() { return *logic_; }
   // True once a BlameVerdict expelled this client; it stops submitting.
   bool expelled() const { return expelled_; }
+  uint64_t last_output_round() const { return last_output_round_; }
+  uint64_t retransmits() const { return mailbox_.retransmits(); }
+
+  // Client timer kinds (same (id << kTimerKindBits) | kind layout as the
+  // server's; both ride id 0 and re-arm themselves, so transports must
+  // never prune client tokens).
+  enum TimerKind : uint64_t {
+    kClientRetransmit = 0,
+    kClientResync = 1,
+  };
 
  private:
+  static uint64_t Token(uint64_t id, TimerKind kind) {
+    return (id << ServerEngine::kTimerKindBits) | kind;
+  }
   void Submit(uint64_t round, Actions& a);
   void SendUpstream(WireMessage msg, Actions& a);
   void AnswerBlameStart(uint64_t session, Actions& a);
+  void Seal(Actions& a, int64_t now_us);
+  // The pre-reliability HandleMessage body (the public entry point peels
+  // Reliable/Ack frames first).
+  void Dispatch(const Peer& from, const WireMessage& msg, int64_t now_us, Actions& a);
+  // Shared ingest for Output and RoundSummary frames: replay-guarded,
+  // strictly sequential in resync mode (stashing out-of-order arrivals and
+  // draining the stash afterwards), and the only place the submit chain and
+  // blame deferral advance.
+  void IngestRound(uint64_t round, bool aborted, const Bytes& cleartext,
+                   const std::vector<Bytes>& signatures, uint64_t final_round, int64_t now_us,
+                   Actions& a);
+  void ApplyRound(uint64_t round, bool aborted, const Bytes& cleartext,
+                  const std::vector<Bytes>& signatures, int64_t now_us, Actions& a);
   // True once we have processed the outputs of every round the servers
   // drained before opening the blame instance (session .. session+depth-1).
   bool SeenDrainedOutputs(uint64_t session) const {
@@ -392,7 +607,31 @@ class ClientEngine {
   // that rides the shuffle is the same on every transport and ordering.
   std::optional<uint64_t> pending_blame_start_;
   uint64_t last_verdict_session_ = 0;
+  // Duplicate-BlameStart guard: answering twice would consume the pending
+  // accusation (and an rng draw) a second time.
+  uint64_t last_answered_blame_session_ = 0;
   bool expelled_ = false;
+
+  ReliableMailbox mailbox_;
+  bool retransmit_armed_ = false;
+  bool resync_armed_ = false;
+  // Highest fleet frontier any RoundSummary advertised; while it exceeds
+  // last_output_round_ the resync timer requests the next catch-up batch
+  // every tick (not only on stall).
+  uint64_t catchup_final_round_ = 0;
+  // Resync mode: certified rounds that arrived ahead of the sequential
+  // frontier, waiting for the gap to fill (bounded; far-future arrivals are
+  // re-fetched via catch-up instead).
+  struct StashedRound {
+    bool aborted = false;
+    Bytes cleartext;
+    std::vector<Bytes> signatures;
+  };
+  std::map<uint64_t, StashedRound> stash_;
+  // Recently submitted ciphertexts (round -> the sent ClientSubmit),
+  // re-sent on a stalled resync timer; pruned as outputs arrive.
+  std::map<uint64_t, std::shared_ptr<const WireMessage>> sent_submits_;
+  int64_t last_progress_us_ = 0;
 };
 
 }  // namespace dissent

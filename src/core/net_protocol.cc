@@ -10,6 +10,19 @@ namespace dissent {
 
 namespace {
 constexpr size_t kParseCacheEntries = 8;
+constexpr size_t kChecksumBytes = 8;
+
+// FNV-1a, the frame-integrity trailer. Not cryptographic — transport frames
+// are authenticated at the protocol layer (signatures); this only converts
+// chaos-layer bit corruption into a clean drop the reliability layer heals.
+uint64_t Fnv1a64(const uint8_t* p, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 }  // namespace
 
 struct NetDissent::ServerNode {
@@ -17,6 +30,13 @@ struct NetDissent::ServerNode {
   std::unique_ptr<ServerEngine> engine;
   NodeId node = 0;
   std::vector<size_t> attached_machines;
+  // Crash harness: timers scheduled by a previous incarnation check the
+  // epoch and die silently instead of poking the rebuilt engine.
+  uint64_t epoch = 0;
+  bool crashed = false;
+  // The snapshot taken at crash time (models the durable checkpoint a real
+  // server would have been writing continuously).
+  Bytes snapshot;
 };
 
 struct NetDissent::ClientNode {
@@ -76,28 +96,22 @@ NetDissent::NetDissent(GroupDef def, std::vector<BigInt> server_privs,
     machines_[m].upstream = m % def_.num_servers();
   }
   for (size_t j = 0; j < def_.num_servers(); ++j) {
-    ServerEngine::Config cfg;
-    cfg.window_fraction = options_.window_fraction;
-    cfg.window_multiplier = options_.window_multiplier;
-    cfg.hard_deadline_us = options_.hard_deadline;
-    cfg.adaptive_window = options_.adaptive_window;
-    cfg.pipeline_depth = depth;
     for (size_t m = 0; m < num_machines; ++m) {
-      if (machines_[m].upstream != j) {
-        continue;
-      }
-      servers_[j]->attached_machines.push_back(m);
-      for (size_t k = 0; k < machines_[m].num_clients; ++k) {
-        cfg.attached_clients.push_back(static_cast<uint32_t>(machines_[m].first_client + k));
+      if (machines_[m].upstream == j) {
+        servers_[j]->attached_machines.push_back(m);
       }
     }
+    // Config built by a helper so the crash harness can rebuild an identical
+    // engine around a restored snapshot.
     servers_[j]->engine =
-        std::make_unique<ServerEngine>(servers_[j]->logic.get(), def_, std::move(cfg));
+        std::make_unique<ServerEngine>(servers_[j]->logic.get(), def_, ServerConfigFor(j));
   }
   for (size_t i = 0; i < clients_.size(); ++i) {
     ClientEngine::Config cfg;
     cfg.upstream_server = static_cast<uint32_t>(clients_[i]->upstream);
     cfg.pipeline_depth = depth;
+    cfg.reliability = options_.reliability;
+    cfg.resync_timeout_us = options_.resync_timeout;
     clients_[i]->engine =
         std::make_unique<ClientEngine>(clients_[i]->logic.get(), def_, cfg);
   }
@@ -141,6 +155,10 @@ DissentClient& NetDissent::client(size_t i) { return *clients_[i]->logic; }
 
 DissentServer& NetDissent::server(size_t j) { return *servers_[j]->logic; }
 
+ClientEngine& NetDissent::client_engine(size_t i) { return *clients_[i]->engine; }
+
+ServerEngine& NetDissent::server_engine(size_t j) { return *servers_[j]->engine; }
+
 void NetDissent::SetClientOnline(size_t i, bool online) {
   // Per-client flag (machines host many clients, so node-level online state
   // is the wrong granularity): an offline client neither submits nor has
@@ -154,7 +172,29 @@ std::shared_ptr<const WireMessage> NetDissent::ParseFrame(const Network::Frame& 
       return it->msg;
     }
   }
-  auto msg = ParseWireShared(*frame);
+  std::shared_ptr<const WireMessage> msg;
+  if (options_.frame_checksums) {
+    // Verify and strip the FNV trailer; a mismatch means the chaos layer
+    // corrupted the frame in flight — treat as loss (reliability retransmits
+    // it) rather than letting a mutated-but-parseable frame reach an engine.
+    if (frame->size() < kChecksumBytes) {
+      ++checksum_drops_;
+      return nullptr;
+    }
+    const size_t body_len = frame->size() - kChecksumBytes;
+    uint64_t stored = 0;
+    for (size_t i = 0; i < kChecksumBytes; ++i) {
+      stored |= static_cast<uint64_t>((*frame)[body_len + i]) << (8 * i);
+    }
+    if (Fnv1a64(frame->data(), body_len) != stored) {
+      ++checksum_drops_;
+      return nullptr;
+    }
+    Bytes body(frame->begin(), frame->begin() + static_cast<ptrdiff_t>(body_len));
+    msg = ParseWireShared(body);
+  } else {
+    msg = ParseWireShared(*frame);
+  }
   if (msg == nullptr) {
     return nullptr;  // malformed: drop
   }
@@ -190,6 +230,14 @@ void NetDissent::DeliverToServer(size_t j, NodeId from, const Network::Frame& pa
       claimed = acc->client_id;
     } else if (const auto* rebuttal = std::get_if<wire::BlameRebuttal>(msg.get())) {
       claimed = rebuttal->client_id;
+    } else if (const auto* catch_up = std::get_if<wire::CatchUpRequest>(msg.get())) {
+      claimed = catch_up->client_id;
+    } else if (const auto* rel = std::get_if<wire::Reliable>(msg.get())) {
+      // Reliability wrapper around any of the above; the engine re-checks
+      // the inner frame's own claims after unwrapping.
+      claimed = rel->from_id;
+    } else if (const auto* ack = std::get_if<wire::Ack>(msg.get())) {
+      claimed = ack->from_id;
     } else {
       return;
     }
@@ -214,30 +262,44 @@ void NetDissent::DeliverToMachine(size_t m, NodeId from, const Network::Frame& p
   }
   const MachineNode& machine = machines_[m];
   const Peer peer = ServerPeer(static_cast<uint32_t>(from));
-  // Client-specific blame traffic: hand the frame to the addressed client
-  // only (the machine multiplexes per-client connections).
+  // Client-specific unicast traffic: hand the frame to the addressed client
+  // only (the machine multiplexes per-client connections). Blame challenges
+  // carry the addressee in the protocol frame; reliability wrappers carry it
+  // in their transport header.
+  uint64_t unicast_to = UINT64_MAX;
   if (const auto* challenge = std::get_if<wire::BlameChallenge>(msg.get())) {
-    size_t i = challenge->client_id;
+    unicast_to = challenge->client_id;
+  } else if (const auto* rel = std::get_if<wire::Reliable>(msg.get())) {
+    unicast_to = rel->to_id;
+  } else if (const auto* ack = std::get_if<wire::Ack>(msg.get())) {
+    unicast_to = ack->to_id;
+  }
+  if (unicast_to != UINT64_MAX) {
+    size_t i = static_cast<size_t>(unicast_to);
     if (i >= machine.first_client && i < machine.first_client + machine.num_clients &&
         clients_[i]->online) {
-      DispatchClient(i, clients_[i]->engine->HandleMessage(peer, *msg));
+      DispatchClient(i, clients_[i]->engine->HandleMessage(peer, *msg, sim_->Now()));
     }
     return;
   }
   if (!std::holds_alternative<wire::Output>(*msg) &&
       !std::holds_alternative<wire::BlameStart>(*msg) &&
-      !std::holds_alternative<wire::BlameVerdict>(*msg)) {
+      !std::holds_alternative<wire::BlameVerdict>(*msg) &&
+      !std::holds_alternative<wire::RoundSummary>(*msg)) {
     return;
   }
   // Fan the (already parsed) broadcast to every hosted client. Duplicate
   // frames (the per-client-frame comparison mode) are shed by each engine's
   // replay guards, so semantics match the shared-frame path exactly.
+  // RoundSummary is fanned too: catch-up replies address one client, but a
+  // summary is certified public output — any co-hosted client behind on that
+  // round may ingest it, and the rest drop it via the round guard.
   for (size_t k = 0; k < machine.num_clients; ++k) {
     size_t i = machine.first_client + k;
     if (!clients_[i]->online) {
       continue;
     }
-    DispatchClient(i, clients_[i]->engine->HandleMessage(peer, *msg));
+    DispatchClient(i, clients_[i]->engine->HandleMessage(peer, *msg, sim_->Now()));
   }
 }
 
@@ -255,6 +317,7 @@ bool NetDissent::Start() {
     for (auto& s : servers_) {
       s->logic->SetPseudonymKeys(keys);
     }
+    pseudonym_keys_ = std::move(keys);
   } else {
     // Scheduling (§3.10) through the verified cascade — the multi-exp
     // engine keeps this real (non-direct) path viable at the 1,000-client
@@ -284,19 +347,92 @@ bool NetDissent::Start() {
     for (auto& s : servers_) {
       s->logic->SetPseudonymKeys(keys);
     }
+    pseudonym_keys_ = std::move(keys);
   }
   for (auto& s : servers_) {
     s->logic->BeginSlots(clients_.size());
+  }
+  // Chaos layer: install the frame-level plan on the network and enact the
+  // crash windows here (Crash::node names a *server index* — the network
+  // cannot rebuild an engine; this harness can).
+  if (options_.fault_plan.has_value()) {
+    net_.SetFaultPlan(*options_.fault_plan);
+    for (const auto& crash : options_.fault_plan->crashes) {
+      const size_t j = crash.node;
+      if (j >= servers_.size() || crash.up_at <= crash.down_at) {
+        continue;
+      }
+      sim_->ScheduleAt(crash.down_at, [this, j] { CrashServer(j); });
+      sim_->ScheduleAt(crash.up_at, [this, j] { RestoreServer(j); });
+    }
   }
   for (size_t j = 0; j < servers_.size(); ++j) {
     DispatchServer(j, servers_[j]->engine->StartSession(sim_->Now()));
   }
   for (size_t i = 0; i < clients_.size(); ++i) {
     if (clients_[i]->online) {
-      DispatchClient(i, clients_[i]->engine->StartSession());
+      DispatchClient(i, clients_[i]->engine->StartSession(sim_->Now()));
     }
   }
   return true;
+}
+
+ServerEngine::Config NetDissent::ServerConfigFor(size_t j) const {
+  ServerEngine::Config cfg;
+  cfg.window_fraction = options_.window_fraction;
+  cfg.window_multiplier = options_.window_multiplier;
+  cfg.hard_deadline_us = options_.hard_deadline;
+  cfg.adaptive_window = options_.adaptive_window;
+  cfg.pipeline_depth = std::max<size_t>(options_.pipeline_depth, 1);
+  cfg.reliability = options_.reliability;
+  cfg.abort_deadline_us = options_.abort_deadline;
+  cfg.output_history = options_.output_history;
+  for (size_t m : servers_[j]->attached_machines) {
+    for (size_t k = 0; k < machines_[m].num_clients; ++k) {
+      cfg.attached_clients.push_back(static_cast<uint32_t>(machines_[m].first_client + k));
+    }
+  }
+  return cfg;
+}
+
+void NetDissent::CrashServer(size_t j) {
+  ServerNode& s = *servers_[j];
+  if (s.crashed) {
+    return;
+  }
+  // The snapshot stands in for the durable checkpoint a real server writes
+  // as it goes; taking it at crash time models losing nothing but the
+  // in-flight frames — which is exactly what the reliability layer repairs.
+  s.snapshot = s.engine->SerializeSnapshot();
+  ++s.epoch;  // orphan every timer the dead incarnation scheduled
+  s.crashed = true;
+  net_.SetOnline(s.node, false);
+}
+
+void NetDissent::RestoreServer(size_t j) {
+  ServerNode& s = *servers_[j];
+  if (!s.crashed) {
+    return;
+  }
+  // Rebuild logic + engine from scratch, then resume from the snapshot. The
+  // fresh rng seed is irrelevant: DissentServer::RestoreState reseeds
+  // deterministically from the state bytes, so a restart is replayable.
+  const size_t depth = std::max<size_t>(options_.pipeline_depth, 1);
+  auto logic = std::make_unique<DissentServer>(
+      def_, j, server_privs_[j], SecureRng::FromLabel(0x52455354u ^ j), depth);
+  logic->SetEvidenceRounds(options_.evidence_rounds);
+  logic->SetPseudonymKeys(pseudonym_keys_);
+  logic->BeginSlots(clients_.size());
+  s.logic = std::move(logic);
+  s.engine = std::make_unique<ServerEngine>(s.logic.get(), def_, ServerConfigFor(j));
+  s.crashed = false;
+  net_.SetOnline(s.node, true);
+  ++server_restarts_;
+  auto actions = s.engine->RestoreSnapshot(s.snapshot, sim_->Now());
+  s.snapshot.clear();
+  if (actions.has_value()) {
+    DispatchServer(j, std::move(*actions));
+  }
 }
 
 void NetDissent::SubmitWithDelay(size_t client_index, Network::Frame frame, bool round_paced) {
@@ -331,7 +467,7 @@ void NetDissent::SendEnvelope(size_t server_index, const Envelope& env,
   // one-entry cache keyed on message identity suffices).
   if (env.msg.get() != cache.msg) {
     cache.msg = env.msg.get();
-    cache.frame = SerializeWireShared(*env.msg);
+    cache.frame = MakeFrame(*env.msg);
   }
   const Network::Frame& frame = cache.frame;
   const NodeId from = servers_[server_index]->node;
@@ -369,7 +505,11 @@ void NetDissent::DispatchServer(size_t j, ServerEngine::Actions actions) {
     SendEnvelope(j, env, cache);
   }
   for (const TimerRequest& t : actions.timers) {
-    sim_->Schedule(static_cast<SimTime>(t.delay_us), [this, j, token = t.token] {
+    const uint64_t epoch = servers_[j]->epoch;
+    sim_->Schedule(static_cast<SimTime>(t.delay_us), [this, j, epoch, token = t.token] {
+      if (servers_[j]->epoch != epoch) {
+        return;  // scheduled by an incarnation that has since crashed
+      }
       DispatchServer(j, servers_[j]->engine->HandleTimer(token, sim_->Now()));
     });
   }
@@ -413,9 +553,25 @@ void NetDissent::DispatchClient(size_t i, ClientEngine::Actions actions) {
           }
         }
       }
+      // Only bare submissions ride the heavy-tailed PlanetLab round-pacing
+      // model (which can "never" deliver). Reliability-wrapped frames get
+      // the uniform think-time jitter instead: a retransmission schedule
+      // with its own per-round dropout would double-count the loss model,
+      // and the chaos layer already supplies frame loss when wanted. (This
+      // also means the in-flight disruptor hook above no-ops under
+      // reliability — its frames are Reliable-wrapped — so disruption tests
+      // keep reliability off.)
       const bool round_paced = std::holds_alternative<wire::ClientSubmit>(*msg);
-      SubmitWithDelay(i, SerializeWireShared(*msg), round_paced);
+      SubmitWithDelay(i, MakeFrame(*msg), round_paced);
     }
+  }
+  for (const TimerRequest& t : actions.timers) {
+    // Client timers (retransmit sweep, resync heartbeat) survive offline
+    // windows: the engine keeps ticking, but DispatchClient drops any frames
+    // it emits while the client is offline.
+    sim_->Schedule(static_cast<SimTime>(t.delay_us), [this, i, token = t.token] {
+      DispatchClient(i, clients_[i]->engine->HandleTimer(token, sim_->Now()));
+    });
   }
   if (i == 0 && record_cleartexts_) {
     for (ClientEngine::Delivery& d : actions.delivered) {
@@ -448,6 +604,31 @@ size_t NetDissent::peak_round_state_bytes() const {
 void NetDissent::InjectDisruptor(size_t disruptor, size_t bit) {
   disruptor_ = DisruptorHook{disruptor, bit};
 }
+
+Network::Frame NetDissent::MakeFrame(const WireMessage& msg) {
+  if (!options_.frame_checksums) {
+    return SerializeWireShared(msg);
+  }
+  Bytes data = SerializeWire(msg);
+  const uint64_t h = Fnv1a64(data.data(), data.size());
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    data.push_back(static_cast<uint8_t>(h >> (8 * i)));
+  }
+  return std::make_shared<const Bytes>(std::move(data));
+}
+
+uint64_t NetDissent::retransmits() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->engine->retransmits();
+  }
+  for (const auto& c : clients_) {
+    total += c->engine->retransmits();
+  }
+  return total;
+}
+
+uint64_t NetDissent::rounds_aborted() const { return servers_[0]->engine->rounds_aborted(); }
 
 bool NetDissent::blame_in_progress() const {
   for (const auto& s : servers_) {

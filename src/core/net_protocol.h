@@ -84,6 +84,32 @@ class NetDissent {
     // Rounds of accusation evidence each server retains (0 => none, keeping
     // per-round server ciphertext memory strictly O(L)).
     size_t evidence_rounds = DissentServer::kEvidenceRounds;
+    // --- hostile-network survival (PR 6) ---
+    // Chaos layer: loss/duplication/reordering/corruption/partitions applied
+    // by sim::Network, plus timed server crash/restart windows enacted here
+    // (Crash::node is a *server index*; the engine is torn down at down_at
+    // and rebuilt from its serialized snapshot at up_at).
+    std::optional<sim::FaultPlan> fault_plan;
+    // Ack/retransmit with capped exponential backoff on every unicast
+    // engine envelope (engine.h ReliableMailbox). Off by default: the clean
+    // fast path stays byte-identical to the pre-reliability protocol.
+    ReliabilityConfig reliability;
+    // Client stall detector: after this long without a new certified round
+    // the client asks its upstream server for the signed summaries it
+    // missed (CatchUpRequest) and re-sends its in-flight submissions.
+    // 0 disables (historical gap-tolerant ingest).
+    SimTime resync_timeout = 0;
+    // Fleet-voted degradation: a round unfinished this long after opening
+    // is aborted by server vote instead of stalling the pipeline forever.
+    // 0 disables.
+    SimTime abort_deadline = 0;
+    // Signed RoundSummaries each server retains for catch-up service.
+    size_t output_history = 64;
+    // 64-bit FNV-1a trailer on every frame, verified and stripped on
+    // receipt; a mismatch (chaos-layer corruption) downgrades to a clean
+    // drop, which the reliability layer then repairs. Without this,
+    // corruption that still parses could poison a round irrecoverably.
+    bool frame_checksums = false;
   };
 
   NetDissent(GroupDef def, std::vector<BigInt> server_privs, std::vector<BigInt> client_privs,
@@ -96,6 +122,9 @@ class NetDissent {
 
   DissentClient& client(size_t i);
   DissentServer& server(size_t j);
+  // Engine access for tests (retransmit counters, resync progress).
+  ClientEngine& client_engine(size_t i);
+  ServerEngine& server_engine(size_t j);
   void SetClientOnline(size_t i, bool online);
 
   // Observability for tests/benches.
@@ -134,6 +163,18 @@ class NetDissent {
   // True while any server engine has a blame instance pending or active.
   bool blame_in_progress() const;
 
+  // --- hostile-network observability (PR 6) ---
+  // Total reliable-frame retransmissions across every engine (servers and
+  // clients); the retransmit-overhead bench column derives from this plus
+  // Network::bytes_sent.
+  uint64_t retransmits() const;
+  // Frames dropped because their FNV trailer failed verification.
+  uint64_t checksum_drops() const { return checksum_drops_; }
+  // Fleet-voted round aborts (server 0's count).
+  uint64_t rounds_aborted() const;
+  // Server crash/restart cycles the harness has enacted.
+  uint64_t server_restarts() const { return server_restarts_; }
+
  private:
   struct ServerNode;
   struct ClientNode;
@@ -152,6 +193,14 @@ class NetDissent {
   void SubmitWithDelay(size_t client_index, Network::Frame frame, bool round_paced);
   void DeliverToServer(size_t j, NodeId from, const Network::Frame& payload);
   void DeliverToMachine(size_t m, NodeId from, const Network::Frame& payload);
+  // Serializes a message for the wire, appending the FNV trailer when
+  // frame_checksums is on.
+  Network::Frame MakeFrame(const WireMessage& msg);
+  // Crash harness (fault_plan crash windows): snapshot + teardown at
+  // down_at, rebuild from the snapshot at up_at.
+  void CrashServer(size_t j);
+  void RestoreServer(size_t j);
+  ServerEngine::Config ServerConfigFor(size_t j) const;
   // Parse each distinct frame exactly once: broadcast deliveries share the
   // frame object, so the parse result is cached by frame identity.
   std::shared_ptr<const WireMessage> ParseFrame(const Network::Frame& frame);
@@ -188,6 +237,13 @@ class NetDissent {
   };
   std::optional<DisruptorHook> disruptor_;
   std::vector<ServerEngine::BlameDone> blame_done_;
+
+  // PR 6 state: pseudonym keys are retained so a restarted server can be
+  // re-armed with them (they are session metadata a real deployment would
+  // reload from disk, not in-flight protocol state).
+  std::vector<BigInt> pseudonym_keys_;
+  uint64_t checksum_drops_ = 0;
+  uint64_t server_restarts_ = 0;
 };
 
 }  // namespace dissent

@@ -277,8 +277,46 @@ std::optional<Bytes> DissentServer::CombineAndVerify(uint64_t round,
   return TreeXor(server_cts);
 }
 
-SchnorrSignature DissentServer::SignRoundOutput(uint64_t round, const Bytes& cleartext) {
-  return SignOutput(def_, round, cleartext, priv_, rng_);
+namespace {
+// Deterministic signing nonce (RFC 6979 style, mirroring the client's
+// BlameNonceRng): signatures depend only on (key, message), never on rng_
+// history, so a restarted server re-signs byte-identically.
+SecureRng ServerNonceRng(const Group& group, const BigInt& priv, const char* label,
+                         const Bytes& payload) {
+  Writer nonce;
+  nonce.Str(label);
+  nonce.Blob(group.ScalarToBytes(priv));
+  nonce.Blob(payload);
+  return SecureRng(Sha256::Hash(nonce.data()));
+}
+}  // namespace
+
+SchnorrSignature DissentServer::SignRoundOutput(uint64_t round, const Bytes& cleartext) const {
+  Bytes canonical = OutputSigningBytes(def_, round, cleartext);
+  SecureRng rng = ServerNonceRng(*def_.group, priv_, "dissent.output.nonce", canonical);
+  return SchnorrSign(*def_.group, priv_, canonical, rng);
+}
+
+Bytes DissentServer::SignVerdictShare(uint64_t session, uint64_t round, uint8_t kind,
+                                      uint32_t culprit) const {
+  Bytes canonical =
+      VerdictSigningBytes(session, static_cast<uint32_t>(index_), round, kind, culprit);
+  SecureRng rng = ServerNonceRng(*def_.group, priv_, "dissent.verdict.nonce", canonical);
+  return SchnorrSign(*def_.group, priv_, canonical, rng).Serialize(*def_.group);
+}
+
+bool DissentServer::VerifyVerdictShare(uint64_t session, uint32_t server_index, uint64_t round,
+                                       uint8_t kind, uint32_t culprit,
+                                       const Bytes& signature) const {
+  if (server_index >= def_.num_servers()) {
+    return false;
+  }
+  auto sig = SchnorrSignature::Deserialize(*def_.group, signature);
+  if (!sig.has_value()) {
+    return false;
+  }
+  return SchnorrVerify(*def_.group, def_.server_pubs[server_index],
+                       VerdictSigningBytes(session, server_index, round, kind, culprit), *sig);
 }
 
 DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Bytes& cleartext) {
@@ -319,6 +357,149 @@ DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Byte
     slot->active = false;
   }
   return result;
+}
+
+void DissentServer::AbortRound(uint64_t round) {
+  // Advance with an all-zero cleartext of this round's layout: request bits
+  // all clear and every open slot garbled, so every slot closes. Survivors
+  // running the same abort derive the identical next layout.
+  Bytes zero(scheds_.front().TotalLength(), 0);
+  SlotSchedule next = scheds_.front();
+  next.Advance(zero);
+  scheds_.push_back(std::move(next));
+  scheds_.pop_front();
+  sched_base_round_ = round + 1;
+  if (RoundSlot* slot = FindRound(round)) {
+    slot->active = false;
+  }
+  // No certified output exists: drop the round's evidence (tracing against
+  // an aborted round is meaningless).
+  auto it = evidence_.find(round);
+  if (it != evidence_.end()) {
+    size_t bytes = it->second.server_ct.size() + it->second.cleartext.size();
+    for (const auto& [i, ct] : it->second.received_cts) {
+      bytes += ct.size();
+    }
+    evidence_bytes_ -= std::min(evidence_bytes_, bytes);
+    evidence_.erase(it);
+  }
+}
+
+Bytes DissentServer::SerializeState() const {
+  Writer w;
+  w.Str("dissent.server.state.v1");
+  w.U32(static_cast<uint32_t>(index_));
+  w.U64(sched_base_round_);
+  w.U64(newest_round_);
+  w.U32(static_cast<uint32_t>(scheds_.size()));
+  for (const SlotSchedule& s : scheds_) {
+    s.SerializeTo(w);
+  }
+  w.U32(static_cast<uint32_t>(expelled_.size()));
+  for (size_t i = 0; i < expelled_.size(); ++i) {
+    w.U8(expelled_[i] ? 1 : 0);
+  }
+  // In-flight submission ring: without it a restarted server would reopen
+  // its rounds empty and could sign a *different* combined ciphertext for a
+  // round it had already gossiped — self-equivocation by amnesia. With it,
+  // restart resumes the combine exactly where the crash interrupted it.
+  w.U32(static_cast<uint32_t>(rounds_.size()));
+  for (const RoundSlot& slot : rounds_) {
+    w.U64(slot.round);
+    w.Bool(slot.active);
+    w.Blob(slot.recv_acc);
+    w.Blob(slot.server_ct);
+    w.U32(static_cast<uint32_t>(slot.received_ids.size()));
+    for (uint32_t id : slot.received_ids) {
+      w.U32(id);
+    }
+    w.U32(static_cast<uint32_t>(slot.submitted.size()));
+    for (uint64_t word : slot.submitted) {
+      w.U64(word);
+    }
+  }
+  return w.Take();
+}
+
+bool DissentServer::RestoreState(const Bytes& state) {
+  Reader r(state);
+  std::string magic;
+  uint32_t index, sched_count, expelled_count;
+  uint64_t base, newest;
+  if (!r.Str(&magic) || magic != "dissent.server.state.v1" || !r.U32(&index) ||
+      index != index_ || !r.U64(&base) || !r.U64(&newest) || !r.U32(&sched_count) ||
+      sched_count != pipeline_depth_) {
+    return false;
+  }
+  std::deque<SlotSchedule> scheds;
+  for (uint32_t k = 0; k < sched_count; ++k) {
+    auto s = SlotSchedule::DeserializeFrom(r);
+    if (!s.has_value()) {
+      return false;
+    }
+    scheds.push_back(std::move(*s));
+  }
+  if (!r.U32(&expelled_count) || expelled_count != def_.num_clients() ||
+      expelled_count > r.remaining()) {
+    return false;
+  }
+  std::vector<bool> expelled(expelled_count, false);
+  for (uint32_t i = 0; i < expelled_count; ++i) {
+    uint8_t b;
+    if (!r.U8(&b) || b > 1) {
+      return false;
+    }
+    expelled[i] = b != 0;
+  }
+  uint32_t ring_count;
+  if (!r.U32(&ring_count) || ring_count != pipeline_depth_) {
+    return false;
+  }
+  std::vector<RoundSlot> rounds(ring_count);
+  for (uint32_t k = 0; k < ring_count; ++k) {
+    RoundSlot& slot = rounds[k];
+    uint32_t n_ids, n_words;
+    if (!r.U64(&slot.round) || !r.Bool(&slot.active) || !r.Blob(&slot.recv_acc) ||
+        !r.Blob(&slot.server_ct) || !r.U32(&n_ids) || n_ids > def_.num_clients()) {
+      return false;
+    }
+    slot.received_ids.resize(n_ids);
+    for (uint32_t i = 0; i < n_ids; ++i) {
+      if (!r.U32(&slot.received_ids[i]) || slot.received_ids[i] >= def_.num_clients()) {
+        return false;
+      }
+    }
+    if (!r.U32(&n_words) || n_words > (def_.num_clients() + 63) / 64) {
+      return false;
+    }
+    slot.submitted.resize(n_words);
+    for (uint32_t i = 0; i < n_words; ++i) {
+      if (!r.U64(&slot.submitted[i])) {
+        return false;
+      }
+    }
+  }
+  if (!r.AtEnd()) {
+    return false;
+  }
+  scheds_ = std::move(scheds);
+  sched_base_round_ = base;
+  newest_round_ = newest;
+  expelled_ = std::move(expelled);
+  // The in-flight rounds resume exactly where the crash interrupted them:
+  // already-accepted submissions are in the accumulators, and the engine's
+  // snapshot replays its own inventory/commit progress on top.
+  rounds_ = std::move(rounds);
+  evidence_.clear();
+  evidence_bytes_ = 0;
+  equivocator_.reset();
+  // Deterministic reseed: the post-restart rng is a pure function of the
+  // restored state, so a replayed crash schedule reproduces the same trace.
+  Writer reseed;
+  reseed.Str("dissent.server.restart");
+  reseed.Blob(state);
+  rng_ = SecureRng(Sha256::Hash(reseed.data()));
+  return true;
 }
 
 const DissentServer::RoundEvidence* DissentServer::EvidenceFor(uint64_t round) const {

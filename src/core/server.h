@@ -118,7 +118,19 @@ class DissentServer {
                                         const std::vector<Bytes>& commits);
   std::optional<size_t> detected_equivocator() const { return equivocator_; }
 
-  SchnorrSignature SignRoundOutput(uint64_t round, const Bytes& cleartext);
+  // Deterministic (derived nonce, RFC 6979 style): re-signing the same
+  // (round, cleartext) after a crash/restart yields the identical bytes, so
+  // retransmitted certificates match their originals bit-for-bit.
+  SchnorrSignature SignRoundOutput(uint64_t round, const Bytes& cleartext) const;
+
+  // --- verdict agreement (engine-driven, §3.9 hardening) ---
+  // Signature over VerdictSigningBytes with a deterministic nonce; the
+  // engine broadcasts it as a wire::VerdictShare and acts on an expulsion
+  // only once every server's share over the identical context verifies.
+  Bytes SignVerdictShare(uint64_t session, uint64_t round, uint8_t kind,
+                         uint32_t culprit) const;
+  bool VerifyVerdictShare(uint64_t session, uint32_t server_index, uint64_t round,
+                          uint8_t kind, uint32_t culprit, const Bytes& signature) const;
 
   // --- step 6 aftermath ---
   // Advances the (lagged) shared slot schedule and drops round state; also
@@ -129,6 +141,25 @@ class DissentServer {
     size_t participation = 0;
   };
   RoundFinish FinishRound(uint64_t round, const Bytes& cleartext);
+
+  // Abort aftermath: closes `round` without a certified output. The shared
+  // schedule still advances (with an all-zero cleartext, which closes every
+  // slot deterministically — owners re-request), so all survivors agree on
+  // the layout of round + depth. Must be called in round order, in place of
+  // FinishRound.
+  void AbortRound(uint64_t round);
+
+  // --- crash recovery (engine-driven) ---
+  // Serialized session state a restarting server needs to rejoin mid-stream:
+  // the lagged schedule window and the expulsion set. In-flight round state
+  // (ring, accumulators) is deliberately excluded — those rounds are redone
+  // from peers' retransmissions. Evidence and pseudonym keys are excluded
+  // too: tracing for pre-crash rounds degrades to unavailable, and the
+  // transport reinstalls keys on restart. RestoreState also reseeds the
+  // internal rng from the snapshot hash, keeping the restarted server
+  // deterministic (steady-state signing no longer touches it at all).
+  Bytes SerializeState() const;
+  bool RestoreState(const Bytes& state);
 
   // --- accusation support (§3.9) ---
   struct RoundEvidence {

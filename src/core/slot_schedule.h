@@ -15,10 +15,12 @@
 #define DISSENT_CORE_SLOT_SCHEDULE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/core/cleartext.h"
 #include "src/util/bytes.h"
+#include "src/util/serialize.h"
 
 namespace dissent {
 
@@ -43,6 +45,11 @@ class SlotSchedule {
 
   // Applies one completed round's output, updating every slot length.
   void Advance(const Bytes& cleartext);
+
+  // Snapshot support (crash-recovery, see engine.h): the schedule is part of
+  // a server's serialized session state.
+  void SerializeTo(Writer& w) const;
+  static std::optional<SlotSchedule> DeserializeFrom(Reader& r);
 
   // Clamp for requested lengths (guards against a disruptor opening a
   // gigantic slot through a corrupted header).

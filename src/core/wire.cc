@@ -21,17 +21,27 @@ enum class Tag : uint8_t {
   kTraceEvidence = 12,
   kBlameChallenge = 13,
   kBlameRebuttal = 14,
+  kAck = 15,
+  kReliable = 16,
+  kCatchUpRequest = 17,
+  kRoundSummary = 18,
+  kVerdictShare = 19,
+  kRoundAbort = 20,
 };
 
 }  // namespace
 
-// IsBlamePhaseMessage relies on the blame messages being the variant tail.
+// IsBlamePhaseMessage relies on the blame messages occupying a contiguous
+// variant range [6, 13]; the reliability/recovery frames are appended after
+// so existing index-based dispatch never shifts.
 static_assert(std::is_same_v<std::variant_alternative_t<6, WireMessage>, wire::BlameStart>,
               "blame messages must start at variant index 6");
+static_assert(std::is_same_v<std::variant_alternative_t<13, WireMessage>, wire::BlameVerdict>,
+              "BlameVerdict must close the blame range at variant index 13");
 static_assert(std::is_same_v<std::variant_alternative_t<std::variant_size_v<WireMessage> - 1,
                                                         WireMessage>,
-              wire::BlameVerdict>,
-              "BlameVerdict must be the last variant alternative");
+              wire::RoundAbort>,
+              "reliability frames must stay appended after the blame range");
 
 bool BitmapCanonical(const Bytes& bitmap, size_t bits) {
   if (bitmap.size() != (bits + 7) / 8) {
@@ -142,6 +152,44 @@ Bytes SerializeWire(const WireMessage& msg) {
           w.U64(m.round);
           w.U8(m.kind);
           w.U32(m.culprit);
+        } else if constexpr (std::is_same_v<T, wire::Ack>) {
+          w.U8(static_cast<uint8_t>(Tag::kAck));
+          w.U64(m.seq);
+          w.U32(m.from_id);
+          w.U32(m.to_id);
+          w.Blob(m.sack);
+        } else if constexpr (std::is_same_v<T, wire::Reliable>) {
+          w.U8(static_cast<uint8_t>(Tag::kReliable));
+          w.U64(m.seq);
+          w.U32(m.from_id);
+          w.U32(m.to_id);
+          w.Blob(m.inner);
+        } else if constexpr (std::is_same_v<T, wire::CatchUpRequest>) {
+          w.U8(static_cast<uint8_t>(Tag::kCatchUpRequest));
+          w.U64(m.have_round);
+          w.U32(m.client_id);
+        } else if constexpr (std::is_same_v<T, wire::RoundSummary>) {
+          w.U8(static_cast<uint8_t>(Tag::kRoundSummary));
+          w.U64(m.round);
+          w.Bool(m.aborted);
+          w.Blob(m.cleartext);
+          w.U32(static_cast<uint32_t>(m.signatures.size()));
+          for (const Bytes& sig : m.signatures) {
+            w.Blob(sig);
+          }
+          w.U64(m.final_round);
+        } else if constexpr (std::is_same_v<T, wire::VerdictShare>) {
+          w.U8(static_cast<uint8_t>(Tag::kVerdictShare));
+          w.U64(m.session);
+          w.U32(m.server_id);
+          w.U64(m.round);
+          w.U8(m.kind);
+          w.U32(m.culprit);
+          w.Blob(m.signature);
+        } else if constexpr (std::is_same_v<T, wire::RoundAbort>) {
+          w.U8(static_cast<uint8_t>(Tag::kRoundAbort));
+          w.U64(m.round);
+          w.U32(m.server_id);
         }
       },
       msg);
@@ -347,6 +395,86 @@ std::optional<WireMessage> ParseWire(const Bytes& data) {
       }
       return WireMessage(std::move(m));
     }
+    case Tag::kAck: {
+      wire::Ack m;
+      if (!r.U64(&m.seq) || !r.U32(&m.from_id) || !r.U32(&m.to_id) ||
+          !r.Blob(&m.sack) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      // A sack bitmap wider than any sane retransmission window is hostile;
+      // canonical form also forbids a trailing all-zero byte (one encoding
+      // per acknowledgement set).
+      if (m.sack.size() > 1024 || (!m.sack.empty() && m.sack.back() == 0)) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kReliable: {
+      wire::Reliable m;
+      if (!r.U64(&m.seq) || !r.U32(&m.from_id) || !r.U32(&m.to_id) ||
+          !r.Blob(&m.inner) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      // The inner frame is itself a WireMessage, so it carries at least a
+      // tag byte. Nesting (Reliable-in-Reliable, acked Acks) is rejected
+      // here so a hostile peer cannot build recursive towers.
+      if (m.inner.empty() || m.inner[0] == static_cast<uint8_t>(Tag::kReliable) ||
+          m.inner[0] == static_cast<uint8_t>(Tag::kAck)) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kCatchUpRequest: {
+      wire::CatchUpRequest m;
+      if (!r.U64(&m.have_round) || !r.U32(&m.client_id) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kRoundSummary: {
+      wire::RoundSummary m;
+      uint32_t count;
+      if (!r.U64(&m.round) || !r.Bool(&m.aborted) || !r.Blob(&m.cleartext) || !r.U32(&count)) {
+        return std::nullopt;
+      }
+      if (static_cast<size_t>(count) > r.remaining() / 4) {
+        return std::nullopt;
+      }
+      m.signatures.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        Bytes sig;
+        if (!r.Blob(&sig)) {
+          return std::nullopt;
+        }
+        m.signatures.push_back(std::move(sig));
+      }
+      if (!r.U64(&m.final_round) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      // Canonical: an aborted round has no cleartext and no signatures.
+      if (m.aborted && (!m.cleartext.empty() || !m.signatures.empty())) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kVerdictShare: {
+      wire::VerdictShare m;
+      if (!r.U64(&m.session) || !r.U32(&m.server_id) || !r.U64(&m.round) || !r.U8(&m.kind) ||
+          !r.U32(&m.culprit) || !r.Blob(&m.signature) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      if (m.kind > wire::BlameVerdict::kServerExposed) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kRoundAbort: {
+      wire::RoundAbort m;
+      if (!r.U64(&m.round) || !r.U32(&m.server_id) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
     default:
       return std::nullopt;
   }
@@ -394,8 +522,20 @@ const char* WireTypeName(const WireMessage& msg) {
           return "BlameChallenge";
         } else if constexpr (std::is_same_v<T, wire::BlameRebuttal>) {
           return "BlameRebuttal";
-        } else {
+        } else if constexpr (std::is_same_v<T, wire::BlameVerdict>) {
           return "BlameVerdict";
+        } else if constexpr (std::is_same_v<T, wire::Ack>) {
+          return "Ack";
+        } else if constexpr (std::is_same_v<T, wire::Reliable>) {
+          return "Reliable";
+        } else if constexpr (std::is_same_v<T, wire::CatchUpRequest>) {
+          return "CatchUpRequest";
+        } else if constexpr (std::is_same_v<T, wire::RoundSummary>) {
+          return "RoundSummary";
+        } else if constexpr (std::is_same_v<T, wire::VerdictShare>) {
+          return "VerdictShare";
+        } else {
+          return "RoundAbort";
         }
       },
       msg);

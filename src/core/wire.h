@@ -197,13 +197,96 @@ struct BlameVerdict {
   uint32_t culprit = 0;  // client index or server index, per `kind`
 };
 
+// --- reliability & recovery (hostile-network layer) ---
+//
+// The frames below exist so the engines can run over transports that lose,
+// duplicate, reorder, or corrupt frames and whose nodes crash mid-session.
+// They carry no DC-net semantics: Ack/Reliable implement per-directed-link
+// sequencing, CatchUpRequest/RoundSummary resynchronize a client that
+// missed an Output broadcast, VerdictShare closes the blame-verdict
+// agreement race, and RoundAbort votes a wedged round dead.
+
+// Cumulative acknowledgement for a Reliable-wrapped frame. `seq` is the
+// highest sequence number below which every frame from the acked peer has
+// been received; `sack` bitmap (bit k => seq + 1 + k received) lets the
+// sender clear out-of-order arrivals without waiting for the cumulative
+// frontier. `from_id`/`to_id` are sender/addressee indices (client or
+// server per the link direction) — transport routing aids for nodes that
+// multiplex many clients; a real per-connection transport would carry the
+// same facts in the connection itself, and the engines never trust them
+// beyond what the transport has already authenticated.
+struct Ack {
+  uint64_t seq = 0;
+  uint32_t from_id = 0;
+  uint32_t to_id = 0;
+  Bytes sack;  // canonical bitmap, may be empty
+};
+
+// Reliability envelope: `inner` is one serialized WireMessage (never an Ack
+// or another Reliable), `seq` its per-directed-link sequence number. The
+// receiver acks every arrival, delivers each seq exactly once, and the
+// sender retransmits unacked frames with capped exponential backoff.
+// `from_id`/`to_id` as in Ack; any identity claim inside `inner` is still
+// verified by the engine against the authenticated sender.
+struct Reliable {
+  uint64_t seq = 0;
+  uint32_t from_id = 0;
+  uint32_t to_id = 0;
+  Bytes inner;
+};
+
+// Client -> upstream server: "I last processed round `have_round`; send me
+// everything newer you still remember." Sent on a resync timer when an
+// Output broadcast went missing.
+struct CatchUpRequest {
+  uint64_t have_round = 0;
+  uint32_t client_id = 0;
+};
+
+// Server -> one lagging client: the certified outcome of a single round the
+// client missed — either the full signed output (signatures in roster
+// order, verifiable exactly like Output) or an abort marker. `final_round`
+// tells the client how far the server has certified so it can tell when it
+// has caught up.
+struct RoundSummary {
+  uint64_t round = 0;
+  bool aborted = false;
+  Bytes cleartext;               // empty when aborted
+  std::vector<Bytes> signatures; // empty when aborted
+  uint64_t final_round = 0;      // newest round the server has certified
+};
+
+// Server -> all other servers: this server's signed share of a blame
+// verdict. No engine acts on an expulsion until it holds a verified share
+// from *every* server over the identical (session, round, kind, culprit)
+// context — a unilateral or equivocated verdict converts to kInconclusive
+// instead of an expulsion.
+struct VerdictShare {
+  uint64_t session = 0;
+  uint32_t server_id = 0;
+  uint64_t round = 0;
+  uint8_t kind = 0;      // wire::BlameVerdict::Kind
+  uint32_t culprit = 0;
+  Bytes signature;       // Schnorr over the canonical verdict context
+};
+
+// Server -> all other servers: vote to abort `round` (its window has been
+// open past the abort deadline with a peer server silent). A round aborts
+// only when every *reachable* server has voted, and an aborted round
+// advances the slot schedule with an all-zero cleartext on every node.
+struct RoundAbort {
+  uint64_t round = 0;
+  uint32_t server_id = 0;
+};
+
 }  // namespace wire
 
 using WireMessage =
     std::variant<wire::ClientSubmit, wire::Inventory, wire::Commit, wire::ServerCiphertext,
                  wire::SignatureShare, wire::Output, wire::BlameStart, wire::AccusationSubmit,
                  wire::BlameRoster, wire::BlameMix, wire::TraceEvidence, wire::BlameChallenge,
-                 wire::BlameRebuttal, wire::BlameVerdict>;
+                 wire::BlameRebuttal, wire::BlameVerdict, wire::Ack, wire::Reliable,
+                 wire::CatchUpRequest, wire::RoundSummary, wire::VerdictShare, wire::RoundAbort>;
 
 // Canonical encoding: [u8 tag][fixed fields][length-prefixed byte strings].
 Bytes SerializeWire(const WireMessage& msg);
@@ -227,10 +310,14 @@ const char* WireTypeName(const WireMessage& msg);
 // beyond the last entry, so every value has one encoding.
 bool BitmapCanonical(const Bytes& bitmap, size_t bits);
 
-// True for the §3.9 blame sub-phase messages (BlameStart..BlameVerdict) —
-// one index compare, cheap enough for per-delivery hot paths. The variant
-// layout this relies on is pinned by static_asserts in wire.cc.
-inline bool IsBlamePhaseMessage(const WireMessage& msg) { return msg.index() >= 6; }
+// True for the §3.9 blame sub-phase messages (BlameStart..BlameVerdict plus
+// the VerdictShare agreement frame) — index compares, cheap enough for
+// per-delivery hot paths. The variant layout this relies on is pinned by
+// static_asserts in wire.cc.
+inline bool IsBlamePhaseMessage(const WireMessage& msg) {
+  return (msg.index() >= 6 && msg.index() <= 13) ||
+         std::holds_alternative<wire::VerdictShare>(msg);
+}
 
 }  // namespace dissent
 

@@ -1,0 +1,66 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultPlan is a pure description: probabilities, windows, and a seed.
+// The chaos layer inside sim::Network draws from one seeded Rng in frame
+// send order, so the same plan against the same workload reproduces the
+// identical fault trace bit-for-bit — a failing chaos run is replayable by
+// seed alone. Crash/restart entries are enacted by the transport harness
+// (the network cannot rebuild an engine from a snapshot); the network
+// enforces everything frame-level: loss, duplication, reordering, byte
+// corruption, and link partitions.
+#ifndef DISSENT_SIM_FAULT_PLAN_H_
+#define DISSENT_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace dissent {
+namespace sim {
+
+struct FaultPlan {
+  uint64_t seed = 0;
+
+  // Per-frame probabilities, drawn independently at send time.
+  double drop = 0.0;       // frame silently lost in flight
+  double duplicate = 0.0;  // frame delivered a second time
+  double reorder = 0.0;    // frame held back so later frames overtake it
+  double corrupt = 0.0;    // one random byte of the frame flipped
+
+  // Extra in-flight delay (uniform in (0, reorder_delay]) applied to
+  // reordered frames; must exceed the link latency spread to actually
+  // invert arrival order.
+  SimTime reorder_delay = 20 * kMillisecond;
+
+  // Frames between node groups [a_lo, a_hi] and [b_lo, b_hi] (inclusive,
+  // both directions) are lost while from <= now < until.
+  struct Partition {
+    uint32_t a_lo = 0, a_hi = 0;
+    uint32_t b_lo = 0, b_hi = 0;
+    SimTime from = 0;
+    SimTime until = 0;
+  };
+  std::vector<Partition> partitions;
+
+  // Node crash/restart windows. The network treats a crashed node exactly
+  // like an offline one (frames to/from it during [down_at, up_at) are
+  // lost); the transport harness additionally tears the node's engine down
+  // and rebuilds it from its last serialized snapshot at up_at.
+  struct Crash {
+    uint32_t node = 0;
+    SimTime down_at = 0;
+    SimTime up_at = 0;
+  };
+  std::vector<Crash> crashes;
+
+  bool Active() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           !partitions.empty() || !crashes.empty();
+  }
+};
+
+}  // namespace sim
+}  // namespace dissent
+
+#endif  // DISSENT_SIM_FAULT_PLAN_H_

@@ -19,9 +19,50 @@ void Network::SetUplink(NodeId node, LinkSpec spec) { nodes_[node].uplink = spec
 
 void Network::SetOnline(NodeId node, bool online) { nodes_[node].online = online; }
 
+void Network::SetFaultPlan(const sim::FaultPlan& plan) {
+  fault_plan_ = plan;
+  chaos_rng_ = Rng(plan.seed);
+}
+
 const LinkSpec& Network::LinkFor(NodeId from, NodeId to) const {
   auto it = links_.find((static_cast<uint64_t>(from) << 32) | to);
   return it == links_.end() ? default_link_ : it->second;
+}
+
+bool Network::Partitioned(NodeId from, NodeId to, SimTime now) const {
+  if (!fault_plan_) {
+    return false;
+  }
+  for (const auto& p : fault_plan_->partitions) {
+    if (now < p.from || now >= p.until) {
+      continue;
+    }
+    const bool from_a = from >= p.a_lo && from <= p.a_hi;
+    const bool from_b = from >= p.b_lo && from <= p.b_hi;
+    const bool to_a = to >= p.a_lo && to <= p.a_hi;
+    const bool to_b = to >= p.b_lo && to <= p.b_hi;
+    if ((from_a && to_b) || (from_b && to_a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Network::Deliver(NodeId from, NodeId to, SimTime arrive, Frame payload) {
+  // The in-flight copy is one shared_ptr: a broadcast frame queued toward
+  // thousands of destinations exists once, not once per destination.
+  sim_->ScheduleAt(arrive, [this, from, to, p = std::move(payload)]() {
+    NodeState& dst = nodes_[to];
+    if (!dst.online || !dst.on_message) {
+      ++messages_dropped_;  // dropped: receiver offline at delivery time
+      return;
+    }
+    // Counted at delivery so silently-dropped traffic never skews the
+    // bandwidth accounting.
+    ++messages_sent_;
+    bytes_sent_ += p->size();
+    dst.on_message(from, p);
+  });
 }
 
 void Network::Send(NodeId from, NodeId to, Frame payload) {
@@ -52,20 +93,43 @@ void Network::Send(NodeId from, NodeId to, Frame payload) {
   link_busy = depart;
   SimTime arrive = depart + link.latency;
 
-  // The in-flight copy is one shared_ptr: a broadcast frame queued toward
-  // thousands of destinations exists once, not once per destination.
-  sim_->ScheduleAt(arrive, [this, from, to, p = std::move(payload)]() {
-    NodeState& dst = nodes_[to];
-    if (!dst.online || !dst.on_message) {
-      ++messages_dropped_;  // dropped: receiver offline at delivery time
+  // Chaos layer. Decisions are drawn in a fixed order from one seeded Rng
+  // consumed in Send-call order (itself deterministic under the simulator's
+  // strict event ordering), so a FaultPlan replays the identical fault
+  // trace bit-for-bit. The FIFO horizon above is charged before chaos:
+  // lost frames still occupied the wire, and a reordered frame is held in
+  // a queue after the link rather than stretching the link itself.
+  if (fault_plan_ && fault_plan_->Active()) {
+    const sim::FaultPlan& fp = *fault_plan_;
+    if (Partitioned(from, to, sim_->Now())) {
+      ++messages_lost_;
       return;
     }
-    // Counted at delivery so silently-dropped traffic never skews the
-    // bandwidth accounting.
-    ++messages_sent_;
-    bytes_sent_ += p->size();
-    dst.on_message(from, p);
-  });
+    if (fp.drop > 0 && chaos_rng_.Bernoulli(fp.drop)) {
+      ++messages_lost_;
+      return;
+    }
+    if (fp.corrupt > 0 && chaos_rng_.Bernoulli(fp.corrupt) && !payload->empty()) {
+      auto mutated = std::make_shared<Bytes>(*payload);
+      size_t at = chaos_rng_.Below(mutated->size());
+      (*mutated)[at] ^= static_cast<uint8_t>(1 + chaos_rng_.Below(255));
+      payload = std::move(mutated);
+      ++messages_corrupted_;
+    }
+    if (fp.duplicate > 0 && chaos_rng_.Bernoulli(fp.duplicate)) {
+      SimTime extra = 1 + static_cast<SimTime>(
+                              chaos_rng_.Below(static_cast<uint64_t>(fp.reorder_delay)));
+      Deliver(from, to, arrive + extra, payload);
+      ++messages_duplicated_;
+    }
+    if (fp.reorder > 0 && chaos_rng_.Bernoulli(fp.reorder)) {
+      arrive += 1 + static_cast<SimTime>(
+                        chaos_rng_.Below(static_cast<uint64_t>(fp.reorder_delay)));
+      ++messages_reordered_;
+    }
+  }
+
+  Deliver(from, to, arrive, std::move(payload));
 }
 
 }  // namespace dissent

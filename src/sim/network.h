@@ -20,11 +20,14 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "src/sim/fault_plan.h"
 #include "src/sim/simulator.h"
 #include "src/util/bytes.h"
+#include "src/util/rng.h"
 
 namespace dissent {
 
@@ -76,12 +79,25 @@ class Network {
     Send(from, to, std::make_shared<const Bytes>(std::move(payload)));
   }
 
+  // Installs the chaos layer: frames sent while the plan is active may be
+  // dropped, duplicated, reordered, or corrupted, and partition windows
+  // sever node groups. All draws come from one Rng seeded with plan.seed,
+  // consumed in send order, so a plan replays bit-for-bit.
+  void SetFaultPlan(const sim::FaultPlan& plan);
+  const sim::FaultPlan* fault_plan() const { return fault_plan_ ? &*fault_plan_ : nullptr; }
+
   // Delivered traffic only: messages silently dropped because either
   // endpoint was offline are counted in messages_dropped() instead, so
   // bandwidth reports (Fig 9) reflect bytes that actually crossed the wire.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  // Injected-fault accounting, separate from the incidental offline drops
+  // above so benches can report injected vs incidental loss.
+  uint64_t messages_lost() const { return messages_lost_; }
+  uint64_t messages_duplicated() const { return messages_duplicated_; }
+  uint64_t messages_corrupted() const { return messages_corrupted_; }
+  uint64_t messages_reordered() const { return messages_reordered_; }
 
  private:
   struct NodeState {
@@ -92,6 +108,8 @@ class Network {
   };
 
   const LinkSpec& LinkFor(NodeId from, NodeId to) const;
+  bool Partitioned(NodeId from, NodeId to, SimTime now) const;
+  void Deliver(NodeId from, NodeId to, SimTime arrive, Frame payload);
 
   Simulator* sim_;
   std::vector<NodeState> nodes_;
@@ -100,9 +118,15 @@ class Network {
   // FIFO serialization horizon per directed link (key as above): frames on
   // one link never reorder, exactly like messages on a TCP connection.
   std::unordered_map<uint64_t, SimTime> link_busy_;
+  std::optional<sim::FaultPlan> fault_plan_;
+  Rng chaos_rng_{0};
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t messages_lost_ = 0;
+  uint64_t messages_duplicated_ = 0;
+  uint64_t messages_corrupted_ = 0;
+  uint64_t messages_reordered_ = 0;
 };
 
 }  // namespace dissent

@@ -254,7 +254,7 @@ TEST(BatchedIngestTest, AdaptiveWindowTracksObservedParticipation) {
     auto a = engine.HandleMessage(ClientPeer(i), wire::ClientSubmit{2, i, Bytes(len2, 1)},
                                   121000000 + i);
     for (const auto& t : a.timers) {
-      timers_armed += (t.token >> 2) == 2 ? 1 : 0;
+      timers_armed += ServerEngine::TimerTokenId(t.token) == 2 ? 1 : 0;
     }
   }
   EXPECT_EQ(timers_armed, 1u) << "threshold did not adapt to observed participation";
@@ -282,7 +282,7 @@ TEST(BatchedIngestTest, StaticWindowConfigKeepsPaperPolicy) {
     auto a = engine.HandleMessage(ClientPeer(i), wire::ClientSubmit{2, i, Bytes(len2, 1)},
                                   121000000 + i);
     for (const auto& t : a.timers) {
-      timers_armed += (t.token >> 2) == 2 ? 1 : 0;
+      timers_armed += ServerEngine::TimerTokenId(t.token) == 2 ? 1 : 0;
     }
   }
   EXPECT_EQ(timers_armed, 0u) << "static policy must ignore the observation";

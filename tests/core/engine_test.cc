@@ -206,7 +206,7 @@ TEST(EngineTest, ClientIgnoresReplayedOutputs) {
                                &client_privs);
   DissentClient logic(def, 0, client_privs[0], SecureRng::FromLabel(2));
   ClientEngine engine(&logic, def, ClientEngine::Config{});
-  auto start = engine.StartSession();
+  auto start = engine.StartSession(0);
   ASSERT_EQ(start.out.size(), 1u);  // round 1 submission
 
   auto certified = [&](uint64_t round) {
@@ -214,16 +214,16 @@ TEST(EngineTest, ClientIgnoresReplayedOutputs) {
     SchnorrSignature sig = SignOutput(def, round, cleartext, server_privs[0], rng);
     return wire::Output{round, cleartext, {sig.Serialize(*def.group)}};
   };
-  auto first = engine.HandleMessage(ServerPeer(0), certified(1));
+  auto first = engine.HandleMessage(ServerPeer(0), certified(1), 0);
   ASSERT_EQ(first.delivered.size(), 1u);
   EXPECT_TRUE(first.delivered[0].signatures_ok);
   ASSERT_EQ(first.out.size(), 1u);  // round 2 submission
 
-  auto replayed = engine.HandleMessage(ServerPeer(0), certified(1));
+  auto replayed = engine.HandleMessage(ServerPeer(0), certified(1), 0);
   EXPECT_TRUE(replayed.delivered.empty()) << "replayed output was processed";
   EXPECT_TRUE(replayed.out.empty()) << "replay triggered a duplicate submission";
 
-  auto second = engine.HandleMessage(ServerPeer(0), certified(2));
+  auto second = engine.HandleMessage(ServerPeer(0), certified(2), 0);
   ASSERT_EQ(second.delivered.size(), 1u);  // forward progress still fine
   EXPECT_EQ(std::get<wire::ClientSubmit>(*second.out[0].msg).round, 3u);
 }

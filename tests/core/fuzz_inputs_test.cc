@@ -148,6 +148,14 @@ TEST(FuzzTest, WireMessageParser) {
       wire::BlameChallenge{7, 6, 1234, 9, Bytes{0x03}},
       wire::BlameRebuttal{7, 9, Bytes(80, 0x7b), Bytes(72, 0x1c)},
       wire::BlameVerdict{7, 6, wire::BlameVerdict::kClientExpelled, 9},
+      // PR 6 reliability/recovery frames.
+      wire::Ack{42, 3, 0, Bytes{0x05}},
+      wire::Reliable{42, 3, 0, SerializeWire(wire::ClientSubmit{7, 3, Bytes(64, 0x21)})},
+      wire::CatchUpRequest{6, 3},
+      wire::RoundSummary{7, false, Bytes(64, 0x01), {Bytes(72, 2), Bytes(72, 3)}, 9},
+      wire::RoundSummary{8, true, {}, {}, 9},
+      wire::VerdictShare{7, 1, 6, wire::BlameVerdict::kClientExpelled, 9, Bytes(72, 0x31)},
+      wire::RoundAbort{7, 1},
   };
   Rng rng(75);
   for (const WireMessage& seed : seeds) {
@@ -203,6 +211,62 @@ TEST(FuzzTest, WireHostileCountsDoNotAllocate) {
     trace.Bool(true);
     trace.U32(hostile);
     EXPECT_FALSE(ParseWire(trace.data()).has_value());
+
+    Writer summary;
+    summary.U8(18);  // RoundSummary claiming 4 billion signatures
+    summary.U64(1);
+    summary.Bool(false);
+    summary.Blob(Bytes(8, 0xee));
+    summary.U32(hostile);
+    EXPECT_FALSE(ParseWire(summary.data()).has_value());
+
+    Writer rel;
+    rel.U8(16);  // Reliable with an inner length promising 4 GiB
+    rel.U64(1);
+    rel.U32(0);
+    rel.U32(0);
+    rel.U32(hostile);
+    EXPECT_FALSE(ParseWire(rel.data()).has_value());
+  }
+
+  // Reliability-specific rejections: an oversized sack window, a sack with a
+  // trailing zero byte (non-canonical), and nested reliability wrappers (a
+  // Reliable/Ack inner frame would let one wrapped frame smuggle another
+  // sequence number past the dedup window).
+  {
+    Writer ack;
+    ack.U8(15);
+    ack.U64(1);
+    ack.U32(0);
+    ack.U32(0);
+    ack.Blob(Bytes(2048, 0xff));  // > the 1024-byte sack cap
+    EXPECT_FALSE(ParseWire(ack.data()).has_value());
+
+    Writer ack2;
+    ack2.U8(15);
+    ack2.U64(1);
+    ack2.U32(0);
+    ack2.U32(0);
+    ack2.Blob(Bytes{0x01, 0x00});  // trailing zero: non-canonical
+    EXPECT_FALSE(ParseWire(ack2.data()).has_value());
+
+    for (uint8_t inner_tag : {uint8_t{15}, uint8_t{16}}) {
+      Writer nested;
+      nested.U8(16);
+      nested.U64(1);
+      nested.U32(0);
+      nested.U32(0);
+      nested.Blob(Bytes(16, inner_tag));
+      EXPECT_FALSE(ParseWire(nested.data()).has_value());
+    }
+
+    Writer empty_inner;
+    empty_inner.U8(16);
+    empty_inner.U64(1);
+    empty_inner.U32(0);
+    empty_inner.U32(0);
+    empty_inner.Blob(Bytes{});
+    EXPECT_FALSE(ParseWire(empty_inner.data()).has_value());
   }
 }
 

@@ -173,6 +173,107 @@ TEST(NetworkTest, DroppedMessagesAreNotCountedAsSent) {
   EXPECT_EQ(net.messages_dropped(), 2u);
 }
 
+TEST(NetworkTest, FaultPlanLossDuplicationAndAccounting) {
+  // Injected faults are accounted separately from incidental offline drops,
+  // and delivered counts reconcile: sent = attempts - lost + duplicates.
+  Simulator sim;
+  Network net(&sim);
+  int received = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](NodeId, const Network::Frame&) { received++; });
+  sim::FaultPlan plan;
+  plan.seed = 42;
+  plan.drop = 0.2;
+  plan.duplicate = 0.1;
+  net.SetFaultPlan(plan);
+  constexpr int kFrames = 2000;
+  for (int i = 0; i < kFrames; ++i) {
+    net.Send(a, b, Bytes(10, 1));
+  }
+  sim.RunUntilIdle();
+  EXPECT_GT(net.messages_lost(), kFrames / 10u);
+  EXPECT_LT(net.messages_lost(), kFrames * 3u / 10u);
+  EXPECT_GT(net.messages_duplicated(), kFrames / 20u);
+  EXPECT_EQ(static_cast<uint64_t>(received),
+            kFrames - net.messages_lost() + net.messages_duplicated());
+  EXPECT_EQ(net.messages_sent(), static_cast<uint64_t>(received));
+  EXPECT_EQ(net.messages_dropped(), 0u);  // no offline endpoints involved
+}
+
+TEST(NetworkTest, FaultPlanReplaysBitForBit) {
+  // Same seed + same workload => identical fault trace (delivery times,
+  // corrupted bytes, everything). A failing chaos run replays by seed alone.
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    Network net(&sim);
+    std::vector<std::pair<SimTime, Bytes>> trace;
+    NodeId a = net.AddNode(nullptr);
+    NodeId b = net.AddNode(
+        [&](NodeId, const Network::Frame& p) { trace.emplace_back(sim.Now(), *p); });
+    net.SetDefaultLink({.latency = 2 * kMillisecond, .bandwidth_bps = 0});
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop = 0.1;
+    plan.duplicate = 0.1;
+    plan.reorder = 0.3;
+    plan.corrupt = 0.2;
+    net.SetFaultPlan(plan);
+    for (int i = 0; i < 500; ++i) {
+      net.Send(a, b, Bytes(16, static_cast<uint8_t>(i)));
+    }
+    sim.RunUntilIdle();
+    return trace;
+  };
+  auto t1 = run(7);
+  auto t2 = run(7);
+  auto t3 = run(8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, t3);
+}
+
+TEST(NetworkTest, CorruptionMutatesAPrivateCopy) {
+  // A shared broadcast frame corrupted toward one destination must not
+  // poison the other deliveries (or the sender's retransmit buffer).
+  Simulator sim;
+  Network net(&sim);
+  std::vector<Bytes> seen;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](NodeId, const Network::Frame& p) { seen.push_back(*p); });
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.corrupt = 1.0;  // every frame corrupted
+  net.SetFaultPlan(plan);
+  auto frame = std::make_shared<const Bytes>(Bytes(64, 0xaa));
+  net.Send(a, b, frame);
+  sim.RunUntilIdle();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_NE(seen[0], *frame);             // delivery was corrupted...
+  EXPECT_EQ(*frame, Bytes(64, 0xaa));     // ...the original is untouched
+  EXPECT_EQ(net.messages_corrupted(), 1u);
+}
+
+TEST(NetworkTest, PartitionWindowSeversBothDirections) {
+  Simulator sim;
+  Network net(&sim);
+  int received = 0;
+  NodeId a = net.AddNode([&](NodeId, const Network::Frame&) { received++; });
+  NodeId b = net.AddNode([&](NodeId, const Network::Frame&) { received++; });
+  sim::FaultPlan plan;
+  plan.partitions.push_back({.a_lo = a, .a_hi = a, .b_lo = b, .b_hi = b,
+                             .from = kSecond, .until = 2 * kSecond});
+  net.SetFaultPlan(plan);
+  auto send_both = [&] {
+    net.Send(a, b, Bytes(4, 1));
+    net.Send(b, a, Bytes(4, 1));
+  };
+  sim.Schedule(0, send_both);                  // before: delivered
+  sim.Schedule(1500 * kMillisecond, send_both);  // inside: lost
+  sim.Schedule(2500 * kMillisecond, send_both);  // after: delivered
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 4);
+  EXPECT_EQ(net.messages_lost(), 2u);
+}
+
 TEST(LatencyModelTest, PlanetLabShapeMatchesPaperStatistics) {
   PlanetLabDelayModel model;
   Rng rng(17);
