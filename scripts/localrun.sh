@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Multi-process localhost deployment of the real-socket transport: M dissentd
+# servers + one dissent-client process per client host, all on 127.0.0.1,
+# running the REAL verified key shuffle and pipelined rounds over TCP.
+#
+# Acceptance flow (defaults = the CI smoke shape):
+#   1. compute the sim-transport reference cleartexts (the byte-identity
+#      fixture) with `dissent-client --sim-reference`
+#   2. launch the fleet; optionally SIGTERM one dissentd mid-run and restart
+#      it from its snapshot (--restart-mid-run, on by default)
+#   3. wait for every client process to observe all --rounds outputs
+#   4. diff every server and client cleartext log against the fixture
+#   5. report wall-clock rounds/sec from the server stats JSON and write
+#      <out>/summary.json for machine consumers (CI guard, run_bench.sh)
+#
+# Usage: scripts/localrun.sh [--servers M] [--clients N] [--clients-per-host C]
+#                            [--depth D] [--rounds R] [--seed S]
+#                            [--base-port P] [--build DIR] [--out DIR]
+#                            [--timeout-sec T] [--no-restart]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+servers=5
+clients=100
+cph=1
+depth=2
+rounds=60
+seed=42
+base_port=30500
+build_dir="$repo_root/build"
+out_dir=""
+timeout_sec=180
+restart=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --servers) servers="$2"; shift 2 ;;
+    --clients) clients="$2"; shift 2 ;;
+    --clients-per-host) cph="$2"; shift 2 ;;
+    --depth) depth="$2"; shift 2 ;;
+    --rounds) rounds="$2"; shift 2 ;;
+    --seed) seed="$2"; shift 2 ;;
+    --base-port) base_port="$2"; shift 2 ;;
+    --build) build_dir="$2"; shift 2 ;;
+    --out) out_dir="$2"; shift 2 ;;
+    --timeout-sec) timeout_sec="$2"; shift 2 ;;
+    --no-restart) restart=0; shift ;;
+    *) echo "localrun.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+
+dissentd="$build_dir/dissentd"
+client="$build_dir/dissent-client"
+for bin in "$dissentd" "$client"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found; build the repo first (cmake --build build)" >&2
+    exit 1
+  fi
+done
+
+if [[ -z "$out_dir" ]]; then
+  out_dir="$(mktemp -d /tmp/dissent-localrun.XXXXXX)"
+fi
+mkdir -p "$out_dir"
+hosts=$(( (clients + cph - 1) / cph ))
+shape=(--servers "$servers" --clients "$clients" --clients-per-host "$cph"
+       --depth "$depth" --rounds "$rounds" --seed "$seed"
+       --base-port "$base_port")
+
+echo "localrun: $servers servers, $clients clients in $hosts processes," \
+     "depth $depth, $rounds rounds -> $out_dir"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# 1. Byte-identity fixture from the simulated-network reference.
+"$client" --sim-reference "${shape[@]}" > "$out_dir/fixture.txt"
+
+# 2. Servers, then client-host processes.
+declare -a server_pid
+for ((j = 0; j < servers; ++j)); do
+  "$dissentd" --index "$j" "${shape[@]}" \
+    --log "$out_dir/server$j.log" --stats "$out_dir/server$j.json" \
+    --snapshot "$out_dir/server$j.snap" 2> "$out_dir/server$j.err" &
+  server_pid[$j]=$!
+  pids+=($!)
+done
+declare -a client_pid
+for ((h = 0; h < hosts; ++h)); do
+  "$client" --host-index "$h" "${shape[@]}" --timeout-sec "$timeout_sec" \
+    --log "$out_dir/client$h.log" 2> "$out_dir/client$h.err" &
+  client_pid[$h]=$!
+  pids+=($!)
+done
+
+# 3. Kill one server once it has certified a few rounds; restart from its
+# snapshot. The run must ride through it (kernel keeps the siblings' rounds
+# moving; the reliable mailbox heals what the dead incarnation dropped).
+restarts=0
+if [[ $restart -eq 1 ]]; then
+  victim=$(( servers - 1 ))
+  for ((i = 0; i < timeout_sec * 10; ++i)); do
+    if [[ -f "$out_dir/server$victim.log" &&
+          $(wc -l < "$out_dir/server$victim.log") -ge 3 ]]; then
+      break
+    fi
+    sleep 0.1
+  done
+  kill -TERM "${server_pid[$victim]}"
+  wait "${server_pid[$victim]}" || true
+  "$dissentd" --index "$victim" "${shape[@]}" \
+    --log "$out_dir/server$victim.log" --stats "$out_dir/server$victim.json" \
+    --snapshot "$out_dir/server$victim.snap" 2>> "$out_dir/server$victim.err" &
+  server_pid[$victim]=$!
+  pids+=($!)
+  restarts=1
+  echo "localrun: server $victim killed and restarted from snapshot"
+fi
+
+# 4. Wait for the clients; nonzero means a host timed out short of --rounds.
+fail=0
+for ((h = 0; h < hosts; ++h)); do
+  if ! wait "${client_pid[$h]}"; then
+    echo "FAIL: client host $h did not finish (see $out_dir/client$h.err)" >&2
+    fail=1
+  fi
+done
+
+for ((j = 0; j < servers; ++j)); do
+  kill -TERM "${server_pid[$j]}" 2>/dev/null || true
+done
+for ((j = 0; j < servers; ++j)); do
+  wait "${server_pid[$j]}" 2>/dev/null || true
+done
+pids=()
+
+# 5. Byte-identity: every server log and every client log must equal the
+# fixture, line for line ("<round> <hex>", rounds 1..R in order).
+if [[ $fail -eq 0 ]]; then
+  for ((j = 0; j < servers; ++j)); do
+    if ! diff -q "$out_dir/fixture.txt" "$out_dir/server$j.log" > /dev/null; then
+      echo "FAIL: server $j cleartexts diverge from sim reference" >&2
+      fail=1
+    fi
+  done
+  for ((h = 0; h < hosts; ++h)); do
+    if ! diff -q "$out_dir/fixture.txt" "$out_dir/client$h.log" > /dev/null; then
+      echo "FAIL: client host $h cleartexts diverge from sim reference" >&2
+      fail=1
+    fi
+  done
+fi
+
+rps=$(sed -n 's/.*"wallclock_rounds_per_sec": \([0-9.]*\).*/\1/p' \
+      "$out_dir/server0.json" 2>/dev/null || echo 0)
+rps=${rps:-0}
+cat > "$out_dir/summary.json" <<EOF
+{"servers": $servers, "clients": $clients, "client_processes": $hosts,
+ "pipeline_depth": $depth, "rounds": $rounds, "restarts": $restarts,
+ "wallclock_rounds_per_sec": $rps, "byte_identical": $(( fail == 0 ? 1 : 0 ))}
+EOF
+
+if [[ $fail -ne 0 ]]; then
+  echo "localrun: FAILED (artifacts in $out_dir)" >&2
+  exit 1
+fi
+echo "localrun: OK — $rounds rounds byte-identical across" \
+     "$((servers + hosts)) processes, $rps wall-clock rounds/sec," \
+     "$restarts server restart(s); summary: $out_dir/summary.json"

@@ -88,6 +88,14 @@ bool Coordinator::RunSchedulingDirect() {
   return FinishScheduling();
 }
 
+bool Coordinator::RunSchedulingExternal(std::vector<BigInt> keys) {
+  if (keys.size() != clients_.size()) {
+    return false;
+  }
+  pseudonym_keys_ = std::move(keys);
+  return FinishScheduling();
+}
+
 bool Coordinator::FinishScheduling() {
   // Each client locates its own key; that index is its slot (known only to
   // the client in a real deployment; the coordinator stores the mapping for

@@ -63,6 +63,12 @@ class Coordinator {
   // cost is cubic-ish in N and irrelevant to round-path behavior). For
   // scale tests/benches only: anonymity of the slot mapping is forfeited.
   bool RunSchedulingDirect();
+  // Installs an externally computed shuffle result (the final pseudonym-key
+  // order) and finishes scheduling from it. Lets a distributed deployment's
+  // reference run feed the exact cascade its per-node rng discipline
+  // produced, so socket-transport cleartexts can be pinned byte-identical
+  // to this driver under the real (non-direct) shuffle.
+  bool RunSchedulingExternal(std::vector<BigInt> keys);
   const std::vector<BigInt>& pseudonym_keys() const { return pseudonym_keys_; }
   // Wall-clock seconds RunScheduling spent in the verified cascade
   // (prove + verify); 0 after RunSchedulingDirect.

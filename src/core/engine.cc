@@ -346,6 +346,11 @@ void ServerEngine::StartRound(uint64_t round, int64_t now_us, Actions& a) {
   if (config_.abort_deadline_us > 0) {
     a.timers.push_back({Token(round, kAbortDeadline), config_.abort_deadline_us});
   }
+  // A server expecting zero submissions (no attached clients, or all
+  // expelled) is window-satisfied the moment the round opens; without this
+  // its window would idle until the hard deadline — wall-clock-fatal on the
+  // real-socket transport, invisible under simulated time.
+  MaybeArmWindowTimer(round, now_us, a);
   // Replay server-phase traffic that arrived before we opened this round.
   auto early = early_.find(round);
   if (early != early_.end()) {
@@ -591,7 +596,7 @@ void ServerEngine::MaybeArmWindowTimer(uint64_t round, int64_t now_us, Actions& 
     expected = std::min(last_window_observed_, expected);
   }
   size_t threshold = static_cast<size_t>(config_.window_fraction * static_cast<double>(expected));
-  if (logic_->SubmissionCount(round) < std::max<size_t>(threshold, 1)) {
+  if (expected > 0 && logic_->SubmissionCount(round) < std::max<size_t>(threshold, 1)) {
     return;
   }
   int64_t elapsed = now_us - st.started_us;

@@ -318,6 +318,24 @@ bool NetDissent::Start() {
       s->logic->SetPseudonymKeys(keys);
     }
     pseudonym_keys_ = std::move(keys);
+  } else if (options_.preset_pseudonym_keys.has_value()) {
+    // Externally computed cascade result (see Options): slots follow the
+    // provided order exactly as if the shuffle had run here.
+    std::vector<BigInt> keys = *options_.preset_pseudonym_keys;
+    if (keys.size() != clients_.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      auto it = std::find(keys.begin(), keys.end(), clients_[i]->logic->pseudonym().pub);
+      if (it == keys.end()) {
+        return false;
+      }
+      clients_[i]->logic->AssignSlot(static_cast<size_t>(it - keys.begin()), keys.size());
+    }
+    for (auto& s : servers_) {
+      s->logic->SetPseudonymKeys(keys);
+    }
+    pseudonym_keys_ = std::move(keys);
   } else {
     // Scheduling (§3.10) through the verified cascade — the multi-exp
     // engine keeps this real (non-direct) path viable at the 1,000-client

@@ -81,6 +81,12 @@ class NetDissent {
     bool shared_broadcast = true;
     // Skip the verified key shuffle; assign slot i to client i.
     bool direct_scheduling = false;
+    // Externally computed shuffle result (final pseudonym-key order):
+    // Start() installs these instead of running the cascade itself, so a
+    // distributed deployment's per-node rng discipline can be reproduced
+    // exactly when this driver serves as the byte-identity reference for
+    // the socket transport. Ignored when direct_scheduling is set.
+    std::optional<std::vector<BigInt>> preset_pseudonym_keys;
     // Rounds of accusation evidence each server retains (0 => none, keeping
     // per-round server ciphertext memory strictly O(L)).
     size_t evidence_rounds = DissentServer::kEvidenceRounds;

@@ -1,0 +1,195 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dissent {
+namespace net {
+
+namespace {
+
+// epoll payload: (gen << 20) | fd. A billion registrations per fd number is
+// plenty before wraparound; fds on this loop stay far below 2^20.
+constexpr uint64_t kFdBits = 20;
+constexpr uint64_t kFdMask = (1ull << kFdBits) - 1;
+
+[[noreturn]] void Die(const char* what) {
+  std::perror(what);
+  std::abort();
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) {
+    Die("epoll_create1");
+  }
+  timerfd_ = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timerfd_ < 0) {
+    Die("timerfd_create");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = ~0ull;  // sentinel: the timerfd itself
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, timerfd_, &ev) < 0) {
+    Die("epoll_ctl(timerfd)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(timerfd_);
+  ::close(epfd_);
+}
+
+int64_t EventLoop::NowUs() const {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+void EventLoop::AddFd(int fd, uint32_t events, FdHandler handler) {
+  FdEntry& entry = fds_[fd];
+  entry.gen = next_gen_++;
+  entry.handler = std::move(handler);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = (entry.gen << kFdBits) | static_cast<uint64_t>(fd);
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    Die("epoll_ctl(add)");
+  }
+}
+
+void EventLoop::ModFd(int fd, uint32_t events) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = (it->second.gen << kFdBits) | static_cast<uint64_t>(fd);
+  if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    Die("epoll_ctl(mod)");
+  }
+}
+
+void EventLoop::DelFd(int fd) {
+  if (fds_.erase(fd) == 0) {
+    return;
+  }
+  // The fd may already be closed by the caller; ignore ENOENT/EBADF.
+  epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+uint64_t EventLoop::ScheduleAfter(int64_t delay_us, TimerFn fn) {
+  const uint64_t id = next_timer_id_++;
+  if (delay_us < 0) {
+    delay_us = 0;
+  }
+  timers_.push(Timer{NowUs() + delay_us, id});
+  timer_fns_[id] = std::move(fn);
+  ArmTimerFd();
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) { timer_fns_.erase(id); }
+
+void EventLoop::ArmTimerFd() {
+  // Drop cancelled heads so the timerfd isn't armed for a tombstone.
+  while (!timers_.empty() && timer_fns_.find(timers_.top().id) == timer_fns_.end()) {
+    timers_.pop();
+  }
+  itimerspec spec{};
+  if (!timers_.empty()) {
+    int64_t delta = timers_.top().due_us - NowUs();
+    if (delta < 1) {
+      delta = 1;  // 0 would disarm; fire "immediately" instead
+    }
+    spec.it_value.tv_sec = delta / 1000000;
+    spec.it_value.tv_nsec = (delta % 1000000) * 1000;
+  }
+  if (timerfd_settime(timerfd_, 0, &spec, nullptr) < 0) {
+    Die("timerfd_settime");
+  }
+}
+
+void EventLoop::FireDueTimers() {
+  const int64_t now = NowUs();
+  while (!timers_.empty() && timers_.top().due_us <= now) {
+    const uint64_t id = timers_.top().id;
+    timers_.pop();
+    auto it = timer_fns_.find(id);
+    if (it == timer_fns_.end()) {
+      continue;  // cancelled
+    }
+    TimerFn fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();  // may schedule/cancel timers or mutate fds
+  }
+  ArmTimerFd();
+}
+
+void EventLoop::PollOnce(int64_t max_wait_us) {
+  int timeout_ms = -1;
+  if (max_wait_us >= 0) {
+    timeout_ms = static_cast<int>((max_wait_us + 999) / 1000);
+  }
+  epoll_event events[64];
+  int n = epoll_wait(epfd_, events, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) {
+      return;
+    }
+    Die("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == ~0ull) {
+      uint64_t expirations;
+      while (::read(timerfd_, &expirations, sizeof(expirations)) > 0) {
+      }
+      FireDueTimers();
+      continue;
+    }
+    const int fd = static_cast<int>(events[i].data.u64 & kFdMask);
+    const uint64_t gen = events[i].data.u64 >> kFdBits;
+    auto it = fds_.find(fd);
+    if (it == fds_.end() || it->second.gen != gen) {
+      continue;  // closed/re-registered by an earlier handler in this batch
+    }
+    // Copy: the handler may DelFd(fd) (erasing the entry) while running.
+    FdHandler handler = it->second.handler;
+    handler(events[i].events);
+  }
+  // Timers may have come due while handlers ran (or epoll_wait timed out
+  // before the timerfd tick was delivered).
+  FireDueTimers();
+}
+
+void EventLoop::Run() {
+  stop_ = false;
+  while (!stop_) {
+    PollOnce(-1);
+  }
+}
+
+bool EventLoop::RunUntil(const std::function<bool()>& done, int64_t timeout_us) {
+  const int64_t deadline = NowUs() + timeout_us;
+  while (!done()) {
+    const int64_t left = deadline - NowUs();
+    if (left <= 0) {
+      return false;
+    }
+    PollOnce(left < 20000 ? left : 20000);
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace dissent

@@ -1,0 +1,97 @@
+// Nonblocking epoll event loop for the real-socket transport.
+//
+// Single-threaded reactor: edge-triggered socket readiness via epoll, a
+// min-heap of one-shot timers armed through a single timerfd, and a
+// CLOCK_MONOTONIC microsecond clock the protocol engines consume directly
+// (they only ever subtract timestamps). Everything the loop calls back into
+// runs on the loop thread — the transport above needs no locks.
+//
+// Edge-triggered contract: a handler registered with EPOLLET must drain its
+// fd (read/accept/write until EAGAIN) on every callback, or readiness is
+// lost until the peer acts again. Connection (socket_transport.h) honors
+// this.
+//
+// Deregistration safety: handlers are looked up per event against a
+// generation stamp carried in the epoll payload, so a callback that closes
+// some *other* fd in the same wake-up batch — even if the kernel reuses the
+// fd number immediately — cannot cause a stale or misdirected dispatch.
+#ifndef DISSENT_NET_EVENT_LOOP_H_
+#define DISSENT_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace dissent {
+namespace net {
+
+class EventLoop {
+ public:
+  using FdHandler = std::function<void(uint32_t events)>;
+  using TimerFn = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Microseconds on CLOCK_MONOTONIC (comparable across processes on one
+  // machine, which is all the localhost harness needs).
+  int64_t NowUs() const;
+
+  // Registers `fd` with the given epoll event mask (caller includes EPOLLET
+  // for edge-triggered). The handler receives the ready event mask.
+  void AddFd(int fd, uint32_t events, FdHandler handler);
+  void ModFd(int fd, uint32_t events);
+  // Unregisters; safe from inside any handler, including fd's own.
+  void DelFd(int fd);
+
+  // One-shot timer. Returns an id; CancelTimer is O(1) (tombstone).
+  uint64_t ScheduleAfter(int64_t delay_us, TimerFn fn);
+  void CancelTimer(uint64_t id);
+
+  // Runs until Stop(). RunUntil pumps the loop until `done` returns true or
+  // `timeout_us` elapses; returns done's final value (the in-process tests'
+  // driver).
+  void Run();
+  bool RunUntil(const std::function<bool()>& done, int64_t timeout_us);
+  void Stop() { stop_ = true; }
+
+ private:
+  struct FdEntry {
+    uint64_t gen = 0;
+    FdHandler handler;
+  };
+  struct Timer {
+    int64_t due_us = 0;
+    uint64_t id = 0;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.due_us != b.due_us ? a.due_us > b.due_us : a.id > b.id;
+    }
+  };
+
+  // One epoll_wait + dispatch; waits at most max_wait_us (-1 = until the
+  // next timer / forever).
+  void PollOnce(int64_t max_wait_us);
+  void ArmTimerFd();
+  void FireDueTimers();
+
+  int epfd_ = -1;
+  int timerfd_ = -1;
+  uint64_t next_gen_ = 1;
+  std::map<int, FdEntry> fds_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::map<uint64_t, TimerFn> timer_fns_;  // erased = cancelled tombstone
+  uint64_t next_timer_id_ = 1;
+  bool stop_ = false;
+};
+
+}  // namespace net
+}  // namespace dissent
+
+#endif  // DISSENT_NET_EVENT_LOOP_H_

@@ -1,0 +1,216 @@
+#include "src/net/net_wire.h"
+
+#include <cstring>
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace dissent {
+namespace net {
+
+namespace {
+
+enum class Tag : uint8_t {
+  kHello = 0x80,
+  kSchedSubmit = 0x81,
+  kSchedRoster = 0x82,
+  kSchedMix = 0x83,
+  kSchedKeys = 0x84,
+};
+
+constexpr size_t kHmacBlock = 64;
+constexpr size_t kMacBytes = 32;
+
+Bytes HelloMacInput(uint8_t role, uint32_t first_id, uint32_t count, uint64_t nonce) {
+  Writer w;
+  w.Str("dissent-hello");
+  w.U8(role);
+  w.U32(first_id);
+  w.U32(count);
+  w.U64(nonce);
+  return w.Take();
+}
+
+bool ConstantTimeEq(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  Bytes k = key.size() > kHmacBlock ? Sha256::Hash(key) : key;
+  k.resize(kHmacBlock, 0);
+  Bytes ipad(kHmacBlock), opad(kHmacBlock);
+  for (size_t i = 0; i < kHmacBlock; ++i) {
+    ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+  Bytes inner = Sha256().Update(ipad).Update(message).Finish();
+  return Sha256().Update(opad).Update(inner).Finish();
+}
+
+Bytes SessionSecret(uint64_t seed, const Bytes& group_id) {
+  Writer w;
+  w.Str("dissent-session-secret");
+  w.U64(seed);
+  w.Blob(group_id);
+  return Sha256::Hash(w.data());
+}
+
+Hello MakeHello(const Bytes& secret, uint8_t role, uint32_t first_id, uint32_t count,
+                uint64_t nonce) {
+  Hello h;
+  h.role = role;
+  h.first_id = first_id;
+  h.count = count;
+  h.nonce = nonce;
+  h.mac = HmacSha256(secret, HelloMacInput(role, first_id, count, nonce));
+  return h;
+}
+
+bool VerifyHello(const Bytes& secret, const Hello& hello) {
+  if (hello.role > Hello::kClientHost || hello.count == 0) {
+    return false;
+  }
+  const Bytes expect =
+      HmacSha256(secret, HelloMacInput(hello.role, hello.first_id, hello.count, hello.nonce));
+  return ConstantTimeEq(expect, hello.mac);
+}
+
+Bytes SerializeNet(const NetMessage& msg) {
+  Writer w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          w.U8(static_cast<uint8_t>(Tag::kHello));
+          w.U8(m.role);
+          w.U32(m.first_id);
+          w.U32(m.count);
+          w.U64(m.nonce);
+          w.Blob(m.mac);
+        } else if constexpr (std::is_same_v<T, SchedSubmit>) {
+          w.U8(static_cast<uint8_t>(Tag::kSchedSubmit));
+          w.U32(m.client_id);
+          w.Blob(m.row);
+        } else if constexpr (std::is_same_v<T, SchedRoster>) {
+          w.U8(static_cast<uint8_t>(Tag::kSchedRoster));
+          w.U32(m.server_id);
+          w.U32(static_cast<uint32_t>(m.entries.size()));
+          for (const auto& e : m.entries) {
+            w.U32(e.client_id);
+            w.Blob(e.row);
+          }
+        } else if constexpr (std::is_same_v<T, SchedMix>) {
+          w.U8(static_cast<uint8_t>(Tag::kSchedMix));
+          w.U32(m.server_id);
+          w.Blob(m.step);
+        } else if constexpr (std::is_same_v<T, SchedKeys>) {
+          w.U8(static_cast<uint8_t>(Tag::kSchedKeys));
+          w.U32(static_cast<uint32_t>(m.keys.size()));
+          for (const auto& k : m.keys) {
+            w.Blob(k);
+          }
+        }
+      },
+      msg);
+  return w.Take();
+}
+
+std::optional<NetMessage> ParseNet(const Bytes& data) {
+  Reader r(data);
+  uint8_t tag;
+  if (!r.U8(&tag)) {
+    return std::nullopt;
+  }
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kHello: {
+      Hello m;
+      if (!r.U8(&m.role) || !r.U32(&m.first_id) || !r.U32(&m.count) || !r.U64(&m.nonce) ||
+          !r.Blob(&m.mac) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      if (m.mac.size() != kMacBytes) {
+        return std::nullopt;
+      }
+      return NetMessage{std::move(m)};
+    }
+    case Tag::kSchedSubmit: {
+      SchedSubmit m;
+      if (!r.U32(&m.client_id) || !r.Blob(&m.row) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return NetMessage{std::move(m)};
+    }
+    case Tag::kSchedRoster: {
+      SchedRoster m;
+      uint32_t count;
+      if (!r.U32(&m.server_id) || !r.U32(&count)) {
+        return std::nullopt;
+      }
+      // Each entry is at least 8 bytes (id + empty blob); bound the
+      // allocation by what the input could actually hold.
+      if (static_cast<uint64_t>(count) * 8 > r.remaining()) {
+        return std::nullopt;
+      }
+      m.entries.reserve(count);
+      uint32_t prev = 0;
+      for (uint32_t i = 0; i < count; ++i) {
+        SchedRosterEntry e;
+        if (!r.U32(&e.client_id) || !r.Blob(&e.row)) {
+          return std::nullopt;
+        }
+        if (i > 0 && e.client_id <= prev) {
+          return std::nullopt;  // strict order keeps rosters canonical
+        }
+        prev = e.client_id;
+        m.entries.push_back(std::move(e));
+      }
+      if (!r.AtEnd()) {
+        return std::nullopt;
+      }
+      return NetMessage{std::move(m)};
+    }
+    case Tag::kSchedMix: {
+      SchedMix m;
+      if (!r.U32(&m.server_id) || !r.Blob(&m.step) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return NetMessage{std::move(m)};
+    }
+    case Tag::kSchedKeys: {
+      SchedKeys m;
+      uint32_t count;
+      if (!r.U32(&count)) {
+        return std::nullopt;
+      }
+      if (static_cast<uint64_t>(count) * 4 > r.remaining()) {
+        return std::nullopt;
+      }
+      m.keys.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        Bytes k;
+        if (!r.Blob(&k)) {
+          return std::nullopt;
+        }
+        m.keys.push_back(std::move(k));
+      }
+      if (!r.AtEnd()) {
+        return std::nullopt;
+      }
+      return NetMessage{std::move(m)};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace net
+}  // namespace dissent

@@ -12,6 +12,8 @@
 #include "src/core/wire.h"
 #include "src/crypto/chaum_pedersen.h"
 #include "src/crypto/schnorr.h"
+#include "src/net/framing.h"
+#include "src/net/net_wire.h"
 #include "src/util/rng.h"
 #include "src/util/serialize.h"
 
@@ -333,6 +335,164 @@ TEST(FuzzTest, SlotRegionDecoder) {
     auto parsed = DecodeSlot(mutated);  // must not crash
     (void)parsed;
   });
+}
+
+// --- real-socket transport codecs (src/net) ---
+// The frame decoder and the net-wire codec sit directly on hostile TCP
+// bytes, before any authentication; they get the same hammering as the
+// protocol parsers plus stream-split cases no datagram parser faces.
+
+TEST(FuzzTest, FrameDecoderTruncatedPrefixesAndSplits) {
+  const Bytes payload = BytesOf("frame-payload-0123456789");
+  const Bytes framed = net::EncodeFrame(payload);
+  // Every split point of header and body: any prefix yields no frame (and
+  // reports the partial bytes); completing the stream yields exactly it.
+  for (size_t cut = 0; cut < framed.size(); ++cut) {
+    net::FrameDecoder dec;
+    ASSERT_TRUE(dec.Feed(framed.data(), cut));
+    EXPECT_FALSE(dec.Next().has_value()) << "cut=" << cut;
+    EXPECT_EQ(dec.buffered(), cut);  // mid-frame close would report this
+    ASSERT_TRUE(dec.Feed(framed.data() + cut, framed.size() - cut));
+    auto out = dec.Next();
+    ASSERT_TRUE(out.has_value()) << "cut=" << cut;
+    EXPECT_EQ(*out, payload);
+    EXPECT_FALSE(dec.Next().has_value());
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+  // Byte-at-a-time delivery of several frames back to back.
+  Bytes stream;
+  for (int k = 0; k < 5; ++k) {
+    net::AppendFrame(Bytes(static_cast<size_t>(k * 7), static_cast<uint8_t>(k)), &stream);
+  }
+  net::FrameDecoder dec;
+  size_t got = 0;
+  for (uint8_t b : stream) {
+    ASSERT_TRUE(dec.Feed(&b, 1));
+    while (auto f = dec.Next()) {
+      EXPECT_EQ(f->size(), got * 7);
+      EXPECT_TRUE(std::all_of(f->begin(), f->end(),
+                              [&](uint8_t c) { return c == got; }));
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 5u);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FuzzTest, FrameDecoderOversizedLengthPoisonsBeforeAllocation) {
+  // A hostile length prefix must poison the decoder permanently without
+  // allocating the claimed size — 0xffffffff would be a 4 GiB allocation.
+  net::FrameDecoder dec(/*max_frame=*/1024);
+  Bytes evil = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_FALSE(dec.Feed(evil));
+  EXPECT_TRUE(dec.error());
+  EXPECT_FALSE(dec.Next().has_value());
+  // Poisoned for good: even well-formed frames are refused afterwards.
+  const Bytes ok = net::EncodeFrame(BytesOf("x"));
+  EXPECT_FALSE(dec.Feed(ok));
+  EXPECT_FALSE(dec.Next().has_value());
+  // Boundary: exactly max_frame passes, max_frame + 1 poisons.
+  net::FrameDecoder at_limit(16);
+  ASSERT_TRUE(at_limit.Feed(net::EncodeFrame(Bytes(16, 0xaa))));
+  EXPECT_TRUE(at_limit.Next().has_value());
+  net::FrameDecoder over_limit(16);
+  EXPECT_FALSE(over_limit.Feed(net::EncodeFrame(Bytes(17, 0xaa))));
+  EXPECT_TRUE(over_limit.error());
+}
+
+TEST(FuzzTest, FrameDecoderMidFrameCloseAndGarbage) {
+  // A peer dying mid-frame leaves the partial bytes observable (the
+  // transport logs them as evidence of an unclean close), never a frame.
+  const Bytes framed = net::EncodeFrame(Bytes(100, 0x5a));
+  net::FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(framed.data(), framed.size() - 40));
+  EXPECT_FALSE(dec.Next().has_value());
+  EXPECT_EQ(dec.buffered(), framed.size() - 40);
+  // Random garbage streams: the decoder must never crash and must either
+  // keep buffering, yield bounded frames, or poison — all safe outcomes.
+  Rng rng(0xf7a3e5);
+  for (int i = 0; i < 200; ++i) {
+    net::FrameDecoder d(4096);
+    Bytes junk(rng.Below(600), 0);
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    size_t fed = 0;
+    while (fed < junk.size()) {
+      const size_t n = std::min<size_t>(1 + rng.Below(64), junk.size() - fed);
+      if (!d.Feed(junk.data() + fed, n)) {
+        break;  // poisoned by an oversized prefix: correct rejection
+      }
+      fed += n;
+      while (auto f = d.Next()) {
+        EXPECT_LE(f->size(), 4096u);
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, NetWireParserHammer) {
+  Rng rng(0x9e77a1);
+  const Bytes secret = net::SessionSecret(7, BytesOf("group"));
+  std::vector<net::NetMessage> msgs;
+  msgs.push_back(net::MakeHello(secret, net::Hello::kClientHost, 12, 3, 99));
+  msgs.push_back(net::SchedSubmit{4, Bytes(64, 0x11)});
+  net::SchedRoster roster;
+  roster.server_id = 2;
+  roster.entries = {{0, Bytes(8, 1)}, {3, Bytes(8, 2)}, {7, Bytes(8, 3)}};
+  msgs.push_back(roster);
+  msgs.push_back(net::SchedMix{1, Bytes(128, 0x22)});
+  msgs.push_back(net::SchedKeys{{Bytes(32, 5), Bytes(32, 6)}});
+  for (const auto& m : msgs) {
+    const Bytes wire = net::SerializeNet(m);
+    // Round trip sanity first, then the hostile hammer.
+    EXPECT_TRUE(net::ParseNet(wire).has_value());
+    Hammer(wire, rng, [](const Bytes& mutated) {
+      auto parsed = net::ParseNet(mutated);
+      (void)parsed;  // must not crash, over-allocate, or accept trailing junk
+    });
+  }
+  // Roster ordering is a parse-level invariant: equal or descending ids in
+  // the encoding must be rejected, not silently reordered.
+  net::SchedRoster bad;
+  bad.server_id = 0;
+  bad.entries = {{5, Bytes(4, 1)}, {5, Bytes(4, 2)}};
+  EXPECT_FALSE(net::ParseNet(net::SerializeNet(net::NetMessage{bad})).has_value());
+}
+
+TEST(FuzzTest, HelloMacRejectsEveryBitFlip) {
+  const Bytes secret = net::SessionSecret(42, BytesOf("gid"));
+  net::Hello hello = net::MakeHello(secret, net::Hello::kServer, 3, 1, 0xabcdef);
+  ASSERT_TRUE(net::VerifyHello(secret, hello));
+  // Any single-bit corruption of the authenticated fields or the mac
+  // itself must fail verification.
+  for (int bit = 0; bit < 8; ++bit) {
+    net::Hello h = hello;
+    h.role ^= static_cast<uint8_t>(1 << bit);
+    EXPECT_FALSE(net::VerifyHello(secret, h));
+  }
+  for (int bit = 0; bit < 32; ++bit) {
+    net::Hello h1 = hello, h2 = hello;
+    h1.first_id ^= 1u << bit;
+    h2.count ^= 1u << bit;
+    EXPECT_FALSE(net::VerifyHello(secret, h1));
+    EXPECT_FALSE(net::VerifyHello(secret, h2));
+  }
+  for (size_t i = 0; i < hello.mac.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      net::Hello h = hello;
+      h.mac[i] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_FALSE(net::VerifyHello(secret, h));
+    }
+  }
+  // The nonce is authenticated too (replay tagging), and a hello minted
+  // under a different session secret never verifies.
+  net::Hello h = hello;
+  h.nonce ^= 1;
+  EXPECT_FALSE(net::VerifyHello(secret, h));
+  const Bytes other = net::SessionSecret(43, BytesOf("gid"));
+  EXPECT_FALSE(net::VerifyHello(secret, net::MakeHello(other, net::Hello::kServer, 3, 1,
+                                                       0xabcdef)));
 }
 
 }  // namespace

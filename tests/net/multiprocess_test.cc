@@ -1,0 +1,225 @@
+// Multi-process deployment harness: fork/exec the real dissentd and
+// dissent-client binaries (5 servers + one process per client host, all on
+// loopback), SIGTERM one server mid-run and restart it from its snapshot,
+// and require every process's cleartext log byte-identical to the
+// sim-transport reference. This is the only test that crosses a process
+// boundary — everything the engines and the socket transport share
+// in-process (allocator state, fd tables, rng forks) is genuinely separate
+// here, so accidental cross-node coupling cannot hide.
+//
+// Skips (rather than fails) when the binaries are not next to the test
+// executable — e.g. a build driver that compiles tests without the
+// deployment targets.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/bin/deploy_flags.h"
+#include "src/net/deployment.h"
+
+namespace dissent {
+namespace net {
+namespace {
+
+// Directory holding this test binary — the deployment binaries are siblings
+// in the same build tree.
+std::string SelfDir() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return ".";
+  }
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+bool Exists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+pid_t Spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+// Waits for `pid` with a deadline; returns exit status or -1 on timeout
+// (the child is then killed).
+int WaitFor(pid_t pid, int64_t timeout_ms) {
+  for (int64_t waited = 0; waited < timeout_ms; waited += 20) {
+    int status = 0;
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      return WIFEXITED(status) ? WEXITSTATUS(status) : -2;
+    }
+    usleep(20 * 1000);
+  }
+  kill(pid, SIGKILL);
+  waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+size_t CountLines(const std::string& path) {
+  std::ifstream in(path);
+  size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++n;
+  }
+  return n;
+}
+
+// Parses a "<round> <hex>\n" cleartext log into round order.
+std::vector<std::string> ReadLog(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> ShapeFlags(const DeployConfig& cfg) {
+  auto u = [](size_t v) { return std::to_string(v); };
+  return {"--seed",    u(cfg.seed),           "--servers", u(cfg.num_servers),
+          "--clients", u(cfg.num_clients),    "--clients-per-host",
+          u(cfg.clients_per_host),            "--depth",   u(cfg.pipeline_depth),
+          "--rounds",  u(cfg.rounds),         "--base-port",
+          u(cfg.base_port)};
+}
+
+TEST(MultiProcess, FiveServersSurviveRestartByteIdentical) {
+  const std::string dir = SelfDir();
+  const std::string dissentd = dir + "/dissentd";
+  const std::string client = dir + "/dissent-client";
+  if (!Exists(dissentd) || !Exists(client)) {
+    GTEST_SKIP() << "deployment binaries not built next to test";
+  }
+
+  DeployConfig cfg;
+  cfg.seed = 31;
+  cfg.num_servers = 5;
+  cfg.num_clients = 40;  // 20 host processes; CI's localrun job covers 100+
+  cfg.clients_per_host = 2;
+  cfg.pipeline_depth = 2;
+  cfg.rounds = 15;
+  cfg.base_port = 31500;
+
+  char tmpl[] = "/tmp/dissent-mp.XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string work(tmpl);
+  const std::vector<std::string> shape = ShapeFlags(cfg);
+
+  auto spawn_server = [&](size_t j) {
+    std::vector<std::string> args = {dissentd, "--index", std::to_string(j)};
+    args.insert(args.end(), shape.begin(), shape.end());
+    args.insert(args.end(), {"--log", work + "/s" + std::to_string(j) + ".log",
+                             "--stats", work + "/s" + std::to_string(j) + ".json",
+                             "--snapshot", work + "/s" + std::to_string(j) + ".snap"});
+    return Spawn(args);
+  };
+
+  std::vector<pid_t> server_pid(cfg.num_servers);
+  for (size_t j = 0; j < cfg.num_servers; ++j) {
+    server_pid[j] = spawn_server(j);
+    ASSERT_GT(server_pid[j], 0);
+  }
+  std::vector<pid_t> client_pid(cfg.num_hosts());
+  for (size_t h = 0; h < cfg.num_hosts(); ++h) {
+    std::vector<std::string> args = {client, "--host-index", std::to_string(h)};
+    args.insert(args.end(), shape.begin(), shape.end());
+    args.insert(args.end(), {"--timeout-sec", "90", "--log",
+                             work + "/c" + std::to_string(h) + ".log"});
+    client_pid[h] = Spawn(args);
+    ASSERT_GT(client_pid[h], 0);
+  }
+
+  // Kill server 4 (no attached clients at this shape — the pure-mix member)
+  // once it has certified a few rounds, then restart it from its snapshot.
+  const size_t victim = 4;
+  const std::string victim_log = work + "/s" + std::to_string(victim) + ".log";
+  bool victim_progress = false;
+  for (int i = 0; i < 60 * 50 && !victim_progress; ++i) {
+    victim_progress = CountLines(victim_log) >= 3;
+    if (!victim_progress) {
+      usleep(20 * 1000);
+    }
+  }
+  ASSERT_TRUE(victim_progress) << "server never certified 3 rounds";
+  kill(server_pid[victim], SIGTERM);
+  EXPECT_EQ(WaitFor(server_pid[victim], 30000), 0) << "SIGTERM snapshot exit";
+  server_pid[victim] = spawn_server(victim);
+  ASSERT_GT(server_pid[victim], 0);
+
+  // Every client host must observe all rounds (exit 0; 3 = timed out).
+  for (size_t h = 0; h < cfg.num_hosts(); ++h) {
+    EXPECT_EQ(WaitFor(client_pid[h], 120000), 0) << "client host " << h;
+  }
+  for (size_t j = 0; j < cfg.num_servers; ++j) {
+    kill(server_pid[j], SIGTERM);
+  }
+  for (size_t j = 0; j < cfg.num_servers; ++j) {
+    EXPECT_EQ(WaitFor(server_pid[j], 30000), 0) << "server " << j;
+  }
+
+  // Byte identity: the restarted server's log (appended across both
+  // incarnations) and every other process must match the sim reference.
+  const std::vector<Bytes> ref = RunSimReference(cfg);
+  ASSERT_EQ(ref.size(), cfg.rounds);
+  std::vector<std::string> expect;
+  for (size_t k = 0; k < cfg.rounds; ++k) {
+    expect.push_back(std::to_string(k + 1) + " " + ToHex(ref[k]));
+  }
+  for (size_t j = 0; j < cfg.num_servers; ++j) {
+    EXPECT_EQ(ReadLog(work + "/s" + std::to_string(j) + ".log"), expect)
+        << "server " << j << " diverged";
+  }
+  for (size_t h = 0; h < cfg.num_hosts(); ++h) {
+    EXPECT_EQ(ReadLog(work + "/c" + std::to_string(h) + ".log"), expect)
+        << "client host " << h << " diverged";
+  }
+
+  // The restarted incarnation must say so, and wall-clock throughput must
+  // be measured (nonzero) on a server that saw the whole session.
+  std::ifstream stats(work + "/s" + std::to_string(victim) + ".json");
+  std::stringstream ss;
+  ss << stats.rdbuf();
+  EXPECT_NE(ss.str().find("\"restored\": true"), std::string::npos) << ss.str();
+  std::ifstream stats0(work + "/s0.json");
+  std::stringstream ss0;
+  ss0 << stats0.rdbuf();
+  const std::string s0 = ss0.str();
+  const size_t pos = s0.find("\"wallclock_rounds_per_sec\": ");
+  ASSERT_NE(pos, std::string::npos) << s0;
+  EXPECT_GT(std::atof(s0.c_str() + pos + std::strlen("\"wallclock_rounds_per_sec\": ")),
+            0.0);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dissent

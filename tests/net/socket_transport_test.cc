@@ -1,0 +1,226 @@
+// Socket-transport equivalence: the real-TCP transport must produce
+// cleartexts byte-identical, round for round, to the in-process Coordinator
+// and the simulated-network NetDissent reference — all three drive the same
+// sans-I/O engines, so any divergence is a transport bug by construction.
+// Everything here runs single-process on one EventLoop over loopback.
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/coordinator.h"
+#include "src/net/socket_transport.h"
+
+namespace dissent {
+namespace net {
+namespace {
+
+// A full deployment (M servers + H client hosts) on one loop.
+struct InProcDeployment {
+  explicit InProcDeployment(const DeployConfig& cfg) : cfg_(cfg) {
+    for (size_t j = 0; j < cfg.num_servers; ++j) {
+      servers.push_back(std::make_unique<ServerNode>(&loop, cfg, j));
+    }
+    servers[0]->on_round = [this](const ServerEngine::RoundDone& done) {
+      if (done.completed) {
+        cleartexts[done.round] = done.cleartext;
+      }
+    };
+    for (size_t h = 0; h < cfg.num_hosts(); ++h) {
+      hosts.push_back(std::make_unique<ClientHostNode>(&loop, cfg, h));
+      for (size_t local = 0; local < hosts[h]->num_clients(); ++local) {
+        const size_t i = hosts[h]->first_client() + local;
+        for (size_t k = 0; k < cfg.rounds; ++k) {
+          hosts[h]->client_logic(local).QueueMessage(DeployPayload(i, k));
+        }
+      }
+    }
+  }
+
+  bool Listen() {
+    for (auto& s : servers) {
+      if (!s->Listen()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Start() {
+    for (auto& s : servers) {
+      s->Start();
+    }
+    for (auto& h : hosts) {
+      h->Start();
+    }
+  }
+
+  bool AllDelivered() const {
+    for (const auto& h : hosts) {
+      if (h->min_delivered_round() < cfg_.rounds) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool RunToCompletion(int64_t timeout_us = 60 * 1000000ll) {
+    return loop.RunUntil([this] { return AllDelivered(); }, timeout_us);
+  }
+
+  DeployConfig cfg_;
+  EventLoop loop;
+  std::vector<std::unique_ptr<ServerNode>> servers;
+  std::vector<std::unique_ptr<ClientHostNode>> hosts;
+  std::map<uint64_t, Bytes> cleartexts;
+};
+
+// Coordinator reference under the distributed scheduling-rng discipline:
+// the externally computed cascade keys make its slot order (and thus its
+// cleartexts) the ones the socket deployment must reproduce.
+std::vector<Bytes> CoordinatorReference(const DeployConfig& cfg) {
+  std::vector<BigInt> server_privs, client_privs;
+  GroupDef def = BuildDeployGroup(cfg, &server_privs, &client_privs);
+  Coordinator coord(def, server_privs, client_privs, cfg.seed);
+  std::vector<BigInt> pubs;
+  for (size_t i = 0; i < cfg.num_clients; ++i) {
+    pubs.push_back(coord.client(i).pseudonym().pub);
+    for (size_t k = 0; k < cfg.rounds; ++k) {
+      coord.client(i).QueueMessage(DeployPayload(i, k));
+    }
+  }
+  std::vector<BigInt> keys = DistributedCascadeKeys(cfg, def, server_privs, pubs);
+  EXPECT_FALSE(keys.empty());
+  EXPECT_TRUE(coord.RunSchedulingExternal(std::move(keys)));
+  std::vector<Bytes> out;
+  for (size_t k = 0; k < cfg.rounds; ++k) {
+    auto outcome = coord.RunRound();
+    EXPECT_TRUE(outcome.completed);
+    out.push_back(outcome.cleartext);
+  }
+  return out;
+}
+
+TEST(SocketTransport, ByteIdenticalToCoordinator) {
+  DeployConfig cfg;
+  cfg.seed = 21;
+  cfg.num_servers = 2;
+  cfg.num_clients = 4;
+  cfg.clients_per_host = 2;
+  cfg.rounds = 6;
+  cfg.base_port = 31200;
+
+  InProcDeployment dep(cfg);
+  ASSERT_TRUE(dep.Listen());
+  dep.Start();
+  ASSERT_TRUE(dep.RunToCompletion());
+
+  const std::vector<Bytes> ref = CoordinatorReference(cfg);
+  ASSERT_EQ(ref.size(), cfg.rounds);
+  for (size_t k = 0; k < cfg.rounds; ++k) {
+    ASSERT_TRUE(dep.cleartexts.count(k + 1)) << "round " << k + 1 << " missing";
+    EXPECT_EQ(dep.cleartexts[k + 1], ref[k]) << "round " << k + 1 << " diverged";
+  }
+  EXPECT_FALSE(dep.servers[0]->halted());
+}
+
+TEST(SocketTransport, PipelinedDepth2MatchesSimReference) {
+  DeployConfig cfg;
+  cfg.seed = 22;
+  cfg.num_servers = 3;
+  cfg.num_clients = 6;
+  cfg.clients_per_host = 3;
+  cfg.pipeline_depth = 2;
+  cfg.rounds = 8;
+  cfg.base_port = 31210;
+
+  InProcDeployment dep(cfg);
+  ASSERT_TRUE(dep.Listen());
+  dep.Start();
+  ASSERT_TRUE(dep.RunToCompletion());
+
+  const std::vector<Bytes> ref = RunSimReference(cfg);
+  ASSERT_EQ(ref.size(), cfg.rounds);
+  for (size_t k = 0; k < cfg.rounds; ++k) {
+    ASSERT_TRUE(dep.cleartexts.count(k + 1));
+    EXPECT_EQ(dep.cleartexts[k + 1], ref[k]) << "round " << k + 1 << " diverged";
+  }
+  // Depth 2 must actually overlap rounds somewhere in the fleet.
+  uint64_t pipelined = 0;
+  for (const auto& s : dep.servers) {
+    pipelined += s->pipelined_submissions();
+  }
+  EXPECT_GT(pipelined, 0u);
+}
+
+// Kill a server mid-run (destroying its node = every socket dies), restore a
+// fresh node from its snapshot, and require the run to finish with
+// cleartexts still byte-identical to the reference: the restored server
+// neither equivocates against its pre-crash gossip nor loses the session.
+TEST(SocketTransport, SnapshotRestoreMidRunStaysByteIdentical) {
+  DeployConfig cfg;
+  cfg.seed = 23;
+  cfg.num_servers = 2;
+  cfg.num_clients = 4;
+  cfg.clients_per_host = 2;
+  cfg.rounds = 12;
+  cfg.base_port = 31220;
+
+  InProcDeployment dep(cfg);
+  ASSERT_TRUE(dep.Listen());
+  dep.Start();
+
+  // Run until server 1 is a few rounds in, then SIGTERM-style snapshot+kill.
+  ASSERT_TRUE(dep.loop.RunUntil(
+      [&] { return dep.servers[1]->rounds_completed() >= 3; }, 60 * 1000000ll));
+  const Bytes snapshot = dep.servers[1]->SnapshotBytes();
+  ASSERT_FALSE(snapshot.empty());
+  dep.servers[1].reset();  // closes listen fd + every connection
+
+  dep.servers[1] = std::make_unique<ServerNode>(&dep.loop, cfg, 1);
+  ASSERT_TRUE(dep.servers[1]->Listen());
+  ASSERT_TRUE(dep.servers[1]->RestoreFromSnapshot(snapshot));
+  EXPECT_TRUE(dep.servers[1]->restored());
+  dep.servers[1]->Start();
+
+  ASSERT_TRUE(dep.RunToCompletion(120 * 1000000ll));
+  const std::vector<Bytes> ref = RunSimReference(cfg);
+  ASSERT_EQ(ref.size(), cfg.rounds);
+  for (size_t k = 0; k < cfg.rounds; ++k) {
+    ASSERT_TRUE(dep.cleartexts.count(k + 1));
+    EXPECT_EQ(dep.cleartexts[k + 1], ref[k]) << "round " << k + 1 << " diverged";
+  }
+  EXPECT_FALSE(dep.servers[0]->halted());
+  EXPECT_FALSE(dep.servers[1]->halted());
+}
+
+// A connection whose hello authenticates under the wrong secret must be
+// dropped before any protocol state is touched.
+TEST(SocketTransport, RejectsHelloUnderWrongSecret) {
+  DeployConfig cfg;
+  cfg.seed = 24;
+  cfg.num_servers = 1;
+  cfg.num_clients = 1;
+  cfg.rounds = 1;
+  cfg.base_port = 31230;
+
+  EventLoop loop;
+  ServerNode server(&loop, cfg, 0);
+  ASSERT_TRUE(server.Listen());
+  server.Start();
+
+  const Bytes wrong_secret = SessionSecret(cfg.seed + 1, Bytes{1, 2, 3});
+  bool closed = false;
+  Connection conn(&loop, cfg.host, cfg.server_port(0));
+  conn.set_on_close([&](Connection*) { closed = true; });
+  conn.set_on_connect([&](Connection* c) {
+    c->Send(SerializeNet(MakeHello(wrong_secret, Hello::kClientHost, 0, 1, 99)));
+  });
+  EXPECT_TRUE(loop.RunUntil([&] { return closed; }, 10 * 1000000ll));
+  EXPECT_FALSE(server.session_started());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dissent
