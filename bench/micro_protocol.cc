@@ -434,6 +434,11 @@ void BM_ProtocolFaults(benchmark::State& state) {
   state.counters["retransmits"] = static_cast<double>(ps->net->retransmits());
   state.counters["server_restarts"] = static_cast<double>(ps->net->server_restarts());
   state.counters["participation"] = static_cast<double>(ps->net->last_participation());
+  // No abort deadline is armed in this plan: the outage is ridden out by
+  // stall-and-resync, so any certified abort here would mean the fleet
+  // diverged from the clean schedule. Pinning the zero keeps the counter in
+  // the bench JSON next to the chaos-mode runs, where it is nonzero.
+  state.counters["aborts_agreed"] = static_cast<double>(ps->net->rounds_aborted());
 }
 BENCHMARK(BM_ProtocolFaults)
     ->Arg(1000)

@@ -13,10 +13,21 @@
 #   5. report wall-clock rounds/sec from the server stats JSON and write
 #      <out>/summary.json for machine consumers (CI guard, run_bench.sh)
 #
+# Chaos mode (--chaos <seed>): every process dials through the chaos-proxy
+# binary, which injects seeded frame drops, latency stalls, forced closes,
+# and a connection-severing partition window against real kernel TCP, while
+# --abort-deadline-ms arms the epoch-committed abort agreement. The restarted
+# server is additionally held down across several abort deadlines so it comes
+# back from a genuinely stale snapshot and must re-admit itself via catch-up.
+# Wall-clock deadlines decide *which* rounds abort, so chaos runs check
+# byte-identity across processes (every log equals server 0's) instead of
+# against the sim fixture; completed rounds still carry all M signatures, so
+# cross-process identity is the cryptographically meaningful check.
+#
 # Usage: scripts/localrun.sh [--servers M] [--clients N] [--clients-per-host C]
 #                            [--depth D] [--rounds R] [--seed S]
 #                            [--base-port P] [--build DIR] [--out DIR]
-#                            [--timeout-sec T] [--no-restart]
+#                            [--timeout-sec T] [--no-restart] [--chaos SEED]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,6 +42,8 @@ build_dir="$repo_root/build"
 out_dir=""
 timeout_sec=180
 restart=1
+chaos=0
+abort_ms=700
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -45,13 +58,19 @@ while [[ $# -gt 0 ]]; do
     --out) out_dir="$2"; shift 2 ;;
     --timeout-sec) timeout_sec="$2"; shift 2 ;;
     --no-restart) restart=0; shift ;;
+    --chaos) chaos=1; seed="$2"; shift 2 ;;
     *) echo "localrun.sh: unknown flag $1" >&2; exit 2 ;;
   esac
 done
 
 dissentd="$build_dir/dissentd"
 client="$build_dir/dissent-client"
-for bin in "$dissentd" "$client"; do
+chaos_bin="$build_dir/chaos-proxy"
+bins=("$dissentd" "$client")
+if [[ $chaos -eq 1 ]]; then
+  bins+=("$chaos_bin")
+fi
+for bin in "${bins[@]}"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build the repo first (cmake --build build)" >&2
     exit 1
@@ -66,6 +85,10 @@ hosts=$(( (clients + cph - 1) / cph ))
 shape=(--servers "$servers" --clients "$clients" --clients-per-host "$cph"
        --depth "$depth" --rounds "$rounds" --seed "$seed"
        --base-port "$base_port")
+if [[ $chaos -eq 1 ]]; then
+  chaos_port=$(( base_port + 1000 ))
+  shape+=(--abort-deadline-ms "$abort_ms" --chaos-base-port "$chaos_port")
+fi
 
 echo "localrun: $servers servers, $clients clients in $hosts processes," \
      "depth $depth, $rounds rounds -> $out_dir"
@@ -81,6 +104,21 @@ trap cleanup EXIT
 
 # 1. Byte-identity fixture from the simulated-network reference.
 "$client" --sim-reference "${shape[@]}" > "$out_dir/fixture.txt"
+
+# 1b. Chaos mode: every link goes through the fault-injecting proxy. The
+# partition severs server 0 from the rest across several abort deadlines,
+# straddling abort votes so the agreement protocol has to converge by
+# certificate replay after healing.
+chaos_pid=0
+if [[ $chaos -eq 1 ]]; then
+  "$chaos_bin" "${shape[@]}" \
+    --drop 0.01 --stall 0.015 --stall-ms 80 --close 0.003 --grace-ms 1500 \
+    --partition "0-0:1-$(( servers - 1 )):5500:8500" \
+    2> "$out_dir/chaos.err" &
+  chaos_pid=$!
+  pids+=("$chaos_pid")
+  sleep 0.2
+fi
 
 # 2. Servers, then client-host processes.
 declare -a server_pid
@@ -114,6 +152,12 @@ if [[ $restart -eq 1 ]]; then
   done
   kill -TERM "${server_pid[$victim]}"
   wait "${server_pid[$victim]}" || true
+  if [[ $chaos -eq 1 ]]; then
+    # Hold the victim down across several abort deadlines so its snapshot is
+    # genuinely stale: the survivors retire the rounds it is missing from by
+    # abort certificate, and the restored incarnation must catch up.
+    sleep 2.5
+  fi
   "$dissentd" --index "$victim" "${shape[@]}" \
     --log "$out_dir/server$victim.log" --stats "$out_dir/server$victim.json" \
     --snapshot "$out_dir/server$victim.snap" 2>> "$out_dir/server$victim.err" &
@@ -140,29 +184,75 @@ for ((j = 0; j < servers; ++j)); do
 done
 pids=()
 
-# 5. Byte-identity: every server log and every client log must equal the
-# fixture, line for line ("<round> <hex>", rounds 1..R in order).
+if [[ $chaos -eq 1 && $chaos_pid -ne 0 ]]; then
+  kill -TERM "$chaos_pid" 2>/dev/null || true
+  wait "$chaos_pid" 2>/dev/null || true
+fi
+
+# 5. Byte-identity. Clean runs compare every log against the sim fixture,
+# line for line ("<round> <hex>", rounds 1..R in order). Chaos runs compare
+# across processes instead — wall-clock abort deadlines decide *which*
+# rounds complete, so the completed-round set is timing dependent, but every
+# completed round carries all M server signatures and must read identically
+# everywhere.
+if [[ $chaos -eq 1 ]]; then
+  reference="$out_dir/server0.log"
+  if [[ $(wc -l < "$reference" 2>/dev/null || echo 0) -lt 5 ]]; then
+    echo "FAIL: server 0 certified fewer than 5 rounds under chaos" >&2
+    fail=1
+  fi
+else
+  reference="$out_dir/fixture.txt"
+fi
 if [[ $fail -eq 0 ]]; then
   for ((j = 0; j < servers; ++j)); do
-    if ! diff -q "$out_dir/fixture.txt" "$out_dir/server$j.log" > /dev/null; then
-      echo "FAIL: server $j cleartexts diverge from sim reference" >&2
+    if ! diff -q "$reference" "$out_dir/server$j.log" > /dev/null; then
+      echo "FAIL: server $j cleartexts diverge" >&2
       fail=1
     fi
   done
   for ((h = 0; h < hosts; ++h)); do
-    if ! diff -q "$out_dir/fixture.txt" "$out_dir/client$h.log" > /dev/null; then
-      echo "FAIL: client host $h cleartexts diverge from sim reference" >&2
+    if ! diff -q "$reference" "$out_dir/client$h.log" > /dev/null; then
+      echo "FAIL: client host $h cleartexts diverge" >&2
       fail=1
     fi
   done
 fi
 
-rps=$(sed -n 's/.*"wallclock_rounds_per_sec": \([0-9.]*\).*/\1/p' \
-      "$out_dir/server0.json" 2>/dev/null || echo 0)
-rps=${rps:-0}
+stat_of() {
+  local v
+  v=$(sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1" 2>/dev/null | head -1)
+  echo "${v:-$3}"
+}
+rps=$(stat_of "$out_dir/server0.json" wallclock_rounds_per_sec 0)
+aborts=$(stat_of "$out_dir/server0.json" aborts_agreed 0)
+# Fleet-wide reliability overhead: total frames on the wire over total unique
+# frames, summed across every server. A per-server reading would pin the
+# guard to whichever server sat inside the partition window and retransmitted
+# into the void; the fleet-wide ratio is what the reliability layer costs.
+total_sent=0
+total_retx=0
+for ((j = 0; j < servers; ++j)); do
+  total_sent=$(( total_sent + $(stat_of "$out_dir/server$j.json" reliable_sent 0) ))
+  total_retx=$(( total_retx + $(stat_of "$out_dir/server$j.json" retransmits 0) ))
+done
+if [[ $total_sent -gt 0 ]]; then
+  overhead=$(awk "BEGIN { printf \"%.4f\", 1.0 + $total_retx / $total_sent }")
+else
+  overhead=1.0
+fi
+# Fleet-wide: the restored victim catches up after its outage, and live
+# servers catch up certified rounds a dead incarnation took its signature
+# share to the grave for. Either path is the catch-up machinery working.
+catchup=0
+for ((j = 0; j < servers; ++j)); do
+  catchup=$(( catchup + $(stat_of "$out_dir/server$j.json" catch_up_rounds 0) ))
+done
 cat > "$out_dir/summary.json" <<EOF
 {"servers": $servers, "clients": $clients, "client_processes": $hosts,
  "pipeline_depth": $depth, "rounds": $rounds, "restarts": $restarts,
+ "chaos": $chaos, "aborts_agreed": $aborts, "catch_up_rounds": $catchup,
+ "retransmit_overhead": $overhead,
  "wallclock_rounds_per_sec": $rps, "byte_identical": $(( fail == 0 ? 1 : 0 ))}
 EOF
 
@@ -170,6 +260,7 @@ if [[ $fail -ne 0 ]]; then
   echo "localrun: FAILED (artifacts in $out_dir)" >&2
   exit 1
 fi
-echo "localrun: OK — $rounds rounds byte-identical across" \
-     "$((servers + hosts)) processes, $rps wall-clock rounds/sec," \
-     "$restarts server restart(s); summary: $out_dir/summary.json"
+echo "localrun: OK — byte-identical across $((servers + hosts)) processes," \
+     "$rps wall-clock rounds/sec, $restarts server restart(s)," \
+     "$aborts abort(s) agreed, $catchup round(s) caught up," \
+     "retransmit overhead $overhead; summary: $out_dir/summary.json"

@@ -1,0 +1,117 @@
+// chaos-proxy: deterministic fault-injecting TCP relay for localrun chaos
+// mode.
+//
+// Launched with the same deployment-shape flags as dissentd plus a fault
+// plan; every dissent process is pointed at --chaos-base-port and the proxy
+// forwards each link to the real server ports, injecting seeded
+// drop/stall/close faults and connection-severing partition windows
+// (scripts/localrun.sh --chaos <seed>). SIGTERM prints the injected-fault
+// tally to stderr and exits 0.
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/bin/deploy_flags.h"
+#include "src/net/chaos_proxy.h"
+
+namespace dissent {
+namespace net {
+namespace {
+
+// "a_lo-a_hi:b_lo-b_hi:from_ms:until_ms", e.g. "2-2:0-1:8000:16000".
+bool ParsePartition(const std::string& v, ChaosPlan::Partition* out) {
+  unsigned long a_lo, a_hi, b_lo, b_hi, from_ms, until_ms;
+  if (std::sscanf(v.c_str(), "%lu-%lu:%lu-%lu:%lu:%lu", &a_lo, &a_hi, &b_lo, &b_hi,
+                  &from_ms, &until_ms) != 6) {
+    return false;
+  }
+  out->a_lo = a_lo;
+  out->a_hi = a_hi;
+  out->b_lo = b_lo;
+  out->b_hi = b_hi;
+  out->from_us = static_cast<int64_t>(from_ms) * 1000;
+  out->until_us = static_cast<int64_t>(until_ms) * 1000;
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  DeployConfig cfg;
+  ChaosPlan plan;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argc, argv, &i, "--drop", &v)) {
+      plan.drop = std::strtod(v.c_str(), nullptr);
+    } else if (FlagValue(argc, argv, &i, "--stall", &v)) {
+      plan.stall = std::strtod(v.c_str(), nullptr);
+    } else if (FlagValue(argc, argv, &i, "--stall-ms", &v)) {
+      plan.stall_us = std::strtoll(v.c_str(), nullptr, 10) * 1000;
+    } else if (FlagValue(argc, argv, &i, "--close", &v)) {
+      plan.close = std::strtod(v.c_str(), nullptr);
+    } else if (FlagValue(argc, argv, &i, "--grace-ms", &v)) {
+      plan.grace_us = std::strtoll(v.c_str(), nullptr, 10) * 1000;
+    } else if (std::string(argv[i]) == "--trace") {
+      plan.trace = true;
+    } else if (FlagValue(argc, argv, &i, "--partition", &v)) {
+      ChaosPlan::Partition p;
+      if (!ParsePartition(v, &p)) {
+        std::fprintf(stderr, "chaos-proxy: bad --partition %s\n", v.c_str());
+        return 2;
+      }
+      plan.partitions.push_back(p);
+    } else if (ParseDeployFlag(argc, argv, &i, &cfg)) {
+      // consumed
+    } else {
+      std::fprintf(stderr, "chaos-proxy: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (cfg.chaos_base_port == 0) {
+    std::fprintf(stderr, "chaos-proxy: --chaos-base-port required\n");
+    return 2;
+  }
+  plan.seed = cfg.seed;
+
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  sigprocmask(SIG_BLOCK, &mask, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+  const int sfd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+
+  EventLoop loop;
+  ChaosProxy proxy(&loop, cfg, plan);
+  if (!proxy.Listen()) {
+    return 1;
+  }
+  if (sfd >= 0) {
+    loop.AddFd(sfd, EPOLLIN, [&](uint32_t) {
+      signalfd_siginfo si;
+      while (read(sfd, &si, sizeof(si)) == sizeof(si)) {
+      }
+      loop.Stop();
+    });
+  }
+  proxy.Start();
+  std::fprintf(stderr, "chaos-proxy: relaying %zu servers (base %u -> chaos %u)\n",
+               cfg.num_servers, cfg.base_port, cfg.chaos_base_port);
+  loop.Run();
+  std::fprintf(stderr,
+               "chaos-proxy: forwarded=%" PRIu64 " dropped=%" PRIu64 " stalls=%" PRIu64
+               " closes=%" PRIu64 " severed=%" PRIu64 " refused=%" PRIu64 "\n",
+               proxy.frames_forwarded(), proxy.frames_dropped(), proxy.stalls_injected(),
+               proxy.closes_injected(), proxy.pairs_severed(), proxy.dials_refused());
+  return 0;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dissent
+
+int main(int argc, char** argv) { return dissent::net::Main(argc, argv); }

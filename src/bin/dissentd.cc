@@ -65,15 +65,27 @@ void WriteStats(const std::string& path, const ServerNode& node, size_t index) {
   }
   const double secs = node.elapsed_seconds();
   const double rps = secs > 0 ? static_cast<double>(node.rounds_completed()) / secs : 0.0;
-  char buf[512];
+  // Retransmit overhead: reliable wraps re-sent per first-time wrap. 1.0
+  // means no frame ever needed a second send.
+  const double overhead =
+      node.reliable_sent() > 0
+          ? 1.0 + static_cast<double>(node.retransmits()) /
+                      static_cast<double>(node.reliable_sent())
+          : 1.0;
+  char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "{\"index\": %zu, \"rounds\": %" PRIu64
                 ", \"seconds\": %.3f, \"wallclock_rounds_per_sec\": %.3f, "
                 "\"restored\": %s, \"retransmits\": %" PRIu64
-                ", \"pipelined_submissions\": %" PRIu64 ", \"halted\": %s}\n",
+                ", \"pipelined_submissions\": %" PRIu64 ", \"halted\": %s, "
+                "\"reliable_sent\": %" PRIu64 ", \"duplicates_dropped\": %" PRIu64
+                ", \"max_in_flight\": %" PRIu64 ", \"retransmit_overhead\": %.4f, "
+                "\"aborts_agreed\": %" PRIu64 ", \"catch_up_rounds\": %" PRIu64 "}\n",
                 index, node.rounds_completed(), secs, rps,
                 node.restored() ? "true" : "false", node.retransmits(),
-                node.pipelined_submissions(), node.halted() ? "true" : "false");
+                node.pipelined_submissions(), node.halted() ? "true" : "false",
+                node.reliable_sent(), node.duplicates_dropped(), node.max_in_flight(),
+                overhead, node.rounds_aborted(), node.catch_up_rounds());
   Bytes b(buf, buf + std::strlen(buf));
   WriteFileAtomic(path, b);
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/core/output_cert.h"
+
 namespace dissent {
 
 namespace {
@@ -108,7 +110,18 @@ void ReliableMailbox::WrapOutgoing(std::vector<Envelope>& out, uint32_t self, in
     auto wrapped = std::make_shared<const WireMessage>(std::move(rel));
     l.pending.emplace(seq, Pending{wrapped, now_us + cfg_.rto_us, cfg_.rto_us});
     env.msg = std::move(wrapped);
+    ++reliable_sent_;
   }
+  NotePeakInFlight();
+}
+
+void ReliableMailbox::NotePeakInFlight() {
+  uint64_t total = 0;
+  for (const auto& [key, l] : links_) {
+    (void)key;
+    total += l.pending.size();
+  }
+  max_in_flight_ = std::max(max_in_flight_, total);
 }
 
 void ReliableMailbox::EmitAck(const Link& l, uint32_t self, std::vector<Envelope>& out) const {
@@ -162,6 +175,7 @@ ReliableMailbox::Recv ReliableMailbox::OnReliable(const Peer& from, const wire::
   // above makes that retransmission harmless.
   EmitAck(l, self, out);
   if (!fresh) {
+    ++duplicates_dropped_;
     return Recv::kDuplicate;
   }
   auto parsed = ParseWire(rel.inner);
@@ -336,12 +350,14 @@ void ServerEngine::StartRound(uint64_t round, int64_t now_us, Actions& a) {
   st.window_timer_armed = false;
   st.window_close_at_us = 0;
   st.sent_commit = st.sent_ct = st.sent_sig = false;
+  st.promised_abort = false;
   st.participation = 0;
   st.cleartext.clear();
   st.inventories.assign(num_servers_, std::nullopt);
   st.commits.assign(num_servers_, std::nullopt);
   st.server_cts.assign(num_servers_, std::nullopt);
   st.sigs.assign(num_servers_, std::nullopt);
+  st.reoffered.assign(num_servers_, false);
   a.timers.push_back({Token(round, kHardDeadline), config_.hard_deadline_us});
   if (config_.abort_deadline_us > 0) {
     a.timers.push_back({Token(round, kAbortDeadline), config_.abort_deadline_us});
@@ -418,6 +434,22 @@ void ServerEngine::DispatchMessage(const Peer& from, const WireMessage& msg, int
     }
     return;
   }
+  if (const auto* prep = std::get_if<wire::AbortPrepare>(&msg)) {
+    HandleAbortPrepare(from, *prep, now_us, a);
+    return;
+  }
+  if (const auto* cert = std::get_if<wire::AbortCommit>(&msg)) {
+    HandleAbortCommit(from, *cert, now_us, a);
+    return;
+  }
+  if (const auto* creq = std::get_if<wire::ServerCatchUpRequest>(&msg)) {
+    HandleServerCatchUpRequest(from, *creq, a);
+    return;
+  }
+  if (const auto* batch = std::get_if<wire::ServerCatchUpBatch>(&msg)) {
+    HandleServerCatchUpBatch(from, *batch, now_us, a);
+    return;
+  }
   if (std::holds_alternative<wire::AccusationSubmit>(msg) || IsBlameGossip(msg)) {
     HandleBlameMessage(from, msg, now_us, a);
     return;
@@ -481,6 +513,7 @@ void ServerEngine::HandleServerPhase(uint32_t sender, const WireMessage& msg, in
   RoundState& st = *strp;
   if (const auto* m = std::get_if<wire::Inventory>(&msg)) {
     if (st.inventories[sender].has_value()) {
+      ReofferRoundFrames(round, sender, a);
       return;
     }
     for (uint32_t id : m->clients) {
@@ -492,22 +525,30 @@ void ServerEngine::HandleServerPhase(uint32_t sender, const WireMessage& msg, in
     MaybeBuildCiphertext(round, a);
   } else if (const auto* m = std::get_if<wire::Commit>(&msg)) {
     if (st.commits[sender].has_value()) {
+      ReofferRoundFrames(round, sender, a);
       return;
     }
     st.commits[sender] = m->commitment;
     MaybeShareCiphertext(round, a);
   } else if (const auto* m = std::get_if<wire::ServerCiphertext>(&msg)) {
     if (st.server_cts[sender].has_value()) {
+      ReofferRoundFrames(round, sender, a);
       return;
     }
     st.server_cts[sender] = m->ciphertext;
     MaybeCertify(round, a);
   } else if (const auto* m = std::get_if<wire::SignatureShare>(&msg)) {
-    if (st.sigs[sender].has_value() ||
-        !SchnorrSignature::Deserialize(*def_.group, m->signature).has_value()) {
+    if (st.sigs[sender].has_value()) {
+      ReofferRoundFrames(round, sender, a);
+      return;
+    }
+    if (!SchnorrSignature::Deserialize(*def_.group, m->signature).has_value()) {
       return;
     }
     st.sigs[sender] = m->signature;
+    // A sibling signature can be the release condition for a round we
+    // promised to abort (every other server signed): re-check certification.
+    MaybeCertify(round, a);
   }
 }
 
@@ -556,8 +597,31 @@ ServerEngine::Actions ServerEngine::HandleTimer(uint64_t token, int64_t now_us) 
   if (kind == kAbortDeadline) {
     // The round is still unresolved this long after it opened: vote to
     // abort it (the vote only carries once >= M-1 servers agree).
-    if (FindRound(id) != nullptr) {
+    if (config_.abort_agreement && config_.abort_deadline_us > 0) {
+      // Two-phase path: sign and (re-)broadcast our prepare for the finish
+      // frontier, and re-arm so a healed partition eventually re-exchanges
+      // votes at the converged epoch — receivers dedup, so re-broadcast is
+      // free when nothing changed.
+      if (FindRound(id) != nullptr && !catching_up_) {
+        if (id == next_round_to_finish_) {
+          BroadcastOwnPrepare(id, now_us, a);
+        }
+        a.timers.push_back({Token(id, kAbortDeadline), config_.abort_deadline_us});
+      }
+    } else if (FindRound(id) != nullptr) {
       RecordAbortVote(id, static_cast<uint32_t>(index_), now_us, a);
+    }
+    Seal(a, now_us);
+    return a;
+  }
+  if (kind == kServerCatchUp) {
+    // Repeating catch-up retry: keep asking siblings for the missing round
+    // history until one of them confirms our frontier matches the fleet's.
+    catchup_timer_armed_ = false;
+    if (catching_up_) {
+      SendServerCatchUpRequest(a);
+      catchup_timer_armed_ = true;
+      a.timers.push_back({Token(0, kServerCatchUp), config_.abort_deadline_us});
     }
     Seal(a, now_us);
     return a;
@@ -664,6 +728,21 @@ void ServerEngine::MaybeCertify(uint64_t round, Actions& a) {
   if (!st.sent_ct || st.sent_sig || !AllPresent(st.server_cts)) {
     return;
   }
+  // Abort-agreement promise: once we signed a prepare for this round we
+  // withhold our SignatureShare — after voting, the frames we send can feed
+  // an abort certificate or nothing, never a certified output. One release:
+  // if every sibling's signature is already here, at most one server (us)
+  // ever prepared — below the M-1 certificate quorum — so no abort
+  // certificate can ever assemble and completing is the only outcome left.
+  // (Two promisers block each other forever: each needs the other's
+  // signature to release, so neither signs and the round aborts instead.)
+  if (config_.abort_agreement && config_.abort_deadline_us > 0 && st.promised_abort) {
+    for (size_t o = 0; o < num_servers_; ++o) {
+      if (o != index_ && !st.sigs[o].has_value()) {
+        return;
+      }
+    }
+  }
   std::vector<Bytes> cts, commits;
   cts.reserve(num_servers_);
   commits.reserve(num_servers_);
@@ -690,6 +769,39 @@ void ServerEngine::MaybeCertify(uint64_t round, Actions& a) {
   Broadcast(wire::SignatureShare{round, static_cast<uint32_t>(index_), sig_bytes}, a);
   st.sigs[index_] = std::move(sig_bytes);
   st.sent_sig = true;
+}
+
+void ServerEngine::ReofferRoundFrames(uint64_t round, uint32_t sender, Actions& a) {
+  // An engine-visible duplicate phase frame means the sender re-ran this
+  // round (the mailbox dedups same-seq retransmits before we ever see them;
+  // only a fresh incarnation re-sends under a new sequence number). Our own
+  // frames for the round were acked to its dead incarnation and will never
+  // be retransmitted, so re-offer them — once per sender — or the restarted
+  // round deadlocks waiting on frames nobody will send again.
+  RoundState* strp = FindRound(round);
+  if (strp == nullptr || sender >= num_servers_ || strp->reoffered[sender]) {
+    return;
+  }
+  RoundState& st = *strp;
+  st.reoffered[sender] = true;
+  const auto me = static_cast<uint32_t>(index_);
+  const Peer peer = ServerPeer(sender);
+  if (st.inventories[index_].has_value()) {
+    a.out.push_back({peer, std::make_shared<const WireMessage>(
+        wire::Inventory{round, me, *st.inventories[index_]})});
+  }
+  if (st.commits[index_].has_value()) {
+    a.out.push_back({peer, std::make_shared<const WireMessage>(
+        wire::Commit{round, me, *st.commits[index_]})});
+  }
+  if (st.server_cts[index_].has_value()) {
+    a.out.push_back({peer, std::make_shared<const WireMessage>(
+        wire::ServerCiphertext{round, me, *st.server_cts[index_]})});
+  }
+  if (st.sigs[index_].has_value()) {
+    a.out.push_back({peer, std::make_shared<const WireMessage>(
+        wire::SignatureShare{round, me, *st.sigs[index_]})});
+  }
 }
 
 void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
@@ -740,6 +852,8 @@ void ServerEngine::MaybeFinishRounds(int64_t now_us, Actions& a) {
     a.done.push_back(std::move(done));
     st.active = false;
     abort_votes_.erase(round);
+    abort_prepares_.erase(round);
+    pending_certs_.erase(round);
     ++next_round_to_finish_;
     ++rounds_completed_;
     // Blame sub-phase trigger (§3.9): a flagged round suspends the pipeline
@@ -819,7 +933,9 @@ void ServerEngine::HandleCatchUpRequest(const Peer& from, const wire::CatchUpReq
 }
 
 void ServerEngine::RecordAbortVote(uint64_t round, uint32_t server, int64_t now_us, Actions& a) {
-  if (config_.abort_deadline_us <= 0 || server >= num_servers_) {
+  // Legacy one-shot path only: with abort agreement on, unsigned RoundAbort
+  // frames (including hostile ones) are ignored entirely.
+  if (config_.abort_deadline_us <= 0 || config_.abort_agreement || server >= num_servers_) {
     return;
   }
   // Votes are only meaningful for rounds still unresolved and within the
@@ -869,6 +985,11 @@ void ServerEngine::MaybeAbortRound(uint64_t round, int64_t now_us, Actions& a) {
   if (n + 1 < num_servers_) {
     return;
   }
+  ApplyAbort(round, now_us, a);
+  MaybeAbortRound(next_round_to_finish_, now_us, a);
+}
+
+void ServerEngine::ApplyAbort(uint64_t round, int64_t now_us, Actions& a) {
   RoundState* st = FindRound(round);
   const int64_t started = st != nullptr ? st->started_us : now_us;
   if (st != nullptr) {
@@ -878,7 +999,9 @@ void ServerEngine::MaybeAbortRound(uint64_t round, int64_t now_us, Actions& a) {
   // close, owners re-request — so clients and servers stay in lockstep
   // through the gap.
   logic_->AbortRound(round);
-  abort_votes_.erase(it);
+  abort_votes_.erase(round);
+  abort_prepares_.erase(round);
+  pending_certs_.erase(round);
   ++next_round_to_finish_;
   ++rounds_aborted_;
   RoundDone done;
@@ -896,6 +1019,9 @@ void ServerEngine::MaybeAbortRound(uint64_t round, int64_t now_us, Actions& a) {
     a.out.push_back({AttachedClientsPeer(static_cast<uint32_t>(index_)),
                      std::make_shared<const WireMessage>(WireMessage(std::move(summary)))});
   }
+  if (catching_up_) {
+    return;  // catch-up replay: the batch handler reopens the pipeline
+  }
   // Reopen the pipeline (or let a pending blame instance run now that the
   // wedged round is out of the way).
   if (blame_.pending) {
@@ -904,7 +1030,379 @@ void ServerEngine::MaybeAbortRound(uint64_t round, int64_t now_us, Actions& a) {
     StartRound(next_round_to_start_, now_us, a);
   }
   MaybeFinishRounds(now_us, a);
-  MaybeAbortRound(next_round_to_finish_, now_us, a);
+}
+
+// ---------------------------------------------------------------------------
+// ServerEngine: epoch-committed abort agreement + server catch-up
+// ---------------------------------------------------------------------------
+
+void ServerEngine::BroadcastOwnPrepare(uint64_t round, int64_t now_us, Actions& a) {
+  RoundState* st = FindRound(round);
+  if (st != nullptr && st->sent_sig) {
+    // Our SignatureShare is on the wire: a sibling may already hold the full
+    // M-signature set and have certified this round's output, so our prepare
+    // must never feed an abort certificate. The round can only be stuck on a
+    // missing sibling signature; if that incarnation died holding it, a
+    // sibling whose frontier moved past us replays the certified round.
+    SendServerCatchUpRequest(a);
+    return;
+  }
+  if (st != nullptr) {
+    st->promised_abort = true;
+  }
+  const uint64_t epoch = rounds_aborted_;
+  auto& prepares = abort_prepares_[round];
+  auto own = prepares.find(static_cast<uint32_t>(index_));
+  if (own == prepares.end() || own->second.first != epoch) {
+    prepares[static_cast<uint32_t>(index_)] = {epoch, logic_->SignAbortPrepare(round, epoch)};
+  }
+  wire::AbortPrepare msg;
+  msg.round = round;
+  msg.epoch = epoch;
+  msg.server_id = static_cast<uint32_t>(index_);
+  msg.signature = prepares[static_cast<uint32_t>(index_)].second;
+  Broadcast(std::move(msg), a);
+  MaybeAssembleAbortCert(round, now_us, a);
+}
+
+void ServerEngine::HandleAbortPrepare(const Peer& from, const wire::AbortPrepare& msg,
+                                      int64_t now_us, Actions& a) {
+  if (config_.abort_deadline_us <= 0 || !config_.abort_agreement) {
+    return;
+  }
+  if (from.kind != Peer::Kind::kServer || from.index != msg.server_id ||
+      msg.server_id >= num_servers_ || msg.server_id == index_) {
+    return;
+  }
+  if (msg.round < next_round_to_finish_) {
+    // The sender is voting on a round our frontier already resolved: it is
+    // running behind (stale snapshot). Its votes are no-ops fleet-wide —
+    // reliable delivery acks them, so they are never re-sent — which is
+    // exactly the wedge the old one-shot path could never escape. Push the
+    // missing history unprompted (idempotent; it also asks on a timer).
+    wire::ServerCatchUpRequest implied;
+    implied.have_round = msg.round > 0 ? msg.round - 1 : 0;
+    implied.server_id = msg.server_id;
+    HandleServerCatchUpRequest(from, implied, a);
+    return;
+  }
+  if (msg.round >= next_round_to_start_ + 2 * config_.pipeline_depth + 2) {
+    return;  // beyond any round an honest peer could have open
+  }
+  if (msg.epoch != rounds_aborted_) {
+    return;  // divergent abort history; certificate replay converges it
+  }
+  if (!logic_->VerifyAbortPrepare(msg.round, msg.epoch, msg.server_id, msg.signature)) {
+    return;  // forged
+  }
+  auto& prepares = abort_prepares_[msg.round];
+  auto [pit, inserted] = prepares.emplace(msg.server_id, std::make_pair(msg.epoch, msg.signature));
+  if (!inserted && pit->second.first != msg.epoch) {
+    pit->second = {msg.epoch, msg.signature};  // re-vote at the converged epoch
+  }
+  MaybeAssembleAbortCert(msg.round, now_us, a);
+}
+
+void ServerEngine::MaybeAssembleAbortCert(uint64_t round, int64_t now_us, Actions& a) {
+  // Certificates assemble strictly at the finish frontier, from prepares at
+  // the current epoch, and only around our own vote — receiving a finished
+  // certificate (HandleAbortCommit) has no own-vote requirement, which is
+  // what lets a healing partition converge on the other side's decision.
+  if (round != next_round_to_finish_) {
+    return;
+  }
+  auto it = abort_prepares_.find(round);
+  if (it == abort_prepares_.end()) {
+    return;
+  }
+  const uint64_t epoch = rounds_aborted_;
+  auto own = it->second.find(static_cast<uint32_t>(index_));
+  if (own == it->second.end() || own->second.first != epoch) {
+    return;
+  }
+  wire::AbortCommit cert;
+  cert.round = round;
+  cert.epoch = epoch;
+  for (const auto& [sid, es] : it->second) {  // std::map: ids ascend, wire-canonical
+    if (es.first == epoch) {
+      cert.server_ids.push_back(sid);
+      cert.signatures.push_back(es.second);
+    }
+  }
+  if (cert.server_ids.size() + 1 < num_servers_) {
+    return;  // quorum is all alive servers: >= M-1 of M
+  }
+  Broadcast(cert, a);
+  CommitAbortCert(std::move(cert), now_us, a);
+}
+
+bool ServerEngine::VerifyAbortCert(const wire::AbortCommit& cert, uint64_t epoch) const {
+  if (cert.epoch != epoch || cert.server_ids.size() != cert.signatures.size() ||
+      cert.server_ids.size() + 1 < num_servers_) {
+    return false;
+  }
+  for (size_t k = 0; k < cert.server_ids.size(); ++k) {
+    if (cert.server_ids[k] >= num_servers_ ||
+        !logic_->VerifyAbortPrepare(cert.round, cert.epoch, cert.server_ids[k],
+                                    cert.signatures[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ServerEngine::HandleAbortCommit(const Peer& from, const wire::AbortCommit& msg,
+                                     int64_t now_us, Actions& a) {
+  if (config_.abort_deadline_us <= 0 || !config_.abort_agreement) {
+    return;
+  }
+  if (from.kind != Peer::Kind::kServer || from.index >= num_servers_ || from.index == index_) {
+    return;
+  }
+  if (msg.round < next_round_to_finish_) {
+    return;  // already resolved here: idempotent re-delivery is a no-op
+  }
+  if (msg.round >= next_round_to_start_ + 2 * config_.pipeline_depth + 2) {
+    // A certificate beyond every round we could have open: the fleet aborted
+    // past our whole window while we were gone. Catch up instead of voting.
+    BeginServerCatchUp(now_us, a);
+    return;
+  }
+  if (msg.round != next_round_to_finish_) {
+    // In-window future certificate (the sender resolved rounds we have not):
+    // stash for ordered application — epoch verification must wait until our
+    // frontier (and thus our abort count) reaches it.
+    pending_certs_.emplace(msg.round, msg);
+    return;
+  }
+  if (!VerifyAbortCert(msg, rounds_aborted_)) {
+    return;
+  }
+  CommitAbortCert(msg, now_us, a);
+}
+
+void ServerEngine::CommitAbortCert(wire::AbortCommit cert, int64_t now_us, Actions& a) {
+  const uint64_t round = cert.round;
+  abort_certs_.emplace(round, std::move(cert));
+  while (abort_certs_.size() > std::max<size_t>(config_.output_history, 1)) {
+    abort_certs_.erase(abort_certs_.begin());
+  }
+  ApplyAbort(round, now_us, a);
+  // Stashed successors may now sit at the frontier; drain them in order.
+  pending_certs_.erase(pending_certs_.begin(), pending_certs_.lower_bound(next_round_to_finish_));
+  auto it = pending_certs_.find(next_round_to_finish_);
+  while (it != pending_certs_.end()) {
+    wire::AbortCommit next = std::move(it->second);
+    pending_certs_.erase(it);
+    if (!VerifyAbortCert(next, rounds_aborted_)) {
+      break;
+    }
+    const uint64_t next_round = next.round;
+    abort_certs_.emplace(next_round, std::move(next));
+    ApplyAbort(next_round, now_us, a);
+    it = pending_certs_.find(next_round_to_finish_);
+  }
+}
+
+void ServerEngine::BeginServerCatchUp(int64_t now_us, Actions& a) {
+  if (config_.abort_deadline_us <= 0 || !config_.abort_agreement || catching_up_) {
+    return;
+  }
+  (void)now_us;
+  catching_up_ = true;
+  SendServerCatchUpRequest(a);
+  if (!catchup_timer_armed_) {
+    catchup_timer_armed_ = true;
+    a.timers.push_back({Token(0, kServerCatchUp), config_.abort_deadline_us});
+  }
+}
+
+void ServerEngine::SendServerCatchUpRequest(Actions& a) {
+  wire::ServerCatchUpRequest req;
+  req.have_round = next_round_to_finish_ - 1;
+  req.server_id = static_cast<uint32_t>(index_);
+  Broadcast(std::move(req), a);
+}
+
+void ServerEngine::HandleServerCatchUpRequest(const Peer& from,
+                                              const wire::ServerCatchUpRequest& req, Actions& a) {
+  if (config_.abort_deadline_us <= 0 || !config_.abort_agreement) {
+    return;
+  }
+  if (from.kind != Peer::Kind::kServer || from.index != req.server_id ||
+      req.server_id >= num_servers_ || req.server_id == index_) {
+    return;
+  }
+  const uint64_t fin = next_round_to_finish_ - 1;
+  wire::ServerCatchUpBatch batch;
+  batch.server_id = static_cast<uint32_t>(index_);
+  batch.first_round = req.have_round + 1;
+  batch.final_round = fin;
+  for (const auto& s : recent_) {
+    if (s.round <= req.have_round || batch.entries.size() == kCatchUpBatch) {
+      continue;
+    }
+    if (s.round != batch.first_round + batch.entries.size()) {
+      break;  // non-consecutive history cannot be verified in order
+    }
+    wire::ServerCatchUpEntry e;
+    e.aborted = s.aborted;
+    if (s.aborted) {
+      auto cit = abort_certs_.find(s.round);
+      if (cit == abort_certs_.end()) {
+        break;  // certificate pruned: this abort can no longer be proven
+      }
+      e.cert_ids = cit->second.server_ids;
+      e.signatures = cit->second.signatures;
+    } else {
+      e.cleartext = s.cleartext;
+      e.signatures = s.signatures;
+    }
+    batch.entries.push_back(std::move(e));
+  }
+  if (batch.entries.empty() && fin > req.have_round) {
+    // The gap predates our retained history: stay silent (another sibling
+    // may reach further back; an unserveable gap is a group re-form).
+    return;
+  }
+  // An empty batch with final_round <= have_round is the "you are caught
+  // up" confirmation.
+  a.out.push_back({ServerPeer(req.server_id),
+                   std::make_shared<const WireMessage>(WireMessage(std::move(batch)))});
+}
+
+void ServerEngine::HandleServerCatchUpBatch(const Peer& from, const wire::ServerCatchUpBatch& batch,
+                                            int64_t now_us, Actions& a) {
+  if (config_.abort_deadline_us <= 0 || !config_.abort_agreement) {
+    return;
+  }
+  if (from.kind != Peer::Kind::kServer || from.index != batch.server_id ||
+      batch.server_id >= num_servers_ || batch.server_id == index_) {
+    return;
+  }
+  const bool was_catching_up = catching_up_;
+  size_t applied = 0;
+  uint64_t r = batch.first_round;
+  for (const auto& e : batch.entries) {
+    const uint64_t round = r++;
+    if (round < next_round_to_finish_) {
+      continue;  // already resolved: first resolution wins locally
+    }
+    if (round != next_round_to_finish_) {
+      break;  // gap: schedule evolution can only be verified in order
+    }
+    if (e.aborted) {
+      wire::AbortCommit cert;
+      cert.round = round;
+      cert.epoch = rounds_aborted_;  // our abort count at this frontier
+      cert.server_ids = e.cert_ids;
+      cert.signatures = e.signatures;
+      if (!VerifyAbortCert(cert, rounds_aborted_)) {
+        break;
+      }
+      catching_up_ = true;
+      ++applied;
+      ++catch_up_rounds_;
+      abort_certs_.emplace(round, std::move(cert));
+      ApplyAbort(round, now_us, a);
+      continue;
+    }
+    // Completed round: all M servers signed this exact (round, cleartext).
+    if (e.signatures.size() != num_servers_) {
+      break;
+    }
+    bool ok = true;
+    for (size_t j = 0; j < num_servers_; ++j) {
+      auto sig = SchnorrSignature::Deserialize(*def_.group, e.signatures[j]);
+      if (!sig.has_value() ||
+          !SchnorrVerify(*def_.group, def_.server_pubs[j],
+                         OutputSigningBytes(def_, round, e.cleartext), *sig)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      break;
+    }
+    catching_up_ = true;
+    ++applied;
+    ++catch_up_rounds_;
+    if (RoundState* st = FindRound(round)) {
+      st->active = false;  // stale restored round, superseded by the replay
+    }
+    wire::RoundSummary summary;
+    summary.round = round;
+    summary.aborted = false;
+    summary.cleartext = e.cleartext;
+    summary.signatures = e.signatures;
+    RetainSummary(summary);
+    auto fin = logic_->FinishRound(round, e.cleartext);
+    RoundDone done;
+    done.round = round;
+    done.completed = true;
+    done.cleartext = e.cleartext;
+    done.participation = fin.participation;
+    done.started_at_us = now_us;
+    a.done.push_back(std::move(done));
+    last_participation_ = fin.participation;
+    abort_votes_.erase(round);
+    abort_prepares_.erase(round);
+    pending_certs_.erase(round);
+    ++next_round_to_finish_;
+    ++rounds_completed_;
+    // A §3.9 flag in a caught-up round was already arbitrated by the fleet
+    // while we were away; we deliberately do not reopen that instance.
+    if (!config_.attached_clients.empty()) {
+      summary.final_round = next_round_to_finish_ - 1;
+      a.out.push_back({AttachedClientsPeer(static_cast<uint32_t>(index_)),
+                       std::make_shared<const WireMessage>(WireMessage(std::move(summary)))});
+    }
+  }
+  if (applied > 0 && !was_catching_up) {
+    // Live frontier heal: we were not in restored-server catch-up — our
+    // SignatureShare was already out (so we could not vote to abort) and a
+    // sibling ahead of us replayed the certified rounds. Open rounds and
+    // mailbox state are intact, so resolve the replay in place and keep
+    // going: the restored-server pipeline reset below would discard sibling
+    // phase frames that reliable delivery already acked and never re-sends.
+    catching_up_ = false;
+    if (next_round_to_start_ < next_round_to_finish_) {
+      // The replay resolved rounds past our whole open window (every open
+      // round was applied and marked inactive above): never re-open a round
+      // below the frontier.
+      next_round_to_start_ = next_round_to_finish_;
+    }
+    while (next_round_to_start_ < next_round_to_finish_ + config_.pipeline_depth) {
+      StartRound(next_round_to_start_, now_us, a);
+    }
+    MaybeFinishRounds(now_us, a);
+    return;
+  }
+  if (applied > 0 && batch.final_round >= next_round_to_finish_ + config_.pipeline_depth) {
+    // Still behind by more than the pipeline window: ask for the next batch
+    // immediately instead of waiting for the retry timer.
+    catching_up_ = true;
+    SendServerCatchUpRequest(a);
+    return;
+  }
+  if (applied > 0) {
+    // The remaining gap fits inside the live window: rejoin. Reopen depth
+    // fresh rounds on the caught-up frontier and let live traffic converge
+    // the rest — chasing a moving frontier by replay alone never terminates
+    // while the fleet keeps resolving rounds without us.
+    catching_up_ = false;
+    for (RoundState& st : rounds_) {
+      st.active = false;  // any remaining pre-catch-up round is stale
+    }
+    early_.erase(early_.begin(), early_.lower_bound(next_round_to_finish_));
+    next_round_to_start_ = next_round_to_finish_;
+    for (size_t k = 0; k < config_.pipeline_depth; ++k) {
+      StartRound(next_round_to_start_, now_us, a);
+    }
+    MaybeFinishRounds(now_us, a);
+  } else if (catching_up_ && batch.final_round < next_round_to_finish_) {
+    catching_up_ = false;  // a sibling confirms our frontier matches the fleet
+  }
 }
 
 bool ServerEngine::TimerStaleAfterRound(uint64_t token, uint64_t round, bool blame_live) {
@@ -919,7 +1417,8 @@ bool ServerEngine::TimerStaleAfterRound(uint64_t token, uint64_t round, bool bla
     case kVerdictShares:
       return !blame_live && id <= round;
     case kRetransmit:
-      return false;  // the repeating mailbox sweep is never stale
+    case kServerCatchUp:
+      return false;  // repeating self-re-arming timers are never stale
   }
   return false;
 }
@@ -990,6 +1489,7 @@ Bytes ServerEngine::SerializeSnapshot() const {
     w.Bool(st.sent_commit);
     w.Bool(st.sent_ct);
     w.Bool(st.sent_sig);
+    w.Bool(st.promised_abort);
     for (const auto& inv : st.inventories) {
       w.Bool(inv.has_value());
       if (inv.has_value()) {
@@ -1025,6 +1525,25 @@ Bytes ServerEngine::SerializeSnapshot() const {
     w.Blob(SerializeWire(WireMessage(s)));
   }
   mailbox_.SerializeTo(w);
+  // Abort-agreement durability: applied certificates (so a restored server
+  // can keep serving sibling catch-up and re-deliver idempotently) and the
+  // verified prepares gathered so far (so a restart mid-vote neither forgets
+  // its own promise nor re-collects what peers already sent and acked).
+  w.U32(static_cast<uint32_t>(abort_certs_.size()));
+  for (const auto& [round, cert] : abort_certs_) {
+    (void)round;
+    w.Blob(SerializeWire(WireMessage(cert)));
+  }
+  w.U32(static_cast<uint32_t>(abort_prepares_.size()));
+  for (const auto& [round, by_server] : abort_prepares_) {
+    w.U64(round);
+    w.U32(static_cast<uint32_t>(by_server.size()));
+    for (const auto& [sid, es] : by_server) {
+      w.U32(sid);
+      w.U64(es.first);
+      w.Blob(es.second);
+    }
+  }
   return w.Take();
 }
 
@@ -1061,7 +1580,7 @@ std::optional<ServerEngine::Actions> ServerEngine::RestoreSnapshot(const Bytes& 
     if (!r.U64(&st.round) || !r.Bool(&st.active) || !r.U64(&started) ||
         !r.Bool(&st.window_closed) || !r.Bool(&st.window_timer_armed) || !r.U64(&close_at) ||
         !r.U32(&part) || !r.Blob(&st.cleartext) || !r.Bool(&st.sent_commit) ||
-        !r.Bool(&st.sent_ct) || !r.Bool(&st.sent_sig)) {
+        !r.Bool(&st.sent_ct) || !r.Bool(&st.sent_sig) || !r.Bool(&st.promised_abort)) {
       return std::nullopt;
     }
     st.started_us = static_cast<int64_t>(started);
@@ -1071,6 +1590,7 @@ std::optional<ServerEngine::Actions> ServerEngine::RestoreSnapshot(const Bytes& 
     st.commits.assign(num_servers_, std::nullopt);
     st.server_cts.assign(num_servers_, std::nullopt);
     st.sigs.assign(num_servers_, std::nullopt);
+    st.reoffered.assign(num_servers_, false);
     for (auto& inv : st.inventories) {
       bool present = false;
       if (!r.Bool(&present)) {
@@ -1147,7 +1667,53 @@ std::optional<ServerEngine::Actions> ServerEngine::RestoreSnapshot(const Bytes& 
     }
     recent_.push_back(std::get<wire::RoundSummary>(std::move(*parsed)));
   }
-  if (!mailbox_.RestoreFrom(r) || !r.AtEnd()) {
+  if (!mailbox_.RestoreFrom(r)) {
+    return std::nullopt;
+  }
+  abort_certs_.clear();
+  abort_prepares_.clear();
+  pending_certs_.clear();
+  catching_up_ = false;
+  catchup_timer_armed_ = false;
+  uint32_t n_certs = 0;
+  if (!r.U32(&n_certs) || n_certs > (1u << 16)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n_certs; ++i) {
+    Bytes frame;
+    if (!r.Blob(&frame)) {
+      return std::nullopt;
+    }
+    auto parsed = ParseWire(frame);
+    if (!parsed.has_value() || !std::holds_alternative<wire::AbortCommit>(*parsed)) {
+      return std::nullopt;
+    }
+    auto cert = std::get<wire::AbortCommit>(std::move(*parsed));
+    const uint64_t round = cert.round;
+    abort_certs_.emplace(round, std::move(cert));
+  }
+  uint32_t n_prep = 0;
+  if (!r.U32(&n_prep) || n_prep > (1u << 16)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < n_prep; ++i) {
+    uint64_t round = 0;
+    uint32_t n_by = 0;
+    if (!r.U64(&round) || !r.U32(&n_by) || n_by > num_servers_) {
+      return std::nullopt;
+    }
+    auto& by_server = abort_prepares_[round];
+    for (uint32_t k = 0; k < n_by; ++k) {
+      uint32_t sid = 0;
+      uint64_t epoch = 0;
+      Bytes sig;
+      if (!r.U32(&sid) || !r.U64(&epoch) || !r.Blob(&sig)) {
+        return std::nullopt;
+      }
+      by_server[sid] = {epoch, std::move(sig)};
+    }
+  }
+  if (!r.AtEnd()) {
     return std::nullopt;
   }
   // Re-arm every backstop the crash erased. Elapsed in-crash time counts
@@ -1171,6 +1737,12 @@ std::optional<ServerEngine::Actions> ServerEngine::RestoreSnapshot(const Bytes& 
   }
   retransmit_armed_ = false;
   MaybeStartBlame(now_us, a);
+  // A snapshot can be arbitrarily stale relative to the fleet (every round
+  // we missed was resolved without us, and reliable delivery acked our
+  // now-stale votes long ago). Ask the siblings where the frontier is; an
+  // empty batch confirms we are current, otherwise the replayed history
+  // re-admits us. No-op unless abort agreement is on.
+  BeginServerCatchUp(now_us, a);
   Seal(a, now_us);
   return a;
 }

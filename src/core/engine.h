@@ -172,6 +172,13 @@ class ReliableMailbox {
   void Sweep(int64_t now_us, std::vector<Envelope>& out);
   bool HasPending() const;
   uint64_t retransmits() const { return retransmits_; }
+  // First-transmission reliable frames (the denominator of the retransmit
+  // overhead ratio 1 + retransmits/reliable_sent).
+  uint64_t reliable_sent() const { return reliable_sent_; }
+  // Frames received more than once and discarded after acking.
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  // Peak unacked frames pending across all links at once.
+  uint64_t max_in_flight() const { return max_in_flight_; }
 
   // Snapshot both directions of every link (pending frames, cumulative
   // frontiers, out-of-order sets) so a restarted node neither replays
@@ -196,9 +203,14 @@ class ReliableMailbox {
   Link& LinkFor(const Peer& peer);
   void EmitAck(const Link& l, uint32_t self, std::vector<Envelope>& out) const;
 
+  void NotePeakInFlight();
+
   ReliabilityConfig cfg_;
   std::map<uint64_t, Link> links_;  // keyed on (peer.kind << 32) | peer.index
   uint64_t retransmits_ = 0;
+  uint64_t reliable_sent_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+  uint64_t max_in_flight_ = 0;
 };
 
 class ServerEngine {
@@ -223,13 +235,23 @@ class ServerEngine {
     // Ack/retransmit layer for unicast traffic (see ReliableMailbox).
     ReliabilityConfig reliability;
     // Graceful degradation: when nonzero, a round still unfinished this
-    // long after its window opened triggers a RoundAbort vote; once every
+    // long after its window opened triggers an abort vote; once every
     // server that is still alive (>= M-1 distinct votes, ours among them)
     // agrees, the round at the finish frontier aborts cleanly — all-zero
     // cleartext, RoundSummary{aborted} to the attached clients — and a
     // replacement round opens, so one crashed server past its restart
     // deadline cannot wedge the pipeline forever. 0 disables aborts.
     int64_t abort_deadline_us = 0;
+    // Two-phase epoch-committed abort agreement (the default): votes are
+    // signed wire::AbortPrepare frames stamped with the voter's abort epoch
+    // (aborts applied so far), a round only aborts on a wire::AbortCommit
+    // certificate carrying >= M-1 verified signatures, and certificates are
+    // idempotently re-deliverable — a healing partition converges by
+    // certificate replay, and a server restored from a stale snapshot is
+    // unwedged via the ServerCatchUpRequest/Batch path. When false (with
+    // abort_deadline_us > 0) the legacy one-shot RoundAbort broadcast runs
+    // byte-identically to its pre-agreement form.
+    bool abort_agreement = true;
     // Verdict agreement (§3.9 hardening): before acting on any expulsion,
     // every server broadcasts a signed VerdictShare over its proposed
     // verdict and waits for a verified share from *every* peer over the
@@ -333,6 +355,14 @@ class ServerEngine {
   uint64_t rounds_aborted() const { return rounds_aborted_; }
   // Frames re-sent by the reliable mailbox (retransmission overhead probe).
   uint64_t retransmits() const { return mailbox_.retransmits(); }
+  uint64_t reliable_sent() const { return mailbox_.reliable_sent(); }
+  uint64_t duplicates_dropped() const { return mailbox_.duplicates_dropped(); }
+  uint64_t max_in_flight() const { return mailbox_.max_in_flight(); }
+  // Server catch-up: true while this engine is replaying signed round
+  // summaries from a sibling to close a stale-snapshot gap.
+  bool catching_up() const { return catching_up_; }
+  // Rounds applied via the server catch-up path (outputs + certificates).
+  uint64_t catch_up_rounds() const { return catch_up_rounds_; }
 
  private:
   // Ring slot for one in-flight round (index = round % pipeline_depth).
@@ -347,9 +377,19 @@ class ServerEngine {
     std::vector<std::optional<Bytes>> commits;
     std::vector<std::optional<Bytes>> server_cts;
     std::vector<std::optional<Bytes>> sigs;  // serialized, parse-checked
+    // Per-sibling one-shot: set after re-offering our phase frames to a
+    // sibling that re-ran this round (not snapshotted; a restored server
+    // may re-offer again).
+    std::vector<bool> reoffered;
     bool sent_commit = false;
     bool sent_ct = false;
     bool sent_sig = false;
+    // Abort-agreement mutual exclusion: per round a server emits EITHER its
+    // SignatureShare or an AbortPrepare, never both. Completion needs all M
+    // signatures and a certificate needs M-1 prepares, so with 2M-1 > M
+    // one-per-server emissions a certified output and an abort certificate
+    // can never both exist for the same round.
+    bool promised_abort = false;
     size_t participation = 0;
     Bytes cleartext;
   };
@@ -369,6 +409,8 @@ class ServerEngine {
     kVerdictShares = 4,
     kRetransmit = 5,
     kAbortDeadline = 6,
+    // Repeating catch-up retry (id always 0); never stale.
+    kServerCatchUp = 7,
   };
   static uint64_t Token(uint64_t round, TimerKind kind) {
     return (round << kTimerKindBits) | kind;
@@ -428,6 +470,7 @@ class ServerEngine {
   void MaybeBuildCiphertext(uint64_t round, Actions& a);
   void MaybeShareCiphertext(uint64_t round, Actions& a);
   void MaybeCertify(uint64_t round, Actions& a);
+  void ReofferRoundFrames(uint64_t round, uint32_t sender, Actions& a);
   void MaybeFinishRounds(int64_t now_us, Actions& a);
   bool AllPresent(const std::vector<std::optional<Bytes>>& v) const;
   // Wraps unicast output in the mailbox and keeps the retransmit sweep
@@ -439,6 +482,34 @@ class ServerEngine {
   void HandleCatchUpRequest(const Peer& from, const wire::CatchUpRequest& req, Actions& a);
   void RecordAbortVote(uint64_t round, uint32_t server, int64_t now_us, Actions& a);
   void MaybeAbortRound(uint64_t round, int64_t now_us, Actions& a);
+
+  // --- epoch-committed abort agreement (Config::abort_agreement) ---
+  // The shared abort aftermath (deactivate, advance the logic's schedule
+  // with a zero cleartext, notify clients, reopen the pipeline) — called by
+  // the legacy unanimity path and by certificate application.
+  void ApplyAbort(uint64_t round, int64_t now_us, Actions& a);
+  // Signs and broadcasts our AbortPrepare for the finish-frontier round at
+  // the current epoch (idempotent re-broadcast on deadline re-arm).
+  void BroadcastOwnPrepare(uint64_t round, int64_t now_us, Actions& a);
+  void HandleAbortPrepare(const Peer& from, const wire::AbortPrepare& msg, int64_t now_us,
+                          Actions& a);
+  void HandleAbortCommit(const Peer& from, const wire::AbortCommit& msg, int64_t now_us,
+                         Actions& a);
+  // Assembles a certificate once >= M-1 verified prepares (ours among them)
+  // exist for the frontier round at the current epoch.
+  void MaybeAssembleAbortCert(uint64_t round, int64_t now_us, Actions& a);
+  bool VerifyAbortCert(const wire::AbortCommit& cert, uint64_t epoch) const;
+  // Applies a verified certificate for the frontier round and replays any
+  // stashed in-window successors that became applicable.
+  void CommitAbortCert(wire::AbortCommit cert, int64_t now_us, Actions& a);
+
+  // --- server catch-up (stale-snapshot re-admission) ---
+  void BeginServerCatchUp(int64_t now_us, Actions& a);
+  void SendServerCatchUpRequest(Actions& a);
+  void HandleServerCatchUpRequest(const Peer& from, const wire::ServerCatchUpRequest& req,
+                                  Actions& a);
+  void HandleServerCatchUpBatch(const Peer& from, const wire::ServerCatchUpBatch& batch,
+                                int64_t now_us, Actions& a);
 
   // --- blame sub-phase (§3.9) ---
   bool IsAttached(uint32_t client) const;
@@ -496,8 +567,29 @@ class ServerEngine {
   // the back, capped at Config::output_history.
   std::deque<wire::RoundSummary> recent_;
   // RoundAbort votes per round (one bit per server), erased on resolution.
+  // Legacy path only (Config::abort_agreement == false).
   std::map<uint64_t, std::vector<bool>> abort_votes_;
   uint64_t rounds_aborted_ = 0;
+
+  // --- epoch-committed abort agreement state ---
+  // Verified prepares per round: server -> (epoch, signature). Our own entry
+  // doubles as the promise marker — once present, MaybeCertify withholds our
+  // SignatureShare for that round, so a certificate and a certified output
+  // cannot both form from the frames we send after voting.
+  std::map<uint64_t, std::map<uint32_t, std::pair<uint64_t, Bytes>>> abort_prepares_;
+  // Certificates for rounds ahead of the finish frontier (a healed peer can
+  // be several aborts ahead); applied in order as the frontier reaches them.
+  std::map<uint64_t, wire::AbortCommit> pending_certs_;
+  // Applied certificates, retained alongside recent_ for catch-up serving
+  // and for idempotent re-delivery, pruned to Config::output_history.
+  std::map<uint64_t, wire::AbortCommit> abort_certs_;
+  // Server catch-up: set when a restored snapshot's frontier trails the
+  // fleet (detected via a stale prepare or an out-of-window certificate);
+  // cleared when the gap closes to <= pipeline_depth and the pipeline
+  // reopens.
+  bool catching_up_ = false;
+  bool catchup_timer_armed_ = false;
+  uint64_t catch_up_rounds_ = 0;
 };
 
 class ClientEngine {

@@ -404,6 +404,7 @@ ServerEngine::Config NetDissent::ServerConfigFor(size_t j) const {
   cfg.pipeline_depth = std::max<size_t>(options_.pipeline_depth, 1);
   cfg.reliability = options_.reliability;
   cfg.abort_deadline_us = options_.abort_deadline;
+  cfg.abort_agreement = options_.abort_agreement;
   cfg.output_history = options_.output_history;
   for (size_t m : servers_[j]->attached_machines) {
     for (size_t k = 0; k < machines_[m].num_clients; ++k) {

@@ -109,6 +109,11 @@ class NetDissent {
     // is aborted by server vote instead of stalling the pipeline forever.
     // 0 disables.
     SimTime abort_deadline = 0;
+    // Epoch-committed two-phase abort agreement (signed AbortPrepare votes,
+    // AbortCommit certificates, server catch-up/re-admission). False runs
+    // the legacy one-shot RoundAbort broadcast — the split-brain negative
+    // control. Only meaningful with abort_deadline > 0.
+    bool abort_agreement = true;
     // Signed RoundSummaries each server retains for catch-up service.
     size_t output_history = 64;
     // 64-bit FNV-1a trailer on every frame, verified and stripped on

@@ -319,6 +319,36 @@ bool DissentServer::VerifyVerdictShare(uint64_t session, uint32_t server_index, 
                        VerdictSigningBytes(session, server_index, round, kind, culprit), *sig);
 }
 
+namespace {
+Bytes AbortSigningBytes(uint64_t round, uint64_t epoch, uint32_t server_index) {
+  Writer w;
+  w.Str("dissent.abort.prepare.v1");
+  w.U64(round);
+  w.U64(epoch);
+  w.U32(server_index);
+  return w.Take();
+}
+}  // namespace
+
+Bytes DissentServer::SignAbortPrepare(uint64_t round, uint64_t epoch) const {
+  Bytes canonical = AbortSigningBytes(round, epoch, static_cast<uint32_t>(index_));
+  SecureRng rng = ServerNonceRng(*def_.group, priv_, "dissent.abort.nonce", canonical);
+  return SchnorrSign(*def_.group, priv_, canonical, rng).Serialize(*def_.group);
+}
+
+bool DissentServer::VerifyAbortPrepare(uint64_t round, uint64_t epoch, uint32_t server_index,
+                                       const Bytes& signature) const {
+  if (server_index >= def_.num_servers()) {
+    return false;
+  }
+  auto sig = SchnorrSignature::Deserialize(*def_.group, signature);
+  if (!sig.has_value()) {
+    return false;
+  }
+  return SchnorrVerify(*def_.group, def_.server_pubs[server_index],
+                       AbortSigningBytes(round, epoch, server_index), *sig);
+}
+
 DissentServer::RoundFinish DissentServer::FinishRound(uint64_t round, const Bytes& cleartext) {
   RoundFinish result;
   auto it = evidence_.find(round);

@@ -132,6 +132,16 @@ class DissentServer {
   bool VerifyVerdictShare(uint64_t session, uint32_t server_index, uint64_t round,
                           uint8_t kind, uint32_t culprit, const Bytes& signature) const;
 
+  // --- abort agreement (engine-driven) ---
+  // Signed prepare vote for aborting `round` at abort-history `epoch` (the
+  // number of aborts the voter has already applied — binding each vote to
+  // one history so votes across divergent histories can never combine into
+  // a certificate). Deterministic nonce: a restarted server re-signs
+  // byte-identically, so re-broadcast prepares dedup at receivers.
+  Bytes SignAbortPrepare(uint64_t round, uint64_t epoch) const;
+  bool VerifyAbortPrepare(uint64_t round, uint64_t epoch, uint32_t server_index,
+                          const Bytes& signature) const;
+
   // --- step 6 aftermath ---
   // Advances the (lagged) shared slot schedule and drops round state; also
   // scans shuffle-request fields so the server fleet knows an accusation

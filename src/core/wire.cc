@@ -27,6 +27,10 @@ enum class Tag : uint8_t {
   kRoundSummary = 18,
   kVerdictShare = 19,
   kRoundAbort = 20,
+  kAbortPrepare = 21,
+  kAbortCommit = 22,
+  kServerCatchUpRequest = 23,
+  kServerCatchUpBatch = 24,
 };
 
 }  // namespace
@@ -40,7 +44,7 @@ static_assert(std::is_same_v<std::variant_alternative_t<13, WireMessage>, wire::
               "BlameVerdict must close the blame range at variant index 13");
 static_assert(std::is_same_v<std::variant_alternative_t<std::variant_size_v<WireMessage> - 1,
                                                         WireMessage>,
-              wire::RoundAbort>,
+              wire::ServerCatchUpBatch>,
               "reliability frames must stay appended after the blame range");
 
 bool BitmapCanonical(const Bytes& bitmap, size_t bits) {
@@ -190,6 +194,45 @@ Bytes SerializeWire(const WireMessage& msg) {
           w.U8(static_cast<uint8_t>(Tag::kRoundAbort));
           w.U64(m.round);
           w.U32(m.server_id);
+        } else if constexpr (std::is_same_v<T, wire::AbortPrepare>) {
+          w.U8(static_cast<uint8_t>(Tag::kAbortPrepare));
+          w.U64(m.round);
+          w.U64(m.epoch);
+          w.U32(m.server_id);
+          w.Blob(m.signature);
+        } else if constexpr (std::is_same_v<T, wire::AbortCommit>) {
+          w.U8(static_cast<uint8_t>(Tag::kAbortCommit));
+          w.U64(m.round);
+          w.U64(m.epoch);
+          w.U32(static_cast<uint32_t>(m.server_ids.size()));
+          for (uint32_t id : m.server_ids) {
+            w.U32(id);
+          }
+          for (const Bytes& sig : m.signatures) {
+            w.Blob(sig);
+          }
+        } else if constexpr (std::is_same_v<T, wire::ServerCatchUpRequest>) {
+          w.U8(static_cast<uint8_t>(Tag::kServerCatchUpRequest));
+          w.U64(m.have_round);
+          w.U32(m.server_id);
+        } else if constexpr (std::is_same_v<T, wire::ServerCatchUpBatch>) {
+          w.U8(static_cast<uint8_t>(Tag::kServerCatchUpBatch));
+          w.U32(m.server_id);
+          w.U64(m.first_round);
+          w.U64(m.final_round);
+          w.U32(static_cast<uint32_t>(m.entries.size()));
+          for (const auto& entry : m.entries) {
+            w.Bool(entry.aborted);
+            w.Blob(entry.cleartext);
+            w.U32(static_cast<uint32_t>(entry.cert_ids.size()));
+            for (uint32_t id : entry.cert_ids) {
+              w.U32(id);
+            }
+            w.U32(static_cast<uint32_t>(entry.signatures.size()));
+            for (const Bytes& sig : entry.signatures) {
+              w.Blob(sig);
+            }
+          }
         }
       },
       msg);
@@ -475,6 +518,129 @@ std::optional<WireMessage> ParseWire(const Bytes& data) {
       }
       return WireMessage(std::move(m));
     }
+    case Tag::kAbortPrepare: {
+      wire::AbortPrepare m;
+      if (!r.U64(&m.round) || !r.U64(&m.epoch) || !r.U32(&m.server_id) ||
+          !r.Blob(&m.signature) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      // A prepare is a signed vote; an unsigned one can never validate, so
+      // reject it here and keep the engine's signature path total.
+      if (m.signature.empty()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kAbortCommit: {
+      wire::AbortCommit m;
+      uint32_t count;
+      if (!r.U64(&m.round) || !r.U64(&m.epoch) || !r.U32(&count)) {
+        return std::nullopt;
+      }
+      // Each certificate member carries a 4-byte id plus at least a 4-byte
+      // signature length prefix.
+      if (count == 0 || static_cast<size_t>(count) > r.remaining() / 8) {
+        return std::nullopt;
+      }
+      m.server_ids.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t id;
+        if (!r.U32(&id)) {
+          return std::nullopt;
+        }
+        // Canonical: strictly increasing signer set — one encoding per
+        // certificate, and duplicate signers can never pad the quorum.
+        if (!m.server_ids.empty() && id <= m.server_ids.back()) {
+          return std::nullopt;
+        }
+        m.server_ids.push_back(id);
+      }
+      m.signatures.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        Bytes sig;
+        if (!r.Blob(&sig) || sig.empty()) {
+          return std::nullopt;
+        }
+        m.signatures.push_back(std::move(sig));
+      }
+      if (!r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kServerCatchUpRequest: {
+      wire::ServerCatchUpRequest m;
+      if (!r.U64(&m.have_round) || !r.U32(&m.server_id) || !r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
+    case Tag::kServerCatchUpBatch: {
+      wire::ServerCatchUpBatch m;
+      uint32_t count;
+      if (!r.U32(&m.server_id) || !r.U64(&m.first_round) || !r.U64(&m.final_round) ||
+          !r.U32(&count)) {
+        return std::nullopt;
+      }
+      // Each entry carries at least a flag byte plus three 4-byte length /
+      // count prefixes.
+      if (static_cast<size_t>(count) > r.remaining() / 13) {
+        return std::nullopt;
+      }
+      m.entries.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        wire::ServerCatchUpEntry entry;
+        uint32_t ids;
+        if (!r.Bool(&entry.aborted) || !r.Blob(&entry.cleartext) || !r.U32(&ids)) {
+          return std::nullopt;
+        }
+        if (static_cast<size_t>(ids) > r.remaining() / 4) {
+          return std::nullopt;
+        }
+        entry.cert_ids.reserve(ids);
+        for (uint32_t j = 0; j < ids; ++j) {
+          uint32_t id;
+          if (!r.U32(&id)) {
+            return std::nullopt;
+          }
+          if (!entry.cert_ids.empty() && id <= entry.cert_ids.back()) {
+            return std::nullopt;  // canonical: strictly increasing
+          }
+          entry.cert_ids.push_back(id);
+        }
+        uint32_t sigs;
+        if (!r.U32(&sigs)) {
+          return std::nullopt;
+        }
+        if (static_cast<size_t>(sigs) > r.remaining() / 4) {
+          return std::nullopt;
+        }
+        entry.signatures.reserve(sigs);
+        for (uint32_t j = 0; j < sigs; ++j) {
+          Bytes sig;
+          if (!r.Blob(&sig) || sig.empty()) {
+            return std::nullopt;
+          }
+          entry.signatures.push_back(std::move(sig));
+        }
+        // Canonical: an aborted entry replays a certificate (no cleartext,
+        // signer ids parallel to signatures); a completed entry replays the
+        // certified output (no signer list — the full fleet signed it).
+        if (entry.aborted) {
+          if (!entry.cleartext.empty() || entry.cert_ids.size() != entry.signatures.size() ||
+              entry.signatures.empty()) {
+            return std::nullopt;
+          }
+        } else if (!entry.cert_ids.empty() || entry.signatures.empty()) {
+          return std::nullopt;
+        }
+        m.entries.push_back(std::move(entry));
+      }
+      if (!r.AtEnd()) {
+        return std::nullopt;
+      }
+      return WireMessage(std::move(m));
+    }
     default:
       return std::nullopt;
   }
@@ -534,8 +700,16 @@ const char* WireTypeName(const WireMessage& msg) {
           return "RoundSummary";
         } else if constexpr (std::is_same_v<T, wire::VerdictShare>) {
           return "VerdictShare";
-        } else {
+        } else if constexpr (std::is_same_v<T, wire::RoundAbort>) {
           return "RoundAbort";
+        } else if constexpr (std::is_same_v<T, wire::AbortPrepare>) {
+          return "AbortPrepare";
+        } else if constexpr (std::is_same_v<T, wire::AbortCommit>) {
+          return "AbortCommit";
+        } else if constexpr (std::is_same_v<T, wire::ServerCatchUpRequest>) {
+          return "ServerCatchUpRequest";
+        } else {
+          return "ServerCatchUpBatch";
         }
       },
       msg);

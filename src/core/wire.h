@@ -274,9 +274,78 @@ struct VerdictShare {
 // open past the abort deadline with a peer server silent). A round aborts
 // only when every *reachable* server has voted, and an aborted round
 // advances the slot schedule with an all-zero cleartext on every node.
+// Legacy one-shot vote: retained (and byte-identical) when the two-phase
+// abort agreement below is disabled.
 struct RoundAbort {
   uint64_t round = 0;
   uint32_t server_id = 0;
+};
+
+// --- epoch-committed abort agreement & server catch-up ---
+//
+// The two-phase replacement for RoundAbort voting. `epoch` is the number of
+// aborts the voter has already applied, which binds every vote to one abort
+// history: prepares from servers whose histories diverge can never be
+// combined into a certificate. Prepares are signed, commits are
+// certificates carrying every collected prepare signature, and both are
+// idempotently re-deliverable — a healing partition converges by replaying
+// certificates (and, for deeper lag, ServerCatchUpBatch) instead of
+// splitting the fleet's decision.
+
+// Server -> all other servers: signed promise to abort `round` at abort
+// epoch `epoch` unless a full output certificate resolves it first. Signed
+// over the canonical (round, epoch, server_id) context; re-broadcast on
+// every abort-deadline tick while the round stays unresolved.
+struct AbortPrepare {
+  uint64_t round = 0;
+  uint64_t epoch = 0;
+  uint32_t server_id = 0;
+  Bytes signature;
+};
+
+// Server -> all other servers: the abort certificate for `round` at
+// `epoch` — one verified AbortPrepare signature per voting server
+// (`server_ids` strictly increasing, parallel to `signatures`, at least
+// M-1 of M). Self-certifying: any server can apply it at its finish
+// frontier without having voted itself, and re-delivering it is harmless.
+struct AbortCommit {
+  uint64_t round = 0;
+  uint64_t epoch = 0;
+  std::vector<uint32_t> server_ids;
+  std::vector<Bytes> signatures;
+};
+
+// Server -> sibling servers: "my finish frontier is `have_round`; replay
+// the schedule evolution after it." Sent by a server restored from a stale
+// snapshot (and retried on a timer) until its layout frontier matches the
+// fleet.
+struct ServerCatchUpRequest {
+  uint64_t have_round = 0;
+  uint32_t server_id = 0;
+};
+
+// One replayed round in a ServerCatchUpBatch: either a completed round
+// (cleartext + all M output signatures in roster order, `cert_ids` empty)
+// or an aborted one (empty cleartext, the abort certificate's prepare
+// signatures with `cert_ids` naming the signers, strictly increasing).
+struct ServerCatchUpEntry {
+  bool aborted = false;
+  Bytes cleartext;                 // empty when aborted
+  std::vector<uint32_t> cert_ids;  // empty when completed
+  std::vector<Bytes> signatures;
+};
+
+// Sibling server -> a lagging server: the signed per-round schedule
+// evolution for consecutive rounds first_round..first_round+entries-1.
+// Every entry is verifiable against long-term server keys, so a lagging
+// server advances its layout frontier on cryptographic evidence, never on a
+// sibling's say-so. `final_round` advertises the sender's frontier so the
+// receiver knows when it has rejoined.
+struct ServerCatchUpBatch {
+  uint32_t server_id = 0;
+  uint64_t first_round = 0;
+  uint64_t final_round = 0;
+  std::vector<ServerCatchUpEntry> entries;
 };
 
 }  // namespace wire
@@ -286,7 +355,9 @@ using WireMessage =
                  wire::SignatureShare, wire::Output, wire::BlameStart, wire::AccusationSubmit,
                  wire::BlameRoster, wire::BlameMix, wire::TraceEvidence, wire::BlameChallenge,
                  wire::BlameRebuttal, wire::BlameVerdict, wire::Ack, wire::Reliable,
-                 wire::CatchUpRequest, wire::RoundSummary, wire::VerdictShare, wire::RoundAbort>;
+                 wire::CatchUpRequest, wire::RoundSummary, wire::VerdictShare, wire::RoundAbort,
+                 wire::AbortPrepare, wire::AbortCommit, wire::ServerCatchUpRequest,
+                 wire::ServerCatchUpBatch>;
 
 // Canonical encoding: [u8 tag][fixed fields][length-prefixed byte strings].
 Bytes SerializeWire(const WireMessage& msg);

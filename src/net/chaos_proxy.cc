@@ -1,0 +1,297 @@
+#include "src/net/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/net/net_wire.h"
+
+namespace dissent {
+namespace net {
+
+namespace {
+
+// Same splitmix64 discipline as the transport's redial jitter: one stream
+// per link direction, advanced once per frame.
+uint64_t ChaosSeed(uint64_t seed, uint64_t dialer, uint64_t target, bool forward) {
+  return seed ^ (dialer * 0x9e3779b97f4a7c15ull) ^ (target * 0xc2b2ae3d27d4eb4full) ^
+         (forward ? 0 : 0xd6e8feb86659fd93ull);
+}
+
+double NextUnit(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+int ListenOn(const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(fd, 511) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(EventLoop* loop, DeployConfig cfg, ChaosPlan plan)
+    : loop_(loop), cfg_(std::move(cfg)), plan_(plan) {
+  const size_t m = cfg_.num_servers;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (i == j) {
+        continue;
+      }
+      auto link = std::make_unique<Link>();
+      link->dialer = i;
+      link->target = j;
+      link->server_link = true;
+      link->rng_fwd = ChaosSeed(plan_.seed, i, j, true);
+      link->rng_rev = ChaosSeed(plan_.seed, i, j, false);
+      links_.push_back(std::move(link));
+    }
+  }
+  for (size_t j = 0; j < m; ++j) {
+    auto link = std::make_unique<Link>();
+    link->dialer = m + j;  // distinct stream block for the client-host links
+    link->target = j;
+    link->server_link = false;
+    link->rng_fwd = ChaosSeed(plan_.seed, m + j, j, true);
+    link->rng_rev = ChaosSeed(plan_.seed, m + j, j, false);
+    links_.push_back(std::move(link));
+  }
+}
+
+ChaosProxy::~ChaosProxy() {
+  *alive_guard_ = false;
+  for (auto& link : links_) {
+    if (link->listen_fd >= 0) {
+      loop_->DelFd(link->listen_fd);
+      ::close(link->listen_fd);
+    }
+  }
+}
+
+bool ChaosProxy::Listen() {
+  for (auto& link : links_) {
+    const uint16_t port =
+        link->server_link
+            ? cfg_.sibling_dial_port(link->dialer, link->target)
+            : cfg_.client_dial_port(link->target);
+    link->listen_fd = ListenOn(cfg_.host, port);
+    if (link->listen_fd < 0) {
+      std::fprintf(stderr, "chaos-proxy: bind %s:%u failed\n", cfg_.host.c_str(), port);
+      return false;
+    }
+    Link* l = link.get();
+    loop_->AddFd(link->listen_fd, EPOLLIN | EPOLLET, [this, l](uint32_t) { AcceptOn(l); });
+  }
+  return true;
+}
+
+void ChaosProxy::Start() {
+  start_us_ = loop_->NowUs();
+  auto alive = alive_guard_;
+  for (const auto& p : plan_.partitions) {
+    // Window start: sever every established pair crossing the partition. New
+    // dials during the window are refused in AcceptOn. Healing needs no
+    // timer — once the window lapses, refused endpoints redial and succeed.
+    loop_->ScheduleAfter(p.from_us, [this, alive] {
+      if (!*alive) {
+        return;
+      }
+      const int64_t t = FaultClockUs();
+      std::vector<Pair*> doomed;
+      for (auto& [ptr, pair] : pairs_) {
+        if (PartitionActive(*pair->link, t)) {
+          doomed.push_back(ptr);
+        }
+      }
+      for (Pair* pair : doomed) {
+        ++pairs_severed_;
+        ClosePair(pair);
+      }
+    });
+  }
+}
+
+int64_t ChaosProxy::FaultClockUs() const { return loop_->NowUs() - start_us_; }
+
+bool ChaosProxy::PartitionActive(const Link& link, int64_t t_us) const {
+  if (!link.server_link) {
+    return false;
+  }
+  for (const auto& p : plan_.partitions) {
+    if (t_us < p.from_us || t_us >= p.until_us) {
+      continue;
+    }
+    const size_t a = link.dialer, b = link.target;
+    const bool a_in_a = a >= p.a_lo && a <= p.a_hi;
+    const bool a_in_b = a >= p.b_lo && a <= p.b_hi;
+    const bool b_in_a = b >= p.a_lo && b <= p.a_hi;
+    const bool b_in_b = b >= p.b_lo && b <= p.b_hi;
+    if ((a_in_a && b_in_b) || (a_in_b && b_in_a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ChaosProxy::AcceptOn(Link* link) {
+  for (;;) {
+    const int fd = accept4(link->listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN: drained
+    }
+    if (PartitionActive(*link, FaultClockUs())) {
+      // Connection-level severance: the dialer sees an immediate close and
+      // retries with backoff until the window lapses.
+      ++dials_refused_;
+      ::close(fd);
+      continue;
+    }
+    AdoptPair(link, fd);
+  }
+}
+
+void ChaosProxy::AdoptPair(Link* link, int fd) {
+  if (plan_.trace) {
+    std::fprintf(stderr, "trace %8lld us link %zu->%zu adopt\n",
+                 static_cast<long long>(FaultClockUs()), link->dialer, link->target);
+  }
+  auto pair = std::make_unique<Pair>();
+  Pair* p = pair.get();
+  p->link = link;
+  p->inbound = std::make_unique<Connection>(loop_, fd);
+  p->outbound =
+      std::make_unique<Connection>(loop_, cfg_.host, cfg_.server_port(link->target));
+  p->inbound->set_on_frame(
+      [this, p](Connection*, Bytes payload) { Relay(p, true, std::move(payload)); });
+  p->outbound->set_on_frame(
+      [this, p](Connection*, Bytes payload) { Relay(p, false, std::move(payload)); });
+  p->inbound->set_on_close([this, p](Connection*) { ClosePair(p); });
+  p->outbound->set_on_close([this, p](Connection*) { ClosePair(p); });
+  pairs_[p] = std::move(pair);
+}
+
+void ChaosProxy::ClosePair(Pair* pair) {
+  auto it = pairs_.find(pair);
+  if (it == pairs_.end()) {
+    return;
+  }
+  if (plan_.trace) {
+    std::fprintf(stderr, "trace %8lld us link %zu->%zu close (held %zu+%zu)\n",
+                 static_cast<long long>(FaultClockUs()), pair->link->dialer,
+                 pair->link->target, pair->held_fwd.size(), pair->held_rev.size());
+  }
+  for (Connection* c : {pair->inbound.get(), pair->outbound.get()}) {
+    if (c != nullptr && !c->closed()) {
+      c->set_on_close(nullptr);
+      c->Close();
+    }
+  }
+  // Defer destruction: we may be inside one leg's callback.
+  graveyard_.push_back(std::move(it->second));
+  pairs_.erase(it);
+  if (!cleanup_scheduled_) {
+    cleanup_scheduled_ = true;
+    auto alive = alive_guard_;
+    loop_->ScheduleAfter(0, [this, alive] {
+      if (*alive) {
+        graveyard_.clear();
+        cleanup_scheduled_ = false;
+      }
+    });
+  }
+}
+
+void ChaosProxy::Relay(Pair* pair, bool forward, Bytes payload) {
+  Link& link = *pair->link;
+  const int64_t t = FaultClockUs();
+  if (plan_.trace) {
+    std::fprintf(stderr, "trace %8lld us link %zu->%zu %s %s %zu B\n",
+                 static_cast<long long>(t), link.dialer, link.target,
+                 forward ? "fwd" : "rev", IsNetFrame(payload) ? "net" : "eng",
+                 payload.size());
+  }
+  if (PartitionActive(link, t)) {
+    // Belt and braces: a frame racing the window-start sweep dies with the
+    // pair rather than leaking across the partition.
+    ++pairs_severed_;
+    ClosePair(pair);
+    return;
+  }
+  uint64_t& rng = forward ? link.rng_fwd : link.rng_rev;
+  if (plan_.Active() && t >= plan_.grace_us) {
+    if (plan_.close > 0 && NextUnit(rng) < plan_.close) {
+      ++closes_injected_;
+      ClosePair(pair);
+      return;
+    }
+    // Only reliability-wrapped engine frames are droppable: handshake and
+    // scheduling traffic has no retransmission layer, and in-connection TCP
+    // loss is not a real fault — the mailbox's cross-connection loss is.
+    if (plan_.drop > 0 && !IsNetFrame(payload) && NextUnit(rng) < plan_.drop) {
+      ++frames_dropped_;
+      return;
+    }
+    if (plan_.stall > 0 && NextUnit(rng) < plan_.stall) {
+      bool& stalled = forward ? pair->stalled_fwd : pair->stalled_rev;
+      if (!stalled) {
+        stalled = true;
+        ++stalls_injected_;
+        auto alive = alive_guard_;
+        loop_->ScheduleAfter(plan_.stall_us, [this, alive, pair, forward] {
+          if (*alive && pairs_.count(pair) > 0) {
+            FlushHeld(pair, forward);
+          }
+        });
+      }
+    }
+  }
+  auto& held = forward ? pair->held_fwd : pair->held_rev;
+  const bool stalled = forward ? pair->stalled_fwd : pair->stalled_rev;
+  if (stalled) {
+    // Order within the direction is preserved: everything behind the stalled
+    // frame waits with it (a latency spike, not a reorder).
+    held.push_back(std::move(payload));
+    return;
+  }
+  ++frames_forwarded_;
+  (forward ? pair->outbound : pair->inbound)->Send(payload);
+}
+
+void ChaosProxy::FlushHeld(Pair* pair, bool forward) {
+  auto& held = forward ? pair->held_fwd : pair->held_rev;
+  bool& stalled = forward ? pair->stalled_fwd : pair->stalled_rev;
+  stalled = false;
+  Connection* out = forward ? pair->outbound.get() : pair->inbound.get();
+  while (!held.empty()) {
+    ++frames_forwarded_;
+    out->Send(held.front());
+    held.pop_front();
+  }
+}
+
+}  // namespace net
+}  // namespace dissent

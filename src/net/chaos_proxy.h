@@ -1,0 +1,146 @@
+// Deterministic fault-injecting TCP proxy for the real-socket transport.
+//
+// The sim transport's FaultPlan proves the engines survive a hostile network
+// in virtual time; this proxy brings the same fault matrix to real sockets
+// so scripts/localrun.sh can assert byte-identity under loss, stalls,
+// partitions, and forced reconnects against actual kernel TCP. Every dissent
+// process is pointed at the proxy via DeployConfig::chaos_base_port: each
+// (dialer, server) link gets its own proxy listen port (sibling link i->j on
+// chaos_base_port + i*M + j, client hosts of server j on
+// chaos_base_port + M*M + j), and the proxy relays frames to the target's
+// real listen port (base_port + j).
+//
+// Fault model, drawn from one splitmix64 stream per link direction in frame
+// order — the same plan against the same frame sequence reproduces the
+// identical fault trace:
+//   * drop: an engine frame is not forwarded. Only reliability-wrapped
+//     engine traffic is droppable; handshake and scheduling frames
+//     (IsNetFrame) have no retransmission layer, so dropping one would model
+//     a fault TCP cannot produce (in-connection loss) rather than the
+//     cross-connection loss the mailbox owns.
+//   * stall: the link direction buffers everything for stall_us, then
+//     flushes in order — a latency spike, never a reorder (TCP cannot
+//     reorder within a connection).
+//   * close: the proxied pair is torn down mid-run; both endpoints see a
+//     clean close and redial through the proxy with jittered backoff.
+//   * partition: for [from, until) windows, pairs on server links crossing
+//     the two groups are closed and new dials are refused — connection-level
+//     severance, exactly what a real partition does to established TCP.
+// Faults start only after grace_us (scheduling and the first rounds run
+// clean, mirroring the sim plans, which also fault mid-session).
+#ifndef DISSENT_NET_CHAOS_PROXY_H_
+#define DISSENT_NET_CHAOS_PROXY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/deployment.h"
+#include "src/net/event_loop.h"
+#include "src/net/socket_transport.h"
+
+namespace dissent {
+namespace net {
+
+struct ChaosPlan {
+  uint64_t seed = 0;
+  // Per-frame probabilities after the grace period.
+  double drop = 0.0;   // droppable engine frames only
+  double stall = 0.0;  // hold the direction for stall_us, order preserved
+  double close = 0.0;  // tear the proxied pair down
+  int64_t stall_us = 50 * 1000;
+  int64_t grace_us = 0;
+  // Log every relayed/faulted frame to stderr (link, direction, size).
+  bool trace = false;
+  // Server links between groups [a_lo, a_hi] and [b_lo, b_hi] are severed
+  // while from_us <= t < until_us (t measured from ChaosProxy::Start).
+  struct Partition {
+    size_t a_lo = 0, a_hi = 0;
+    size_t b_lo = 0, b_hi = 0;
+    int64_t from_us = 0;
+    int64_t until_us = 0;
+  };
+  std::vector<Partition> partitions;
+
+  bool Active() const {
+    return drop > 0 || stall > 0 || close > 0 || !partitions.empty();
+  }
+};
+
+class ChaosProxy {
+ public:
+  // cfg.chaos_base_port must be nonzero; targets listen on cfg.base_port + j.
+  ChaosProxy(EventLoop* loop, DeployConfig cfg, ChaosPlan plan);
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  // Binds every link port (M*M sibling ports + M client ports). False on any
+  // bind failure.
+  bool Listen();
+  // Arms the partition window timers; t=0 for the fault clock.
+  void Start();
+
+  uint64_t frames_forwarded() const { return frames_forwarded_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t stalls_injected() const { return stalls_injected_; }
+  uint64_t closes_injected() const { return closes_injected_; }
+  uint64_t pairs_severed() const { return pairs_severed_; }
+  uint64_t dials_refused() const { return dials_refused_; }
+
+ private:
+  // One proxied link: every connection accepted on this port relays to the
+  // same target server.
+  struct Link {
+    size_t dialer = 0;  // server index, or num_servers + host block for clients
+    size_t target = 0;  // target server index
+    bool server_link = false;
+    int listen_fd = -1;
+    // One fault stream per direction (frame order), so the trace does not
+    // depend on how the two directions interleave.
+    uint64_t rng_fwd = 0;
+    uint64_t rng_rev = 0;
+  };
+  // An accepted connection and its onward leg to the real server.
+  struct Pair {
+    Link* link = nullptr;
+    std::unique_ptr<Connection> inbound;
+    std::unique_ptr<Connection> outbound;
+    // Stall queues: while flush_at_us is set, frames accumulate and flush in
+    // order when the timer fires.
+    std::deque<Bytes> held_fwd, held_rev;
+    bool stalled_fwd = false, stalled_rev = false;
+  };
+
+  void AcceptOn(Link* link);
+  void AdoptPair(Link* link, int fd);
+  void ClosePair(Pair* pair);
+  void Relay(Pair* pair, bool forward, Bytes payload);
+  void FlushHeld(Pair* pair, bool forward);
+  bool PartitionActive(const Link& link, int64_t t_us) const;
+  int64_t FaultClockUs() const;
+
+  EventLoop* loop_;
+  DeployConfig cfg_;
+  ChaosPlan plan_;
+  int64_t start_us_ = 0;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::map<Pair*, std::unique_ptr<Pair>> pairs_;
+  std::vector<std::unique_ptr<Pair>> graveyard_;
+  bool cleanup_scheduled_ = false;
+  std::shared_ptr<bool> alive_guard_ = std::make_shared<bool>(true);
+
+  uint64_t frames_forwarded_ = 0;
+  uint64_t frames_dropped_ = 0;
+  uint64_t stalls_injected_ = 0;
+  uint64_t closes_injected_ = 0;
+  uint64_t pairs_severed_ = 0;
+  uint64_t dials_refused_ = 0;
+};
+
+}  // namespace net
+}  // namespace dissent
+
+#endif  // DISSENT_NET_CHAOS_PROXY_H_

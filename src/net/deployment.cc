@@ -104,6 +104,8 @@ std::vector<Bytes> RunSimReference(const DeployConfig& cfg) {
   opt.clients_per_machine = cfg.clients_per_host;
   opt.evidence_rounds = cfg.evidence_rounds;
   opt.output_history = cfg.output_history;
+  opt.abort_deadline = cfg.abort_deadline_us;
+  opt.abort_agreement = cfg.abort_agreement;
   opt.preset_pseudonym_keys = keys;
   NetDissent net(def, server_privs, client_privs, &sim, opt, cfg.seed);
   for (size_t i = 0; i < cfg.num_clients; ++i) {

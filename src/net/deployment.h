@@ -74,6 +74,20 @@ struct DeployConfig {
   int64_t hard_deadline_us = 120 * 1000000ll;
   size_t evidence_rounds = 0;  // round path only; blame needs none retained
   size_t output_history = 256;
+  // Abort agreement (PR 8): with a deadline, a round stuck past it is retired
+  // by an epoch-committed AbortCommit certificate (all alive-server prepares)
+  // and a server restored from a stale snapshot re-admits itself via the
+  // catch-up protocol. 0 keeps aborts off entirely — the byte-identity runs
+  // pin the frame stream against the PR 7 fixture with this disabled.
+  int64_t abort_deadline_us = 0;
+  // False selects the legacy one-shot RoundAbort vote (split-brain negative
+  // control); only meaningful with a nonzero deadline.
+  bool abort_agreement = true;
+  // Chaos harness (PR 8): when nonzero, every dial goes through the
+  // fault-injecting TCP proxy (chaos-proxy binary) instead of straight to the
+  // peer's listen port. Each link gets its own proxy port so the proxy can
+  // drop/stall/partition per link; the proxy forwards to base_port + target.
+  uint16_t chaos_base_port = 0;
 
   size_t num_hosts() const {
     return (num_clients + clients_per_host - 1) / clients_per_host;
@@ -87,6 +101,23 @@ struct DeployConfig {
   size_t host_upstream(size_t h) const { return h % num_servers; }
   uint16_t server_port(size_t j) const {
     return static_cast<uint16_t>(base_port + j);
+  }
+  // Where server i dials to reach sibling j: direct, or the link's dedicated
+  // chaos-proxy port (i*M + j within the proxy's sibling block).
+  uint16_t sibling_dial_port(size_t i, size_t j) const {
+    return chaos_base_port == 0
+               ? server_port(j)
+               : static_cast<uint16_t>(chaos_base_port + i * num_servers + j);
+  }
+  // Where a client host dials its upstream server: direct, or the shared
+  // per-server proxy port after the M*M sibling block. Client links share one
+  // proxy port per server — the chaos plans partition server links, and a
+  // finer per-host split would need num_hosts ports for no test we run.
+  uint16_t client_dial_port(size_t upstream) const {
+    return chaos_base_port == 0
+               ? server_port(upstream)
+               : static_cast<uint16_t>(chaos_base_port + num_servers * num_servers +
+                                       upstream);
   }
 };
 

@@ -33,6 +33,25 @@ int SetNonBlocking(int fd) {
   return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+// Deterministic redial jitter: one splitmix64 stream per link, seeded from
+// (deployment seed, dialer, peer). A whole fleet restarting after a fault
+// would otherwise redial in lockstep (every backoff doubles from the same
+// 200 ms), hammering the listener in synchronized bursts; a seeded stream
+// spreads the retries while keeping any given run exactly reproducible.
+uint64_t JitterSeed(uint64_t seed, uint64_t self, uint64_t peer) {
+  return seed ^ (self * 0x9e3779b97f4a7c15ull) ^ (peer * 0xc2b2ae3d27d4eb4full);
+}
+
+// Advances the stream and returns a jitter in [0, delay/4].
+int64_t NextBackoffJitter(uint64_t& state, int64_t delay) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<int64_t>(z % static_cast<uint64_t>(delay / 4 + 1));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -273,6 +292,10 @@ ServerNode::ServerNode(EventLoop* loop, DeployConfig cfg, size_t index)
   sibling_out_.assign(cfg_.num_servers, nullptr);
   sibling_in_.assign(cfg_.num_servers, nullptr);
   dial_backoff_us_.assign(cfg_.num_servers, 200 * 1000);
+  dial_jitter_.resize(cfg_.num_servers);
+  for (size_t j = 0; j < cfg_.num_servers; ++j) {
+    dial_jitter_[j] = JitterSeed(cfg_.seed, index_, j);
+  }
   rosters_.resize(cfg_.num_servers);
   mix_steps_.resize(cfg_.num_servers);
   logic_ = std::make_unique<DissentServer>(
@@ -347,9 +370,11 @@ void ServerNode::DropConnection(Connection* conn) {
   for (size_t j = 0; j < sibling_out_.size(); ++j) {
     if (sibling_out_[j] == conn) {
       sibling_out_[j] = nullptr;
-      // Redial with backoff so a restarted sibling regains its link.
-      const int64_t delay = dial_backoff_us_[j];
-      dial_backoff_us_[j] = std::min<int64_t>(delay * 2, 2 * 1000000);
+      // Redial with backoff (plus seeded per-link jitter) so a restarted
+      // sibling regains its link without the fleet retrying in lockstep.
+      const int64_t delay =
+          dial_backoff_us_[j] + NextBackoffJitter(dial_jitter_[j], dial_backoff_us_[j]);
+      dial_backoff_us_[j] = std::min<int64_t>(dial_backoff_us_[j] * 2, 2 * 1000000);
       auto alive = alive_guard_;
       loop_->ScheduleAfter(delay, [this, j, alive] {
         if (*alive && sibling_out_[j] == nullptr) {
@@ -384,7 +409,8 @@ void ServerNode::DropConnection(Connection* conn) {
 }
 
 void ServerNode::DialSibling(size_t j) {
-  auto conn = std::make_unique<Connection>(loop_, cfg_.host, cfg_.server_port(j));
+  auto conn =
+      std::make_unique<Connection>(loop_, cfg_.host, cfg_.sibling_dial_port(index_, j));
   Connection* c = conn.get();
   conns_[c] = std::move(conn);
   sibling_out_[j] = c;
@@ -691,6 +717,8 @@ ServerEngine::Config ServerNode::EngineConfig() const {
   ec.attached_clients = attached_;
   ec.reliability = cfg_.reliability;
   ec.output_history = cfg_.output_history;
+  ec.abort_deadline_us = cfg_.abort_deadline_us;
+  ec.abort_agreement = cfg_.abort_agreement;
   return ec;
 }
 
@@ -873,6 +901,26 @@ uint64_t ServerNode::pipelined_submissions() const {
 
 bool ServerNode::halted() const { return engine_ != nullptr && engine_->halted(); }
 
+uint64_t ServerNode::reliable_sent() const {
+  return engine_ == nullptr ? 0 : engine_->reliable_sent();
+}
+
+uint64_t ServerNode::duplicates_dropped() const {
+  return engine_ == nullptr ? 0 : engine_->duplicates_dropped();
+}
+
+uint64_t ServerNode::max_in_flight() const {
+  return engine_ == nullptr ? 0 : engine_->max_in_flight();
+}
+
+uint64_t ServerNode::rounds_aborted() const {
+  return engine_ == nullptr ? 0 : engine_->rounds_aborted();
+}
+
+uint64_t ServerNode::catch_up_rounds() const {
+  return engine_ == nullptr ? 0 : engine_->catch_up_rounds();
+}
+
 double ServerNode::elapsed_seconds() const {
   return static_cast<double>(last_round_us_ - session_start_us_) / 1e6;
 }
@@ -888,6 +936,8 @@ ClientHostNode::ClientHostNode(EventLoop* loop, DeployConfig cfg, size_t host_in
   std::vector<BigInt> client_privs;
   def_ = BuildDeployGroup(cfg_, nullptr, &client_privs);
   secret_ = SessionSecret(cfg_.seed, def_.Id());
+  // Hosts occupy the id space above the servers in the jitter seeding.
+  redial_jitter_ = JitterSeed(cfg_.seed, cfg_.num_servers + host_, upstream_);
   const size_t depth = std::max<size_t>(cfg_.pipeline_depth, 1);
   for (size_t k = 0; k < count_; ++k) {
     const size_t i = first_ + k;
@@ -914,31 +964,39 @@ ClientHostNode::~ClientHostNode() { *alive_guard_ = false; }
 void ClientHostNode::Start() { Dial(); }
 
 void ClientHostNode::Dial() {
-  conn_ = std::make_unique<Connection>(loop_, cfg_.host, cfg_.server_port(upstream_));
+  conn_ = std::make_unique<Connection>(loop_, cfg_.host, cfg_.client_dial_port(upstream_));
   conn_->set_on_connect([this](Connection*) { OnConnected(); });
   conn_->set_on_close([this](Connection*) { OnClosed(); });
   conn_->set_on_frame([this](Connection*, Bytes payload) { OnFrame(std::move(payload)); });
 }
 
 void ClientHostNode::OnConnected() {
+  // Pin the connection for the whole greeting: a Send can fail synchronously
+  // (peer reset between accept and our first write) and Close -> OnClosed
+  // moves conn_ into dead_conn_ mid-call. The object itself outlives this
+  // frame there, and Send on a closed connection is a no-op, so the raw
+  // pointer stays safe where re-reading the conn_ member would not.
+  Connection* c = conn_.get();
   redial_backoff_us_ = 200 * 1000;
   const uint64_t nonce = static_cast<uint64_t>(loop_->NowUs()) ^ (first_ << 20);
-  conn_->Send(SerializeNet(MakeHello(secret_, Hello::kClientHost,
-                                     static_cast<uint32_t>(first_),
-                                     static_cast<uint32_t>(count_), nonce)));
-  conn_->greeted = true;
+  c->Send(SerializeNet(MakeHello(secret_, Hello::kClientHost,
+                                 static_cast<uint32_t>(first_),
+                                 static_cast<uint32_t>(count_), nonce)));
+  c->greeted = true;
   if (!slots_assigned_) {
     for (size_t k = 0; k < count_; ++k) {
-      conn_->Send(SerializeNet(
+      c->Send(SerializeNet(
           NetMessage{SchedSubmit{static_cast<uint32_t>(first_ + k), sched_rows_[k]}}));
     }
   }
 }
 
 void ClientHostNode::OnClosed() {
-  // Defer destruction (we are inside the connection's callback) and redial.
+  // Defer destruction (we are inside the connection's callback) and redial
+  // with the same seeded jitter discipline as the sibling links.
   dead_conn_ = std::move(conn_);
-  const int64_t delay = redial_backoff_us_;
+  const int64_t delay =
+      redial_backoff_us_ + NextBackoffJitter(redial_jitter_, redial_backoff_us_);
   redial_backoff_us_ = std::min<int64_t>(redial_backoff_us_ * 2, 2 * 1000000);
   auto alive = alive_guard_;
   loop_->ScheduleAfter(delay, [this, alive] {

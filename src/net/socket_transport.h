@@ -147,6 +147,15 @@ class ServerNode {
   uint64_t retransmits() const;
   uint64_t pipelined_submissions() const;
   bool halted() const;
+  // ReliableMailbox health (PR 8): first-time wraps, duplicate deliveries
+  // shed, and the peak unacked backlog across all links.
+  uint64_t reliable_sent() const;
+  uint64_t duplicates_dropped() const;
+  uint64_t max_in_flight() const;
+  // Abort agreement / re-admission: certificate-retired rounds and rounds
+  // re-applied from sibling history after a stale-snapshot restore.
+  uint64_t rounds_aborted() const;
+  uint64_t catch_up_rounds() const;
   // Wall-clock seconds from session start (or restore) to now/last round.
   double elapsed_seconds() const;
   // Per-round callback (round, RoundDone) — dissentd's cleartext log.
@@ -194,6 +203,10 @@ class ServerNode {
   std::vector<Connection*> sibling_out_;   // outbound, index j (self null)
   std::vector<Connection*> sibling_in_;    // inbound identified as server j
   std::vector<int64_t> dial_backoff_us_;   // per-sibling redial backoff
+  // Per-link jitter streams for the redial backoff, seeded from
+  // (cfg.seed, self, sibling) and advanced once per retry: desynchronizes
+  // reconnect storms deterministically (same seed -> same schedule).
+  std::vector<uint64_t> dial_jitter_;
   std::map<uint32_t, Connection*> client_conn_;  // client id -> host conn
   std::set<Connection*> host_conns_;       // identified client-host conns
 
@@ -264,6 +277,7 @@ class ClientHostNode {
   std::unique_ptr<Connection> conn_;
   std::unique_ptr<Connection> dead_conn_;  // deferred destruction
   int64_t redial_backoff_us_ = 200 * 1000;
+  uint64_t redial_jitter_ = 0;  // seeded per (cfg.seed, host, upstream)
 
   std::vector<std::unique_ptr<DissentClient>> logic_;
   std::vector<std::unique_ptr<ClientEngine>> engines_;

@@ -327,6 +327,145 @@ TEST(ChaosTest, NoExpulsionWithoutEveryServersVerdictShare) {
   EXPECT_EQ(convicted.expelled_client, std::optional<size_t>(5));
 }
 
+TEST(ChaosTest, PartitionAtAbortBoundaryConvergesOnSameDecision) {
+  // Tentpole acceptance: a partition straddling the abort deadline must not
+  // split the verdict. The majority side assembles an AbortCommit certificate
+  // (all alive-server prepares at the same epoch); the minority server cannot
+  // abort unilaterally and converges by certificate replay once the partition
+  // heals — every server records the identical abort decision, and the
+  // pipeline resumes completing rounds.
+  constexpr uint64_t kSeed = 9110;
+  auto opts = RobustOptions();
+  opts.abort_deadline = 5 * kSecond;
+  opts.fault_plan = sim::FaultPlan{};
+  opts.fault_plan->seed = kSeed;
+  // Server 2 is cut off from servers 0 and 1 (server nodes are sim nodes
+  // 0..M-1) across several abort deadlines; clients still reach everyone.
+  opts.fault_plan->partitions.push_back(
+      {.a_lo = 2, .a_hi = 2, .b_lo = 0, .b_hi = 1, .from = 10 * kSecond, .until = 22 * kSecond});
+  auto w = MakeNetWorld(3, 12, kSeed, opts);
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(10 * kSecond);
+  ASSERT_GT(w->net->rounds_completed(), 0u);
+  w->sim.RunUntil(22 * kSecond);
+  const uint64_t completed_at_heal = w->net->rounds_completed();
+  w->sim.RunUntil(70 * kSecond);
+  // The stuck rounds were aborted — by certificate, not by split vote.
+  EXPECT_GE(w->net->rounds_aborted(), 1u) << "no abort at the vote boundary";
+  // Same decision on every server, including the partitioned minority.
+  EXPECT_EQ(w->net->server_engine(0).rounds_aborted(),
+            w->net->server_engine(1).rounds_aborted());
+  EXPECT_EQ(w->net->server_engine(0).rounds_aborted(),
+            w->net->server_engine(2).rounds_aborted())
+      << "minority server diverged from the certificate history";
+  // Healing re-admits the minority and certification resumes (every
+  // completion carries all M signatures over the cleartext, so agreement on
+  // the round stream is cryptographically enforced).
+  EXPECT_GT(w->net->rounds_completed(), completed_at_heal + 3)
+      << "pipeline never resumed after the partition healed";
+}
+
+TEST(ChaosTest, LegacyOneShotAbortSplitsAcrossPartition) {
+  // Negative control pinning the pre-certificate failure mode: with the
+  // two-phase agreement disabled the identical partition leaves the minority
+  // server permanently behind the majority's abort history — votes it needed
+  // were acked-then-dropped or arrive gated on its own slow deadlines, so the
+  // fleet never realigns and no round completes after the heal.
+  constexpr uint64_t kSeed = 9110;
+  auto opts = RobustOptions();
+  opts.abort_deadline = 5 * kSecond;
+  opts.abort_agreement = false;
+  opts.fault_plan = sim::FaultPlan{};
+  opts.fault_plan->seed = kSeed;
+  opts.fault_plan->partitions.push_back(
+      {.a_lo = 2, .a_hi = 2, .b_lo = 0, .b_hi = 1, .from = 10 * kSecond, .until = 22 * kSecond});
+  auto w = MakeNetWorld(3, 12, kSeed, opts);
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(22 * kSecond);
+  const uint64_t completed_at_heal = w->net->rounds_completed();
+  w->sim.RunUntil(70 * kSecond);
+  // The majority pair stays self-consistent (they exchange votes directly)...
+  const uint64_t a0 = w->net->server_engine(0).rounds_aborted();
+  const uint64_t a1 = w->net->server_engine(1).rounds_aborted();
+  const uint64_t a2 = w->net->server_engine(2).rounds_aborted();
+  EXPECT_LE(a0 > a1 ? a0 - a1 : a1 - a0, 1u);
+  // ...but the minority's abort history never catches the majority's: the
+  // split verdict the certificate path exists to prevent.
+  EXPECT_LT(a2 + 1, a0) << "legacy path unexpectedly converged";
+  // And with the fleet permanently out of alignment, certification is dead.
+  EXPECT_LE(w->net->rounds_completed(), completed_at_heal + 1)
+      << "legacy path unexpectedly resumed completing rounds";
+}
+
+TEST(ChaosTest, StaleSnapshotServerRejoinsViaCatchUp) {
+  // Tentpole acceptance: a server restored from a snapshot >= 2 fleet aborts
+  // old re-admits itself via ServerCatchUpRequest — siblings replay signed
+  // per-round summaries (abort certificates for the rounds voted away while
+  // it was down) until its frontier matches the fleet, and certification
+  // resumes without a group re-form.
+  constexpr uint64_t kSeed = 9112;
+  auto opts = RobustOptions();
+  opts.abort_deadline = 5 * kSecond;
+  opts.output_history = 64;
+  opts.fault_plan = sim::FaultPlan{};
+  opts.fault_plan->seed = kSeed;
+  // Down for 25 s (~5 abort deadlines): the snapshot taken at crash time is
+  // several fleet-agreed aborts stale by the time the server restarts.
+  opts.fault_plan->crashes.push_back(
+      {.node = 2, .down_at = 10 * kSecond, .up_at = 35 * kSecond});
+  auto w = MakeNetWorld(3, 12, kSeed, opts);
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(10 * kSecond);
+  ASSERT_GT(w->net->rounds_completed(), 0u);
+  w->sim.RunUntil(36 * kSecond);
+  const uint64_t completed_at_restore = w->net->rounds_completed();
+  ASSERT_GE(w->net->rounds_aborted(), 2u) << "outage produced < 2 fleet aborts";
+  w->sim.RunUntil(75 * kSecond);
+  EXPECT_EQ(w->net->server_restarts(), 1u);
+  // The restored server replayed the missed history rather than re-voting it.
+  EXPECT_GE(w->net->server_engine(2).catch_up_rounds(), 2u)
+      << "restored server never caught up via summary replay";
+  EXPECT_FALSE(w->net->server_engine(2).catching_up());
+  // All three abort histories agree after re-admission.
+  EXPECT_EQ(w->net->server_engine(0).rounds_aborted(),
+            w->net->server_engine(1).rounds_aborted());
+  EXPECT_EQ(w->net->server_engine(0).rounds_aborted(),
+            w->net->server_engine(2).rounds_aborted());
+  // Completions resumed — each needs the restored server's signature over the
+  // cleartext, so post-rejoin byte identity is certified, not assumed.
+  EXPECT_GT(w->net->rounds_completed(), completed_at_restore + 3)
+      << "fleet never resumed certifying after the restart";
+}
+
+TEST(ChaosTest, LegacyStaleSnapshotRestartCannotRejoin) {
+  // Negative control pinning the pre-catch-up failure mode: without the
+  // agreement/catch-up machinery, the abort votes the restored server needs
+  // were consumed while it was down (acked by the mailbox, dropped outside
+  // its window on redelivery) — it wedges behind the fleet, which keeps
+  // voting aborts forever and never certifies another round.
+  constexpr uint64_t kSeed = 9112;
+  auto opts = RobustOptions();
+  opts.abort_deadline = 5 * kSecond;
+  opts.abort_agreement = false;
+  opts.output_history = 64;
+  opts.fault_plan = sim::FaultPlan{};
+  opts.fault_plan->seed = kSeed;
+  opts.fault_plan->crashes.push_back(
+      {.node = 2, .down_at = 10 * kSecond, .up_at = 35 * kSecond});
+  auto w = MakeNetWorld(3, 12, kSeed, opts);
+  ASSERT_TRUE(w->net->Start());
+  w->sim.RunUntil(36 * kSecond);
+  const uint64_t completed_at_restore = w->net->rounds_completed();
+  w->sim.RunUntil(75 * kSecond);
+  EXPECT_EQ(w->net->server_restarts(), 1u);
+  // The restored server's abort history stays strictly behind the fleet's...
+  EXPECT_LT(w->net->server_engine(2).rounds_aborted() + 1,
+            w->net->server_engine(0).rounds_aborted())
+      << "legacy restart unexpectedly rejoined";
+  // ...and no round ever completes again.
+  EXPECT_LE(w->net->rounds_completed(), completed_at_restore + 1);
+}
+
 TEST(ChaosTest, ServerSnapshotRoundTripsInFlightState) {
   // Unit-level crash recovery: serialize a server engine mid-session,
   // restore into a fresh logic+engine pair, and the restored instance

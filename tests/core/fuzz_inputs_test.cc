@@ -9,6 +9,7 @@
 #include "src/core/cleartext.h"
 #include "src/core/client.h"
 #include "src/core/key_shuffle.h"
+#include "src/core/server.h"
 #include "src/core/wire.h"
 #include "src/crypto/chaum_pedersen.h"
 #include "src/crypto/schnorr.h"
@@ -158,6 +159,16 @@ TEST(FuzzTest, WireMessageParser) {
       wire::RoundSummary{8, true, {}, {}, 9},
       wire::VerdictShare{7, 1, 6, wire::BlameVerdict::kClientExpelled, 9, Bytes(72, 0x31)},
       wire::RoundAbort{7, 1},
+      // PR 8 abort-agreement / server-catch-up frames.
+      wire::AbortPrepare{7, 2, 1, Bytes(72, 0x5e)},
+      wire::AbortCommit{7, 2, {0, 2}, {Bytes(72, 0x5f), Bytes(72, 0x60)}},
+      wire::ServerCatchUpRequest{6, 1},
+      wire::ServerCatchUpBatch{
+          1,
+          7,
+          8,
+          {{true, {}, {0, 1}, {Bytes(72, 2), Bytes(72, 3)}},
+           {false, Bytes(64, 0x01), {}, {Bytes(72, 4), Bytes(72, 5)}}}},
   };
   Rng rng(75);
   for (const WireMessage& seed : seeds) {
@@ -229,6 +240,40 @@ TEST(FuzzTest, WireHostileCountsDoNotAllocate) {
     rel.U32(0);
     rel.U32(hostile);
     EXPECT_FALSE(ParseWire(rel.data()).has_value());
+
+    Writer prep;
+    prep.U8(21);  // AbortPrepare whose signature blob promises 4 GiB
+    prep.U64(1);
+    prep.U64(0);
+    prep.U32(0);
+    prep.U32(hostile);
+    EXPECT_FALSE(ParseWire(prep.data()).has_value());
+
+    Writer cert;
+    cert.U8(22);  // AbortCommit claiming 4 billion signer entries
+    cert.U64(1);
+    cert.U64(0);
+    cert.U32(hostile);
+    EXPECT_FALSE(ParseWire(cert.data()).has_value());
+
+    Writer batch;
+    batch.U8(24);  // ServerCatchUpBatch claiming 4 billion summaries
+    batch.U32(0);
+    batch.U64(1);
+    batch.U64(1);
+    batch.U32(hostile);
+    EXPECT_FALSE(ParseWire(batch.data()).has_value());
+
+    Writer entry_ids;
+    entry_ids.U8(24);  // one batch entry claiming 4 billion cert signers
+    entry_ids.U32(0);
+    entry_ids.U64(1);
+    entry_ids.U64(1);
+    entry_ids.U32(1);
+    entry_ids.Bool(true);
+    entry_ids.Blob(Bytes{});
+    entry_ids.U32(hostile);
+    EXPECT_FALSE(ParseWire(entry_ids.data()).has_value());
   }
 
   // Reliability-specific rejections: an oversized sack window, a sack with a
@@ -270,6 +315,99 @@ TEST(FuzzTest, WireHostileCountsDoNotAllocate) {
     empty_inner.Blob(Bytes{});
     EXPECT_FALSE(ParseWire(empty_inner.data()).has_value());
   }
+}
+
+TEST(FuzzTest, AbortCertificateParseInvariants) {
+  // The AbortCommit certificate is the one frame that can retire a round on
+  // its own authority, so the decoder enforces every structural invariant
+  // before a single signature is checked: no truncation, no duplicate or
+  // reordered signers (quorum padding), no empty quorum, no unsigned member.
+  const wire::AbortCommit good{7, 2, {0, 2}, {Bytes(72, 0x5f), Bytes(72, 0x60)}};
+  const Bytes wire_bytes = SerializeWire(WireMessage(good));
+  ASSERT_TRUE(ParseWire(wire_bytes).has_value());
+  // Every strict prefix is a truncated certificate and must be rejected.
+  for (size_t cut = 0; cut < wire_bytes.size(); ++cut) {
+    Bytes prefix(wire_bytes.begin(), wire_bytes.begin() + cut);
+    EXPECT_FALSE(ParseWire(prefix).has_value()) << "truncated cert parsed at " << cut;
+  }
+
+  auto raw_cert = [](std::vector<uint32_t> ids, std::vector<Bytes> sigs) {
+    Writer w;
+    w.U8(22);  // AbortCommit
+    w.U64(7);
+    w.U64(2);
+    w.U32(static_cast<uint32_t>(ids.size()));
+    for (uint32_t id : ids) {
+      w.U32(id);
+    }
+    for (const Bytes& s : sigs) {
+      w.Blob(s);
+    }
+    return w.data();
+  };
+  // Duplicate signer: the same prepare twice can never pad a quorum.
+  EXPECT_FALSE(ParseWire(raw_cert({1, 1}, {Bytes(72, 1), Bytes(72, 2)})).has_value());
+  // Descending signer order: only one canonical encoding per certificate.
+  EXPECT_FALSE(ParseWire(raw_cert({2, 1}, {Bytes(72, 1), Bytes(72, 2)})).has_value());
+  // Empty quorum and unsigned member.
+  EXPECT_FALSE(ParseWire(raw_cert({}, {})).has_value());
+  EXPECT_FALSE(ParseWire(raw_cert({0, 2}, {Bytes(72, 1), Bytes{}})).has_value());
+
+  // Catch-up batch entries reuse the same discipline: an aborted entry is a
+  // certificate replay (no cleartext, ids parallel to signatures), a
+  // completed entry is a certified output (no signer list, all-fleet sigs).
+  auto raw_entry = [](bool aborted, const Bytes& cleartext, std::vector<uint32_t> ids,
+                      std::vector<Bytes> sigs) {
+    Writer w;
+    w.U8(24);  // ServerCatchUpBatch with a single entry
+    w.U32(0);
+    w.U64(5);
+    w.U64(5);
+    w.U32(1);
+    w.Bool(aborted);
+    w.Blob(cleartext);
+    w.U32(static_cast<uint32_t>(ids.size()));
+    for (uint32_t id : ids) {
+      w.U32(id);
+    }
+    w.U32(static_cast<uint32_t>(sigs.size()));
+    for (const Bytes& s : sigs) {
+      w.Blob(s);
+    }
+    return w.data();
+  };
+  EXPECT_TRUE(ParseWire(raw_entry(true, {}, {0, 1}, {Bytes(72, 1), Bytes(72, 2)})).has_value());
+  EXPECT_TRUE(ParseWire(raw_entry(false, Bytes(16, 0xaa), {}, {Bytes(72, 1)})).has_value());
+  // Aborted entry smuggling a cleartext, or with ids/sigs out of parallel.
+  EXPECT_FALSE(
+      ParseWire(raw_entry(true, Bytes(4, 0xaa), {0, 1}, {Bytes(72, 1), Bytes(72, 2)}))
+          .has_value());
+  EXPECT_FALSE(ParseWire(raw_entry(true, {}, {0, 1}, {Bytes(72, 1)})).has_value());
+  EXPECT_FALSE(ParseWire(raw_entry(true, {}, {}, {})).has_value());
+  // Completed entry carrying a signer list, or missing its signatures.
+  EXPECT_FALSE(ParseWire(raw_entry(false, Bytes(16, 0xaa), {0}, {Bytes(72, 1)})).has_value());
+  EXPECT_FALSE(ParseWire(raw_entry(false, Bytes(16, 0xaa), {}, {})).has_value());
+}
+
+TEST(FuzzTest, AbortPrepareSignatureBindsRoundEpochAndSigner) {
+  // A forged or replayed prepare must never verify: the signature binds the
+  // round, the abort epoch (how many aborts preceded the vote), and the
+  // signer's index, so votes from divergent histories can never combine
+  // into one certificate.
+  SecureRng srng = SecureRng::FromLabel(79);
+  std::vector<BigInt> sp, cp;
+  GroupDef def = MakeTestGroup(G(), 3, 2, srng, &sp, &cp);
+  DissentServer s0(def, 0, sp[0], SecureRng::FromLabel(80), 1);
+  DissentServer s1(def, 1, sp[1], SecureRng::FromLabel(81), 1);
+  Bytes sig = s0.SignAbortPrepare(7, 2);
+  EXPECT_TRUE(s1.VerifyAbortPrepare(7, 2, 0, sig));
+  EXPECT_FALSE(s1.VerifyAbortPrepare(8, 2, 0, sig)) << "bound to a different round";
+  EXPECT_FALSE(s1.VerifyAbortPrepare(7, 3, 0, sig)) << "bound to a different epoch";
+  EXPECT_FALSE(s1.VerifyAbortPrepare(7, 2, 1, sig)) << "attributed to another server";
+  EXPECT_FALSE(s1.VerifyAbortPrepare(7, 2, 9, sig)) << "signer index out of range";
+  Bytes tampered = sig;
+  tampered[4] ^= 1;
+  EXPECT_FALSE(s1.VerifyAbortPrepare(7, 2, 0, tampered));
 }
 
 TEST(FuzzTest, MixStepParser) {

@@ -220,6 +220,168 @@ TEST(MultiProcess, FiveServersSurviveRestartByteIdentical) {
             0.0);
 }
 
+// Extracts `"key": <number>` from a stats JSON blob; -1 when absent.
+double StatsValue(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle);
+  return pos == std::string::npos ? -1.0 : std::atof(json.c_str() + pos + needle.size());
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(MultiProcess, StaleSnapshotServerRejoinsViaCatchUpOverSockets) {
+  // PR 8 acceptance at process scale: SIGTERM a server (snapshotting it),
+  // keep it down across several abort deadlines so the survivors retire
+  // rounds by certificate, then restart it from the now-stale snapshot. The
+  // restored incarnation must re-admit itself via the catch-up protocol
+  // (catch_up_rounds > 0 in its stats) and every process's cleartext log
+  // must stay byte-identical across the fleet. Identity is checked process
+  // against process, not against the sim fixture: wall-clock deadlines
+  // decide *which* rounds abort, so the completed-round set is timing
+  // dependent even though every completed round's bytes are not.
+  //
+  // There is a second legitimate outcome: if the victim dies while the
+  // finish-frontier round is at signature stage, the survivors have already
+  // emitted their SignatureShares and the completion/abort mutual exclusion
+  // forbids them from voting — nothing retires while the victim is down, the
+  // restarted incarnation re-runs its open rounds (siblings re-offer the
+  // phase frames that were acked to the dead incarnation), and every round
+  // completes with zero aborts. Which outcome occurs depends on where the
+  // kill lands inside a round, so the scenario retries on fresh ports until
+  // the abort-and-catch-up path runs; the universal invariants (byte
+  // identity, restored snapshot, live reliability counters) are checked on
+  // every attempt.
+  const std::string dir = SelfDir();
+  const std::string dissentd = dir + "/dissentd";
+  const std::string client = dir + "/dissent-client";
+  if (!Exists(dissentd) || !Exists(client)) {
+    GTEST_SKIP() << "deployment binaries not built next to test";
+  }
+
+  DeployConfig cfg;
+  cfg.seed = 47;
+  cfg.num_servers = 3;
+  cfg.num_clients = 8;
+  cfg.clients_per_host = 2;
+  cfg.pipeline_depth = 2;
+  cfg.rounds = 12;
+
+  bool abort_path = false;
+  for (int attempt = 0; attempt < 3 && !abort_path; ++attempt) {
+    // Fresh ports per attempt: the previous fleet's sockets linger in
+    // TIME_WAIT.
+    cfg.base_port = 31700 + 40 * attempt;
+
+    char tmpl[] = "/tmp/dissent-mp-catchup.XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string work(tmpl);
+    std::vector<std::string> shape = ShapeFlags(cfg);
+    // Wall-clock abort deadline: generous against scheduler jitter, short
+    // enough that a 3 s outage spans several fleet aborts.
+    shape.insert(shape.end(), {"--abort-deadline-ms", "700"});
+
+    auto spawn_server = [&](size_t j) {
+      std::vector<std::string> args = {dissentd, "--index", std::to_string(j)};
+      args.insert(args.end(), shape.begin(), shape.end());
+      args.insert(args.end(), {"--log", work + "/s" + std::to_string(j) + ".log",
+                               "--stats", work + "/s" + std::to_string(j) + ".json",
+                               "--snapshot", work + "/s" + std::to_string(j) + ".snap"});
+      return Spawn(args);
+    };
+
+    std::vector<pid_t> server_pid(cfg.num_servers);
+    for (size_t j = 0; j < cfg.num_servers; ++j) {
+      server_pid[j] = spawn_server(j);
+      ASSERT_GT(server_pid[j], 0);
+    }
+    std::vector<pid_t> client_pid(cfg.num_hosts());
+    for (size_t h = 0; h < cfg.num_hosts(); ++h) {
+      std::vector<std::string> args = {client, "--host-index", std::to_string(h)};
+      args.insert(args.end(), shape.begin(), shape.end());
+      args.insert(args.end(), {"--timeout-sec", "90", "--log",
+                               work + "/c" + std::to_string(h) + ".log"});
+      client_pid[h] = Spawn(args);
+      ASSERT_GT(client_pid[h], 0);
+    }
+
+    // Let the session certify a few rounds, then take server 2 down. Its
+    // snapshot is written on SIGTERM — and goes stale the moment the
+    // survivors' abort deadlines start retiring the rounds it is missing
+    // from.
+    const size_t victim = 2;
+    bool progress = false;
+    for (int i = 0; i < 60 * 50 && !progress; ++i) {
+      progress = CountLines(work + "/s0.log") >= 3;
+      if (!progress) {
+        usleep(20 * 1000);
+      }
+    }
+    ASSERT_TRUE(progress) << "fleet never certified 3 rounds";
+    kill(server_pid[victim], SIGTERM);
+    EXPECT_EQ(WaitFor(server_pid[victim], 30000), 0) << "SIGTERM snapshot exit";
+    // >= 4 abort deadlines pass with the victim down; with full-window
+    // rounds and one server gone, each deadline can retire a round by
+    // certificate (unless the frontier is wedged at signature stage).
+    usleep(3000 * 1000);
+    server_pid[victim] = spawn_server(victim);
+    ASSERT_GT(server_pid[victim], 0);
+
+    for (size_t h = 0; h < cfg.num_hosts(); ++h) {
+      EXPECT_EQ(WaitFor(client_pid[h], 120000), 0) << "client host " << h;
+    }
+    for (size_t j = 0; j < cfg.num_servers; ++j) {
+      kill(server_pid[j], SIGTERM);
+    }
+    for (size_t j = 0; j < cfg.num_servers; ++j) {
+      EXPECT_EQ(WaitFor(server_pid[j], 30000), 0) << "server " << j;
+    }
+
+    // Universal invariants, either outcome. Cross-process byte identity:
+    // every log equals server 0's, which must be non-trivial (the session
+    // kept certifying rounds after the rejoin).
+    const std::vector<std::string> s0 = ReadLog(work + "/s0.log");
+    ASSERT_GE(s0.size(), 4u) << "too few certified rounds to call this a session";
+    for (size_t j = 1; j < cfg.num_servers; ++j) {
+      EXPECT_EQ(ReadLog(work + "/s" + std::to_string(j) + ".log"), s0)
+          << "server " << j << " diverged";
+    }
+    for (size_t h = 0; h < cfg.num_hosts(); ++h) {
+      EXPECT_EQ(ReadLog(work + "/c" + std::to_string(h) + ".log"), s0)
+          << "client host " << h << " diverged";
+    }
+    const std::string victim_stats =
+        Slurp(work + "/s" + std::to_string(victim) + ".json");
+    const std::string s0_stats = Slurp(work + "/s0.json");
+    EXPECT_NE(victim_stats.find("\"restored\": true"), std::string::npos)
+        << victim_stats;
+    // The mailbox counters behind the retransmit-overhead guard are live.
+    EXPECT_GT(StatsValue(s0_stats, "reliable_sent"), 0.0) << s0_stats;
+    EXPECT_GE(StatsValue(s0_stats, "retransmit_overhead"), 1.0) << s0_stats;
+
+    const double aborts = StatsValue(s0_stats, "aborts_agreed");
+    const double caught = StatsValue(victim_stats, "catch_up_rounds");
+    if (aborts >= 2.0 && caught >= 2.0) {
+      // The survivors retired rounds by certificate while the victim was
+      // down, and the restored incarnation rejoined by replaying that
+      // history — not by re-forming the group.
+      abort_path = true;
+    } else if (aborts == 0.0) {
+      // Signature-stage wedge: nothing could retire, so the restarted
+      // incarnation re-ran its open rounds and the whole session must have
+      // completed.
+      EXPECT_EQ(s0.size(), static_cast<size_t>(cfg.rounds))
+          << "no aborts yet rounds went missing; " << s0_stats;
+    }
+    // A 1-abort straddle falls through to a retry without extra checks.
+  }
+  EXPECT_TRUE(abort_path) << "abort-and-catch-up path never ran in 3 attempts";
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace dissent
